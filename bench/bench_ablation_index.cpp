@@ -1,0 +1,110 @@
+// Ablation: brute-force fuzzy search vs the inverted 7-gram index.
+//
+// The paper argues fuzzy-hash comparison is "faster and more scalable than
+// comparing files byte-by-byte" (§2.1); this bench quantifies the next
+// scaling step a production registry needs — not scanning every known
+// digest per probe. The index exploits the comparison semantics (nonzero
+// scores require a shared 7-gram at a comparable block size) to prune
+// candidates without losing a single match; results stay bit-identical to
+// brute force while per-probe cost drops by orders of magnitude.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fuzzy/fuzzy.hpp"
+#include "recognize/recognize.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Corpus: `families` lineages of `variants` each (localized drift), the
+/// shape of a real known-software registry.
+std::vector<siren::fuzzy::FuzzyDigest> make_corpus(std::size_t families, std::size_t variants,
+                                                   std::uint64_t seed) {
+    siren::util::Rng rng(seed);
+    std::vector<siren::fuzzy::FuzzyDigest> corpus;
+    corpus.reserve(families * variants);
+    for (std::size_t f = 0; f < families; ++f) {
+        std::vector<std::uint8_t> base = rng.bytes(8192);
+        for (std::size_t v = 0; v < variants; ++v) {
+            if (v > 0) {
+                // Rewrite one region per variant step.
+                const std::size_t start = (v * 977) % 6000;
+                for (std::size_t i = start; i < start + 256; ++i) {
+                    base[i] = static_cast<std::uint8_t>(rng.below(256));
+                }
+            }
+            corpus.push_back(siren::fuzzy::fuzzy_hash(base));
+        }
+    }
+    return corpus;
+}
+
+}  // namespace
+
+int main() {
+    siren::bench::print_header(
+        "Ablation — similarity search: brute force vs inverted 7-gram index",
+        "the §2.1 scalability argument, extended to corpus scale");
+
+    siren::util::TextTable t({"Corpus size", "Probes", "Brute ms/probe", "Indexed ms/probe",
+                              "Speedup", "Results identical"});
+
+    for (const std::size_t families : {32u, 128u, 512u, 2048u}) {
+        constexpr std::size_t kVariants = 4;
+        const auto corpus = make_corpus(families, kVariants, 7);
+
+        siren::recognize::SimilarityIndex index;
+        for (const auto& d : corpus) index.add(d);
+
+        // Probe with a sample of corpus members (self + lineage hits) —
+        // the registry's steady-state workload.
+        const std::size_t probes = std::min<std::size_t>(64, corpus.size());
+        bool identical = true;
+
+        siren::util::Stopwatch brute_watch;
+        std::size_t brute_hits = 0;
+        for (std::size_t p = 0; p < probes; ++p) {
+            brute_hits += index.query_bruteforce(corpus[p * corpus.size() / probes], 1).size();
+        }
+        const double brute_ms = brute_watch.seconds() * 1000.0 / static_cast<double>(probes);
+
+        siren::util::Stopwatch indexed_watch;
+        std::size_t indexed_hits = 0;
+        for (std::size_t p = 0; p < probes; ++p) {
+            indexed_hits += index.query(corpus[p * corpus.size() / probes], 1).size();
+        }
+        const double indexed_ms =
+            indexed_watch.seconds() * 1000.0 / static_cast<double>(probes);
+
+        for (std::size_t p = 0; p < probes; ++p) {
+            const auto& probe = corpus[p * corpus.size() / probes];
+            if (index.query(probe, 1) != index.query_bruteforce(probe, 1)) {
+                identical = false;
+                break;
+            }
+        }
+        if (brute_hits != indexed_hits) identical = false;
+
+        char speedup[32];
+        std::snprintf(speedup, sizeof speedup, "%.1fx",
+                      indexed_ms > 0 ? brute_ms / indexed_ms : 0.0);
+        char brute_cell[32];
+        std::snprintf(brute_cell, sizeof brute_cell, "%.3f", brute_ms);
+        char indexed_cell[32];
+        std::snprintf(indexed_cell, sizeof indexed_cell, "%.3f", indexed_ms);
+        t.add_row({std::to_string(corpus.size()), std::to_string(probes), brute_cell,
+                   indexed_cell, speedup, identical ? "yes" : "NO"});
+    }
+
+    std::printf("%s\n", t.render().c_str());
+    std::printf(
+        "Expected shape: brute-force cost grows linearly with corpus size;\n"
+        "indexed cost stays near-flat (posting lists for a probe's ~120\n"
+        "grams), so the speedup widens with the corpus while results remain\n"
+        "bit-identical — the prefilter provably loses no matches.\n");
+    return 0;
+}

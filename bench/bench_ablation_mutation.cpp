@@ -1,0 +1,71 @@
+// Ablation: how each hash dimension's similarity decays with binary drift.
+// Why SIREN hashes three views of the executable (raw bytes, printable
+// strings, global symbols) instead of only the raw file: the views decay
+// at different speeds, so the ensemble keeps identifying lineage members
+// long after the raw-file similarity hits 0.
+
+#include "bench_common.hpp"
+#include "elfio/elfio.hpp"
+#include "fuzzy/fuzzy.hpp"
+#include "hashing/sha256.hpp"
+#include "util/table.hpp"
+#include "workload/synthesizer.hpp"
+
+namespace {
+
+siren::workload::BinaryRecipe recipe_at(std::size_t version) {
+    siren::workload::BinaryRecipe r;
+    r.lineage = "icon";
+    r.version = version;
+    r.compilers = {siren::workload::compiler_comment_for("GCC [SUSE]")};
+    r.needed = {"libc.so.6"};
+    r.code_blocks = 24;
+    return r;
+}
+
+struct Views {
+    std::string file_h;
+    std::string strings_h;
+    std::string symbols_h;
+    std::string sha256;
+};
+
+Views views_of(const std::vector<std::uint8_t>& bytes) {
+    namespace se = siren::elfio;
+    Views v;
+    v.file_h = siren::fuzzy::fuzzy_hash(bytes).to_string();
+    v.strings_h = siren::fuzzy::fuzzy_hash(
+                      se::strings_blob(se::printable_strings(bytes)))
+                      .to_string();
+    const se::Reader reader(bytes);
+    v.symbols_h = siren::fuzzy::fuzzy_hash(se::strings_blob(reader.global_symbol_names()))
+                      .to_string();
+    v.sha256 = siren::hash::Sha256::hex(bytes);
+    return v;
+}
+
+}  // namespace
+
+int main() {
+    siren::bench::print_header(
+        "Ablation — per-dimension similarity decay vs. version drift",
+        "Table 7's FI/ST/SY pattern, swept");
+
+    const auto base = views_of(siren::workload::synthesize(recipe_at(0)));
+
+    siren::util::TextTable t({"Drift (versions)", "FI_H sim", "ST_H sim", "SY_H sim",
+                              "sha256 equal"});
+    for (const std::size_t drift : {0u, 1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        const auto variant = views_of(siren::workload::synthesize(recipe_at(drift)));
+        t.add_row({std::to_string(drift),
+                   std::to_string(siren::fuzzy::compare(base.file_h, variant.file_h)),
+                   std::to_string(siren::fuzzy::compare(base.strings_h, variant.strings_h)),
+                   std::to_string(siren::fuzzy::compare(base.symbols_h, variant.symbols_h)),
+                   base.sha256 == variant.sha256 ? "yes" : "no"});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Expected shape: sha256 matches only at drift 0 (avalanche effect);\n"
+                "FI_H decays fastest, ST_H slower, SY_H slowest — the ensemble keeps\n"
+                "recognizing the lineage after the raw-file view has gone dark.\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation: CTPH (SSDeep, the paper's choice) vs a TLSH-style
+// locality-sensitive hash under two drift models.
+//
+// The two families capture different notions of similarity:
+//  - CTPH hashes the *sequence* of content; it survives localized edits
+//    (a rebuilt function, a patched data table) because untouched chunks
+//    keep their digest characters, but scattered point mutations touch
+//    nearly every chunk and zero the score.
+//  - TLSH hashes the *distribution* of content; scattered noise barely
+//    moves the bucket histogram, but it cannot tell two files apart when
+//    wholesale region replacement keeps byte statistics similar.
+//
+// Binary version drift on HPC systems (recompiles, version bumps) is
+// localized — which is why the paper's SSDeep choice is the right default —
+// while bit-rot/packing-style noise is TLSH territory.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fuzzy/fuzzy.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/synthesizer.hpp"
+
+namespace {
+
+constexpr std::size_t kBlobSize = 64 * 1024;
+
+siren::workload::BinaryRecipe recipe_at(std::size_t version) {
+    siren::workload::BinaryRecipe r;
+    r.lineage = "icon";
+    r.version = version;
+    r.compilers = {siren::workload::compiler_comment_for("GCC [SUSE]")};
+    r.needed = {"libc.so.6"};
+    r.code_blocks = 24;
+    return r;
+}
+
+/// Flip `count` bytes at uniformly random positions (scattered noise).
+std::vector<std::uint8_t> scatter_mutate(std::vector<std::uint8_t> data, std::size_t count,
+                                         std::uint64_t seed) {
+    siren::util::Rng rng(seed);
+    for (std::size_t i = 0; i < count; ++i) {
+        data[rng.index(data.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    return data;
+}
+
+int ctph_score(const std::vector<std::uint8_t>& a, const std::vector<std::uint8_t>& b) {
+    return siren::fuzzy::compare(siren::fuzzy::fuzzy_hash(a), siren::fuzzy::fuzzy_hash(b));
+}
+
+std::string tlsh_cell(const std::vector<std::uint8_t>& a, const std::vector<std::uint8_t>& b) {
+    const auto da = siren::fuzzy::tlsh_hash(a);
+    const auto db = siren::fuzzy::tlsh_hash(b);
+    if (!da || !db) return "n/a";
+    return std::to_string(siren::fuzzy::tlsh_similarity(*da, *db)) + " (d=" +
+           std::to_string(siren::fuzzy::tlsh_distance(*da, *db)) + ")";
+}
+
+}  // namespace
+
+int main() {
+    siren::bench::print_header(
+        "Ablation — CTPH (SSDeep) vs TLSH under localized and scattered drift",
+        "the §2.1 fuzzy-hashing design choice");
+
+    // Model A: localized drift — synthesized ELF lineage versions (what
+    // recompilation does to executables).
+    {
+        const auto base = siren::workload::synthesize(recipe_at(0));
+        siren::util::TextTable t({"Version drift", "CTPH sim", "TLSH sim (dist)"});
+        for (const std::size_t drift : {0u, 1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+            const auto variant = siren::workload::synthesize(recipe_at(drift));
+            t.add_row({std::to_string(drift), std::to_string(ctph_score(base, variant)),
+                       tlsh_cell(base, variant)});
+        }
+        std::printf("Model A: localized drift (ELF lineage versions)\n%s\n",
+                    t.render().c_str());
+    }
+
+    // Model B: scattered point mutations over a fixed blob (noise /
+    // bit-level tampering).
+    {
+        siren::util::Rng rng(42);
+        const auto base = rng.bytes(kBlobSize);
+        siren::util::TextTable t({"Bytes flipped", "CTPH sim", "TLSH sim (dist)"});
+        for (const std::size_t flips :
+             {0u, 16u, 64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
+            const auto variant = scatter_mutate(base, flips, 1000 + flips);
+            t.add_row({std::to_string(flips), std::to_string(ctph_score(base, variant)),
+                       tlsh_cell(base, variant)});
+        }
+        std::printf("Model B: scattered point mutations (%zu-byte blob)\n%s\n", kBlobSize,
+                    t.render().c_str());
+    }
+
+    std::printf(
+        "Expected shape: under Model A CTPH holds high scores across many\n"
+        "versions (TLSH also stays close — both work); under Model B CTPH\n"
+        "collapses to 0 within a few hundred scattered flips while TLSH\n"
+        "degrades gradually. HPC executable drift is Model A, which is why\n"
+        "the paper's SSDeep choice fits the identification use case.\n");
+    return 0;
+}

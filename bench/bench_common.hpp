@@ -1,0 +1,45 @@
+#pragma once
+
+// Shared harness for the table/figure reproduction binaries.
+//
+// Every bench_table*/bench_fig* executable reruns the paper's LUMI opt-in
+// campaign end to end (generator -> collector -> lossy transport ->
+// consolidation -> analytics) and prints the corresponding table in the
+// paper's layout. Knobs (environment):
+//   SIREN_SCALE    campaign scale, default 1.0 (the paper's 2.35M processes)
+//   SIREN_THREADS  worker threads, default = hardware concurrency
+//   SIREN_SEED     campaign seed, default 42
+//   SIREN_LOSS     datagram loss probability, default 0
+
+#include <cstdio>
+#include <string>
+
+#include "core/siren.hpp"
+#include "util/env.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace siren::bench {
+
+inline CampaignResult run_lumi() {
+    FrameworkOptions options = FrameworkOptions::from_env();
+    util::Stopwatch watch;
+    CampaignResult result = run_campaign(workload::lumi_campaign(), options);
+    std::printf("# campaign: scale=%.3g seed=%llu loss=%.4g | jobs=%s processes=%s "
+                "datagrams=%s lost=%s | %.2fs\n\n",
+                options.scale, static_cast<unsigned long long>(options.seed),
+                options.loss_rate, util::with_commas(result.totals.jobs).c_str(),
+                util::with_commas(result.totals.processes).c_str(),
+                util::with_commas(result.datagrams_sent).c_str(),
+                util::with_commas(result.datagrams_lost).c_str(), watch.seconds());
+    return result;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+    std::printf("================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("(reproduces %s of the SIREN paper)\n", paper_ref.c_str());
+    std::printf("================================================================\n");
+}
+
+}  // namespace siren::bench

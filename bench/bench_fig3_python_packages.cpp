@@ -1,0 +1,14 @@
+// Figure 3: imported Python packages extracted from interpreter memory maps.
+
+#include "analytics/tables.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    siren::bench::print_header("Figure 3 — Imported Python packages", "Figure 3");
+    const auto result = siren::bench::run_lumi();
+    const auto t = siren::analytics::fig3_python_packages(result.aggregates);
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper: heapq and struct are imported by all three Python users; mpi4py,\n"
+                "numpy, pandas, scipy only by specialists.\n");
+    return 0;
+}

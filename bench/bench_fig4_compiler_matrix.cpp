@@ -1,0 +1,17 @@
+// Figure 4: compiler identification strings by software label (0/1 matrix).
+
+#include "analytics/tables.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    siren::bench::print_header("Figure 4 — Compiler identification by software label",
+                               "Figure 4");
+    const auto result = siren::bench::run_lumi();
+    const auto t = siren::analytics::fig4_compiler_matrix(result.aggregates);
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper rows: LAMMPS={GCC[SUSE],LLD[AMD]}, GROMACS={LLD[AMD]},\n"
+                "miniconda={GCC[Red Hat],GCC[conda],rustc}, janko={GCC[SUSE],GCC[HPE]},\n"
+                "icon={GCC[SUSE],clang[Cray],clang[AMD]}, amber={GCC[SUSE],clang[AMD]},\n"
+                "gzip={LLD[AMD]}, alexandria={GCC[SUSE]}, RadRad={GCC[SUSE],clang[Cray]}.\n");
+    return 0;
+}

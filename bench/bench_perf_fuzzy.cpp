@@ -1,0 +1,112 @@
+// Microbenchmarks (google-benchmark) for the hashing substrate: fuzzy
+// hashing vs cryptographic hashing throughput, and digest comparison vs
+// byte-level comparison — the scalability argument of paper §2.1 ("fuzzy
+// hashes [are] faster and more scalable than comparing files
+// byte-by-byte").
+
+#include <benchmark/benchmark.h>
+
+#include "fuzzy/fuzzy.hpp"
+#include "hashing/sha256.hpp"
+#include "hashing/xxhash.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::size_t n, std::uint64_t seed = 7) {
+    siren::util::Rng rng(seed);
+    return rng.bytes(n);
+}
+
+void BM_FuzzyHash(benchmark::State& state) {
+    const auto data = bytes_of(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(siren::fuzzy::fuzzy_hash(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FuzzyHash)->Range(1 << 10, 1 << 24);
+
+void BM_TlshHash(benchmark::State& state) {
+    const auto data = bytes_of(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(siren::fuzzy::tlsh_hash(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_TlshHash)->Range(1 << 10, 1 << 24);
+
+void BM_TlshCompare(benchmark::State& state) {
+    const auto a = siren::fuzzy::tlsh_hash(bytes_of(1 << 20, 1)).value();
+    const auto b = siren::fuzzy::tlsh_hash(bytes_of(1 << 20, 2)).value();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(siren::fuzzy::tlsh_distance(a, b));
+    }
+}
+BENCHMARK(BM_TlshCompare);
+
+void BM_Sha256(benchmark::State& state) {
+    const auto data = bytes_of(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        siren::hash::Sha256 h;
+        h.update(data.data(), data.size());
+        benchmark::DoNotOptimize(h.finish());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Range(1 << 10, 1 << 24);
+
+void BM_Xxh128(benchmark::State& state) {
+    const auto data = bytes_of(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(siren::hash::xxh128(data.data(), data.size()));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Xxh128)->Range(1 << 10, 1 << 24);
+
+/// Digest-vs-digest comparison: O(64^2) on fixed-size digests, independent
+/// of file size.
+void BM_FuzzyCompare(benchmark::State& state) {
+    const auto a = siren::fuzzy::fuzzy_hash(bytes_of(1 << 20, 1));
+    auto data = bytes_of(1 << 20, 1);
+    for (std::size_t i = 0; i < 2048; ++i) data[100000 + i] ^= 0x55;  // similar file
+    const auto b = siren::fuzzy::fuzzy_hash(data);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(siren::fuzzy::compare(a, b));
+    }
+}
+BENCHMARK(BM_FuzzyCompare);
+
+/// The baseline SIREN replaces: byte-level comparison scales with file
+/// size, digest comparison does not.
+void BM_ByteLevelCompare(benchmark::State& state) {
+    const auto a = bytes_of(static_cast<std::size_t>(state.range(0)), 1);
+    auto b = a;
+    b[b.size() / 2] ^= 0x55;
+    for (auto _ : state) {
+        std::size_t same = 0;
+        for (std::size_t i = 0; i < a.size(); ++i) same += a[i] == b[i];
+        benchmark::DoNotOptimize(same);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ByteLevelCompare)->Range(1 << 10, 1 << 24);
+
+void BM_WeightedEditDistance(benchmark::State& state) {
+    // Worst-case digest-length inputs.
+    std::string a, b;
+    siren::util::Rng rng(3);
+    for (int i = 0; i < 64; ++i) {
+        a += static_cast<char>('A' + rng.index(26));
+        b += static_cast<char>('A' + rng.index(26));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(siren::fuzzy::weighted_edit_distance(a, b));
+    }
+}
+BENCHMARK(BM_WeightedEditDistance);
+
+}  // namespace
+
+BENCHMARK_MAIN();

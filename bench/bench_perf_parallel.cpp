@@ -1,0 +1,81 @@
+// Microbenchmarks (google-benchmark) for the parallel paths: one-to-many
+// digest comparison with and without the thread pool, parallel derived-data
+// computation, and campaign-pipeline throughput vs thread count.
+
+#include <benchmark/benchmark.h>
+
+#include "collect/exe_store.hpp"
+#include "core/siren.hpp"
+#include "fuzzy/fuzzy.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/synthesizer.hpp"
+
+namespace {
+
+std::vector<siren::fuzzy::FuzzyDigest> candidate_digests(std::size_t n) {
+    std::vector<siren::fuzzy::FuzzyDigest> out;
+    out.reserve(n);
+    siren::util::Rng rng(11);
+    auto base = rng.bytes(1 << 18);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto variant = base;
+        const std::size_t start = rng.index(variant.size() - 4096);
+        for (std::size_t k = 0; k < 4096; ++k) variant[start + k] ^= 0x3C;
+        out.push_back(siren::fuzzy::fuzzy_hash(variant));
+    }
+    return out;
+}
+
+void BM_OneToManySerial(benchmark::State& state) {
+    const auto candidates = candidate_digests(static_cast<std::size_t>(state.range(0)));
+    const auto probe = candidates.front();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            siren::fuzzy::compare_one_to_many(probe, candidates, /*threshold=*/0));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_OneToManySerial)->Arg(256)->Arg(4096);
+
+void BM_OneToManyParallel(benchmark::State& state) {
+    const auto candidates = candidate_digests(static_cast<std::size_t>(state.range(0)));
+    const auto probe = candidates.front();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            siren::fuzzy::compare_one_to_many(probe, candidates, /*threshold=*/1));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_OneToManyParallel)->Arg(256)->Arg(4096);
+
+void BM_DerivedDataComputation(benchmark::State& state) {
+    siren::workload::BinaryRecipe recipe;
+    recipe.lineage = "benchware";
+    recipe.code_blocks = 24;
+    recipe.compilers = {"GCC: (SUSE Linux) 7.5.0"};
+    const auto bytes = siren::workload::synthesize(recipe);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(siren::collect::compute_derived(bytes));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_DerivedDataComputation);
+
+/// Whole-pipeline scaling: the mini campaign end to end at 1..N threads.
+void BM_CampaignThreads(benchmark::State& state) {
+    siren::FrameworkOptions options;
+    options.scale = 1.0;
+    options.threads = static_cast<std::size_t>(state.range(0));
+    const auto spec = siren::workload::mini_campaign();
+    for (auto _ : state) {
+        auto result = run_campaign(spec, options);
+        benchmark::DoNotOptimize(result.aggregates.total_processes);
+    }
+}
+BENCHMARK(BM_CampaignThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Microbenchmarks (google-benchmark) for the data path a hooked process
+// exercises: wire codec, chunking, per-process collection, consolidation.
+// The per-process cost is the overhead budget the LD_PRELOAD design must
+// respect.
+
+#include <benchmark/benchmark.h>
+
+#include "collect/collector.hpp"
+#include "consolidate/consolidator.hpp"
+#include "net/channel.hpp"
+#include "net/chunker.hpp"
+#include "net/codec.hpp"
+#include "workload/synthesizer.hpp"
+
+namespace {
+
+siren::net::Message sample_message() {
+    siren::net::Message m;
+    m.job_id = 1000042;
+    m.pid = 4242;
+    m.exe_hash = "00ff00ff00ff00ff00ff00ff00ff00ff";
+    m.host = "nid000123";
+    m.time = 1733900000;
+    m.type = siren::net::MsgType::kObjects;
+    m.content = "/lib64/libc.so.6\n/opt/siren/lib/siren.so\n/usr/lib64/libnuma.so.1";
+    return m;
+}
+
+void BM_Encode(benchmark::State& state) {
+    const auto m = sample_message();
+    for (auto _ : state) benchmark::DoNotOptimize(siren::net::encode(m));
+}
+BENCHMARK(BM_Encode);
+
+void BM_Decode(benchmark::State& state) {
+    const auto wire = siren::net::encode(sample_message());
+    for (auto _ : state) benchmark::DoNotOptimize(siren::net::decode(wire));
+}
+BENCHMARK(BM_Decode);
+
+void BM_ChunkReassemble(benchmark::State& state) {
+    const std::string content(static_cast<std::size_t>(state.range(0)), 'x');
+    const auto header = sample_message();
+    for (auto _ : state) {
+        siren::net::Reassembler reassembler;
+        for (auto& chunk : siren::net::chunk_content(header, content)) {
+            reassembler.add(std::move(chunk));
+        }
+        benchmark::DoNotOptimize(reassembler.assemble());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ChunkReassemble)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+struct NullTransport : siren::net::Transport {
+    void send(std::string_view) noexcept override {}
+};
+
+/// Per-process collection cost for the heaviest scope (user executable),
+/// with derived data already memoized — the steady-state cost on a node.
+void BM_CollectUserProcess(benchmark::State& state) {
+    siren::workload::BinaryRecipe recipe;
+    recipe.lineage = "benchware";
+    recipe.compilers = {"GCC: (SUSE Linux) 7.5.0"};
+    siren::collect::FileStore store;
+    siren::collect::ExecutableImage image;
+    image.bytes = siren::workload::synthesize(recipe);
+    const std::string exe = "/users/u/benchware/bin/app";
+    store.register_executable(exe, std::move(image));
+
+    NullTransport transport;
+    siren::collect::Collector collector(store, transport);
+
+    siren::sim::SimProcess p;
+    p.exe_path = exe;
+    p.loaded_objects = {"/lib64/libc.so.6", "/opt/siren/lib/siren.so"};
+    p.loaded_modules = {"PrgEnv-cray/8.4.0", "cce/15.0.1"};
+    p.memory_map = {{0x400000, 0x500000, "r-xp", exe}};
+
+    (void)collector.collect(p);  // warm the derived cache
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(collector.collect(p));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CollectUserProcess);
+
+/// Consolidation cost per process record.
+void BM_ConsolidateProcess(benchmark::State& state) {
+    siren::workload::BinaryRecipe recipe;
+    recipe.lineage = "benchware";
+    siren::collect::FileStore store;
+    siren::collect::ExecutableImage image;
+    image.bytes = siren::workload::synthesize(recipe);
+    const std::string exe = "/users/u/benchware/bin/app";
+    store.register_executable(exe, std::move(image));
+
+    // Capture one process worth of messages.
+    struct Capture : siren::net::Transport {
+        std::vector<siren::net::Message> messages;
+        void send(std::string_view d) noexcept override {
+            try {
+                messages.push_back(siren::net::decode(d));
+            } catch (...) {
+            }
+        }
+    } capture;
+    siren::collect::Collector collector(store, capture);
+    siren::sim::SimProcess p;
+    p.exe_path = exe;
+    p.loaded_objects = {"/lib64/libc.so.6"};
+    collector.collect(p);
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(siren::consolidate::consolidate(capture.messages));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConsolidateProcess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,13 @@
+// Table 2: data about users' jobs and processes.
+
+#include "analytics/tables.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    siren::bench::print_header("Table 2 — Users, Jobs, and Processes", "Table 2");
+    const auto result = siren::bench::run_lumi();
+    std::printf("%s\n", siren::analytics::table2_users(result.aggregates).render().c_str());
+    std::printf("Paper (scale 1.0): 12 users, 13,448 jobs, 2,317,859 / 9,042 / 23,316 "
+                "system / user / python processes.\n");
+    return 0;
+}

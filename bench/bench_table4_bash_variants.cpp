@@ -1,0 +1,15 @@
+// Table 4: distinct sets of shared objects loaded by /usr/bin/bash.
+
+#include "analytics/tables.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    siren::bench::print_header("Table 4 — Distinct shared-object sets of /usr/bin/bash",
+                               "Table 4");
+    const auto result = siren::bench::run_lumi();
+    const auto t = siren::analytics::table4_object_variants(result.aggregates, "/usr/bin/bash");
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper: 160,904 processes with /lib64/libtinfo, 460 with a spack libtinfo,\n"
+                "54 with a local-SW libtinfo plus /lib64/libm (the bc-calculator case).\n");
+    return 0;
+}

@@ -1,0 +1,15 @@
+// Table 5: derived labels for user applications (regex over path names).
+
+#include "analytics/tables.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    siren::bench::print_header("Table 5 — Derived labels for user applications", "Table 5");
+    const auto result = siren::bench::run_lumi();
+    const auto t = siren::analytics::table5_user_labels(result.aggregates);
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper: LAMMPS(2u/226p/5h), GROMACS(2u/2,104p/1h), miniconda(673j/5,018p/5h),\n"
+                "janko(138/138/2), icon(64j/625p/175h), amber(27/889/2), gzip(18/19/1),\n"
+                "UNKNOWN(3j/17p/7h), alexandria(2/4/1), RadRad(2/2/2).\n");
+    return 0;
+}

@@ -1,0 +1,16 @@
+// Table 6: compiler provenance combinations of user applications.
+
+#include "analytics/tables.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    siren::bench::print_header("Table 6 — Compiler information of user applications", "Table 6");
+    const auto result = siren::bench::run_lumi();
+    const auto t = siren::analytics::table6_compilers(result.aggregates);
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper combos: LLD [AMD] (4 users); GCC [SUSE] (4, 134 FILE_H);\n"
+                "GCC [SUSE], clang [Cray] (2); GCC [Red Hat], GCC [conda] (1, 4,983p);\n"
+                "GCC [SUSE], GCC [HPE]; GCC [Red Hat], rustc; GCC [SUSE], clang [AMD];\n"
+                "GCC [SUSE], clang [Cray], clang [AMD] (13 FILE_H).\n");
+    return 0;
+}

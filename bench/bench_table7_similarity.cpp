@@ -1,0 +1,40 @@
+// Table 7: similarity-search identification of the UNKNOWN a.out binaries.
+// The headline experiment: rank known user executables by the average of
+// six fuzzy-hash similarities against the unknown probe.
+
+#include "analytics/similarity.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+    namespace sa = siren::analytics;
+    siren::bench::print_header("Table 7 — Similarity search for the <unknown> case", "Table 7");
+    const auto result = siren::bench::run_lumi();
+
+    const auto labeler = sa::Labeler::default_rules();
+    const auto* probe = sa::find_unknown_probe(result.aggregates, labeler);
+    if (probe == nullptr) {
+        std::printf("no UNKNOWN-labeled executable found (scale too small?)\n");
+        return 1;
+    }
+    std::printf("Probe: %s  (name-derived label: %s)\n\n", probe->exe_path.c_str(),
+                labeler.label(probe->exe_path).c_str());
+
+    siren::util::ThreadPool pool;
+    const auto hits = sa::similarity_search(*probe, result.aggregates, labeler, 10, &pool);
+
+    siren::util::TextTable t(
+        {"Label", "Avg. Sim.", "MO_H", "CO_H", "OB_H", "FI_H", "ST_H", "SY_H"});
+    for (const auto& hit : hits) {
+        t.add_row({hit.label, siren::util::fixed(hit.average, 1),
+                   std::to_string(hit.scores.mo), std::to_string(hit.scores.co),
+                   std::to_string(hit.scores.ob), std::to_string(hit.scores.fi),
+                   std::to_string(hit.scores.st), std::to_string(hit.scores.sy)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper: all top-10 hits are icon; row 1 scores 100 on every dimension\n"
+                "(byte-identical build); FI_H decays fastest with drift while CO_H stays\n"
+                "100 and SY_H stays high — the same pattern the ranking above must show.\n");
+    return 0;
+}

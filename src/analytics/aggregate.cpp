@@ -1,0 +1,123 @@
+#include "analytics/aggregate.hpp"
+
+#include "util/strings.hpp"
+
+namespace siren::analytics {
+
+using consolidate::Category;
+using consolidate::ProcessRecord;
+
+void Aggregates::add(const ProcessRecord& r) {
+    ++total_processes;
+    all_jobs.insert(r.job_id);
+    if (r.has_missing_fields()) {
+        ++records_with_missing_fields;
+        jobs_with_missing_fields.insert(r.job_id);
+    }
+
+    UserStat& user = users[r.uid];
+    user.jobs.insert(r.job_id);
+    switch (r.category) {
+        case Category::kSystem: ++user.system_processes; break;
+        case Category::kUser: ++user.user_processes; break;
+        case Category::kPython: ++user.python_processes; break;
+        case Category::kUnknown: break;
+    }
+
+    if (!r.exe_path.empty()) {
+        ExeStat& exe = execs[r.exe_path];
+        if (exe.path.empty()) exe.path = r.exe_path;
+        exe.category = r.category;
+        exe.users.insert(r.uid);
+        exe.jobs.insert(r.job_id);
+        ++exe.processes;
+        if (!r.objects_hash.empty()) {
+            ObjectVariantStat& variant = exe.object_variants[r.objects_hash];
+            ++variant.processes;
+            if (variant.sample_objects.empty()) variant.sample_objects = r.objects;
+        }
+        if (!r.file_hash.empty()) exe.file_hashes.insert(r.file_hash);
+        if (!exe.has_sample && !r.has_missing_fields()) {
+            exe.sample = r;
+            exe.has_sample = true;
+        }
+    }
+
+    if (r.category == Category::kPython) {
+        const std::string interp(util::basename(r.exe_path));
+        InterpreterStat& stat = interpreters[interp];
+        stat.users.insert(r.uid);
+        stat.jobs.insert(r.job_id);
+        ++stat.processes;
+        if (!r.script_hash.empty()) stat.script_hashes.insert(r.script_hash);
+
+        for (const auto& pkg : r.python_packages) {
+            PackageStat& p = packages[pkg];
+            p.users.insert(r.uid);
+            p.jobs.insert(r.job_id);
+            ++p.processes;
+            if (!r.script_hash.empty()) p.scripts.insert(r.script_hash);
+        }
+    }
+}
+
+namespace {
+
+template <typename T>
+void union_into(std::set<T>& into, const std::set<T>& from) {
+    into.insert(from.begin(), from.end());
+}
+
+}  // namespace
+
+void Aggregates::merge(const Aggregates& other) {
+    total_processes += other.total_processes;
+    records_with_missing_fields += other.records_with_missing_fields;
+    union_into(all_jobs, other.all_jobs);
+    union_into(jobs_with_missing_fields, other.jobs_with_missing_fields);
+
+    for (const auto& [uid, stat] : other.users) {
+        UserStat& mine = users[uid];
+        union_into(mine.jobs, stat.jobs);
+        mine.system_processes += stat.system_processes;
+        mine.user_processes += stat.user_processes;
+        mine.python_processes += stat.python_processes;
+    }
+
+    for (const auto& [path, stat] : other.execs) {
+        ExeStat& mine = execs[path];
+        if (mine.path.empty()) mine.path = stat.path;
+        mine.category = stat.category;
+        union_into(mine.users, stat.users);
+        union_into(mine.jobs, stat.jobs);
+        mine.processes += stat.processes;
+        for (const auto& [hash, variant] : stat.object_variants) {
+            ObjectVariantStat& v = mine.object_variants[hash];
+            v.processes += variant.processes;
+            if (v.sample_objects.empty()) v.sample_objects = variant.sample_objects;
+        }
+        union_into(mine.file_hashes, stat.file_hashes);
+        if (!mine.has_sample && stat.has_sample) {
+            mine.sample = stat.sample;
+            mine.has_sample = true;
+        }
+    }
+
+    for (const auto& [name, stat] : other.interpreters) {
+        InterpreterStat& mine = interpreters[name];
+        union_into(mine.users, stat.users);
+        union_into(mine.jobs, stat.jobs);
+        mine.processes += stat.processes;
+        union_into(mine.script_hashes, stat.script_hashes);
+    }
+
+    for (const auto& [name, stat] : other.packages) {
+        PackageStat& mine = packages[name];
+        union_into(mine.users, stat.users);
+        union_into(mine.jobs, stat.jobs);
+        mine.processes += stat.processes;
+        union_into(mine.scripts, stat.scripts);
+    }
+}
+
+}  // namespace siren::analytics

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "consolidate/record.hpp"
+
+namespace siren::analytics {
+
+/// Streaming, mergeable campaign aggregates.
+///
+/// The full LUMI campaign has millions of processes but only hundreds of
+/// distinct executables; keeping every ProcessRecord in memory would need
+/// gigabytes. Aggregates::add() folds one record at a time into compact
+/// per-executable / per-user / per-package statistics (plus one sample
+/// record per executable for similarity search), and merge() combines
+/// per-thread instances after a sharded run.
+
+/// One (executable, loaded-object-set) combination — the unit behind
+/// Table 3's "Unique OBJECTS_H" and Table 4's bash variants.
+struct ObjectVariantStat {
+    std::uint64_t processes = 0;
+    std::vector<std::string> sample_objects;
+};
+
+/// Statistics of one executable path.
+struct ExeStat {
+    std::string path;
+    consolidate::Category category = consolidate::Category::kUnknown;
+    std::set<std::int64_t> users;       ///< UIDs
+    std::set<std::uint64_t> jobs;
+    std::uint64_t processes = 0;
+    std::map<std::string, ObjectVariantStat> object_variants;  ///< key: OB_H digest
+    std::set<std::string> file_hashes;  ///< distinct FILE_H digests
+    consolidate::ProcessRecord sample;  ///< first complete record seen
+    bool has_sample = false;
+};
+
+struct UserStat {
+    std::set<std::uint64_t> jobs;
+    std::uint64_t system_processes = 0;
+    std::uint64_t user_processes = 0;
+    std::uint64_t python_processes = 0;
+};
+
+struct InterpreterStat {
+    std::set<std::int64_t> users;
+    std::set<std::uint64_t> jobs;
+    std::uint64_t processes = 0;
+    std::set<std::string> script_hashes;  ///< distinct SCRIPT_H digests
+};
+
+struct PackageStat {
+    std::set<std::int64_t> users;
+    std::set<std::uint64_t> jobs;
+    std::uint64_t processes = 0;
+    std::set<std::string> scripts;  ///< distinct SCRIPT_H digests importing it
+};
+
+struct Aggregates {
+    std::map<std::int64_t, UserStat> users;          ///< by UID
+    std::map<std::string, ExeStat> execs;            ///< by executable path
+    std::map<std::string, InterpreterStat> interpreters;  ///< by basename
+    std::map<std::string, PackageStat> packages;     ///< by Python package
+
+    std::uint64_t total_processes = 0;
+    std::set<std::uint64_t> all_jobs;
+    std::set<std::uint64_t> jobs_with_missing_fields;
+    std::uint64_t records_with_missing_fields = 0;
+
+    void add(const consolidate::ProcessRecord& record);
+    void merge(const Aggregates& other);
+
+    double job_missing_ratio() const {
+        return all_jobs.empty() ? 0.0
+                                : static_cast<double>(jobs_with_missing_fields.size()) /
+                                      static_cast<double>(all_jobs.size());
+    }
+};
+
+}  // namespace siren::analytics

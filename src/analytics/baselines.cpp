@@ -1,0 +1,61 @@
+#include "analytics/baselines.hpp"
+
+#include "analytics/similarity.hpp"
+
+namespace siren::analytics {
+
+using consolidate::Category;
+
+std::vector<RecognitionResult> evaluate_identification(const Aggregates& agg,
+                                                       const GroundTruth& truth,
+                                                       const std::vector<std::string>& probes,
+                                                       const Labeler& labeler,
+                                                       double min_confidence) {
+    RecognitionResult name{"name-regex", 0, 0};
+    RecognitionResult crypto{"crypto-exact", 0, 0};
+    RecognitionResult fuzzy{"fuzzy-knn", 0, 0};
+
+    for (const auto& probe_path : probes) {
+        auto probe_it = agg.execs.find(probe_path);
+        if (probe_it == agg.execs.end() || !probe_it->second.has_sample) continue;
+        auto truth_it = truth.find(probe_path);
+        if (truth_it == truth.end()) continue;
+        const std::string& expected = truth_it->second;
+        const ExeStat& probe = probe_it->second;
+
+        ++name.total;
+        ++crypto.total;
+        ++fuzzy.total;
+
+        // 1. Name-based labeling.
+        if (labeler.label(probe_path) == expected) ++name.identified;
+
+        // 2. Exact digest match: an identical binary elsewhere in the
+        //    corpus whose path yields a label. (FILE_H equality at score
+        //    100 == identical content, standing in for a sha1 match.)
+        bool crypto_hit = false;
+        for (const auto& [path, exe] : agg.execs) {
+            if (path == probe_path || exe.category != Category::kUser) continue;
+            if (labeler.label(path) == kUnknownLabel) continue;
+            for (const auto& h : exe.file_hashes) {
+                if (probe.file_hashes.count(h) != 0) {
+                    crypto_hit = labeler.label(path) == expected;
+                    break;
+                }
+            }
+            if (crypto_hit) break;
+        }
+        if (crypto_hit) ++crypto.identified;
+
+        // 3. Fuzzy nearest neighbour over all six dimensions.
+        const auto hits = similarity_search(probe.sample, agg, labeler, 1);
+        if (!hits.empty() && hits.front().average >= min_confidence &&
+            hits.front().label == expected) {
+            ++fuzzy.identified;
+        }
+    }
+
+    return {name, crypto, fuzzy};
+}
+
+}  // namespace siren::analytics

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analytics/aggregate.hpp"
+#include "analytics/labeler.hpp"
+
+namespace siren::analytics {
+
+/// Outcome of one identification method over a set of probe executables.
+struct RecognitionResult {
+    std::string method;
+    std::size_t identified = 0;  ///< probes assigned the correct label
+    std::size_t total = 0;
+
+    double accuracy() const {
+        return total == 0 ? 0.0 : static_cast<double>(identified) / static_cast<double>(total);
+    }
+};
+
+/// Ground truth: executable path -> true software label (supplied by the
+/// workload catalog; on a real system this would be operator knowledge).
+using GroundTruth = std::map<std::string, std::string>;
+
+/// Identification-method comparison (the ablation behind the paper's core
+/// claim that fuzzy hashing beats name- and crypto-hash-based methods):
+///
+///  - "name-regex":  the Labeler applied to the probe path (fails for
+///    a.out-style names);
+///  - "crypto-exact": exact FILE-digest match against the labeled corpus
+///    (models XALT's sha1 approach; fails for any recompiled variant);
+///  - "fuzzy-knn":   nearest labeled executable by average fuzzy
+///    similarity across the six hash dimensions (SIREN's method).
+///
+/// `probes` lists the paths to identify; every *other* labeled user
+/// executable acts as the known corpus.
+std::vector<RecognitionResult> evaluate_identification(const Aggregates& agg,
+                                                       const GroundTruth& truth,
+                                                       const std::vector<std::string>& probes,
+                                                       const Labeler& labeler,
+                                                       double min_confidence = 1.0);
+
+}  // namespace siren::analytics

@@ -1,0 +1,58 @@
+#include "analytics/compilers.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace siren::analytics {
+
+const std::vector<std::string>& compiler_provenance_order() {
+    static const std::vector<std::string> kOrder = {
+        "GCC [SUSE]", "GCC [Red Hat]", "GCC [conda]", "GCC [HPE]",
+        "clang [Cray]", "clang [AMD]", "LLD [AMD]", "rustc",
+        "GCC", "clang", "LLD",  // unbranded fallbacks rank last
+    };
+    return kOrder;
+}
+
+std::string compiler_provenance(const std::string& comment) {
+    if (util::contains(comment, "rustc")) return "rustc";
+    if (util::contains(comment, "LLD")) {
+        return util::contains(comment, "AMD") ? "LLD [AMD]" : "LLD";
+    }
+    if (util::icontains(comment, "clang")) {
+        if (util::contains(comment, "Cray")) return "clang [Cray]";
+        if (util::contains(comment, "AMD")) return "clang [AMD]";
+        return "clang";
+    }
+    if (util::contains(comment, "GCC")) {
+        if (util::contains(comment, "SUSE")) return "GCC [SUSE]";
+        if (util::contains(comment, "Red Hat")) return "GCC [Red Hat]";
+        if (util::contains(comment, "conda")) return "GCC [conda]";
+        if (util::contains(comment, "HPE")) return "GCC [HPE]";
+        return "GCC";
+    }
+    // Unknown toolchain: keep the first token so it stays inspectable.
+    const auto tokens = util::split_nonempty(comment, ' ');
+    return tokens.empty() ? std::string("?") : tokens.front();
+}
+
+std::vector<std::string> compiler_provenances(const std::vector<std::string>& comments) {
+    std::set<std::string> seen;
+    for (const auto& c : comments) seen.insert(compiler_provenance(c));
+
+    std::vector<std::string> out;
+    for (const auto& name : compiler_provenance_order()) {
+        if (seen.erase(name) > 0) out.push_back(name);
+    }
+    // Anything not in the canonical order goes last, alphabetically.
+    for (const auto& leftover : seen) out.push_back(leftover);
+    return out;
+}
+
+std::string render_combo(const std::vector<std::string>& provenances) {
+    return util::join(provenances, ", ");
+}
+
+}  // namespace siren::analytics

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace siren::analytics {
+
+/// Canonical display order for compiler provenances (defines the column
+/// order of Figure 4 and the combo rendering of Table 6).
+const std::vector<std::string>& compiler_provenance_order();
+
+/// Map one .comment identification string to its provenance label:
+/// "GCC: (SUSE Linux) 7.5.0" -> "GCC [SUSE]",
+/// "AMD clang version 14.0.6 (ROCm 5.2.3)" -> "clang [AMD]", ...
+/// Unrecognized strings map to their first token (best effort).
+std::string compiler_provenance(const std::string& comment);
+
+/// Provenances of a whole .comment list, deduplicated and put in canonical
+/// order; joined with ", " this is a Table 6 combo key.
+std::vector<std::string> compiler_provenances(const std::vector<std::string>& comments);
+
+/// "GCC [SUSE], clang [Cray]" rendering of a combo.
+std::string render_combo(const std::vector<std::string>& provenances);
+
+}  // namespace siren::analytics

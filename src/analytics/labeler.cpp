@@ -1,0 +1,35 @@
+#include "analytics/labeler.hpp"
+
+namespace siren::analytics {
+
+Labeler Labeler::default_rules() {
+    return Labeler({
+        // miniconda must precede icon: "miniconda" contains "icon".
+        {"miniconda", "miniconda|conda"},
+        {"LAMMPS", "lammps|/lmp_?[a-z0-9]*$"},
+        {"GROMACS", "gromacs|/gmx(_mpi)?$"},
+        {"janko", "janko"},
+        {"icon", "icon"},
+        {"amber", "amber|pmemd|sander"},
+        {"gzip", "gzip"},
+        {"alexandria", "alexandria"},
+        {"RadRad", "radrad"},
+    });
+}
+
+Labeler::Labeler(std::vector<Rule> rules) : rules_(std::move(rules)) {
+    compiled_.reserve(rules_.size());
+    for (const auto& rule : rules_) {
+        compiled_.emplace_back(rule.pattern,
+                               std::regex::ECMAScript | std::regex::icase | std::regex::optimize);
+    }
+}
+
+std::string Labeler::label(const std::string& exe_path) const {
+    for (std::size_t i = 0; i < compiled_.size(); ++i) {
+        if (std::regex_search(exe_path, compiled_[i])) return rules_[i].label;
+    }
+    return kUnknownLabel;
+}
+
+}  // namespace siren::analytics

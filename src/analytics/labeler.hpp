@@ -1,0 +1,41 @@
+#pragma once
+
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace siren::analytics {
+
+/// Fallback label for executables whose path matches no known software.
+inline constexpr const char* kUnknownLabel = "UNKNOWN";
+
+/// Derives software labels from executable file/path names with regular
+/// expressions — the operator practice the paper describes in §4.3
+/// ("system operators can often deduce to which software an executable
+/// belongs based on file or path names ... using regular expressions").
+/// Deliberately fallible: nondescript names (a.out) stay UNKNOWN, which is
+/// exactly what the similarity search then resolves.
+class Labeler {
+public:
+    struct Rule {
+        std::string label;
+        std::string pattern;  ///< ECMAScript regex, applied case-insensitively
+    };
+
+    /// Rule set covering the paper's Table 5 labels.
+    static Labeler default_rules();
+
+    explicit Labeler(std::vector<Rule> rules);
+
+    /// First matching rule wins (rule order resolves overlaps such as
+    /// "miniconda" containing the substring "icon").
+    std::string label(const std::string& exe_path) const;
+
+    const std::vector<Rule>& rules() const { return rules_; }
+
+private:
+    std::vector<Rule> rules_;
+    std::vector<std::regex> compiled_;
+};
+
+}  // namespace siren::analytics

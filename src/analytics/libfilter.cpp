@@ -1,0 +1,29 @@
+#include "analytics/libfilter.hpp"
+
+#include <set>
+
+namespace siren::analytics {
+
+std::string derive_library_tag(std::string_view object_path) {
+    std::string tag;
+    for (const auto needle : kLibraryFilterSubstrings) {
+        if (object_path.find(needle) != std::string_view::npos) {
+            if (!tag.empty()) tag += '-';
+            tag += needle;
+        }
+    }
+    return tag;
+}
+
+std::vector<std::string> derive_library_tags(const std::vector<std::string>& object_paths) {
+    std::vector<std::string> out;
+    std::set<std::string> seen;
+    for (const auto& path : object_paths) {
+        std::string tag = derive_library_tag(path);
+        if (tag.empty() || !seen.insert(tag).second) continue;
+        out.push_back(std::move(tag));
+    }
+    return out;
+}
+
+}  // namespace siren::analytics

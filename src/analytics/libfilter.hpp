@@ -1,0 +1,31 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace siren::analytics {
+
+/// The canonical substring list of the paper (§4.3, Figure 2): shared
+/// objects are reduced to the combination of these substrings found in
+/// their path. Order matters — a derived tag joins its matches in this
+/// order ("rocfft-rocm-fft", "hdf5-fortran-parallel-cray").
+inline constexpr std::array<std::string_view, 34> kLibraryFilterSubstrings = {
+    "libsci",  "pthread", "pmi",       "netcdf", "hdf5",   "fortran", "parallel",
+    "python",  "fabric",  "numa",      "boost",  "openacc", "amdgpu", "cuda",
+    "drm",     "rocsolver", "rocsparse", "rocfft", "MIOpen", "rocm",   "gromacs",
+    "blas",    "fft",     "torch",     "quadmath", "craymath", "cray", "tykky",
+    "climatedt", "amber", "spack",     "yaml",   "java",   "siren",
+};
+
+/// Derive the tag of one shared-object path: the '-'-joined list of
+/// canonical substrings it contains (empty when none match — the library
+/// is then "uninformative" and filtered out).
+std::string derive_library_tag(std::string_view object_path);
+
+/// Tags of a whole loaded-objects list, deduplicated, in first-appearance
+/// order.
+std::vector<std::string> derive_library_tags(const std::vector<std::string>& object_paths);
+
+}  // namespace siren::analytics

@@ -1,0 +1,81 @@
+#include "analytics/recognition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "fuzzy/ctph.hpp"
+#include "util/error.hpp"
+
+namespace siren::analytics {
+
+RecognitionReport recognition_report(const Aggregates& agg, const Labeler& labeler,
+                                     const recognize::RegistryOptions& options) {
+    recognize::Registry registry(options);
+    RecognitionReport report;
+
+    // Campaign-side stats accumulated alongside the registry's own.
+    std::map<recognize::FamilyId, RecognitionRow> rows;
+    std::set<recognize::FamilyId> families_with_unknown_member;
+
+    for (const auto& [path, exe] : agg.execs) {
+        if (exe.category != consolidate::Category::kUser) continue;
+
+        std::string hint = labeler.label(path);
+        if (hint == kUnknownLabel) hint.clear();
+
+        bool path_counted = false;
+        for (const auto& digest_string : exe.file_hashes) {  // set: sorted, deterministic
+            fuzzy::FuzzyDigest digest;
+            try {
+                digest = fuzzy::FuzzyDigest::parse(digest_string);
+            } catch (const util::ParseError&) {
+                continue;  // column lost to UDP drop: nothing to recognize
+            }
+            const auto obs = registry.observe(digest, hint);
+            ++report.sightings;
+            if (obs.new_family) {
+                ++report.families_founded;
+            } else {
+                ++report.recognized;
+            }
+            if (hint.empty()) families_with_unknown_member.insert(obs.family);
+
+            auto& row = rows[obs.family];
+            row.family = obs.family;
+            ++row.distinct_binaries;
+            if (!path_counted) {
+                // Attribute the path's processes once, to the family of its
+                // first digest (paths with split lineages are pathological).
+                ++row.paths;
+                row.processes += exe.processes;
+                path_counted = true;
+            }
+        }
+    }
+
+    for (auto& [id, row] : rows) {
+        const auto& fam = registry.family(id);
+        row.name = fam.name;
+        row.exemplars = fam.exemplars;
+        row.anonymous = fam.name.starts_with("family-");
+        // A named family holding a labeler-UNKNOWN sighting is an
+        // identification the regex baseline could not make — the paper's
+        // a.out -> icon resolution, counted.
+        if (!row.anonymous && families_with_unknown_member.contains(id)) {
+            ++report.anonymous_named;
+        }
+        report.rows.push_back(row);
+    }
+
+    std::sort(report.rows.begin(), report.rows.end(),
+              [](const RecognitionRow& a, const RecognitionRow& b) {
+                  if (a.distinct_binaries != b.distinct_binaries) {
+                      return a.distinct_binaries > b.distinct_binaries;
+                  }
+                  return a.name < b.name;
+              });
+    return report;
+}
+
+}  // namespace siren::analytics

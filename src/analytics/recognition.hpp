@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytics/aggregate.hpp"
+#include "analytics/labeler.hpp"
+#include "recognize/registry.hpp"
+
+namespace siren::analytics {
+
+/// One software family discovered by running the recognition registry over
+/// a campaign's user-directory executables.
+struct RecognitionRow {
+    recognize::FamilyId family = 0;
+    std::string name;                 ///< label-derived, or "family-<id>"
+    std::size_t distinct_binaries = 0;  ///< sightings (distinct FILE_H)
+    std::size_t paths = 0;            ///< executable paths mapping here
+    std::uint64_t processes = 0;      ///< processes of those paths
+    std::size_t exemplars = 0;        ///< digests retained for matching
+    bool anonymous = false;           ///< never received a label
+};
+
+/// Outcome of campaign-scale recognition.
+struct RecognitionReport {
+    std::vector<RecognitionRow> rows;     ///< distinct-binaries descending
+    std::size_t sightings = 0;            ///< (path, FILE_H) pairs observed
+    std::size_t recognized = 0;           ///< landed in an existing family
+    std::size_t families_founded = 0;
+    std::size_t anonymous_named = 0;      ///< founded nameless, named later
+
+    double recognition_rate() const {
+        return sightings == 0 ? 0.0
+                              : static_cast<double>(recognized) /
+                                    static_cast<double>(sightings);
+    }
+};
+
+/// Feed every distinct user-directory executable binary (its FILE_H fuzzy
+/// digest) through an incremental recognition registry, using the regex
+/// labeler only as the *name hint* — grouping is purely similarity-based.
+///
+/// This operationalizes the paper's §1 claim pair: nondescript binaries
+/// (the labeler says UNKNOWN) still join the family of the software they
+/// are, and repeated executions of known software are recognized rather
+/// than re-investigated. Sightings are observed in (path, digest-string)
+/// order, so the report is deterministic for a given campaign.
+RecognitionReport recognition_report(const Aggregates& agg, const Labeler& labeler,
+                                     const recognize::RegistryOptions& options = {});
+
+}  // namespace siren::analytics

@@ -1,0 +1,101 @@
+#include "analytics/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "analytics/recognition.hpp"
+#include "analytics/security.hpp"
+#include "analytics/tables.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace siren::analytics {
+
+std::string to_markdown(const util::TextTable& table) {
+    std::string out = "| " + util::join(table.header(), " | ") + " |\n|";
+    for (std::size_t c = 0; c < table.cols(); ++c) out += " --- |";
+    out += '\n';
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        std::vector<std::string> cells;
+        cells.reserve(table.cols());
+        for (const auto& cell : table.row(r)) {
+            cells.push_back(util::replace_all(cell, "|", "\\|"));
+        }
+        out += "| " + util::join(cells, " | ") + " |\n";
+    }
+    return out;
+}
+
+std::string campaign_report_markdown(const Aggregates& agg, const Labeler& labeler) {
+    std::string md = "# SIREN Campaign Report\n\n";
+
+    md += "## Overview\n\n";
+    md += "- processes observed: " + util::with_commas(agg.total_processes) + "\n";
+    md += "- jobs observed: " + util::with_commas(agg.all_jobs.size()) + "\n";
+    md += "- distinct executables: " + util::with_commas(agg.execs.size()) + "\n";
+    md += "- participating users: " + util::with_commas(agg.users.size()) + "\n";
+    md += "- jobs with UDP-loss-damaged fields: " +
+          util::with_commas(agg.jobs_with_missing_fields.size()) + " (" +
+          util::fixed(agg.job_missing_ratio() * 100.0, 4) + "%)\n\n";
+
+    md += "## Users, jobs, processes (Table 2)\n\n" + to_markdown(table2_users(agg)) + "\n";
+    md += "## Top system executables (Table 3)\n\n" +
+          to_markdown(table3_system_execs(agg)) + "\n";
+    md += "## Shared-object deviations of bash (Table 4)\n\n" +
+          to_markdown(table4_object_variants(agg)) + "\n";
+    md += "## Derived software labels (Table 5)\n\n" +
+          to_markdown(table5_user_labels(agg, labeler)) + "\n";
+    md += "## Compiler provenance (Table 6)\n\n" + to_markdown(table6_compilers(agg)) + "\n";
+    md += "## Python interpreters (Table 8)\n\n" + to_markdown(table8_python(agg)) + "\n";
+    md += "## Library tags (Figure 2)\n\n" + to_markdown(fig2_library_tags(agg)) + "\n";
+    md += "## Imported Python packages (Figure 3)\n\n" +
+          to_markdown(fig3_python_packages(agg)) + "\n";
+    md += "## Compiler matrix (Figure 4)\n\n" +
+          to_markdown(fig4_compiler_matrix(agg, labeler)) + "\n";
+    md += "## Library matrix (Figure 5)\n\n" +
+          to_markdown(fig5_library_matrix(agg, labeler)) + "\n";
+
+    md += "## Security scan of Python imports\n\n";
+    const auto findings = SecurityScanner::with_defaults().scan(agg);
+    if (findings.empty()) {
+        md += "No findings.\n";
+    } else {
+        util::TextTable t({"Severity", "Package", "Kind", "Users", "Jobs", "Detail"});
+        for (const auto& f : findings) {
+            t.add_row({std::string(to_string(f.severity)), f.package, f.kind,
+                       std::to_string(f.users), std::to_string(f.jobs), f.detail});
+        }
+        md += to_markdown(t);
+    }
+
+    md += "\n## Recognition registry over user binaries\n\n";
+    const auto recognition = recognition_report(agg, labeler, {.match_threshold = 55});
+    md += "- distinct user binaries (sightings): " +
+          util::with_commas(recognition.sightings) + "\n";
+    md += "- recognized as already-known software: " +
+          util::with_commas(recognition.recognized) + " (" +
+          util::fixed(recognition.recognition_rate() * 100.0, 1) + "%)\n";
+    md += "- families founded: " + util::with_commas(recognition.families_founded) + "\n";
+    md += "- named families holding name-UNKNOWN binaries: " +
+          util::with_commas(recognition.anonymous_named) + "\n\n";
+    {
+        util::TextTable t({"Family", "Distinct binaries", "Paths", "Processes", "Named by"});
+        for (const auto& row : recognition.rows) {
+            t.add_row({row.name, std::to_string(row.distinct_binaries),
+                       std::to_string(row.paths), util::with_commas(row.processes),
+                       row.anonymous ? "(anonymous)" : "label"});
+        }
+        md += to_markdown(t);
+    }
+    return md;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+    std::ofstream out(p);
+    if (!out) throw util::SystemError("cannot write " + path);
+    out << content;
+}
+
+}  // namespace siren::analytics

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "analytics/aggregate.hpp"
+#include "analytics/labeler.hpp"
+#include "util/table.hpp"
+
+namespace siren::analytics {
+
+/// Render a TextTable as a GitHub-flavoured Markdown table.
+std::string to_markdown(const util::TextTable& table);
+
+/// Compose the full operator report (the "system usage report" use case of
+/// the paper's introduction): campaign summary, every table/figure, the
+/// loss accounting and the security scan, as one Markdown document.
+std::string campaign_report_markdown(const Aggregates& agg,
+                                     const Labeler& labeler = Labeler::default_rules());
+
+/// Write `content` to `path` (creating parent directories); throws
+/// siren::util::SystemError on failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace siren::analytics

@@ -1,0 +1,111 @@
+#include "analytics/security.hpp"
+
+#include <algorithm>
+
+#include "fuzzy/edit_distance.hpp"
+
+namespace siren::analytics {
+
+std::string_view to_string(Severity s) {
+    switch (s) {
+        case Severity::kInfo: return "info";
+        case Severity::kWarning: return "warning";
+        case Severity::kCritical: return "critical";
+    }
+    return "?";
+}
+
+SecurityScanner SecurityScanner::with_defaults() {
+    // A deliberately small built-in advisory set: packages whose *use* on a
+    // shared HPC system deserves a look, plus classic typo-bait names. A
+    // production deployment would sync this from safety-db / OSV.
+    std::vector<Advisory> advisories = {
+        {"pickle", Severity::kWarning,
+         "unsafe deserialization: pickle.loads on untrusted data executes code"},
+        {"ctypes", Severity::kInfo, "loads arbitrary native code into the interpreter"},
+        {"subprocess32", Severity::kWarning, "obsolete backport; unmaintained"},
+        {"request", Severity::kCritical, "typosquat of 'requests' seen on PyPI"},
+        {"urlib3", Severity::kCritical, "typosquat of 'urllib3' seen on PyPI"},
+        {"python-sqlite", Severity::kCritical, "known malicious PyPI upload"},
+    };
+
+    // Known-good registry: the stdlib modules SIREN's extractor can surface
+    // plus the popular scientific stack. Anything outside this set is
+    // flagged for review (slopsquatting defence).
+    std::vector<std::string> known = {
+        // stdlib C extensions (Figure 3 vocabulary)
+        "heapq", "struct", "math", "cmath", "posixsubprocess", "select", "blake2",
+        "hashlib", "bz2", "lzma", "zlib", "fcntl", "array", "binascii", "bisect", "csv",
+        "ctypes", "datetime", "decimal", "grp", "json", "mmap", "multiprocessing",
+        "opcode", "pickle", "queue", "random", "sha512", "sha3", "socket", "unicodedata",
+        "zoneinfo", "ssl", "asyncio", "sqlite3",
+        // scientific / HPC stack
+        "numpy", "scipy", "pandas", "mpi4py", "torch", "h5py", "netCDF4", "matplotlib",
+        "requests", "urllib3", "yaml", "dask", "numba", "cython", "sympy", "xarray",
+    };
+    return SecurityScanner(std::move(advisories), std::move(known));
+}
+
+SecurityScanner::SecurityScanner(std::vector<Advisory> advisories,
+                                 std::vector<std::string> known_packages)
+    : advisories_(std::move(advisories)), known_(std::move(known_packages)) {}
+
+std::string SecurityScanner::classify(const std::string& package, std::string* detail) const {
+    for (const auto& advisory : advisories_) {
+        if (advisory.package == package) {
+            if (detail != nullptr) *detail = advisory.summary;
+            return "advisory";
+        }
+    }
+    if (std::find(known_.begin(), known_.end(), package) != known_.end()) {
+        return {};
+    }
+    // Unknown package: check for near-misses of known names (typosquats /
+    // LLM hallucinations differ from the real package by a keystroke).
+    for (const auto& known : known_) {
+        if (known.size() < 4) continue;  // short names collide too easily
+        if (fuzzy::damerau_levenshtein(package, known) <= 1) {
+            if (detail != nullptr) {
+                *detail = "not in the package registry, 1 edit away from '" + known + "'";
+            }
+            return "slopsquat-suspect";
+        }
+    }
+    if (detail != nullptr) *detail = "package not present in the known-package registry";
+    return "unregistered";
+}
+
+std::vector<SecurityFinding> SecurityScanner::scan(const Aggregates& agg) const {
+    std::vector<SecurityFinding> findings;
+    for (const auto& [package, stat] : agg.packages) {
+        std::string detail;
+        const std::string kind = classify(package, &detail);
+        if (kind.empty()) continue;
+
+        SecurityFinding f;
+        f.package = package;
+        f.kind = kind;
+        f.detail = detail;
+        f.users = stat.users.size();
+        f.jobs = stat.jobs.size();
+        f.processes = stat.processes;
+        if (kind == "advisory") {
+            for (const auto& advisory : advisories_) {
+                if (advisory.package == package) f.severity = advisory.severity;
+            }
+        } else if (kind == "slopsquat-suspect") {
+            f.severity = Severity::kCritical;
+        } else {
+            f.severity = Severity::kInfo;
+        }
+        findings.push_back(std::move(f));
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const SecurityFinding& a, const SecurityFinding& b) {
+                  if (a.severity != b.severity) return a.severity > b.severity;
+                  return a.package < b.package;
+              });
+    return findings;
+}
+
+}  // namespace siren::analytics

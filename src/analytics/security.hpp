@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytics/aggregate.hpp"
+
+namespace siren::analytics {
+
+/// Finding severity, ordered.
+enum class Severity : std::uint8_t { kInfo = 0, kWarning = 1, kCritical = 2 };
+
+std::string_view to_string(Severity s);
+
+/// One entry of the advisory database (the paper's planned
+/// "cross-reference Python imports against known non-secure packages",
+/// §6 Future Work; cf. the safety-db reference [29]).
+struct Advisory {
+    std::string package;
+    Severity severity = Severity::kWarning;
+    std::string summary;
+};
+
+/// One security finding over the campaign data.
+struct SecurityFinding {
+    std::string package;
+    Severity severity = Severity::kInfo;
+    std::string kind;     ///< "advisory" | "slopsquat-suspect" | "audit"
+    std::string detail;
+    std::size_t users = 0;
+    std::size_t jobs = 0;
+    std::uint64_t processes = 0;
+};
+
+/// Scanner for imported Python packages:
+///  - advisory matches: packages listed in the advisory DB;
+///  - slopsquatting suspects: packages that are neither Python stdlib nor
+///    in the known-package registry, especially when within edit distance
+///    1-2 of a popular package name (LLM-hallucinated dependencies, §4.4);
+///  - audit notes: legitimate packages that warrant attention on shared
+///    systems (native code loading, unsafe deserialization).
+class SecurityScanner {
+public:
+    /// Built-in advisory DB + known-package registry.
+    static SecurityScanner with_defaults();
+
+    SecurityScanner(std::vector<Advisory> advisories,
+                    std::vector<std::string> known_packages);
+
+    /// Scan all imported packages recorded in the aggregates; findings are
+    /// sorted by severity (critical first), then package name.
+    std::vector<SecurityFinding> scan(const Aggregates& agg) const;
+
+    /// Classify one package name (exposed for tests).
+    /// Returns the kind string, empty when the package is unremarkable.
+    std::string classify(const std::string& package, std::string* detail) const;
+
+private:
+    std::vector<Advisory> advisories_;
+    std::vector<std::string> known_;
+};
+
+}  // namespace siren::analytics

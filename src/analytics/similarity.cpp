@@ -1,0 +1,73 @@
+#include "analytics/similarity.hpp"
+
+#include <algorithm>
+
+#include "fuzzy/fuzzy.hpp"
+
+namespace siren::analytics {
+
+using consolidate::Category;
+using consolidate::ProcessRecord;
+
+SimilarityScores score_records(const ProcessRecord& probe, const ProcessRecord& candidate) {
+    SimilarityScores s;
+    s.mo = fuzzy::compare(probe.modules_hash, candidate.modules_hash);
+    s.co = fuzzy::compare(probe.compilers_hash, candidate.compilers_hash);
+    s.ob = fuzzy::compare(probe.objects_hash, candidate.objects_hash);
+    s.fi = fuzzy::compare(probe.file_hash, candidate.file_hash);
+    s.st = fuzzy::compare(probe.strings_hash, candidate.strings_hash);
+    s.sy = fuzzy::compare(probe.symbols_hash, candidate.symbols_hash);
+    return s;
+}
+
+std::vector<SimilarityHit> similarity_search(const ProcessRecord& probe, const Aggregates& agg,
+                                             const Labeler& labeler, std::size_t top_n,
+                                             util::ThreadPool* pool) {
+    // Candidates: every labeled user executable other than the probe itself.
+    struct Candidate {
+        const ExeStat* exe;
+        std::string label;
+    };
+    std::vector<Candidate> candidates;
+    for (const auto& [path, exe] : agg.execs) {
+        if (exe.category != Category::kUser || !exe.has_sample) continue;
+        if (path == probe.exe_path) continue;
+        std::string label = labeler.label(path);
+        if (label == kUnknownLabel) continue;
+        candidates.push_back({&exe, std::move(label)});
+    }
+
+    std::vector<SimilarityHit> hits(candidates.size());
+    auto score_one = [&](std::size_t i) {
+        const Candidate& c = candidates[i];
+        SimilarityHit hit;
+        hit.exe_path = c.exe->path;
+        hit.label = c.label;
+        hit.scores = score_records(probe, c.exe->sample);
+        hit.average = hit.scores.average();
+        hits[i] = std::move(hit);
+    };
+
+    if (pool != nullptr && candidates.size() > 16) {
+        pool->parallel_for(candidates.size(), score_one);
+    } else {
+        for (std::size_t i = 0; i < candidates.size(); ++i) score_one(i);
+    }
+
+    std::sort(hits.begin(), hits.end(), [](const SimilarityHit& a, const SimilarityHit& b) {
+        if (a.average != b.average) return a.average > b.average;
+        return a.exe_path < b.exe_path;
+    });
+    if (hits.size() > top_n) hits.resize(top_n);
+    return hits;
+}
+
+const ProcessRecord* find_unknown_probe(const Aggregates& agg, const Labeler& labeler) {
+    for (const auto& [path, exe] : agg.execs) {
+        if (exe.category != Category::kUser || !exe.has_sample) continue;
+        if (labeler.label(path) == kUnknownLabel) return &exe.sample;
+    }
+    return nullptr;
+}
+
+}  // namespace siren::analytics

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytics/aggregate.hpp"
+#include "analytics/labeler.hpp"
+#include "consolidate/record.hpp"
+#include "util/thread_pool.hpp"
+
+namespace siren::analytics {
+
+/// The six fuzzy-hash dimensions of the paper's similarity search
+/// (Table 7): modules, compilers, shared objects, raw file, printable
+/// strings, global symbols.
+struct SimilarityScores {
+    int mo = 0;  ///< MO_H — modules list
+    int co = 0;  ///< CO_H — compilers list
+    int ob = 0;  ///< OB_H — shared objects list
+    int fi = 0;  ///< FI_H — raw executable bytes
+    int st = 0;  ///< ST_H — printable strings
+    int sy = 0;  ///< SY_H — global symbols
+
+    double average() const {
+        return (mo + co + ob + fi + st + sy) / 6.0;
+    }
+};
+
+/// One ranked search result.
+struct SimilarityHit {
+    std::string exe_path;
+    std::string label;
+    SimilarityScores scores;
+    double average = 0.0;
+};
+
+/// Compare two consolidated records across all six hash dimensions.
+SimilarityScores score_records(const consolidate::ProcessRecord& probe,
+                               const consolidate::ProcessRecord& candidate);
+
+/// The paper's identification workflow (§4.3 "Identifying Unknown
+/// Applications"): rank every *labeled* user executable by average
+/// similarity to an UNKNOWN probe. Parallelizes across candidates when a
+/// pool is supplied.
+std::vector<SimilarityHit> similarity_search(const consolidate::ProcessRecord& probe,
+                                             const Aggregates& agg, const Labeler& labeler,
+                                             std::size_t top_n = 10,
+                                             util::ThreadPool* pool = nullptr);
+
+/// Find the sample record of the first UNKNOWN-labeled user executable —
+/// the natural probe for the Table 7 experiment. Returns nullptr when
+/// every executable was labeled.
+const consolidate::ProcessRecord* find_unknown_probe(const Aggregates& agg,
+                                                     const Labeler& labeler);
+
+}  // namespace siren::analytics

@@ -1,0 +1,361 @@
+#include "analytics/tables.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "analytics/compilers.hpp"
+#include "analytics/libfilter.hpp"
+#include "util/strings.hpp"
+
+namespace siren::analytics {
+
+using consolidate::Category;
+using util::TextTable;
+
+UserNamer default_user_namer() {
+    return [](std::int64_t uid) {
+        if (uid >= 1001 && uid <= 1099) return "user_" + std::to_string(uid - 1000);
+        return "uid_" + std::to_string(uid);
+    };
+}
+
+namespace {
+
+std::string dash_or(std::uint64_t n) { return n == 0 ? "-" : util::with_commas(n); }
+
+/// Descending lexicographic sort over count tuples — the ordering used by
+/// every table caption in the paper.
+template <typename Row>
+void sort_rows(std::vector<Row>& rows) {
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) { return a.key > b.key; });
+}
+
+}  // namespace
+
+TextTable table2_users(const Aggregates& agg, const UserNamer& namer) {
+    struct Row {
+        std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t> key;
+        std::string name;
+        const UserStat* stat;
+    };
+    std::vector<Row> rows;
+    for (const auto& [uid, stat] : agg.users) {
+        rows.push_back({{stat.jobs.size(), stat.system_processes, stat.user_processes,
+                         stat.python_processes},
+                        namer(uid),
+                        &stat});
+    }
+    sort_rows(rows);
+
+    TextTable t({"User", "Job count", "System Dir. Processes", "User Dir. Processes",
+                 "Python Processes"});
+    std::uint64_t jobs = 0, sys = 0, usr = 0, py = 0;
+    for (const auto& row : rows) {
+        t.add_row({row.name, util::with_commas(row.stat->jobs.size()),
+                   dash_or(row.stat->system_processes), dash_or(row.stat->user_processes),
+                   dash_or(row.stat->python_processes)});
+        jobs += row.stat->jobs.size();
+        sys += row.stat->system_processes;
+        usr += row.stat->user_processes;
+        py += row.stat->python_processes;
+    }
+    t.add_row({"Total", util::with_commas(jobs), util::with_commas(sys), util::with_commas(usr),
+               util::with_commas(py)});
+    return t;
+}
+
+TextTable table3_system_execs(const Aggregates& agg, std::size_t top_n, std::size_t* total_out) {
+    struct Row {
+        std::tuple<std::size_t, std::size_t, std::uint64_t, std::size_t> key;
+        const ExeStat* exe;
+    };
+    std::vector<Row> rows;
+    std::size_t total = 0;
+    for (const auto& [path, exe] : agg.execs) {
+        if (exe.category != Category::kSystem) continue;
+        ++total;
+        rows.push_back(
+            {{exe.users.size(), exe.jobs.size(), exe.processes, exe.object_variants.size()},
+             &exe});
+    }
+    sort_rows(rows);
+    if (total_out != nullptr) *total_out = total;
+
+    TextTable t({"Executable Path & Name", "Unique Users", "Job Count", "Process Count",
+                 "Unique OBJECTS_H"});
+    for (std::size_t i = 0; i < rows.size() && i < top_n; ++i) {
+        const ExeStat& exe = *rows[i].exe;
+        t.add_row({exe.path, util::with_commas(exe.users.size()),
+                   util::with_commas(exe.jobs.size()), util::with_commas(exe.processes),
+                   util::with_commas(exe.object_variants.size())});
+    }
+    return t;
+}
+
+TextTable table4_object_variants(const Aggregates& agg, const std::string& exe_path) {
+    TextTable t({"Executable", "Processes", "libtinfo Path", "libm Path"});
+    auto it = agg.execs.find(exe_path);
+    if (it == agg.execs.end()) return t;
+
+    struct Row {
+        std::tuple<std::uint64_t> key;
+        const ObjectVariantStat* variant;
+    };
+    std::vector<Row> rows;
+    for (const auto& [hash, variant] : it->second.object_variants) {
+        rows.push_back({{variant.processes}, &variant});
+    }
+    sort_rows(rows);
+
+    auto find_object = [](const std::vector<std::string>& objects, std::string_view needle) {
+        for (const auto& o : objects) {
+            if (util::contains(o, needle)) return o;
+        }
+        return std::string("-");
+    };
+
+    std::uint64_t total = 0;
+    for (const auto& row : rows) {
+        t.add_row({exe_path, util::with_commas(row.variant->processes),
+                   find_object(row.variant->sample_objects, "libtinfo"),
+                   find_object(row.variant->sample_objects, "libm.")});
+        total += row.variant->processes;
+    }
+    t.add_row({"Total", util::with_commas(total), "", ""});
+    return t;
+}
+
+namespace {
+
+/// Shared accumulator for label-grouped statistics (Tables 5 and 6 group
+/// user executables by label / compiler combo).
+struct GroupStat {
+    std::set<std::int64_t> users;
+    std::set<std::uint64_t> jobs;
+    std::uint64_t processes = 0;
+    std::set<std::string> file_hashes;
+};
+
+template <typename KeyOf>
+std::map<std::string, GroupStat> group_user_execs(const Aggregates& agg, const KeyOf& key_of) {
+    std::map<std::string, GroupStat> groups;
+    for (const auto& [path, exe] : agg.execs) {
+        if (exe.category != Category::kUser) continue;
+        const std::string key = key_of(exe);
+        if (key.empty()) continue;
+        GroupStat& g = groups[key];
+        g.users.insert(exe.users.begin(), exe.users.end());
+        g.jobs.insert(exe.jobs.begin(), exe.jobs.end());
+        g.processes += exe.processes;
+        if (exe.file_hashes.empty()) {
+            // FILE_H lost for every process of this executable: still count
+            // the executable itself.
+            g.file_hashes.insert(path);
+        } else {
+            g.file_hashes.insert(exe.file_hashes.begin(), exe.file_hashes.end());
+        }
+    }
+    return groups;
+}
+
+TextTable render_grouped(const std::map<std::string, GroupStat>& groups,
+                         const std::string& key_header) {
+    struct Row {
+        std::tuple<std::size_t, std::size_t, std::uint64_t, std::size_t> key;
+        const std::string* name;
+        const GroupStat* stat;
+    };
+    std::vector<Row> rows;
+    for (const auto& [name, stat] : groups) {
+        rows.push_back(
+            {{stat.users.size(), stat.jobs.size(), stat.processes, stat.file_hashes.size()},
+             &name,
+             &stat});
+    }
+    sort_rows(rows);
+
+    TextTable t({key_header, "Unique Users", "Job Count", "Process Count", "Unique FILE_H"});
+    for (const auto& row : rows) {
+        t.add_row({*row.name, util::with_commas(row.stat->users.size()),
+                   util::with_commas(row.stat->jobs.size()),
+                   util::with_commas(row.stat->processes),
+                   util::with_commas(row.stat->file_hashes.size())});
+    }
+    return t;
+}
+
+}  // namespace
+
+TextTable table5_user_labels(const Aggregates& agg, const Labeler& labeler) {
+    const auto groups =
+        group_user_execs(agg, [&](const ExeStat& exe) { return labeler.label(exe.path); });
+    return render_grouped(groups, "Software Label");
+}
+
+TextTable table6_compilers(const Aggregates& agg) {
+    const auto groups = group_user_execs(agg, [](const ExeStat& exe) {
+        if (!exe.has_sample || exe.sample.compilers.empty()) return std::string();
+        return render_combo(compiler_provenances(exe.sample.compilers));
+    });
+    return render_grouped(groups, "Compiler Name [Provenance]");
+}
+
+TextTable table8_python(const Aggregates& agg) {
+    struct Row {
+        std::tuple<std::size_t, std::size_t, std::uint64_t, std::size_t> key;
+        const std::string* name;
+        const InterpreterStat* stat;
+    };
+    std::vector<Row> rows;
+    for (const auto& [name, stat] : agg.interpreters) {
+        rows.push_back(
+            {{stat.users.size(), stat.jobs.size(), stat.processes, stat.script_hashes.size()},
+             &name,
+             &stat});
+    }
+    sort_rows(rows);
+
+    TextTable t({"Python Interpreter", "Unique Users", "Job Count", "Process Count",
+                 "Unique SCRIPT_H"});
+    for (const auto& row : rows) {
+        t.add_row({*row.name, util::with_commas(row.stat->users.size()),
+                   util::with_commas(row.stat->jobs.size()),
+                   util::with_commas(row.stat->processes),
+                   util::with_commas(row.stat->script_hashes.size())});
+    }
+    return t;
+}
+
+TextTable fig2_library_tags(const Aggregates& agg) {
+    struct TagStat {
+        std::set<std::int64_t> users;
+        std::set<std::uint64_t> jobs;
+        std::uint64_t processes = 0;
+        std::set<std::string> execs;
+    };
+    std::map<std::string, TagStat> tags;
+    for (const auto& [path, exe] : agg.execs) {
+        if (exe.category != Category::kUser) continue;
+        // Union of tags across all object-set variants of this executable.
+        std::set<std::string> exe_tags;
+        for (const auto& [hash, variant] : exe.object_variants) {
+            for (auto& tag : derive_library_tags(variant.sample_objects)) {
+                exe_tags.insert(std::move(tag));
+            }
+        }
+        for (const auto& tag : exe_tags) {
+            TagStat& stat = tags[tag];
+            stat.users.insert(exe.users.begin(), exe.users.end());
+            stat.jobs.insert(exe.jobs.begin(), exe.jobs.end());
+            stat.processes += exe.processes;
+            stat.execs.insert(path);
+        }
+    }
+
+    struct Row {
+        std::tuple<std::size_t, std::size_t, std::uint64_t, std::size_t> key;
+        const std::string* name;
+        const TagStat* stat;
+    };
+    std::vector<Row> rows;
+    for (const auto& [name, stat] : tags) {
+        rows.push_back({{stat.users.size(), stat.jobs.size(), stat.processes, stat.execs.size()},
+                        &name,
+                        &stat});
+    }
+    sort_rows(rows);
+
+    TextTable t({"Library Tag", "Unique Users", "Jobs", "Processes", "Unique Executables"});
+    for (const auto& row : rows) {
+        t.add_row({*row.name, util::with_commas(row.stat->users.size()),
+                   util::with_commas(row.stat->jobs.size()),
+                   util::with_commas(row.stat->processes),
+                   util::with_commas(row.stat->execs.size())});
+    }
+    return t;
+}
+
+TextTable fig3_python_packages(const Aggregates& agg) {
+    struct Row {
+        std::tuple<std::size_t, std::size_t, std::uint64_t, std::size_t> key;
+        const std::string* name;
+        const PackageStat* stat;
+    };
+    std::vector<Row> rows;
+    for (const auto& [name, stat] : agg.packages) {
+        rows.push_back(
+            {{stat.users.size(), stat.jobs.size(), stat.processes, stat.scripts.size()},
+             &name,
+             &stat});
+    }
+    sort_rows(rows);
+
+    TextTable t({"Package", "Unique Users", "Jobs", "Processes", "Unique Python Scripts"});
+    for (const auto& row : rows) {
+        t.add_row({*row.name, util::with_commas(row.stat->users.size()),
+                   util::with_commas(row.stat->jobs.size()),
+                   util::with_commas(row.stat->processes),
+                   util::with_commas(row.stat->scripts.size())});
+    }
+    return t;
+}
+
+namespace {
+
+/// Shared shape of the Figure 4/5 matrices: labels x feature columns.
+TextTable render_matrix(const std::map<std::string, std::set<std::string>>& label_features,
+                        const std::vector<std::string>& columns,
+                        const std::string& key_header) {
+    std::vector<std::string> headers = {key_header};
+    headers.insert(headers.end(), columns.begin(), columns.end());
+    TextTable t(std::move(headers));
+    for (const auto& [label, features] : label_features) {
+        std::vector<std::string> row = {label};
+        for (const auto& col : columns) {
+            row.push_back(features.count(col) != 0 ? "1" : "0");
+        }
+        t.add_row(std::move(row));
+    }
+    return t;
+}
+
+}  // namespace
+
+TextTable fig4_compiler_matrix(const Aggregates& agg, const Labeler& labeler) {
+    std::map<std::string, std::set<std::string>> label_compilers;
+    std::set<std::string> seen;
+    for (const auto& [path, exe] : agg.execs) {
+        if (exe.category != Category::kUser || !exe.has_sample) continue;
+        const std::string label = labeler.label(path);
+        if (label == kUnknownLabel) continue;
+        for (const auto& prov : compiler_provenances(exe.sample.compilers)) {
+            label_compilers[label].insert(prov);
+            seen.insert(prov);
+        }
+    }
+    std::vector<std::string> columns;
+    for (const auto& prov : compiler_provenance_order()) {
+        if (seen.count(prov) != 0) columns.push_back(prov);
+    }
+    return render_matrix(label_compilers, columns, "Software Label");
+}
+
+TextTable fig5_library_matrix(const Aggregates& agg, const Labeler& labeler) {
+    std::map<std::string, std::set<std::string>> label_tags;
+    std::set<std::string> seen;
+    for (const auto& [path, exe] : agg.execs) {
+        if (exe.category != Category::kUser) continue;
+        const std::string label = labeler.label(path);
+        if (label == kUnknownLabel) continue;
+        for (const auto& [hash, variant] : exe.object_variants) {
+            for (const auto& tag : derive_library_tags(variant.sample_objects)) {
+                label_tags[label].insert(tag);
+                seen.insert(tag);
+            }
+        }
+    }
+    std::vector<std::string> columns(seen.begin(), seen.end());
+    return render_matrix(label_tags, columns, "Software Label");
+}
+
+}  // namespace siren::analytics

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "analytics/aggregate.hpp"
+#include "analytics/labeler.hpp"
+#include "util/table.hpp"
+
+namespace siren::analytics {
+
+/// Renders a UID as the anonymized user name. The default mirrors the
+/// paper's anonymization scheme against the campaign catalog (uid 1001 ->
+/// "user_1").
+using UserNamer = std::function<std::string(std::int64_t)>;
+UserNamer default_user_namer();
+
+/// Table 2: per-user jobs and processes by category, plus a Total row.
+util::TextTable table2_users(const Aggregates& agg, const UserNamer& namer = default_user_namer());
+
+/// Table 3: top-N executables from system directories with unique
+/// OBJECTS_H counts. Also reports the total number of distinct system
+/// executables via `total_out` when non-null.
+util::TextTable table3_system_execs(const Aggregates& agg, std::size_t top_n = 10,
+                                    std::size_t* total_out = nullptr);
+
+/// Table 4: distinct shared-object sets of one executable (default
+/// /usr/bin/bash), with the deviating libtinfo/libm paths.
+util::TextTable table4_object_variants(const Aggregates& agg,
+                                       const std::string& exe_path = "/usr/bin/bash");
+
+/// Table 5: derived labels for user applications (regex labeler) with
+/// unique FILE_H counts.
+util::TextTable table5_user_labels(const Aggregates& agg,
+                                   const Labeler& labeler = Labeler::default_rules());
+
+/// Table 6: compiler provenance combinations of user applications.
+util::TextTable table6_compilers(const Aggregates& agg);
+
+/// Table 8: Python interpreters with unique SCRIPT_H counts.
+util::TextTable table8_python(const Aggregates& agg);
+
+/// Figure 2 (as a table): derived+filtered library tags with unique
+/// users/jobs/processes/executables.
+util::TextTable fig2_library_tags(const Aggregates& agg);
+
+/// Figure 3 (as a table): imported Python packages.
+util::TextTable fig3_python_packages(const Aggregates& agg);
+
+/// Figure 4: compiler provenance x software label 0/1 matrix.
+util::TextTable fig4_compiler_matrix(const Aggregates& agg,
+                                     const Labeler& labeler = Labeler::default_rules());
+
+/// Figure 5: library tag x software label 0/1 matrix.
+util::TextTable fig5_library_matrix(const Aggregates& agg,
+                                    const Labeler& labeler = Labeler::default_rules());
+
+}  // namespace siren::analytics

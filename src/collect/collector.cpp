@@ -1,0 +1,173 @@
+#include "collect/collector.hpp"
+
+#include "elfio/elfio.hpp"
+#include "fuzzy/fuzzy.hpp"
+#include "hashing/xxhash.hpp"
+#include "net/chunker.hpp"
+#include "net/codec.hpp"
+#include "sim/modules.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace siren::collect {
+
+Collector::Collector(const FileStore& store, net::Transport& transport,
+                     CollectorOptions options)
+    : store_(store), transport_(transport), options_(options) {}
+
+std::string Collector::exe_path_hash(const std::string& path) {
+    return hash::xxh128(path).hex();
+}
+
+std::string render_ids_content(const sim::SimProcess& p) {
+    std::string out;
+    out += "pid=" + std::to_string(p.pid);
+    out += " ppid=" + std::to_string(p.ppid);
+    out += " uid=" + std::to_string(p.uid);
+    out += " gid=" + std::to_string(p.gid);
+    out += " procid=" + std::to_string(p.slurm_procid);
+    out += " exe=" + p.exe_path;
+    return out;
+}
+
+std::string render_objects_content(const sim::SimProcess& p) {
+    return util::join(p.loaded_objects, "\n");
+}
+
+std::string render_modules_content(const sim::SimProcess& p) {
+    return sim::ModuleSystem::loadedmodules_value(p.loaded_modules);
+}
+
+std::string render_memmap_content(const sim::SimProcess& p) {
+    std::vector<std::string> lines;
+    lines.reserve(p.memory_map.size());
+    for (const auto& entry : p.memory_map) lines.push_back(entry.render());
+    return util::join(lines, "\n");
+}
+
+std::size_t Collector::send_field(const net::Message& header, net::MsgType type,
+                                  const std::string& content) {
+    net::Message typed = header;
+    typed.type = type;
+    std::size_t sent = 0;
+    for (const auto& chunk : net::chunk_content(typed, content, options_.max_datagram)) {
+        transport_.send(net::encode(chunk));
+        ++sent;
+    }
+    stats_.datagrams_sent.fetch_add(sent, std::memory_order_relaxed);
+    return sent;
+}
+
+std::size_t Collector::collect(const sim::SimProcess& process) noexcept {
+    stats_.processes_seen.fetch_add(1, std::memory_order_relaxed);
+    if (options_.only_rank_zero && process.slurm_procid != 0) {
+        stats_.processes_skipped_rank.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+    }
+    if (!options_.collect_containers && process.in_container) {
+        stats_.processes_skipped_container.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+    }
+    try {
+        const std::size_t sent = collect_impl(process);
+        stats_.processes_collected.fetch_add(1, std::memory_order_relaxed);
+        return sent;
+    } catch (const std::exception& e) {
+        // Graceful failure: the hooked process must never be disturbed.
+        stats_.collection_errors.fetch_add(1, std::memory_order_relaxed);
+        util::log_debug(std::string("collector: swallowing error: ") + e.what());
+        return 0;
+    } catch (...) {
+        stats_.collection_errors.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+    }
+}
+
+std::size_t Collector::collect_impl(const sim::SimProcess& p) {
+    const Scope scope = classify(p);
+    const Policy policy = Policy::for_scope(scope);
+
+    net::Message header;
+    header.job_id = p.job_id;
+    header.step_id = p.step_id;
+    header.pid = p.pid;
+    header.exe_hash = exe_path_hash(p.exe_path);
+    header.host = p.host;
+    header.time = p.start_time;
+    header.layer = net::Layer::kSelf;
+
+    std::size_t sent = 0;
+
+    // Identifiers are always collected; they are the record's backbone.
+    sent += send_field(header, net::MsgType::kIds, render_ids_content(p));
+
+    if (policy.file_meta) {
+        sent += send_field(header, net::MsgType::kFileMeta, p.exe_meta.render());
+    }
+
+    if (policy.libraries) {
+        const std::string objects = render_objects_content(p);
+        sent += send_field(header, net::MsgType::kObjects, objects);
+        sent += send_field(header, net::MsgType::kObjectsHash,
+                           fuzzy::fuzzy_hash(objects).to_string());
+    }
+
+    if (policy.modules) {
+        const std::string modules = render_modules_content(p);
+        sent += send_field(header, net::MsgType::kModules, modules);
+        sent += send_field(header, net::MsgType::kModulesHash,
+                           fuzzy::fuzzy_hash(modules).to_string());
+    }
+
+    if (policy.memory_map) {
+        const std::string maps = render_memmap_content(p);
+        sent += send_field(header, net::MsgType::kMemMap, maps);
+        sent += send_field(header, net::MsgType::kMemMapHash,
+                           fuzzy::fuzzy_hash(maps).to_string());
+    }
+
+    if (policy.compilers || policy.file_hash || policy.strings_hash || policy.symbols_hash) {
+        // All four come from the executable image; derived data is memoized
+        // per path so repeated executions don't re-hash.
+        const DerivedInfo& derived = store_.derived(p.exe_path);
+        if (policy.compilers) {
+            const std::string compilers = util::join(derived.compilers, "\n");
+            sent += send_field(header, net::MsgType::kCompilers, compilers);
+            sent += send_field(header, net::MsgType::kCompilersHash,
+                               fuzzy::fuzzy_hash(compilers).to_string());
+        }
+        if (policy.file_hash) {
+            sent += send_field(header, net::MsgType::kFileHash, derived.file_hash);
+        }
+        if (policy.strings_hash) {
+            sent += send_field(header, net::MsgType::kStringsHash, derived.strings_hash);
+        }
+        if (policy.symbols_hash) {
+            sent += send_field(header, net::MsgType::kSymbolsHash, derived.symbols_hash);
+        }
+    }
+
+    // Python input script: its own (sub-)scope on the SCRIPT layer of the
+    // same process (merged back into the interpreter row during
+    // consolidation).
+    if (scope == Scope::kPythonInterpreter && p.python && !p.python->script_path.empty()) {
+        const Policy script_policy = Policy::for_scope(Scope::kPythonScript);
+        net::Message script_header = header;
+        script_header.layer = net::Layer::kScript;
+
+        sent += send_field(script_header, net::MsgType::kIds,
+                           "script=" + p.python->script_path);
+        if (script_policy.file_meta) {
+            sent += send_field(script_header, net::MsgType::kFileMeta,
+                               p.python->script_meta.render());
+        }
+        if (script_policy.file_hash) {
+            sent += send_field(script_header, net::MsgType::kScriptHash,
+                               fuzzy::fuzzy_hash(p.python->script_content).to_string());
+        }
+    }
+
+    return sent;
+}
+
+}  // namespace siren::collect

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "collect/exe_store.hpp"
+#include "collect/policy.hpp"
+#include "net/channel.hpp"
+#include "sim/cluster.hpp"
+
+namespace siren::collect {
+
+/// Collector configuration.
+struct CollectorOptions {
+    /// Collect only for SLURM_PROCID == 0 (skip duplicate MPI ranks),
+    /// paper §3.1 "Selective Data Collection".
+    bool only_rank_zero = true;
+    /// Collect processes running inside containers. Default matches the
+    /// paper's limitation (siren.so is not mounted into the container);
+    /// enabling it models the future-work extension of §6.
+    bool collect_containers = false;
+    /// Maximum datagram payload handed to the transport.
+    std::size_t max_datagram = 1400;
+};
+
+/// Per-collector counters.
+struct CollectorStats {
+    std::atomic<std::uint64_t> processes_seen{0};
+    std::atomic<std::uint64_t> processes_collected{0};
+    std::atomic<std::uint64_t> processes_skipped_rank{0};
+    std::atomic<std::uint64_t> processes_skipped_container{0};
+    std::atomic<std::uint64_t> datagrams_sent{0};
+    std::atomic<std::uint64_t> collection_errors{0};
+};
+
+/// The in-process data-collection logic of siren.so, applied to simulated
+/// processes: given everything a hooked process can observe about itself,
+/// emit the SIREN message set for its scope through a Transport.
+///
+/// collect() is thread-safe (the campaign generator shards users over a
+/// pool) and never throws: any internal failure increments
+/// collection_errors and leaves the "user process" untouched — the
+/// graceful-failure contract of the paper.
+class Collector {
+public:
+    Collector(const FileStore& store, net::Transport& transport,
+              CollectorOptions options = {});
+
+    /// Observe one process; returns the number of datagrams sent.
+    std::size_t collect(const sim::SimProcess& process) noexcept;
+
+    const CollectorStats& stats() const { return stats_; }
+
+    /// The HASH header value for an executable path (hex xxh128) — exposed
+    /// because consolidation recomputes it for exec()-chain checks.
+    static std::string exe_path_hash(const std::string& path);
+
+private:
+    std::size_t collect_impl(const sim::SimProcess& process);
+    std::size_t send_field(const net::Message& header, net::MsgType type,
+                           const std::string& content);
+
+    const FileStore& store_;
+    net::Transport& transport_;
+    CollectorOptions options_;
+    CollectorStats stats_;
+};
+
+/// Canonical CONTENT renderings shared by collector and consolidation.
+std::string render_ids_content(const sim::SimProcess& process);
+std::string render_objects_content(const sim::SimProcess& process);
+std::string render_modules_content(const sim::SimProcess& process);
+std::string render_memmap_content(const sim::SimProcess& process);
+
+}  // namespace siren::collect

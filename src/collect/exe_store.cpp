@@ -1,0 +1,88 @@
+#include "collect/exe_store.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "elfio/elfio.hpp"
+#include "fuzzy/fuzzy.hpp"
+#include "util/error.hpp"
+
+namespace siren::collect {
+
+DerivedInfo compute_derived(const std::vector<std::uint8_t>& bytes) {
+    DerivedInfo d;
+    d.file_hash = fuzzy::fuzzy_hash(bytes).to_string();
+
+    const auto strings = elfio::printable_strings(bytes);
+    d.strings_hash = fuzzy::fuzzy_hash(elfio::strings_blob(strings)).to_string();
+
+    if (elfio::Reader::looks_like_elf(bytes)) {
+        try {
+            const elfio::Reader reader(bytes);
+            d.compilers = reader.comment_strings();
+            const auto symbols = reader.global_symbol_names();
+            d.symbols_hash = fuzzy::fuzzy_hash(elfio::strings_blob(symbols)).to_string();
+            d.is_elf = true;
+        } catch (const util::ParseError&) {
+            // Malformed ELF: keep the byte-level hashes, leave ELF-derived
+            // fields empty. Collection must degrade, not fail.
+            d.is_elf = false;
+        }
+    }
+    return d;
+}
+
+void FileStore::register_executable(const std::string& path, ExecutableImage image) {
+    std::unique_lock lock(mutex_);
+    images_[path] = std::move(image);
+    derived_.erase(path);
+}
+
+bool FileStore::contains(const std::string& path) const {
+    std::shared_lock lock(mutex_);
+    return images_.find(path) != images_.end();
+}
+
+const ExecutableImage& FileStore::image(const std::string& path) const {
+    std::shared_lock lock(mutex_);
+    auto it = images_.find(path);
+    util::require(it != images_.end(), "no executable registered at " + path);
+    return it->second;
+}
+
+const DerivedInfo& FileStore::derived(const std::string& path) const {
+    {
+        std::shared_lock lock(mutex_);
+        auto it = derived_.find(path);
+        if (it != derived_.end()) return *it->second;
+    }
+    // Compute outside any lock (hashing can take milliseconds), then
+    // publish; a concurrent duplicate computation is harmless.
+    const ExecutableImage* img = nullptr;
+    {
+        std::shared_lock lock(mutex_);
+        auto it = images_.find(path);
+        util::require(it != images_.end(), "no executable registered at " + path);
+        img = &it->second;
+    }
+    auto computed = std::make_unique<DerivedInfo>(compute_derived(img->bytes));
+    std::unique_lock lock(mutex_);
+    auto [it, inserted] = derived_.try_emplace(path, std::move(computed));
+    return *it->second;
+}
+
+std::size_t FileStore::size() const {
+    std::shared_lock lock(mutex_);
+    return images_.size();
+}
+
+std::vector<std::string> FileStore::paths() const {
+    std::shared_lock lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(images_.size());
+    for (const auto& [path, image] : images_) out.push_back(path);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace siren::collect

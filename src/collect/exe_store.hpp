@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace siren::collect {
+
+/// Derived artifacts of one executable image, computed once and shared by
+/// every process that runs it (the campaign has 2.3M processes but only a
+/// few hundred distinct executables; hashing per process would dominate
+/// runtime and is what the paper's "selective data collection" avoids).
+struct DerivedInfo {
+    std::vector<std::string> compilers;     ///< .comment identification strings
+    std::string file_hash;                  ///< FILE_H fuzzy digest
+    std::string strings_hash;               ///< STRINGS_H fuzzy digest
+    std::string symbols_hash;               ///< SYMBOLS_H fuzzy digest
+    bool is_elf = false;
+};
+
+/// One executable known to the simulated filesystem.
+struct ExecutableImage {
+    std::vector<std::uint8_t> bytes;
+    sim::FileMeta meta;
+};
+
+/// The simulated filesystem's view of executable files: path -> image,
+/// with a thread-safe cache of DerivedInfo. register_executable is called
+/// by the workload generator; lookups come from collector threads.
+class FileStore {
+public:
+    /// Register (or replace) the image behind a path. Invalidates cached
+    /// derived data for that path.
+    void register_executable(const std::string& path, ExecutableImage image);
+
+    bool contains(const std::string& path) const;
+
+    /// Throws siren::util::Error when the path is unknown.
+    const ExecutableImage& image(const std::string& path) const;
+
+    /// Compute-or-fetch the derived artifacts for a path. Safe to call from
+    /// many threads; the first caller computes, the rest wait on the shared
+    /// lock only briefly.
+    const DerivedInfo& derived(const std::string& path) const;
+
+    std::size_t size() const;
+
+    /// All registered paths (sorted) — used by analytics when enumerating
+    /// unique executables.
+    std::vector<std::string> paths() const;
+
+private:
+    mutable std::shared_mutex mutex_;
+    std::unordered_map<std::string, ExecutableImage> images_;
+    // unique_ptr keeps DerivedInfo addresses stable across rehashing.
+    mutable std::unordered_map<std::string, std::unique_ptr<DerivedInfo>> derived_;
+};
+
+/// Compute derived artifacts from raw bytes (exposed for tests and for the
+/// preload path where no FileStore exists).
+DerivedInfo compute_derived(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace siren::collect

@@ -1,0 +1,51 @@
+#include "collect/policy.hpp"
+
+namespace siren::collect {
+
+std::string_view to_string(Scope scope) {
+    switch (scope) {
+        case Scope::kSystemExecutable: return "system";
+        case Scope::kUserExecutable: return "user";
+        case Scope::kPythonInterpreter: return "python-interpreter";
+        case Scope::kPythonScript: return "python-script";
+    }
+    return "?";
+}
+
+Policy Policy::for_scope(Scope scope) {
+    Policy p;
+    switch (scope) {
+        case Scope::kSystemExecutable:
+            p.file_meta = true;
+            p.libraries = true;
+            break;
+        case Scope::kUserExecutable:
+            p.file_meta = true;
+            p.libraries = true;
+            p.modules = true;
+            p.compilers = true;
+            p.memory_map = true;
+            p.file_hash = true;
+            p.strings_hash = true;
+            p.symbols_hash = true;
+            break;
+        case Scope::kPythonInterpreter:
+            p.file_meta = true;
+            p.libraries = true;
+            p.memory_map = true;
+            break;
+        case Scope::kPythonScript:
+            p.file_meta = true;
+            p.file_hash = true;
+            break;
+    }
+    return p;
+}
+
+Scope classify(const sim::SimProcess& process) {
+    if (process.is_python()) return Scope::kPythonInterpreter;
+    return process.path_category() == sim::PathCategory::kSystem ? Scope::kSystemExecutable
+                                                                 : Scope::kUserExecutable;
+}
+
+}  // namespace siren::collect

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "sim/cluster.hpp"
+
+namespace siren::collect {
+
+/// Collection scopes (paper Table 1). A Python *script* is a sub-scope of
+/// a Python interpreter process: its data rides on the SCRIPT layer of the
+/// same process record.
+enum class Scope : std::uint8_t {
+    kSystemExecutable = 0,
+    kUserExecutable = 1,
+    kPythonInterpreter = 2,
+    kPythonScript = 3,
+};
+
+std::string_view to_string(Scope scope);
+
+/// What to collect for one scope — the exact ✓/✗ matrix of Table 1.
+/// Rationale: hashing /usr/bin/bash on every one of 161k bash launches
+/// would be pure overhead; system executables are fully known to operators.
+struct Policy {
+    bool file_meta = false;
+    bool libraries = false;
+    bool modules = false;
+    bool compilers = false;
+    bool memory_map = false;
+    bool file_hash = false;
+    bool strings_hash = false;
+    bool symbols_hash = false;
+
+    static Policy for_scope(Scope scope);
+};
+
+/// Classify a process into its collection scope (paper §3.1): a Python
+/// interpreter from a system directory is Python; one installed in a user
+/// directory counts as a plain user executable.
+Scope classify(const sim::SimProcess& process);
+
+}  // namespace siren::collect

@@ -1,0 +1,52 @@
+#include "collect/python.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace siren::collect {
+
+namespace {
+
+/// "_heapq.cpython-310-x86_64-linux-gnu.so" -> "heapq"
+std::string module_from_dynload(std::string_view filename) {
+    std::string_view name = filename;
+    const std::size_t dot = name.find('.');
+    if (dot != std::string_view::npos) name = name.substr(0, dot);
+    if (!name.empty() && name.front() == '_') name.remove_prefix(1);
+    return std::string(name);
+}
+
+/// First path component after the marker directory.
+std::string first_component_after(std::string_view path, std::string_view marker) {
+    const std::size_t pos = path.find(marker);
+    if (pos == std::string_view::npos) return {};
+    std::string_view rest = path.substr(pos + marker.size());
+    const std::size_t slash = rest.find('/');
+    std::string_view component = slash == std::string_view::npos ? rest : rest.substr(0, slash);
+    // "mpi4py.libs" and similar vendored-lib dirs belong to the package.
+    const std::size_t dot = component.find('.');
+    if (dot != std::string_view::npos) component = component.substr(0, dot);
+    return std::string(component);
+}
+
+}  // namespace
+
+std::vector<std::string> extract_python_packages(const std::vector<std::string>& map_paths) {
+    std::vector<std::string> out;
+    for (const auto& path : map_paths) {
+        if (path.empty()) continue;
+        if (util::contains(path, "/lib-dynload/")) {
+            const std::string name = module_from_dynload(util::basename(path));
+            if (!name.empty()) out.push_back(name);
+        } else if (util::contains(path, "/site-packages/")) {
+            const std::string name = first_component_after(path, "/site-packages/");
+            if (!name.empty()) out.push_back(name);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+}  // namespace siren::collect

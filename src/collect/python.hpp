@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace siren::collect {
+
+/// Extract imported Python package names from the file paths of a Python
+/// interpreter's memory map (paper §4.4): native extension modules appear
+/// as mapped .so files under lib-dynload/ or site-packages/.
+///
+/// Rules, matching how the paper's package names read (heapq, struct,
+/// blake2, mpi4py, numpy, ...):
+///  - ".../lib-dynload/_heapq.cpython-310-....so"  -> "heapq"
+///    (leading underscore of private C implementations is stripped)
+///  - ".../site-packages/numpy/core/....so"        -> "numpy"
+///  - ".../site-packages/mpi4py.libs/..."          -> "mpi4py"
+/// Non-Python mappings (ld.so, libc, the interpreter binary) are ignored.
+/// The result is sorted and deduplicated.
+std::vector<std::string> extract_python_packages(const std::vector<std::string>& map_paths);
+
+}  // namespace siren::collect

@@ -1,0 +1,245 @@
+#include "consolidate/consolidator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "collect/policy.hpp"
+#include "collect/python.hpp"
+#include "db/message_store.hpp"
+#include "net/chunker.hpp"
+#include "sim/fsnames.hpp"
+#include "util/strings.hpp"
+
+namespace siren::consolidate {
+
+namespace {
+
+/// Parse the IDS content ("pid=.. ppid=.. uid=.. gid=.. procid=.. exe=..").
+void parse_ids(const std::string& content, ProcessRecord& r) {
+    const std::size_t exe_pos = content.find("exe=");
+    if (exe_pos != std::string::npos) {
+        r.exe_path = content.substr(exe_pos + 4);
+    }
+    for (const auto& token : util::split_nonempty(
+             exe_pos == std::string::npos ? content : content.substr(0, exe_pos), ' ')) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos) continue;
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (value.empty()) continue;
+        try {
+            if (key == "pid") r.pid = std::stoll(value);
+            else if (key == "ppid") r.ppid = std::stoll(value);
+            else if (key == "uid") r.uid = std::stoll(value);
+            else if (key == "gid") r.gid = std::stoll(value);
+            else if (key == "procid") r.slurm_procid = static_cast<std::uint32_t>(std::stoul(value));
+        } catch (...) {
+            // Damaged numeric field (truncated chunk): leave default.
+        }
+    }
+}
+
+Category categorize(const std::string& exe_path) {
+    if (exe_path.empty()) return Category::kUnknown;
+    if (sim::is_python_interpreter(exe_path) &&
+        sim::categorize_path(exe_path) == sim::PathCategory::kSystem) {
+        return Category::kPython;
+    }
+    return sim::categorize_path(exe_path) == sim::PathCategory::kSystem ? Category::kSystem
+                                                                        : Category::kUser;
+}
+
+std::vector<std::string> memmap_file_paths(const std::string& content) {
+    std::vector<std::string> out;
+    for (const auto& line : util::split_nonempty(content, '\n')) {
+        // "<start>-<end> <perms> <path>"; path may be empty for anon maps.
+        const auto fields = util::split_nonempty(line, ' ');
+        if (fields.size() >= 3) out.push_back(fields[2]);
+    }
+    return out;
+}
+
+void apply_field(ProcessRecord& r, net::Layer layer, net::MsgType type,
+                 const std::string& content) {
+    using net::Layer;
+    using net::MsgType;
+
+    if (layer == Layer::kScript) {
+        switch (type) {
+            case MsgType::kIds:
+                if (util::starts_with(content, "script=")) r.script_path = content.substr(7);
+                break;
+            case MsgType::kFileMeta:
+                try {
+                    r.script_meta = sim::FileMeta::parse(content);
+                } catch (...) {
+                    // truncated metadata: leave unset
+                }
+                break;
+            case MsgType::kScriptHash: r.script_hash = content; break;
+            default: break;
+        }
+        return;
+    }
+
+    switch (type) {
+        case MsgType::kIds: parse_ids(content, r); break;
+        case MsgType::kFileMeta:
+            try {
+                r.exe_meta = sim::FileMeta::parse(content);
+            } catch (...) {
+            }
+            break;
+        case MsgType::kModules: r.modules = util::split_nonempty(content, ':'); break;
+        case MsgType::kObjects: r.objects = util::split_nonempty(content, '\n'); break;
+        case MsgType::kCompilers: r.compilers = util::split_nonempty(content, '\n'); break;
+        case MsgType::kMemMap: r.memmap_paths = memmap_file_paths(content); break;
+        case MsgType::kModulesHash: r.modules_hash = content; break;
+        case MsgType::kObjectsHash: r.objects_hash = content; break;
+        case MsgType::kCompilersHash: r.compilers_hash = content; break;
+        case MsgType::kMemMapHash: r.memmap_hash = content; break;
+        case MsgType::kFileHash: r.file_hash = content; break;
+        case MsgType::kStringsHash: r.strings_hash = content; break;
+        case MsgType::kSymbolsHash: r.symbols_hash = content; break;
+        case MsgType::kScriptHash: r.script_hash = content; break;
+    }
+}
+
+/// Fields the collector emits for each category (Table 1 policy); a record
+/// of that category lacking one of these lost the entire message to UDP —
+/// the paper's "jobs with missing fields" accounting must see it.
+std::vector<std::pair<net::Layer, net::MsgType>> expected_fields(Category category,
+                                                                 bool has_script_layer) {
+    using net::Layer;
+    using net::MsgType;
+    std::vector<std::pair<Layer, MsgType>> out = {{Layer::kSelf, MsgType::kIds}};
+    switch (category) {
+        case Category::kSystem:
+            out.push_back({Layer::kSelf, MsgType::kFileMeta});
+            out.push_back({Layer::kSelf, MsgType::kObjects});
+            out.push_back({Layer::kSelf, MsgType::kObjectsHash});
+            break;
+        case Category::kUser:
+            for (const auto type :
+                 {MsgType::kFileMeta, MsgType::kObjects, MsgType::kObjectsHash,
+                  MsgType::kModules, MsgType::kModulesHash, MsgType::kCompilers,
+                  MsgType::kCompilersHash, MsgType::kMemMap, MsgType::kMemMapHash,
+                  MsgType::kFileHash, MsgType::kStringsHash, MsgType::kSymbolsHash}) {
+                out.push_back({Layer::kSelf, type});
+            }
+            break;
+        case Category::kPython:
+            for (const auto type : {MsgType::kFileMeta, MsgType::kObjects,
+                                    MsgType::kObjectsHash, MsgType::kMemMap,
+                                    MsgType::kMemMapHash}) {
+                out.push_back({Layer::kSelf, type});
+            }
+            if (has_script_layer) {
+                out.push_back({Layer::kScript, MsgType::kIds});
+                out.push_back({Layer::kScript, MsgType::kFileMeta});
+                out.push_back({Layer::kScript, MsgType::kScriptHash});
+            }
+            break;
+        case Category::kUnknown:
+            break;  // IDS absence is reported by the caller
+    }
+    return out;
+}
+
+}  // namespace
+
+ConsolidationResult consolidate(const std::vector<net::Message>& messages) {
+    // Stage 1: reassemble chunked content per (process, layer, type).
+    net::Reassembler reassembler;
+    for (const auto& m : messages) reassembler.add(m);
+
+    // Stage 2: fold assembled fields into per-process records. The map key
+    // is the paper's disambiguator: JOBID/STEPID/PID/HASH/HOST — HASH (of
+    // the exe path) separates exec() chains that reuse a PID within one
+    // timestamp.
+    std::map<std::string, ProcessRecord> records;
+    std::map<std::string, std::set<std::pair<net::Layer, net::MsgType>>> received;
+    for (auto& assembled : reassembler.assemble()) {
+        const net::Message& m = assembled.merged;
+        ProcessRecord& r = records[m.process_key()];
+        received[m.process_key()].insert({m.layer, m.type});
+        r.job_id = m.job_id;
+        r.step_id = m.step_id;
+        r.pid = m.pid;
+        r.exe_hash = m.exe_hash;
+        r.host = m.host;
+        r.time = std::max(r.time, m.time);
+        if (assembled.complete()) {
+            apply_field(r, m.layer, m.type, m.content);
+        } else {
+            // Partial content is still applied (lists shrink, hashes may be
+            // damaged) but the field is flagged so analyses can exclude it.
+            apply_field(r, m.layer, m.type, m.content);
+            std::string tag(net::to_string(m.layer));
+            tag += ":";
+            tag += net::to_string(m.type);
+            r.incomplete_fields.push_back(std::move(tag));
+        }
+    }
+
+    // Stage 3: derive category and Python package imports; accumulate loss
+    // accounting per job.
+    ConsolidationResult result;
+    result.records.reserve(records.size());
+    std::set<std::uint64_t> jobs;
+    std::set<std::uint64_t> jobs_missing;
+
+    for (auto& [key, record] : records) {
+        record.category = categorize(record.exe_path);
+        if (record.category == Category::kPython && !record.memmap_paths.empty()) {
+            record.python_packages = collect::extract_python_packages(record.memmap_paths);
+        }
+
+        // Wholly lost messages: fields the category's policy promises but
+        // that never arrived.
+        const auto& seen = received[key];
+        const bool has_script_layer =
+            std::any_of(seen.begin(), seen.end(),
+                        [](const auto& lt) { return lt.first == net::Layer::kScript; });
+        if (record.category == Category::kUnknown) {
+            record.incomplete_fields.push_back("SELF:IDS");
+        }
+        for (const auto& [layer, type] : expected_fields(record.category, has_script_layer)) {
+            if (seen.count({layer, type}) != 0) continue;
+            std::string tag(net::to_string(layer));
+            tag += ":";
+            tag += net::to_string(type);
+            record.incomplete_fields.push_back(std::move(tag));
+        }
+
+        std::sort(record.incomplete_fields.begin(), record.incomplete_fields.end());
+        record.incomplete_fields.erase(
+            std::unique(record.incomplete_fields.begin(), record.incomplete_fields.end()),
+            record.incomplete_fields.end());
+
+        jobs.insert(record.job_id);
+        if (record.has_missing_fields()) {
+            jobs_missing.insert(record.job_id);
+            ++result.processes_with_missing_fields;
+            result.incomplete_field_groups += record.incomplete_fields.size();
+        }
+        result.records.push_back(std::move(record));
+    }
+
+    result.total_jobs = jobs.size();
+    result.jobs_with_missing_fields = jobs_missing.size();
+    return result;
+}
+
+ConsolidationResult consolidate(const db::Database& db) {
+    const db::Table& table = db.table(db::kMessagesTable);
+    std::vector<net::Message> messages;
+    messages.reserve(table.row_count());
+    for (std::size_t i = 0; i < table.row_count(); ++i) {
+        messages.push_back(db::message_from_row(table, i));
+    }
+    return consolidate(messages);
+}
+
+}  // namespace siren::consolidate

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "consolidate/record.hpp"
+#include "db/database.hpp"
+#include "net/message.hpp"
+
+namespace siren::consolidate {
+
+/// Post-processing outcome plus the loss accounting the paper reports
+/// ("approximately 0.02% of the jobs have missing fields that can be
+/// attributed to the loss of UDP messages").
+struct ConsolidationResult {
+    std::vector<ProcessRecord> records;
+
+    std::uint64_t total_jobs = 0;
+    std::uint64_t jobs_with_missing_fields = 0;
+    std::uint64_t processes_with_missing_fields = 0;
+    std::uint64_t incomplete_field_groups = 0;
+
+    double job_missing_ratio() const {
+        return total_jobs == 0
+                   ? 0.0
+                   : static_cast<double>(jobs_with_missing_fields) / static_cast<double>(total_jobs);
+    }
+};
+
+/// Merge raw UDP messages into one record per process:
+///  - chunks of one (process, layer, type) are reassembled in SEQ order;
+///  - SCRIPT-layer rows (Python input scripts) are merged into their parent
+///    interpreter row;
+///  - the process category (system/user/python) is derived from the
+///    executable path;
+///  - Python package imports are extracted from interpreter memory maps;
+///  - fields whose chunks were lost are listed per record, never dropped.
+ConsolidationResult consolidate(const std::vector<net::Message>& messages);
+
+/// Same, reading from the raw-message table a ReceiverService populated.
+ConsolidationResult consolidate(const db::Database& db);
+
+}  // namespace siren::consolidate

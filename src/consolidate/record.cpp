@@ -1,0 +1,15 @@
+#include "consolidate/record.hpp"
+
+namespace siren::consolidate {
+
+std::string_view to_string(Category c) {
+    switch (c) {
+        case Category::kSystem: return "system";
+        case Category::kUser: return "user";
+        case Category::kPython: return "python";
+        case Category::kUnknown: return "unknown";
+    }
+    return "?";
+}
+
+}  // namespace siren::consolidate

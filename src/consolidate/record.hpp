@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace siren::consolidate {
+
+/// Analysis category of a process (paper §3.1/§4.1): where its executable
+/// came from. kUnknown appears only when the IDS message of a process was
+/// lost entirely.
+enum class Category : std::uint8_t { kSystem = 0, kUser = 1, kPython = 2, kUnknown = 3 };
+
+std::string_view to_string(Category c);
+
+/// One consolidated per-process record: the merge of all UDP messages
+/// (chunks and layers) of one (JOBID, STEPID, PID, HASH, HOST) — the single
+/// database entry per process the paper's post-processing produces.
+struct ProcessRecord {
+    // Header identity.
+    std::uint64_t job_id = 0;
+    std::uint32_t step_id = 0;
+    std::int64_t pid = 0;
+    std::string exe_hash;  ///< xxh128(path) — separates exec() chains on one PID
+    std::string host;
+    std::int64_t time = 0;
+
+    // From IDS.
+    std::int64_t ppid = 0;
+    std::int64_t uid = 0;
+    std::int64_t gid = 0;
+    std::uint32_t slurm_procid = 0;
+    std::string exe_path;
+
+    Category category = Category::kUnknown;
+
+    // From FILEMETA.
+    std::optional<sim::FileMeta> exe_meta;
+
+    // Environment lists.
+    std::vector<std::string> modules;
+    std::vector<std::string> objects;
+    std::vector<std::string> compilers;
+    std::vector<std::string> memmap_paths;  ///< mapped file paths only
+
+    // Fuzzy hashes (paper's MO_H / OB_H / CO_H / MA_H and FI_H / ST_H / SY_H).
+    std::string modules_hash;
+    std::string objects_hash;
+    std::string compilers_hash;
+    std::string memmap_hash;
+    std::string file_hash;
+    std::string strings_hash;
+    std::string symbols_hash;
+
+    // Python (merged from the SCRIPT layer).
+    std::string script_path;
+    std::optional<sim::FileMeta> script_meta;
+    std::string script_hash;
+    std::vector<std::string> python_packages;  ///< post-processed from memmap
+
+    /// TYPE names whose chunked content arrived incomplete (UDP loss).
+    std::vector<std::string> incomplete_fields;
+
+    bool has_missing_fields() const { return !incomplete_fields.empty(); }
+};
+
+}  // namespace siren::consolidate

@@ -1,0 +1,171 @@
+#include "core/framework.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "collect/collector.hpp"
+#include "db/message_store.hpp"
+#include "net/channel.hpp"
+#include "net/codec.hpp"
+#include "util/env.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace siren {
+
+FrameworkOptions FrameworkOptions::from_env() {
+    FrameworkOptions o;
+    o.scale = util::get_env_double("SIREN_SCALE", o.scale);
+    o.loss_rate = util::get_env_double("SIREN_LOSS", o.loss_rate);
+    o.seed = static_cast<std::uint64_t>(util::get_env_int("SIREN_SEED", static_cast<std::int64_t>(o.seed)));
+    o.threads = static_cast<std::size_t>(util::get_env_int("SIREN_THREADS", 0));
+    return o;
+}
+
+namespace {
+
+/// Transport that buffers the datagrams of the in-flight process and, on
+/// flush, applies Bernoulli loss and feeds the survivors straight into a
+/// per-shard consolidator — the O(1)-memory rendition of
+/// send -> receive -> store -> consolidate.
+class InlineShard : public net::Transport {
+public:
+    InlineShard(double loss_rate, std::uint64_t seed) : loss_rate_(loss_rate), rng_(seed) {}
+
+    void send(std::string_view datagram) noexcept override {
+        ++sent_;
+        if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) {
+            ++lost_;
+            return;
+        }
+        try {
+            messages_.push_back(net::decode(datagram));
+        } catch (...) {
+            ++malformed_;
+        }
+    }
+
+    /// Consolidate everything buffered since the last flush (exactly one
+    /// process worth of messages) into the aggregates.
+    void flush(analytics::Aggregates& agg) {
+        if (messages_.empty()) return;
+        auto result = consolidate::consolidate(messages_);
+        for (const auto& record : result.records) agg.add(record);
+        messages_.clear();
+    }
+
+    std::uint64_t sent() const { return sent_; }
+    std::uint64_t lost() const { return lost_; }
+    std::uint64_t malformed() const { return malformed_; }
+
+private:
+    double loss_rate_;
+    util::Rng rng_;
+    std::vector<net::Message> messages_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t lost_ = 0;
+    std::uint64_t malformed_ = 0;
+};
+
+CampaignResult run_inline(const workload::Generator& generator,
+                          const collect::FileStore& store, const FrameworkOptions& options) {
+    const std::size_t threads =
+        options.threads != 0
+            ? options.threads
+            : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    const std::size_t shards = std::min<std::size_t>(
+        std::max<std::size_t>(1, threads), std::max<std::size_t>(1, generator.job_count()));
+
+    std::vector<analytics::Aggregates> shard_aggs(shards);
+    std::vector<std::uint64_t> sent(shards, 0), lost(shards, 0), malformed(shards, 0);
+    std::vector<std::uint64_t> collected(shards, 0), errors(shards, 0);
+
+    util::parallel_for(
+        shards,
+        [&](std::size_t s) {
+            InlineShard shard(options.loss_rate, util::mix64(options.seed ^ (s * 7717 + 1)));
+            collect::Collector collector(store, shard);
+            const std::size_t begin = s * generator.job_count() / shards;
+            const std::size_t end = (s + 1) * generator.job_count() / shards;
+            generator.run_jobs(begin, end, [&](const sim::SimProcess& p) {
+                collector.collect(p);
+                shard.flush(shard_aggs[s]);
+            });
+            sent[s] = shard.sent();
+            lost[s] = shard.lost();
+            malformed[s] = shard.malformed();
+            collected[s] = collector.stats().processes_collected.load();
+            errors[s] = collector.stats().collection_errors.load();
+        },
+        shards);
+
+    CampaignResult result;
+    result.aggregates = std::move(shard_aggs[0]);
+    for (std::size_t s = 1; s < shards; ++s) result.aggregates.merge(shard_aggs[s]);
+    for (std::size_t s = 0; s < shards; ++s) {
+        result.datagrams_sent += sent[s];
+        result.datagrams_lost += lost[s];
+        result.datagrams_malformed += malformed[s];
+        result.processes_collected += collected[s];
+        result.collection_errors += errors[s];
+    }
+    return result;
+}
+
+CampaignResult run_database(const workload::Generator& generator,
+                            const collect::FileStore& store, const FrameworkOptions& options) {
+    CampaignResult result;
+    result.database = std::make_unique<db::Database>();
+
+    net::MessageQueue queue(1 << 20);
+    net::InMemoryChannel channel(queue, options.loss_rate, options.seed);
+    {
+        db::ReceiverService receiver(queue, *result.database, /*workers=*/2);
+        collect::Collector collector(store, channel);
+        generator.run([&](const sim::SimProcess& p) { collector.collect(p); });
+        queue.close();
+        receiver.finish();
+        result.processes_collected = collector.stats().processes_collected.load();
+        result.collection_errors = collector.stats().collection_errors.load();
+    }
+    result.datagrams_sent = channel.stats().sent.load();
+    result.datagrams_lost = channel.stats().lost.load() + queue.dropped();
+    result.datagrams_malformed = channel.stats().malformed.load();
+
+    auto consolidated = consolidate::consolidate(*result.database);
+    for (const auto& record : consolidated.records) result.aggregates.add(record);
+    result.records = std::move(consolidated.records);
+    return result;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const workload::CampaignSpec& spec, const FrameworkOptions& options) {
+    util::init_log_from_env();
+    util::Stopwatch watch;
+
+    workload::GeneratorOptions gen_options;
+    gen_options.scale = options.scale;
+    gen_options.seed = options.seed;
+    workload::Generator generator(spec, gen_options);
+
+    collect::FileStore store;
+    generator.populate_store(store);
+    util::log_info("campaign: " + std::to_string(generator.job_count()) + " jobs, " +
+                   std::to_string(generator.totals().processes) + " processes, " +
+                   std::to_string(store.size()) + " unique executables");
+
+    CampaignResult result = options.use_database ? run_database(generator, store, options)
+                                                 : run_inline(generator, store, options);
+    result.totals = generator.totals();
+    result.wall_seconds = watch.seconds();
+    return result;
+}
+
+CampaignResult run_lumi_campaign() {
+    return run_campaign(workload::lumi_campaign(), FrameworkOptions::from_env());
+}
+
+}  // namespace siren

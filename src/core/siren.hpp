@@ -1,0 +1,38 @@
+#pragma once
+
+/// SIREN — Software Identification and Recognition in HPC Systems.
+///
+/// Umbrella header for the public API. The layers, bottom-up:
+///
+///   fuzzy/        SSDeep-style CTPH fuzzy hashing and 0-100 similarity
+///   hashing/      xxh64/xxh128, SHA-1/SHA-256, FNV, rolling hash
+///   elfio/        ELF64 reader/writer, strings/symbols/.comment extraction
+///   net/          SIREN wire protocol, chunking, UDP + lossy channels
+///   db/           embedded record store (the SQLite stand-in)
+///   sim/          simulated HPC substrate (Slurm-like jobs, modules)
+///   workload/     campaign catalog, binary synthesizer, generator
+///   collect/      the siren.so collection logic (Table-1 policy)
+///   consolidate/  chunk reassembly into per-process records
+///   analytics/    usage tables, labeling, similarity search
+///   core/         run_campaign() — the end-to-end pipeline
+///
+/// Quick start:
+///
+///   #include "core/siren.hpp"
+///   auto result = siren::run_campaign(siren::workload::mini_campaign(), {});
+///   std::cout << siren::analytics::table2_users(result.aggregates).render();
+
+#include "analytics/aggregate.hpp"     // IWYU pragma: export
+#include "analytics/baselines.hpp"     // IWYU pragma: export
+#include "analytics/compilers.hpp"     // IWYU pragma: export
+#include "analytics/labeler.hpp"       // IWYU pragma: export
+#include "analytics/libfilter.hpp"     // IWYU pragma: export
+#include "analytics/similarity.hpp"    // IWYU pragma: export
+#include "analytics/tables.hpp"        // IWYU pragma: export
+#include "collect/collector.hpp"       // IWYU pragma: export
+#include "collect/policy.hpp"          // IWYU pragma: export
+#include "consolidate/consolidator.hpp"  // IWYU pragma: export
+#include "core/framework.hpp"          // IWYU pragma: export
+#include "fuzzy/fuzzy.hpp"             // IWYU pragma: export
+#include "workload/campaign.hpp"       // IWYU pragma: export
+#include "workload/generator.hpp"      // IWYU pragma: export

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "db/database.hpp"
+#include "net/channel.hpp"
+#include "net/message.hpp"
+
+namespace siren::db {
+
+/// Name of the raw-message table every receiver writes into.
+inline constexpr const char* kMessagesTable = "messages";
+
+/// Create the raw UDP-message table with the paper's column set
+/// (JOBID, STEPID, PID, HASH, HOST, TIME, LAYER, TYPE + SEQ/TOTAL/CONTENT).
+Table& create_message_table(Database& db);
+
+/// Append one decoded message as a row.
+void insert_message(Table& table, const net::Message& m);
+
+/// Reconstruct a net::Message from a stored row (used by consolidation).
+net::Message message_from_row(const Table& table, std::size_t row);
+
+/// The receiver server: drains a MessageQueue into the messages table with
+/// `workers` threads — the C++ rendition of the paper's Go server reading a
+/// buffered channel and inserting into SQLite. Stop by closing the queue;
+/// the destructor joins.
+class ReceiverService {
+public:
+    ReceiverService(net::MessageQueue& queue, Database& db, std::size_t workers = 2);
+    ~ReceiverService();
+
+    ReceiverService(const ReceiverService&) = delete;
+    ReceiverService& operator=(const ReceiverService&) = delete;
+
+    /// Blocks until the queue is closed and fully drained, then joins.
+    void finish();
+
+    std::uint64_t inserted() const { return inserted_.load(); }
+
+private:
+    net::MessageQueue& queue_;
+    Table& table_;
+    std::vector<std::thread> workers_;
+    std::atomic<std::uint64_t> inserted_{0};
+};
+
+}  // namespace siren::db

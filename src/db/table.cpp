@@ -1,0 +1,93 @@
+#include "db/table.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace siren::db {
+
+Table::Table(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+    util::require(!columns_.empty(), "table '" + name_ + "' needs columns");
+}
+
+std::size_t Table::column_index(std::string_view column) const {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        if (columns_[i].name == column) return i;
+    }
+    throw util::Error("table '" + name_ + "' has no column '" + std::string(column) + "'");
+}
+
+void Table::append(Row row) {
+    util::require(row.size() == columns_.size(),
+                  "table '" + name_ + "': row arity mismatch");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        if (row[i].index() != variant_index(columns_[i].type)) {
+            throw util::Error("table '" + name_ + "': column '" + columns_[i].name +
+                              "' type mismatch");
+        }
+    }
+    std::lock_guard lock(append_mutex_);
+    rows_.push_back(std::move(row));
+}
+
+std::int64_t Table::get_int(std::size_t row, std::string_view column) const {
+    const Value& v = rows_.at(row).at(column_index(column));
+    if (const auto* p = std::get_if<std::int64_t>(&v)) return *p;
+    throw util::Error("column '" + std::string(column) + "' is not INT");
+}
+
+double Table::get_real(std::size_t row, std::string_view column) const {
+    const Value& v = rows_.at(row).at(column_index(column));
+    if (const auto* p = std::get_if<double>(&v)) return *p;
+    throw util::Error("column '" + std::string(column) + "' is not REAL");
+}
+
+const std::string& Table::get_text(std::size_t row, std::string_view column) const {
+    const Value& v = rows_.at(row).at(column_index(column));
+    if (const auto* p = std::get_if<std::string>(&v)) return *p;
+    throw util::Error("column '" + std::string(column) + "' is not TEXT");
+}
+
+std::vector<std::size_t> Table::filter(const std::function<bool(const Row&)>& pred) const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        if (pred(rows_[i])) out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<std::string> Table::distinct_text(std::string_view column) const {
+    const std::size_t c = column_index(column);
+    std::vector<std::string> out;
+    out.reserve(rows_.size());
+    for (const auto& row : rows_) out.push_back(render(row[c]));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+std::map<std::string, std::vector<std::size_t>> Table::group_by_text(
+    std::string_view column) const {
+    const std::size_t c = column_index(column);
+    std::map<std::string, std::vector<std::size_t>> out;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        out[render(rows_[i][c])].push_back(i);
+    }
+    return out;
+}
+
+std::string Table::render(const Value& v) {
+    switch (v.index()) {
+        case 0: return std::to_string(std::get<std::int64_t>(v));
+        case 1: return util::fixed(std::get<double>(v), 6);
+        default: return std::get<std::string>(v);
+    }
+}
+
+void Table::sort(const std::function<bool(const Row&, const Row&)>& less) {
+    std::stable_sort(rows_.begin(), rows_.end(), less);
+}
+
+}  // namespace siren::db

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/value.hpp"
+
+namespace siren::db {
+
+/// One relation of the embedded store: a declared schema plus row storage.
+///
+/// This is the SQLite substitute the UDP receiver writes into: the paper
+/// stores raw UDP messages keyed by their header columns and later scans
+/// them for consolidation. The operations provided (append, scan, filter,
+/// group-by, distinct, sort) are exactly what that workflow needs.
+/// Appends are internally synchronized; reads assume writers have quiesced
+/// (the pipeline is collect -> drain -> analyze).
+class Table {
+public:
+    using Row = std::vector<Value>;
+
+    Table() = default;
+    Table(std::string name, std::vector<Column> columns);
+
+    const std::string& name() const { return name_; }
+    const std::vector<Column>& columns() const { return columns_; }
+
+    /// Column index by name; throws siren::util::Error when absent.
+    std::size_t column_index(std::string_view column) const;
+
+    /// Validated append: arity and per-cell variant type must match the
+    /// schema. Thread-safe.
+    void append(Row row);
+
+    std::size_t row_count() const { return rows_.size(); }
+    const Row& row(std::size_t i) const { return rows_.at(i); }
+
+    /// Typed cell accessors (throw on type mismatch).
+    std::int64_t get_int(std::size_t row, std::string_view column) const;
+    double get_real(std::size_t row, std::string_view column) const;
+    const std::string& get_text(std::size_t row, std::string_view column) const;
+
+    /// Indexes of rows satisfying `pred`.
+    std::vector<std::size_t> filter(
+        const std::function<bool(const Row&)>& pred) const;
+
+    /// Distinct text values of a column, sorted.
+    std::vector<std::string> distinct_text(std::string_view column) const;
+
+    /// Group row indexes by the text rendering of one column.
+    std::map<std::string, std::vector<std::size_t>> group_by_text(
+        std::string_view column) const;
+
+    /// Render any cell as text (ints/reals stringified) — used by group-by
+    /// and persistence.
+    static std::string render(const Value& v);
+
+    /// Stable sort of rows by a comparator over rows.
+    void sort(const std::function<bool(const Row&, const Row&)>& less);
+
+private:
+    std::string name_;
+    std::vector<Column> columns_;
+    std::vector<Row> rows_;
+    mutable std::mutex append_mutex_;
+};
+
+}  // namespace siren::db

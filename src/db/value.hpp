@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace siren::db {
+
+/// Column storage classes of the embedded store (a deliberate subset of
+/// SQLite's: INTEGER, REAL, TEXT — SIREN's schema needs nothing else).
+enum class ColumnType : std::uint8_t { kInt = 0, kReal = 1, kText = 2 };
+
+/// One cell. The variant alternative must match the column's declared type;
+/// Table::append validates this on insert.
+using Value = std::variant<std::int64_t, double, std::string>;
+
+inline const char* to_string(ColumnType t) {
+    switch (t) {
+        case ColumnType::kInt: return "INT";
+        case ColumnType::kReal: return "REAL";
+        case ColumnType::kText: return "TEXT";
+    }
+    return "?";
+}
+
+/// Variant index expected for a column type.
+inline std::size_t variant_index(ColumnType t) {
+    return static_cast<std::size_t>(t);
+}
+
+struct Column {
+    std::string name;
+    ColumnType type = ColumnType::kText;
+};
+
+}  // namespace siren::db

@@ -1,0 +1,246 @@
+#include "elfio/builder.hpp"
+
+#include <cstring>
+
+namespace siren::elfio {
+
+namespace {
+
+/// Incremental string table: dedups entries, offset 0 is the empty string.
+class StringTable {
+public:
+    StringTable() : blob_(1, '\0') {}
+
+    std::uint32_t add(const std::string& s) {
+        if (s.empty()) return 0;
+        // Linear scan is fine: tables here hold tens of strings.
+        for (std::size_t off = 1; off + s.size() < blob_.size();) {
+            const char* entry = blob_.data() + off;
+            const std::size_t len = std::strlen(entry);
+            if (len == s.size() && std::memcmp(entry, s.data(), len) == 0) {
+                return static_cast<std::uint32_t>(off);
+            }
+            off += len + 1;
+        }
+        const auto offset = static_cast<std::uint32_t>(blob_.size());
+        blob_.insert(blob_.end(), s.begin(), s.end());
+        blob_.push_back('\0');
+        return offset;
+    }
+
+    const std::vector<char>& blob() const { return blob_; }
+
+private:
+    std::vector<char> blob_;
+};
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out.insert(out.end(), p, p + size);
+}
+
+void pad_to(std::vector<std::uint8_t>& out, std::size_t alignment) {
+    while (out.size() % alignment != 0) out.push_back(0);
+}
+
+}  // namespace
+
+Builder::Builder() = default;
+
+Builder& Builder::set_type(std::uint16_t e_type) {
+    type_ = e_type;
+    return *this;
+}
+
+Builder& Builder::set_entry(std::uint64_t entry) {
+    entry_ = entry;
+    return *this;
+}
+
+Builder& Builder::set_text(std::vector<std::uint8_t> code) {
+    text_ = std::move(code);
+    return *this;
+}
+
+Builder& Builder::set_rodata(std::vector<std::uint8_t> data) {
+    rodata_ = std::move(data);
+    return *this;
+}
+
+Builder& Builder::set_rodata_strings(const std::vector<std::string>& strings) {
+    rodata_.clear();
+    for (const auto& s : strings) {
+        rodata_.insert(rodata_.end(), s.begin(), s.end());
+        rodata_.push_back(0);
+    }
+    return *this;
+}
+
+Builder& Builder::set_comments(const std::vector<std::string>& comments) {
+    comments_ = comments;
+    return *this;
+}
+
+Builder& Builder::set_needed(const std::vector<std::string>& libraries) {
+    needed_ = libraries;
+    return *this;
+}
+
+Builder& Builder::set_symbols(std::vector<BuildSymbol> symbols) {
+    symbols_ = std::move(symbols);
+    return *this;
+}
+
+Builder& Builder::set_build_id(std::vector<std::uint8_t> id) {
+    build_id_ = std::move(id);
+    return *this;
+}
+
+std::vector<std::uint8_t> Builder::build() const {
+    // Section order: NULL, .text, .rodata, .comment, .dynstr, .dynamic,
+    // .strtab, .symtab, .shstrtab. Offsets are assigned sequentially after
+    // the ELF and program headers.
+    StringTable shstrtab;
+    StringTable dynstr;
+    StringTable strtab;
+
+    // --- payload blobs -----------------------------------------------------
+    std::vector<std::uint8_t> comment_blob;
+    for (const auto& c : comments_) {
+        comment_blob.insert(comment_blob.end(), c.begin(), c.end());
+        comment_blob.push_back(0);
+    }
+
+    std::vector<Elf64_Dyn> dynamic;
+    for (const auto& lib : needed_) {
+        dynamic.push_back({DT_NEEDED, dynstr.add(lib)});
+    }
+    dynamic.push_back({DT_NULL, 0});
+
+    std::vector<std::uint8_t> note_blob;
+    if (!build_id_.empty()) {
+        // namesz=4 ("GNU\0"), descsz=|id|, type=NT_GNU_BUILD_ID.
+        const std::uint32_t namesz = 4;
+        const auto descsz = static_cast<std::uint32_t>(build_id_.size());
+        const std::uint32_t type = NT_GNU_BUILD_ID;
+        append_bytes(note_blob, &namesz, 4);
+        append_bytes(note_blob, &descsz, 4);
+        append_bytes(note_blob, &type, 4);
+        append_bytes(note_blob, "GNU\0", 4);
+        note_blob.insert(note_blob.end(), build_id_.begin(), build_id_.end());
+        pad_to(note_blob, 4);
+    }
+
+    std::vector<Elf64_Sym> syms;
+    syms.push_back({});  // index 0: NULL symbol
+    for (const auto& s : symbols_) {
+        Elf64_Sym raw{};
+        raw.st_name = strtab.add(s.name);
+        raw.st_info = static_cast<unsigned char>((s.bind << 4) | (s.type & 0xf));
+        raw.st_other = 0;
+        raw.st_shndx = 1;  // pretend defined in .text
+        raw.st_value = s.value;
+        raw.st_size = s.size;
+        syms.push_back(raw);
+    }
+
+    // --- section table skeleton -------------------------------------------
+    struct Pending {
+        std::string name;
+        std::uint32_t type;
+        std::uint64_t flags;
+        const void* data;
+        std::uint64_t size;
+        std::uint32_t link;
+        std::uint64_t entsize;
+        std::uint32_t info;
+    };
+
+    const std::uint32_t kDynstrIndex = 4;
+    const std::uint32_t kStrtabIndex = 6;
+
+    std::vector<Pending> pending = {
+        {"", SHT_NULL, 0, nullptr, 0, 0, 0, 0},
+        {".text", SHT_PROGBITS, SHF_ALLOC | SHF_EXECINSTR, text_.data(), text_.size(), 0, 0, 0},
+        {".rodata", SHT_PROGBITS, SHF_ALLOC, rodata_.data(), rodata_.size(), 0, 0, 0},
+        {".comment", SHT_PROGBITS, 0, comment_blob.data(), comment_blob.size(), 0, 0, 0},
+        {".dynstr", SHT_STRTAB, SHF_ALLOC, dynstr.blob().data(), dynstr.blob().size(), 0, 0, 0},
+        {".dynamic", SHT_DYNAMIC, SHF_ALLOC, dynamic.data(),
+         dynamic.size() * sizeof(Elf64_Dyn), kDynstrIndex, sizeof(Elf64_Dyn), 0},
+        {".strtab", SHT_STRTAB, 0, strtab.blob().data(), strtab.blob().size(), 0, 0, 0},
+        {".symtab", SHT_SYMTAB, 0, syms.data(), syms.size() * sizeof(Elf64_Sym), kStrtabIndex,
+         sizeof(Elf64_Sym), 1},
+        {".note.gnu.build-id", SHT_NOTE, SHF_ALLOC, note_blob.data(), note_blob.size(), 0, 0, 0},
+        {".shstrtab", SHT_STRTAB, 0, nullptr, 0, 0, 0, 0},  // filled below
+    };
+
+    std::vector<std::uint32_t> name_offsets;
+    name_offsets.reserve(pending.size());
+    for (const auto& p : pending) name_offsets.push_back(shstrtab.add(p.name));
+    // .shstrtab's own blob is now final.
+    pending.back().data = shstrtab.blob().data();
+    pending.back().size = shstrtab.blob().size();
+
+    // --- layout -------------------------------------------------------------
+    const std::uint16_t phnum = 1;
+    const std::size_t header_bytes = sizeof(Elf64_Ehdr) + phnum * sizeof(Elf64_Phdr);
+    std::vector<std::uint8_t> out(header_bytes, 0);
+
+    std::vector<Elf64_Shdr> shdrs(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        pad_to(out, 8);
+        Elf64_Shdr& sh = shdrs[i];
+        sh.sh_name = name_offsets[i];
+        sh.sh_type = pending[i].type;
+        sh.sh_flags = pending[i].flags;
+        sh.sh_addr = (pending[i].flags & SHF_ALLOC) ? entry_ + out.size() : 0;
+        sh.sh_offset = (pending[i].type == SHT_NULL) ? 0 : out.size();
+        sh.sh_size = pending[i].size;
+        sh.sh_link = pending[i].link;
+        sh.sh_info = pending[i].info;
+        sh.sh_addralign = (pending[i].type == SHT_NULL) ? 0 : 8;
+        sh.sh_entsize = pending[i].entsize;
+        if (pending[i].size != 0 && pending[i].data != nullptr) {
+            append_bytes(out, pending[i].data, pending[i].size);
+        }
+    }
+
+    pad_to(out, 8);
+    const std::uint64_t shoff = out.size();
+    for (const auto& sh : shdrs) append_bytes(out, &sh, sizeof sh);
+
+    // --- headers ------------------------------------------------------------
+    Elf64_Ehdr ehdr{};
+    std::memcpy(ehdr.e_ident, kMagic, 4);
+    ehdr.e_ident[4] = kClass64;
+    ehdr.e_ident[5] = kDataLittle;
+    ehdr.e_ident[6] = kVersionCurrent;
+    ehdr.e_type = type_;
+    ehdr.e_machine = EM_X86_64;
+    ehdr.e_version = kVersionCurrent;
+    ehdr.e_entry = entry_;
+    ehdr.e_phoff = sizeof(Elf64_Ehdr);
+    ehdr.e_shoff = shoff;
+    ehdr.e_ehsize = sizeof(Elf64_Ehdr);
+    ehdr.e_phentsize = sizeof(Elf64_Phdr);
+    ehdr.e_phnum = phnum;
+    ehdr.e_shentsize = sizeof(Elf64_Shdr);
+    ehdr.e_shnum = static_cast<std::uint16_t>(shdrs.size());
+    ehdr.e_shstrndx = static_cast<std::uint16_t>(shdrs.size() - 1);
+    std::memcpy(out.data(), &ehdr, sizeof ehdr);
+
+    Elf64_Phdr phdr{};
+    phdr.p_type = PT_LOAD;
+    phdr.p_flags = 5;  // R+X
+    phdr.p_offset = 0;
+    phdr.p_vaddr = entry_;
+    phdr.p_paddr = entry_;
+    phdr.p_filesz = out.size();
+    phdr.p_memsz = out.size();
+    phdr.p_align = 0x1000;
+    std::memcpy(out.data() + sizeof(Elf64_Ehdr), &phdr, sizeof phdr);
+
+    return out;
+}
+
+}  // namespace siren::elfio

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elfio/elf_types.hpp"
+
+namespace siren::elfio {
+
+/// A symbol to be emitted into .symtab.
+struct BuildSymbol {
+    std::string name;
+    unsigned char bind = STB_GLOBAL;
+    unsigned char type = STT_FUNC;
+    std::uint64_t value = 0;
+    std::uint64_t size = 0;
+};
+
+/// Constructs valid little-endian ELF64 images in memory.
+///
+/// The workload generator uses this to synthesize realistic application
+/// binaries: .text carries (seeded pseudo-random) code bytes, .rodata the
+/// printable strings, .comment the compiler identification strings,
+/// .dynamic/.dynstr the DT_NEEDED shared-library names, and .symtab the
+/// global function/object symbols. Images round-trip through
+/// elfio::Reader, and the extraction helpers (strings/symbols/comments)
+/// recover exactly what was put in.
+class Builder {
+public:
+    Builder();
+
+    Builder& set_type(std::uint16_t e_type);
+    Builder& set_entry(std::uint64_t entry);
+
+    /// Executable code bytes (.text, SHF_ALLOC|SHF_EXECINSTR).
+    Builder& set_text(std::vector<std::uint8_t> code);
+
+    /// Read-only data blob (.rodata); typically NUL-joined printable strings.
+    Builder& set_rodata(std::vector<std::uint8_t> data);
+
+    /// Convenience: join strings with NUL separators into .rodata.
+    Builder& set_rodata_strings(const std::vector<std::string>& strings);
+
+    /// Compiler identification strings (.comment, NUL separated).
+    Builder& set_comments(const std::vector<std::string>& comments);
+
+    /// DT_NEEDED shared libraries, in order.
+    Builder& set_needed(const std::vector<std::string>& libraries);
+
+    /// Symbols for .symtab (a NULL symbol is prepended automatically).
+    Builder& set_symbols(std::vector<BuildSymbol> symbols);
+
+    /// GNU build id (.note.gnu.build-id); empty disables the note.
+    Builder& set_build_id(std::vector<std::uint8_t> id);
+
+    /// Serialize. The builder can be reused; build() is const.
+    std::vector<std::uint8_t> build() const;
+
+private:
+    std::uint16_t type_ = ET_EXEC;
+    std::uint64_t entry_ = 0x400000;
+    std::vector<std::uint8_t> text_;
+    std::vector<std::uint8_t> rodata_;
+    std::vector<std::string> comments_;
+    std::vector<std::string> needed_;
+    std::vector<BuildSymbol> symbols_;
+    std::vector<std::uint8_t> build_id_;
+};
+
+}  // namespace siren::elfio

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+
+/// Self-contained ELF64 definitions (subset) so the library does not depend
+/// on <elf.h>. Field names follow the System V gABI. Only little-endian
+/// ELF64 is supported, matching the paper's target (x86-64 / LUMI).
+namespace siren::elfio {
+
+inline constexpr unsigned char kMagic[4] = {0x7f, 'E', 'L', 'F'};
+inline constexpr unsigned char kClass64 = 2;       // ELFCLASS64
+inline constexpr unsigned char kDataLittle = 1;    // ELFDATA2LSB
+inline constexpr unsigned char kVersionCurrent = 1;
+
+// e_type
+inline constexpr std::uint16_t ET_EXEC = 2;
+inline constexpr std::uint16_t ET_DYN = 3;
+
+// e_machine
+inline constexpr std::uint16_t EM_X86_64 = 62;
+
+// sh_type
+inline constexpr std::uint32_t SHT_NULL = 0;
+inline constexpr std::uint32_t SHT_PROGBITS = 1;
+inline constexpr std::uint32_t SHT_SYMTAB = 2;
+inline constexpr std::uint32_t SHT_STRTAB = 3;
+inline constexpr std::uint32_t SHT_DYNAMIC = 6;
+inline constexpr std::uint32_t SHT_NOTE = 7;
+inline constexpr std::uint32_t SHT_NOBITS = 8;
+inline constexpr std::uint32_t SHT_DYNSYM = 11;
+
+// note types
+inline constexpr std::uint32_t NT_GNU_BUILD_ID = 3;
+
+// sh_flags
+inline constexpr std::uint64_t SHF_ALLOC = 0x2;
+inline constexpr std::uint64_t SHF_EXECINSTR = 0x4;
+
+// symbol binding / type (st_info = bind << 4 | type)
+inline constexpr unsigned char STB_LOCAL = 0;
+inline constexpr unsigned char STB_GLOBAL = 1;
+inline constexpr unsigned char STB_WEAK = 2;
+inline constexpr unsigned char STT_NOTYPE = 0;
+inline constexpr unsigned char STT_OBJECT = 1;
+inline constexpr unsigned char STT_FUNC = 2;
+
+// special section indexes
+inline constexpr std::uint16_t SHN_UNDEF = 0;
+
+// dynamic tags
+inline constexpr std::int64_t DT_NULL = 0;
+inline constexpr std::int64_t DT_NEEDED = 1;
+inline constexpr std::int64_t DT_STRTAB = 5;
+inline constexpr std::int64_t DT_SONAME = 14;
+
+// program header types
+inline constexpr std::uint32_t PT_LOAD = 1;
+inline constexpr std::uint32_t PT_DYNAMIC = 2;
+
+struct Elf64_Ehdr {
+    unsigned char e_ident[16];
+    std::uint16_t e_type;
+    std::uint16_t e_machine;
+    std::uint32_t e_version;
+    std::uint64_t e_entry;
+    std::uint64_t e_phoff;
+    std::uint64_t e_shoff;
+    std::uint32_t e_flags;
+    std::uint16_t e_ehsize;
+    std::uint16_t e_phentsize;
+    std::uint16_t e_phnum;
+    std::uint16_t e_shentsize;
+    std::uint16_t e_shnum;
+    std::uint16_t e_shstrndx;
+};
+static_assert(sizeof(Elf64_Ehdr) == 64);
+
+struct Elf64_Shdr {
+    std::uint32_t sh_name;
+    std::uint32_t sh_type;
+    std::uint64_t sh_flags;
+    std::uint64_t sh_addr;
+    std::uint64_t sh_offset;
+    std::uint64_t sh_size;
+    std::uint32_t sh_link;
+    std::uint32_t sh_info;
+    std::uint64_t sh_addralign;
+    std::uint64_t sh_entsize;
+};
+static_assert(sizeof(Elf64_Shdr) == 64);
+
+struct Elf64_Phdr {
+    std::uint32_t p_type;
+    std::uint32_t p_flags;
+    std::uint64_t p_offset;
+    std::uint64_t p_vaddr;
+    std::uint64_t p_paddr;
+    std::uint64_t p_filesz;
+    std::uint64_t p_memsz;
+    std::uint64_t p_align;
+};
+static_assert(sizeof(Elf64_Phdr) == 56);
+
+struct Elf64_Sym {
+    std::uint32_t st_name;
+    unsigned char st_info;
+    unsigned char st_other;
+    std::uint16_t st_shndx;
+    std::uint64_t st_value;
+    std::uint64_t st_size;
+};
+static_assert(sizeof(Elf64_Sym) == 24);
+
+struct Elf64_Dyn {
+    std::int64_t d_tag;
+    std::uint64_t d_val;
+};
+static_assert(sizeof(Elf64_Dyn) == 16);
+
+}  // namespace siren::elfio

@@ -1,0 +1,13 @@
+#pragma once
+
+/// Umbrella header for the ELF substrate (the libelf substitute):
+///  - elf_types.hpp  raw ELF64 structures and constants
+///  - reader.hpp     bounds-checked parser (sections, symbols, .comment,
+///                   DT_NEEDED)
+///  - builder.hpp    in-memory ELF64 writer used by the workload generator
+///  - extract.hpp    strings(1)-style printable-string extraction
+
+#include "elfio/builder.hpp"    // IWYU pragma: export
+#include "elfio/elf_types.hpp"  // IWYU pragma: export
+#include "elfio/extract.hpp"    // IWYU pragma: export
+#include "elfio/reader.hpp"     // IWYU pragma: export

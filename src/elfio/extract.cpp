@@ -1,0 +1,32 @@
+#include "elfio/extract.hpp"
+
+#include "util/strings.hpp"
+
+namespace siren::elfio {
+
+std::vector<std::string> printable_strings(std::span<const std::uint8_t> image,
+                                           std::size_t min_length) {
+    std::vector<std::string> out;
+    std::string current;
+    for (const std::uint8_t c : image) {
+        if (util::is_printable(c)) {
+            current += static_cast<char>(c);
+        } else {
+            if (current.size() >= min_length) out.push_back(current);
+            current.clear();
+        }
+    }
+    if (current.size() >= min_length) out.push_back(current);
+    return out;
+}
+
+std::string strings_blob(const std::vector<std::string>& entries) {
+    std::string blob;
+    for (const auto& e : entries) {
+        blob += e;
+        blob += '\n';
+    }
+    return blob;
+}
+
+}  // namespace siren::elfio

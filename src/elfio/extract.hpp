@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace siren::elfio {
+
+/// Extract printable ASCII runs of at least `min_length` characters from a
+/// binary image — the `strings(1)` equivalent whose output feeds the ST_H
+/// fuzzy hash in the paper.
+std::vector<std::string> printable_strings(std::span<const std::uint8_t> image,
+                                           std::size_t min_length = 4);
+
+/// The canonical single-text forms the collector fuzzy-hashes: entries
+/// joined with '\n'. Centralized so hashes computed at collection time and
+/// at analysis time agree byte-for-byte.
+std::string strings_blob(const std::vector<std::string>& entries);
+
+}  // namespace siren::elfio

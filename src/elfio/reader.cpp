@@ -1,0 +1,205 @@
+#include "elfio/reader.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace siren::elfio {
+
+using util::ParseError;
+
+namespace {
+
+template <typename T>
+T read_struct(std::span<const std::uint8_t> image, std::uint64_t offset) {
+    if (offset > image.size() || image.size() - offset < sizeof(T)) {
+        throw ParseError("elf: structure extends past end of file");
+    }
+    T value;
+    std::memcpy(&value, image.data() + offset, sizeof(T));
+    return value;
+}
+
+}  // namespace
+
+bool Reader::looks_like_elf(std::span<const std::uint8_t> image) {
+    if (image.size() < sizeof(Elf64_Ehdr)) return false;
+    return std::memcmp(image.data(), kMagic, 4) == 0 && image[4] == kClass64 &&
+           image[5] == kDataLittle;
+}
+
+Reader::Reader(std::span<const std::uint8_t> image) : image_(image) {
+    if (image.size() < sizeof(Elf64_Ehdr)) throw ParseError("elf: file shorter than ELF header");
+    if (std::memcmp(image.data(), kMagic, 4) != 0) throw ParseError("elf: bad magic");
+    if (image[4] != kClass64) throw ParseError("elf: not ELF64");
+    if (image[5] != kDataLittle) throw ParseError("elf: not little-endian");
+
+    const auto ehdr = read_struct<Elf64_Ehdr>(image, 0);
+    type_ = ehdr.e_type;
+    machine_ = ehdr.e_machine;
+    entry_ = ehdr.e_entry;
+
+    if (ehdr.e_shnum == 0) return;  // sectionless images are legal
+    if (ehdr.e_shentsize != sizeof(Elf64_Shdr)) throw ParseError("elf: unexpected shentsize");
+    if (ehdr.e_shstrndx >= ehdr.e_shnum) throw ParseError("elf: shstrndx out of range");
+
+    std::vector<Elf64_Shdr> raw(ehdr.e_shnum);
+    for (std::uint16_t i = 0; i < ehdr.e_shnum; ++i) {
+        raw[i] = read_struct<Elf64_Shdr>(image, ehdr.e_shoff + i * sizeof(Elf64_Shdr));
+    }
+
+    const Elf64_Shdr& shstr = raw[ehdr.e_shstrndx];
+    if (shstr.sh_offset + shstr.sh_size > image.size()) {
+        throw ParseError("elf: shstrtab out of bounds");
+    }
+    const char* names = reinterpret_cast<const char*>(image.data() + shstr.sh_offset);
+
+    sections_.reserve(raw.size());
+    for (const auto& sh : raw) {
+        Section s;
+        if (sh.sh_name < shstr.sh_size) {
+            const char* start = names + sh.sh_name;
+            const std::size_t max_len = shstr.sh_size - sh.sh_name;
+            const std::size_t len = ::strnlen(start, max_len);
+            s.name.assign(start, len);
+        }
+        s.type = sh.sh_type;
+        s.flags = sh.sh_flags;
+        s.addr = sh.sh_addr;
+        s.offset = sh.sh_offset;
+        s.size = sh.sh_size;
+        s.link = sh.sh_link;
+        s.entsize = sh.sh_entsize;
+        if (s.type != SHT_NOBITS && s.type != SHT_NULL &&
+            (s.offset > image.size() || s.size > image.size() - s.offset)) {
+            throw ParseError("elf: section '" + s.name + "' out of bounds");
+        }
+        sections_.push_back(std::move(s));
+    }
+}
+
+const Section* Reader::section_by_name(std::string_view name) const {
+    for (const auto& s : sections_) {
+        if (s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+std::span<const std::uint8_t> Reader::section_data(const Section& s) const {
+    if (s.type == SHT_NOBITS || s.type == SHT_NULL) return {};
+    return image_.subspan(s.offset, s.size);
+}
+
+std::vector<std::string> Reader::comment_strings() const {
+    const Section* comment = section_by_name(".comment");
+    if (comment == nullptr) return {};
+    const auto data = section_data(*comment);
+
+    std::vector<std::string> out;
+    std::string current;
+    for (const std::uint8_t c : data) {
+        if (c == 0) {
+            if (!current.empty()) out.push_back(std::move(current));
+            current.clear();
+        } else {
+            current += static_cast<char>(c);
+        }
+    }
+    if (!current.empty()) out.push_back(std::move(current));
+    return out;
+}
+
+std::string Reader::string_at(const Section& strtab, std::uint64_t offset) const {
+    if (offset >= strtab.size) return {};
+    const auto data = section_data(strtab);
+    const char* start = reinterpret_cast<const char*>(data.data()) + offset;
+    const std::size_t len = ::strnlen(start, strtab.size - offset);
+    return std::string(start, len);
+}
+
+std::vector<Symbol> Reader::symbols_from(const Section& symtab) const {
+    if (symtab.entsize != sizeof(Elf64_Sym)) throw ParseError("elf: bad symtab entsize");
+    if (symtab.link >= sections_.size()) throw ParseError("elf: symtab strtab link invalid");
+    const Section& strtab = sections_[symtab.link];
+
+    const std::uint64_t count = symtab.size / sizeof(Elf64_Sym);
+    std::vector<Symbol> out;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto raw =
+            read_struct<Elf64_Sym>(image_, symtab.offset + i * sizeof(Elf64_Sym));
+        Symbol sym;
+        sym.name = string_at(strtab, raw.st_name);
+        sym.value = raw.st_value;
+        sym.size = raw.st_size;
+        sym.bind = static_cast<unsigned char>(raw.st_info >> 4);
+        sym.type = static_cast<unsigned char>(raw.st_info & 0xf);
+        sym.shndx = raw.st_shndx;
+        out.push_back(std::move(sym));
+    }
+    return out;
+}
+
+std::vector<Symbol> Reader::symbols() const {
+    if (const Section* s = section_by_name(".symtab")) return symbols_from(*s);
+    if (const Section* s = section_by_name(".dynsym")) return symbols_from(*s);
+    return {};
+}
+
+std::vector<std::string> Reader::global_symbol_names() const {
+    std::vector<std::string> names;
+    for (auto& sym : symbols()) {
+        if (sym.is_global() && sym.is_defined() && !sym.name.empty()) {
+            names.push_back(std::move(sym.name));
+        }
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+std::vector<std::string> Reader::needed_libraries() const {
+    const Section* dynamic = section_by_name(".dynamic");
+    if (dynamic == nullptr) return {};
+    if (dynamic->entsize != sizeof(Elf64_Dyn)) throw ParseError("elf: bad dynamic entsize");
+    if (dynamic->link >= sections_.size()) throw ParseError("elf: dynamic strtab link invalid");
+    const Section& dynstr = sections_[dynamic->link];
+
+    std::vector<std::string> out;
+    const std::uint64_t count = dynamic->size / sizeof(Elf64_Dyn);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto dyn =
+            read_struct<Elf64_Dyn>(image_, dynamic->offset + i * sizeof(Elf64_Dyn));
+        if (dyn.d_tag == DT_NULL) break;
+        if (dyn.d_tag == DT_NEEDED) out.push_back(string_at(dynstr, dyn.d_val));
+    }
+    return out;
+}
+
+std::string Reader::build_id() const {
+    const Section* note = section_by_name(".note.gnu.build-id");
+    if (note == nullptr) return {};
+    const auto data = section_data(*note);
+    // Note layout: namesz(4) descsz(4) type(4) name[namesz pad4] desc[descsz].
+    if (data.size() < 12) return {};
+    std::uint32_t namesz, descsz, type;
+    std::memcpy(&namesz, data.data(), 4);
+    std::memcpy(&descsz, data.data() + 4, 4);
+    std::memcpy(&type, data.data() + 8, 4);
+    if (type != NT_GNU_BUILD_ID) return {};
+    const std::size_t name_padded = (namesz + 3) & ~3u;
+    if (12 + name_padded + descsz > data.size()) return {};
+
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string hex;
+    hex.reserve(descsz * 2);
+    for (std::uint32_t i = 0; i < descsz; ++i) {
+        const std::uint8_t b = data[12 + name_padded + i];
+        hex += kDigits[b >> 4];
+        hex += kDigits[b & 0xf];
+    }
+    return hex;
+}
+
+}  // namespace siren::elfio

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "elfio/elf_types.hpp"
+
+namespace siren::elfio {
+
+/// One parsed section: header fields plus resolved name.
+struct Section {
+    std::string name;
+    std::uint32_t type = SHT_NULL;
+    std::uint64_t flags = 0;
+    std::uint64_t addr = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    std::uint32_t link = 0;
+    std::uint64_t entsize = 0;
+};
+
+/// One parsed symbol (from .symtab or .dynsym).
+struct Symbol {
+    std::string name;
+    std::uint64_t value = 0;
+    std::uint64_t size = 0;
+    unsigned char bind = STB_LOCAL;
+    unsigned char type = STT_NOTYPE;
+    std::uint16_t shndx = SHN_UNDEF;
+
+    bool is_global() const { return bind == STB_GLOBAL || bind == STB_WEAK; }
+    bool is_defined() const { return shndx != SHN_UNDEF; }
+};
+
+/// Bounds-checked ELF64 (little-endian) reader — the libelf substitute.
+///
+/// The reader does NOT own the bytes; keep the buffer alive while using it.
+/// All accessors throw siren::util::ParseError on structurally invalid
+/// input rather than reading out of bounds, so it is safe on untrusted
+/// executables (the collector hooks arbitrary user binaries).
+class Reader {
+public:
+    /// Parse headers and the section table. Throws ParseError if `image` is
+    /// not a little-endian ELF64 file.
+    explicit Reader(std::span<const std::uint8_t> image);
+
+    /// Cheap sniff: does the buffer start with a plausible ELF64 header?
+    static bool looks_like_elf(std::span<const std::uint8_t> image);
+
+    std::uint16_t type() const { return type_; }
+    std::uint16_t machine() const { return machine_; }
+    std::uint64_t entry() const { return entry_; }
+
+    const std::vector<Section>& sections() const { return sections_; }
+    const Section* section_by_name(std::string_view name) const;
+
+    /// Raw bytes of one section (empty for SHT_NOBITS).
+    std::span<const std::uint8_t> section_data(const Section& s) const;
+
+    /// NUL-separated entries of the .comment section: the compiler
+    /// identification strings (paper §3.1 "Compilers").
+    std::vector<std::string> comment_strings() const;
+
+    /// All symbols of .symtab, falling back to .dynsym when stripped.
+    std::vector<Symbol> symbols() const;
+
+    /// Names of defined global-scope symbols, sorted: the `nm`-equivalent
+    /// input of the SY_H fuzzy hash.
+    std::vector<std::string> global_symbol_names() const;
+
+    /// DT_NEEDED entries of the dynamic section: shared libraries the
+    /// executable links against.
+    std::vector<std::string> needed_libraries() const;
+
+    /// GNU build id from .note.gnu.build-id (hex), or empty when absent.
+    /// Like the xxh path hash, a build id is an *exact* identifier: useful
+    /// to deduplicate identical builds, useless for similarity.
+    std::string build_id() const;
+
+private:
+    std::string string_at(const Section& strtab, std::uint64_t offset) const;
+    std::vector<Symbol> symbols_from(const Section& symtab) const;
+
+    std::span<const std::uint8_t> image_;
+    std::uint16_t type_ = 0;
+    std::uint16_t machine_ = 0;
+    std::uint64_t entry_ = 0;
+    std::vector<Section> sections_;
+};
+
+}  // namespace siren::elfio

@@ -1,0 +1,112 @@
+#include "fuzzy/compare.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "fuzzy/edit_distance.hpp"
+#include "hashing/rolling.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace siren::fuzzy {
+
+std::string eliminate_sequences(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (i >= 3 && s[i] == s[i - 1] && s[i] == s[i - 2] && s[i] == s[i - 3]) continue;
+        out += s[i];
+    }
+    return out;
+}
+
+bool has_common_substring(std::string_view a, std::string_view b) {
+    if (a.size() < kCommonSubstringLength || b.size() < kCommonSubstringLength) return false;
+    // Digests are at most 64 chars, so a hash set of 7-grams is plenty fast.
+    std::unordered_set<std::string_view> grams;
+    for (std::size_t i = 0; i + kCommonSubstringLength <= a.size(); ++i) {
+        grams.insert(a.substr(i, kCommonSubstringLength));
+    }
+    for (std::size_t i = 0; i + kCommonSubstringLength <= b.size(); ++i) {
+        if (grams.count(b.substr(i, kCommonSubstringLength)) != 0) return true;
+    }
+    return false;
+}
+
+namespace {
+
+/// Score two same-block-size digest strings (SSDeep's score_strings).
+int score_strings(std::string_view s1, std::string_view s2, std::uint64_t block_size) {
+    if (s1.size() > kSpamsumLength || s2.size() > kSpamsumLength) return 0;
+    if (!has_common_substring(s1, s2)) return 0;
+
+    const std::size_t dist = weighted_edit_distance(s1, s2);
+
+    // Scale the distance by digest lengths to a 0..100 mismatch proportion,
+    // then invert. Matches ssdeep's integer arithmetic.
+    std::uint64_t score = (dist * kSpamsumLength) / (s1.size() + s2.size());
+    score = (100 * score) / kSpamsumLength;
+    if (score >= 100) return 0;
+    score = 100 - score;
+
+    // Small block sizes mean little data was hashed; don't let a short
+    // digest claim a stronger match than it can support.
+    const std::uint64_t uncapped_threshold =
+        (99 + hash::kRollingWindow) / hash::kRollingWindow * kMinBlockSize;
+    if (block_size < uncapped_threshold) {
+        const std::uint64_t cap =
+            block_size / kMinBlockSize * std::min(s1.size(), s2.size());
+        score = std::min<std::uint64_t>(score, cap);
+    }
+    return static_cast<int>(score);
+}
+
+}  // namespace
+
+int compare(const FuzzyDigest& a, const FuzzyDigest& b) {
+    const std::uint64_t bs1 = a.block_size;
+    const std::uint64_t bs2 = b.block_size;
+    if (bs1 != bs2 && bs1 != bs2 * 2 && bs2 != bs1 * 2) return 0;
+
+    const std::string a1 = eliminate_sequences(a.digest1);
+    const std::string a2 = eliminate_sequences(a.digest2);
+    const std::string b1 = eliminate_sequences(b.digest1);
+    const std::string b2 = eliminate_sequences(b.digest2);
+
+    if (bs1 == bs2 && a1 == b1 && a2 == b2 && !a1.empty()) return 100;
+
+    if (bs1 == bs2) {
+        return std::max(score_strings(a1, b1, bs1), score_strings(a2, b2, bs1 * 2));
+    }
+    if (bs1 == bs2 * 2) {
+        // a's fine digest lines up with b's coarse digest.
+        return score_strings(a1, b2, bs1);
+    }
+    return score_strings(a2, b1, bs2);
+}
+
+int compare(std::string_view a, std::string_view b, bool strict) {
+    try {
+        return compare(FuzzyDigest::parse(a), FuzzyDigest::parse(b));
+    } catch (const util::ParseError&) {
+        if (strict) throw;
+        return 0;
+    }
+}
+
+std::vector<int> compare_one_to_many(const FuzzyDigest& probe,
+                                     const std::vector<FuzzyDigest>& candidates,
+                                     std::size_t parallel_threshold) {
+    std::vector<int> scores(candidates.size(), 0);
+    if (parallel_threshold != 0 && candidates.size() >= parallel_threshold) {
+        util::parallel_for(candidates.size(),
+                           [&](std::size_t i) { scores[i] = compare(probe, candidates[i]); });
+    } else {
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            scores[i] = compare(probe, candidates[i]);
+        }
+    }
+    return scores;
+}
+
+}  // namespace siren::fuzzy

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzzy/ctph.hpp"
+
+namespace siren::fuzzy {
+
+/// Similarity score between two fuzzy digests: 0 (no similarity) .. 100
+/// (effectively identical), the scale used throughout the paper.
+///
+/// Mirrors SSDeep's semantics:
+///  - digests are only comparable when their block sizes are equal or one
+///    is exactly double the other (digest1/digest2 pairing);
+///  - runs of more than 3 identical characters are collapsed (they carry
+///    no distance information and over-weight repetitive inputs);
+///  - a common substring of at least 7 characters is required, otherwise
+///    the score is 0 (guards against coincidental base64 overlap);
+///  - the weighted Damerau-Levenshtein distance is scaled to 0..100 and,
+///    for small block sizes, capped so short digests cannot claim a
+///    stronger match than the data supports.
+int compare(const FuzzyDigest& a, const FuzzyDigest& b);
+
+/// Parse-and-compare convenience; returns 0 for unparsable digests when
+/// `strict` is false (collector output may contain empty fields after UDP
+/// loss), throws when strict.
+int compare(std::string_view a, std::string_view b, bool strict = false);
+
+/// Score one probe digest against many candidates; parallelizes internally
+/// above `parallel_threshold` items (0 disables threading).
+std::vector<int> compare_one_to_many(const FuzzyDigest& probe,
+                                     const std::vector<FuzzyDigest>& candidates,
+                                     std::size_t parallel_threshold = 1024);
+
+/// Exposed for tests: collapse runs of > 3 identical characters.
+std::string eliminate_sequences(std::string_view s);
+
+/// Exposed for tests: true when the strings share a substring of length
+/// `kCommonSubstringLength`.
+bool has_common_substring(std::string_view a, std::string_view b);
+
+inline constexpr std::size_t kCommonSubstringLength = 7;
+
+}  // namespace siren::fuzzy

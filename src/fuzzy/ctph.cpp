@@ -1,0 +1,110 @@
+#include "fuzzy/ctph.hpp"
+
+#include "hashing/fnv.hpp"
+#include "hashing/rolling.hpp"
+#include "util/base64.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace siren::fuzzy {
+
+std::string FuzzyDigest::to_string() const {
+    return std::to_string(block_size) + ":" + digest1 + ":" + digest2;
+}
+
+FuzzyDigest FuzzyDigest::parse(std::string_view s) {
+    const auto parts = util::split(s, ':');
+    if (parts.size() != 3) throw util::ParseError("fuzzy digest needs 3 ':' fields: " + std::string(s));
+    FuzzyDigest d;
+    char* end = nullptr;
+    d.block_size = std::strtoull(parts[0].c_str(), &end, 10);
+    if (end == parts[0].c_str() || *end != '\0' || d.block_size == 0) {
+        throw util::ParseError("fuzzy digest block size invalid: " + parts[0]);
+    }
+    if (parts[1].size() > kSpamsumLength || parts[2].size() > kSpamsumLength) {
+        throw util::ParseError("fuzzy digest part too long");
+    }
+    d.digest1 = parts[1];
+    d.digest2 = parts[2];
+    return d;
+}
+
+namespace {
+
+/// One scan of the input at a fixed block size, producing both digest parts.
+void scan_once(const std::uint8_t* data, std::size_t size, std::uint64_t block_size,
+               std::string& d1, std::string& d2, bool& any_trigger) {
+    d1.clear();
+    d2.clear();
+    any_trigger = false;
+
+    hash::RollingHash roll;
+    std::uint32_t sum1 = hash::kSpamsumHashInit;
+    std::uint32_t sum2 = hash::kSpamsumHashInit;
+
+    for (std::size_t i = 0; i < size; ++i) {
+        const std::uint8_t c = data[i];
+        const std::uint32_t r = roll.update(c);
+        sum1 = hash::fnv32_step(sum1, c);
+        sum2 = hash::fnv32_step(sum2, c);
+
+        if (r % block_size == block_size - 1) {
+            any_trigger = true;
+            if (d1.size() < kSpamsumLength - 1) {
+                d1 += util::kBase64Alphabet[sum1 & 63];
+                sum1 = hash::kSpamsumHashInit;
+            }
+            if (r % (block_size * 2) == block_size * 2 - 1) {
+                if (d2.size() < kSpamsumLength / 2 - 1) {
+                    d2 += util::kBase64Alphabet[sum2 & 63];
+                    sum2 = hash::kSpamsumHashInit;
+                }
+            }
+        }
+    }
+
+    // Capture whatever accumulated after the last trigger so trailing bytes
+    // still influence the digest.
+    if (roll.value() != 0) {
+        d1 += util::kBase64Alphabet[sum1 & 63];
+        d2 += util::kBase64Alphabet[sum2 & 63];
+    }
+}
+
+}  // namespace
+
+FuzzyDigest fuzzy_hash(const std::uint8_t* data, std::size_t size) {
+    // Smallest power-of-two multiple of kMinBlockSize expected to fill the
+    // digest: with uniform triggers, size/block_size chunks ~ 64.
+    std::uint64_t block_size = kMinBlockSize;
+    while (block_size * kSpamsumLength < size) block_size *= 2;
+
+    FuzzyDigest out;
+    bool any_trigger = false;
+    while (true) {
+        scan_once(data, size, block_size, out.digest1, out.digest2, any_trigger);
+        if (block_size > kMinBlockSize && out.digest1.size() < kSpamsumLength / 2) {
+            // Too few triggers at this granularity: halve and rescan so the
+            // digest carries enough signal to be comparable.
+            block_size /= 2;
+        } else {
+            break;
+        }
+    }
+    out.block_size = block_size;
+    return out;
+}
+
+FuzzyDigest fuzzy_hash(const std::vector<std::uint8_t>& data) {
+    return fuzzy_hash(data.data(), data.size());
+}
+
+FuzzyDigest fuzzy_hash(std::string_view data) {
+    return fuzzy_hash(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+}
+
+std::string fuzzy_hash_string(std::string_view data) {
+    return fuzzy_hash(data).to_string();
+}
+
+}  // namespace siren::fuzzy

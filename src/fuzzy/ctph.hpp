@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace siren::fuzzy {
+
+/// Maximum number of characters in a spamsum digest part.
+inline constexpr std::size_t kSpamsumLength = 64;
+
+/// Smallest context-trigger block size.
+inline constexpr std::uint64_t kMinBlockSize = 3;
+
+/// A parsed fuzzy hash: `block_size:digest1:digest2`, where digest1 was
+/// computed with `block_size` as the chunk trigger and digest2 with
+/// `2 * block_size`. Keeping both lets two hashes computed at adjacent
+/// block sizes still be compared (files of very different length).
+struct FuzzyDigest {
+    std::uint64_t block_size = kMinBlockSize;
+    std::string digest1;
+    std::string digest2;
+
+    /// Canonical `bs:d1:d2` representation.
+    std::string to_string() const;
+
+    /// Parse; throws siren::util::ParseError on malformed input.
+    static FuzzyDigest parse(std::string_view s);
+
+    friend bool operator==(const FuzzyDigest&, const FuzzyDigest&) = default;
+};
+
+/// Compute the CTPH (context-triggered piecewise hash) of a buffer.
+///
+/// Algorithm (Kornblum 2006, as in SSDeep): a 7-byte rolling hash scans the
+/// input; whenever `rolling % block_size == block_size - 1` the FNV sum
+/// hash accumulated since the previous trigger emits one base64 character
+/// and resets. The initial block size is the smallest
+/// `kMinBlockSize * 2^k` whose expected digest fits kSpamsumLength; if the
+/// produced digest is shorter than kSpamsumLength/2 the block size is
+/// halved and the scan repeats, so short inputs still yield comparable
+/// digests.
+FuzzyDigest fuzzy_hash(const std::uint8_t* data, std::size_t size);
+FuzzyDigest fuzzy_hash(const std::vector<std::uint8_t>& data);
+FuzzyDigest fuzzy_hash(std::string_view data);
+
+/// Convenience: `fuzzy_hash(...).to_string()`.
+std::string fuzzy_hash_string(std::string_view data);
+
+}  // namespace siren::fuzzy

@@ -1,0 +1,59 @@
+#include "fuzzy/edit_distance.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace siren::fuzzy {
+
+namespace {
+
+/// Shared DP core. Rows are rotated (prev2/prev/cur) so memory stays
+/// O(min-side) even for large inputs; digest strings are <= 64 chars but
+/// the tests also exercise long raw strings.
+std::size_t dp_distance(std::string_view a, std::string_view b, const EditCosts& costs,
+                        bool allow_transpose) {
+    if (a.empty()) return b.size() * static_cast<std::size_t>(costs.insert);
+    if (b.empty()) return a.size() * static_cast<std::size_t>(costs.remove);
+
+    const std::size_t n = b.size();
+    std::vector<std::size_t> prev2(n + 1), prev(n + 1), cur(n + 1);
+
+    for (std::size_t j = 0; j <= n; ++j) prev[j] = j * costs.insert;
+
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i * costs.remove;
+        for (std::size_t j = 1; j <= n; ++j) {
+            const bool same = a[i - 1] == b[j - 1];
+            std::size_t best = prev[j - 1] + (same ? 0 : costs.substitute);
+            best = std::min(best, prev[j] + costs.remove);
+            best = std::min(best, cur[j - 1] + costs.insert);
+            if (allow_transpose && i > 1 && j > 1 && a[i - 1] == b[j - 2] &&
+                a[i - 2] == b[j - 1] && !same) {
+                best = std::min(best, prev2[j - 2] + costs.transpose);
+            }
+            cur[j] = best;
+        }
+        std::swap(prev2, prev);
+        std::swap(prev, cur);
+    }
+    return prev[n];
+}
+
+}  // namespace
+
+std::size_t levenshtein(std::string_view a, std::string_view b) {
+    EditCosts unit{1, 1, 1, 1};
+    return dp_distance(a, b, unit, /*allow_transpose=*/false);
+}
+
+std::size_t damerau_levenshtein(std::string_view a, std::string_view b) {
+    EditCosts unit{1, 1, 1, 1};
+    return dp_distance(a, b, unit, /*allow_transpose=*/true);
+}
+
+std::size_t weighted_edit_distance(std::string_view a, std::string_view b,
+                                   const EditCosts& costs) {
+    return dp_distance(a, b, costs, /*allow_transpose=*/true);
+}
+
+}  // namespace siren::fuzzy

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace siren::fuzzy {
+
+/// Operation costs for the weighted edit distances. SSDeep's scoring uses
+/// insert/delete = 1 and substitution = 2 (a substitution must not be
+/// cheaper than delete+insert would suggest, or scores inflate); the paper
+/// describes the comparison as Damerau-Levenshtein, so adjacent
+/// transpositions are supported with their own cost.
+struct EditCosts {
+    unsigned insert = 1;
+    unsigned remove = 1;
+    unsigned substitute = 2;
+    unsigned transpose = 2;
+};
+
+/// Classic Levenshtein distance (insert/delete/substitute, unit costs).
+std::size_t levenshtein(std::string_view a, std::string_view b);
+
+/// Restricted Damerau-Levenshtein (optimal string alignment): Levenshtein
+/// plus transposition of two adjacent characters, unit costs.
+std::size_t damerau_levenshtein(std::string_view a, std::string_view b);
+
+/// Weighted restricted Damerau-Levenshtein; this is the distance the
+/// SSDeep-style scorer feeds into the 0-100 similarity formula.
+std::size_t weighted_edit_distance(std::string_view a, std::string_view b,
+                                   const EditCosts& costs = EditCosts{});
+
+}  // namespace siren::fuzzy

@@ -1,0 +1,13 @@
+#pragma once
+
+/// Umbrella header for the SSDeep-style fuzzy hashing substrate:
+///  - ctph.hpp           context-triggered piecewise hashing (digests)
+///  - compare.hpp        0..100 similarity scoring between digests
+///  - edit_distance.hpp  Levenshtein / Damerau-Levenshtein kernels
+///  - tlsh.hpp           TLSH-style locality-sensitive digest (ablation
+///                       comparator for the CTPH choice)
+
+#include "fuzzy/compare.hpp"    // IWYU pragma: export
+#include "fuzzy/ctph.hpp"       // IWYU pragma: export
+#include "fuzzy/edit_distance.hpp"  // IWYU pragma: export
+#include "fuzzy/tlsh.hpp"       // IWYU pragma: export

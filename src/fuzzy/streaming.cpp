@@ -1,0 +1,73 @@
+#include "fuzzy/streaming.hpp"
+
+#include "util/base64.hpp"
+
+namespace siren::fuzzy {
+
+void StreamingHasher::reset() {
+    roll_.reset();
+    for (auto& level : levels_) level = Level{};
+    total_ = 0;
+}
+
+void StreamingHasher::update(const std::uint8_t* data, std::size_t size) {
+    for (std::size_t i = 0; i < size; ++i) {
+        const std::uint8_t c = data[i];
+        const std::uint32_t r = roll_.update(c);
+
+        std::uint64_t block_size = kMinBlockSize;
+        for (auto& level : levels_) {
+            level.sum1 = hash::fnv32_step(level.sum1, c);
+            level.sum2 = hash::fnv32_step(level.sum2, c);
+
+            if (r % block_size == block_size - 1) {
+                if (level.digest1.size() < kSpamsumLength - 1) {
+                    level.digest1 += util::kBase64Alphabet[level.sum1 & 63];
+                    level.sum1 = hash::kSpamsumHashInit;
+                }
+                if (r % (block_size * 2) == block_size * 2 - 1 &&
+                    level.digest2.size() < kSpamsumLength / 2 - 1) {
+                    level.digest2 += util::kBase64Alphabet[level.sum2 & 63];
+                    level.sum2 = hash::kSpamsumHashInit;
+                }
+            } else {
+                // A level only triggers when every smaller level does; once
+                // this one missed, all larger ones miss too, but their sums
+                // must still advance — so no early break here. (The FNV
+                // steps above ran before the trigger check.)
+            }
+            block_size *= 2;
+        }
+        ++total_;
+    }
+}
+
+FuzzyDigest StreamingHasher::finalize() const {
+    // Batch selection rule: smallest block size whose expected digest
+    // fits, stepped down while the digest is under-filled.
+    std::size_t level = 0;
+    {
+        std::uint64_t block_size = kMinBlockSize;
+        while (block_size * kSpamsumLength < total_ && level + 1 < kLevels) {
+            block_size *= 2;
+            ++level;
+        }
+    }
+    // The batch scanner counts the trailing capture character when judging
+    // digest fill; mirror that so the level choice is identical.
+    const std::size_t tail = roll_.value() != 0 ? 1 : 0;
+    while (level > 0 && levels_[level].digest1.size() + tail < kSpamsumLength / 2) --level;
+
+    const Level& chosen = levels_[level];
+    FuzzyDigest out;
+    out.block_size = kMinBlockSize << level;
+    out.digest1 = chosen.digest1;
+    out.digest2 = chosen.digest2;
+    if (roll_.value() != 0) {
+        out.digest1 += util::kBase64Alphabet[chosen.sum1 & 63];
+        out.digest2 += util::kBase64Alphabet[chosen.sum2 & 63];
+    }
+    return out;
+}
+
+}  // namespace siren::fuzzy

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzzy/ctph.hpp"
+#include "hashing/fnv.hpp"
+#include "hashing/rolling.hpp"
+
+namespace siren::fuzzy {
+
+/// Incremental CTPH hasher: feed data in arbitrary chunks, finalize once.
+///
+/// The batch fuzzy_hash() picks the block size from the total length and
+/// may rescan at a smaller block size — impossible when streaming. Instead
+/// the streaming hasher maintains a digest ladder: one digest state per
+/// candidate block size (3 * 2^i). finalize() then applies exactly the
+/// batch selection rule to the materialized ladder, so for any input and
+/// any chunking
+///
+///     StreamingHasher h; h.update(parts...); h.finalize()
+///       == fuzzy_hash(concat(parts))
+///
+/// (a property test sweeps this). The cost is one FNV step per byte per
+/// ladder level (~31), which is the standard trade-off ssdeep's streaming
+/// interface makes as well. Use the batch API when the data is in memory.
+class StreamingHasher {
+public:
+    StreamingHasher() { reset(); }
+
+    void update(const std::uint8_t* data, std::size_t size);
+    void update(std::string_view s) {
+        update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+    }
+
+    /// Total bytes consumed so far.
+    std::uint64_t size() const { return total_; }
+
+    /// Produce the digest; the hasher remains usable (more update() calls
+    /// continue the same stream, finalize() is a snapshot).
+    FuzzyDigest finalize() const;
+
+    void reset();
+
+private:
+    /// Ladder depth: block sizes 3 * 2^0 .. 3 * 2^30 cover inputs beyond
+    /// 64 * 3 * 2^30 bytes (~200 GiB), far past any executable.
+    static constexpr std::size_t kLevels = 31;
+
+    struct Level {
+        std::uint32_t sum1 = hash::kSpamsumHashInit;
+        std::uint32_t sum2 = hash::kSpamsumHashInit;
+        std::string digest1;
+        std::string digest2;
+    };
+
+    hash::RollingHash roll_;
+    std::array<Level, kLevels> levels_;
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace siren::fuzzy

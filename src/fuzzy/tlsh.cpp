@@ -1,0 +1,189 @@
+#include "fuzzy/tlsh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace siren::fuzzy {
+
+namespace {
+
+/// Pearson permutation table (the TLSH reference v_table).
+constexpr std::uint8_t kPearson[256] = {
+    1,   87,  49,  12,  176, 178, 102, 166, 121, 193, 6,   84,  249, 230, 44,  163,
+    14,  197, 213, 181, 161, 85,  218, 80,  64,  239, 24,  226, 236, 142, 38,  200,
+    110, 177, 104, 103, 141, 253, 255, 50,  77,  101, 81,  18,  45,  96,  31,  222,
+    25,  107, 190, 70,  86,  237, 240, 34,  72,  242, 20,  214, 244, 227, 149, 235,
+    97,  234, 57,  22,  60,  250, 82,  175, 208, 5,   127, 199, 111, 62,  135, 248,
+    174, 169, 211, 58,  66,  154, 106, 195, 245, 171, 17,  187, 182, 179, 0,   243,
+    132, 56,  148, 75,  128, 133, 158, 100, 130, 126, 91,  13,  153, 246, 216, 219,
+    119, 68,  223, 78,  83,  88,  201, 99,  122, 11,  92,  32,  136, 114, 52,  10,
+    138, 30,  48,  183, 156, 35,  61,  26,  143, 74,  251, 94,  129, 162, 63,  152,
+    170, 7,   115, 167, 241, 206, 3,   150, 55,  59,  151, 220, 90,  53,  23,  131,
+    125, 173, 15,  238, 79,  95,  89,  16,  105, 137, 225, 224, 217, 160, 37,  123,
+    118, 73,  2,   157, 46,  116, 9,   145, 134, 228, 207, 212, 202, 215, 69,  229,
+    27,  188, 67,  124, 168, 252, 42,  4,   29,  108, 21,  247, 19,  205, 39,  203,
+    233, 40,  186, 147, 198, 192, 155, 33,  164, 191, 98,  204, 165, 180, 117, 76,
+    140, 36,  210, 172, 41,  54,  159, 8,   185, 232, 113, 196, 231, 47,  146, 120,
+    51,  65,  28,  144, 254, 221, 93,  189, 194, 139, 112, 43,  71,  109, 184, 209,
+};
+
+/// Pearson hash of a salted byte triple: the bucket-mapping primitive.
+std::uint8_t b_mapping(std::uint8_t salt, std::uint8_t i, std::uint8_t j, std::uint8_t k) {
+    std::uint8_t h = kPearson[salt];
+    h = kPearson[h ^ i];
+    h = kPearson[h ^ j];
+    h = kPearson[h ^ k];
+    return h;
+}
+
+/// Logarithmic length bucket: floor(log_1.5(len)), saturated to one byte.
+std::uint8_t l_capturing(std::size_t len) {
+    if (len == 0) return 0;
+    const double l = std::log(static_cast<double>(len)) / std::log(1.5);
+    return static_cast<std::uint8_t>(std::min(255.0, std::max(0.0, std::floor(l))));
+}
+
+/// Circular distance on the mod-16 quartile-ratio scale.
+int mod16_distance(int a, int b) {
+    const int d = std::abs(a - b);
+    return std::min(d, 16 - d);
+}
+
+}  // namespace
+
+std::string TlshDigest::to_string() const {
+    std::string out = "T1";
+    const auto hex_byte = [&out](std::uint8_t b) {
+        static constexpr char kHex[] = "0123456789ABCDEF";
+        out += kHex[b >> 4];
+        out += kHex[b & 0xF];
+    };
+    hex_byte(checksum);
+    hex_byte(lvalue);
+    hex_byte(static_cast<std::uint8_t>((q1_ratio << 4) | q2_ratio));
+    for (const std::uint8_t b : body) hex_byte(b);
+    return out;
+}
+
+TlshDigest TlshDigest::parse(std::string_view s) {
+    constexpr std::size_t kExpected = 2 + 2 * (3 + kTlshBuckets / 4);
+    if (s.size() != kExpected || s[0] != 'T' || s[1] != '1') {
+        throw util::ParseError("tlsh: malformed digest: " + std::string(s));
+    }
+    const std::vector<std::uint8_t> bytes = util::hex_decode(s.substr(2));
+    TlshDigest d;
+    d.checksum = bytes[0];
+    d.lvalue = bytes[1];
+    d.q1_ratio = bytes[2] >> 4;
+    d.q2_ratio = bytes[2] & 0xF;
+    std::copy(bytes.begin() + 3, bytes.end(), d.body.begin());
+    return d;
+}
+
+std::optional<TlshDigest> tlsh_hash(const std::uint8_t* data, std::size_t size) {
+    if (size < kTlshMinSize) return std::nullopt;
+
+    // Sliding 5-byte window; each position feeds six salted triplets into a
+    // 256-bucket Pearson histogram (only the first 128 buckets are encoded,
+    // as in the 128-bucket reference variant).
+    std::array<std::uint32_t, 256> buckets{};
+    std::uint8_t checksum = 0;
+    for (std::size_t n = 4; n < size; ++n) {
+        const std::uint8_t a = data[n];
+        const std::uint8_t b = data[n - 1];
+        const std::uint8_t c = data[n - 2];
+        const std::uint8_t d = data[n - 3];
+        const std::uint8_t e = data[n - 4];
+        checksum = b_mapping(0, a, b, checksum);
+        ++buckets[b_mapping(2, a, b, c)];
+        ++buckets[b_mapping(3, a, b, d)];
+        ++buckets[b_mapping(5, a, c, d)];
+        ++buckets[b_mapping(7, a, c, e)];
+        ++buckets[b_mapping(11, a, b, e)];
+        ++buckets[b_mapping(13, a, d, e)];
+    }
+
+    // Quartiles of the encoded buckets.
+    std::array<std::uint32_t, kTlshBuckets> sorted{};
+    std::copy_n(buckets.begin(), kTlshBuckets, sorted.begin());
+    std::sort(sorted.begin(), sorted.end());
+    const std::uint32_t q1 = sorted[kTlshBuckets / 4 - 1];
+    const std::uint32_t q2 = sorted[kTlshBuckets / 2 - 1];
+    const std::uint32_t q3 = sorted[3 * kTlshBuckets / 4 - 1];
+
+    // Validity: at least a quarter of the buckets must be populated,
+    // otherwise the quartile encoding degenerates (constant-ish input).
+    if (q3 == 0) return std::nullopt;
+
+    TlshDigest out;
+    out.checksum = checksum;
+    out.lvalue = l_capturing(size);
+    out.q1_ratio = static_cast<std::uint8_t>((q1 * 100 / q3) % 16);
+    out.q2_ratio = static_cast<std::uint8_t>((q2 * 100 / q3) % 16);
+
+    // Body: 2 bits per bucket — which quartile band the count falls in.
+    for (std::size_t i = 0; i < kTlshBuckets; ++i) {
+        std::uint8_t code = 0;
+        if (buckets[i] > q3) {
+            code = 3;
+        } else if (buckets[i] > q2) {
+            code = 2;
+        } else if (buckets[i] > q1) {
+            code = 1;
+        }
+        out.body[i / 4] |= static_cast<std::uint8_t>(code << ((i % 4) * 2));
+    }
+    return out;
+}
+
+std::optional<TlshDigest> tlsh_hash(const std::vector<std::uint8_t>& data) {
+    return tlsh_hash(data.data(), data.size());
+}
+
+std::optional<TlshDigest> tlsh_hash(std::string_view data) {
+    return tlsh_hash(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+}
+
+int tlsh_distance(const TlshDigest& a, const TlshDigest& b) {
+    int diff = 0;
+
+    // Length band: adjacent bands are cheap, far bands are heavily
+    // penalized (files of very different size are rarely the same code).
+    const int ldiff = std::abs(static_cast<int>(a.lvalue) - static_cast<int>(b.lvalue));
+    diff += (ldiff <= 1) ? ldiff : ldiff * 12;
+
+    // Quartile-ratio bands, circular mod-16.
+    const int q1d = mod16_distance(a.q1_ratio, b.q1_ratio);
+    diff += (q1d <= 1) ? q1d : (q1d - 1) * 12;
+    const int q2d = mod16_distance(a.q2_ratio, b.q2_ratio);
+    diff += (q2d <= 1) ? q2d : (q2d - 1) * 12;
+
+    if (a.checksum != b.checksum) diff += 1;
+
+    // Body: per-bucket quartile-band distance; the 0<->3 band jump costs 6
+    // (the reference's non-linear step for opposite extremes).
+    for (std::size_t i = 0; i < a.body.size(); ++i) {
+        std::uint8_t x = a.body[i];
+        std::uint8_t y = b.body[i];
+        for (int p = 0; p < 4; ++p) {
+            const int d = std::abs((x & 3) - (y & 3));
+            diff += (d == 3) ? 6 : d;
+            x >>= 2;
+            y >>= 2;
+        }
+    }
+    return diff;
+}
+
+int tlsh_similarity(const TlshDigest& a, const TlshDigest& b) {
+    constexpr int kUnrelated = 300;
+    const int dist = tlsh_distance(a, b);
+    if (dist >= kUnrelated) return 0;
+    return (kUnrelated - dist) * 100 / kUnrelated;
+}
+
+}  // namespace siren::fuzzy

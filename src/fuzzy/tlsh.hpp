@@ -1,0 +1,69 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace siren::fuzzy {
+
+/// Minimum input size for a TLSH digest. Below this the bucket histogram is
+/// too sparse for the quartile encoding to be meaningful (the reference
+/// implementation uses the same floor).
+inline constexpr std::size_t kTlshMinSize = 50;
+
+/// Number of histogram buckets encoded in the digest body (the "128-bucket"
+/// TLSH variant: 256 Pearson buckets are accumulated, the first 128 encoded).
+inline constexpr std::size_t kTlshBuckets = 128;
+
+/// A TLSH-style locality-sensitive digest.
+///
+/// TLSH (Oliver et al., 2013) is the other major family of similarity
+/// hashes used in malware triage. Where SSDeep's CTPH captures the
+/// *sequence* of content (digest characters appear in file order, compared
+/// by edit distance), TLSH captures the *distribution* of content: a
+/// histogram of Pearson-hashed sliding-window triplets, quantized against
+/// its own quartiles. SIREN's collector uses CTPH (the paper's choice);
+/// this digest exists as the ablation comparator — `bench_ablation_tlsh`
+/// measures both families under the same controlled binary drift.
+struct TlshDigest {
+    std::uint8_t checksum = 0;   ///< 1-byte rolling Pearson checksum
+    std::uint8_t lvalue = 0;     ///< log-bucketed input length
+    std::uint8_t q1_ratio = 0;   ///< (q1*100/q3) mod 16
+    std::uint8_t q2_ratio = 0;   ///< (q2*100/q3) mod 16
+    std::array<std::uint8_t, kTlshBuckets / 4> body{};  ///< 2 bits per bucket
+
+    /// Canonical hex form, `T1` prefixed (header then body, uppercase hex).
+    std::string to_string() const;
+
+    /// Parse the `to_string` form; throws siren::util::ParseError on
+    /// malformed input.
+    static TlshDigest parse(std::string_view s);
+
+    friend bool operator==(const TlshDigest&, const TlshDigest&) = default;
+};
+
+/// Compute the TLSH digest of a buffer.
+///
+/// Returns nullopt when the input is too short (< kTlshMinSize) or too
+/// uniform (three quarters of the buckets empty — e.g. a constant byte
+/// run), matching the reference implementation's validity rules. A digest
+/// that cannot be computed is a real outcome the caller must handle; SIREN
+/// records an empty hash column in that case.
+std::optional<TlshDigest> tlsh_hash(const std::uint8_t* data, std::size_t size);
+std::optional<TlshDigest> tlsh_hash(const std::vector<std::uint8_t>& data);
+std::optional<TlshDigest> tlsh_hash(std::string_view data);
+
+/// TLSH distance: 0 = identical, larger = more different, unbounded
+/// (length and quartile-ratio mismatches add step penalties; each of the
+/// 128 body buckets contributes 0..6).
+int tlsh_distance(const TlshDigest& a, const TlshDigest& b);
+
+/// Map a TLSH distance onto the paper's 0..100 similarity scale so both
+/// hash families plot on the same axis: 100 at distance 0, linearly down
+/// to 0 at distance >= 300 (empirically "unrelated" for binaries).
+int tlsh_similarity(const TlshDigest& a, const TlshDigest& b);
+
+}  // namespace siren::fuzzy

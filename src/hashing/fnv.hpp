@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace siren::hash {
+
+/// 32-bit FNV-1 constants; SSDeep's piecewise sum hash is FNV with a custom
+/// initial value (HASH_INIT below, from Kornblum's spamsum).
+inline constexpr std::uint32_t kFnv32Prime = 0x01000193u;
+inline constexpr std::uint32_t kFnv32Init = 0x811C9DC5u;
+inline constexpr std::uint32_t kSpamsumHashInit = 0x28021967u;
+
+inline constexpr std::uint64_t kFnv64Prime = 0x100000001B3ull;
+inline constexpr std::uint64_t kFnv64Init = 0xCBF29CE484222325ull;
+
+/// One FNV-1 step (multiply then xor) as used by spamsum's piecewise hash.
+constexpr std::uint32_t fnv32_step(std::uint32_t h, std::uint8_t c) {
+    return (h * kFnv32Prime) ^ c;
+}
+
+/// FNV-1a over a byte range (xor then multiply; better dispersion for text).
+constexpr std::uint32_t fnv1a32(std::string_view data, std::uint32_t seed = kFnv32Init) {
+    std::uint32_t h = seed;
+    for (char c : data) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= kFnv32Prime;
+    }
+    return h;
+}
+
+constexpr std::uint64_t fnv1a64(std::string_view data, std::uint64_t seed = kFnv64Init) {
+    std::uint64_t h = seed;
+    for (char c : data) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= kFnv64Prime;
+    }
+    return h;
+}
+
+}  // namespace siren::hash

@@ -1,0 +1,8 @@
+#include "hashing/rolling.hpp"
+
+// RollingHash is fully inline; this translation unit anchors the module so
+// the static library is never empty and keeps a place for future
+// out-of-line helpers.
+namespace siren::hash {
+static_assert(kRollingWindow == 7, "spamsum rolling window is 7 bytes");
+}  // namespace siren::hash

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace siren::hash {
+
+/// Window size of the spamsum/SSDeep rolling hash.
+inline constexpr std::size_t kRollingWindow = 7;
+
+/// SSDeep's rolling hash: a cheap recursive hash over the last
+/// kRollingWindow bytes. Its value depends only on that window, which is
+/// what makes the piecewise hashing *context-triggered*: a chunk boundary is
+/// declared whenever hash % blocksize == blocksize-1, so boundaries realign
+/// after local edits instead of shifting every subsequent chunk.
+class RollingHash {
+public:
+    RollingHash() { reset(); }
+
+    void reset() {
+        window_.fill(0);
+        h1_ = h2_ = h3_ = 0;
+        n_ = 0;
+    }
+
+    /// Feed one byte and return the updated hash value.
+    std::uint32_t update(std::uint8_t c) {
+        h2_ -= h1_;
+        h2_ += static_cast<std::uint32_t>(kRollingWindow) * c;
+        h1_ += c;
+        h1_ -= window_[n_ % kRollingWindow];
+        window_[n_ % kRollingWindow] = c;
+        ++n_;
+        // h3 is a shift-xor over the window; the left-shift ages bytes out
+        // after 32/5 ~ 7 updates, matching the window length.
+        h3_ = (h3_ << 5) ^ c;
+        return value();
+    }
+
+    std::uint32_t value() const { return h1_ + h2_ + h3_; }
+
+private:
+    std::array<std::uint8_t, kRollingWindow> window_{};
+    std::uint32_t h1_ = 0;
+    std::uint32_t h2_ = 0;
+    std::uint32_t h3_ = 0;
+    std::size_t n_ = 0;
+};
+
+}  // namespace siren::hash

@@ -1,0 +1,125 @@
+#include "hashing/sha1.hpp"
+
+#include <cstring>
+
+#include "util/hex.hpp"
+
+namespace siren::hash {
+
+namespace {
+constexpr std::uint32_t rotl32(std::uint32_t x, int r) { return (x << r) | (x >> (32 - r)); }
+}  // namespace
+
+Sha1::Sha1() { reset(); }
+
+void Sha1::reset() {
+    state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+    total_bytes_ = 0;
+    buffered_ = 0;
+}
+
+void Sha1::update(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    total_bytes_ += size;
+
+    if (buffered_ != 0) {
+        const std::size_t need = 64 - buffered_;
+        const std::size_t take = size < need ? size : need;
+        std::memcpy(buffer_.data() + buffered_, p, take);
+        buffered_ += take;
+        p += take;
+        size -= take;
+        if (buffered_ == 64) {
+            process_block(buffer_.data());
+            buffered_ = 0;
+        }
+    }
+    while (size >= 64) {
+        process_block(p);
+        p += 64;
+        size -= 64;
+    }
+    if (size != 0) {
+        std::memcpy(buffer_.data(), p, size);
+        buffered_ = size;
+    }
+}
+
+std::array<std::uint8_t, 20> Sha1::finish() {
+    const std::uint64_t bit_len = total_bytes_ * 8;
+    const std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    const std::uint8_t zero = 0;
+    while (buffered_ != 56) update(&zero, 1);
+
+    std::uint8_t len_bytes[8];
+    for (int i = 0; i < 8; ++i) len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    update(len_bytes, 8);
+
+    std::array<std::uint8_t, 20> digest{};
+    for (int i = 0; i < 5; ++i) {
+        digest[static_cast<std::size_t>(i * 4 + 0)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 24);
+        digest[static_cast<std::size_t>(i * 4 + 1)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 16);
+        digest[static_cast<std::size_t>(i * 4 + 2)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 8);
+        digest[static_cast<std::size_t>(i * 4 + 3)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)]);
+    }
+    return digest;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+               (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+               (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+               static_cast<std::uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+        w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+
+    std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3], e = state_[4];
+    for (int i = 0; i < 80; ++i) {
+        std::uint32_t f, k;
+        if (i < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5A827999u;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ED9EBA1u;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8F1BBCDCu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xCA62C1D6u;
+        }
+        const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl32(b, 30);
+        b = a;
+        a = temp;
+    }
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    state_[4] += e;
+}
+
+std::string Sha1::hex(std::string_view data) {
+    Sha1 h;
+    h.update(data);
+    const auto digest = h.finish();
+    return util::hex_encode(digest.data(), digest.size());
+}
+
+std::string Sha1::hex(const std::vector<std::uint8_t>& data) {
+    Sha1 h;
+    h.update(data.data(), data.size());
+    const auto digest = h.finish();
+    return util::hex_encode(digest.data(), digest.size());
+}
+
+}  // namespace siren::hash

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace siren::hash {
+
+/// SHA-1 (FIPS 180-1), implemented from scratch.
+///
+/// SIREN itself analyzes *fuzzy* hashes; SHA-1 is included because XALT (the
+/// baseline framework, Related Work §5) identifies executables by a sha1 of
+/// the binary. The ablation benches use it to show why exact cryptographic
+/// matching fails to recognize recompiled variants (avalanche effect).
+class Sha1 {
+public:
+    Sha1();
+
+    void update(const void* data, std::size_t size);
+    void update(std::string_view s) { update(s.data(), s.size()); }
+
+    /// Finalize and return the 20-byte digest. The object must not be
+    /// updated afterwards (reset() to reuse).
+    std::array<std::uint8_t, 20> finish();
+
+    void reset();
+
+    /// One-shot convenience: lowercase hex digest of a buffer.
+    static std::string hex(std::string_view data);
+    static std::string hex(const std::vector<std::uint8_t>& data);
+
+private:
+    void process_block(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 5> state_{};
+    std::uint64_t total_bytes_ = 0;
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffered_ = 0;
+};
+
+}  // namespace siren::hash

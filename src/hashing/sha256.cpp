@@ -1,0 +1,140 @@
+#include "hashing/sha256.hpp"
+
+#include <cstring>
+
+#include "util/hex.hpp"
+
+namespace siren::hash {
+
+namespace {
+
+constexpr std::uint32_t rotr32(std::uint32_t x, int r) { return (x >> r) | (x << (32 - r)); }
+
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+}  // namespace
+
+Sha256::Sha256() { reset(); }
+
+void Sha256::reset() {
+    state_ = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+              0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+    total_bytes_ = 0;
+    buffered_ = 0;
+}
+
+void Sha256::update(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    total_bytes_ += size;
+
+    if (buffered_ != 0) {
+        const std::size_t need = 64 - buffered_;
+        const std::size_t take = size < need ? size : need;
+        std::memcpy(buffer_.data() + buffered_, p, take);
+        buffered_ += take;
+        p += take;
+        size -= take;
+        if (buffered_ == 64) {
+            process_block(buffer_.data());
+            buffered_ = 0;
+        }
+    }
+    while (size >= 64) {
+        process_block(p);
+        p += 64;
+        size -= 64;
+    }
+    if (size != 0) {
+        std::memcpy(buffer_.data(), p, size);
+        buffered_ = size;
+    }
+}
+
+std::array<std::uint8_t, 32> Sha256::finish() {
+    const std::uint64_t bit_len = total_bytes_ * 8;
+    const std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    const std::uint8_t zero = 0;
+    while (buffered_ != 56) update(&zero, 1);
+
+    std::uint8_t len_bytes[8];
+    for (int i = 0; i < 8; ++i) len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    update(len_bytes, 8);
+
+    std::array<std::uint8_t, 32> digest{};
+    for (int i = 0; i < 8; ++i) {
+        digest[static_cast<std::size_t>(i * 4 + 0)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 24);
+        digest[static_cast<std::size_t>(i * 4 + 1)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 16);
+        digest[static_cast<std::size_t>(i * 4 + 2)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 8);
+        digest[static_cast<std::size_t>(i * 4 + 3)] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)]);
+    }
+    return digest;
+}
+
+void Sha256::process_block(const std::uint8_t* block) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+               (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+               (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+               static_cast<std::uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+        const std::uint32_t s0 = rotr32(w[i - 15], 7) ^ rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+        const std::uint32_t s1 = rotr32(w[i - 2], 17) ^ rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+    std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+
+    for (int i = 0; i < 64; ++i) {
+        const std::uint32_t s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+        const std::uint32_t ch = (e & f) ^ (~e & g);
+        const std::uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
+        const std::uint32_t s0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+        const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        const std::uint32_t temp2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + temp1;
+        d = c;
+        c = b;
+        b = a;
+        a = temp1 + temp2;
+    }
+
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    state_[4] += e;
+    state_[5] += f;
+    state_[6] += g;
+    state_[7] += h;
+}
+
+std::string Sha256::hex(std::string_view data) {
+    Sha256 h;
+    h.update(data);
+    const auto digest = h.finish();
+    return util::hex_encode(digest.data(), digest.size());
+}
+
+std::string Sha256::hex(const std::vector<std::uint8_t>& data) {
+    Sha256 h;
+    h.update(data.data(), data.size());
+    const auto digest = h.finish();
+    return util::hex_encode(digest.data(), digest.size());
+}
+
+}  // namespace siren::hash

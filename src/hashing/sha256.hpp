@@ -1,0 +1,37 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace siren::hash {
+
+/// SHA-256 (FIPS 180-4), implemented from scratch. Used as the
+/// "cryptographic hash" contrast in the avalanche-effect demonstrations
+/// (§2.1 of the paper) and available for integrity checks.
+class Sha256 {
+public:
+    Sha256();
+
+    void update(const void* data, std::size_t size);
+    void update(std::string_view s) { update(s.data(), s.size()); }
+
+    std::array<std::uint8_t, 32> finish();
+
+    void reset();
+
+    static std::string hex(std::string_view data);
+    static std::string hex(const std::vector<std::uint8_t>& data);
+
+private:
+    void process_block(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 8> state_{};
+    std::uint64_t total_bytes_ = 0;
+    std::array<std::uint8_t, 64> buffer_{};
+    std::size_t buffered_ = 0;
+};
+
+}  // namespace siren::hash

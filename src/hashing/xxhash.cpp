@@ -1,0 +1,124 @@
+#include "hashing/xxhash.hpp"
+
+#include <cstring>
+
+#include "util/hex.hpp"
+
+namespace siren::hash {
+
+namespace {
+
+constexpr std::uint64_t kPrime1 = 0x9E3779B185EBCA87ull;
+constexpr std::uint64_t kPrime2 = 0xC2B2AE3D27D4EB4Full;
+constexpr std::uint64_t kPrime3 = 0x165667B19E3779F9ull;
+constexpr std::uint64_t kPrime4 = 0x85EBCA77C2B2AE63ull;
+constexpr std::uint64_t kPrime5 = 0x27D4EB2F165667C5ull;
+
+constexpr std::uint64_t rotl(std::uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+
+std::uint64_t read64(const std::uint8_t* p) {
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;  // little-endian hosts only (x86-64 / aarch64)
+}
+
+std::uint32_t read32(const std::uint8_t* p) {
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+std::uint64_t round_step(std::uint64_t acc, std::uint64_t input) {
+    acc += input * kPrime2;
+    acc = rotl(acc, 31);
+    acc *= kPrime1;
+    return acc;
+}
+
+std::uint64_t merge_round(std::uint64_t acc, std::uint64_t val) {
+    acc ^= round_step(0, val);
+    return acc * kPrime1 + kPrime4;
+}
+
+std::uint64_t avalanche(std::uint64_t h) {
+    h ^= h >> 33;
+    h *= kPrime2;
+    h ^= h >> 29;
+    h *= kPrime3;
+    h ^= h >> 32;
+    return h;
+}
+
+}  // namespace
+
+std::uint64_t xxh64(const void* data, std::size_t size, std::uint64_t seed) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    const std::uint8_t* const end = p + size;
+    std::uint64_t h;
+
+    if (size >= 32) {
+        std::uint64_t v1 = seed + kPrime1 + kPrime2;
+        std::uint64_t v2 = seed + kPrime2;
+        std::uint64_t v3 = seed;
+        std::uint64_t v4 = seed - kPrime1;
+        const std::uint8_t* const limit = end - 32;
+        do {
+            v1 = round_step(v1, read64(p));
+            v2 = round_step(v2, read64(p + 8));
+            v3 = round_step(v3, read64(p + 16));
+            v4 = round_step(v4, read64(p + 24));
+            p += 32;
+        } while (p <= limit);
+        h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed + kPrime5;
+    }
+
+    h += static_cast<std::uint64_t>(size);
+
+    while (p + 8 <= end) {
+        h ^= round_step(0, read64(p));
+        h = rotl(h, 27) * kPrime1 + kPrime4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h ^= static_cast<std::uint64_t>(read32(p)) * kPrime1;
+        h = rotl(h, 23) * kPrime2 + kPrime3;
+        p += 4;
+    }
+    while (p < end) {
+        h ^= static_cast<std::uint64_t>(*p) * kPrime5;
+        h = rotl(h, 11) * kPrime1;
+        ++p;
+    }
+    return avalanche(h);
+}
+
+std::uint64_t xxh64(std::string_view s, std::uint64_t seed) {
+    return xxh64(s.data(), s.size(), seed);
+}
+
+Digest128 xxh128(const void* data, std::size_t size, std::uint64_t seed) {
+    // Two independent 64-bit lanes with distinct seeds, then cross-mix so
+    // each output word depends on both lanes.
+    const std::uint64_t a = xxh64(data, size, seed ^ kPrime1);
+    const std::uint64_t b = xxh64(data, size, seed + kPrime2);
+    Digest128 d;
+    d.hi = avalanche(a + rotl(b, 17) + kPrime3);
+    d.lo = avalanche(b ^ rotl(a, 41) ^ (static_cast<std::uint64_t>(size) * kPrime5));
+    return d;
+}
+
+Digest128 xxh128(std::string_view s, std::uint64_t seed) {
+    return xxh128(s.data(), s.size(), seed);
+}
+
+std::string Digest128::hex() const {
+    return util::hex_u64(hi) + util::hex_u64(lo);
+}
+
+}  // namespace siren::hash

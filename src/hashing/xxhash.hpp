@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace siren::hash {
+
+/// 128-bit digest (the XXH3_128bits role from the paper: a fast
+/// non-cryptographic hash of the executable *path*, used only to
+/// disambiguate PID reuse / exec() chains in the database — never analyzed
+/// for similarity).
+struct Digest128 {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    friend bool operator==(const Digest128&, const Digest128&) = default;
+
+    /// 32 lowercase hex digits, hi word first.
+    std::string hex() const;
+};
+
+/// XXH64-style hash (lane accumulation with the XXH64 prime schedule,
+/// implemented from scratch; we do not claim bit-compatibility with the
+/// upstream library — SIREN only needs speed and dispersion).
+std::uint64_t xxh64(const void* data, std::size_t size, std::uint64_t seed = 0);
+std::uint64_t xxh64(std::string_view s, std::uint64_t seed = 0);
+
+/// 128-bit variant: two decorrelated 64-bit passes plus cross-mixing.
+Digest128 xxh128(const void* data, std::size_t size, std::uint64_t seed = 0);
+Digest128 xxh128(std::string_view s, std::uint64_t seed = 0);
+
+}  // namespace siren::hash

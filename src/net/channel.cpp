@@ -1,0 +1,73 @@
+#include "net/channel.hpp"
+
+#include "net/codec.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace siren::net {
+
+MessageQueue::MessageQueue(std::size_t capacity) : capacity_(capacity) {}
+
+bool MessageQueue::push(Message m) {
+    {
+        std::lock_guard lock(mutex_);
+        if (closed_ || items_.size() >= capacity_) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        items_.push_back(std::move(m));
+    }
+    cv_.notify_one();
+    return true;
+}
+
+std::optional<Message> MessageQueue::pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    Message m = std::move(items_.front());
+    items_.pop_front();
+    return m;
+}
+
+void MessageQueue::close() {
+    {
+        std::lock_guard lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+std::size_t MessageQueue::size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+}
+
+InMemoryChannel::InMemoryChannel(MessageQueue& queue, double loss_rate, std::uint64_t seed)
+    : queue_(queue), loss_rate_(loss_rate), rng_(seed) {}
+
+void InMemoryChannel::send(std::string_view datagram) noexcept {
+    stats_.sent.fetch_add(1, std::memory_order_relaxed);
+    if (loss_rate_ > 0.0) {
+        std::lock_guard lock(rng_mutex_);
+        if (rng_.chance(loss_rate_)) {
+            stats_.lost.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+    }
+    try {
+        Message m = decode(datagram);
+        if (queue_.push(std::move(m))) {
+            stats_.delivered.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            stats_.lost.fetch_add(1, std::memory_order_relaxed);
+        }
+    } catch (const util::ParseError& e) {
+        stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+        util::log_debug(std::string("channel: dropping malformed datagram: ") + e.what());
+    } catch (...) {
+        stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+}  // namespace siren::net

@@ -1,0 +1,78 @@
+#include "net/chunker.hpp"
+
+#include <algorithm>
+
+#include "net/codec.hpp"
+
+namespace siren::net {
+
+std::vector<Message> chunk_content(const Message& header, std::string_view content,
+                                   std::size_t max_datagram) {
+    // Overhead of an encoded message with empty content; escaping can at
+    // worst double the content bytes, so budget for that.
+    Message probe = header;
+    probe.content.clear();
+    probe.seq = 0;
+    probe.total = 1;
+    const std::size_t overhead = encode(probe).size() + 24;  // slack for wide SEQ/TOTAL digits
+    const std::size_t budget = max_datagram > overhead ? (max_datagram - overhead) / 2 : 64;
+
+    std::vector<Message> out;
+    if (content.empty()) {
+        out.push_back(probe);
+        return out;
+    }
+
+    const std::uint32_t total =
+        static_cast<std::uint32_t>((content.size() + budget - 1) / budget);
+    out.reserve(total);
+    for (std::uint32_t seq = 0; seq < total; ++seq) {
+        Message m = header;
+        m.seq = seq;
+        m.total = total;
+        const std::size_t begin = static_cast<std::size_t>(seq) * budget;
+        const std::size_t len = std::min(budget, content.size() - begin);
+        m.content.assign(content.substr(begin, len));
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+void Reassembler::add(Message m) {
+    std::string key = m.process_key();
+    key += '/';
+    key += to_string(m.layer);
+    key += '/';
+    key += to_string(m.type);
+
+    auto [it, inserted] = groups_.try_emplace(std::move(key));
+    Group& g = it->second;
+    if (inserted) {
+        g.header = m;
+        g.expected = m.total;
+    } else {
+        // TOTAL should agree across chunks; if a corrupted packet disagrees,
+        // keep the larger claim so completeness stays conservative.
+        g.expected = std::max(g.expected, m.total);
+    }
+    g.chunks.emplace(m.seq, std::move(m.content));  // duplicate seq: first wins
+}
+
+std::vector<Reassembler::Assembled> Reassembler::assemble() const {
+    std::vector<Assembled> out;
+    out.reserve(groups_.size());
+    for (const auto& [key, group] : groups_) {
+        Assembled a;
+        a.merged = group.header;
+        a.merged.seq = 0;
+        a.merged.total = 1;
+        a.merged.content.clear();
+        for (const auto& [seq, piece] : group.chunks) a.merged.content += piece;
+        a.received = static_cast<std::uint32_t>(group.chunks.size());
+        a.expected = group.expected;
+        out.push_back(std::move(a));
+    }
+    return out;
+}
+
+}  // namespace siren::net

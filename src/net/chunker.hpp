@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace siren::net {
+
+/// Largest datagram payload we emit. Conservative for 1500-byte MTU paths
+/// (UDP messages are limited in size; the sender chunks longer content,
+/// paper §3.1 "UDP Message Sender").
+inline constexpr std::size_t kMaxDatagramBytes = 1400;
+
+/// Split `content` into as many Messages as needed so that every encoded
+/// datagram fits in `max_datagram`. SEQ/TOTAL are filled in; all other
+/// header fields are copied from `header`. Always returns at least one
+/// message (possibly with empty content).
+std::vector<Message> chunk_content(const Message& header, std::string_view content,
+                                   std::size_t max_datagram = kMaxDatagramBytes);
+
+/// Reassembles chunked messages per (process, layer, type).
+///
+/// UDP may drop or reorder chunks; the reassembler keeps whatever arrived
+/// and reports per-field completeness, so post-processing can mark fields
+/// missing rather than fail (graceful-failure design).
+class Reassembler {
+public:
+    /// Outcome of merging all received chunks of one (key, layer, type).
+    struct Assembled {
+        Message merged;           ///< content = concatenation of present chunks
+        std::uint32_t received = 0;
+        std::uint32_t expected = 0;
+        bool complete() const { return received == expected; }
+    };
+
+    /// Feed one message (any order, duplicates tolerated).
+    void add(Message m);
+
+    /// Merge everything received so far, sorted by process key.
+    std::vector<Assembled> assemble() const;
+
+    std::size_t pending_groups() const { return groups_.size(); }
+
+private:
+    struct Group {
+        Message header;                            // first chunk seen, for fields
+        std::map<std::uint32_t, std::string> chunks;  // seq -> content
+        std::uint32_t expected = 1;
+    };
+    // key -> group; key includes layer and type so each field reassembles
+    // independently.
+    std::map<std::string, Group> groups_;
+};
+
+}  // namespace siren::net

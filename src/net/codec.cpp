@@ -1,0 +1,114 @@
+#include "net/codec.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace siren::net {
+
+using util::ParseError;
+
+std::string encode(const Message& m) {
+    std::string out;
+    out.reserve(m.content.size() + 160);
+    out += kWireMagic;
+    out += "|JOBID=";
+    out += std::to_string(m.job_id);
+    out += "|STEPID=";
+    out += std::to_string(m.step_id);
+    out += "|PID=";
+    out += std::to_string(m.pid);
+    out += "|HASH=";
+    out += m.exe_hash;
+    out += "|HOST=";
+    out += util::escape_field(m.host);
+    out += "|TIME=";
+    out += std::to_string(m.time);
+    out += "|LAYER=";
+    out += to_string(m.layer);
+    out += "|TYPE=";
+    out += to_string(m.type);
+    out += "|SEQ=";
+    out += std::to_string(m.seq);
+    out += "|TOTAL=";
+    out += std::to_string(m.total);
+    out += "|CONTENT=";
+    out += util::escape_field(m.content);
+    return out;
+}
+
+namespace {
+
+template <typename T>
+T parse_number(std::string_view field, std::string_view value) {
+    T parsed{};
+    const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+        throw ParseError("bad numeric field " + std::string(field) + "='" + std::string(value) + "'");
+    }
+    return parsed;
+}
+
+}  // namespace
+
+Message decode(std::string_view datagram) {
+    const auto fields = util::split(datagram, '|');
+    if (fields.empty() || fields[0] != kWireMagic) {
+        throw ParseError("datagram missing SIREN1 magic");
+    }
+
+    Message m;
+    // Bit set tracking mandatory fields.
+    unsigned seen = 0;
+    auto mark = [&seen](int bit) { seen |= 1u << bit; };
+
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+        const std::string& field = fields[i];
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos) throw ParseError("field without '=': " + field);
+        const std::string_view key(field.data(), eq);
+        const std::string_view value(field.data() + eq + 1, field.size() - eq - 1);
+
+        if (key == "JOBID") {
+            m.job_id = parse_number<std::uint64_t>(key, value);
+            mark(0);
+        } else if (key == "STEPID") {
+            m.step_id = parse_number<std::uint32_t>(key, value);
+            mark(1);
+        } else if (key == "PID") {
+            m.pid = parse_number<std::int64_t>(key, value);
+            mark(2);
+        } else if (key == "HASH") {
+            m.exe_hash = std::string(value);
+            mark(3);
+        } else if (key == "HOST") {
+            m.host = util::unescape_field(value);
+            mark(4);
+        } else if (key == "TIME") {
+            m.time = parse_number<std::int64_t>(key, value);
+            mark(5);
+        } else if (key == "LAYER") {
+            m.layer = layer_from_string(value);
+            mark(6);
+        } else if (key == "TYPE") {
+            m.type = msg_type_from_string(value);
+            mark(7);
+        } else if (key == "SEQ") {
+            m.seq = parse_number<std::uint32_t>(key, value);
+        } else if (key == "TOTAL") {
+            m.total = parse_number<std::uint32_t>(key, value);
+        } else if (key == "CONTENT") {
+            m.content = util::unescape_field(value);
+            mark(8);
+        } else {
+            // Unknown keys are ignored for forward compatibility.
+        }
+    }
+
+    if (seen != 0x1FFu) throw ParseError("datagram missing mandatory header fields");
+    if (m.total == 0 || m.seq >= m.total) throw ParseError("datagram chunk indices inconsistent");
+    return m;
+}
+
+}  // namespace siren::net

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/message.hpp"
+
+namespace siren::net {
+
+/// Wire-format version tag; first field of every datagram.
+inline constexpr std::string_view kWireMagic = "SIREN1";
+
+/// Serialize a message to one datagram payload. The format is a readable
+/// pipe-separated key=value line (matching the paper's "formatted strings"),
+/// with '|', '\\', newline and tab escaped inside values:
+///
+///   SIREN1|JOBID=7|STEPID=0|PID=4242|HASH=<hex>|HOST=nid000012|
+///   TIME=1733900000|LAYER=SELF|TYPE=OBJECTS|SEQ=0|TOTAL=2|CONTENT=...
+std::string encode(const Message& m);
+
+/// Parse a datagram payload; throws siren::util::ParseError on anything
+/// malformed (wrong magic, missing fields, bad numbers). Receivers catch
+/// and count these rather than crash — graceful failure is a SIREN design
+/// goal.
+Message decode(std::string_view datagram);
+
+}  // namespace siren::net

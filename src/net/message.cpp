@@ -1,0 +1,64 @@
+#include "net/message.hpp"
+
+#include "util/error.hpp"
+
+namespace siren::net {
+
+std::string_view to_string(Layer layer) {
+    switch (layer) {
+        case Layer::kSelf: return "SELF";
+        case Layer::kScript: return "SCRIPT";
+    }
+    return "SELF";
+}
+
+std::string_view to_string(MsgType type) {
+    switch (type) {
+        case MsgType::kFileMeta: return "FILEMETA";
+        case MsgType::kIds: return "IDS";
+        case MsgType::kModules: return "MODULES";
+        case MsgType::kObjects: return "OBJECTS";
+        case MsgType::kCompilers: return "COMPILERS";
+        case MsgType::kMemMap: return "MEMMAP";
+        case MsgType::kFileHash: return "FILE_H";
+        case MsgType::kStringsHash: return "STRINGS_H";
+        case MsgType::kSymbolsHash: return "SYMBOLS_H";
+        case MsgType::kScriptHash: return "SCRIPT_H";
+        case MsgType::kModulesHash: return "MODULES_H";
+        case MsgType::kObjectsHash: return "OBJECTS_H";
+        case MsgType::kCompilersHash: return "COMPILERS_H";
+        case MsgType::kMemMapHash: return "MEMMAP_H";
+    }
+    return "FILEMETA";
+}
+
+Layer layer_from_string(std::string_view s) {
+    if (s == "SELF") return Layer::kSelf;
+    if (s == "SCRIPT") return Layer::kScript;
+    throw util::ParseError("unknown LAYER: " + std::string(s));
+}
+
+MsgType msg_type_from_string(std::string_view s) {
+    for (int i = 0; i <= static_cast<int>(MsgType::kMemMapHash); ++i) {
+        const auto t = static_cast<MsgType>(i);
+        if (to_string(t) == s) return t;
+    }
+    throw util::ParseError("unknown TYPE: " + std::string(s));
+}
+
+std::string Message::process_key() const {
+    std::string key;
+    key.reserve(64);
+    key += std::to_string(job_id);
+    key += '/';
+    key += std::to_string(step_id);
+    key += '/';
+    key += std::to_string(pid);
+    key += '/';
+    key += exe_hash;
+    key += '/';
+    key += host;
+    return key;
+}
+
+}  // namespace siren::net

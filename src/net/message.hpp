@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace siren::net {
+
+/// LAYER header field: distinguishes data about the process itself from
+/// data about a Python input script run by that process (paper §3.1).
+enum class Layer : std::uint8_t { kSelf = 0, kScript = 1 };
+
+/// TYPE header field: which information category a message carries. One
+/// process emits several messages, one (or more, when chunked) per type.
+enum class MsgType : std::uint8_t {
+    kFileMeta = 0,   ///< executable file metadata (inode, size, perms, times)
+    kIds = 1,        ///< process identifiers (PID/PPID/UID/GID, exe path)
+    kModules = 2,    ///< LOADEDMODULES environment content
+    kObjects = 3,    ///< loaded shared objects (dl_iterate_phdr equivalent)
+    kCompilers = 4,  ///< .comment compiler identification strings
+    kMemMap = 5,     ///< /proc/self/maps content
+    kFileHash = 6,   ///< FILE_H: fuzzy hash of the raw executable
+    kStringsHash = 7,   ///< STRINGS_H: fuzzy hash of printable strings
+    kSymbolsHash = 8,   ///< SYMBOLS_H: fuzzy hash of global ELF symbols
+    kScriptHash = 9,    ///< SCRIPT_H: fuzzy hash of the Python input script
+    kModulesHash = 10,  ///< MO_H: fuzzy hash of the modules list
+    kObjectsHash = 11,  ///< OB_H: fuzzy hash of the shared-objects list
+    kCompilersHash = 12,  ///< CO_H: fuzzy hash of the compilers list
+    kMemMapHash = 13,     ///< MA_H: fuzzy hash of the memory map list
+};
+
+std::string_view to_string(Layer layer);
+std::string_view to_string(MsgType type);
+
+/// Parse helpers; throw siren::util::ParseError on unknown names.
+Layer layer_from_string(std::string_view s);
+MsgType msg_type_from_string(std::string_view s);
+
+/// One SIREN UDP message. Header fields mirror the paper exactly:
+/// JOBID, STEPID, PID, HASH (xxh128 of the executable path — disambiguates
+/// exec() chains reusing a PID within one timestamp), HOST, TIME, LAYER,
+/// TYPE, CONTENT; SEQ/TOTAL are the chunking extension for content that
+/// exceeds one datagram.
+struct Message {
+    std::uint64_t job_id = 0;
+    std::uint32_t step_id = 0;
+    std::int64_t pid = 0;
+    std::string exe_hash;  ///< hex xxh128 of the executable path
+    std::string host;
+    std::int64_t time = 0;  ///< unix timestamp, one-second granularity
+    Layer layer = Layer::kSelf;
+    MsgType type = MsgType::kFileMeta;
+    std::uint32_t seq = 0;    ///< chunk index, 0-based
+    std::uint32_t total = 1;  ///< chunk count for this (process, type)
+    std::string content;
+
+    friend bool operator==(const Message&, const Message&) = default;
+
+    /// Key identifying the process this message belongs to; all chunks and
+    /// types of one process share it.
+    std::string process_key() const;
+};
+
+}  // namespace siren::net

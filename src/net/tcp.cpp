@@ -1,0 +1,201 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/codec.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace siren::net {
+
+namespace {
+
+bool write_all(int fd, const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    while (size > 0) {
+        const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            return false;
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+// Reads exactly `size` bytes, polling in 50 ms slices so `stopping` can
+// interrupt a peer that stalls mid-frame. SO_RCVTIMEO is not relied upon:
+// sandboxed kernels silently ignore it and recv() then blocks forever.
+bool read_all(int fd, void* data, std::size_t size, const std::atomic<bool>& stopping) {
+    auto* p = static_cast<std::uint8_t*>(data);
+    while (size > 0) {
+        if (stopping.load(std::memory_order_relaxed)) return false;
+        pollfd pfd{fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 50);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        if (ready == 0) continue;  // timeout: re-check the stop flag
+        const ssize_t n = ::recv(fd, p, size, 0);
+        if (n <= 0) {
+            if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+            return false;
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+TcpSender::TcpSender(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw util::SystemError("socket(): " + std::string(std::strerror(errno)));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd_);
+        fd_ = -1;
+        throw util::SystemError("inet_pton(" + host + ") failed");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throw util::SystemError("connect(): " + std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+TcpSender::~TcpSender() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpSender::send(std::string_view datagram) noexcept {
+    if (fd_ < 0) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    const auto len = static_cast<std::uint32_t>(datagram.size());
+    if (write_all(fd_, &len, sizeof len) && write_all(fd_, datagram.data(), datagram.size())) {
+        sent_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        ::close(fd_);
+        fd_ = -1;  // stay broken: a hooked process must not retry-loop
+    }
+}
+
+TcpReceiver::TcpReceiver(MessageQueue& queue, std::uint16_t port) : queue_(queue) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw util::SystemError("socket(): " + std::string(std::strerror(errno)));
+
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw util::SystemError("bind/listen(): " + std::string(std::strerror(errno)));
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpReceiver::~TcpReceiver() { stop(); }
+
+void TcpReceiver::stop() {
+    if (!stopping_.exchange(true)) {
+        if (acceptor_.joinable()) acceptor_.join();
+        std::lock_guard lock(readers_mutex_);
+        for (auto& r : readers_) {
+            if (r.joinable()) r.join();
+        }
+        if (listen_fd_ >= 0) {
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+        }
+    } else if (acceptor_.joinable()) {
+        acceptor_.join();
+    }
+}
+
+void TcpReceiver::accept_loop() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 50);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (ready == 0) continue;  // timeout: re-check the stop flag
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+            break;
+        }
+        std::lock_guard lock(readers_mutex_);
+        readers_.emplace_back([this, client] { read_loop(client); });
+    }
+}
+
+void TcpReceiver::read_loop(int client_fd) {
+    std::string payload;
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        // Wait for the header with poll() so stop() can interrupt idle
+        // connections, then peek to distinguish orderly shutdown.
+        pollfd pfd{client_fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 50);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (ready == 0) continue;  // timeout: re-check the stop flag
+        std::uint32_t len = 0;
+        const ssize_t peeked = ::recv(client_fd, &len, sizeof len, MSG_PEEK);
+        if (peeked == 0) break;  // orderly shutdown
+        if (peeked < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+            break;
+        }
+        if (!read_all(client_fd, &len, sizeof len, stopping_)) break;
+        if (len > (1u << 20)) break;  // corrupt frame
+        payload.resize(len);
+        if (!read_all(client_fd, payload.data(), len, stopping_)) break;
+        try {
+            Message m = decode(payload);
+            if (queue_.push(std::move(m))) {
+                stats_.delivered.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                stats_.lost.fetch_add(1, std::memory_order_relaxed);
+            }
+        } catch (const util::ParseError&) {
+            stats_.malformed.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    ::close(client_fd);
+}
+
+}  // namespace siren::net

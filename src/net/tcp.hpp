@@ -1,0 +1,75 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/channel.hpp"
+
+namespace siren::net {
+
+/// TCP message sender with length-prefixed framing — the design SIREN
+/// deliberately rejected (paper §3.1 chose UDP "fire and forget" over TCP
+/// to avoid connection management and failure coupling). It exists here as
+/// the comparison baseline: the transport ablation measures what a
+/// connection-oriented collector would cost and how it behaves when the
+/// receiver disappears.
+///
+/// Framing: 4-byte little-endian payload length, then the payload.
+class TcpSender : public Transport {
+public:
+    /// Connects eagerly; throws siren::util::SystemError when the receiver
+    /// is unreachable (connection setup is exactly the failure coupling
+    /// UDP avoids).
+    TcpSender(const std::string& host, std::uint16_t port);
+    ~TcpSender() override;
+
+    TcpSender(const TcpSender&) = delete;
+    TcpSender& operator=(const TcpSender&) = delete;
+
+    /// Blocking framed write; on failure counts the error and drops the
+    /// message (no reconnect storms from hooked processes).
+    void send(std::string_view datagram) noexcept override;
+
+    std::uint64_t sent() const { return sent_.load(); }
+    std::uint64_t errors() const { return errors_.load(); }
+
+private:
+    int fd_ = -1;
+    std::atomic<std::uint64_t> sent_{0};
+    std::atomic<std::uint64_t> errors_{0};
+};
+
+/// Accepting TCP receiver: one acceptor thread, one reader thread per
+/// connection, decoded messages land in the shared MessageQueue.
+class TcpReceiver {
+public:
+    explicit TcpReceiver(MessageQueue& queue, std::uint16_t port = 0);
+    ~TcpReceiver();
+
+    TcpReceiver(const TcpReceiver&) = delete;
+    TcpReceiver& operator=(const TcpReceiver&) = delete;
+
+    std::uint16_t port() const { return port_; }
+
+    void stop();
+
+    const ChannelStats& stats() const { return stats_; }
+
+private:
+    void accept_loop();
+    void read_loop(int client_fd);
+
+    MessageQueue& queue_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::thread acceptor_;
+    std::vector<std::thread> readers_;
+    std::mutex readers_mutex_;
+    ChannelStats stats_;
+};
+
+}  // namespace siren::net

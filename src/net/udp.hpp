@@ -1,0 +1,66 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "net/channel.hpp"
+
+namespace siren::net {
+
+/// Real UDP datagram sender (IPv4). The constructor resolves and connects
+/// the socket; send() is sendto-and-forget and never throws or blocks on
+/// the receiver — errors are counted, not raised, so a hooked user process
+/// is never disturbed (paper §3.1 "Data Transmission").
+class UdpSender : public Transport {
+public:
+    UdpSender(const std::string& host, std::uint16_t port);
+    ~UdpSender() override;
+
+    UdpSender(const UdpSender&) = delete;
+    UdpSender& operator=(const UdpSender&) = delete;
+
+    void send(std::string_view datagram) noexcept override;
+
+    std::uint64_t sent() const { return sent_.load(); }
+    std::uint64_t errors() const { return errors_.load(); }
+
+private:
+    int fd_ = -1;
+    std::atomic<std::uint64_t> sent_{0};
+    std::atomic<std::uint64_t> errors_{0};
+};
+
+/// Real UDP receiver: binds a socket, runs a receive thread that decodes
+/// datagrams into a MessageQueue (the buffered channel of the paper's Go
+/// receiver). Port 0 binds an ephemeral port, see port().
+class UdpReceiver {
+public:
+    UdpReceiver(MessageQueue& queue, std::uint16_t port = 0);
+    ~UdpReceiver();
+
+    UdpReceiver(const UdpReceiver&) = delete;
+    UdpReceiver& operator=(const UdpReceiver&) = delete;
+
+    /// Actual bound port (useful when constructed with port 0).
+    std::uint16_t port() const { return port_; }
+
+    /// Stop the receive loop and join the thread; idempotent.
+    void stop();
+
+    const ChannelStats& stats() const { return stats_; }
+
+private:
+    void run();
+
+    MessageQueue& queue_;
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+    ChannelStats stats_;
+};
+
+}  // namespace siren::net

@@ -1,0 +1,152 @@
+// libsiren_preload.so — the real injectable collector.
+//
+// Usage:
+//   SIREN_PORT=9742 LD_PRELOAD=$PWD/libsiren_preload.so ls
+//
+// A constructor runs before main() and a destructor at process exit (the
+// paper's siren.so architecture, §3). Both collect process metadata,
+// environment information and — when SIREN_PRELOAD_HASH=1 and the
+// executable is small enough — fuzzy hashes of the executable, and ship
+// everything as chunked UDP datagrams.
+//
+// Absolute rule (graceful failure): nothing in here may crash, block, or
+// otherwise disturb the hooked process. Every entry point swallows all
+// exceptions; sockets are fire-and-forget.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "elfio/extract.hpp"
+#include "fuzzy/ctph.hpp"
+#include "hashing/xxhash.hpp"
+#include "net/chunker.hpp"
+#include "net/codec.hpp"
+#include "net/udp.hpp"
+
+namespace {
+
+using siren::net::Layer;
+using siren::net::Message;
+using siren::net::MsgType;
+
+std::string getenv_or(const char* name, const char* fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr ? v : fallback;
+}
+
+std::string read_self_exe() {
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0) return {};
+    buf[n] = '\0';
+    return buf;
+}
+
+std::string read_whole_file(const char* path, std::size_t max_bytes) {
+    std::ifstream in(path);
+    if (!in) return {};
+    std::string out;
+    char buf[8192];
+    while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+        out.append(buf, static_cast<std::size_t>(in.gcount()));
+        if (out.size() >= max_bytes) break;
+    }
+    return out;
+}
+
+void send_field(siren::net::UdpSender& sender, const Message& header, MsgType type,
+                const std::string& content) {
+    Message typed = header;
+    typed.type = type;
+    for (const auto& chunk : siren::net::chunk_content(typed, content)) {
+        sender.send(siren::net::encode(chunk));
+    }
+}
+
+void collect(const char* phase) noexcept {
+    try {
+        const std::string port_str = getenv_or("SIREN_PORT", "");
+        if (port_str.empty()) return;  // not configured: stay silent
+        const auto port = static_cast<std::uint16_t>(std::strtoul(port_str.c_str(), nullptr, 10));
+        if (port == 0) return;
+
+        // Paper §3.1: collect only for SLURM_PROCID=0 — other MPI ranks of
+        // the same step would ship duplicate data. Non-Slurm processes have
+        // no SLURM_PROCID and collect normally.
+        const std::string procid = getenv_or("SLURM_PROCID", "0");
+        if (std::strtoul(procid.c_str(), nullptr, 10) != 0) return;
+
+        siren::net::UdpSender sender(getenv_or("SIREN_HOST", "127.0.0.1"), port);
+
+        const std::string exe = read_self_exe();
+
+        Message header;
+        header.job_id = std::strtoull(getenv_or("SLURM_JOB_ID", "0").c_str(), nullptr, 10);
+        header.step_id = static_cast<std::uint32_t>(
+            std::strtoul(getenv_or("SLURM_STEP_ID", "0").c_str(), nullptr, 10));
+        header.pid = ::getpid();
+        header.exe_hash = siren::hash::xxh128(exe).hex();
+        char host[256] = {0};
+        ::gethostname(host, sizeof host - 1);
+        header.host = host;
+        header.time = static_cast<std::int64_t>(::time(nullptr));
+        header.layer = Layer::kSelf;
+
+        // Identifiers (phase tags constructor vs destructor collection).
+        std::string ids = "pid=" + std::to_string(::getpid()) +
+                          " ppid=" + std::to_string(::getppid()) +
+                          " uid=" + std::to_string(::getuid()) +
+                          " gid=" + std::to_string(::getgid()) + " procid=" +
+                          getenv_or("SLURM_PROCID", "0") + " phase=" + phase + " exe=" + exe;
+        send_field(sender, header, MsgType::kIds, ids);
+
+        // Executable file metadata.
+        struct stat st{};
+        if (!exe.empty() && ::stat(exe.c_str(), &st) == 0) {
+            char meta[256];
+            std::snprintf(meta, sizeof meta,
+                          "inode=%llu size=%lld mode=%o uid=%u gid=%u atime=%lld mtime=%lld ctime=%lld",
+                          static_cast<unsigned long long>(st.st_ino),
+                          static_cast<long long>(st.st_size), st.st_mode & 07777, st.st_uid,
+                          st.st_gid, static_cast<long long>(st.st_atime),
+                          static_cast<long long>(st.st_mtime),
+                          static_cast<long long>(st.st_ctime));
+            send_field(sender, header, MsgType::kFileMeta, meta);
+        }
+
+        // Loaded modules (LMOD) and memory map.
+        send_field(sender, header, MsgType::kModules, getenv_or("LOADEDMODULES", ""));
+        const std::string maps = read_whole_file("/proc/self/maps", 256 * 1024);
+        if (!maps.empty()) send_field(sender, header, MsgType::kMemMap, maps);
+
+        // Optional fuzzy hashing of the executable itself (constructor
+        // only; bounded size so huge binaries don't stall startup).
+        if (std::strcmp(phase, "constructor") == 0 &&
+            getenv_or("SIREN_PRELOAD_HASH", "0") == std::string("1") && !exe.empty() &&
+            st.st_size > 0 && st.st_size <= 64 * 1024 * 1024) {
+            const std::string bytes = read_whole_file(exe.c_str(), 64 * 1024 * 1024);
+            if (!bytes.empty()) {
+                send_field(sender, header, MsgType::kFileHash,
+                           siren::fuzzy::fuzzy_hash(bytes).to_string());
+                const auto strings = siren::elfio::printable_strings(
+                    {reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()});
+                send_field(sender, header, MsgType::kStringsHash,
+                           siren::fuzzy::fuzzy_hash(siren::elfio::strings_blob(strings)).to_string());
+            }
+        }
+    } catch (...) {
+        // Graceful failure: never disturb the hooked process.
+    }
+}
+
+__attribute__((constructor)) void siren_preload_init() { collect("constructor"); }
+__attribute__((destructor)) void siren_preload_fini() { collect("destructor"); }
+
+}  // namespace

@@ -1,0 +1,78 @@
+#include "recognize/cluster.hpp"
+
+#include <algorithm>
+
+namespace siren::recognize {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), components_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<std::uint32_t>(i);
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+    while (parent_[x] != x) {
+        parent_[x] = parent_[parent_[x]];  // path halving
+        x = parent_[x];
+    }
+    return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+    std::size_t ra = find(a);
+    std::size_t rb = find(b);
+    if (ra == rb) return false;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = static_cast<std::uint32_t>(ra);
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --components_;
+    return true;
+}
+
+std::vector<std::vector<DigestId>> cluster_digests(const std::vector<fuzzy::FuzzyDigest>& digests,
+                                                   const ClusterOptions& options) {
+    SimilarityIndex index;
+    for (const auto& d : digests) index.add(d);
+
+    // Stage 1 (parallel): per-digest edge lists. Each digest queries the
+    // index for matches with a *larger* id so every edge appears exactly
+    // once and the stage is write-disjoint.
+    std::vector<std::vector<DigestId>> edges(digests.size());
+    const auto score_one = [&](std::size_t i) {
+        for (const ScoredMatch& m : index.query(digests[i], options.threshold)) {
+            if (m.id > i) edges[i].push_back(m.id);
+        }
+    };
+    if (options.pool != nullptr && digests.size() > 1) {
+        options.pool->parallel_for(digests.size(), score_one);
+    } else {
+        for (std::size_t i = 0; i < digests.size(); ++i) score_one(i);
+    }
+
+    // Stage 2 (serial): union the edges.
+    UnionFind uf(digests.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        for (const DigestId j : edges[i]) uf.unite(i, j);
+    }
+
+    // Materialize components.
+    std::vector<std::vector<DigestId>> clusters;
+    std::vector<std::int64_t> root_to_cluster(digests.size(), -1);
+    for (std::size_t i = 0; i < digests.size(); ++i) {
+        const std::size_t root = uf.find(i);
+        if (root_to_cluster[root] < 0) {
+            root_to_cluster[root] = static_cast<std::int64_t>(clusters.size());
+            clusters.emplace_back();
+        }
+        clusters[static_cast<std::size_t>(root_to_cluster[root])].push_back(
+            static_cast<DigestId>(i));
+    }
+    // Members are ascending by construction; order clusters large-first.
+    std::sort(clusters.begin(), clusters.end(),
+              [](const std::vector<DigestId>& a, const std::vector<DigestId>& b) {
+                  if (a.size() != b.size()) return a.size() > b.size();
+                  return a.front() < b.front();
+              });
+    return clusters;
+}
+
+}  // namespace siren::recognize

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzzy/ctph.hpp"
+#include "recognize/similarity_index.hpp"
+#include "util/thread_pool.hpp"
+
+namespace siren::recognize {
+
+/// Disjoint-set forest with union by rank and path halving.
+/// The substrate for similarity clustering: digests are nodes, scores at
+/// or above the threshold are edges, clusters are connected components.
+class UnionFind {
+public:
+    explicit UnionFind(std::size_t n);
+
+    /// Representative of x's component (with path halving; amortized
+    /// near-constant).
+    std::size_t find(std::size_t x);
+
+    /// Merge the components of a and b; false when already joined.
+    bool unite(std::size_t a, std::size_t b);
+
+    /// Number of elements.
+    std::size_t size() const { return parent_.size(); }
+
+    /// Current number of disjoint components.
+    std::size_t components() const { return components_; }
+
+private:
+    std::vector<std::uint32_t> parent_;
+    std::vector<std::uint8_t> rank_;
+    std::size_t components_;
+};
+
+/// Options for cluster_digests.
+struct ClusterOptions {
+    /// Minimum fuzzy::compare score for two digests to be joined.
+    /// The paper's Table 7 ladder suggests >= ~60 keeps same-software
+    /// variants together while unrelated codes score 0.
+    int threshold = 60;
+
+    /// Worker pool for the scoring stage; nullptr = single-threaded.
+    util::ThreadPool* pool = nullptr;
+};
+
+/// Group digests into similarity clusters (connected components of the
+/// "score >= threshold" graph). This is SIREN's *recognition* primitive at
+/// corpus scale: each cluster is one software lineage — the same
+/// application across versions, compilers, and rebuild drift.
+///
+/// Candidate pairs come from a SimilarityIndex, so the pair scoring stage
+/// is near-linear in practice instead of O(n²); scoring parallelizes over
+/// the pool, the union-find stage is serial (it is a tiny fraction of the
+/// work).
+///
+/// Returns clusters as member-id vectors (ids = positions in `digests`),
+/// each sorted ascending, clusters ordered by size descending then by
+/// smallest member. Singletons are included.
+std::vector<std::vector<DigestId>> cluster_digests(
+    const std::vector<fuzzy::FuzzyDigest>& digests, const ClusterOptions& options = {});
+
+}  // namespace siren::recognize

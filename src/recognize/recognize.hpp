@@ -1,0 +1,11 @@
+#pragma once
+
+/// Umbrella header for the recognition layer — the operational half of the
+/// paper's title ("identification AND recognition"):
+///  - similarity_index.hpp  inverted 7-gram index; sub-linear fuzzy search
+///  - cluster.hpp           union-find similarity clustering (lineages)
+///  - registry.hpp          incremental known-software registry
+
+#include "recognize/cluster.hpp"           // IWYU pragma: export
+#include "recognize/registry.hpp"          // IWYU pragma: export
+#include "recognize/similarity_index.hpp"  // IWYU pragma: export

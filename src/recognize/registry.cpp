@@ -1,0 +1,185 @@
+#include "recognize/registry.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace siren::recognize {
+
+namespace {
+
+std::string sanitize_name(std::string_view name) {
+    std::string out(name);
+    std::replace(out.begin(), out.end(), ' ', '_');
+    return out;
+}
+
+}  // namespace
+
+Registry::Registry(RegistryOptions options) : options_(options) {}
+
+FamilyId Registry::found_family(std::string_view name_hint) {
+    const auto id = static_cast<FamilyId>(families_.size());
+    FamilyInfo info;
+    info.id = id;
+    info.name = name_hint.empty() ? "family-" + std::to_string(id) : sanitize_name(name_hint);
+    families_.push_back(std::move(info));
+    return id;
+}
+
+Observation Registry::observe(const fuzzy::FuzzyDigest& digest, std::string_view name_hint) {
+    ++total_sightings_;
+    Observation obs;
+
+    const auto matches = index_.query(digest, options_.match_threshold, 1);
+    if (matches.empty()) {
+        obs.family = found_family(name_hint);
+        obs.new_family = true;
+        obs.new_exemplar = true;
+        exemplar_owner_.push_back(obs.family);
+        index_.add(digest);
+        auto& fam = families_[obs.family];
+        fam.sightings = 1;
+        fam.exemplars = 1;
+        return obs;
+    }
+
+    obs.family = exemplar_owner_[matches.front().id];
+    obs.best_score = matches.front().score;
+    auto& fam = families_[obs.family];
+    ++fam.sightings;
+
+    // Post-analysis labeling: the first labeled sighting names an
+    // anonymous family (UNKNOWN -> icon in the paper's Table 7 flow).
+    if (!name_hint.empty() && fam.name.starts_with("family-")) {
+        fam.name = sanitize_name(name_hint);
+    }
+
+    // Retain drifted variants as exemplars so the family's reach extends
+    // across version chains; near-duplicates (score >= exemplar_add_below)
+    // add nothing and are not stored.
+    if (obs.best_score < options_.exemplar_add_below &&
+        fam.exemplars < options_.max_exemplars_per_family) {
+        exemplar_owner_.push_back(obs.family);
+        index_.add(digest);
+        ++fam.exemplars;
+        obs.new_exemplar = true;
+    }
+    return obs;
+}
+
+std::optional<Observation> Registry::best_match(const fuzzy::FuzzyDigest& digest) const {
+    const auto matches = index_.query(digest, options_.match_threshold, 1);
+    if (matches.empty()) return std::nullopt;
+    Observation obs;
+    obs.family = exemplar_owner_[matches.front().id];
+    obs.best_score = matches.front().score;
+    return obs;
+}
+
+std::vector<FamilyInfo> Registry::families() const { return families_; }
+
+const FamilyInfo& Registry::family(FamilyId id) const { return families_.at(id); }
+
+void Registry::rename(FamilyId id, std::string_view name) {
+    families_.at(id).name = sanitize_name(name);
+}
+
+void Registry::merge(const Registry& other) {
+    // Group the other registry's exemplars by family, in digest-id order
+    // (the order they were retained, i.e. oldest anchor first).
+    std::vector<std::vector<DigestId>> exemplars_of(other.families_.size());
+    for (std::size_t i = 0; i < other.exemplar_owner_.size(); ++i) {
+        exemplars_of[other.exemplar_owner_[i]].push_back(static_cast<DigestId>(i));
+    }
+
+    for (const FamilyInfo& fam : other.families_) {
+        // Anchor: the first exemplar that matches an existing family here.
+        FamilyId target = 0;
+        bool matched = false;
+        for (const DigestId ex : exemplars_of[fam.id]) {
+            const auto hits =
+                index_.query(other.index_.digest(ex), options_.match_threshold, 1);
+            if (!hits.empty()) {
+                target = exemplar_owner_[hits.front().id];
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            const bool anonymous = fam.name.starts_with("family-");
+            target = found_family(anonymous ? std::string_view{} : std::string_view(fam.name));
+        } else if (!fam.name.starts_with("family-") &&
+                   families_[target].name.starts_with("family-")) {
+            families_[target].name = fam.name;  // the incoming side had the label
+        }
+
+        auto& target_fam = families_[target];
+        target_fam.sightings += fam.sightings;
+        total_sightings_ += fam.sightings;
+
+        // Import exemplars that add reach, under the target's budget.
+        for (const DigestId ex : exemplars_of[fam.id]) {
+            if (target_fam.exemplars >= options_.max_exemplars_per_family) break;
+            const auto& digest = other.index_.digest(ex);
+            const auto near = index_.query(digest, options_.exemplar_add_below, 1);
+            const bool redundant =
+                !near.empty() && exemplar_owner_[near.front().id] == target;
+            if (redundant) continue;
+            exemplar_owner_.push_back(target);
+            index_.add(digest);
+            ++target_fam.exemplars;
+        }
+    }
+}
+
+void Registry::save(std::ostream& out) const {
+    for (const FamilyInfo& fam : families_) {
+        out << "family " << fam.id << ' ' << fam.sightings << ' ' << fam.name << '\n';
+    }
+    for (std::size_t i = 0; i < exemplar_owner_.size(); ++i) {
+        out << "exemplar " << exemplar_owner_[i] << ' '
+            << index_.digest(static_cast<DigestId>(i)).to_string() << '\n';
+    }
+}
+
+Registry Registry::load(std::istream& in, RegistryOptions options) {
+    Registry reg(options);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        std::istringstream fields(line);
+        std::string kind;
+        fields >> kind;
+        if (kind == "family") {
+            FamilyInfo info;
+            fields >> info.id >> info.sightings >> info.name;
+            if (fields.fail() || info.id != reg.families_.size()) {
+                throw util::ParseError("registry: bad family line " + std::to_string(line_no));
+            }
+            reg.families_.push_back(info);
+            reg.total_sightings_ += info.sightings;
+        } else if (kind == "exemplar") {
+            FamilyId owner = 0;
+            std::string digest;
+            fields >> owner >> digest;
+            if (fields.fail() || owner >= reg.families_.size()) {
+                throw util::ParseError("registry: bad exemplar line " + std::to_string(line_no));
+            }
+            reg.exemplar_owner_.push_back(owner);
+            reg.index_.add(fuzzy::FuzzyDigest::parse(digest));
+            ++reg.families_[owner].exemplars;
+        } else {
+            throw util::ParseError("registry: unknown record '" + kind + "' at line " +
+                                   std::to_string(line_no));
+        }
+    }
+    return reg;
+}
+
+}  // namespace siren::recognize

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzzy/ctph.hpp"
+#include "recognize/similarity_index.hpp"
+
+namespace siren::recognize {
+
+/// Identifier of a software family inside a Registry.
+using FamilyId = std::uint32_t;
+
+/// Tuning knobs for Registry::observe.
+struct RegistryOptions {
+    /// Minimum score against any exemplar to join an existing family.
+    int match_threshold = 60;
+
+    /// A sighting scoring below this against its best exemplar is kept as
+    /// an additional exemplar (it extends the family's reach across drift:
+    /// v1 ~ v2 ~ v3 chains stay one family even when v1 vs v3 scores 0).
+    int exemplar_add_below = 95;
+
+    /// Exemplar budget per family; bounds memory and query cost on
+    /// long-running deployments.
+    std::size_t max_exemplars_per_family = 16;
+};
+
+/// Result of one Registry::observe call.
+struct Observation {
+    FamilyId family = 0;
+    int best_score = 0;          ///< against the matched exemplar (0 if new)
+    bool new_family = false;     ///< no exemplar reached match_threshold
+    bool new_exemplar = false;   ///< sighting was retained as an exemplar
+};
+
+/// Aggregate view of one family.
+struct FamilyInfo {
+    FamilyId id = 0;
+    std::string name;            ///< first non-empty hint, else "family-<id>"
+    std::uint64_t sightings = 0;
+    std::size_t exemplars = 0;
+};
+
+/// Incremental software-recognition registry — the operational form of the
+/// paper's use case: "recognition of repeated executions of known
+/// applications, and similarity-based identification of unknown
+/// applications" (§1).
+///
+/// Feed it the FILE_H fuzzy digest of every newly seen executable (the
+/// same stream a SIREN deployment produces). Each sighting is either
+/// matched to an existing family (index-accelerated search over the
+/// retained exemplars) or founds a new one. Labels are attached lazily:
+/// a family created from an anonymous `a.out` is renamed by the first
+/// labeled sighting that lands in it — exactly the paper's post-analysis
+/// flow where UNKNOWN resolves to `icon`.
+class Registry {
+public:
+    explicit Registry(RegistryOptions options = {});
+
+    /// Record a sighting. `name_hint` is the derived label when one exists
+    /// (file-name regex match); pass empty for nondescript names.
+    Observation observe(const fuzzy::FuzzyDigest& digest, std::string_view name_hint = {});
+
+    /// Best-scoring family for a probe without recording anything;
+    /// nullopt when nothing reaches match_threshold.
+    std::optional<Observation> best_match(const fuzzy::FuzzyDigest& digest) const;
+
+    /// Families, id order.
+    std::vector<FamilyInfo> families() const;
+
+    const FamilyInfo& family(FamilyId id) const;
+
+    std::size_t family_count() const { return families_.size(); }
+    std::uint64_t total_sightings() const { return total_sightings_; }
+
+    /// Rename a family (post-analysis labeling).
+    void rename(FamilyId id, std::string_view name);
+
+    /// Fold another registry into this one — the multi-receiver deployment
+    /// flow (one registry per login node / receiver, merged centrally).
+    ///
+    /// Each of `other`'s families is re-anchored here: its exemplars are
+    /// matched against this registry's exemplars; when any exemplar reaches
+    /// match_threshold the whole family folds into the matched family
+    /// (keeping this registry's name unless it was anonymous), otherwise
+    /// the family is re-founded with its name and exemplars. Sighting
+    /// counts are added, so total_sightings is conserved across a merge.
+    void merge(const Registry& other);
+
+    /// Line-oriented text persistence:
+    ///   `family <id> <sightings> <name>`
+    ///   `exemplar <family-id> <digest>`
+    /// Names are stored with spaces mapped to `_` (the label vocabulary in
+    /// the wild is token-shaped already).
+    void save(std::ostream& out) const;
+
+    /// Rebuild a registry from save() output; throws siren::util::ParseError
+    /// on malformed input.
+    static Registry load(std::istream& in, RegistryOptions options = {});
+
+private:
+    FamilyId found_family(std::string_view name_hint);
+
+    RegistryOptions options_;
+    SimilarityIndex index_;                 ///< all exemplars, flat
+    std::vector<FamilyId> exemplar_owner_;  ///< index digest id -> family
+    std::vector<FamilyInfo> families_;
+    std::uint64_t total_sightings_ = 0;
+};
+
+}  // namespace siren::recognize

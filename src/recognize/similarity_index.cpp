@@ -1,0 +1,111 @@
+#include "recognize/similarity_index.hpp"
+
+#include <algorithm>
+
+#include "hashing/fnv.hpp"
+
+namespace siren::recognize {
+
+namespace {
+
+/// Posting key for a gram (or short whole string) at a block-size tag.
+/// The tag participates in the hash so grams only collide within a
+/// comparable block-size lane.
+std::uint64_t posting_key(std::string_view gram, std::uint64_t block_tag) {
+    std::uint64_t h = hash::fnv1a64(gram);
+    h ^= block_tag * hash::kFnv64Prime;
+    h *= hash::kFnv64Prime;
+    return h;
+}
+
+/// Sort matches best-first, break ties by id, truncate to top_n.
+void finalize(std::vector<ScoredMatch>& matches, std::size_t top_n) {
+    std::sort(matches.begin(), matches.end(), [](const ScoredMatch& a, const ScoredMatch& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.id < b.id;
+    });
+    if (top_n != 0 && matches.size() > top_n) matches.resize(top_n);
+}
+
+}  // namespace
+
+DigestId SimilarityIndex::add(fuzzy::FuzzyDigest digest) {
+    const auto id = static_cast<DigestId>(digests_.size());
+    const std::string c1 = fuzzy::eliminate_sequences(digest.digest1);
+    const std::string c2 = fuzzy::eliminate_sequences(digest.digest2);
+    index_string(c1, digest.block_size, id);
+    index_string(c2, digest.block_size * 2, id);
+    digests_.push_back(std::move(digest));
+    return id;
+}
+
+void SimilarityIndex::index_string(std::string_view collapsed, std::uint64_t block_tag,
+                                   DigestId id) {
+    if (collapsed.empty()) return;
+    const auto push = [this, id](std::uint64_t key) {
+        auto& list = postings_[key];
+        // The same gram can repeat within one digest; posting lists are
+        // per-digest deduplicated because ids arrive in insertion order.
+        if (list.empty() || list.back() != id) list.push_back(id);
+    };
+    if (collapsed.size() < fuzzy::kCommonSubstringLength) {
+        // Too short for the common-substring rule: the only way this
+        // string contributes to a nonzero score is byte-identical digests
+        // (the compare() == 100 fast path), caught by a whole-string key.
+        push(posting_key(collapsed, block_tag ^ 0x5349524Eu /* "SIRN" lane */));
+        return;
+    }
+    for (std::size_t i = 0; i + fuzzy::kCommonSubstringLength <= collapsed.size(); ++i) {
+        push(posting_key(collapsed.substr(i, fuzzy::kCommonSubstringLength), block_tag));
+    }
+}
+
+void SimilarityIndex::collect_candidates(std::string_view collapsed, std::uint64_t block_tag,
+                                         std::vector<DigestId>& out) const {
+    if (collapsed.empty()) return;
+    const auto gather = [this, &out](std::uint64_t key) {
+        const auto it = postings_.find(key);
+        if (it != postings_.end()) out.insert(out.end(), it->second.begin(), it->second.end());
+    };
+    if (collapsed.size() < fuzzy::kCommonSubstringLength) {
+        gather(posting_key(collapsed, block_tag ^ 0x5349524Eu));
+        return;
+    }
+    for (std::size_t i = 0; i + fuzzy::kCommonSubstringLength <= collapsed.size(); ++i) {
+        gather(posting_key(collapsed.substr(i, fuzzy::kCommonSubstringLength), block_tag));
+    }
+}
+
+std::vector<ScoredMatch> SimilarityIndex::query(const fuzzy::FuzzyDigest& probe, int min_score,
+                                                std::size_t top_n) const {
+    std::vector<DigestId> candidates;
+    const std::string c1 = fuzzy::eliminate_sequences(probe.digest1);
+    const std::string c2 = fuzzy::eliminate_sequences(probe.digest2);
+    collect_candidates(c1, probe.block_size, candidates);
+    collect_candidates(c2, probe.block_size * 2, candidates);
+
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+    std::vector<ScoredMatch> matches;
+    for (const DigestId id : candidates) {
+        const int score = fuzzy::compare(probe, digests_[id]);
+        if (score >= min_score) matches.push_back({id, score});
+    }
+    finalize(matches, top_n);
+    return matches;
+}
+
+std::vector<ScoredMatch> SimilarityIndex::query_bruteforce(const fuzzy::FuzzyDigest& probe,
+                                                           int min_score,
+                                                           std::size_t top_n) const {
+    std::vector<ScoredMatch> matches;
+    for (DigestId id = 0; id < digests_.size(); ++id) {
+        const int score = fuzzy::compare(probe, digests_[id]);
+        if (score >= min_score) matches.push_back({id, score});
+    }
+    finalize(matches, top_n);
+    return matches;
+}
+
+}  // namespace siren::recognize

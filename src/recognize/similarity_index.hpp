@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "fuzzy/compare.hpp"
+#include "fuzzy/ctph.hpp"
+
+namespace siren::recognize {
+
+/// Identifier of a digest inside a SimilarityIndex (its insertion order).
+using DigestId = std::uint32_t;
+
+/// One scored search result.
+struct ScoredMatch {
+    DigestId id = 0;
+    int score = 0;  ///< fuzzy::compare score, 1..100
+
+    friend bool operator==(const ScoredMatch&, const ScoredMatch&) = default;
+};
+
+/// Inverted 7-gram index over fuzzy digests: sub-linear candidate lookup
+/// for similarity search, the standard ssdeep-scaling technique.
+///
+/// Correctness rests on a property of fuzzy::compare: a nonzero score
+/// requires either byte-identical collapsed digests or a common substring
+/// of kCommonSubstringLength (7) characters between the pair of digest
+/// strings that the block-size rule selects. Therefore indexing every
+/// 7-gram of every (sequence-collapsed) digest string — tagged with the
+/// effective block size it was computed at — yields a candidate set that
+/// is a **superset** of all digests scoring > 0 against any probe: the
+/// prefilter can return false positives (rescored and discarded) but never
+/// false negatives. `tests/test_recognize.cpp` asserts this equivalence
+/// against brute force over campaign-scale corpora.
+///
+/// Block-size tagging covers all three comparable configurations
+/// (equal, probe at 2x, candidate at 2x) because each digest is indexed
+/// twice: digest1 under its block size and digest2 under twice that, so
+/// two entries are comparable exactly when they share a tag.
+class SimilarityIndex {
+public:
+    SimilarityIndex() = default;
+
+    /// Insert a digest; returns its id (insertion order, dense from 0).
+    DigestId add(fuzzy::FuzzyDigest digest);
+
+    /// All candidates scoring >= min_score against the probe, best first
+    /// (ties by ascending id); at most top_n results (0 = unlimited).
+    /// Uses the gram index to restrict rescoring to plausible candidates.
+    std::vector<ScoredMatch> query(const fuzzy::FuzzyDigest& probe, int min_score = 1,
+                                   std::size_t top_n = 0) const;
+
+    /// Same contract as query() but scans every stored digest. Exists as
+    /// the oracle for recall tests and the ablation baseline.
+    std::vector<ScoredMatch> query_bruteforce(const fuzzy::FuzzyDigest& probe,
+                                              int min_score = 1, std::size_t top_n = 0) const;
+
+    /// Number of stored digests.
+    std::size_t size() const { return digests_.size(); }
+
+    const fuzzy::FuzzyDigest& digest(DigestId id) const { return digests_.at(id); }
+
+    /// Number of distinct posting keys (diagnostics / bench reporting).
+    std::size_t posting_keys() const { return postings_.size(); }
+
+private:
+    void index_string(std::string_view collapsed, std::uint64_t block_tag, DigestId id);
+    void collect_candidates(std::string_view collapsed, std::uint64_t block_tag,
+                            std::vector<DigestId>& out) const;
+
+    std::vector<fuzzy::FuzzyDigest> digests_;
+    std::unordered_map<std::uint64_t, std::vector<DigestId>> postings_;
+};
+
+}  // namespace siren::recognize

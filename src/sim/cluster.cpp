@@ -1,0 +1,69 @@
+#include "sim/cluster.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace siren::sim {
+
+std::string MapsEntry::render() const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%012llx-%012llx %s ",
+                  static_cast<unsigned long long>(start),
+                  static_cast<unsigned long long>(end), perms.c_str());
+    return std::string(buf) + path;
+}
+
+std::string FileMeta::render() const {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "inode=%llu size=%lld mode=%o uid=%lld gid=%lld atime=%lld mtime=%lld ctime=%lld",
+                  static_cast<unsigned long long>(inode), static_cast<long long>(size), mode,
+                  static_cast<long long>(owner_uid), static_cast<long long>(owner_gid),
+                  static_cast<long long>(atime), static_cast<long long>(mtime),
+                  static_cast<long long>(ctime));
+    return buf;
+}
+
+FileMeta FileMeta::parse(const std::string& line) {
+    FileMeta m;
+    unsigned long long inode = 0;
+    long long size = 0, uid = 0, gid = 0, atime = 0, mtime = 0, ctime = 0;
+    unsigned mode = 0;
+    const int matched = std::sscanf(
+        line.c_str(),
+        "inode=%llu size=%lld mode=%o uid=%lld gid=%lld atime=%lld mtime=%lld ctime=%lld",
+        &inode, &size, &mode, &uid, &gid, &atime, &mtime, &ctime);
+    if (matched != 8) throw util::ParseError("bad FileMeta line: " + line);
+    m.inode = inode;
+    m.size = size;
+    m.mode = mode;
+    m.owner_uid = uid;
+    m.owner_gid = gid;
+    m.atime = atime;
+    m.mtime = mtime;
+    m.ctime = ctime;
+    return m;
+}
+
+Cluster::Cluster(std::size_t nodes, std::int64_t epoch) : epoch_(epoch) {
+    util::require(nodes >= 1, "cluster needs at least one node");
+    hostnames_.reserve(nodes);
+    next_pid_.reserve(nodes);
+    for (std::size_t i = 0; i < nodes; ++i) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "nid%06zu", i + 1);
+        hostnames_.emplace_back(buf);
+        next_pid_.push_back(2000 + static_cast<std::int64_t>(i) * 17 % 1000);
+    }
+}
+
+std::int64_t Cluster::next_pid(std::size_t node) {
+    std::int64_t& counter = next_pid_.at(node);
+    const std::int64_t pid = counter++;
+    if (counter > 4194304) counter = 300;  // kernel pid_max wrap: PID reuse
+    return pid;
+}
+
+}  // namespace siren::sim

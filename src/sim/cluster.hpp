@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/fsnames.hpp"
+
+namespace siren::sim {
+
+/// One entry of a simulated /proc/<pid>/maps.
+struct MapsEntry {
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+    std::string perms = "r-xp";
+    std::string path;  ///< mapped file; empty for anonymous mappings
+
+    /// Render in /proc/self/maps format.
+    std::string render() const;
+};
+
+/// Executable file metadata as collected by the paper (§3.1): inode, size,
+/// permissions, owner, and the three POSIX timestamps.
+struct FileMeta {
+    std::uint64_t inode = 0;
+    std::int64_t size = 0;
+    std::uint32_t mode = 0755;
+    std::int64_t owner_uid = 0;
+    std::int64_t owner_gid = 0;
+    std::int64_t atime = 0;
+    std::int64_t mtime = 0;
+    std::int64_t ctime = 0;
+
+    /// Canonical one-line rendering used as message CONTENT.
+    std::string render() const;
+    static FileMeta parse(const std::string& line);
+};
+
+/// Python-specific observables of an interpreter process.
+struct PythonInfo {
+    std::string script_path;     ///< empty for interactive/module runs
+    std::string script_content;  ///< bytes of the script (for SCRIPT_H)
+    FileMeta script_meta;
+};
+
+/// One simulated process: everything siren.so would observe from inside.
+struct SimProcess {
+    // Slurm context (environment variables on LUMI).
+    std::uint64_t job_id = 0;
+    std::uint32_t step_id = 0;
+    std::uint32_t slurm_procid = 0;  ///< MPI rank; collection only at rank 0
+    std::string host;
+
+    // Kernel identifiers.
+    std::int64_t pid = 0;
+    std::int64_t ppid = 0;
+    std::int64_t uid = 0;
+    std::int64_t gid = 0;
+    std::int64_t start_time = 0;  ///< unix seconds
+
+    // Executable.
+    std::string exe_path;
+    FileMeta exe_meta;
+
+    // Environment-derived lists.
+    std::vector<std::string> loaded_modules;  ///< resolved LOADEDMODULES entries
+    std::vector<std::string> loaded_objects;  ///< full paths of loaded shared objects
+    std::vector<MapsEntry> memory_map;
+
+    std::optional<PythonInfo> python;
+
+    /// Process runs inside a container (singularity/apptainer image). The
+    /// paper's deployment cannot collect these — LD_PRELOAD propagates but
+    /// siren.so's directory is not mounted inside the container (§3.1
+    /// "Requirements and Limitations"); the collector reproduces that
+    /// behaviour unless explicitly configured otherwise.
+    bool in_container = false;
+
+    PathCategory path_category() const { return categorize_path(exe_path); }
+    bool is_python() const {
+        return is_python_interpreter(exe_path) && path_category() == PathCategory::kSystem;
+    }
+};
+
+/// Allocates cluster-wide identifiers (job ids, PIDs per host, hostnames)
+/// for the campaign generator. LUMI-flavoured hostnames: nid{0...}.
+class Cluster {
+public:
+    explicit Cluster(std::size_t nodes = 64, std::int64_t epoch = 1733875200 /* 2024-12-11 */);
+
+    std::size_t node_count() const { return hostnames_.size(); }
+    const std::string& hostname(std::size_t node) const { return hostnames_.at(node); }
+
+    std::uint64_t next_job_id() { return next_job_id_++; }
+
+    /// PIDs are per-host counters starting in the typical Linux range;
+    /// wrap-around models PID reuse.
+    std::int64_t next_pid(std::size_t node);
+
+    std::int64_t epoch() const { return epoch_; }
+
+private:
+    std::vector<std::string> hostnames_;
+    std::vector<std::int64_t> next_pid_;
+    std::uint64_t next_job_id_ = 1000001;
+    std::int64_t epoch_;
+};
+
+}  // namespace siren::sim

@@ -1,0 +1,30 @@
+#include "sim/fsnames.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace siren::sim {
+
+PathCategory categorize_path(std::string_view path) {
+    for (const auto prefix : kSystemDirs) {
+        if (util::starts_with(path, prefix)) return PathCategory::kSystem;
+    }
+    return PathCategory::kUser;
+}
+
+bool is_python_interpreter(std::string_view path) {
+    const std::string_view base = util::basename(path);
+    if (!util::starts_with(base, "python")) return false;
+    // Accept "python", "python3", "python3.11" — but not "python-config".
+    for (char c : base.substr(6)) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.') return false;
+    }
+    return true;
+}
+
+std::string interpreter_name(std::string_view path) {
+    return std::string(util::basename(path));
+}
+
+}  // namespace siren::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace siren::sim {
+
+/// The system directory prefixes from the paper (§3.1 "Selective Data
+/// Collection"): a process whose executable lives under one of these is a
+/// *system* process; everything else is a *user* process.
+inline constexpr std::array<std::string_view, 11> kSystemDirs = {
+    "/etc/", "/dev/", "/usr/", "/bin/", "/boot/", "/lib/",
+    "/opt/", "/sbin/", "/sys/", "/proc/", "/var/",
+};
+
+/// Where an executable path resolves to.
+enum class PathCategory { kSystem, kUser };
+
+/// Classify by prefix. Relative paths (no leading '/') are user paths —
+/// they resolve inside some user working directory.
+PathCategory categorize_path(std::string_view path);
+
+/// True when the basename looks like a Python interpreter (python,
+/// python3, python3.11, ...). Combined with categorize_path this yields the
+/// paper's three process categories: a Python interpreter in a system
+/// directory is category *Python*; in a user directory it counts as *user*.
+bool is_python_interpreter(std::string_view path);
+
+/// Extract the interpreter short name for reporting ("python3.10");
+/// returns the basename unchanged for non-Python paths.
+std::string interpreter_name(std::string_view path);
+
+}  // namespace siren::sim

@@ -1,0 +1,53 @@
+#include "sim/modules.hpp"
+
+#include <functional>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace siren::sim {
+
+void ModuleSystem::add(Module module) {
+    for (const auto& existing : modules_) {
+        if (existing.name == module.name && existing.version == module.version) {
+            throw util::Error("module already registered: " + module.qualified());
+        }
+    }
+    modules_.push_back(std::move(module));
+}
+
+const Module* ModuleSystem::find(const std::string& name) const {
+    for (const auto& m : modules_) {
+        if (m.name == name) return &m;
+    }
+    return nullptr;
+}
+
+std::vector<std::string> ModuleSystem::resolve(
+    const std::vector<std::string>& requested) const {
+    std::vector<std::string> out;
+    std::set<std::string> seen;
+
+    // Depth-first expansion; recursion depth is bounded by module count.
+    std::function<void(const std::string&)> visit = [&](const std::string& name) {
+        if (seen.count(name) != 0) return;
+        seen.insert(name);
+        const Module* m = find(name);
+        if (m == nullptr) {
+            out.push_back(name);  // unknown module: keep verbatim
+            return;
+        }
+        for (const auto& dep : m->dependencies) visit(dep);
+        out.push_back(m->qualified());
+    };
+
+    for (const auto& name : requested) visit(name);
+    return out;
+}
+
+std::string ModuleSystem::loadedmodules_value(const std::vector<std::string>& resolved) {
+    return util::join(resolved, ":");
+}
+
+}  // namespace siren::sim

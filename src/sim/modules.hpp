@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace siren::sim {
+
+/// One environment module (LMOD-style): name, version and the modules it
+/// pulls in as dependencies when loaded.
+struct Module {
+    std::string name;
+    std::string version;
+    std::vector<std::string> dependencies;  ///< names of modules auto-loaded
+
+    std::string qualified() const { return name + "/" + version; }
+};
+
+/// A minimal LMOD stand-in: register modules, then resolve a load list
+/// (with transitive dependencies, each module once, load order preserved)
+/// into the LOADEDMODULES environment value the collector reads.
+class ModuleSystem {
+public:
+    /// Register; duplicate name/version pairs are rejected.
+    void add(Module module);
+
+    const Module* find(const std::string& name) const;
+
+    /// Resolve `requested` (names) into the ordered qualified list,
+    /// expanding dependencies depth-first; unknown names are kept verbatim
+    /// (users can point MODULEPATH anywhere — the collector must not choke).
+    std::vector<std::string> resolve(const std::vector<std::string>& requested) const;
+
+    /// Render as LOADEDMODULES: colon-separated qualified names.
+    static std::string loadedmodules_value(const std::vector<std::string>& resolved);
+
+private:
+    std::vector<Module> modules_;
+};
+
+}  // namespace siren::sim

@@ -1,0 +1,87 @@
+#include "util/base64.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace siren::util {
+
+namespace {
+
+std::array<int, 256> make_reverse_table() {
+    std::array<int, 256> table{};
+    table.fill(-1);
+    for (int i = 0; i < 64; ++i) {
+        table[static_cast<unsigned char>(kBase64Alphabet[i])] = i;
+    }
+    return table;
+}
+
+const std::array<int, 256> kReverse = make_reverse_table();
+
+}  // namespace
+
+std::string base64_encode(const std::uint8_t* data, std::size_t size) {
+    std::string out;
+    out.reserve((size + 2) / 3 * 4);
+    std::size_t i = 0;
+    for (; i + 3 <= size; i += 3) {
+        const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                                (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                                static_cast<std::uint32_t>(data[i + 2]);
+        out += kBase64Alphabet[(n >> 18) & 63];
+        out += kBase64Alphabet[(n >> 12) & 63];
+        out += kBase64Alphabet[(n >> 6) & 63];
+        out += kBase64Alphabet[n & 63];
+    }
+    const std::size_t rest = size - i;
+    if (rest == 1) {
+        const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+        out += kBase64Alphabet[(n >> 18) & 63];
+        out += kBase64Alphabet[(n >> 12) & 63];
+        out += "==";
+    } else if (rest == 2) {
+        const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                                (static_cast<std::uint32_t>(data[i + 1]) << 8);
+        out += kBase64Alphabet[(n >> 18) & 63];
+        out += kBase64Alphabet[(n >> 12) & 63];
+        out += kBase64Alphabet[(n >> 6) & 63];
+        out += '=';
+    }
+    return out;
+}
+
+std::string base64_encode(std::string_view s) {
+    return base64_encode(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+std::vector<std::uint8_t> base64_decode(std::string_view s) {
+    if (s.size() % 4 != 0) throw ParseError("base64 length not a multiple of 4");
+    std::vector<std::uint8_t> out;
+    out.reserve(s.size() / 4 * 3);
+    for (std::size_t i = 0; i < s.size(); i += 4) {
+        int vals[4];
+        int pad = 0;
+        for (int k = 0; k < 4; ++k) {
+            const char c = s[i + k];
+            if (c == '=') {
+                if (i + 4 != s.size() || k < 2) throw ParseError("base64 misplaced padding");
+                vals[k] = 0;
+                ++pad;
+            } else {
+                if (pad != 0) throw ParseError("base64 data after padding");
+                vals[k] = kReverse[static_cast<unsigned char>(c)];
+                if (vals[k] < 0) throw ParseError("base64 invalid character");
+            }
+        }
+        const std::uint32_t n =
+            (static_cast<std::uint32_t>(vals[0]) << 18) | (static_cast<std::uint32_t>(vals[1]) << 12) |
+            (static_cast<std::uint32_t>(vals[2]) << 6) | static_cast<std::uint32_t>(vals[3]);
+        out.push_back(static_cast<std::uint8_t>((n >> 16) & 0xff));
+        if (pad < 2) out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
+        if (pad < 1) out.push_back(static_cast<std::uint8_t>(n & 0xff));
+    }
+    return out;
+}
+
+}  // namespace siren::util

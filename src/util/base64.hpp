@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace siren::util {
+
+/// The 64-character alphabet used both by RFC 4648 base64 and by SSDeep
+/// digest characters (SSDeep indexes this table with `hash % 64`).
+inline constexpr char kBase64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 encoding with '=' padding.
+std::string base64_encode(const std::uint8_t* data, std::size_t size);
+std::string base64_encode(std::string_view s);
+
+/// Decode; throws siren::util::ParseError on malformed input.
+std::vector<std::uint8_t> base64_decode(std::string_view s);
+
+}  // namespace siren::util

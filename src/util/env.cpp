@@ -1,0 +1,36 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace siren::util {
+
+std::optional<std::string> get_env(const std::string& name) {
+    const char* v = std::getenv(name.c_str());
+    if (v == nullptr) return std::nullopt;
+    return std::string(v);
+}
+
+std::string get_env_or(const std::string& name, std::string_view fallback) {
+    auto v = get_env(name);
+    return v ? *v : std::string(fallback);
+}
+
+double get_env_double(const std::string& name, double fallback) {
+    auto v = get_env(name);
+    if (!v) return fallback;
+    char* end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    if (end == v->c_str()) return fallback;
+    return parsed;
+}
+
+std::int64_t get_env_int(const std::string& name, std::int64_t fallback) {
+    auto v = get_env(name);
+    if (!v) return fallback;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v->c_str(), &end, 10);
+    if (end == v->c_str()) return fallback;
+    return parsed;
+}
+
+}  // namespace siren::util

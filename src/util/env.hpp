@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace siren::util {
+
+/// Read an environment variable; nullopt when unset.
+std::optional<std::string> get_env(const std::string& name);
+
+/// Read with a default value.
+std::string get_env_or(const std::string& name, std::string_view fallback);
+
+/// Parse numeric environment knobs (SIREN_SCALE, SIREN_SEED, ...); returns
+/// fallback when unset or unparsable.
+double get_env_double(const std::string& name, double fallback);
+std::int64_t get_env_int(const std::string& name, std::int64_t fallback);
+
+}  // namespace siren::util

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace siren::util {
+
+/// Base exception for all SIREN library errors. Subsystems derive their own
+/// error types from this so callers can catch per-layer or catch-all.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when parsing malformed input (wire messages, ELF images, digests).
+class ParseError : public Error {
+public:
+    explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Raised on OS-level failures (sockets, files). Carries errno text.
+class SystemError : public Error {
+public:
+    explicit SystemError(const std::string& what) : Error("system error: " + what) {}
+};
+
+/// Precondition check that throws instead of aborting; used on public API
+/// boundaries where caller input is untrusted.
+inline void require(bool cond, const std::string& message) {
+    if (!cond) throw Error(message);
+}
+
+}  // namespace siren::util

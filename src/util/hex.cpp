@@ -1,0 +1,54 @@
+#include "util/hex.hpp"
+
+#include "util/error.hpp"
+
+namespace siren::util {
+
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+
+int nibble(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+}  // namespace
+
+std::string hex_encode(const std::uint8_t* data, std::size_t size) {
+    std::string out;
+    out.reserve(size * 2);
+    for (std::size_t i = 0; i < size; ++i) {
+        out += kDigits[data[i] >> 4];
+        out += kDigits[data[i] & 0xf];
+    }
+    return out;
+}
+
+std::string hex_encode(const std::vector<std::uint8_t>& data) {
+    return hex_encode(data.data(), data.size());
+}
+
+std::string hex_u64(std::uint64_t v) {
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> hex_decode(std::string_view s) {
+    if (s.size() % 2 != 0) throw ParseError("hex string has odd length");
+    std::vector<std::uint8_t> out;
+    out.reserve(s.size() / 2);
+    for (std::size_t i = 0; i < s.size(); i += 2) {
+        const int hi = nibble(s[i]);
+        const int lo = nibble(s[i + 1]);
+        if (hi < 0 || lo < 0) throw ParseError("hex string has non-hex digit");
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+}  // namespace siren::util

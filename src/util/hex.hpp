@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace siren::util {
+
+/// Lowercase hex encoding of a byte range.
+std::string hex_encode(const std::uint8_t* data, std::size_t size);
+std::string hex_encode(const std::vector<std::uint8_t>& data);
+
+/// Hex of a 64-bit value, fixed 16 digits, big-endian digit order.
+std::string hex_u64(std::uint64_t v);
+
+/// Decode; throws siren::util::ParseError on odd length or non-hex digits.
+std::vector<std::uint8_t> hex_decode(std::string_view s);
+
+}  // namespace siren::util

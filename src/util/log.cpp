@@ -1,0 +1,47 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "util/env.hpp"
+#include "util/strings.hpp"
+
+namespace siren::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log_message(LogLevel level, const std::string& message) {
+    if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+    std::lock_guard lock(g_sink_mutex);
+    std::fprintf(stderr, "[siren %s] %s\n", level_name(level), message.c_str());
+}
+
+void init_log_from_env() {
+    auto v = get_env("SIREN_LOG");
+    if (!v) return;
+    const std::string s = to_lower(*v);
+    if (s == "debug") set_log_level(LogLevel::kDebug);
+    else if (s == "info") set_log_level(LogLevel::kInfo);
+    else if (s == "warn") set_log_level(LogLevel::kWarn);
+    else if (s == "error") set_log_level(LogLevel::kError);
+}
+
+}  // namespace siren::util

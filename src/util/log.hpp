@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+namespace siren::util {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal process-wide logger. Default threshold is Warn so library users
+/// see problems but no chatter; benches raise it to Info via SIREN_LOG.
+/// Thread-safe (single mutex around the sink).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log_message(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log_message(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log_message(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log_message(LogLevel::kError, m); }
+
+/// Configure from the SIREN_LOG environment variable
+/// (debug|info|warn|error); no-op when unset.
+void init_log_from_env();
+
+}  // namespace siren::util

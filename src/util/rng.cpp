@@ -1,0 +1,107 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace siren::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t v) {
+    std::uint64_t s = v;
+    return splitmix64(s);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+    // Lemire-style rejection: retry while in the biased zone.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+        const std::uint64_t r = next();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform() {
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+}
+
+std::size_t Rng::index(std::size_t n) {
+    return static_cast<std::size_t>(below(n));
+}
+
+std::string Rng::ident(std::size_t n) {
+    static constexpr char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out += kChars[below(36)];
+    return out;
+}
+
+std::vector<std::uint8_t> Rng::bytes(std::size_t n) {
+    std::vector<std::uint8_t> out(n);
+    std::size_t i = 0;
+    while (i + 8 <= n) {
+        const std::uint64_t v = next();
+        for (int k = 0; k < 8; ++k) out[i + static_cast<std::size_t>(k)] = static_cast<std::uint8_t>(v >> (8 * k));
+        i += 8;
+    }
+    if (i < n) {
+        const std::uint64_t v = next();
+        for (int k = 0; i < n; ++i, ++k) out[i] = static_cast<std::uint8_t>(v >> (8 * k));
+    }
+    return out;
+}
+
+Rng Rng::fork(std::uint64_t label) const {
+    std::uint64_t h = s_[0] ^ rotl(s_[3], 13) ^ mix64(label);
+    return Rng(mix64(h));
+}
+
+std::int64_t Rng::long_tail(std::int64_t lo, double mean) {
+    if (mean <= static_cast<double>(lo)) return lo;
+    // Exponential with the requested mean above the floor.
+    const double u = uniform();
+    const double extra = -std::log(1.0 - u) * (mean - static_cast<double>(lo));
+    return lo + static_cast<std::int64_t>(extra);
+}
+
+}  // namespace siren::util

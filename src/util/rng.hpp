@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace siren::util {
+
+/// splitmix64 step; used to expand a single seed into xoshiro state and as a
+/// cheap stateless mixer. Public because the workload generator derives
+/// per-entity sub-seeds with it.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Mix a value once (stateless convenience over splitmix64).
+std::uint64_t mix64(std::uint64_t v);
+
+/// Deterministic PRNG: xoshiro256** seeded via splitmix64.
+///
+/// Every randomized component in SIREN (workload generator, binary
+/// synthesizer, lossy channel) takes an explicit Rng or seed so experiments
+/// are bit-reproducible; nothing uses std::random_device.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x5EEDu);
+
+    /// Uniform 64-bit value.
+    std::uint64_t next();
+
+    /// Uniform in [0, bound) with rejection to avoid modulo bias; bound > 0.
+    std::uint64_t below(std::uint64_t bound);
+
+    /// Uniform in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// True with probability p (clamped to [0,1]).
+    bool chance(double p);
+
+    /// Pick a uniformly random element index for a container of size n (n>0).
+    std::size_t index(std::size_t n);
+
+    /// Random lowercase alphanumeric identifier of length n.
+    std::string ident(std::size_t n);
+
+    /// Random bytes.
+    std::vector<std::uint8_t> bytes(std::size_t n);
+
+    /// Derive an independent child generator; stable for a given label.
+    Rng fork(std::uint64_t label) const;
+
+    /// Sample an integer from a (truncated) geometric-ish long-tail around
+    /// `mean`, at least `lo`; used for job/process size draws.
+    std::int64_t long_tail(std::int64_t lo, double mean);
+
+private:
+    std::uint64_t s_[4];
+};
+
+}  // namespace siren::util

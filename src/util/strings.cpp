@@ -1,0 +1,157 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace siren::util {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> split_nonempty(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    for (auto& piece : split(s, sep)) {
+        if (!piece.empty()) out.push_back(std::move(piece));
+    }
+    return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+    return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view haystack, std::string_view needle) {
+    return haystack.find(needle) != std::string_view::npos;
+}
+
+bool icontains(std::string_view haystack, std::string_view needle) {
+    if (needle.empty()) return true;
+    if (needle.size() > haystack.size()) return false;
+    const std::string h = to_lower(haystack);
+    const std::string n = to_lower(needle);
+    return h.find(n) != std::string::npos;
+}
+
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to) {
+    if (from.empty()) return std::string(s);
+    std::string out;
+    out.reserve(s.size());
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t hit = s.find(from, pos);
+        if (hit == std::string_view::npos) {
+            out.append(s.substr(pos));
+            return out;
+        }
+        out.append(s.substr(pos, hit - pos));
+        out.append(to);
+        pos = hit + from.size();
+    }
+}
+
+std::string escape_field(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '|': out += "\\p"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string unescape_field(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 == s.size()) {
+            out += s[i];
+            continue;
+        }
+        ++i;
+        switch (s[i]) {
+            case '\\': out += '\\'; break;
+            case 'p': out += '|'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            default:
+                out += '\\';
+                out += s[i];
+        }
+    }
+    return out;
+}
+
+std::string_view basename(std::string_view path) {
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+std::string_view dirname(std::string_view path) {
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string_view::npos ? std::string_view{} : path.substr(0, slash + 1);
+}
+
+std::string with_commas(std::uint64_t n) {
+    std::string digits = std::to_string(n);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count != 0 && count % 3 == 0) out += ',';
+        out += *it;
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string fixed(double v, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+    return buf;
+}
+
+}  // namespace siren::util

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace siren::util {
+
+/// Split `s` on `sep`, keeping empty fields ("a||b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split `s` on `sep`, dropping empty fields.
+std::vector<std::string> split_nonempty(std::string_view s, char sep);
+
+/// Join `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Lowercase ASCII copy.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+bool contains(std::string_view haystack, std::string_view needle);
+
+/// Case-insensitive substring test (ASCII).
+bool icontains(std::string_view haystack, std::string_view needle);
+
+/// True if `c` is a printable ASCII character (0x20..0x7e).
+constexpr bool is_printable(unsigned char c) { return c >= 0x20 && c <= 0x7e; }
+
+/// Replace every occurrence of `from` with `to`.
+std::string replace_all(std::string_view s, std::string_view from, std::string_view to);
+
+/// Escape '\\', '|', '\n', '\t' for embedding in the pipe-separated wire
+/// format; `unescape_field` reverses it.
+std::string escape_field(std::string_view s);
+std::string unescape_field(std::string_view s);
+
+/// Last path component ("/usr/bin/bash" -> "bash"; "bash" -> "bash").
+std::string_view basename(std::string_view path);
+
+/// Directory part including trailing '/' ("/usr/bin/bash" -> "/usr/bin/").
+std::string_view dirname(std::string_view path);
+
+/// Format `n` with thousands separators: 2317859 -> "2,317,859".
+std::string with_commas(std::uint64_t n);
+
+/// Fixed-point decimal string with `digits` fractional digits.
+std::string fixed(double v, int digits);
+
+}  // namespace siren::util

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace siren::util {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    require(!headers_.empty(), "TextTable needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    require(cells.size() == headers_.size(), "TextTable row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::cell(std::uint64_t v) { return with_commas(v); }
+
+std::string TextTable::cell(std::int64_t v) {
+    if (v < 0) return "-" + with_commas(static_cast<std::uint64_t>(-v));
+    return with_commas(static_cast<std::uint64_t>(v));
+}
+
+std::string TextTable::cell(double v, int digits) { return fixed(v, digits); }
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out += cells[c];
+            if (c + 1 < cells.size()) {
+                out.append(widths[c] - cells[c].size() + 2, ' ');
+            }
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emit_row(headers_, out);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    }
+    out.append(total, '-');
+    out += '\n';
+    for (const auto& row : rows_) emit_row(row, out);
+    return out;
+}
+
+std::string TextTable::render_tsv() const {
+    std::string out = join(headers_, "\t") + "\n";
+    for (const auto& row : rows_) out += join(row, "\t") + "\n";
+    return out;
+}
+
+}  // namespace siren::util

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace siren::util {
+
+/// A rendered result table: the common exchange format between
+/// siren::analytics (which computes paper tables) and the bench binaries
+/// (which print them in the paper's row order).
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /// Append one row; must have exactly as many cells as there are headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience cell formatters.
+    static std::string cell(std::uint64_t v);
+    static std::string cell(std::int64_t v);
+    static std::string cell(double v, int digits = 1);
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t cols() const { return headers_.size(); }
+    const std::vector<std::string>& header() const { return headers_; }
+    const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+    /// Aligned monospace rendering with a header separator.
+    std::string render() const;
+
+    /// Tab-separated rendering (easy to diff / import).
+    std::string render_tsv() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace siren::util

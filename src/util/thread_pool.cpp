@@ -1,0 +1,81 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace siren::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (stopping_ && tasks_.empty()) return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    const std::size_t nthreads = std::min(size(), n);
+    const std::size_t chunk = (n + nthreads - 1) / nthreads;
+
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) {
+        const std::size_t begin = t * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
+        if (begin >= end) break;
+        futures.push_back(submit([&, begin, end] {
+            try {
+                for (std::size_t i = begin; i < end && !failed.load(std::memory_order_relaxed); ++i) {
+                    fn(i);
+                }
+            } catch (...) {
+                std::lock_guard lock(error_mutex);
+                if (!failed.exchange(true)) first_error = std::current_exception();
+            }
+        }));
+    }
+    for (auto& f : futures) f.wait();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn, std::size_t threads) {
+    if (n < 2) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    ThreadPool pool(threads);
+    pool.parallel_for(n, fn);
+}
+
+}  // namespace siren::util

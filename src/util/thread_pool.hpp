@@ -1,0 +1,65 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace siren::util {
+
+/// Fixed-size worker pool with a shared task queue.
+///
+/// SIREN uses it for the embarrassingly parallel stages: fuzzy hashing many
+/// executables, all-pairs similarity search, and campaign generation sharded
+/// by user. Tasks must not throw; wrap fallible work and surface errors
+/// through the returned future.
+class ThreadPool {
+public:
+    /// Spawns `threads` workers (0 -> hardware_concurrency, at least 1).
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const { return workers_.size(); }
+
+    /// Enqueue a task; returns a future for its result.
+    template <typename F>
+    auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+        auto fut = task->get_future();
+        {
+            std::lock_guard lock(mutex_);
+            tasks_.emplace([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    /// Run fn(i) for i in [0, n) across the pool with chunked static
+    /// scheduling; blocks until all iterations complete. Exceptions from any
+    /// chunk are rethrown (first one wins).
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/// Convenience: parallel_for on a transient pool when no pool is supplied.
+/// Falls back to a plain loop when n is small.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace siren::util

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "collect/exe_store.hpp"
+#include "sim/cluster.hpp"
+
+namespace siren::workload {
+
+/// Processes of one executable variant within one allocation.
+struct VariantRun {
+    std::size_t variant = 0;      ///< variant index within the software spec
+    std::uint64_t processes = 0;  ///< processes executing this variant
+};
+
+/// One user's share of a software package: which variants they run, how
+/// many processes per variant, and across how many of their jobs the
+/// processes spread (round-robin over `jobs` job slots).
+struct UserAlloc {
+    std::string user;
+    std::uint64_t jobs = 1;  ///< distinct jobs this software appears in
+    std::vector<VariantRun> runs;
+};
+
+/// One set of loaded shared objects, with the number of processes that
+/// should exhibit it. Models environment-dependent library deviations
+/// (paper Table 4: three bash variants differing in libtinfo/libm).
+struct ObjectSetVariant {
+    std::string user;               ///< restrict to this user; empty = anyone
+    std::uint64_t processes = 0;    ///< target count; 0 = absorbs the remainder
+    std::vector<std::string> objects;
+};
+
+/// A system-directory executable (paper Table 3).
+struct SystemExecSpec {
+    std::string path;
+    std::vector<std::string> users;  ///< which users run it (unique-users target)
+    /// Users that must receive at least this many processes (so their
+    /// deviating object variants have enough volume).
+    std::vector<std::pair<std::string, std::uint64_t>> user_minimums;
+    std::uint64_t processes = 0;  ///< total process target
+    std::uint64_t jobs = 0;       ///< total job-membership target
+    std::vector<ObjectSetVariant> object_variants;  ///< [0] = default set
+};
+
+/// Executable variants sharing one compiler combination (paper Table 6:
+/// each executable's .comment may list several toolchains). Groups cover
+/// contiguous variant-index ranges: the first group holds variants
+/// [0, variants), the next the following range, and so on.
+struct VariantGroup {
+    std::size_t variants = 1;            ///< distinct executables (unique FILE_H)
+    std::vector<std::string> compilers;  ///< .comment identification strings
+};
+
+/// One user-directory software package (paper Table 5 row).
+struct UserSoftwareSpec {
+    std::string label;          ///< catalog ground truth (evaluation only)
+    std::string lineage;        ///< synthesizer lineage; UNKNOWN shares icon's
+    std::size_t version_base = 0;  ///< lineage version of variant 0
+    /// Path template; "{user}" and "{i}" are substituted. A path containing
+    /// the label name is what the paper's regex labeler keys on; UNKNOWN
+    /// uses a nondescript "a.out" pattern.
+    std::string path_pattern;
+    std::vector<UserAlloc> allocations;
+    std::vector<VariantGroup> groups;
+    /// Optional explicit lineage version per variant index; when empty the
+    /// version is version_base + variant index. Used by the UNKNOWN spec to
+    /// place its a.out binaries at controlled drift distances from icon.
+    std::vector<std::size_t> variant_versions;
+    std::vector<std::string> objects;               ///< default loaded objects
+    std::vector<ObjectSetVariant> object_variants;  ///< optional deviating sets
+    std::vector<std::string> modules;               ///< base LOADEDMODULES list
+    std::size_t module_jitter = 1;  ///< number of module-version variants (>=1)
+    std::size_t code_blocks = 24;   ///< binary size knob (x 4 KiB)
+};
+
+/// A group of Python runs: one user, one interpreter, several scripts.
+struct PythonGroupSpec {
+    std::string user;
+    std::size_t scripts = 1;       ///< distinct input scripts (unique SCRIPT_H)
+    std::uint64_t processes = 0;
+    std::uint64_t jobs = 1;
+    std::vector<std::string> packages;  ///< imported packages (Figure 3)
+};
+
+/// One system Python interpreter (paper Table 8 row).
+struct PythonSpec {
+    std::string interpreter_path;
+    std::vector<std::string> objects;  ///< interpreter's loaded objects
+    std::vector<PythonGroupSpec> groups;
+};
+
+/// Per-user totals (paper Table 2 row).
+struct UserSpec {
+    std::string name;  ///< anonymized (user_1 ... user_12)
+    std::int64_t uid = 0;
+    std::uint64_t jobs = 0;
+    std::uint64_t system_processes = 0;  ///< target for the system category
+    std::size_t other_execs = 0;  ///< count of long-tail system execs private to this user
+};
+
+/// The whole deployment campaign.
+struct CampaignSpec {
+    std::vector<UserSpec> users;
+    std::vector<SystemExecSpec> system_execs;      ///< the top-10 of Table 3
+    std::vector<std::string> other_exec_names;     ///< long-tail pool (names under /usr/bin)
+    std::vector<UserSoftwareSpec> software;
+    std::vector<PythonSpec> python;
+    std::size_t nodes = 32;
+    std::int64_t epoch = 1733875200;       ///< 2024-12-11, campaign start
+    std::int64_t duration_seconds = 7430400;  ///< through 2025-03-07
+};
+
+/// The paper's LUMI opt-in campaign: 12 users, 13,448 jobs, 2,317,859
+/// system + 9,042 user + 23,316 Python processes, with the software mix of
+/// Tables 3-8 and Figures 2-5.
+CampaignSpec lumi_campaign();
+
+/// A small smoke-test campaign (3 users, a few hundred processes) for unit
+/// tests and the quickstart example.
+CampaignSpec mini_campaign();
+
+/// Map a Figure-2/Figure-5 library tag ("hdf5-parallel-cray") to the
+/// concrete shared-object path the generator injects for it.
+std::string library_path_for_tag(const std::string& tag);
+
+/// Compiler identification strings as they appear in .comment sections,
+/// keyed by the paper's provenance label ("GCC [SUSE]" -> "GCC: (SUSE
+/// Linux) 7.5.0", ...).
+std::string compiler_comment_for(const std::string& provenance);
+
+/// Path of the memory-mapped native extension a Python interpreter maps
+/// when `package` is imported ("python3.10", "heapq" ->
+/// ".../lib-dynload/_heapq.cpython-3.10-...so").
+std::string package_map_path(const std::string& interpreter, const std::string& package);
+
+}  // namespace siren::workload

@@ -1,0 +1,645 @@
+#include <map>
+
+#include "util/error.hpp"
+#include "workload/campaign.hpp"
+
+// The LUMI opt-in campaign catalog.
+//
+// Every number here is taken from the paper's evaluation (Tables 2-8,
+// Figures 2-5). Where the paper gives only marginals (per-user totals in
+// Table 2, per-executable totals in Table 3), the joint allocation was
+// reconstructed so that the marginals are consistent; DESIGN.md documents
+// the reconstruction. The per-label user assignment is exact: the paper's
+// per-user user-directory process counts uniquely decompose into the
+// per-label counts (e.g. user_4's 642 = icon 625 + UNKNOWN 17).
+namespace siren::workload {
+
+namespace {
+
+// --- compiler identification strings ---------------------------------------
+
+const std::map<std::string, std::string>& compiler_comments() {
+    static const std::map<std::string, std::string> kMap = {
+        {"GCC [SUSE]", "GCC: (SUSE Linux) 7.5.0"},
+        {"GCC [Red Hat]", "GCC: (GNU) 8.5.0 20210514 (Red Hat 8.5.0-18)"},
+        {"GCC [conda]", "GCC: (conda-forge gcc 12.3.0-3) 12.3.0"},
+        {"GCC [HPE]", "GCC: (HPE) 10.3.0 20210408"},
+        {"clang [Cray]", "Cray clang version 15.0.1 (CrayPE 2.7.20)"},
+        {"clang [AMD]", "AMD clang version 14.0.6 (ROCm 5.2.3)"},
+        {"LLD [AMD]", "Linker: AMD LLD 14.0.6"},
+        {"rustc", "rustc version 1.68.2"},
+    };
+    return kMap;
+}
+
+// --- library-tag -> concrete shared object path -----------------------------
+//
+// Each path contains exactly the substrings of its tag (in the canonical
+// filter order) and no other filter substring; see
+// analytics::kLibraryFilterSubstrings.
+
+const std::map<std::string, std::string>& tag_paths() {
+    static const std::map<std::string, std::string> kMap = {
+        {"siren", "/opt/siren/lib/siren.so"},
+        {"pthread", "/lib64/libpthread.so.0"},
+        {"cray", "/opt/cray/pe/lib64/libcommon.so.1"},
+        {"quadmath-cray", "/opt/cray/pe/gcc-libs/libquadmath.so.0"},
+        {"fabric-cray", "/opt/cray/libfabric/1.15.2/lib64/libfabric.so.1"},
+        {"pmi-cray", "/opt/cray/pe/pmi/6.1.12/lib/libpmi.so.0"},
+        {"rocm", "/opt/rocm-5.2.3/lib/libhsa-runtime64.so.1"},
+        {"numa", "/usr/lib64/libnuma.so.1"},
+        {"drm", "/usr/lib64/libdrm.so.2"},
+        {"amdgpu-drm", "/usr/lib64/libdrm_amdgpu.so.1"},
+        {"fortran", "/usr/lib64/libgfortran.so.5"},
+        {"libsci-cray", "/opt/cray/pe/libsci/23.02.1.1/lib/libsci_gnu.so.6"},
+        {"rocm-blas", "/opt/rocm-5.2.3/lib/librocblas.so.0"},
+        {"rocsolver-rocm", "/opt/rocm-5.2.3/lib/librocsolver.so.0"},
+        {"rocsparse-rocm", "/opt/rocm-5.2.3/lib/librocsparse.so.0"},
+        {"fft-cray", "/opt/cray/pe/fftw/3.3.10.3/lib/libfftw3.so.3"},
+        {"rocm-fft", "/opt/rocm-5.2.3/lib/libfft_utils.so.0"},
+        {"rocfft-rocm-fft", "/opt/rocm-5.2.3/lib/librocfft.so.0"},
+        {"craymath-cray", "/opt/cray/pe/lib64/libcraymath.so.1"},
+        {"MIOpen-rocm", "/opt/rocm-5.2.3/lib/libMIOpen.so.1"},
+        {"gromacs", "/projappl/project_465000111/gromacs-2023.1/lib/libgromacs_mpi.so.8"},
+        {"boost", "/usr/lib64/libboost_program_options.so.1.80.0"},
+        {"netcdf-cray", "/opt/cray/pe/netcdf/4.9.0.1/lib/libnetcdf.so.19"},
+        {"amdgpu-cray", "/opt/cray/pe/lib64/libamdgpu_support.so.1"},
+        {"openacc-cray", "/opt/cray/pe/cce/15.0.1/lib/libopenacc.so.1"},
+        {"rocm-torch", "/opt/rocm-5.2.3/lib/libtorch_hip.so.1"},
+        {"numa-rocm-torch", "/opt/rocm-5.2.3/lib/libtorch_numa.so.1"},
+        {"numa-spack", "/appl/spack/v018/linux-sles15/libnuma.so.1"},
+        {"spack", "/appl/spack/v018/linux-sles15/libutil_misc.so.2"},
+        {"blas-spack", "/appl/spack/v018/linux-sles15/libopenblas.so.0"},
+        {"rocsolver-spack", "/appl/spack/v018/linux-sles15/librocsolver.so.0"},
+        {"rocsparse-spack", "/appl/spack/v018/linux-sles15/librocsparse.so.0"},
+        {"drm-spack", "/appl/spack/v018/linux-sles15/libdrm.so.2"},
+        {"amdgpu-drm-spack", "/appl/spack/v018/linux-sles15/libdrm_amdgpu.so.1"},
+        {"climatedt", "/appl/local/climatedt/lib/libdestine_core.so.1"},
+        {"climatedt-yaml", "/appl/local/climatedt/lib/libyaml_config.so.0"},
+        {"hdf5-cray", "/opt/cray/pe/hdf5/1.12.2.3/lib/libhdf5.so.200"},
+        {"cuda-amber", "/users/user_10/amber22/lib/libcuda_kernels.so.1"},
+        {"amber", "/users/user_10/amber22/lib/libsff.so.1"},
+        {"netcdf-parallel-cray", "/opt/cray/pe/parallel-netcdf/1.12.3.3/lib/libpnetcdf.so.4"},
+        {"hdf5-parallel-cray", "/opt/cray/pe/hdf5-parallel/1.12.2.3/lib/libhdf5_parallel.so.200"},
+        {"hdf5-fortran-parallel-cray",
+         "/opt/cray/pe/hdf5-parallel/1.12.2.3/lib/libhdf5_fortran_parallel.so.200"},
+        {"torch-tykky", "/appl/local/tykky/torch-env/lib/libtorch.so.2"},
+        {"numa-torch-tykky", "/appl/local/tykky/torch-env/lib/libtorch_numa.so.2"},
+    };
+    return kMap;
+}
+
+/// Plain libc: carries no tag, present everywhere.
+const std::string kLibc = "/lib64/libc.so.6";
+
+std::vector<std::string> objects_for_tags(const std::vector<std::string>& tags) {
+    std::vector<std::string> out;
+    out.reserve(tags.size() + 1);
+    for (const auto& tag : tags) out.push_back(library_path_for_tag(tag));
+    out.push_back(kLibc);
+    return out;
+}
+
+/// The common LUMI software stack every module environment carries; a
+/// realistic LOADEDMODULES has ~15-25 entries, which is what makes the
+/// MO_H similarity degrade gently (Table 7: 82..100) instead of cliffing.
+std::vector<std::string> with_base_modules(std::vector<std::string> specific) {
+    static const std::vector<std::string> kBase = {
+        "lumi-stack/23.03",       "craype-x86-trento",     "craype-accel-amd-gfx90a",
+        "libfabric/1.15.2.0",     "craype-network-ofi",    "perftools-base/23.03.0",
+        "xpmem/2.5.2-2.4_3.30",   "cray-dsmml/0.2.2",      "cray-libsci/23.02.1.1",
+        "lumi-tools/23.03",       "init-lumi/0.2",
+    };
+    specific.insert(specific.end(), kBase.begin(), kBase.end());
+    return specific;
+}
+
+std::vector<std::string> comments_for(const std::vector<std::string>& provenances) {
+    std::vector<std::string> out;
+    out.reserve(provenances.size());
+    for (const auto& p : provenances) out.push_back(compiler_comment_for(p));
+    return out;
+}
+
+}  // namespace
+
+// --- python package -> mapped .so path --------------------------------------
+
+std::string package_map_path(const std::string& interpreter, const std::string& package) {
+    // interpreter: "python3.10" etc.
+    static const std::map<std::string, std::string> kSitePackages = {
+        {"numpy", "numpy/core/_multiarray_umath"},
+        {"pandas", "pandas/_libs/lib"},
+        {"scipy", "scipy/linalg/_fblas"},
+        {"mpi4py", "mpi4py/MPI"},
+    };
+    // Stdlib modules whose extension has no leading underscore.
+    static const std::map<std::string, bool> kNoUnderscore = {
+        {"math", true},      {"cmath", true},   {"array", true},  {"select", true},
+        {"fcntl", true},     {"grp", true},     {"mmap", true},   {"binascii", true},
+        {"unicodedata", true}, {"zlib", true},
+    };
+    const std::string version = interpreter.substr(6);  // "3.10"
+    const std::string base = "/usr/lib64/" + interpreter;
+    auto site = kSitePackages.find(package);
+    if (site != kSitePackages.end()) {
+        return base + "/site-packages/" + site->second + ".cpython-" + version + "-x86_64-linux-gnu.so";
+    }
+    const bool bare = kNoUnderscore.find(package) != kNoUnderscore.end();
+    return base + "/lib-dynload/" + (bare ? "" : "_") + package + ".cpython-" + version +
+           "-x86_64-linux-gnu.so";
+}
+
+std::string library_path_for_tag(const std::string& tag) {
+    auto it = tag_paths().find(tag);
+    util::require(it != tag_paths().end(), "unknown library tag: " + tag);
+    return it->second;
+}
+
+std::string compiler_comment_for(const std::string& provenance) {
+    auto it = compiler_comments().find(provenance);
+    util::require(it != compiler_comments().end(), "unknown compiler provenance: " + provenance);
+    return it->second;
+}
+
+namespace {
+
+// --- system executable specs (Table 3) --------------------------------------
+
+std::vector<SystemExecSpec> system_exec_specs() {
+    const std::string siren_so = library_path_for_tag("siren");
+
+    std::vector<SystemExecSpec> out;
+
+    {
+        SystemExecSpec srun;
+        srun.path = "/usr/bin/srun";
+        srun.users = {"user_1", "user_2", "user_4", "user_5", "user_7", "user_8",
+                      "user_9", "user_10", "user_11", "user_12"};
+        srun.user_minimums = {{"user_12", 2}, {"user_9", 4}, {"user_7", 3}, {"user_5", 40}};
+        srun.processes = 4564;
+        srun.jobs = 1642;
+        srun.object_variants = {
+            {"", 0, {kLibc, "/usr/lib64/slurm/libslurmfull.so", "/opt/cray/pe/pmi/6.1.12/lib/libpmi.so.0", siren_so}},
+            {"user_4", 800, {kLibc, "/usr/lib64/slurm/libslurmfull.so", "/opt/cray/pe/pmi/6.1.8/lib/libpmi.so.0", siren_so}},
+            {"user_2", 300, {kLibc, "/usr/lib64/slurm/libslurmfull.so", "/opt/cray/libfabric/1.15.2/lib64/libfabric.so.1", siren_so}},
+        };
+        out.push_back(std::move(srun));
+    }
+    {
+        SystemExecSpec bash;
+        bash.path = "/usr/bin/bash";
+        bash.users = {"user_1", "user_2", "user_4", "user_7", "user_8",
+                      "user_9", "user_10", "user_11"};
+        bash.user_minimums = {{"user_11", 700}, {"user_8", 200}, {"user_9", 2}, {"user_7", 5}};
+        bash.processes = 161418;
+        bash.jobs = 13105;
+        // Table 4: the three bash shared-object sets (libtinfo / libm
+        // deviations caused by user environments).
+        bash.object_variants = {
+            {"", 0, {"/lib64/libtinfo.so.6", kLibc, siren_so}},
+            {"user_11", 460, {"/appl/spack/v018/linux-sles15/libtinfo.so.6", kLibc, siren_so}},
+            {"user_8", 54, {"/appl/local/SW/ncurses/6.4/lib/libtinfo.so.6", "/lib64/libm.so.6", kLibc, siren_so}},
+        };
+        out.push_back(std::move(bash));
+    }
+    {
+        SystemExecSpec lua;
+        lua.path = "/usr/bin/lua5.3";
+        lua.users = {"user_1", "user_2", "user_3", "user_4", "user_5", "user_8",
+                     "user_10", "user_11"};
+        lua.user_minimums = {{"user_3", 4}, {"user_5", 30}};
+        lua.processes = 18448;
+        lua.jobs = 882;
+        lua.object_variants = {
+            {"", 0, {"/usr/lib64/liblua5.3.so.5", kLibc, "/lib64/libm.so.6", siren_so}},
+            {"user_2", 500, {"/usr/lib64/liblua5.3.so.5", kLibc, "/lib64/libm.so.6", "/usr/lib64/libreadline.so.7", siren_so}},
+        };
+        out.push_back(std::move(lua));
+    }
+
+    auto simple = [&](std::string path, std::vector<std::string> users,
+                      std::uint64_t processes, std::uint64_t jobs,
+                      std::vector<std::string> objects) {
+        SystemExecSpec s;
+        s.path = std::move(path);
+        s.users = std::move(users);
+        s.processes = processes;
+        s.jobs = jobs;
+        objects.push_back(siren_so);
+        s.object_variants = {{"", 0, std::move(objects)}};
+        out.push_back(std::move(s));
+    };
+
+    simple("/usr/bin/rm", {"user_1", "user_2", "user_4", "user_8", "user_10", "user_11"},
+           544025, 12182, {kLibc});
+    simple("/usr/bin/cat", {"user_1", "user_2", "user_4", "user_8", "user_10", "user_11"},
+           29003, 9774, {kLibc});
+    simple("/usr/bin/uname", {"user_1", "user_2", "user_4", "user_8", "user_10"},
+           28053, 1182, {kLibc});
+    simple("/usr/bin/ls", {"user_1", "user_2", "user_4", "user_10", "user_11"},
+           9057, 1130, {kLibc, "/lib64/libcap.so.2"});
+    simple("/usr/bin/mkdir", {"user_1", "user_2", "user_4", "user_10"},
+           547089, 8863, {kLibc});
+    simple("/usr/bin/grep", {"user_1", "user_2", "user_4", "user_8"},
+           9268, 1115, {kLibc, "/usr/lib64/libpcre.so.1"});
+    simple("/usr/bin/cp", {"user_1", "user_2", "user_4", "user_11"},
+           11655, 1019, {kLibc, "/lib64/libacl.so.1"});
+
+    return out;
+}
+
+std::vector<std::string> other_exec_names() {
+    return {
+        "sed",  "awk",      "tar",     "tail",    "head",   "sort",   "find",    "xargs",
+        "chmod", "chown",   "touch",   "date",    "env",    "id",     "hostname", "sleep",
+        "tee",  "wc",       "tr",      "cut",     "dirname", "basename", "readlink", "du",
+        "df",   "ps",       "sync",    "ln",      "mv",     "stat",   "truncate", "mktemp",
+        "realpath", "seq",  "printf",  "expr",    "numfmt", "od",     "split",   "join",
+        "comm", "uniq",     "paste",   "fold",    "fmt",    "pr",     "nl",      "tac",
+        "rev",  "shuf",     "timeout", "nice",    "ionice", "nohup",  "setsid",  "flock",
+        "logger", "getent", "locale",  "iconv",   "file",   "which",  "whereis", "man",
+        "less", "more",     "vi",      "nano",    "diff",   "cmp",    "patch",   "make",
+        "m4",   "bison",    "flex",    "ar",      "nm",     "objdump", "strip",  "ranlib",
+        "ldd",  "ldconfig", "pkg-config", "install", "rsync", "scp",  "ssh",     "curl",
+        "wget", "git",      "svn",     "hg",      "python-config", "perl", "ruby", "tclsh",
+        "lua",  "node",     "sqlite3", "bc",      "dc",     "units",  "cal",     "factor",
+        "yes",  "true",     "false",   "test",    "expand", "unexpand",
+    };
+}
+
+// --- user software specs (Table 5 / 6, Figures 2/4/5) -----------------------
+
+std::vector<UserSoftwareSpec> software_specs() {
+    std::vector<UserSoftwareSpec> out;
+
+    // LAMMPS: 2 users, 226 procs, 5 variants (3x GCC [SUSE], 2x LLD [AMD]).
+    {
+        UserSoftwareSpec s;
+        s.label = "LAMMPS";
+        s.lineage = "lammps";
+        s.path_pattern = "/users/{user}/lammps/build_{i}/bin/lmp";
+        s.groups = {{3, comments_for({"GCC [SUSE]"})},
+                    {2, comments_for({"LLD [AMD]"})}};
+        s.allocations = {
+            {"user_2", 222, {{0, 101}, {1, 101}, {3, 20}}},
+            {"user_3", 2, {{2, 2}, {4, 2}}},
+        };
+        s.objects = objects_for_tags(
+            {"siren", "pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray", "rocm",
+             "numa", "drm", "amdgpu-drm", "libsci-cray", "rocm-blas", "rocsolver-rocm",
+             "rocsparse-rocm", "fft-cray", "rocm-fft", "rocfft-rocm-fft", "MIOpen-rocm",
+             "rocm-torch", "numa-rocm-torch", "torch-tykky", "numa-torch-tykky"});
+        s.modules = with_base_modules({"PrgEnv-gnu/8.4.0", "gcc/12.2.0", "craype/2.7.20",
+                                       "cray-mpich/8.1.25", "rocm/5.2.3", "lumi-tykky/1.2"});
+        s.module_jitter = 2;
+        out.push_back(std::move(s));
+    }
+
+    // GROMACS: one shared project-directory executable, 2 users.
+    {
+        UserSoftwareSpec s;
+        s.label = "GROMACS";
+        s.lineage = "gromacs";
+        s.path_pattern = "/projappl/project_465000111/gromacs-2023.1/bin/gmx_mpi";
+        s.groups = {{1, comments_for({"LLD [AMD]"})}};
+        s.allocations = {
+            {"user_8", 214, {{0, 2103}}},
+            {"user_7", 1, {{0, 1}}},
+        };
+        s.objects = objects_for_tags({"siren", "pthread", "cray", "quadmath-cray",
+                                      "fabric-cray", "pmi-cray", "rocm", "numa", "drm",
+                                      "amdgpu-drm", "fortran", "gromacs", "boost"});
+        s.modules = with_base_modules({"PrgEnv-amd/8.4.0", "rocm/5.2.3", "craype/2.7.20",
+                                       "cray-mpich/8.1.25", "gromacs/2023.1"});
+        out.push_back(std::move(s));
+    }
+
+    // miniconda: user-dir Python interpreter => counts as *user* executable.
+    {
+        UserSoftwareSpec s;
+        s.label = "miniconda";
+        s.lineage = "miniconda";
+        s.path_pattern = "/users/{user}/miniconda3/envs/work_{i}/bin/python3.9";
+        s.groups = {{4, comments_for({"GCC [Red Hat]", "GCC [conda]"})},
+                    {1, comments_for({"GCC [Red Hat]", "rustc"})}};
+        // Wide version spacing: adjacent drift steps can leave a small
+        // binary byte-identical, which would merge two FILE_H values.
+        s.variant_versions = {0, 5, 10, 15, 20};
+        s.allocations = {
+            {"user_2", 673, {{0, 1246}, {1, 1246}, {2, 1246}, {3, 1245}, {4, 35}}},
+        };
+        s.objects = objects_for_tags({"siren", "pthread"});
+        s.modules = with_base_modules({"lumi-container-wrapper/1.0"});
+        out.push_back(std::move(s));
+    }
+
+    // janko: spack-built code of user_11.
+    {
+        UserSoftwareSpec s;
+        s.label = "janko";
+        s.lineage = "janko";
+        s.path_pattern = "/users/{user}/janko/bin/janko_v{i}";
+        s.groups = {{2, comments_for({"GCC [SUSE]", "GCC [HPE]"})}};
+        s.allocations = {{"user_11", 138, {{0, 69}, {1, 69}}}};
+        s.objects = objects_for_tags(
+            {"siren", "pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray",
+             "fortran", "libsci-cray", "numa-spack", "spack", "blas-spack",
+             "rocsolver-spack", "rocsparse-spack", "drm-spack", "amdgpu-drm-spack"});
+        s.modules = with_base_modules({"PrgEnv-gnu/8.4.0", "gcc/12.2.0", "spack/23.03"});
+        s.module_jitter = 2;
+        out.push_back(std::move(s));
+    }
+
+    // icon: 175 variants in three compiler groups; the similarity-search
+    // target of Table 7.
+    {
+        UserSoftwareSpec s;
+        s.label = "icon";
+        s.lineage = "icon";
+        s.path_pattern = "/users/{user}/icon-model/build_{i}/bin/icon";
+        s.groups = {{130, comments_for({"GCC [SUSE]"})},
+                    {32, comments_for({"GCC [SUSE]", "clang [Cray]"})},
+                    {13, comments_for({"GCC [SUSE]", "clang [Cray]", "clang [AMD]"})}};
+        // Even lineage versions (0,2,4,...): leaves the odd versions free
+        // for the UNKNOWN a.out binaries, so only the deliberate twin
+        // (version 0) is byte-identical to an icon build.
+        for (std::size_t i = 0; i < 175; ++i) s.variant_versions.push_back(2 * i);
+        UserAlloc alloc;
+        alloc.user = "user_4";
+        alloc.jobs = 64;
+        // 563 processes over the 130 GCC-only variants ...
+        for (std::size_t i = 0; i < 130; ++i) {
+            alloc.runs.push_back({i, i < 43 ? 5u : 4u});
+        }
+        // ... 44 over the +Cray variants ...
+        for (std::size_t i = 130; i < 162; ++i) {
+            alloc.runs.push_back({i, i < 142 ? 2u : 1u});
+        }
+        // ... 18 over the +AMD variants.
+        for (std::size_t i = 162; i < 175; ++i) {
+            alloc.runs.push_back({i, i < 167 ? 2u : 1u});
+        }
+        s.allocations = {std::move(alloc)};
+        s.objects = objects_for_tags(
+            {"siren", "pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray", "rocm",
+             "numa", "drm", "amdgpu-drm", "fortran", "libsci-cray", "craymath-cray",
+             "netcdf-cray", "amdgpu-cray", "openacc-cray", "climatedt", "climatedt-yaml",
+             "hdf5-cray"});
+        // Some builds are CPU-only: a deviating (smaller) object set, the
+        // source of the OB_H=57 rows in Table 7.
+        s.object_variants = {
+            {"", 120, objects_for_tags({"siren", "pthread", "cray", "quadmath-cray",
+                                        "fabric-cray", "pmi-cray", "fortran", "libsci-cray",
+                                        "craymath-cray", "netcdf-cray", "climatedt",
+                                        "climatedt-yaml", "hdf5-cray"})},
+        };
+        s.modules = with_base_modules({"PrgEnv-cray/8.4.0", "cce/15.0.1", "craype/2.7.20",
+                                       "cray-mpich/8.1.25", "cray-hdf5/1.12.2",
+                                       "cray-netcdf/4.9.0", "lumi-climatedt/1.3"});
+        s.module_jitter = 4;
+        out.push_back(std::move(s));
+    }
+
+    // amber.
+    {
+        UserSoftwareSpec s;
+        s.label = "amber";
+        s.lineage = "amber";
+        s.path_pattern = "/users/{user}/amber22/bin/pmemd_v{i}";
+        s.groups = {{2, comments_for({"GCC [SUSE]", "clang [AMD]"})}};
+        s.allocations = {{"user_10", 27, {{0, 445}, {1, 444}}}};
+        s.objects = objects_for_tags(
+            {"siren", "pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray", "rocm",
+             "numa", "drm", "amdgpu-drm", "fortran", "libsci-cray", "rocm-blas",
+             "rocsolver-rocm", "rocsparse-rocm", "fft-cray", "rocm-fft", "rocfft-rocm-fft",
+             "netcdf-cray", "cuda-amber", "amber", "netcdf-parallel-cray",
+             "hdf5-parallel-cray", "hdf5-fortran-parallel-cray"});
+        s.modules = with_base_modules({"PrgEnv-gnu/8.4.0", "rocm/5.2.3", "amber/22"});
+        out.push_back(std::move(s));
+    }
+
+    // gzip: a user-installed compression utility; nearly static.
+    {
+        UserSoftwareSpec s;
+        s.label = "gzip";
+        s.lineage = "gzip";
+        s.path_pattern = "/users/{user}/tools/bin/gzip";
+        s.groups = {{1, comments_for({"LLD [AMD]"})}};
+        s.allocations = {{"user_2", 18, {{0, 19}}}};
+        s.objects = objects_for_tags({"siren"});
+        s.modules = {};
+        s.code_blocks = 10;
+        out.push_back(std::move(s));
+    }
+
+    // UNKNOWN: icon-lineage binaries under nondescript a.out paths. The
+    // regex labeler cannot name them; the Table-7 similarity search can.
+    {
+        UserSoftwareSpec s;
+        s.label = "icon";  // ground truth (evaluation only)
+        s.lineage = "icon";
+        s.version_base = 0;
+        s.path_pattern = "/scratch/project_465000531/run_{i}/a.out";
+        s.groups = {{7, comments_for({"GCC [SUSE]"})}};
+        // Variant 0 is byte-identical to icon build_0 (same lineage,
+        // version 0): the 100-similarity row of Table 7. The others sit at
+        // increasing drift distances on odd versions no icon build uses,
+        // so exact-hash matching finds only the twin.
+        s.variant_versions = {0, 3, 5, 9, 15, 23, 37};
+        s.allocations = {{"user_4", 3, {{0, 5}, {1, 2}, {2, 3}, {3, 2}, {4, 2}, {5, 2}, {6, 1}}}};
+        s.objects = objects_for_tags(
+            {"siren", "pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray", "rocm",
+             "numa", "drm", "amdgpu-drm", "fortran", "libsci-cray", "craymath-cray",
+             "netcdf-cray", "amdgpu-cray", "openacc-cray", "climatedt", "climatedt-yaml",
+             "hdf5-cray"});
+        s.modules = with_base_modules({"PrgEnv-cray/8.4.0", "cce/15.0.1", "craype/2.7.20",
+                                       "cray-mpich/8.1.25", "cray-hdf5/1.12.2",
+                                       "cray-netcdf/4.9.0", "lumi-climatedt/1.3"});
+        s.module_jitter = 2;
+        out.push_back(std::move(s));
+    }
+
+    // alexandria.
+    {
+        UserSoftwareSpec s;
+        s.label = "alexandria";
+        s.lineage = "alexandria";
+        s.path_pattern = "/users/{user}/alexandria/bin/alexandria";
+        s.groups = {{1, comments_for({"GCC [SUSE]"})}};
+        s.allocations = {{"user_9", 2, {{0, 4}}}};
+        s.objects = objects_for_tags({"siren", "pthread", "cray", "quadmath-cray",
+                                      "fabric-cray", "pmi-cray", "fortran", "craymath-cray"});
+        s.modules = with_base_modules({"PrgEnv-cray/8.4.0", "cce/15.0.1"});
+        out.push_back(std::move(s));
+    }
+
+    // RadRad.
+    {
+        UserSoftwareSpec s;
+        s.label = "RadRad";
+        s.lineage = "radrad";
+        s.path_pattern = "/users/{user}/RadRad/RadRad_v{i}";
+        s.groups = {{2, comments_for({"GCC [SUSE]", "clang [Cray]"})}};
+        s.allocations = {{"user_6", 2, {{0, 1}, {1, 1}}}};
+        s.objects = objects_for_tags(
+            {"siren", "pthread", "cray", "quadmath-cray", "rocm", "numa", "drm",
+             "amdgpu-drm", "fortran", "libsci-cray", "rocm-blas", "rocsolver-rocm",
+             "rocsparse-rocm", "craymath-cray", "amdgpu-cray", "openacc-cray"});
+        s.modules = with_base_modules({"PrgEnv-cray/8.4.0", "cce/15.0.1", "rocm/5.2.3"});
+        out.push_back(std::move(s));
+    }
+
+    return out;
+}
+
+// --- python specs (Table 8, Figure 3) ----------------------------------------
+
+std::vector<PythonSpec> python_specs() {
+    const std::string siren_so = library_path_for_tag("siren");
+
+    auto interp_objects = [&](const std::string& name) {
+        return std::vector<std::string>{
+            "/usr/lib64/lib" + name + ".so.1.0",
+            kLibc,
+            "/lib64/libpthread.so.0",
+            siren_so,
+        };
+    };
+
+    std::vector<PythonSpec> out;
+    {
+        PythonSpec p;
+        p.interpreter_path = "/usr/bin/python3.6";
+        p.objects = interp_objects("python3.6m");
+        p.groups = {{"user_4", 6, 14884, 28,
+                     {"heapq", "struct", "math", "posixsubprocess", "select", "mpi4py",
+                      "numpy", "pickle", "socket", "json", "random", "queue",
+                      "multiprocessing", "ctypes", "fcntl"}}};
+        out.push_back(std::move(p));
+    }
+    {
+        PythonSpec p;
+        p.interpreter_path = "/usr/bin/python3.11";
+        p.objects = interp_objects("python3.11");
+        p.groups = {{"user_4", 5, 8402, 8,
+                     {"heapq", "struct", "math", "posixsubprocess", "select", "numpy",
+                      "pandas", "scipy", "csv", "datetime", "decimal", "json", "hashlib",
+                      "blake2", "sha512", "sha3", "zlib", "bz2", "lzma", "zoneinfo"}}};
+        out.push_back(std::move(p));
+    }
+    {
+        PythonSpec p;
+        p.interpreter_path = "/usr/bin/python3.10";
+        p.objects = interp_objects("python3.10");
+        p.groups = {
+            {"user_5", 26, 29, 29,
+             {"heapq", "struct", "math", "select", "posixsubprocess", "array", "binascii",
+              "bisect", "cmath", "ctypes", "grp", "mmap", "opcode", "queue", "random",
+              "unicodedata", "socket", "hashlib", "blake2"}},
+            {"user_12", 1, 1, 1, {"heapq", "struct", "json", "datetime", "csv"}},
+        };
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+}  // namespace
+
+CampaignSpec lumi_campaign() {
+    CampaignSpec spec;
+    spec.users = {
+        // name, uid, jobs, system processes, private long-tail exec count
+        {"user_1", 1001, 11782, 1731077, 42},
+        {"user_2", 1002, 930, 48095, 16},
+        {"user_3", 1003, 2, 6, 1},
+        {"user_4", 1004, 205, 528205, 16},
+        {"user_5", 1005, 47, 94, 1},
+        {"user_6", 1006, 2, 0, 0},
+        {"user_7", 1007, 1, 17, 1},
+        {"user_8", 1008, 216, 3039, 8},
+        {"user_9", 1009, 4, 8, 1},
+        {"user_10", 1010, 28, 3336, 8},
+        {"user_11", 1011, 230, 3980, 8},
+        {"user_12", 1012, 1, 2, 0},
+    };
+    spec.system_execs = system_exec_specs();
+    spec.other_exec_names = other_exec_names();
+    spec.software = software_specs();
+    spec.python = python_specs();
+    return spec;
+}
+
+CampaignSpec mini_campaign() {
+    CampaignSpec spec;
+    spec.users = {
+        {"user_1", 1001, 12, 120, 2},
+        {"user_2", 1002, 6, 40, 1},
+        {"user_4", 1004, 5, 30, 1},
+    };
+
+    const std::string siren_so = library_path_for_tag("siren");
+    {
+        SystemExecSpec bash;
+        bash.path = "/usr/bin/bash";
+        bash.users = {"user_1", "user_2", "user_4"};
+        bash.processes = 90;
+        bash.jobs = 20;
+        bash.object_variants = {
+            {"", 0, {"/lib64/libtinfo.so.6", kLibc, siren_so}},
+            {"user_2", 10, {"/appl/spack/v018/linux-sles15/libtinfo.so.6", kLibc, siren_so}},
+        };
+        spec.system_execs.push_back(std::move(bash));
+    }
+    {
+        SystemExecSpec srun;
+        srun.path = "/usr/bin/srun";
+        srun.users = {"user_1", "user_2", "user_4"};
+        srun.processes = 40;
+        srun.jobs = 15;
+        srun.object_variants = {{"", 0, {kLibc, "/usr/lib64/slurm/libslurmfull.so", siren_so}}};
+        spec.system_execs.push_back(std::move(srun));
+    }
+    spec.other_exec_names = {"sed", "awk", "tar", "sort"};
+
+    {
+        UserSoftwareSpec s;
+        s.label = "icon";
+        s.lineage = "icon";
+        s.path_pattern = "/users/{user}/icon-model/build_{i}/bin/icon";
+        s.groups = {{6, comments_for({"GCC [SUSE]"})}};
+        s.variant_versions = {0, 2, 4, 6, 8, 10};
+        s.allocations = {{"user_4", 4, {{0, 4}, {1, 2}, {2, 2}, {3, 1}, {4, 1}, {5, 1}}}};
+        s.objects = objects_for_tags({"siren", "pthread", "cray", "fortran", "climatedt"});
+        s.modules = with_base_modules({"PrgEnv-cray/8.4.0", "cce/15.0.1"});
+        s.module_jitter = 2;
+        s.code_blocks = 8;
+        spec.software.push_back(std::move(s));
+    }
+    {
+        UserSoftwareSpec s;
+        s.label = "icon";  // ground truth: an a.out copy of icon build_0
+        s.lineage = "icon";
+        s.path_pattern = "/scratch/project_1/run_{i}/a.out";
+        s.groups = {{2, comments_for({"GCC [SUSE]"})}};
+        s.variant_versions = {0, 7};
+        s.allocations = {{"user_4", 1, {{0, 2}, {1, 1}}}};
+        s.objects = objects_for_tags({"siren", "pthread", "cray", "fortran", "climatedt"});
+        s.modules = with_base_modules({"PrgEnv-cray/8.4.0", "cce/15.0.1"});
+        s.code_blocks = 8;
+        spec.software.push_back(std::move(s));
+    }
+
+    {
+        PythonSpec p;
+        p.interpreter_path = "/usr/bin/python3.10";
+        p.objects = {"/usr/lib64/libpython3.10.so.1.0", kLibc, siren_so};
+        p.groups = {{"user_2", 2, 6, 3, {"heapq", "struct", "numpy"}}};
+        spec.python.push_back(std::move(p));
+    }
+
+    spec.nodes = 4;
+    return spec;
+}
+
+}  // namespace siren::workload

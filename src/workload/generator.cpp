@@ -1,0 +1,621 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "hashing/fnv.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace siren::workload {
+
+namespace {
+
+std::string substitute(std::string pattern, const std::string& user, std::size_t i) {
+    pattern = util::replace_all(pattern, "{user}", user);
+    pattern = util::replace_all(pattern, "{i}", std::to_string(i));
+    return pattern;
+}
+
+sim::FileMeta make_meta(const std::string& path, std::int64_t uid, std::int64_t mtime,
+                        std::int64_t size_estimate) {
+    sim::FileMeta m;
+    m.inode = util::mix64(hash::fnv1a64(path)) % 100000000;
+    m.size = size_estimate;
+    m.mode = 0755;
+    m.owner_uid = uid;
+    m.owner_gid = uid;
+    m.atime = mtime + 3600;
+    m.mtime = mtime;
+    m.ctime = mtime;
+    return m;
+}
+
+std::vector<sim::MapsEntry> maps_from_paths(const std::string& exe,
+                                            const std::vector<std::string>& paths) {
+    std::vector<sim::MapsEntry> out;
+    out.reserve(paths.size() + 1);
+    std::uint64_t addr = 0x400000;
+    out.push_back({addr, addr + 0x200000, "r-xp", exe});
+    addr = 0x7f0000000000;
+    for (const auto& p : paths) {
+        out.push_back({addr, addr + 0x40000, "r-xp", p});
+        addr += 0x100000;
+    }
+    return out;
+}
+
+/// Proportional integer apportionment of `total` over `weights`, honouring
+/// per-item caps; largest-remainder rounding. Returns the allocation.
+std::vector<std::uint64_t> apportion(std::uint64_t total,
+                                     const std::vector<std::uint64_t>& weights,
+                                     const std::vector<std::uint64_t>& caps) {
+    const std::size_t n = weights.size();
+    std::vector<std::uint64_t> alloc(n, 0);
+    std::uint64_t remaining = total;
+
+    // Iterate because clamping to caps frees shares for the others.
+    for (int round = 0; round < 8 && remaining > 0; ++round) {
+        long double weight_sum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (alloc[i] < caps[i]) weight_sum += static_cast<long double>(weights[i]) + 1;
+        }
+        if (weight_sum <= 0) break;
+        bool progressed = false;
+        std::uint64_t distributed = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (alloc[i] >= caps[i]) continue;
+            const auto share = static_cast<std::uint64_t>(
+                static_cast<long double>(remaining) *
+                (static_cast<long double>(weights[i]) + 1) / weight_sum);
+            const std::uint64_t give = std::min<std::uint64_t>(share, caps[i] - alloc[i]);
+            alloc[i] += give;
+            distributed += give;
+            progressed = progressed || give > 0;
+        }
+        remaining -= distributed;
+        if (!progressed) {
+            // Shares rounded down to zero everywhere: hand out one by one.
+            for (std::size_t i = 0; i < n && remaining > 0; ++i) {
+                if (alloc[i] < caps[i]) {
+                    ++alloc[i];
+                    --remaining;
+                }
+            }
+        }
+    }
+    return alloc;
+}
+
+}  // namespace
+
+Generator::Generator(CampaignSpec spec, GeneratorOptions options)
+    : spec_(std::move(spec)), options_(options) {
+    util::require(options_.scale > 0.0 && options_.scale <= 1.0,
+                  "generator scale must be in (0, 1]");
+    plan_jobs();
+
+    std::vector<std::uint64_t> capacity(spec_.users.size());
+    for (std::size_t u = 0; u < spec_.users.size(); ++u) {
+        capacity[u] = scaled(spec_.users[u].system_processes);
+        if (spec_.users[u].system_processes == 0) capacity[u] = 0;
+    }
+    plan_system_execs(capacity);
+    plan_other_execs(capacity);
+    plan_software();
+    plan_python();
+    fill_empty_jobs();
+
+    totals_.jobs = jobs_.size();
+    totals_.processes = 0;
+    for (const auto& job : jobs_) {
+        for (const auto& entry : job.entries) totals_.processes += entry.count;
+    }
+}
+
+std::uint64_t Generator::scaled(std::uint64_t n) const {
+    if (n == 0) return 0;
+    const auto s = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(n) * options_.scale));
+    return std::max<std::uint64_t>(1, s);
+}
+
+std::size_t Generator::user_index(const std::string& name) const {
+    for (std::size_t u = 0; u < spec_.users.size(); ++u) {
+        if (spec_.users[u].name == name) return u;
+    }
+    throw util::Error("campaign references unknown user: " + name);
+}
+
+std::size_t Generator::intern_profile(Profile profile) {
+    profiles_.push_back(std::move(profile));
+    return profiles_.size() - 1;
+}
+
+void Generator::add_entry(std::size_t job_index, std::size_t profile, std::uint64_t count) {
+    if (count == 0) return;
+    auto& entries = jobs_[job_index].entries;
+    // Merge with an existing entry of the same profile (keeps plans small
+    // when several runs land in the same job).
+    for (auto& e : entries) {
+        if (e.profile == profile) {
+            e.count += count;
+            return;
+        }
+    }
+    Entry e;
+    e.profile = profile;
+    e.count = count;
+    e.step_id = static_cast<std::uint32_t>(entries.size());
+    entries.push_back(e);
+}
+
+void Generator::plan_jobs() {
+    user_jobs_.resize(spec_.users.size());
+    struct Draft {
+        std::size_t user;
+        std::int64_t time;
+    };
+    std::vector<Draft> drafts;
+    for (std::size_t u = 0; u < spec_.users.size(); ++u) {
+        const std::uint64_t jobs = scaled(spec_.users[u].jobs);
+        util::Rng rng(util::mix64(options_.seed ^ (u * 977)));
+        for (std::uint64_t k = 0; k < jobs; ++k) {
+            const std::int64_t t =
+                spec_.epoch +
+                static_cast<std::int64_t>(k * static_cast<std::uint64_t>(spec_.duration_seconds) / jobs) +
+                rng.range(0, 599);
+            drafts.push_back({u, t});
+        }
+    }
+    std::sort(drafts.begin(), drafts.end(), [](const Draft& a, const Draft& b) {
+        return a.time < b.time || (a.time == b.time && a.user < b.user);
+    });
+
+    jobs_.reserve(drafts.size());
+    for (std::size_t i = 0; i < drafts.size(); ++i) {
+        JobPlan job;
+        job.user = drafts[i].user;
+        job.job_id = 1000001 + i;
+        job.time = drafts[i].time;
+        job.node = util::mix64(options_.seed ^ (i * 31)) % spec_.nodes;
+        user_jobs_[drafts[i].user].push_back(i);
+        jobs_.push_back(std::move(job));
+    }
+}
+
+void Generator::spread(std::size_t user, std::uint64_t total, std::size_t profile,
+                       std::uint64_t slots, std::uint64_t first_slot) {
+    if (total == 0) return;
+    const auto& job_indices = user_jobs_[user];
+    if (job_indices.empty()) return;
+    if (user_filler_.size() <= user) user_filler_.resize(spec_.users.size(), SIZE_MAX);
+    if (user_filler_[user] == SIZE_MAX) user_filler_[user] = profile;
+    slots = std::max<std::uint64_t>(1, std::min<std::uint64_t>(slots, job_indices.size()));
+
+    const std::uint64_t base = total / slots;
+    const std::uint64_t extra = total % slots;
+    for (std::uint64_t s = 0; s < slots; ++s) {
+        const std::uint64_t count = base + (s < extra ? 1 : 0);
+        if (count == 0) continue;
+        // Stride-map slot -> one of the user's jobs so software spreads
+        // over the whole campaign window.
+        const std::uint64_t slot = (s + first_slot) % slots;
+        const std::size_t job =
+            job_indices[static_cast<std::size_t>(slot * job_indices.size() / slots)];
+        add_entry(job, profile, count);
+    }
+}
+
+void Generator::plan_system_execs(std::vector<std::uint64_t>& capacity) {
+    for (const auto& exec : spec_.system_execs) {
+        const std::uint64_t total = scaled(exec.processes);
+        const std::uint64_t total_jobs = scaled(exec.jobs);
+
+        // Participants and their minimums.
+        std::vector<std::size_t> users;
+        for (const auto& name : exec.users) {
+            const std::size_t u = user_index(name);
+            if (capacity[u] > 0) users.push_back(u);
+        }
+        if (users.empty()) continue;
+
+        std::vector<std::uint64_t> alloc(users.size(), 0);
+        std::uint64_t assigned = 0;
+        for (const auto& [name, minimum] : exec.user_minimums) {
+            for (std::size_t i = 0; i < users.size(); ++i) {
+                if (spec_.users[users[i]].name != name) continue;
+                alloc[i] = std::min(scaled(minimum), capacity[users[i]]);
+                assigned += alloc[i];
+            }
+        }
+
+        // Remainder proportional to remaining per-user capacity.
+        if (assigned < total) {
+            std::vector<std::uint64_t> weights(users.size()), caps(users.size());
+            for (std::size_t i = 0; i < users.size(); ++i) {
+                weights[i] = capacity[users[i]] - alloc[i];
+                caps[i] = capacity[users[i]] - alloc[i];
+            }
+            const auto extra = apportion(total - assigned, weights, caps);
+            for (std::size_t i = 0; i < users.size(); ++i) alloc[i] += extra[i];
+        }
+
+        // Per-user job membership target.
+        std::uint64_t participant_jobs = 0;
+        for (const std::size_t u : users) participant_jobs += user_jobs_[u].size();
+
+        // Object-set variants: named-user budgets first, default absorbs the
+        // rest. Profiles are created lazily per (variant).
+        std::vector<std::size_t> variant_profiles(exec.object_variants.size(), SIZE_MAX);
+        auto profile_for_variant = [&](std::size_t v) {
+            if (variant_profiles[v] == SIZE_MAX) {
+                Profile p;
+                p.exe_path = exec.path;
+                p.objects = exec.object_variants[v].objects;
+                p.meta = make_meta(exec.path, 0, spec_.epoch - 90 * 86400, 48 * 1024);
+                p.is_bash = util::ends_with(exec.path, "/bash");
+                p.is_srun = util::ends_with(exec.path, "/srun");
+                variant_profiles[v] = intern_profile(std::move(p));
+            }
+            return variant_profiles[v];
+        };
+        std::vector<std::uint64_t> variant_budget(exec.object_variants.size(), 0);
+        for (std::size_t v = 1; v < exec.object_variants.size(); ++v) {
+            variant_budget[v] = scaled(exec.object_variants[v].processes);
+        }
+
+        for (std::size_t i = 0; i < users.size(); ++i) {
+            const std::size_t u = users[i];
+            if (alloc[i] == 0) continue;
+            std::uint64_t remaining = alloc[i];
+            capacity[u] -= std::min(capacity[u], alloc[i]);
+
+            const std::uint64_t user_job_target = std::max<std::uint64_t>(
+                1, total_jobs * user_jobs_[u].size() / std::max<std::uint64_t>(1, participant_jobs));
+
+            // Deviating variants reserved for this user drain first.
+            for (std::size_t v = 1; v < exec.object_variants.size() && remaining > 0; ++v) {
+                if (exec.object_variants[v].user != spec_.users[u].name) continue;
+                const std::uint64_t take = std::min(remaining, variant_budget[v]);
+                variant_budget[v] -= take;
+                remaining -= take;
+                if (take > 0) {
+                    spread(u, take, profile_for_variant(v),
+                           std::max<std::uint64_t>(1, user_job_target / 4), v);
+                }
+            }
+            spread(u, remaining, profile_for_variant(0), user_job_target);
+        }
+    }
+}
+
+void Generator::plan_other_execs(std::vector<std::uint64_t>& capacity) {
+    std::size_t pool_cursor = 0;
+    for (std::size_t u = 0; u < spec_.users.size(); ++u) {
+        std::uint64_t remaining = capacity[u];
+        if (remaining == 0) continue;
+        std::size_t count = std::min<std::size_t>(spec_.users[u].other_execs,
+                                                  spec_.other_exec_names.size() - pool_cursor);
+        count = std::min<std::size_t>(count, remaining);
+        if (count == 0) {
+            // No private pool left but processes remain: put them on cat.
+            util::log_debug("generator: user " + spec_.users[u].name +
+                            " has leftover system processes and no exec pool");
+            continue;
+        }
+
+        // Harmonic long-tail split of the remainder over `count` tools.
+        double weight_sum = 0;
+        for (std::size_t k = 0; k < count; ++k) weight_sum += 1.0 / static_cast<double>(k + 1);
+        std::uint64_t given = 0;
+        for (std::size_t k = 0; k < count; ++k) {
+            std::uint64_t procs =
+                (k + 1 == count)
+                    ? remaining - given
+                    : std::min<std::uint64_t>(
+                          remaining - given,
+                          static_cast<std::uint64_t>(static_cast<double>(remaining) /
+                                                     (static_cast<double>(k + 1) * weight_sum)));
+            if (procs == 0) procs = (given < remaining) ? 1 : 0;
+            given += procs;
+            if (procs == 0) continue;
+
+            const std::string name = spec_.other_exec_names[pool_cursor + k];
+            Profile p;
+            p.exe_path = "/usr/bin/" + name;
+            p.objects = {"/lib64/libc.so.6", library_path_for_tag("siren")};
+            p.meta = make_meta(p.exe_path, 0, spec_.epoch - 120 * 86400, 32 * 1024);
+            const std::size_t profile = intern_profile(std::move(p));
+            // Long-tail tools are the preferred empty-job filler: padding
+            // them never distorts the Table 3 top-10 counts.
+            if (user_filler_.size() <= u) user_filler_.resize(spec_.users.size(), SIZE_MAX);
+            user_filler_[u] = profile;
+
+            const auto jobs = static_cast<std::uint64_t>(
+                std::sqrt(static_cast<double>(procs)) + 1);
+            spread(u, procs, profile, jobs, k);
+        }
+        capacity[u] = 0;
+        pool_cursor += count;
+    }
+}
+
+void Generator::plan_software() {
+    for (const auto& soft : spec_.software) {
+        // Variant index -> compiler group.
+        std::vector<std::size_t> group_of;
+        for (std::size_t g = 0; g < soft.groups.size(); ++g) {
+            for (std::size_t k = 0; k < soft.groups[g].variants; ++k) group_of.push_back(g);
+        }
+        const std::size_t total_variants = group_of.size();
+
+        // Deviating object-set budgets drain from the *last* runs so the
+        // low-index variants (the similarity-search anchors) keep the
+        // default set.
+        std::vector<std::uint64_t> object_budget(soft.object_variants.size());
+        for (std::size_t v = 0; v < soft.object_variants.size(); ++v) {
+            object_budget[v] = scaled(soft.object_variants[v].processes);
+        }
+
+        for (const auto& alloc : soft.allocations) {
+            const std::size_t u = user_index(alloc.user);
+            if (user_jobs_[u].empty()) continue;
+            const std::uint64_t slots =
+                std::max<std::uint64_t>(1, std::min<std::uint64_t>(scaled(alloc.jobs),
+                                                                   user_jobs_[u].size()));
+
+            // Scale the run list: keep a strided subset (always including
+            // run 0) so variant diversity shrinks with the process count.
+            std::vector<VariantRun> runs;
+            const std::size_t keep = std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::llround(static_cast<double>(alloc.runs.size()) * options_.scale)));
+            for (std::size_t i = 0; i < keep; ++i) {
+                runs.push_back(alloc.runs[i * alloc.runs.size() / keep]);
+            }
+
+            // Assign deviating object sets to a strided subset of runs,
+            // never run 0 (the similarity-search twin keeps the default
+            // set) — this is what puts the OB_H=57 rows into Table 7.
+            std::vector<std::size_t> run_object_variant(runs.size(), SIZE_MAX);
+            for (std::size_t v = 0; v < soft.object_variants.size(); ++v) {
+                std::uint64_t budget = object_budget[v];
+                for (std::size_t r = 2; r < runs.size() && budget > 0; r += 3) {
+                    if (run_object_variant[r] != SIZE_MAX) continue;
+                    const std::uint64_t procs = scaled(runs[r].processes);
+                    if (procs > budget) continue;
+                    run_object_variant[r] = v;
+                    budget -= procs;
+                }
+                object_budget[v] = budget;
+            }
+
+            std::uint64_t slot_cursor = 0;
+            for (std::size_t r = 0; r < runs.size(); ++r) {
+                const std::size_t variant = runs[r].variant;
+                util::require(variant < total_variants,
+                              "software '" + soft.label + "': run variant out of range");
+                const std::uint64_t procs = scaled(runs[r].processes);
+
+                Profile p;
+                p.exe_path = substitute(soft.path_pattern, alloc.user, variant);
+                p.objects = run_object_variant[r] == SIZE_MAX
+                                ? soft.objects
+                                : soft.object_variants[run_object_variant[r]].objects;
+                // Module list with a per-variant version jitter.
+                p.modules = soft.modules;
+                const std::size_t jitter =
+                    soft.module_jitter > 1 ? variant % soft.module_jitter : 0;
+                if (jitter > 0 && !p.modules.empty()) {
+                    const std::size_t m = variant % p.modules.size();
+                    p.modules[m] += ".p" + std::to_string(jitter);
+                }
+
+                const std::size_t version = soft.variant_versions.empty()
+                                                ? soft.version_base + variant
+                                                : soft.variant_versions.at(variant);
+                p.meta = make_meta(p.exe_path, spec_.users[u].uid,
+                                   spec_.epoch - 30 * 86400 + static_cast<std::int64_t>(version) * 3600,
+                                   static_cast<std::int64_t>(soft.code_blocks) * 4096 + 24000);
+                const std::size_t profile = intern_profile(std::move(p));
+
+                // Remember the recipe for populate_store (first writer wins;
+                // identical path => identical recipe by construction).
+                BinaryRecipe recipe;
+                recipe.lineage = soft.lineage;
+                recipe.version = version;
+                recipe.compilers = soft.groups[group_of[variant]].compilers;
+                for (const auto& obj : profiles_[profile].objects) {
+                    recipe.needed.emplace_back(util::basename(obj));
+                }
+                recipe.code_blocks = soft.code_blocks;
+                recipe.version_tag = "v2." + std::to_string(version);
+                recipes_.emplace_back(profiles_[profile].exe_path, std::move(recipe));
+
+                spread(u, procs, profile, slots, slot_cursor);
+                slot_cursor += std::max<std::uint64_t>(1, procs);
+            }
+        }
+    }
+}
+
+void Generator::plan_python() {
+    for (const auto& py : spec_.python) {
+        const std::string interp = std::string(util::basename(py.interpreter_path));
+
+        BinaryRecipe recipe;
+        recipe.lineage = "cpython";
+        // "python3.10" -> minor version 10 drift steps from the 3.x origin.
+        recipe.version = static_cast<std::size_t>(
+            std::strtoul(interp.substr(interp.find('.') + 1).c_str(), nullptr, 10));
+        recipe.compilers = {compiler_comment_for("GCC [SUSE]")};
+        recipe.needed = {"libc.so.6"};
+        recipe.code_blocks = 36;
+        recipe.version_tag = interp.substr(6);
+        recipes_.emplace_back(py.interpreter_path, std::move(recipe));
+
+        for (const auto& group : py.groups) {
+            const std::size_t u = user_index(group.user);
+            if (user_jobs_[u].empty()) continue;
+            const std::uint64_t total = scaled(group.processes);
+            const std::uint64_t slots =
+                std::max<std::uint64_t>(1, std::min<std::uint64_t>(scaled(group.jobs),
+                                                                   user_jobs_[u].size()));
+            const std::size_t scripts = std::max<std::size_t>(
+                1, std::min<std::size_t>(
+                       group.scripts,
+                       static_cast<std::size_t>(std::llround(
+                           static_cast<double>(group.scripts) * options_.scale)) +
+                           1));
+
+            // Memory map: interpreter runtime plus each imported package's
+            // native extension (what the paper mines for imports).
+            std::vector<std::string> map_paths = py.objects;
+            for (const auto& pkg : group.packages) {
+                map_paths.push_back(package_map_path(interp, pkg));
+            }
+
+            for (std::size_t s = 0; s < scripts; ++s) {
+                const std::uint64_t procs = total / scripts + (s < total % scripts ? 1 : 0);
+                if (procs == 0) continue;
+
+                Profile p;
+                p.exe_path = py.interpreter_path;
+                p.objects = py.objects;
+                p.meta = make_meta(py.interpreter_path, 0, spec_.epoch - 200 * 86400, 160 * 1024);
+
+                sim::PythonInfo info;
+                info.script_path = "/users/" + group.user + "/scripts/" + interp + "_run_" +
+                                   std::to_string(s) + ".py";
+                info.script_content = synthesize_python_script(group.user, s, group.packages);
+                info.script_meta =
+                    make_meta(info.script_path, spec_.users[u].uid, spec_.epoch - 10 * 86400,
+                              static_cast<std::int64_t>(info.script_content.size()));
+                p.python = std::move(info);
+
+                const std::size_t profile = intern_profile(std::move(p));
+                python_maps_.resize(profiles_.size());
+                python_maps_[profile] = map_paths;
+
+                // Full slot range with a per-script offset: scripts share
+                // the group's jobs instead of piling into a couple of them.
+                spread(u, procs, profile, slots, s * 7);
+            }
+        }
+    }
+}
+
+void Generator::fill_empty_jobs() {
+    if (user_filler_.size() < spec_.users.size()) {
+        user_filler_.resize(spec_.users.size(), SIZE_MAX);
+    }
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        if (!jobs_[j].entries.empty()) continue;
+        std::size_t filler = user_filler_[jobs_[j].user];
+        if (filler == SIZE_MAX) {
+            // A user with jobs but no planned executables at all: give them
+            // a plain bash.
+            Profile p;
+            p.exe_path = "/usr/bin/bash";
+            p.objects = {"/lib64/libtinfo.so.6", "/lib64/libc.so.6",
+                         library_path_for_tag("siren")};
+            p.meta = make_meta(p.exe_path, 0, spec_.epoch - 90 * 86400, 48 * 1024);
+            p.is_bash = true;
+            filler = intern_profile(std::move(p));
+            user_filler_[jobs_[j].user] = filler;
+        }
+        add_entry(j, filler, 1);
+    }
+}
+
+void Generator::populate_store(collect::FileStore& store) const {
+    std::set<std::string> done;
+    for (const auto& [path, recipe] : recipes_) {
+        if (!done.insert(path).second) continue;
+        collect::ExecutableImage image;
+        image.bytes = synthesize(recipe);
+        image.meta = make_meta(path, 0, spec_.epoch - 30 * 86400,
+                               static_cast<std::int64_t>(image.bytes.size()));
+        store.register_executable(path, std::move(image));
+    }
+    // System tools and interpreters not covered by software recipes.
+    for (const auto& profile : profiles_) {
+        if (!done.insert(profile.exe_path).second) continue;
+        collect::ExecutableImage image;
+        image.bytes = synthesize_system_tool(std::string(util::basename(profile.exe_path)));
+        image.meta = profile.meta;
+        image.meta.size = static_cast<std::int64_t>(image.bytes.size());
+        store.register_executable(profile.exe_path, std::move(image));
+    }
+}
+
+CampaignTotals Generator::run(const Sink& sink) const {
+    return run_jobs(0, jobs_.size(), sink);
+}
+
+CampaignTotals Generator::run_jobs(std::size_t begin, std::size_t end, const Sink& sink) const {
+    CampaignTotals done;
+    end = std::min(end, jobs_.size());
+    for (std::size_t j = begin; j < end; ++j) {
+        emit_job(jobs_[j], sink);
+        ++done.jobs;
+        for (const auto& e : jobs_[j].entries) done.processes += e.count;
+    }
+    return done;
+}
+
+void Generator::emit_job(const JobPlan& job, const Sink& sink) const {
+    const UserSpec& user = spec_.users[job.user];
+    std::int64_t pid = 2000 + static_cast<std::int64_t>((job.job_id * 37) % 100000);
+    const std::int64_t ppid = pid - 1;
+
+    // exec()-chain modelling: the first srun of a job replaces the job's
+    // first bash process, keeping its PID (and, at 1-second granularity,
+    // its timestamp) — the situation the HASH header field disambiguates.
+    std::int64_t first_bash_pid = -1;
+    bool srun_chained = false;
+
+    for (const auto& entry : job.entries) {
+        const Profile& profile = profiles_[entry.profile];
+        for (std::uint64_t c = 0; c < entry.count; ++c) {
+            sim::SimProcess p;
+            p.job_id = job.job_id;
+            p.step_id = entry.step_id;
+            p.slurm_procid = 0;
+            p.host = "nid" + std::to_string(100000 + job.node);
+            if (profile.is_srun && !srun_chained && first_bash_pid >= 0) {
+                p.pid = first_bash_pid;
+                srun_chained = true;
+            } else {
+                p.pid = pid++;
+            }
+            if (profile.is_bash && first_bash_pid < 0) first_bash_pid = p.pid;
+            p.ppid = ppid;
+            p.uid = user.uid;
+            p.gid = user.uid;
+            p.start_time = job.time;
+            p.exe_path = profile.exe_path;
+            p.exe_meta = profile.meta;
+            p.loaded_modules = profile.modules;
+            p.loaded_objects = profile.objects;
+            if (profile.python) {
+                p.python = profile.python;
+                p.memory_map = maps_from_paths(
+                    profile.exe_path,
+                    entry.profile < python_maps_.size() ? python_maps_[entry.profile]
+                                                        : profile.objects);
+            } else if (sim::categorize_path(profile.exe_path) == sim::PathCategory::kUser) {
+                p.memory_map = maps_from_paths(profile.exe_path, profile.objects);
+            }
+            sink(p);
+        }
+    }
+}
+
+}  // namespace siren::workload

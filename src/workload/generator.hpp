@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collect/exe_store.hpp"
+#include "sim/cluster.hpp"
+#include "workload/campaign.hpp"
+#include "workload/synthesizer.hpp"
+
+namespace siren::workload {
+
+struct GeneratorOptions {
+    /// Campaign scale: 1.0 reproduces the paper's process counts; smaller
+    /// values shrink every per-entity count proportionally (minimum 1) so
+    /// the *shape* of every table survives.
+    double scale = 1.0;
+    std::uint64_t seed = 42;
+};
+
+struct CampaignTotals {
+    std::uint64_t jobs = 0;
+    std::uint64_t processes = 0;
+};
+
+/// Materializes a CampaignSpec into a deterministic plan of jobs and
+/// process runs, registers every unique synthetic executable, and streams
+/// the resulting SimProcess observations to a sink (normally the
+/// Collector). The plan is computed once in the constructor; run_jobs()
+/// slices it so callers can shard emission across threads.
+class Generator {
+public:
+    explicit Generator(CampaignSpec spec, GeneratorOptions options = {});
+
+    /// Synthesize and register every unique executable image referenced by
+    /// the plan. Call once before run()/run_jobs().
+    void populate_store(collect::FileStore& store) const;
+
+    std::size_t job_count() const { return jobs_.size(); }
+    const CampaignTotals& totals() const { return totals_; }
+
+    using Sink = std::function<void(const sim::SimProcess&)>;
+
+    /// Emit all processes in chronological job order.
+    CampaignTotals run(const Sink& sink) const;
+
+    /// Emit the jobs in [begin, end) only — the parallel sharding hook.
+    CampaignTotals run_jobs(std::size_t begin, std::size_t end, const Sink& sink) const;
+
+private:
+    /// Everything constant about "a process running executable X in
+    /// environment Y": profiles are shared by all processes of that shape.
+    struct Profile {
+        std::string exe_path;
+        std::vector<std::string> objects;
+        std::vector<std::string> modules;
+        sim::FileMeta meta;
+        std::optional<sim::PythonInfo> python;
+        bool is_bash = false;
+        bool is_srun = false;
+    };
+
+    struct Entry {
+        std::size_t profile = 0;
+        std::uint64_t count = 0;
+        std::uint32_t step_id = 0;
+    };
+
+    struct JobPlan {
+        std::size_t user = 0;  ///< index into spec_.users
+        std::uint64_t job_id = 0;
+        std::int64_t time = 0;
+        std::size_t node = 0;
+        std::vector<Entry> entries;
+    };
+
+    std::uint64_t scaled(std::uint64_t n) const;
+    std::size_t intern_profile(Profile profile);
+    std::size_t user_index(const std::string& name) const;
+    void add_entry(std::size_t job_index, std::size_t profile, std::uint64_t count);
+
+    void plan_jobs();
+    void plan_system_execs(std::vector<std::uint64_t>& capacity);
+    void plan_other_execs(std::vector<std::uint64_t>& capacity);
+    void plan_software();
+    void plan_python();
+    /// Every planned job must observe at least one process (a Slurm job
+    /// always runs something); empty jobs get one process of the user's
+    /// habitual executable.
+    void fill_empty_jobs();
+
+    /// Spread `total` processes of `profile` across `slots` of the user's
+    /// jobs, round-robin starting at `first_slot` (stride-mapped onto the
+    /// user's job list).
+    void spread(std::size_t user, std::uint64_t total, std::size_t profile,
+                std::uint64_t slots, std::uint64_t first_slot = 0);
+
+    void emit_job(const JobPlan& job, const Sink& sink) const;
+
+    CampaignSpec spec_;
+    GeneratorOptions options_;
+
+    std::vector<Profile> profiles_;
+    /// For Python profiles: the memory-mapped file list (interpreter
+    /// runtime + imported packages' native extensions), indexed by profile.
+    std::vector<std::vector<std::string>> python_maps_;
+    std::vector<std::pair<std::string, BinaryRecipe>> recipes_;  ///< unique path -> recipe
+    std::vector<JobPlan> jobs_;
+    std::vector<std::vector<std::size_t>> user_jobs_;  ///< per user: indices into jobs_
+    std::vector<std::size_t> user_filler_;  ///< per user: habitual profile (SIZE_MAX unset)
+    CampaignTotals totals_;
+};
+
+}  // namespace siren::workload

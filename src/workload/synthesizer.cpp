@@ -1,0 +1,157 @@
+#include "workload/synthesizer.hpp"
+
+#include <algorithm>
+
+#include "elfio/elfio.hpp"
+#include "hashing/fnv.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace siren::workload {
+
+namespace {
+
+constexpr std::size_t kBlockBytes = 4096;
+
+std::uint64_t lineage_seed(const std::string& lineage) {
+    return util::mix64(hash::fnv1a64(lineage));
+}
+
+/// Generation of an item at `version`: the latest drift step <= version
+/// that rewrote it (0 = original). Deterministic per (lineage, kind, item).
+std::size_t generation_at(std::uint64_t base, std::uint64_t kind, std::size_t item,
+                          std::size_t version, double rate) {
+    for (std::size_t step = version; step >= 1; --step) {
+        // Independent coin per (item, step); same coin for every variant,
+        // which is what makes nearby versions share content.
+        util::Rng coin(util::mix64(base ^ (kind * 0x9E37u) ^
+                                   util::mix64(item * 1000003ull + step)));
+        if (coin.chance(rate)) return step;
+    }
+    return 0;
+}
+
+/// Pseudo-word generator for identifiers and message text.
+std::string word(util::Rng& rng, std::size_t min_len = 3, std::size_t max_len = 9) {
+    static constexpr char kVowels[] = "aeiou";
+    static constexpr char kConsonants[] = "bcdfghklmnprstvz";
+    const std::size_t len = min_len + rng.index(max_len - min_len + 1);
+    std::string out;
+    out.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        out += (i % 2 == 0) ? kConsonants[rng.index(sizeof kConsonants - 1)]
+                            : kVowels[rng.index(sizeof kVowels - 1)];
+    }
+    return out;
+}
+
+std::string make_string(std::uint64_t seed, const std::string& lineage) {
+    util::Rng rng(seed);
+    switch (rng.index(6)) {
+        case 0: return "ERROR: " + word(rng) + " failed in " + word(rng) + "_" + word(rng) + "()";
+        case 1: return lineage + ": cannot open %s: %s";
+        case 2: return word(rng) + "_" + word(rng) + ".f90";
+        case 3: return "Usage: %s [--" + word(rng) + "] [--" + word(rng) + "=N] FILE";
+        case 4: return word(rng) + " tolerance exceeded: %e > %e";
+        default: return "[" + word(rng) + "] step %d of %d (" + word(rng) + ")";
+    }
+}
+
+std::string make_symbol(std::uint64_t seed, const std::string& lineage) {
+    util::Rng rng(seed);
+    std::string prefix = lineage.substr(0, std::min<std::size_t>(4, lineage.size()));
+    prefix = util::to_lower(prefix);
+    switch (rng.index(4)) {
+        case 0: return prefix + "_" + word(rng) + "_" + word(rng);
+        case 1: return "mo_" + word(rng) + "_" + word(rng) + "_";
+        case 2: return prefix + "_" + word(rng) + "_init";
+        default: return prefix + "_" + word(rng) + "_run";
+    }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> synthesize(const BinaryRecipe& recipe) {
+    const std::uint64_t base = lineage_seed(recipe.lineage);
+
+    // --- .text: blocks whose content depends on their drift generation ----
+    std::vector<std::uint8_t> code;
+    code.reserve(recipe.code_blocks * kBlockBytes);
+    for (std::size_t b = 0; b < recipe.code_blocks; ++b) {
+        const std::size_t gen =
+            generation_at(base, 1, b, recipe.version, recipe.code_mutation_rate);
+        util::Rng rng(util::mix64(base ^ util::mix64(b * 2 + 1) ^ util::mix64(gen * 7919)));
+        const auto block = rng.bytes(kBlockBytes);
+        code.insert(code.end(), block.begin(), block.end());
+    }
+
+    // --- strings ------------------------------------------------------------
+    std::vector<std::string> strings;
+    strings.reserve(recipe.string_count + 3);
+    strings.push_back(recipe.lineage + " " +
+                      (recipe.version_tag.empty() ? "build" : recipe.version_tag));
+    for (std::size_t i = 0; i < recipe.string_count; ++i) {
+        const std::size_t gen =
+            generation_at(base, 2, i, recipe.version, recipe.string_mutation_rate);
+        strings.push_back(make_string(
+            util::mix64(base ^ util::mix64(0xABCD + i) ^ util::mix64(gen * 31337)),
+            recipe.lineage));
+    }
+
+    // --- symbols ------------------------------------------------------------
+    std::vector<elfio::BuildSymbol> symbols;
+    symbols.reserve(recipe.symbol_count);
+    for (std::size_t i = 0; i < recipe.symbol_count; ++i) {
+        const std::size_t gen =
+            generation_at(base, 3, i, recipe.version, recipe.symbol_mutation_rate);
+        elfio::BuildSymbol sym;
+        sym.name = make_symbol(
+            util::mix64(base ^ util::mix64(0x51D5 + i) ^ util::mix64(gen * 104729)),
+            recipe.lineage);
+        sym.bind = elfio::STB_GLOBAL;
+        sym.type = (i % 5 == 4) ? elfio::STT_OBJECT : elfio::STT_FUNC;
+        sym.value = 0x401000 + i * 0x40;
+        sym.size = 0x40;
+        symbols.push_back(std::move(sym));
+    }
+
+    elfio::Builder builder;
+    builder.set_type(elfio::ET_EXEC)
+        .set_text(std::move(code))
+        .set_rodata_strings(strings)
+        .set_comments(recipe.compilers)
+        .set_needed(recipe.needed)
+        .set_symbols(std::move(symbols));
+    return builder.build();
+}
+
+std::vector<std::uint8_t> synthesize_system_tool(const std::string& name) {
+    BinaryRecipe recipe;
+    recipe.lineage = "coreutils/" + name;
+    recipe.version = 0;
+    recipe.compilers = {"GCC: (SUSE Linux) 7.5.0"};
+    recipe.needed = {"libc.so.6"};
+    recipe.code_blocks = 6;
+    recipe.string_count = 40;
+    recipe.symbol_count = 12;
+    recipe.version_tag = "8.32";
+    return synthesize(recipe);
+}
+
+std::string synthesize_python_script(const std::string& user, std::size_t index,
+                                     const std::vector<std::string>& packages) {
+    util::Rng rng(util::mix64(hash::fnv1a64(user) ^ util::mix64(index * 7 + 13)));
+    std::string out = "#!/usr/bin/env python3\n\"\"\"" + user + " workflow " +
+                      std::to_string(index) + "\"\"\"\n";
+    for (const auto& pkg : packages) out += "import " + pkg + "\n";
+    out += "\n\ndef main():\n";
+    const std::size_t lines = 10 + rng.index(30);
+    for (std::size_t i = 0; i < lines; ++i) {
+        out += "    " + word(rng) + "_" + word(rng) + " = " + word(rng) + "(" +
+               std::to_string(rng.index(1000)) + ")\n";
+    }
+    out += "\n\nif __name__ == \"__main__\":\n    main()\n";
+    return out;
+}
+
+}  // namespace siren::workload

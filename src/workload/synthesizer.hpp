@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace siren::workload {
+
+/// Recipe for one synthetic application executable.
+///
+/// The generator has no real user binaries (LUMI's are proprietary), so it
+/// synthesizes ELF images whose *relationships* match real software
+/// evolution: executables of the same `lineage` share most content;
+/// `version` counts drift steps away from the lineage origin, and each step
+/// rewrites a small, deterministic fraction of code blocks, printable
+/// strings and symbols. Two variants k steps apart therefore have fuzzy
+/// similarity decaying with k — fastest for raw bytes (FI_H), slower for
+/// strings (ST_H), slowest for symbols (SY_H), matching how recompilation
+/// and minor code changes affect real binaries (paper Table 7's pattern).
+struct BinaryRecipe {
+    std::string lineage;                  ///< seed key: same lineage = same software
+    std::size_t version = 0;              ///< drift steps from the lineage origin
+    std::vector<std::string> compilers;   ///< .comment identification strings
+    std::vector<std::string> needed;      ///< DT_NEEDED shared library names
+
+    std::size_t code_blocks = 24;         ///< 4 KiB blocks of .text
+    std::size_t string_count = 120;       ///< printable strings in .rodata
+    std::size_t symbol_count = 80;        ///< global symbols in .symtab
+
+    double code_mutation_rate = 0.03;     ///< per-step fraction of blocks rewritten
+    double string_mutation_rate = 0.003;  ///< per-step fraction of strings rewritten
+    double symbol_mutation_rate = 0.0012; ///< per-step fraction of symbols renamed
+
+    std::string version_tag;              ///< human-readable version in strings
+};
+
+/// Deterministically synthesize the ELF image for a recipe. Same recipe,
+/// same bytes — two recipes differing only in `version` share all content
+/// not touched by the intervening drift steps.
+std::vector<std::uint8_t> synthesize(const BinaryRecipe& recipe);
+
+/// Synthesize a small "system utility" image (bash, rm, ...): single
+/// version, distro compiler comment, compact size.
+std::vector<std::uint8_t> synthesize_system_tool(const std::string& name);
+
+/// Synthesize Python script text: import lines for `packages` plus a
+/// deterministic body derived from (user, index).
+std::string synthesize_python_script(const std::string& user, std::size_t index,
+                                     const std::vector<std::string>& packages);
+
+}  // namespace siren::workload

@@ -1,0 +1,253 @@
+// Analytics: labeler, library filter, compiler provenance, aggregates, and
+// the paper tables computed over the mini campaign.
+
+#include <gtest/gtest.h>
+
+#include "analytics/aggregate.hpp"
+#include "analytics/compilers.hpp"
+#include "analytics/labeler.hpp"
+#include "analytics/libfilter.hpp"
+#include "analytics/tables.hpp"
+#include "core/siren.hpp"
+
+namespace sa = siren::analytics;
+namespace sw = siren::workload;
+
+TEST(Labeler, PaperLabels) {
+    const auto labeler = sa::Labeler::default_rules();
+    EXPECT_EQ(labeler.label("/users/u/lammps/build_1/bin/lmp"), "LAMMPS");
+    EXPECT_EQ(labeler.label("/projappl/p/gromacs-2023.1/bin/gmx_mpi"), "GROMACS");
+    EXPECT_EQ(labeler.label("/users/u/miniconda3/envs/w/bin/python3.9"), "miniconda");
+    EXPECT_EQ(labeler.label("/users/u/janko/bin/janko_v0"), "janko");
+    EXPECT_EQ(labeler.label("/users/u/icon-model/build_3/bin/icon"), "icon");
+    EXPECT_EQ(labeler.label("/users/u/amber22/bin/pmemd_v0"), "amber");
+    EXPECT_EQ(labeler.label("/users/u/tools/bin/gzip"), "gzip");
+    EXPECT_EQ(labeler.label("/users/u/alexandria/bin/alexandria"), "alexandria");
+    EXPECT_EQ(labeler.label("/users/u/RadRad/RadRad_v1"), "RadRad");
+}
+
+TEST(Labeler, NondescriptNamesStayUnknown) {
+    const auto labeler = sa::Labeler::default_rules();
+    EXPECT_EQ(labeler.label("/scratch/project_465000531/run_0/a.out"), sa::kUnknownLabel);
+    EXPECT_EQ(labeler.label("/users/u/bin/solver"), sa::kUnknownLabel);
+}
+
+TEST(Labeler, MinicondaBeatsIconSubstring) {
+    // "miniconda" contains the substring "icon"; rule order must win.
+    const auto labeler = sa::Labeler::default_rules();
+    EXPECT_EQ(labeler.label("/users/u/miniconda3/bin/x"), "miniconda");
+}
+
+TEST(LibFilter, DerivesCompositeTags) {
+    EXPECT_EQ(sa::derive_library_tag("/opt/cray/pe/hdf5-parallel/lib/libhdf5_fortran_parallel.so"),
+              "hdf5-fortran-parallel-cray");
+    EXPECT_EQ(sa::derive_library_tag("/opt/rocm-5.2.3/lib/librocfft.so.0"), "rocfft-rocm-fft");
+    EXPECT_EQ(sa::derive_library_tag("/lib64/libpthread.so.0"), "pthread");
+    EXPECT_EQ(sa::derive_library_tag("/lib64/libc.so.6"), "");
+}
+
+TEST(LibFilter, CanonicalOrderIndependentOfPathOrder) {
+    // Both paths contain numa+rocm+torch; the tag order comes from the
+    // canonical list, not the path.
+    EXPECT_EQ(sa::derive_library_tag("/x/torch/librocm_numa.so"),
+              sa::derive_library_tag("/x/numa/librocm_torch.so"));
+}
+
+TEST(LibFilter, ListDerivationDedupes) {
+    const auto tags = sa::derive_library_tags({
+        "/lib64/libpthread.so.0",
+        "/lib64/libpthread.so.0",
+        "/opt/siren/lib/siren.so",
+        "/lib64/libc.so.6",  // no tag
+    });
+    EXPECT_EQ(tags, (std::vector<std::string>{"pthread", "siren"}));
+}
+
+TEST(Compilers, ProvenanceParsing) {
+    EXPECT_EQ(sa::compiler_provenance("GCC: (SUSE Linux) 7.5.0"), "GCC [SUSE]");
+    EXPECT_EQ(sa::compiler_provenance("GCC: (GNU) 8.5.0 20210514 (Red Hat 8.5.0-18)"),
+              "GCC [Red Hat]");
+    EXPECT_EQ(sa::compiler_provenance("GCC: (conda-forge gcc 12.3.0-3) 12.3.0"), "GCC [conda]");
+    EXPECT_EQ(sa::compiler_provenance("GCC: (HPE) 10.3.0 20210408"), "GCC [HPE]");
+    EXPECT_EQ(sa::compiler_provenance("Cray clang version 15.0.1 (CrayPE)"), "clang [Cray]");
+    EXPECT_EQ(sa::compiler_provenance("AMD clang version 14.0.6 (ROCm 5.2.3)"), "clang [AMD]");
+    EXPECT_EQ(sa::compiler_provenance("Linker: AMD LLD 14.0.6"), "LLD [AMD]");
+    EXPECT_EQ(sa::compiler_provenance("rustc version 1.68.2"), "rustc");
+    EXPECT_EQ(sa::compiler_provenance("GCC: (Debian 12.2.0) 12.2.0"), "GCC");
+}
+
+TEST(Compilers, ComboCanonicalOrder) {
+    const auto combo = sa::compiler_provenances({
+        "AMD clang version 14.0.6 (ROCm 5.2.3)",
+        "GCC: (SUSE Linux) 7.5.0",
+        "Cray clang version 15.0.1 (CrayPE)",
+    });
+    EXPECT_EQ(sa::render_combo(combo), "GCC [SUSE], clang [Cray], clang [AMD]");
+}
+
+TEST(Compilers, ComboDeduplicates) {
+    const auto combo = sa::compiler_provenances({
+        "GCC: (SUSE Linux) 7.5.0",
+        "GCC: (SUSE Linux) 7.4.1",  // same provenance, other version
+    });
+    EXPECT_EQ(sa::render_combo(combo), "GCC [SUSE]");
+}
+
+// --- aggregates over a synthetic record --------------------------------------
+
+namespace {
+
+siren::consolidate::ProcessRecord make_record(std::uint64_t job, std::int64_t uid,
+                                              const std::string& exe,
+                                              siren::consolidate::Category cat) {
+    siren::consolidate::ProcessRecord r;
+    r.job_id = job;
+    r.uid = uid;
+    r.pid = 1;
+    r.exe_path = exe;
+    r.category = cat;
+    r.objects_hash = "3:aaaaaaaa:bbbb";
+    r.file_hash = "3:cccccccc:dddd";
+    return r;
+}
+
+}  // namespace
+
+TEST(Aggregates, AddAccumulates) {
+    sa::Aggregates agg;
+    agg.add(make_record(1, 1001, "/usr/bin/bash", siren::consolidate::Category::kSystem));
+    agg.add(make_record(1, 1001, "/usr/bin/bash", siren::consolidate::Category::kSystem));
+    agg.add(make_record(2, 1002, "/usr/bin/bash", siren::consolidate::Category::kSystem));
+
+    EXPECT_EQ(agg.total_processes, 3u);
+    const auto& exe = agg.execs.at("/usr/bin/bash");
+    EXPECT_EQ(exe.processes, 3u);
+    EXPECT_EQ(exe.users.size(), 2u);
+    EXPECT_EQ(exe.jobs.size(), 2u);
+    EXPECT_EQ(agg.users.at(1001).system_processes, 2u);
+}
+
+TEST(Aggregates, MergeEqualsSequentialAdd) {
+    sa::Aggregates all, a, b;
+    const auto r1 = make_record(1, 1001, "/usr/bin/bash", siren::consolidate::Category::kSystem);
+    const auto r2 = make_record(2, 1002, "/users/u/app", siren::consolidate::Category::kUser);
+    all.add(r1);
+    all.add(r2);
+    a.add(r1);
+    b.add(r2);
+    a.merge(b);
+
+    EXPECT_EQ(a.total_processes, all.total_processes);
+    EXPECT_EQ(a.execs.size(), all.execs.size());
+    EXPECT_EQ(a.users.size(), all.users.size());
+    EXPECT_EQ(a.execs.at("/users/u/app").processes, 1u);
+}
+
+// --- paper tables over the mini campaign -------------------------------------
+
+class MiniCampaignTables : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        siren::FrameworkOptions options;
+        options.scale = 1.0;
+        options.seed = 5;
+        result_ = new siren::CampaignResult(run_campaign(sw::mini_campaign(), options));
+    }
+    static void TearDownTestSuite() {
+        delete result_;
+        result_ = nullptr;
+    }
+    static siren::CampaignResult* result_;
+};
+
+siren::CampaignResult* MiniCampaignTables::result_ = nullptr;
+
+TEST_F(MiniCampaignTables, Table2HasAllUsersAndTotal) {
+    const auto t = sa::table2_users(result_->aggregates);
+    EXPECT_EQ(t.rows(), 4u);  // 3 users + Total
+    EXPECT_EQ(t.row(t.rows() - 1)[0], "Total");
+}
+
+TEST_F(MiniCampaignTables, Table3RanksBashFirst) {
+    const auto t = sa::table3_system_execs(result_->aggregates);
+    ASSERT_GE(t.rows(), 2u);
+    EXPECT_EQ(t.row(0)[0], "/usr/bin/bash");  // 3 users, most jobs
+    // bash has two object-set variants in the mini campaign.
+    EXPECT_EQ(t.row(0)[4], "2");
+}
+
+TEST_F(MiniCampaignTables, Table4ShowsBashVariants) {
+    const auto t = sa::table4_object_variants(result_->aggregates, "/usr/bin/bash");
+    ASSERT_EQ(t.rows(), 3u);  // 2 variants + Total
+    // Default /lib64 variant dominates; spack variant second.
+    EXPECT_NE(t.row(0)[2].find("/lib64/libtinfo"), std::string::npos);
+    EXPECT_NE(t.row(1)[2].find("spack"), std::string::npos);
+}
+
+TEST_F(MiniCampaignTables, Table5LabelsIconAndUnknown) {
+    const auto t = sa::table5_user_labels(result_->aggregates);
+    bool icon = false, unknown = false;
+    for (std::size_t i = 0; i < t.rows(); ++i) {
+        icon = icon || t.row(i)[0] == "icon";
+        unknown = unknown || t.row(i)[0] == sa::kUnknownLabel;
+    }
+    EXPECT_TRUE(icon);
+    EXPECT_TRUE(unknown) << "the a.out binaries must stay UNKNOWN under name labeling";
+}
+
+TEST_F(MiniCampaignTables, Table6ShowsCompilerCombos) {
+    const auto t = sa::table6_compilers(result_->aggregates);
+    ASSERT_GE(t.rows(), 1u);
+    EXPECT_EQ(t.row(0)[0], "GCC [SUSE]");
+}
+
+TEST_F(MiniCampaignTables, Table8ListsInterpreter) {
+    const auto t = sa::table8_python(result_->aggregates);
+    ASSERT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.row(0)[0], "python3.10");
+    EXPECT_EQ(t.row(0)[4], "2");  // two distinct scripts
+}
+
+TEST_F(MiniCampaignTables, Fig2ContainsSirenTag) {
+    const auto t = sa::fig2_library_tags(result_->aggregates);
+    bool siren_tag = false;
+    for (std::size_t i = 0; i < t.rows(); ++i) siren_tag = siren_tag || t.row(i)[0] == "siren";
+    EXPECT_TRUE(siren_tag) << "siren.so is injected everywhere (paper §4.5)";
+}
+
+TEST_F(MiniCampaignTables, Fig3ListsImportedPackages) {
+    const auto t = sa::fig3_python_packages(result_->aggregates);
+    std::set<std::string> pkgs;
+    for (std::size_t i = 0; i < t.rows(); ++i) pkgs.insert(t.row(i)[0]);
+    EXPECT_TRUE(pkgs.count("heapq") == 1);
+    EXPECT_TRUE(pkgs.count("numpy") == 1);
+}
+
+TEST_F(MiniCampaignTables, Fig4MatrixMarksIconCompilers) {
+    const auto t = sa::fig4_compiler_matrix(result_->aggregates);
+    ASSERT_GE(t.rows(), 1u);
+    ASSERT_GE(t.cols(), 2u);
+    // Single label "icon", compiler GCC [SUSE] => a 1 in that column.
+    EXPECT_EQ(t.row(0)[0], "icon");
+    EXPECT_EQ(t.row(0)[1], "1");
+}
+
+TEST_F(MiniCampaignTables, Fig5MatrixMarksIconLibraries) {
+    const auto t = sa::fig5_library_matrix(result_->aggregates);
+    ASSERT_GE(t.rows(), 1u);
+    const auto& header = t.header();
+    // climatedt must be one of the columns and set for icon.
+    std::size_t col = 0;
+    for (std::size_t c = 1; c < header.size(); ++c) {
+        if (header[c] == "climatedt") col = c;
+    }
+    ASSERT_GT(col, 0u);
+    EXPECT_EQ(t.row(0)[col], "1");
+}
+
+TEST_F(MiniCampaignTables, UserNamerMapsUids) {
+    const auto namer = sa::default_user_namer();
+    EXPECT_EQ(namer(1001), "user_1");
+    EXPECT_EQ(namer(1012), "user_12");
+    EXPECT_EQ(namer(555), "uid_555");
+}

@@ -1,0 +1,205 @@
+// Campaign catalog consistency: the spec must encode the paper's published
+// marginals exactly (these are the constants everything downstream
+// reproduces).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/campaign.hpp"
+
+namespace sw = siren::workload;
+
+namespace {
+
+const sw::CampaignSpec& spec() {
+    static const sw::CampaignSpec s = sw::lumi_campaign();
+    return s;
+}
+
+const sw::SystemExecSpec& exec_named(const std::string& path) {
+    for (const auto& e : spec().system_execs) {
+        if (e.path == path) return e;
+    }
+    throw std::runtime_error("no such exec spec: " + path);
+}
+
+}  // namespace
+
+TEST(Catalog, Table3ExecTotals) {
+    // (path, users, processes, jobs, object variants) from Table 3.
+    struct Row {
+        const char* path;
+        std::size_t users;
+        std::uint64_t processes;
+        std::uint64_t jobs;
+        std::size_t variants;
+    };
+    const Row rows[] = {
+        {"/usr/bin/srun", 10, 4564, 1642, 3},  {"/usr/bin/bash", 8, 161418, 13105, 3},
+        {"/usr/bin/lua5.3", 8, 18448, 882, 2}, {"/usr/bin/rm", 6, 544025, 12182, 1},
+        {"/usr/bin/cat", 6, 29003, 9774, 1},   {"/usr/bin/uname", 5, 28053, 1182, 1},
+        {"/usr/bin/ls", 5, 9057, 1130, 1},     {"/usr/bin/mkdir", 4, 547089, 8863, 1},
+        {"/usr/bin/grep", 4, 9268, 1115, 1},   {"/usr/bin/cp", 4, 11655, 1019, 1},
+    };
+    for (const auto& row : rows) {
+        const auto& e = exec_named(row.path);
+        EXPECT_EQ(e.users.size(), row.users) << row.path;
+        EXPECT_EQ(e.processes, row.processes) << row.path;
+        EXPECT_EQ(e.jobs, row.jobs) << row.path;
+        EXPECT_EQ(e.object_variants.size(), row.variants) << row.path;
+    }
+}
+
+TEST(Catalog, Table3TotalOf112SystemExecutables) {
+    std::size_t other = 0;
+    for (const auto& u : spec().users) other += u.other_execs;
+    EXPECT_EQ(spec().system_execs.size() + other, 112u);
+    EXPECT_GE(spec().other_exec_names.size(), other) << "long-tail pool must suffice";
+}
+
+TEST(Catalog, Table4BashVariantBudgets) {
+    const auto& bash = exec_named("/usr/bin/bash");
+    // Default variant absorbs the remainder (160,904 at scale 1).
+    EXPECT_EQ(bash.object_variants[0].processes, 0u);
+    EXPECT_EQ(bash.object_variants[1].processes, 460u);
+    EXPECT_EQ(bash.object_variants[2].processes, 54u);
+    // The libm deviation belongs to the smallest variant (Table 4 row 3).
+    bool libm = false;
+    for (const auto& o : bash.object_variants[2].objects) {
+        libm = libm || o.find("libm.") != std::string::npos;
+    }
+    EXPECT_TRUE(libm);
+}
+
+TEST(Catalog, Table5PerLabelProcessTotals) {
+    // label -> (processes, variants) from Table 5; UNKNOWN is the a.out
+    // spec whose ground-truth label is icon.
+    std::map<std::string, std::pair<std::uint64_t, std::size_t>> expected = {
+        {"LAMMPS", {226, 5}},  {"GROMACS", {2104, 1}}, {"miniconda", {5018, 5}},
+        {"janko", {138, 2}},   {"icon", {625, 175}},   {"amber", {889, 2}},
+        {"gzip", {19, 1}},     {"a.out", {17, 7}},     {"alexandria", {4, 1}},
+        {"RadRad", {2, 2}},
+    };
+    for (const auto& soft : spec().software) {
+        const bool is_unknown = soft.path_pattern.find("a.out") != std::string::npos;
+        const std::string key = is_unknown ? "a.out" : soft.label;
+        auto it = expected.find(key);
+        ASSERT_NE(it, expected.end()) << key;
+
+        std::uint64_t procs = 0;
+        for (const auto& alloc : soft.allocations) {
+            for (const auto& run : alloc.runs) procs += run.processes;
+        }
+        std::size_t variants = 0;
+        for (const auto& g : soft.groups) variants += g.variants;
+
+        EXPECT_EQ(procs, it->second.first) << key;
+        EXPECT_EQ(variants, it->second.second) << key;
+        expected.erase(it);
+    }
+    EXPECT_TRUE(expected.empty()) << "all Table 5 labels must be present";
+}
+
+TEST(Catalog, UserDecompositionMatchesTable2) {
+    // Per-user user-directory process totals must equal Table 2's column.
+    std::map<std::string, std::uint64_t> per_user;
+    for (const auto& soft : spec().software) {
+        for (const auto& alloc : soft.allocations) {
+            for (const auto& run : alloc.runs) per_user[alloc.user] += run.processes;
+        }
+    }
+    const std::map<std::string, std::uint64_t> expected = {
+        {"user_2", 5259}, {"user_11", 138}, {"user_8", 2103}, {"user_4", 642},
+        {"user_10", 889}, {"user_9", 4},    {"user_3", 4},    {"user_6", 2},
+        {"user_7", 1},
+    };
+    EXPECT_EQ(per_user, expected);
+}
+
+TEST(Catalog, PythonDecompositionMatchesTables) {
+    std::uint64_t total = 0;
+    std::map<std::string, std::uint64_t> per_interp;
+    for (const auto& py : spec().python) {
+        for (const auto& g : py.groups) {
+            total += g.processes;
+            per_interp[py.interpreter_path] += g.processes;
+        }
+    }
+    EXPECT_EQ(total, 23316u);                                    // Table 2
+    EXPECT_EQ(per_interp["/usr/bin/python3.6"], 14884u);         // Table 8
+    EXPECT_EQ(per_interp["/usr/bin/python3.11"], 8402u);
+    EXPECT_EQ(per_interp["/usr/bin/python3.10"], 30u);
+}
+
+TEST(Catalog, UnknownSharesIconLineageWithTwin) {
+    const sw::UserSoftwareSpec* icon = nullptr;
+    const sw::UserSoftwareSpec* unknown = nullptr;
+    for (const auto& soft : spec().software) {
+        if (soft.path_pattern.find("a.out") != std::string::npos) unknown = &soft;
+        else if (soft.label == "icon") icon = &soft;
+    }
+    ASSERT_NE(icon, nullptr);
+    ASSERT_NE(unknown, nullptr);
+    EXPECT_EQ(unknown->lineage, icon->lineage);
+    // The twin: version 0 appears in both variant version lists.
+    ASSERT_FALSE(unknown->variant_versions.empty());
+    EXPECT_EQ(unknown->variant_versions[0], 0u);
+    ASSERT_FALSE(icon->variant_versions.empty());
+    EXPECT_EQ(icon->variant_versions[0], 0u);
+    // No accidental byte-twins: other UNKNOWN versions are absent from
+    // icon's version list.
+    const std::set<std::size_t> icon_versions(icon->variant_versions.begin(),
+                                              icon->variant_versions.end());
+    for (std::size_t i = 1; i < unknown->variant_versions.size(); ++i) {
+        EXPECT_EQ(icon_versions.count(unknown->variant_versions[i]), 0u);
+    }
+}
+
+TEST(Catalog, Figure4CompilerAssignments) {
+    // Label -> expected provenance set (Figure 4 rows), via the comment
+    // strings attached to the variant groups.
+    std::map<std::string, std::set<std::string>> seen;
+    for (const auto& soft : spec().software) {
+        if (soft.path_pattern.find("a.out") != std::string::npos) continue;
+        for (const auto& g : soft.groups) {
+            for (const auto& comment : g.compilers) seen[soft.label].insert(comment);
+        }
+    }
+    auto has = [&](const std::string& label, const std::string& prov) {
+        return seen[label].count(sw::compiler_comment_for(prov)) != 0;
+    };
+    EXPECT_TRUE(has("LAMMPS", "GCC [SUSE]"));
+    EXPECT_TRUE(has("LAMMPS", "LLD [AMD]"));
+    EXPECT_TRUE(has("GROMACS", "LLD [AMD]"));
+    EXPECT_FALSE(has("GROMACS", "GCC [SUSE]"));
+    EXPECT_TRUE(has("miniconda", "GCC [conda]"));
+    EXPECT_TRUE(has("miniconda", "rustc"));
+    EXPECT_TRUE(has("janko", "GCC [HPE]"));
+    EXPECT_TRUE(has("icon", "clang [Cray]"));
+    EXPECT_TRUE(has("icon", "clang [AMD]"));
+    EXPECT_TRUE(has("amber", "clang [AMD]"));
+    EXPECT_TRUE(has("gzip", "LLD [AMD]"));
+    EXPECT_TRUE(has("alexandria", "GCC [SUSE]"));
+    EXPECT_TRUE(has("RadRad", "clang [Cray]"));
+}
+
+TEST(Catalog, MiniCampaignIsSelfConsistent) {
+    const auto mini = sw::mini_campaign();
+    EXPECT_FALSE(mini.users.empty());
+    EXPECT_FALSE(mini.system_execs.empty());
+    EXPECT_FALSE(mini.software.empty());
+    for (const auto& soft : mini.software) {
+        std::size_t variants = 0;
+        for (const auto& g : soft.groups) variants += g.variants;
+        for (const auto& alloc : soft.allocations) {
+            for (const auto& run : alloc.runs) {
+                EXPECT_LT(run.variant, variants) << soft.label;
+            }
+        }
+        if (!soft.variant_versions.empty()) {
+            EXPECT_EQ(soft.variant_versions.size(), variants) << soft.label;
+        }
+    }
+}

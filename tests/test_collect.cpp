@@ -1,0 +1,361 @@
+// Collector: the Table-1 policy matrix, scope classification, message sets
+// per scope, derived-data memoization, Python package extraction.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "collect/collector.hpp"
+#include "collect/exe_store.hpp"
+#include "collect/policy.hpp"
+#include "collect/python.hpp"
+#include "net/channel.hpp"
+#include "net/codec.hpp"
+#include "workload/synthesizer.hpp"
+
+namespace sc = siren::collect;
+namespace sn = siren::net;
+namespace ss = siren::sim;
+
+namespace {
+
+/// Transport that records decoded messages.
+class CaptureTransport : public sn::Transport {
+public:
+    void send(std::string_view datagram) noexcept override {
+        try {
+            messages.push_back(sn::decode(datagram));
+        } catch (...) {
+        }
+    }
+    std::vector<sn::Message> messages;
+
+    std::set<std::string> types(sn::Layer layer) const {
+        std::set<std::string> out;
+        for (const auto& m : messages) {
+            if (m.layer == layer) out.insert(std::string(sn::to_string(m.type)));
+        }
+        return out;
+    }
+};
+
+ss::SimProcess base_process(const std::string& exe) {
+    ss::SimProcess p;
+    p.job_id = 42;
+    p.step_id = 0;
+    p.slurm_procid = 0;
+    p.host = "nid000001";
+    p.pid = 1234;
+    p.ppid = 1233;
+    p.uid = 1001;
+    p.gid = 1001;
+    p.start_time = 1733900000;
+    p.exe_path = exe;
+    p.exe_meta.inode = 55;
+    p.exe_meta.size = 1000;
+    p.loaded_objects = {"/lib64/libc.so.6", "/opt/siren/lib/siren.so"};
+    p.loaded_modules = {"PrgEnv-cray/8.4.0"};
+    return p;
+}
+
+void fill_store(sc::FileStore& store, const std::string& path) {
+    siren::workload::BinaryRecipe recipe;
+    recipe.lineage = "testware";
+    recipe.compilers = {"GCC: (SUSE Linux) 7.5.0"};
+    recipe.needed = {"libc.so.6"};
+    recipe.code_blocks = 4;
+
+    sc::ExecutableImage image;
+    image.bytes = siren::workload::synthesize(recipe);
+    store.register_executable(path, std::move(image));
+}
+
+}  // namespace
+
+// --- Table 1: the policy matrix, row by row ---------------------------------
+
+TEST(Policy, Table1SystemExecutable) {
+    const auto p = sc::Policy::for_scope(sc::Scope::kSystemExecutable);
+    EXPECT_TRUE(p.file_meta);
+    EXPECT_TRUE(p.libraries);
+    EXPECT_FALSE(p.modules);
+    EXPECT_FALSE(p.compilers);
+    EXPECT_FALSE(p.memory_map);
+    EXPECT_FALSE(p.file_hash);
+    EXPECT_FALSE(p.strings_hash);
+    EXPECT_FALSE(p.symbols_hash);
+}
+
+TEST(Policy, Table1UserExecutable) {
+    const auto p = sc::Policy::for_scope(sc::Scope::kUserExecutable);
+    EXPECT_TRUE(p.file_meta);
+    EXPECT_TRUE(p.libraries);
+    EXPECT_TRUE(p.modules);
+    EXPECT_TRUE(p.compilers);
+    EXPECT_TRUE(p.memory_map);
+    EXPECT_TRUE(p.file_hash);
+    EXPECT_TRUE(p.strings_hash);
+    EXPECT_TRUE(p.symbols_hash);
+}
+
+TEST(Policy, Table1PythonInterpreter) {
+    const auto p = sc::Policy::for_scope(sc::Scope::kPythonInterpreter);
+    EXPECT_TRUE(p.file_meta);
+    EXPECT_TRUE(p.libraries);
+    EXPECT_FALSE(p.modules);
+    EXPECT_FALSE(p.compilers);
+    EXPECT_TRUE(p.memory_map);
+    EXPECT_FALSE(p.file_hash);
+    EXPECT_FALSE(p.strings_hash);
+    EXPECT_FALSE(p.symbols_hash);
+}
+
+TEST(Policy, Table1PythonScript) {
+    const auto p = sc::Policy::for_scope(sc::Scope::kPythonScript);
+    EXPECT_TRUE(p.file_meta);
+    EXPECT_FALSE(p.libraries);
+    EXPECT_FALSE(p.modules);
+    EXPECT_FALSE(p.compilers);
+    EXPECT_FALSE(p.memory_map);
+    EXPECT_TRUE(p.file_hash);
+    EXPECT_FALSE(p.strings_hash);
+    EXPECT_FALSE(p.symbols_hash);
+}
+
+TEST(Policy, Classify) {
+    EXPECT_EQ(sc::classify(base_process("/usr/bin/bash")), sc::Scope::kSystemExecutable);
+    EXPECT_EQ(sc::classify(base_process("/users/u/app")), sc::Scope::kUserExecutable);
+    EXPECT_EQ(sc::classify(base_process("/usr/bin/python3.10")), sc::Scope::kPythonInterpreter);
+    // User-dir Python interpreter counts as user executable (paper §3.1).
+    EXPECT_EQ(sc::classify(base_process("/users/u/miniconda3/bin/python3.9")),
+              sc::Scope::kUserExecutable);
+}
+
+// --- collector behaviour per scope ------------------------------------------
+
+TEST(Collector, SystemScopeMessageSet) {
+    sc::FileStore store;
+    fill_store(store, "/usr/bin/bash");
+    CaptureTransport transport;
+    sc::Collector collector(store, transport);
+    collector.collect(base_process("/usr/bin/bash"));
+
+    EXPECT_EQ(transport.types(sn::Layer::kSelf),
+              (std::set<std::string>{"IDS", "FILEMETA", "OBJECTS", "OBJECTS_H"}));
+}
+
+TEST(Collector, UserScopeMessageSet) {
+    const std::string exe = "/users/u/app/bin/app";
+    sc::FileStore store;
+    fill_store(store, exe);
+    CaptureTransport transport;
+    sc::Collector collector(store, transport);
+    auto p = base_process(exe);
+    p.memory_map = {{0x400000, 0x500000, "r-xp", exe}};
+    collector.collect(p);
+
+    EXPECT_EQ(transport.types(sn::Layer::kSelf),
+              (std::set<std::string>{"IDS", "FILEMETA", "OBJECTS", "OBJECTS_H", "MODULES",
+                                     "MODULES_H", "COMPILERS", "COMPILERS_H", "MEMMAP",
+                                     "MEMMAP_H", "FILE_H", "STRINGS_H", "SYMBOLS_H"}));
+}
+
+TEST(Collector, PythonInterpreterWithScript) {
+    const std::string exe = "/usr/bin/python3.10";
+    sc::FileStore store;
+    fill_store(store, exe);
+    CaptureTransport transport;
+    sc::Collector collector(store, transport);
+
+    auto p = base_process(exe);
+    ss::PythonInfo info;
+    info.script_path = "/users/u/run.py";
+    info.script_content = "import numpy\nprint('hi')\n";
+    p.python = info;
+    p.memory_map = {{0x400000, 0x500000, "r-xp", exe}};
+    collector.collect(p);
+
+    EXPECT_EQ(transport.types(sn::Layer::kSelf),
+              (std::set<std::string>{"IDS", "FILEMETA", "OBJECTS", "OBJECTS_H", "MEMMAP",
+                                     "MEMMAP_H"}));
+    EXPECT_EQ(transport.types(sn::Layer::kScript),
+              (std::set<std::string>{"IDS", "FILEMETA", "SCRIPT_H"}));
+}
+
+TEST(Collector, SkipsNonzeroRanks) {
+    sc::FileStore store;
+    fill_store(store, "/usr/bin/bash");
+    CaptureTransport transport;
+    sc::Collector collector(store, transport);
+
+    auto p = base_process("/usr/bin/bash");
+    p.slurm_procid = 3;
+    EXPECT_EQ(collector.collect(p), 0u);
+    EXPECT_TRUE(transport.messages.empty());
+    EXPECT_EQ(collector.stats().processes_skipped_rank.load(), 1u);
+
+    sc::CollectorOptions all_ranks;
+    all_ranks.only_rank_zero = false;
+    sc::Collector collector2(store, transport, all_ranks);
+    EXPECT_GT(collector2.collect(p), 0u);
+}
+
+TEST(Collector, GracefulOnUnknownExecutable) {
+    // A user-scope process whose binary is not in the store: hashing fails
+    // internally, but collect() must not throw and still counts the error.
+    sc::FileStore empty_store;
+    CaptureTransport transport;
+    sc::Collector collector(empty_store, transport);
+    EXPECT_NO_THROW(collector.collect(base_process("/users/u/ghost")));
+    EXPECT_EQ(collector.stats().collection_errors.load(), 1u);
+}
+
+TEST(Collector, HeaderFieldsPropagate) {
+    sc::FileStore store;
+    fill_store(store, "/usr/bin/bash");
+    CaptureTransport transport;
+    sc::Collector collector(store, transport);
+    collector.collect(base_process("/usr/bin/bash"));
+
+    ASSERT_FALSE(transport.messages.empty());
+    for (const auto& m : transport.messages) {
+        EXPECT_EQ(m.job_id, 42u);
+        EXPECT_EQ(m.pid, 1234);
+        EXPECT_EQ(m.host, "nid000001");
+        EXPECT_EQ(m.time, 1733900000);
+        EXPECT_EQ(m.exe_hash, sc::Collector::exe_path_hash("/usr/bin/bash"));
+    }
+}
+
+TEST(Collector, ExePathHashDiffersPerPath) {
+    EXPECT_NE(sc::Collector::exe_path_hash("/usr/bin/bash"),
+              sc::Collector::exe_path_hash("/usr/bin/srun"));
+}
+
+TEST(ExeStore, DerivedDataMemoizedAndConsistent) {
+    const std::string path = "/users/u/app";
+    sc::FileStore store;
+    fill_store(store, path);
+    const auto& d1 = store.derived(path);
+    const auto& d2 = store.derived(path);
+    EXPECT_EQ(&d1, &d2) << "second call must hit the cache";
+    EXPECT_TRUE(d1.is_elf);
+    EXPECT_FALSE(d1.file_hash.empty());
+    EXPECT_FALSE(d1.strings_hash.empty());
+    EXPECT_FALSE(d1.symbols_hash.empty());
+    EXPECT_EQ(d1.compilers, (std::vector<std::string>{"GCC: (SUSE Linux) 7.5.0"}));
+}
+
+TEST(ExeStore, ReRegistrationInvalidatesCache) {
+    const std::string path = "/users/u/app";
+    sc::FileStore store;
+    fill_store(store, path);
+    const std::string hash_before = store.derived(path).file_hash;
+
+    sc::ExecutableImage other;
+    other.bytes = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    store.register_executable(path, std::move(other));
+    EXPECT_NE(store.derived(path).file_hash, hash_before);
+    EXPECT_FALSE(store.derived(path).is_elf);
+}
+
+TEST(ExeStore, NonElfBytesDegradeGracefully) {
+    sc::FileStore store;
+    sc::ExecutableImage image;
+    image.bytes = {'#', '!', '/', 'b', 'i', 'n', '/', 's', 'h', '\n'};
+    store.register_executable("/users/u/script.sh", std::move(image));
+    const auto& d = store.derived("/users/u/script.sh");
+    EXPECT_FALSE(d.is_elf);
+    EXPECT_FALSE(d.file_hash.empty());
+    EXPECT_TRUE(d.compilers.empty());
+    EXPECT_TRUE(d.symbols_hash.empty());
+}
+
+// --- Python package extraction ----------------------------------------------
+
+TEST(Python, ExtractsDynloadModules) {
+    const auto pkgs = sc::extract_python_packages({
+        "/usr/lib64/python3.10/lib-dynload/_heapq.cpython-310-x86_64-linux-gnu.so",
+        "/usr/lib64/python3.10/lib-dynload/math.cpython-310-x86_64-linux-gnu.so",
+        "/usr/lib64/python3.10/lib-dynload/_posixsubprocess.cpython-310-x86_64-linux-gnu.so",
+    });
+    EXPECT_EQ(pkgs, (std::vector<std::string>{"heapq", "math", "posixsubprocess"}));
+}
+
+TEST(Python, ExtractsSitePackages) {
+    const auto pkgs = sc::extract_python_packages({
+        "/usr/lib64/python3.11/site-packages/numpy/core/_multiarray_umath.cpython-311.so",
+        "/usr/lib64/python3.11/site-packages/pandas/_libs/lib.cpython-311.so",
+        "/appl/x/site-packages/mpi4py.libs/libmpi.so",
+    });
+    EXPECT_EQ(pkgs, (std::vector<std::string>{"mpi4py", "numpy", "pandas"}));
+}
+
+TEST(Python, IgnoresNonPythonMappings) {
+    const auto pkgs = sc::extract_python_packages({
+        "/usr/bin/python3.10",
+        "/lib64/libc.so.6",
+        "",
+        "/opt/siren/lib/siren.so",
+    });
+    EXPECT_TRUE(pkgs.empty());
+}
+
+TEST(Python, DeduplicatesAcrossMappings) {
+    const auto pkgs = sc::extract_python_packages({
+        "/x/site-packages/numpy/a.so",
+        "/x/site-packages/numpy/b.so",
+    });
+    EXPECT_EQ(pkgs, (std::vector<std::string>{"numpy"}));
+}
+
+// ---------------------------------------------------------------------------
+// Container gating (paper §3.1 limitation; §6 future work when enabled).
+
+TEST(Collector, ContainerProcessesSkippedByDefault) {
+    sc::FileStore store;
+    fill_store(store, "/users/user_4/app/bin/app");
+    CaptureTransport transport;
+    sc::Collector collector(store, transport);
+
+    auto p = base_process("/users/user_4/app/bin/app");
+    p.in_container = true;
+    EXPECT_EQ(collector.collect(p), 0u)
+        << "siren.so is not mounted inside the container (paper §3.1)";
+    EXPECT_EQ(collector.stats().processes_skipped_container.load(), 1u);
+    EXPECT_EQ(collector.stats().processes_collected.load(), 0u);
+    EXPECT_TRUE(transport.messages.empty());
+}
+
+TEST(Collector, ContainerCollectionOptInRestoresCoverage) {
+    sc::FileStore store;
+    fill_store(store, "/users/user_4/app/bin/app");
+    CaptureTransport transport;
+    sc::CollectorOptions options;
+    options.collect_containers = true;  // §6 future work: mount siren.so
+    sc::Collector collector(store, transport, options);
+
+    auto p = base_process("/users/user_4/app/bin/app");
+    p.in_container = true;
+    EXPECT_GT(collector.collect(p), 0u);
+    EXPECT_EQ(collector.stats().processes_skipped_container.load(), 0u);
+    EXPECT_EQ(collector.stats().processes_collected.load(), 1u);
+    EXPECT_FALSE(transport.messages.empty());
+}
+
+TEST(Collector, ContainerSkipStillCountsProcessAsSeen) {
+    sc::FileStore store;
+    fill_store(store, "/users/user_4/app/bin/app");
+    CaptureTransport transport;
+    sc::Collector collector(store, transport);
+
+    auto contained = base_process("/users/user_4/app/bin/app");
+    contained.in_container = true;
+    collector.collect(contained);
+    collector.collect(base_process("/users/user_4/app/bin/app"));
+
+    EXPECT_EQ(collector.stats().processes_seen.load(), 2u)
+        << "coverage accounting needs the denominator";
+    EXPECT_EQ(collector.stats().processes_collected.load(), 1u);
+}

@@ -1,0 +1,270 @@
+// Consolidation: chunk reassembly into records, Python script merging,
+// exec()-chain disambiguation, loss accounting.
+
+#include <gtest/gtest.h>
+
+#include "collect/collector.hpp"
+#include "collect/exe_store.hpp"
+#include "consolidate/consolidator.hpp"
+#include "net/channel.hpp"
+#include "net/chunker.hpp"
+#include "net/codec.hpp"
+#include "workload/synthesizer.hpp"
+
+namespace sc = siren::collect;
+namespace sn = siren::net;
+namespace ss = siren::sim;
+namespace sx = siren::consolidate;
+
+namespace {
+
+class CaptureTransport : public sn::Transport {
+public:
+    void send(std::string_view datagram) noexcept override {
+        try {
+            messages.push_back(sn::decode(datagram));
+        } catch (...) {
+        }
+    }
+    std::vector<sn::Message> messages;
+};
+
+ss::SimProcess user_process() {
+    ss::SimProcess p;
+    p.job_id = 7;
+    p.step_id = 0;
+    p.host = "nid000002";
+    p.pid = 500;
+    p.ppid = 499;
+    p.uid = 1004;
+    p.gid = 1004;
+    p.start_time = 1734000000;
+    p.exe_path = "/users/user_4/icon-model/build_0/bin/icon";
+    p.loaded_objects = {"/lib64/libc.so.6", "/opt/siren/lib/siren.so"};
+    p.loaded_modules = {"PrgEnv-cray/8.4.0", "cce/15.0.1"};
+    p.memory_map = {{0x400000, 0x500000, "r-xp", p.exe_path}};
+    return p;
+}
+
+std::vector<sn::Message> collect_messages(const ss::SimProcess& p) {
+    siren::workload::BinaryRecipe recipe;
+    recipe.lineage = "icon";
+    recipe.compilers = {"GCC: (SUSE Linux) 7.5.0"};
+    recipe.code_blocks = 4;
+
+    sc::FileStore store;
+    sc::ExecutableImage image;
+    image.bytes = siren::workload::synthesize(recipe);
+    store.register_executable(p.exe_path, std::move(image));
+
+    CaptureTransport transport;
+    sc::Collector collector(store, transport);
+    collector.collect(p);
+    return transport.messages;
+}
+
+}  // namespace
+
+TEST(Consolidate, BuildsOneRecordPerProcess) {
+    const auto messages = collect_messages(user_process());
+    const auto result = sx::consolidate(messages);
+    ASSERT_EQ(result.records.size(), 1u);
+
+    const auto& r = result.records[0];
+    EXPECT_EQ(r.job_id, 7u);
+    EXPECT_EQ(r.pid, 500);
+    EXPECT_EQ(r.ppid, 499);
+    EXPECT_EQ(r.uid, 1004);
+    EXPECT_EQ(r.exe_path, "/users/user_4/icon-model/build_0/bin/icon");
+    EXPECT_EQ(r.category, sx::Category::kUser);
+    ASSERT_TRUE(r.exe_meta.has_value());
+    EXPECT_EQ(r.modules,
+              (std::vector<std::string>{"PrgEnv-cray/8.4.0", "cce/15.0.1"}));
+    EXPECT_EQ(r.objects.size(), 2u);
+    EXPECT_FALSE(r.file_hash.empty());
+    EXPECT_FALSE(r.strings_hash.empty());
+    EXPECT_FALSE(r.symbols_hash.empty());
+    EXPECT_FALSE(r.objects_hash.empty());
+    EXPECT_FALSE(r.modules_hash.empty());
+    EXPECT_FALSE(r.compilers_hash.empty());
+    EXPECT_FALSE(r.has_missing_fields());
+}
+
+TEST(Consolidate, CategoryDerivation) {
+    auto p = user_process();
+    p.exe_path = "/usr/bin/bash";
+    p.memory_map.clear();
+    auto result = sx::consolidate(collect_messages(p));
+    ASSERT_EQ(result.records.size(), 1u);
+    EXPECT_EQ(result.records[0].category, sx::Category::kSystem);
+
+    p.exe_path = "/usr/bin/python3.10";
+    result = sx::consolidate(collect_messages(p));
+    ASSERT_EQ(result.records.size(), 1u);
+    EXPECT_EQ(result.records[0].category, sx::Category::kPython);
+}
+
+TEST(Consolidate, PythonScriptMergedIntoInterpreterRow) {
+    auto p = user_process();
+    p.exe_path = "/usr/bin/python3.10";
+    ss::PythonInfo info;
+    info.script_path = "/users/user_4/scripts/run.py";
+    info.script_content = "import numpy\n";
+    info.script_meta.inode = 4242;
+    p.python = info;
+    p.memory_map = {
+        {0x400000, 0x500000, "r-xp", "/usr/bin/python3.10"},
+        {0x7f0000000000, 0x7f0000040000, "r-xp",
+         "/usr/lib64/python3.10/lib-dynload/_heapq.cpython-310.so"},
+        {0x7f0000100000, 0x7f0000140000, "r-xp",
+         "/usr/lib64/python3.10/site-packages/numpy/core/umath.so"},
+    };
+
+    const auto result = sx::consolidate(collect_messages(p));
+    ASSERT_EQ(result.records.size(), 1u) << "SCRIPT layer must merge, not add a record";
+    const auto& r = result.records[0];
+    EXPECT_EQ(r.script_path, "/users/user_4/scripts/run.py");
+    EXPECT_FALSE(r.script_hash.empty());
+    ASSERT_TRUE(r.script_meta.has_value());
+    EXPECT_EQ(r.script_meta->inode, 4242u);
+    EXPECT_EQ(r.python_packages, (std::vector<std::string>{"heapq", "numpy"}));
+}
+
+TEST(Consolidate, ExecChainSamePidSeparatedByPathHash) {
+    // bash exec()s into srun: same JOBID/PID/HOST/TIME, different exe.
+    auto bash = user_process();
+    bash.exe_path = "/usr/bin/bash";
+    bash.memory_map.clear();
+    auto srun = bash;
+    srun.exe_path = "/usr/bin/srun";
+
+    auto messages = collect_messages(bash);
+    const auto srun_messages = collect_messages(srun);
+    messages.insert(messages.end(), srun_messages.begin(), srun_messages.end());
+
+    const auto result = sx::consolidate(messages);
+    EXPECT_EQ(result.records.size(), 2u)
+        << "the HASH header must split exec() chains sharing a PID";
+}
+
+TEST(Consolidate, LostChunksMarkFieldIncomplete) {
+    auto p = user_process();
+    // Huge module list forces chunking of MODULES.
+    for (int i = 0; i < 400; ++i) {
+        p.loaded_modules.push_back("filler-module-" + std::to_string(i) + "/1.0.0");
+    }
+    auto messages = collect_messages(p);
+
+    // Drop one MODULES chunk (not the only one).
+    std::size_t dropped = 0;
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+        if (messages[i].type == sn::MsgType::kModules && messages[i].total > 1 &&
+            messages[i].seq == 1) {
+            messages.erase(messages.begin() + static_cast<std::ptrdiff_t>(i));
+            dropped = 1;
+            break;
+        }
+    }
+    ASSERT_EQ(dropped, 1u) << "test setup: MODULES should have chunked";
+
+    const auto result = sx::consolidate(messages);
+    ASSERT_EQ(result.records.size(), 1u);
+    const auto& r = result.records[0];
+    EXPECT_TRUE(r.has_missing_fields());
+    ASSERT_EQ(r.incomplete_fields.size(), 1u);
+    EXPECT_EQ(r.incomplete_fields[0], "SELF:MODULES");
+    EXPECT_EQ(result.jobs_with_missing_fields, 1u);
+    EXPECT_EQ(result.processes_with_missing_fields, 1u);
+}
+
+TEST(Consolidate, TotalJobAccounting) {
+    auto p1 = user_process();
+    auto p2 = user_process();
+    p2.job_id = 8;
+    p2.pid = 501;
+    auto messages = collect_messages(p1);
+    const auto more = collect_messages(p2);
+    messages.insert(messages.end(), more.begin(), more.end());
+
+    const auto result = sx::consolidate(messages);
+    EXPECT_EQ(result.total_jobs, 2u);
+    EXPECT_EQ(result.jobs_with_missing_fields, 0u);
+    EXPECT_DOUBLE_EQ(result.job_missing_ratio(), 0.0);
+}
+
+TEST(Consolidate, RecordSurvivesTotalIdsLoss) {
+    auto messages = collect_messages(user_process());
+    // Remove the IDS message entirely: category becomes unknown but the
+    // record must still exist (graceful degradation).
+    messages.erase(std::remove_if(messages.begin(), messages.end(),
+                                  [](const sn::Message& m) {
+                                      return m.type == sn::MsgType::kIds;
+                                  }),
+                   messages.end());
+    const auto result = sx::consolidate(messages);
+    ASSERT_EQ(result.records.size(), 1u);
+    EXPECT_EQ(result.records[0].category, sx::Category::kUnknown);
+    EXPECT_TRUE(result.records[0].exe_path.empty());
+}
+
+TEST(Consolidate, EmptyInput) {
+    const auto result = sx::consolidate(std::vector<sn::Message>{});
+    EXPECT_TRUE(result.records.empty());
+    EXPECT_EQ(result.total_jobs, 0u);
+}
+
+TEST(Consolidate, OrderInsensitive) {
+    // UDP reorders datagrams freely; a reversed stream must consolidate to
+    // the same record as the in-order one.
+    auto messages = collect_messages(user_process());
+    const auto in_order = sx::consolidate(messages);
+    std::reverse(messages.begin(), messages.end());
+    const auto reversed = sx::consolidate(messages);
+
+    ASSERT_EQ(in_order.records.size(), 1u);
+    ASSERT_EQ(reversed.records.size(), 1u);
+    const auto& a = in_order.records[0];
+    const auto& b = reversed.records[0];
+    EXPECT_EQ(a.exe_path, b.exe_path);
+    EXPECT_EQ(a.modules, b.modules);
+    EXPECT_EQ(a.objects, b.objects);
+    EXPECT_EQ(a.file_hash, b.file_hash);
+    EXPECT_EQ(a.has_missing_fields(), b.has_missing_fields());
+}
+
+TEST(Consolidate, DuplicateDatagramsTolerated) {
+    // UDP can also duplicate. Doubling the whole stream must not create a
+    // second record or corrupt chunked fields.
+    auto messages = collect_messages(user_process());
+    const auto baseline = sx::consolidate(messages);
+    auto doubled = messages;
+    doubled.insert(doubled.end(), messages.begin(), messages.end());
+    const auto result = sx::consolidate(doubled);
+
+    ASSERT_EQ(result.records.size(), 1u);
+    EXPECT_EQ(result.records[0].exe_path, baseline.records[0].exe_path);
+    EXPECT_EQ(result.records[0].modules, baseline.records[0].modules);
+    EXPECT_FALSE(result.records[0].has_missing_fields());
+}
+
+TEST(Consolidate, InterleavedProcessesSeparate) {
+    auto p1 = user_process();
+    auto p2 = user_process();
+    p2.pid = 501;
+    p2.exe_path = "/users/user_4/icon-model/build_1/bin/icon";
+    const auto m1 = collect_messages(p1);
+    const auto m2 = collect_messages(p2);
+
+    // Interleave the two message streams datagram by datagram.
+    std::vector<sn::Message> mixed;
+    for (std::size_t i = 0; i < std::max(m1.size(), m2.size()); ++i) {
+        if (i < m1.size()) mixed.push_back(m1[i]);
+        if (i < m2.size()) mixed.push_back(m2[i]);
+    }
+    const auto result = sx::consolidate(mixed);
+    ASSERT_EQ(result.records.size(), 2u);
+    EXPECT_NE(result.records[0].pid, result.records[1].pid);
+    for (const auto& r : result.records) {
+        EXPECT_FALSE(r.has_missing_fields()) << "interleaving must not lose chunks";
+    }
+}

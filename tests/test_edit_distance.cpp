@@ -1,0 +1,104 @@
+// Edit distances: Levenshtein, Damerau-Levenshtein, weighted variant —
+// including metric properties as parameterized sweeps.
+
+#include <gtest/gtest.h>
+
+#include "fuzzy/edit_distance.hpp"
+#include "util/rng.hpp"
+
+namespace sf = siren::fuzzy;
+
+TEST(Levenshtein, Basics) {
+    EXPECT_EQ(sf::levenshtein("", ""), 0u);
+    EXPECT_EQ(sf::levenshtein("abc", "abc"), 0u);
+    EXPECT_EQ(sf::levenshtein("abc", ""), 3u);
+    EXPECT_EQ(sf::levenshtein("", "abc"), 3u);
+    EXPECT_EQ(sf::levenshtein("kitten", "sitting"), 3u);
+    EXPECT_EQ(sf::levenshtein("flaw", "lawn"), 2u);
+}
+
+TEST(Levenshtein, TranspositionCostsTwo) {
+    // Without the Damerau extension, a swap is delete+insert.
+    EXPECT_EQ(sf::levenshtein("ab", "ba"), 2u);
+}
+
+TEST(Damerau, TranspositionCostsOne) {
+    EXPECT_EQ(sf::damerau_levenshtein("ab", "ba"), 1u);
+    EXPECT_EQ(sf::damerau_levenshtein("abcdef", "abdcef"), 1u);
+    // Damerau's own example: a single transposition plus substitution.
+    EXPECT_EQ(sf::damerau_levenshtein("ca", "abc"), 3u);  // restricted variant
+}
+
+TEST(Damerau, MatchesLevenshteinWhenNoSwapsHelp) {
+    EXPECT_EQ(sf::damerau_levenshtein("kitten", "sitting"), 3u);
+    EXPECT_EQ(sf::damerau_levenshtein("abc", "xyz"), 3u);
+}
+
+TEST(Weighted, SubstitutionDefaultCostsTwo) {
+    // ssdeep semantics: substitution = 2 (= delete+insert), swap = 2.
+    EXPECT_EQ(sf::weighted_edit_distance("abc", "axc"), 2u);
+    EXPECT_EQ(sf::weighted_edit_distance("abc", "abcd"), 1u);
+    EXPECT_EQ(sf::weighted_edit_distance("ab", "ba"), 2u);
+}
+
+TEST(Weighted, CustomCosts) {
+    sf::EditCosts costs;
+    costs.substitute = 1;
+    EXPECT_EQ(sf::weighted_edit_distance("abc", "axc", costs), 1u);
+    costs.insert = 5;
+    EXPECT_EQ(sf::weighted_edit_distance("", "aa", costs), 10u);
+}
+
+// --- metric-property sweeps -------------------------------------------------
+
+class EditDistanceProperties : public ::testing::TestWithParam<std::uint64_t> {
+protected:
+    std::string random_string(siren::util::Rng& rng, std::size_t max_len) {
+        const std::size_t len = rng.index(max_len + 1);
+        std::string s;
+        for (std::size_t i = 0; i < len; ++i) s += static_cast<char>('a' + rng.index(4));
+        return s;
+    }
+};
+
+TEST_P(EditDistanceProperties, SymmetryAndIdentity) {
+    siren::util::Rng rng(GetParam());
+    for (int i = 0; i < 50; ++i) {
+        const std::string a = random_string(rng, 24);
+        const std::string b = random_string(rng, 24);
+        EXPECT_EQ(sf::damerau_levenshtein(a, b), sf::damerau_levenshtein(b, a));
+        EXPECT_EQ(sf::damerau_levenshtein(a, a), 0u);
+        EXPECT_EQ(sf::levenshtein(a, b), sf::levenshtein(b, a));
+    }
+}
+
+TEST_P(EditDistanceProperties, TriangleInequality) {
+    siren::util::Rng rng(GetParam() ^ 0xABCDu);
+    for (int i = 0; i < 30; ++i) {
+        const std::string a = random_string(rng, 16);
+        const std::string b = random_string(rng, 16);
+        const std::string c = random_string(rng, 16);
+        EXPECT_LE(sf::levenshtein(a, c), sf::levenshtein(a, b) + sf::levenshtein(b, c));
+    }
+}
+
+TEST_P(EditDistanceProperties, DamerauNeverExceedsLevenshtein) {
+    siren::util::Rng rng(GetParam() ^ 0x1234u);
+    for (int i = 0; i < 50; ++i) {
+        const std::string a = random_string(rng, 20);
+        const std::string b = random_string(rng, 20);
+        EXPECT_LE(sf::damerau_levenshtein(a, b), sf::levenshtein(a, b));
+    }
+}
+
+TEST_P(EditDistanceProperties, BoundedByLongerString) {
+    siren::util::Rng rng(GetParam() ^ 0x77u);
+    for (int i = 0; i < 50; ++i) {
+        const std::string a = random_string(rng, 20);
+        const std::string b = random_string(rng, 20);
+        EXPECT_LE(sf::levenshtein(a, b), std::max(a.size(), b.size()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceProperties,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));

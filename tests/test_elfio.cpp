@@ -1,0 +1,172 @@
+// ELF substrate: builder/reader round trips, extraction helpers, and
+// robustness against malformed images.
+
+#include <gtest/gtest.h>
+
+#include "elfio/elfio.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace se = siren::elfio;
+namespace su = siren::util;
+
+namespace {
+
+std::vector<std::uint8_t> sample_image() {
+    se::Builder builder;
+    builder.set_type(se::ET_EXEC)
+        .set_text({0x48, 0x31, 0xc0, 0xc3})
+        .set_rodata_strings({"hello from siren", "version 2.1", "ERROR: %s"})
+        .set_comments({"GCC: (SUSE Linux) 7.5.0", "Cray clang version 15.0.1"})
+        .set_needed({"libc.so.6", "libm.so.6"})
+        .set_symbols({{"icon_run", se::STB_GLOBAL, se::STT_FUNC, 0x401000, 64},
+                      {"icon_state", se::STB_GLOBAL, se::STT_OBJECT, 0x402000, 8},
+                      {"local_helper", se::STB_LOCAL, se::STT_FUNC, 0x401040, 16}});
+    return builder.build();
+}
+
+}  // namespace
+
+TEST(Builder, ProducesParsableElf) {
+    const auto image = sample_image();
+    EXPECT_TRUE(se::Reader::looks_like_elf(image));
+    const se::Reader reader(image);
+    EXPECT_EQ(reader.type(), se::ET_EXEC);
+    EXPECT_EQ(reader.machine(), se::EM_X86_64);
+}
+
+TEST(Reader, SectionsPresent) {
+    const auto image = sample_image();
+    const se::Reader reader(image);
+    for (const char* name :
+         {".text", ".rodata", ".comment", ".dynstr", ".dynamic", ".symtab", ".strtab"}) {
+        EXPECT_NE(reader.section_by_name(name), nullptr) << name;
+    }
+    EXPECT_EQ(reader.section_by_name(".does-not-exist"), nullptr);
+}
+
+TEST(Reader, CommentStringsRoundTrip) {
+    const auto image = sample_image();
+    const se::Reader reader(image);
+    EXPECT_EQ(reader.comment_strings(),
+              (std::vector<std::string>{"GCC: (SUSE Linux) 7.5.0",
+                                        "Cray clang version 15.0.1"}));
+}
+
+TEST(Reader, NeededLibrariesRoundTrip) {
+    const auto image = sample_image();
+    const se::Reader reader(image);
+    EXPECT_EQ(reader.needed_libraries(),
+              (std::vector<std::string>{"libc.so.6", "libm.so.6"}));
+}
+
+TEST(Reader, GlobalSymbolsExcludeLocals) {
+    const auto image = sample_image();
+    const se::Reader reader(image);
+    const auto names = reader.global_symbol_names();
+    EXPECT_EQ(names, (std::vector<std::string>{"icon_run", "icon_state"}));
+
+    const auto all = reader.symbols();
+    // NULL symbol + 3 declared.
+    EXPECT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[3].name, "local_helper");
+    EXPECT_FALSE(all[3].is_global());
+}
+
+TEST(Reader, SectionDataMatchesInput) {
+    const auto image = sample_image();
+    const se::Reader reader(image);
+    const auto* text = reader.section_by_name(".text");
+    ASSERT_NE(text, nullptr);
+    const auto data = reader.section_data(*text);
+    ASSERT_EQ(data.size(), 4u);
+    EXPECT_EQ(data[0], 0x48);
+    EXPECT_EQ(data[3], 0xc3);
+}
+
+TEST(Reader, RejectsNonElf) {
+    const std::vector<std::uint8_t> junk = {'M', 'Z', 0, 0};
+    EXPECT_FALSE(se::Reader::looks_like_elf(junk));
+    EXPECT_THROW(se::Reader{junk}, su::ParseError);
+    EXPECT_THROW(se::Reader{std::vector<std::uint8_t>{}}, su::ParseError);
+}
+
+TEST(Reader, RejectsTruncatedImage) {
+    auto image = sample_image();
+    image.resize(image.size() / 3);  // chop section table / payloads
+    if (se::Reader::looks_like_elf(image)) {
+        EXPECT_THROW(se::Reader{image}, su::ParseError);
+    }
+}
+
+TEST(Reader, FuzzedMutationsNeverCrash) {
+    // Robustness: random corruption may parse or throw ParseError, but must
+    // never crash or read out of bounds (run under ASAN in CI).
+    const auto pristine = sample_image();
+    su::Rng rng(99);
+    for (int round = 0; round < 200; ++round) {
+        auto image = pristine;
+        const std::size_t flips = 1 + rng.index(8);
+        for (std::size_t i = 0; i < flips; ++i) {
+            image[rng.index(image.size())] ^= static_cast<std::uint8_t>(1 + rng.index(255));
+        }
+        try {
+            const se::Reader reader(image);
+            (void)reader.comment_strings();
+            (void)reader.symbols();
+            (void)reader.needed_libraries();
+            (void)reader.global_symbol_names();
+        } catch (const su::ParseError&) {
+            // acceptable outcome
+        }
+    }
+}
+
+TEST(Extract, PrintableStrings) {
+    const std::vector<std::uint8_t> blob = {'a', 'b',  'c', 'd', 0x00, 'x',
+                                            'y', 0x01, 'l', 'o', 'n',  'g',
+                                            'e', 'r',  ' ', 's', 't',  'r'};
+    const auto strings = se::printable_strings(blob, 4);
+    EXPECT_EQ(strings, (std::vector<std::string>{"abcd", "longer str"}));
+}
+
+TEST(Extract, MinLengthFilters) {
+    const std::vector<std::uint8_t> blob = {'a', 'b', 0x00, 'c', 'd', 'e', 'f', 'g'};
+    EXPECT_EQ(se::printable_strings(blob, 4), (std::vector<std::string>{"cdefg"}));
+    EXPECT_EQ(se::printable_strings(blob, 2), (std::vector<std::string>{"ab", "cdefg"}));
+}
+
+TEST(Extract, StringsBlobStable) {
+    EXPECT_EQ(se::strings_blob({"a", "b"}), "a\nb\n");
+    EXPECT_EQ(se::strings_blob({}), "");
+}
+
+TEST(Builder, EmptySectionsAreLegal) {
+    se::Builder builder;
+    const auto image = builder.build();
+    const se::Reader reader(image);
+    EXPECT_TRUE(reader.comment_strings().empty());
+    EXPECT_TRUE(reader.needed_libraries().empty());
+    EXPECT_TRUE(reader.global_symbol_names().empty());
+}
+
+TEST(Builder, LargeTextSection) {
+    su::Rng rng(5);
+    se::Builder builder;
+    builder.set_text(rng.bytes(1 << 20));
+    const auto image = builder.build();
+    const se::Reader reader(image);
+    const auto* text = reader.section_by_name(".text");
+    ASSERT_NE(text, nullptr);
+    EXPECT_EQ(text->size, 1u << 20);
+}
+
+TEST(Builder, StringsSurviveStripStyleExtraction) {
+    // The .rodata strings must be recoverable by the printable-strings
+    // scan over the whole image (that is what ST_H hashes).
+    const auto image = sample_image();
+    const auto strings = se::printable_strings(image, 5);
+    bool found = false;
+    for (const auto& s : strings) found = found || s == "hello from siren";
+    EXPECT_TRUE(found);
+}

@@ -1,0 +1,181 @@
+// File-spool transport (the XALT-style baseline of paper §5): datagram ->
+// file round trips, sweep semantics, graceful failure on unwritable spools.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/file_spool.hpp"
+
+namespace sn = siren::net;
+namespace fs = std::filesystem;
+
+namespace {
+
+sn::Message sample_message(int pid = 7) {
+    sn::Message m;
+    m.job_id = 99;
+    m.pid = pid;
+    m.exe_hash = "beef";
+    m.host = "nid000001";
+    m.time = 1733900000;
+    m.type = sn::MsgType::kIds;
+    m.content = "pid=7 exe=/usr/bin/true";
+    return m;
+}
+
+class SpoolDir {
+public:
+    SpoolDir() {
+        path_ = (fs::temp_directory_path() /
+                 ("siren_spool_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(counter_++)))
+                    .string();
+        fs::remove_all(path_);
+    }
+    ~SpoolDir() {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+    const std::string& path() const { return path_; }
+
+private:
+    static inline int counter_ = 0;
+    std::string path_;
+};
+
+}  // namespace
+
+TEST(FileSpool, RoundTripThroughFiles) {
+    SpoolDir dir;
+    sn::FileSpoolSender sender(dir.path());
+    for (int i = 0; i < 20; ++i) sender.send(sn::encode(sample_message(i)));
+    EXPECT_EQ(sender.sent(), 20u);
+    EXPECT_EQ(sender.errors(), 0u);
+
+    sn::MessageQueue queue(64);
+    const auto stats = sn::drain_spool(dir.path(), queue);
+    EXPECT_EQ(stats.files_seen, 20u);
+    EXPECT_EQ(stats.delivered, 20u);
+    EXPECT_EQ(stats.malformed, 0u);
+    EXPECT_EQ(queue.size(), 20u);
+
+    const auto first = queue.pop();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->pid, 0) << "name ordering preserves the send sequence";
+    EXPECT_EQ(first->content, "pid=7 exe=/usr/bin/true");
+}
+
+TEST(FileSpool, DrainConsumesFiles) {
+    SpoolDir dir;
+    sn::FileSpoolSender sender(dir.path());
+    sender.send(sn::encode(sample_message()));
+
+    sn::MessageQueue queue(8);
+    sn::drain_spool(dir.path(), queue);
+    const auto second = sn::drain_spool(dir.path(), queue);
+    EXPECT_EQ(second.files_seen, 0u) << "a sweep must delete what it consumed";
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(FileSpool, OneFilePerDatagram) {
+    // The design's defining cost: N datagrams = N filesystem entries (the
+    // paper's "aggregating excessive amounts of small files").
+    SpoolDir dir;
+    sn::FileSpoolSender sender(dir.path());
+    for (int i = 0; i < 37; ++i) sender.send(sn::encode(sample_message(i)));
+
+    std::size_t files = 0;
+    for (const auto& e : fs::directory_iterator(dir.path())) {
+        if (e.is_regular_file()) ++files;
+    }
+    EXPECT_EQ(files, 37u);
+}
+
+TEST(FileSpool, UnwritableSpoolFailsGracefully) {
+    // Spool path points at a *file*, so no datagram can ever be written;
+    // the hooked process must see counted errors, not exceptions.
+    SpoolDir dir;
+    fs::create_directories(dir.path());
+    const std::string blocked = dir.path() + "/blocked";
+    { std::ofstream f(blocked); }
+
+    sn::FileSpoolSender sender(blocked + "/sub");
+    EXPECT_NO_THROW(sender.send(sn::encode(sample_message())));
+    EXPECT_EQ(sender.sent(), 0u);
+    EXPECT_EQ(sender.errors(), 1u);
+}
+
+TEST(FileSpool, MalformedFilesCountedAndRemoved) {
+    SpoolDir dir;
+    sn::FileSpoolSender sender(dir.path());
+    sender.send(sn::encode(sample_message()));
+    {
+        std::ofstream bad(fs::path(dir.path()) / "0-1.msg.tmp");  // foreign extension: ignored
+        bad << "not a SIREN datagram";
+    }
+    {
+        std::ofstream bad(fs::path(dir.path()) / "999-1.msg");
+        bad << "not a SIREN datagram";
+    }
+
+    sn::MessageQueue queue(8);
+    const auto stats = sn::drain_spool(dir.path(), queue);
+    EXPECT_EQ(stats.delivered, 1u);
+    EXPECT_EQ(stats.malformed, 1u);
+    EXPECT_EQ(queue.size(), 1u);
+    // Malformed spool files must not survive to poison every later sweep.
+    EXPECT_FALSE(fs::exists(fs::path(dir.path()) / "999-1.msg"));
+}
+
+TEST(FileSpool, MissingSpoolIsEmptySweep) {
+    sn::MessageQueue queue(8);
+    const auto stats = sn::drain_spool("/nonexistent/siren/spool", queue);
+    EXPECT_EQ(stats.files_seen, 0u);
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(FileSpool, TempFilesInvisibleToDrain) {
+    SpoolDir dir;
+    fs::create_directories(dir.path());
+    {
+        std::ofstream partial(fs::path(dir.path()) / ".5-123.msg");  // mid-write temp
+        partial << "half a datagr";
+    }
+    sn::MessageQueue queue(8);
+    const auto stats = sn::drain_spool(dir.path(), queue);
+    EXPECT_EQ(stats.files_seen, 0u) << "dot-temp files are another sender's in-flight write";
+}
+
+TEST(FileSpool, ConcurrentSendersProduceDistinctFiles) {
+    SpoolDir dir;
+    sn::FileSpoolSender sender(dir.path());
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([&sender, t] {
+            for (int i = 0; i < 50; ++i) sender.send(sn::encode(sample_message(t * 100 + i)));
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(sender.sent(), 200u);
+    EXPECT_EQ(sender.errors(), 0u);
+
+    sn::MessageQueue queue(512);
+    const auto stats = sn::drain_spool(dir.path(), queue);
+    EXPECT_EQ(stats.delivered, 200u) << "atomic seq numbers prevent filename collisions";
+}
+
+TEST(FileSpool, QueueFullCountsDropped) {
+    SpoolDir dir;
+    sn::FileSpoolSender sender(dir.path());
+    for (int i = 0; i < 10; ++i) sender.send(sn::encode(sample_message(i)));
+
+    sn::MessageQueue queue(4);  // deliberately too small
+    const auto stats = sn::drain_spool(dir.path(), queue);
+    EXPECT_EQ(stats.delivered, 4u);
+    EXPECT_EQ(stats.dropped, 6u);
+}

@@ -1,0 +1,183 @@
+// CTPH fuzzy hashing: digest structure, comparison semantics, and the
+// similarity-vs-mutation properties the whole paper rests on.
+
+#include <gtest/gtest.h>
+
+#include "fuzzy/compare.hpp"
+#include "fuzzy/ctph.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sf = siren::fuzzy;
+namespace su = siren::util;
+
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::uint64_t seed, std::size_t n) {
+    su::Rng rng(seed);
+    return rng.bytes(n);
+}
+
+/// Rewrite a contiguous region covering `fraction` of the input. Real file
+/// changes (recompilation, patched functions) are localized; scattering
+/// single-byte flips uniformly would touch every CTPH chunk and is the
+/// adversarial worst case, not the similarity use case.
+std::vector<std::uint8_t> mutate(std::vector<std::uint8_t> data, double fraction,
+                                 std::uint64_t seed) {
+    su::Rng rng(seed);
+    const auto len = static_cast<std::size_t>(static_cast<double>(data.size()) * fraction);
+    if (len == 0 || data.empty()) return data;
+    const std::size_t start = rng.index(data.size() - std::min(len, data.size()) + 1);
+    for (std::size_t i = 0; i < len && start + i < data.size(); ++i) {
+        data[start + i] = static_cast<std::uint8_t>(rng.below(256));
+    }
+    return data;
+}
+
+}  // namespace
+
+TEST(Ctph, DigestShape) {
+    const auto d = sf::fuzzy_hash(random_bytes(1, 20000));
+    EXPECT_GE(d.block_size, sf::kMinBlockSize);
+    EXPECT_EQ(d.block_size % sf::kMinBlockSize, 0u) << "block size is 3 * 2^k";
+    const std::uint64_t pow2 = d.block_size / sf::kMinBlockSize;
+    EXPECT_EQ(pow2 & (pow2 - 1), 0u) << "block size is 3 * 2^k";
+    EXPECT_LE(d.digest1.size(), sf::kSpamsumLength);
+    EXPECT_LE(d.digest2.size(), sf::kSpamsumLength / 2);
+    EXPECT_GE(d.digest1.size(), sf::kSpamsumLength / 2) << "digest should be well filled";
+}
+
+TEST(Ctph, ToStringParseRoundTrip) {
+    const auto d = sf::fuzzy_hash(random_bytes(2, 5000));
+    const auto parsed = sf::FuzzyDigest::parse(d.to_string());
+    EXPECT_EQ(parsed, d);
+}
+
+TEST(Ctph, ParseRejectsMalformed) {
+    EXPECT_THROW(sf::FuzzyDigest::parse("justtext"), su::ParseError);
+    EXPECT_THROW(sf::FuzzyDigest::parse("0:ab:cd"), su::ParseError);
+    EXPECT_THROW(sf::FuzzyDigest::parse("x:ab:cd"), su::ParseError);
+    EXPECT_THROW(sf::FuzzyDigest::parse("3:ab"), su::ParseError);
+    EXPECT_NO_THROW(sf::FuzzyDigest::parse("3::"));
+}
+
+TEST(Ctph, DeterministicDigest) {
+    const auto bytes = random_bytes(3, 40000);
+    EXPECT_EQ(sf::fuzzy_hash(bytes).to_string(), sf::fuzzy_hash(bytes).to_string());
+}
+
+TEST(Ctph, EmptyAndTinyInputs) {
+    EXPECT_NO_THROW(sf::fuzzy_hash(std::string_view{}));
+    EXPECT_NO_THROW(sf::fuzzy_hash(std::string_view{"x"}));
+    const auto d = sf::fuzzy_hash(std::string_view{"hello world"});
+    EXPECT_EQ(d.block_size, sf::kMinBlockSize);
+}
+
+TEST(Ctph, BlockSizeGrowsWithInput) {
+    const auto small = sf::fuzzy_hash(random_bytes(4, 1000));
+    const auto large = sf::fuzzy_hash(random_bytes(4, 1000000));
+    EXPECT_GT(large.block_size, small.block_size);
+}
+
+TEST(Compare, IdenticalInputsScore100) {
+    const auto bytes = random_bytes(5, 30000);
+    EXPECT_EQ(sf::compare(sf::fuzzy_hash(bytes), sf::fuzzy_hash(bytes)), 100);
+}
+
+TEST(Compare, DisjointInputsScoreZero) {
+    const auto a = sf::fuzzy_hash(random_bytes(6, 30000));
+    const auto b = sf::fuzzy_hash(random_bytes(7, 30000));
+    EXPECT_EQ(sf::compare(a, b), 0);
+}
+
+TEST(Compare, IncomparableBlockSizesScoreZero) {
+    const auto a = sf::fuzzy_hash(random_bytes(8, 1000));     // small block size
+    const auto b = sf::fuzzy_hash(random_bytes(8, 4000000));  // much larger
+    EXPECT_EQ(sf::compare(a, b), 0);
+}
+
+TEST(Compare, SymmetricScores) {
+    const auto base = random_bytes(9, 50000);
+    const auto a = sf::fuzzy_hash(base);
+    const auto b = sf::fuzzy_hash(mutate(base, 0.05, 1));
+    EXPECT_EQ(sf::compare(a, b), sf::compare(b, a));
+}
+
+TEST(Compare, StringOverloadToleratesGarbage) {
+    EXPECT_EQ(sf::compare("not a digest", "3:abc:de"), 0);
+    EXPECT_THROW(sf::compare("not a digest", "3:abc:de", /*strict=*/true), su::ParseError);
+}
+
+TEST(Compare, EliminateSequencesCollapsesRuns) {
+    EXPECT_EQ(sf::eliminate_sequences("aaaaaabbbc"), "aaabbbc");
+    EXPECT_EQ(sf::eliminate_sequences("abc"), "abc");
+    EXPECT_EQ(sf::eliminate_sequences(""), "");
+}
+
+TEST(Compare, CommonSubstringGate) {
+    EXPECT_TRUE(sf::has_common_substring("abcdefghij", "XXabcdefgXX"));
+    EXPECT_FALSE(sf::has_common_substring("abcdefg", "hijklmn"));
+    EXPECT_FALSE(sf::has_common_substring("abc", "abc"));  // shorter than 7
+}
+
+TEST(Compare, OneToManyMatchesScalar) {
+    const auto base = random_bytes(10, 60000);
+    const auto probe = sf::fuzzy_hash(base);
+    std::vector<sf::FuzzyDigest> candidates;
+    for (int i = 0; i < 40; ++i) {
+        candidates.push_back(sf::fuzzy_hash(mutate(base, 0.01 * i, 77 + i)));
+    }
+    const auto parallel = sf::compare_one_to_many(probe, candidates, /*threshold=*/8);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        EXPECT_EQ(parallel[i], sf::compare(probe, candidates[i]));
+    }
+}
+
+// --- similarity-vs-mutation sweep (the paper's core property) ---------------
+
+struct MutationCase {
+    double fraction;
+    int min_score;
+    int max_score;
+};
+
+class FuzzyMutationSweep : public ::testing::TestWithParam<MutationCase> {};
+
+TEST_P(FuzzyMutationSweep, ScoreTracksMutationRate) {
+    const auto param = GetParam();
+    const auto base = random_bytes(1234, 100000);
+    const auto probe = sf::fuzzy_hash(base);
+
+    const auto mutated = mutate(base, param.fraction, 4321);
+    const int score = sf::compare(probe, sf::fuzzy_hash(mutated));
+    EXPECT_GE(score, param.min_score) << "fraction=" << param.fraction;
+    EXPECT_LE(score, param.max_score) << "fraction=" << param.fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fractions, FuzzyMutationSweep,
+    ::testing::Values(MutationCase{0.0, 100, 100}, MutationCase{0.005, 85, 100},
+                      MutationCase{0.02, 70, 100}, MutationCase{0.08, 55, 99},
+                      MutationCase{0.5, 20, 90}),
+    [](const ::testing::TestParamInfo<MutationCase>& info) {
+        return "pct" + std::to_string(static_cast<int>(info.param.fraction * 1000));
+    });
+
+class FuzzyMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzyMonotonicity, MoreMutationNeverHelpsMuch) {
+    // Weak monotonicity: across increasing mutation fractions the score
+    // may wiggle a little but must trend down.
+    const auto base = random_bytes(GetParam(), 80000);
+    const auto probe = sf::fuzzy_hash(base);
+    int prev = 100;
+    int violations = 0;
+    for (const double f : {0.01, 0.05, 0.15, 0.40}) {
+        const int score = sf::compare(probe, sf::fuzzy_hash(mutate(base, f, GetParam() + 1)));
+        if (score > prev + 10) ++violations;
+        prev = score;
+    }
+    EXPECT_EQ(violations, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzyMonotonicity, ::testing::Values(11u, 22u, 33u, 44u));

@@ -1,0 +1,130 @@
+// hashing: SHA-1/SHA-256 against FIPS vectors, xxh properties, FNV,
+// rolling hash behaviour.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hashing/fnv.hpp"
+#include "hashing/rolling.hpp"
+#include "hashing/sha1.hpp"
+#include "hashing/sha256.hpp"
+#include "hashing/xxhash.hpp"
+
+namespace sh = siren::hash;
+
+TEST(Sha1, Fips180Vectors) {
+    EXPECT_EQ(sh::Sha1::hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    EXPECT_EQ(sh::Sha1::hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    EXPECT_EQ(sh::Sha1::hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+              "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionA) {
+    sh::Sha1 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    const auto digest = h.finish();
+    std::string hex;
+    for (auto b : digest) {
+        char buf[3];
+        std::snprintf(buf, sizeof buf, "%02x", b);
+        hex += buf;
+    }
+    EXPECT_EQ(hex, "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+    sh::Sha1 h;
+    h.update("he");
+    h.update("llo ");
+    h.update("world");
+    const auto a = h.finish();
+    sh::Sha1 g;
+    g.update("hello world");
+    EXPECT_EQ(a, g.finish());
+}
+
+TEST(Sha256, Fips180Vectors) {
+    EXPECT_EQ(sh::Sha256::hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(sh::Sha256::hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(sh::Sha256::hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, AvalancheEffect) {
+    // One flipped bit changes roughly half the digest bits — the property
+    // (paper §2.1) that makes cryptographic hashes useless for similarity.
+    const std::string a(1000, 'x');
+    std::string b = a;
+    b[500] = 'y';
+    const std::string ha = sh::Sha256::hex(a);
+    const std::string hb = sh::Sha256::hex(b);
+    int differing = 0;
+    for (std::size_t i = 0; i < ha.size(); ++i) differing += ha[i] != hb[i];
+    EXPECT_GT(differing, 20) << "hex digests should differ almost everywhere";
+}
+
+TEST(Xxh64, DeterministicAndSeeded) {
+    EXPECT_EQ(sh::xxh64("hello"), sh::xxh64("hello"));
+    EXPECT_NE(sh::xxh64("hello"), sh::xxh64("hellp"));
+    EXPECT_NE(sh::xxh64("hello", 1), sh::xxh64("hello", 2));
+}
+
+TEST(Xxh64, CoversAllTailLengths) {
+    // Exercise every remainder path (>=32 block loop, 8/4/1-byte tails).
+    std::string s;
+    std::set<std::uint64_t> seen;
+    for (int len = 0; len <= 70; ++len) {
+        seen.insert(sh::xxh64(s));
+        s += static_cast<char>('a' + len % 26);
+    }
+    EXPECT_EQ(seen.size(), 71u) << "every prefix should hash differently";
+}
+
+TEST(Xxh128, HexFormatting) {
+    const auto d = sh::xxh128("path/to/exe");
+    EXPECT_EQ(d.hex().size(), 32u);
+    EXPECT_EQ(d, sh::xxh128("path/to/exe"));
+    EXPECT_NE(d.hex(), sh::xxh128("path/to/exf").hex());
+}
+
+TEST(Xxh128, WordsAreDecorrelated) {
+    const auto d = sh::xxh128("abc");
+    EXPECT_NE(d.hi, d.lo);
+}
+
+TEST(Fnv, KnownBehaviour) {
+    // FNV-1a 32-bit of "" is the offset basis.
+    EXPECT_EQ(sh::fnv1a32(""), sh::kFnv32Init);
+    EXPECT_NE(sh::fnv1a32("a"), sh::fnv1a32("b"));
+    EXPECT_EQ(sh::fnv1a64("chongo"), sh::fnv1a64("chongo"));
+    // The spamsum step must match h * prime ^ c semantics.
+    EXPECT_EQ(sh::fnv32_step(1, 0), sh::kFnv32Prime);
+}
+
+TEST(Rolling, WindowForgetsOldBytes) {
+    // Two streams that agree on the last kRollingWindow bytes produce the
+    // same hash — the property that makes chunk boundaries realign after
+    // an edit.
+    sh::RollingHash a, b;
+    for (char c : std::string("XXXXXXXABCDEFG")) a.update(static_cast<std::uint8_t>(c));
+    for (char c : std::string("YYYYYYYABCDEFG")) b.update(static_cast<std::uint8_t>(c));
+    EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Rolling, SensitiveWithinWindow) {
+    sh::RollingHash a, b;
+    for (char c : std::string("ABCDEFG")) a.update(static_cast<std::uint8_t>(c));
+    for (char c : std::string("ABCDEFH")) b.update(static_cast<std::uint8_t>(c));
+    EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Rolling, ResetRestoresInitialState) {
+    sh::RollingHash h;
+    h.update(42);
+    h.reset();
+    EXPECT_EQ(h.value(), 0u);
+}

@@ -1,0 +1,319 @@
+// Wire protocol: codec round trips, chunk/reassembly, queue semantics,
+// lossy channel determinism, and real UDP loopback.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/channel.hpp"
+#include "net/chunker.hpp"
+#include "net/codec.hpp"
+#include "net/message.hpp"
+#include "net/udp.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sn = siren::net;
+namespace su = siren::util;
+
+namespace {
+
+sn::Message sample_message() {
+    sn::Message m;
+    m.job_id = 1000042;
+    m.step_id = 3;
+    m.pid = 4242;
+    m.exe_hash = "00ff00ff00ff00ff00ff00ff00ff00ff";
+    m.host = "nid000123";
+    m.time = 1733900000;
+    m.layer = sn::Layer::kSelf;
+    m.type = sn::MsgType::kObjects;
+    m.content = "/lib64/libc.so.6\n/opt/siren/lib/siren.so";
+    return m;
+}
+
+}  // namespace
+
+TEST(Codec, RoundTrip) {
+    const sn::Message m = sample_message();
+    EXPECT_EQ(sn::decode(sn::encode(m)), m);
+}
+
+TEST(Codec, RoundTripWithNastyContent) {
+    sn::Message m = sample_message();
+    m.content = "pipes| and \\ slashes \n newlines \t tabs ||";
+    m.host = "host|with|pipes";
+    EXPECT_EQ(sn::decode(sn::encode(m)), m);
+}
+
+TEST(Codec, AllTypesAndLayersRoundTrip) {
+    for (int t = 0; t <= static_cast<int>(sn::MsgType::kMemMapHash); ++t) {
+        sn::Message m = sample_message();
+        m.type = static_cast<sn::MsgType>(t);
+        m.layer = t % 2 == 0 ? sn::Layer::kSelf : sn::Layer::kScript;
+        EXPECT_EQ(sn::decode(sn::encode(m)), m);
+    }
+}
+
+TEST(Codec, RejectsMalformedDatagrams) {
+    EXPECT_THROW(sn::decode(""), su::ParseError);
+    EXPECT_THROW(sn::decode("GARBAGE|JOBID=1"), su::ParseError);
+    EXPECT_THROW(sn::decode("SIREN1|JOBID=1"), su::ParseError);  // missing fields
+    EXPECT_THROW(sn::decode("SIREN1|JOBID=x|STEPID=0|PID=1|HASH=h|HOST=h|TIME=0|LAYER=SELF|"
+                            "TYPE=IDS|CONTENT=c"),
+                 su::ParseError);
+    EXPECT_THROW(sn::decode("SIREN1|JOBID=1|STEPID=0|PID=1|HASH=h|HOST=h|TIME=0|LAYER=BAD|"
+                            "TYPE=IDS|CONTENT=c"),
+                 su::ParseError);
+}
+
+TEST(Codec, IgnoresUnknownFieldsForForwardCompat) {
+    const std::string wire = sn::encode(sample_message()) + "|FUTURE=stuff";
+    EXPECT_EQ(sn::decode(wire), sample_message());
+}
+
+TEST(Chunker, SmallContentSingleChunk) {
+    const auto chunks = sn::chunk_content(sample_message(), "tiny");
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0].seq, 0u);
+    EXPECT_EQ(chunks[0].total, 1u);
+    EXPECT_EQ(chunks[0].content, "tiny");
+}
+
+TEST(Chunker, EmptyContentStillSendsOneChunk) {
+    const auto chunks = sn::chunk_content(sample_message(), "");
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0].content, "");
+}
+
+TEST(Chunker, LargeContentSplitsAndFits) {
+    const std::string content(20000, 'x');
+    const auto chunks = sn::chunk_content(sample_message(), content, 1400);
+    EXPECT_GT(chunks.size(), 10u);
+    std::string reassembled;
+    for (const auto& c : chunks) {
+        EXPECT_LE(sn::encode(c).size(), 1400u);
+        reassembled += c.content;
+    }
+    EXPECT_EQ(reassembled, content);
+}
+
+TEST(Chunker, ReassemblerMergesInOrder) {
+    const std::string content(5000, 'a');
+    auto chunks = sn::chunk_content(sample_message(), content, 1400);
+    // Deliver out of order.
+    std::rotate(chunks.begin(), chunks.begin() + 1, chunks.end());
+
+    sn::Reassembler reassembler;
+    for (const auto& c : chunks) reassembler.add(c);
+    const auto assembled = reassembler.assemble();
+    ASSERT_EQ(assembled.size(), 1u);
+    EXPECT_TRUE(assembled[0].complete());
+    EXPECT_EQ(assembled[0].merged.content, content);
+}
+
+TEST(Chunker, ReassemblerReportsMissingChunks) {
+    const std::string content(5000, 'b');
+    auto chunks = sn::chunk_content(sample_message(), content, 1400);
+    ASSERT_GT(chunks.size(), 2u);
+    chunks.erase(chunks.begin() + 1);  // drop one
+
+    sn::Reassembler reassembler;
+    for (const auto& c : chunks) reassembler.add(c);
+    const auto assembled = reassembler.assemble();
+    ASSERT_EQ(assembled.size(), 1u);
+    EXPECT_FALSE(assembled[0].complete());
+    EXPECT_LT(assembled[0].merged.content.size(), content.size());
+}
+
+TEST(Chunker, DuplicateChunksTolerated) {
+    const auto chunks = sn::chunk_content(sample_message(), "abc");
+    sn::Reassembler reassembler;
+    reassembler.add(chunks[0]);
+    reassembler.add(chunks[0]);
+    const auto assembled = reassembler.assemble();
+    ASSERT_EQ(assembled.size(), 1u);
+    EXPECT_EQ(assembled[0].merged.content, "abc");
+}
+
+TEST(Chunker, DistinctTypesReassembleIndependently) {
+    sn::Message a = sample_message();
+    a.type = sn::MsgType::kModules;
+    sn::Message b = sample_message();
+    b.type = sn::MsgType::kObjects;
+
+    sn::Reassembler reassembler;
+    for (const auto& c : sn::chunk_content(a, "modules")) reassembler.add(c);
+    for (const auto& c : sn::chunk_content(b, "objects")) reassembler.add(c);
+    EXPECT_EQ(reassembler.assemble().size(), 2u);
+}
+
+TEST(Queue, PushPopFifo) {
+    sn::MessageQueue queue(8);
+    sn::Message m = sample_message();
+    m.pid = 1;
+    EXPECT_TRUE(queue.push(m));
+    m.pid = 2;
+    EXPECT_TRUE(queue.push(m));
+    EXPECT_EQ(queue.pop()->pid, 1);
+    EXPECT_EQ(queue.pop()->pid, 2);
+}
+
+TEST(Queue, DropsWhenFull) {
+    sn::MessageQueue queue(2);
+    EXPECT_TRUE(queue.push(sample_message()));
+    EXPECT_TRUE(queue.push(sample_message()));
+    EXPECT_FALSE(queue.push(sample_message()));
+    EXPECT_EQ(queue.dropped(), 1u);
+}
+
+TEST(Queue, CloseDrainsThenEnds) {
+    sn::MessageQueue queue(8);
+    queue.push(sample_message());
+    queue.close();
+    EXPECT_TRUE(queue.pop().has_value());
+    EXPECT_FALSE(queue.pop().has_value());
+    EXPECT_FALSE(queue.push(sample_message()));
+}
+
+TEST(Channel, DeliversWithoutLoss) {
+    sn::MessageQueue queue(1024);
+    sn::InMemoryChannel channel(queue, 0.0, 1);
+    for (int i = 0; i < 100; ++i) channel.send(sn::encode(sample_message()));
+    EXPECT_EQ(channel.stats().delivered.load(), 100u);
+    EXPECT_EQ(channel.stats().lost.load(), 0u);
+    EXPECT_EQ(queue.size(), 100u);
+}
+
+TEST(Channel, LossIsDeterministicPerSeed) {
+    auto run = [](std::uint64_t seed) {
+        sn::MessageQueue queue(1 << 16);
+        sn::InMemoryChannel channel(queue, 0.25, seed);
+        for (int i = 0; i < 2000; ++i) channel.send(sn::encode(sample_message()));
+        return channel.stats().lost.load();
+    };
+    EXPECT_EQ(run(5), run(5));
+    EXPECT_NE(run(5), run(6));
+    const auto lost = run(5);
+    EXPECT_GT(lost, 300u);
+    EXPECT_LT(lost, 700u);
+}
+
+TEST(Channel, CountsMalformedInsteadOfThrowing) {
+    sn::MessageQueue queue(16);
+    sn::InMemoryChannel channel(queue, 0.0, 1);
+    channel.send("complete garbage");
+    EXPECT_EQ(channel.stats().malformed.load(), 1u);
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(Udp, LoopbackSendReceive) {
+    sn::MessageQueue queue(1024);
+    sn::UdpReceiver receiver(queue, 0);  // ephemeral port
+    ASSERT_GT(receiver.port(), 0);
+
+    sn::UdpSender sender("127.0.0.1", receiver.port());
+    const sn::Message m = sample_message();
+    for (int i = 0; i < 50; ++i) sender.send(sn::encode(m));
+
+    // UDP is lossy even on loopback in theory; expect most to arrive.
+    for (int spin = 0; spin < 100 && queue.size() < 50; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(queue.size(), 45u);
+    auto received = queue.pop();
+    ASSERT_TRUE(received.has_value());
+    EXPECT_EQ(*received, m);
+    receiver.stop();
+}
+
+TEST(Udp, SenderNeverThrowsOnSend) {
+    // Sending to a port nobody listens on must not throw (fire and forget).
+    sn::UdpSender sender("127.0.0.1", 1);  // almost certainly closed
+    EXPECT_NO_THROW(sender.send("SIREN1|whatever"));
+}
+
+TEST(Udp, StopReturnsPromptlyWithNoTraffic) {
+    // Regression: the receiver thread waits with poll(), not SO_RCVTIMEO
+    // (sandboxed kernels ignore the socket option, leaving recv() blocked
+    // forever and stop() wedged on the join).
+    sn::MessageQueue queue(64);
+    sn::UdpReceiver receiver(queue, 0);
+    ASSERT_GT(receiver.port(), 0);
+
+    const auto start = std::chrono::steady_clock::now();
+    receiver.stop();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 2000)
+        << "stop() must return within a few poll slices even with zero traffic";
+}
+
+TEST(Udp, StopIsIdempotent) {
+    sn::MessageQueue queue(64);
+    sn::UdpReceiver receiver(queue, 0);
+    receiver.stop();
+    EXPECT_NO_THROW(receiver.stop());  // destructor will call it again, too
+}
+
+TEST(Message, ProcessKeyDistinguishesExecChains) {
+    sn::Message a = sample_message();
+    sn::Message b = sample_message();
+    b.exe_hash = "11111111111111111111111111111111";  // same PID, new exe
+    EXPECT_NE(a.process_key(), b.process_key());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized round-trip property sweep: arbitrary binary-ish content must
+// survive encode -> decode and chunk -> shuffle -> reassemble unchanged.
+
+class WireFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzzSweep, EncodeDecodeAndChunkReassembleRoundTrip) {
+    siren::util::Rng rng(GetParam());
+
+    for (int round = 0; round < 25; ++round) {
+        sn::Message m;
+        m.job_id = rng.next();
+        m.step_id = static_cast<std::uint32_t>(rng.below(1 << 20));
+        m.pid = static_cast<std::int64_t>(rng.below(1 << 22));
+        m.exe_hash = rng.ident(32);
+        m.host = "nid" + rng.ident(6);
+        m.time = static_cast<std::int64_t>(1733900000 + rng.below(1000000));
+        m.layer = rng.chance(0.5) ? sn::Layer::kSelf : sn::Layer::kScript;
+        m.type = static_cast<sn::MsgType>(rng.below(14));
+
+        // Content with every byte class the collector actually emits:
+        // newlines (object lists), separators, and high/low bytes from
+        // binary-derived strings.
+        std::string content;
+        const std::size_t len = rng.below(6000);
+        for (std::size_t i = 0; i < len; ++i) {
+            content += static_cast<char>(1 + rng.below(255));  // no NUL
+        }
+        m.content = content;
+
+        // Property 1: codec round trip.
+        ASSERT_EQ(sn::decode(sn::encode(m)), m) << "seed " << GetParam();
+
+        // Property 2: chunk -> shuffle -> reassemble, random chunk budget.
+        const std::size_t budget = 600 + rng.below(1400);
+        auto chunks = sn::chunk_content(m, m.content, budget);
+        for (const auto& c : chunks) {
+            ASSERT_LE(sn::encode(c).size(), budget) << "chunk exceeds datagram budget";
+        }
+        for (std::size_t i = chunks.size(); i > 1; --i) {
+            std::swap(chunks[i - 1], chunks[rng.index(i)]);
+        }
+        sn::Reassembler reassembler;
+        for (const auto& c : chunks) reassembler.add(c);
+        const auto assembled = reassembler.assemble();
+        ASSERT_EQ(assembled.size(), 1u);
+        ASSERT_TRUE(assembled[0].complete());
+        EXPECT_EQ(assembled[0].merged.content, m.content);
+        EXPECT_EQ(assembled[0].merged.job_id, m.job_id);
+        EXPECT_EQ(assembled[0].merged.type, m.type);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzSweep,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u));

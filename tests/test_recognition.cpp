@@ -1,0 +1,126 @@
+// Campaign-scale recognition: the registry fed by consolidated campaign
+// aggregates (analytics::recognition_report). Integration across workload
+// -> collect -> consolidate -> analytics -> recognize.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "analytics/recognition.hpp"
+#include "core/siren.hpp"
+
+namespace sa = siren::analytics;
+
+namespace {
+
+/// One consolidated mini campaign shared by all tests in this file (the
+/// pipeline run costs ~100 ms; the report assertions are read-only).
+const siren::CampaignResult& mini_result() {
+    static const siren::CampaignResult result = [] {
+        siren::FrameworkOptions options;
+        options.scale = 1.0;
+        options.seed = 2024;
+        return run_campaign(siren::workload::mini_campaign(), options);
+    }();
+    return result;
+}
+
+sa::RecognitionReport mini_report() {
+    return sa::recognition_report(mini_result().aggregates, sa::Labeler::default_rules(),
+                                  {.match_threshold = 55});
+}
+
+}  // namespace
+
+TEST(Recognition, CoversEveryUserBinary) {
+    const auto report = mini_report();
+    std::size_t digests = 0;
+    for (const auto& [path, exe] : mini_result().aggregates.execs) {
+        if (exe.category == siren::consolidate::Category::kUser) {
+            digests += exe.file_hashes.size();
+        }
+    }
+    EXPECT_EQ(report.sightings, digests) << "every (path, FILE_H) pair must be observed";
+    EXPECT_EQ(report.sightings, report.recognized + report.families_founded);
+    std::size_t in_rows = 0;
+    for (const auto& row : report.rows) in_rows += row.distinct_binaries;
+    EXPECT_EQ(in_rows, report.sightings);
+}
+
+TEST(Recognition, RepeatedExecutionsAreRecognized) {
+    // The mini campaign's icon lineage has multiple builds; after the first
+    // founds the family the rest must be recognized, so the recognition
+    // rate is strictly positive and families << sightings.
+    const auto report = mini_report();
+    EXPECT_GT(report.recognized, 0u);
+    EXPECT_GT(report.recognition_rate(), 0.3);
+    EXPECT_LT(report.rows.size(), report.sightings);
+}
+
+TEST(Recognition, UnknownBinariesJoinTheirLabeledFamily) {
+    // The campaign plants a.out copies of icon builds (labeler: UNKNOWN).
+    // Similarity must fold them into the icon family, and the report must
+    // count the family as a beyond-the-regex-baseline identification.
+    const auto report = mini_report();
+    const auto icon = std::find_if(report.rows.begin(), report.rows.end(),
+                                   [](const sa::RecognitionRow& r) { return r.name == "icon"; });
+    ASSERT_NE(icon, report.rows.end()) << "icon family must exist and be named";
+    EXPECT_FALSE(icon->anonymous);
+    EXPECT_GE(icon->paths, 2u) << "both the named builds and the a.out copies map to icon";
+    EXPECT_GE(report.anonymous_named, 1u);
+}
+
+TEST(Recognition, RowsSortedByDistinctBinariesDescending) {
+    const auto report = mini_report();
+    for (std::size_t i = 0; i + 1 < report.rows.size(); ++i) {
+        EXPECT_GE(report.rows[i].distinct_binaries, report.rows[i + 1].distinct_binaries);
+    }
+}
+
+TEST(Recognition, ProcessesAttributedOncePerPath) {
+    const auto report = mini_report();
+    std::uint64_t attributed = 0;
+    std::uint64_t total_user = 0;
+    std::size_t user_paths = 0;
+    for (const auto& row : report.rows) attributed += row.processes;
+    for (const auto& [path, exe] : mini_result().aggregates.execs) {
+        if (exe.category == siren::consolidate::Category::kUser) {
+            total_user += exe.processes;
+            ++user_paths;
+        }
+    }
+    EXPECT_EQ(attributed, total_user) << "no double counting across families";
+    std::size_t paths_in_rows = 0;
+    for (const auto& row : report.rows) paths_in_rows += row.paths;
+    EXPECT_EQ(paths_in_rows, user_paths);
+}
+
+TEST(Recognition, DeterministicAcrossRuns) {
+    const auto a = mini_report();
+    const auto b = mini_report();
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_EQ(a.rows[i].name, b.rows[i].name);
+        EXPECT_EQ(a.rows[i].distinct_binaries, b.rows[i].distinct_binaries);
+        EXPECT_EQ(a.rows[i].processes, b.rows[i].processes);
+    }
+    EXPECT_EQ(a.recognized, b.recognized);
+    EXPECT_EQ(a.anonymous_named, b.anonymous_named);
+}
+
+TEST(Recognition, ThresholdGovernsFamilyGranularity) {
+    // An impossible threshold isolates every sighting; a permissive one
+    // merges lineages: family count must be monotone in the threshold.
+    const auto& agg = mini_result().aggregates;
+    const auto labeler = sa::Labeler::default_rules();
+    std::size_t prev = 0;
+    for (const int threshold : {5, 55, 101}) {
+        const auto report =
+            sa::recognition_report(agg, labeler, {.match_threshold = threshold});
+        EXPECT_GE(report.rows.size(), prev) << "threshold " << threshold;
+        prev = report.rows.size();
+    }
+    const auto isolate = sa::recognition_report(agg, labeler, {.match_threshold = 101});
+    EXPECT_EQ(isolate.rows.size(), isolate.sightings) << "threshold > 100 isolates everything";
+}

@@ -1,0 +1,523 @@
+// Recognition layer: n-gram similarity index (no false negatives vs brute
+// force), union-find clustering, and the incremental software registry.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzzy/fuzzy.hpp"
+#include "recognize/recognize.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sr = siren::recognize;
+namespace sf = siren::fuzzy;
+
+namespace {
+
+/// Overwrite a contiguous window with fresh random bytes. This is the
+/// realistic binary-drift model: a rebuild changes some function bodies
+/// and leaves the rest of the byte stream intact, so CTPH's chunk sequence
+/// survives outside the window. (Uniformly scattered point mutations would
+/// touch almost every chunk and zero the score — that is TLSH territory.)
+std::vector<std::uint8_t> mutate_region(std::vector<std::uint8_t> data, std::size_t start,
+                                        std::size_t len, std::uint64_t seed) {
+    siren::util::Rng rng(seed);
+    for (std::size_t i = start; i < std::min(start + len, data.size()); ++i) {
+        data[i] = static_cast<std::uint8_t>(rng.below(256));
+    }
+    return data;
+}
+
+/// A synthetic "software corpus": `families` base blobs, each with
+/// `variants` localized mutations — the drift pattern of rebuilt HPC codes.
+struct Corpus {
+    std::vector<sf::FuzzyDigest> digests;
+    std::vector<std::size_t> family_of;  ///< ground truth per digest
+};
+
+Corpus make_corpus(std::size_t families, std::size_t variants, std::size_t blob_size,
+                   std::uint64_t seed, double mutation_rate = 0.01) {
+    siren::util::Rng rng(seed);
+    Corpus corpus;
+    for (std::size_t f = 0; f < families; ++f) {
+        const std::vector<std::uint8_t> base = rng.bytes(blob_size);
+        for (std::size_t v = 0; v < variants; ++v) {
+            std::vector<std::uint8_t> blob = base;
+            if (v > 0) {
+                const auto window = static_cast<std::size_t>(
+                    static_cast<double>(blob.size()) * mutation_rate * static_cast<double>(v));
+                blob = mutate_region(std::move(blob), (v * blob_size) / (3 * variants),
+                                     std::max<std::size_t>(window, 16), seed ^ (f * 131 + v));
+            }
+            corpus.digests.push_back(sf::fuzzy_hash(blob));
+            corpus.family_of.push_back(f);
+        }
+    }
+    return corpus;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SimilarityIndex
+
+TEST(SimilarityIndex, EmptyIndexReturnsNothing) {
+    sr::SimilarityIndex index;
+    EXPECT_EQ(index.size(), 0u);
+    EXPECT_TRUE(index.query(sf::fuzzy_hash("some probe data, long enough to hash")).empty());
+}
+
+TEST(SimilarityIndex, FindsExactDuplicate) {
+    sr::SimilarityIndex index;
+    siren::util::Rng rng(1);
+    const auto blob = rng.bytes(4096);
+    const auto id = index.add(sf::fuzzy_hash(blob));
+    index.add(sf::fuzzy_hash(rng.bytes(4096)));  // decoy
+
+    const auto hits = index.query(sf::fuzzy_hash(blob));
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits.front().id, id);
+    EXPECT_EQ(hits.front().score, 100);
+}
+
+TEST(SimilarityIndex, IdsAreDenseInsertionOrder) {
+    sr::SimilarityIndex index;
+    siren::util::Rng rng(2);
+    for (std::uint32_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(index.add(sf::fuzzy_hash(rng.bytes(512))), i);
+    }
+    EXPECT_EQ(index.size(), 10u);
+}
+
+TEST(SimilarityIndex, MinScoreFiltersAndTopNTruncates) {
+    const Corpus corpus = make_corpus(1, 8, 8192, 3);
+    sr::SimilarityIndex index;
+    for (const auto& d : corpus.digests) index.add(d);
+
+    const auto all = index.query(corpus.digests[0], 1, 0);
+    const auto strict = index.query(corpus.digests[0], 90, 0);
+    EXPECT_LE(strict.size(), all.size());
+    for (const auto& m : strict) EXPECT_GE(m.score, 90);
+
+    const auto top3 = index.query(corpus.digests[0], 1, 3);
+    ASSERT_EQ(top3.size(), 3u);
+    EXPECT_EQ(top3.front().score, 100);  // self
+    EXPECT_GE(top3[0].score, top3[1].score);
+    EXPECT_GE(top3[1].score, top3[2].score);
+}
+
+TEST(SimilarityIndex, ResultsOrderedBestFirstTiesById) {
+    sr::SimilarityIndex index;
+    siren::util::Rng rng(4);
+    const auto blob = rng.bytes(4096);
+    index.add(sf::fuzzy_hash(blob));
+    index.add(sf::fuzzy_hash(blob));  // identical twin: tie at 100
+    const auto hits = index.query(sf::fuzzy_hash(blob));
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].score, 100);
+    EXPECT_EQ(hits[1].score, 100);
+    EXPECT_LT(hits[0].id, hits[1].id);
+}
+
+// The load-bearing property: the gram prefilter never loses a match. Every
+// digest that brute force scores >= min_score must come back from the
+// indexed query with the same score.
+class IndexRecallSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndexRecallSweep, IndexedQueryEqualsBruteForce) {
+    const std::uint64_t seed = GetParam();
+    const Corpus corpus = make_corpus(8, 6, 4096, seed, 0.02);
+    sr::SimilarityIndex index;
+    for (const auto& d : corpus.digests) index.add(d);
+
+    for (std::size_t probe = 0; probe < corpus.digests.size(); ++probe) {
+        const auto indexed = index.query(corpus.digests[probe], 1, 0);
+        const auto brute = index.query_bruteforce(corpus.digests[probe], 1, 0);
+        ASSERT_EQ(indexed, brute) << "recall mismatch for probe " << probe << " seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexRecallSweep, ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(SimilarityIndex, PrunesVersusBruteForce) {
+    // The point of the index: on a corpus of unrelated blobs the candidate
+    // set (and thus posting fan-out) must stay tiny. We check the weaker
+    // observable contract: queries remain exact while posting keys scale
+    // with corpus size (the structure exists and is populated).
+    sr::SimilarityIndex index;
+    siren::util::Rng rng(6);
+    for (int i = 0; i < 200; ++i) index.add(sf::fuzzy_hash(rng.bytes(2048)));
+    EXPECT_GT(index.posting_keys(), 200u * 10);  // ~58 grams x 2 digests each
+    const auto probe = sf::fuzzy_hash(rng.bytes(2048));
+    EXPECT_EQ(index.query(probe, 1, 0), index.query_bruteforce(probe, 1, 0));
+}
+
+// ---------------------------------------------------------------------------
+// UnionFind
+
+TEST(UnionFind, StartsFullyDisjoint) {
+    sr::UnionFind uf(5);
+    EXPECT_EQ(uf.components(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+    sr::UnionFind uf(6);
+    EXPECT_TRUE(uf.unite(0, 1));
+    EXPECT_TRUE(uf.unite(2, 3));
+    EXPECT_FALSE(uf.unite(1, 0)) << "already joined";
+    EXPECT_EQ(uf.components(), 4u);
+    EXPECT_TRUE(uf.unite(0, 2));
+    EXPECT_EQ(uf.find(3), uf.find(1));
+    EXPECT_EQ(uf.components(), 3u);
+}
+
+TEST(UnionFind, TransitivityAcrossChains) {
+    sr::UnionFind uf(100);
+    for (std::size_t i = 0; i + 1 < 100; ++i) uf.unite(i, i + 1);
+    EXPECT_EQ(uf.components(), 1u);
+    EXPECT_EQ(uf.find(0), uf.find(99));
+}
+
+// ---------------------------------------------------------------------------
+// cluster_digests
+
+TEST(Cluster, EmptyAndSingletonInputs) {
+    EXPECT_TRUE(sr::cluster_digests({}).empty());
+    const auto one = sr::cluster_digests({sf::fuzzy_hash("only one blob, long enough")});
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one.front(), std::vector<sr::DigestId>{0});
+}
+
+TEST(Cluster, RecoversPlantedFamilies) {
+    const Corpus corpus = make_corpus(5, 4, 8192, 7, 0.005);
+    const auto clusters = sr::cluster_digests(corpus.digests, {.threshold = 40});
+
+    // Every cluster must be family-pure (no two ground-truth families ever
+    // merge: unrelated random blobs score 0), and the 5 big clusters must
+    // each contain one family's variants.
+    std::size_t clustered = 0;
+    for (const auto& cluster : clusters) {
+        std::set<std::size_t> families;
+        for (const auto id : cluster) families.insert(corpus.family_of[id]);
+        EXPECT_EQ(families.size(), 1u) << "cluster mixes ground-truth families";
+        clustered += cluster.size();
+    }
+    EXPECT_EQ(clustered, corpus.digests.size()) << "clusters must partition the corpus";
+    EXPECT_GE(clusters.front().size(), 2u) << "variants of one family must group";
+    EXPECT_LE(clusters.size(), corpus.digests.size());
+}
+
+TEST(Cluster, ThresholdMonotonicity) {
+    // Raising the threshold removes edges, so clusters can only split:
+    // the cluster count is non-decreasing in the threshold.
+    const Corpus corpus = make_corpus(4, 5, 4096, 9, 0.02);
+    std::size_t prev = 0;
+    for (const int threshold : {1, 25, 50, 75, 100}) {
+        const auto clusters = sr::cluster_digests(corpus.digests, {.threshold = threshold});
+        EXPECT_GE(clusters.size(), prev) << "threshold " << threshold;
+        prev = clusters.size();
+    }
+}
+
+TEST(Cluster, ParallelMatchesSerial) {
+    const Corpus corpus = make_corpus(6, 5, 4096, 13, 0.01);
+    siren::util::ThreadPool pool(4);
+    const auto serial = sr::cluster_digests(corpus.digests, {.threshold = 50});
+    const auto parallel = sr::cluster_digests(corpus.digests, {.threshold = 50, .pool = &pool});
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(Cluster, OrderedBySizeThenSmallestMember) {
+    const Corpus corpus = make_corpus(3, 6, 8192, 17, 0.004);
+    const auto clusters = sr::cluster_digests(corpus.digests, {.threshold = 40});
+    for (std::size_t i = 0; i + 1 < clusters.size(); ++i) {
+        EXPECT_GE(clusters[i].size(), clusters[i + 1].size());
+        if (clusters[i].size() == clusters[i + 1].size()) {
+            EXPECT_LT(clusters[i].front(), clusters[i + 1].front());
+        }
+    }
+    for (const auto& cluster : clusters) {
+        EXPECT_TRUE(std::is_sorted(cluster.begin(), cluster.end()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(Registry, FirstSightingFoundsFamily) {
+    sr::Registry reg;
+    siren::util::Rng rng(19);
+    const auto obs = reg.observe(sf::fuzzy_hash(rng.bytes(4096)), "GROMACS");
+    EXPECT_TRUE(obs.new_family);
+    EXPECT_TRUE(obs.new_exemplar);
+    EXPECT_EQ(obs.best_score, 0);
+    EXPECT_EQ(reg.family_count(), 1u);
+    EXPECT_EQ(reg.family(obs.family).name, "GROMACS");
+    EXPECT_EQ(reg.family(obs.family).sightings, 1u);
+}
+
+TEST(Registry, RepeatSightingIsRecognized) {
+    sr::Registry reg;
+    siren::util::Rng rng(23);
+    const auto blob = rng.bytes(4096);
+    const auto first = reg.observe(sf::fuzzy_hash(blob), "LAMMPS");
+    const auto again = reg.observe(sf::fuzzy_hash(blob));
+    EXPECT_FALSE(again.new_family);
+    EXPECT_EQ(again.family, first.family);
+    EXPECT_EQ(again.best_score, 100);
+    EXPECT_FALSE(again.new_exemplar) << "an identical sighting adds no information";
+    EXPECT_EQ(reg.family(first.family).sightings, 2u);
+    EXPECT_EQ(reg.family(first.family).exemplars, 1u);
+}
+
+TEST(Registry, DriftedVariantJoinsFamilyAndExtendsIt) {
+    sr::Registry reg({.match_threshold = 40});
+    siren::util::Rng rng(29);
+    auto blob = rng.bytes(8192);
+    const auto first = reg.observe(sf::fuzzy_hash(blob), "icon");
+
+    // Localized drift (one rewritten region): same family, and (scoring
+    // below exemplar_add_below) retained as a second exemplar.
+    blob = mutate_region(std::move(blob), 1000, 600, 30);
+    const auto drifted = reg.observe(sf::fuzzy_hash(blob));
+    EXPECT_EQ(drifted.family, first.family);
+    EXPECT_FALSE(drifted.new_family);
+    EXPECT_GE(drifted.best_score, 40);
+    EXPECT_TRUE(drifted.new_exemplar);
+    EXPECT_EQ(reg.family(first.family).exemplars, 2u);
+}
+
+TEST(Registry, UnrelatedSightingFoundsSecondFamily) {
+    sr::Registry reg;
+    siren::util::Rng rng(31);
+    const auto a = reg.observe(sf::fuzzy_hash(rng.bytes(4096)), "amber");
+    const auto b = reg.observe(sf::fuzzy_hash(rng.bytes(4096)), "janko");
+    EXPECT_NE(a.family, b.family);
+    EXPECT_EQ(reg.family_count(), 2u);
+    EXPECT_EQ(reg.total_sightings(), 2u);
+}
+
+TEST(Registry, AnonymousFamilyIsNamedByLaterLabeledSighting) {
+    // The paper's Table 7 flow: an a.out founds an anonymous family; when a
+    // labeled icon build lands in the same family, the family takes the name.
+    sr::Registry reg;
+    siren::util::Rng rng(37);
+    const auto blob = rng.bytes(8192);
+    const auto anon = reg.observe(sf::fuzzy_hash(blob));  // a.out
+    EXPECT_EQ(reg.family(anon.family).name, "family-0");
+    const auto labeled = reg.observe(sf::fuzzy_hash(blob), "icon");
+    EXPECT_EQ(labeled.family, anon.family);
+    EXPECT_EQ(reg.family(anon.family).name, "icon");
+}
+
+TEST(Registry, BestMatchDoesNotMutate) {
+    sr::Registry reg;
+    siren::util::Rng rng(41);
+    const auto blob = rng.bytes(4096);
+    reg.observe(sf::fuzzy_hash(blob), "gzip");
+    const auto match = reg.best_match(sf::fuzzy_hash(blob));
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->best_score, 100);
+    EXPECT_EQ(reg.total_sightings(), 1u) << "best_match must not count as a sighting";
+    EXPECT_FALSE(reg.best_match(sf::fuzzy_hash(rng.bytes(4096))).has_value());
+}
+
+TEST(Registry, ExemplarBudgetIsRespected) {
+    sr::Registry reg({.match_threshold = 20, .exemplar_add_below = 101,
+                      .max_exemplars_per_family = 3});
+    siren::util::Rng rng(43);
+    auto blob = rng.bytes(8192);
+    reg.observe(sf::fuzzy_hash(blob), "radrad");
+    for (int round = 0; round < 6; ++round) {
+        blob = mutate_region(std::move(blob), 500 + 900 * static_cast<std::size_t>(round), 120,
+                             44 + static_cast<std::uint64_t>(round));
+        reg.observe(sf::fuzzy_hash(blob));
+    }
+    ASSERT_EQ(reg.family_count(), 1u);
+    EXPECT_LE(reg.family(0).exemplars, 3u);
+}
+
+TEST(Registry, RenameAndSanitization) {
+    sr::Registry reg;
+    siren::util::Rng rng(47);
+    const auto obs = reg.observe(sf::fuzzy_hash(rng.bytes(2048)));
+    reg.rename(obs.family, "Weather Model v2");
+    EXPECT_EQ(reg.family(obs.family).name, "Weather_Model_v2");
+}
+
+TEST(Registry, SaveLoadRoundTrip) {
+    sr::Registry reg({.match_threshold = 40});
+    siren::util::Rng rng(53);
+    auto blob = rng.bytes(8192);
+    reg.observe(sf::fuzzy_hash(blob), "icon");
+    blob = mutate_region(std::move(blob), 2000, 500, 54);
+    reg.observe(sf::fuzzy_hash(blob));
+    reg.observe(sf::fuzzy_hash(rng.bytes(4096)), "amber");
+
+    std::ostringstream out;
+    reg.save(out);
+    std::istringstream in(out.str());
+    const sr::Registry restored = sr::Registry::load(in, {.match_threshold = 40});
+
+    ASSERT_EQ(restored.family_count(), reg.family_count());
+    for (const auto& fam : reg.families()) {
+        EXPECT_EQ(restored.family(fam.id).name, fam.name);
+        EXPECT_EQ(restored.family(fam.id).sightings, fam.sightings);
+        EXPECT_EQ(restored.family(fam.id).exemplars, fam.exemplars);
+    }
+    // The restored registry recognizes the same software.
+    const auto match = restored.best_match(sf::fuzzy_hash(blob));
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(restored.family(match->family).name, "icon");
+}
+
+TEST(Registry, LoadRejectsMalformedInput) {
+    const auto load_from = [](const std::string& text) {
+        std::istringstream in(text);
+        return sr::Registry::load(in);
+    };
+    EXPECT_THROW(load_from("bogus line\n"), siren::util::ParseError);
+    EXPECT_THROW(load_from("family 5 0 gap-in-ids\n"), siren::util::ParseError);
+    EXPECT_THROW(load_from("exemplar 0 3:abc:def\n"), siren::util::ParseError)
+        << "exemplar referencing a family that was never declared";
+    EXPECT_NO_THROW(load_from(""));
+}
+
+// Property: a registry fed a whole corpus groups it consistently with
+// batch clustering at the same threshold — the incremental path must not
+// invent families that the batch view would merge... unless the exemplar
+// budget truncates a drift chain, which the corpus below avoids.
+class RegistryConsistencySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegistryConsistencySweep, IncrementalRefinesBatchClustering) {
+    const Corpus corpus = make_corpus(6, 4, 4096, GetParam(), 0.01);
+    const int threshold = 50;
+
+    sr::Registry reg({.match_threshold = threshold});
+    std::vector<sr::FamilyId> assigned;
+    assigned.reserve(corpus.digests.size());
+    for (const auto& d : corpus.digests) assigned.push_back(reg.observe(d).family);
+
+    const auto clusters = sr::cluster_digests(corpus.digests, {.threshold = threshold});
+
+    // Each registry family must sit inside one batch cluster (incremental
+    // assignment is a refinement of the connected components: observe()
+    // only joins digests the batch graph also connects).
+    std::vector<std::size_t> cluster_of(corpus.digests.size());
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+        for (const auto id : clusters[c]) cluster_of[id] = c;
+    }
+    for (std::size_t i = 0; i < assigned.size(); ++i) {
+        for (std::size_t j = i + 1; j < assigned.size(); ++j) {
+            if (assigned[i] == assigned[j]) {
+                EXPECT_EQ(cluster_of[i], cluster_of[j])
+                    << "registry joined digests " << i << "," << j
+                    << " that batch clustering separates";
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegistryConsistencySweep, ::testing::Values(61, 67, 71));
+
+// ---------------------------------------------------------------------------
+// Registry::merge — the multi-receiver deployment flow.
+
+TEST(RegistryMerge, DisjointRegistriesConcatenate) {
+    siren::util::Rng rng(101);
+    sr::Registry a, b;
+    a.observe(sf::fuzzy_hash(rng.bytes(4096)), "GROMACS");
+    a.observe(sf::fuzzy_hash(rng.bytes(4096)), "LAMMPS");
+    b.observe(sf::fuzzy_hash(rng.bytes(4096)), "icon");
+
+    a.merge(b);
+    EXPECT_EQ(a.family_count(), 3u);
+    EXPECT_EQ(a.total_sightings(), 3u);
+    std::set<std::string> names;
+    for (const auto& fam : a.families()) names.insert(fam.name);
+    EXPECT_TRUE(names.contains("GROMACS"));
+    EXPECT_TRUE(names.contains("icon"));
+}
+
+TEST(RegistryMerge, SharedSoftwareFoldsIntoOneFamily) {
+    siren::util::Rng rng(103);
+    const auto blob = rng.bytes(8192);
+    const auto drifted = mutate_region(blob, 700, 400, 104);
+
+    sr::Registry node1({.match_threshold = 40});
+    sr::Registry node2({.match_threshold = 40});
+    node1.observe(sf::fuzzy_hash(blob), "icon");
+    node1.observe(sf::fuzzy_hash(blob));
+    node2.observe(sf::fuzzy_hash(drifted));  // same software seen elsewhere
+
+    node1.merge(node2);
+    ASSERT_EQ(node1.family_count(), 1u) << "both nodes saw the same lineage";
+    EXPECT_EQ(node1.family(0).name, "icon");
+    EXPECT_EQ(node1.total_sightings(), 3u) << "sightings are conserved";
+}
+
+TEST(RegistryMerge, IncomingLabelNamesAnonymousFamily) {
+    siren::util::Rng rng(107);
+    const auto blob = rng.bytes(8192);
+
+    sr::Registry central;   // saw only an a.out
+    sr::Registry node;      // saw the labeled build
+    central.observe(sf::fuzzy_hash(blob));
+    node.observe(sf::fuzzy_hash(blob), "amber");
+
+    central.merge(node);
+    ASSERT_EQ(central.family_count(), 1u);
+    EXPECT_EQ(central.family(0).name, "amber") << "the label travels with the merge";
+}
+
+TEST(RegistryMerge, EmptyMergesAreIdentity) {
+    siren::util::Rng rng(109);
+    sr::Registry a;
+    a.observe(sf::fuzzy_hash(rng.bytes(4096)), "janko");
+    const auto before_families = a.family_count();
+    const auto before_sightings = a.total_sightings();
+
+    sr::Registry empty;
+    a.merge(empty);
+    EXPECT_EQ(a.family_count(), before_families);
+    EXPECT_EQ(a.total_sightings(), before_sightings);
+
+    empty.merge(a);
+    EXPECT_EQ(empty.family_count(), before_families);
+    EXPECT_EQ(empty.total_sightings(), before_sightings);
+    EXPECT_EQ(empty.family(0).name, "janko");
+}
+
+TEST(RegistryMerge, MergedRegistryStillRecognizes) {
+    siren::util::Rng rng(113);
+    const auto blob = rng.bytes(8192);
+    sr::Registry central, node;
+    node.observe(sf::fuzzy_hash(blob), "RadRad");
+    central.merge(node);
+
+    const auto match = central.best_match(sf::fuzzy_hash(blob));
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(central.family(match->family).name, "RadRad");
+    EXPECT_EQ(match->best_score, 100);
+}
+
+TEST(RegistryMerge, RedundantExemplarsNotDuplicated) {
+    siren::util::Rng rng(127);
+    const auto blob = rng.bytes(8192);
+    sr::Registry a, b;
+    a.observe(sf::fuzzy_hash(blob), "gzip");
+    b.observe(sf::fuzzy_hash(blob), "gzip");  // byte-identical exemplar
+
+    a.merge(b);
+    ASSERT_EQ(a.family_count(), 1u);
+    EXPECT_EQ(a.family(0).exemplars, 1u)
+        << "an identical exemplar from the other node adds no reach";
+    EXPECT_EQ(a.total_sightings(), 2u);
+}

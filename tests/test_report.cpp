@@ -1,0 +1,74 @@
+// Report writer: markdown table rendering and the full campaign report.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analytics/report.hpp"
+#include "core/siren.hpp"
+
+namespace sa = siren::analytics;
+
+TEST(Report, MarkdownTableShape) {
+    siren::util::TextTable t({"Name", "Count"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"with|pipe", "2"});
+    const std::string md = sa::to_markdown(t);
+
+    EXPECT_NE(md.find("| Name | Count |"), std::string::npos);
+    EXPECT_NE(md.find("| --- | --- |"), std::string::npos);
+    EXPECT_NE(md.find("| alpha | 1 |"), std::string::npos);
+    EXPECT_NE(md.find("with\\|pipe"), std::string::npos) << "pipes must be escaped";
+}
+
+TEST(Report, CampaignReportContainsAllSections) {
+    siren::FrameworkOptions options;
+    options.scale = 1.0;
+    options.seed = 3;
+    const auto result = run_campaign(siren::workload::mini_campaign(), options);
+
+    const std::string md = sa::campaign_report_markdown(result.aggregates);
+    for (const char* heading :
+         {"# SIREN Campaign Report", "## Overview", "Table 2", "Table 3", "Table 4",
+          "Table 5", "Table 6", "Table 8", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+          "## Security scan", "## Recognition registry"}) {
+        EXPECT_NE(md.find(heading), std::string::npos) << heading;
+    }
+    // The campaign content shows up.
+    EXPECT_NE(md.find("icon"), std::string::npos);
+    EXPECT_NE(md.find("/usr/bin/bash"), std::string::npos);
+}
+
+TEST(Report, RecognitionSectionCarriesRates) {
+    siren::FrameworkOptions options;
+    options.scale = 1.0;
+    options.seed = 3;
+    const auto result = run_campaign(siren::workload::mini_campaign(), options);
+
+    const std::string md = sa::campaign_report_markdown(result.aggregates);
+    EXPECT_NE(md.find("recognized as already-known software"), std::string::npos);
+    EXPECT_NE(md.find("families founded"), std::string::npos);
+    // The campaign's a.out icon copies guarantee at least one named family
+    // holding UNKNOWN-labeled binaries.
+    const auto pos = md.find("named families holding name-UNKNOWN binaries: ");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_NE(md.find("named families holding name-UNKNOWN binaries: 0\n"), pos)
+        << "the a.out plants must be attributed";
+}
+
+TEST(Report, WriteFileCreatesDirectories) {
+    namespace fs = std::filesystem;
+    const auto dir = fs::temp_directory_path() / "siren_report_test";
+    fs::remove_all(dir);
+
+    const std::string path = (dir / "sub" / "report.md").string();
+    sa::write_file(path, "# hello\n");
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "# hello");
+    fs::remove_all(dir);
+}

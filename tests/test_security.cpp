@@ -1,0 +1,100 @@
+// Security scanner: advisory matching, slopsquat detection, registry
+// classification, severity ordering.
+
+#include <gtest/gtest.h>
+
+#include "analytics/security.hpp"
+
+namespace sa = siren::analytics;
+
+namespace {
+
+siren::consolidate::ProcessRecord python_record(std::uint64_t job, std::int64_t uid,
+                                                const std::vector<std::string>& packages) {
+    siren::consolidate::ProcessRecord r;
+    r.job_id = job;
+    r.uid = uid;
+    r.pid = 1;
+    r.exe_path = "/usr/bin/python3.10";
+    r.category = siren::consolidate::Category::kPython;
+    r.python_packages = packages;
+    r.script_hash = "3:abc:de";
+    return r;
+}
+
+}  // namespace
+
+TEST(Security, KnownPackagesAreClean) {
+    const auto scanner = sa::SecurityScanner::with_defaults();
+    for (const char* pkg : {"numpy", "heapq", "struct", "mpi4py", "pandas"}) {
+        std::string detail;
+        EXPECT_EQ(scanner.classify(pkg, &detail), "") << pkg;
+    }
+}
+
+TEST(Security, AdvisoriesMatch) {
+    const auto scanner = sa::SecurityScanner::with_defaults();
+    std::string detail;
+    EXPECT_EQ(scanner.classify("pickle", &detail), "advisory");
+    EXPECT_NE(detail.find("deserialization"), std::string::npos);
+    EXPECT_EQ(scanner.classify("request", &detail), "advisory");  // typo-bait entry
+}
+
+TEST(Security, SlopsquatDetectionByEditDistance) {
+    const auto scanner = sa::SecurityScanner::with_defaults();
+    std::string detail;
+    // One keystroke away from numpy.
+    EXPECT_EQ(scanner.classify("nunpy", &detail), "slopsquat-suspect");
+    EXPECT_NE(detail.find("numpy"), std::string::npos);
+    // Transposition of pandas.
+    EXPECT_EQ(scanner.classify("apndas", &detail), "slopsquat-suspect");
+}
+
+TEST(Security, UnknownButNotCloseIsUnregistered) {
+    const auto scanner = sa::SecurityScanner::with_defaults();
+    std::string detail;
+    EXPECT_EQ(scanner.classify("myinhouselib", &detail), "unregistered");
+}
+
+TEST(Security, ScanAggregatesAndSorts) {
+    sa::Aggregates agg;
+    agg.add(python_record(1, 1001, {"numpy", "pickle", "nunpy"}));
+    agg.add(python_record(2, 1002, {"pickle"}));
+
+    const auto findings = sa::SecurityScanner::with_defaults().scan(agg);
+    ASSERT_EQ(findings.size(), 2u);
+
+    // Critical (slopsquat) sorts before warning (advisory).
+    EXPECT_EQ(findings[0].package, "nunpy");
+    EXPECT_EQ(findings[0].severity, sa::Severity::kCritical);
+    EXPECT_EQ(findings[0].users, 1u);
+
+    EXPECT_EQ(findings[1].package, "pickle");
+    EXPECT_EQ(findings[1].kind, "advisory");
+    EXPECT_EQ(findings[1].users, 2u);
+    EXPECT_EQ(findings[1].jobs, 2u);
+}
+
+TEST(Security, CleanCampaignHasNoCriticalFindings) {
+    sa::Aggregates agg;
+    agg.add(python_record(1, 1001, {"numpy", "scipy", "heapq", "struct"}));
+    const auto findings = sa::SecurityScanner::with_defaults().scan(agg);
+    for (const auto& f : findings) {
+        EXPECT_NE(f.severity, sa::Severity::kCritical) << f.package;
+    }
+}
+
+TEST(Security, CustomScannerRules) {
+    sa::SecurityScanner scanner({{"badpkg", sa::Severity::kCritical, "do not use"}},
+                                {"goodpkg"});
+    std::string detail;
+    EXPECT_EQ(scanner.classify("badpkg", &detail), "advisory");
+    EXPECT_EQ(scanner.classify("goodpkg", &detail), "");
+    EXPECT_EQ(scanner.classify("weird", &detail), "unregistered");
+}
+
+TEST(Security, SeverityNames) {
+    EXPECT_EQ(sa::to_string(sa::Severity::kInfo), "info");
+    EXPECT_EQ(sa::to_string(sa::Severity::kWarning), "warning");
+    EXPECT_EQ(sa::to_string(sa::Severity::kCritical), "critical");
+}

@@ -1,0 +1,129 @@
+// Simulated HPC substrate: path categorization, Python detection, module
+// resolution, cluster identifiers, metadata round trips.
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "sim/fsnames.hpp"
+#include "sim/modules.hpp"
+#include "util/error.hpp"
+
+namespace ss = siren::sim;
+
+TEST(Fsnames, SystemDirectories) {
+    // The exact prefix list of the paper (§3.1).
+    for (const char* path :
+         {"/usr/bin/bash", "/bin/sh", "/opt/cray/pe/bin/cc", "/etc/profile", "/lib/ld.so",
+          "/sbin/init", "/var/run/x", "/proc/self/exe", "/sys/devices/x", "/boot/vmlinuz",
+          "/dev/null"}) {
+        EXPECT_EQ(ss::categorize_path(path), ss::PathCategory::kSystem) << path;
+    }
+}
+
+TEST(Fsnames, UserDirectories) {
+    for (const char* path :
+         {"/users/user_4/icon/bin/icon", "/scratch/project_1/a.out", "/home/x/tool",
+          "/projappl/p/gromacs/gmx", "relative/a.out", "a.out"}) {
+        EXPECT_EQ(ss::categorize_path(path), ss::PathCategory::kUser) << path;
+    }
+}
+
+TEST(Fsnames, PythonInterpreterDetection) {
+    EXPECT_TRUE(ss::is_python_interpreter("/usr/bin/python"));
+    EXPECT_TRUE(ss::is_python_interpreter("/usr/bin/python3"));
+    EXPECT_TRUE(ss::is_python_interpreter("/usr/bin/python3.11"));
+    EXPECT_TRUE(ss::is_python_interpreter("/users/u/miniconda3/bin/python3.9"));
+    EXPECT_FALSE(ss::is_python_interpreter("/usr/bin/python-config"));
+    EXPECT_FALSE(ss::is_python_interpreter("/usr/bin/perl"));
+    EXPECT_FALSE(ss::is_python_interpreter("/usr/bin/pythonic_tool"));
+}
+
+TEST(Fsnames, InterpreterName) {
+    EXPECT_EQ(ss::interpreter_name("/usr/bin/python3.10"), "python3.10");
+}
+
+TEST(SimProcess, CategoryLogic) {
+    ss::SimProcess p;
+    p.exe_path = "/usr/bin/python3.10";
+    EXPECT_TRUE(p.is_python());
+
+    // A Python interpreter in a *user* directory is not category Python.
+    p.exe_path = "/users/u2/miniconda3/envs/w/bin/python3.9";
+    EXPECT_FALSE(p.is_python());
+    EXPECT_EQ(p.path_category(), ss::PathCategory::kUser);
+}
+
+TEST(Modules, ResolveExpandsDependenciesOnce) {
+    ss::ModuleSystem mods;
+    mods.add({"craype", "2.7.20", {}});
+    mods.add({"cce", "15.0.1", {"craype"}});
+    mods.add({"PrgEnv-cray", "8.4.0", {"cce", "craype"}});
+
+    const auto resolved = mods.resolve({"PrgEnv-cray", "craype"});
+    EXPECT_EQ(resolved, (std::vector<std::string>{"craype/2.7.20", "cce/15.0.1",
+                                                  "PrgEnv-cray/8.4.0"}));
+}
+
+TEST(Modules, UnknownModulesKeptVerbatim) {
+    ss::ModuleSystem mods;
+    const auto resolved = mods.resolve({"my-custom-thing"});
+    EXPECT_EQ(resolved, (std::vector<std::string>{"my-custom-thing"}));
+}
+
+TEST(Modules, DuplicateRegistrationRejected) {
+    ss::ModuleSystem mods;
+    mods.add({"rocm", "5.2.3", {}});
+    EXPECT_THROW(mods.add({"rocm", "5.2.3", {}}), siren::util::Error);
+    mods.add({"rocm", "5.4.0", {}});  // other version fine
+}
+
+TEST(Modules, LoadedModulesRendering) {
+    EXPECT_EQ(ss::ModuleSystem::loadedmodules_value({"a/1", "b/2"}), "a/1:b/2");
+    EXPECT_EQ(ss::ModuleSystem::loadedmodules_value({}), "");
+}
+
+TEST(Cluster, HostnamesAndPids) {
+    ss::Cluster cluster(4);
+    EXPECT_EQ(cluster.node_count(), 4u);
+    EXPECT_EQ(cluster.hostname(0), "nid000001");
+    EXPECT_EQ(cluster.hostname(3), "nid000004");
+
+    const auto pid1 = cluster.next_pid(0);
+    const auto pid2 = cluster.next_pid(0);
+    EXPECT_EQ(pid2, pid1 + 1);
+
+    const auto job1 = cluster.next_job_id();
+    EXPECT_EQ(cluster.next_job_id(), job1 + 1);
+}
+
+TEST(FileMeta, RenderParseRoundTrip) {
+    ss::FileMeta m;
+    m.inode = 123456;
+    m.size = 987654;
+    m.mode = 0750;
+    m.owner_uid = 1004;
+    m.owner_gid = 1004;
+    m.atime = 1733900000;
+    m.mtime = 1733890000;
+    m.ctime = 1733880000;
+
+    const ss::FileMeta parsed = ss::FileMeta::parse(m.render());
+    EXPECT_EQ(parsed.inode, m.inode);
+    EXPECT_EQ(parsed.size, m.size);
+    EXPECT_EQ(parsed.mode, m.mode);
+    EXPECT_EQ(parsed.owner_uid, m.owner_uid);
+    EXPECT_EQ(parsed.mtime, m.mtime);
+}
+
+TEST(FileMeta, ParseRejectsGarbage) {
+    EXPECT_THROW(ss::FileMeta::parse("not metadata"), siren::util::ParseError);
+    EXPECT_THROW(ss::FileMeta::parse("inode=1 size=2"), siren::util::ParseError);
+}
+
+TEST(MapsEntry, RenderFormat) {
+    ss::MapsEntry e{0x400000, 0x600000, "r-xp", "/usr/bin/python3.10"};
+    const std::string line = e.render();
+    EXPECT_NE(line.find("000000400000-000000600000"), std::string::npos);
+    EXPECT_NE(line.find("r-xp"), std::string::npos);
+    EXPECT_NE(line.find("/usr/bin/python3.10"), std::string::npos);
+}

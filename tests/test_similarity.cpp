@@ -1,0 +1,135 @@
+// Similarity search (the Table 7 experiment) and the identification-method
+// baselines on the mini campaign.
+
+#include <gtest/gtest.h>
+
+#include "analytics/baselines.hpp"
+#include "analytics/similarity.hpp"
+#include "core/siren.hpp"
+
+namespace sa = siren::analytics;
+namespace sw = siren::workload;
+
+class SimilarityFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        siren::FrameworkOptions options;
+        options.scale = 1.0;
+        options.seed = 5;
+        result_ = new siren::CampaignResult(run_campaign(sw::mini_campaign(), options));
+    }
+    static void TearDownTestSuite() {
+        delete result_;
+        result_ = nullptr;
+    }
+    static siren::CampaignResult* result_;
+};
+
+siren::CampaignResult* SimilarityFixture::result_ = nullptr;
+
+TEST_F(SimilarityFixture, FindsUnknownProbe) {
+    const auto labeler = sa::Labeler::default_rules();
+    const auto* probe = sa::find_unknown_probe(result_->aggregates, labeler);
+    ASSERT_NE(probe, nullptr);
+    EXPECT_NE(probe->exe_path.find("a.out"), std::string::npos);
+}
+
+TEST_F(SimilarityFixture, UnknownIdentifiedAsIconWithPerfectTopHit) {
+    // The Table 7 headline: the a.out probe matches one icon build at 100
+    // on every dimension, and all top hits are icon.
+    const auto labeler = sa::Labeler::default_rules();
+    const auto* probe = sa::find_unknown_probe(result_->aggregates, labeler);
+    ASSERT_NE(probe, nullptr);
+
+    const auto hits = sa::similarity_search(*probe, result_->aggregates, labeler, 10);
+    ASSERT_GE(hits.size(), 3u);
+
+    EXPECT_EQ(hits[0].label, "icon");
+    EXPECT_EQ(hits[0].scores.fi, 100);
+    EXPECT_EQ(hits[0].scores.st, 100);
+    EXPECT_EQ(hits[0].scores.sy, 100);
+    EXPECT_EQ(hits[0].scores.co, 100);
+    EXPECT_EQ(hits[0].scores.ob, 100);
+    EXPECT_DOUBLE_EQ(hits[0].average, hits[0].scores.average());
+
+    // Ranking is by decreasing average.
+    for (std::size_t i = 1; i < hits.size(); ++i) {
+        EXPECT_LE(hits[i].average, hits[i - 1].average);
+    }
+}
+
+TEST_F(SimilarityFixture, SymbolSimilarityOutlivesFileSimilarity) {
+    // Table 7 pattern: FI_H decays fastest, SY_H stays high among true
+    // lineage members.
+    const auto labeler = sa::Labeler::default_rules();
+    const auto* probe = sa::find_unknown_probe(result_->aggregates, labeler);
+    ASSERT_NE(probe, nullptr);
+
+    const auto hits = sa::similarity_search(*probe, result_->aggregates, labeler, 10);
+    double fi_sum = 0, sy_sum = 0;
+    int drifted = 0;
+    for (const auto& hit : hits) {
+        if (hit.label != "icon" || hit.scores.fi == 100) continue;
+        fi_sum += hit.scores.fi;
+        sy_sum += hit.scores.sy;
+        ++drifted;
+    }
+    ASSERT_GT(drifted, 0);
+    EXPECT_GE(sy_sum / drifted + 3.0, fi_sum / drifted)
+        << "on average, symbols must be at least as stable as raw bytes";
+}
+
+TEST_F(SimilarityFixture, ParallelSearchMatchesSerial) {
+    const auto labeler = sa::Labeler::default_rules();
+    const auto* probe = sa::find_unknown_probe(result_->aggregates, labeler);
+    ASSERT_NE(probe, nullptr);
+
+    siren::util::ThreadPool pool(4);
+    const auto serial = sa::similarity_search(*probe, result_->aggregates, labeler, 10);
+    const auto parallel = sa::similarity_search(*probe, result_->aggregates, labeler, 10, &pool);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].exe_path, parallel[i].exe_path);
+        EXPECT_DOUBLE_EQ(serial[i].average, parallel[i].average);
+    }
+}
+
+TEST_F(SimilarityFixture, ScoreRecordsSelfIs100Everywhere) {
+    const auto labeler = sa::Labeler::default_rules();
+    const auto* probe = sa::find_unknown_probe(result_->aggregates, labeler);
+    ASSERT_NE(probe, nullptr);
+    const auto self = sa::score_records(*probe, *probe);
+    EXPECT_EQ(self.mo, 100);
+    EXPECT_EQ(self.fi, 100);
+    EXPECT_DOUBLE_EQ(self.average(), 100.0);
+}
+
+TEST_F(SimilarityFixture, BaselineComparison) {
+    // Ground truth: the a.out binaries are icon. Name-regex must fail;
+    // fuzzy-knn must succeed. Crypto-exact succeeds only for the
+    // byte-identical twin (a.out run_0), not for the drifted one.
+    const auto labeler = sa::Labeler::default_rules();
+    sa::GroundTruth truth = {
+        {"/scratch/project_1/run_0/a.out", "icon"},
+        {"/scratch/project_1/run_1/a.out", "icon"},
+    };
+    const std::vector<std::string> probes = {"/scratch/project_1/run_0/a.out",
+                                             "/scratch/project_1/run_1/a.out"};
+
+    const auto results = sa::evaluate_identification(result_->aggregates, truth, probes,
+                                                     labeler, /*min_confidence=*/30.0);
+    ASSERT_EQ(results.size(), 3u);
+
+    const auto& name = results[0];
+    const auto& crypto = results[1];
+    const auto& fuzzy = results[2];
+
+    EXPECT_EQ(name.method, "name-regex");
+    EXPECT_EQ(name.identified, 0u) << "a.out carries no name signal";
+
+    EXPECT_EQ(crypto.method, "crypto-exact");
+    EXPECT_EQ(crypto.identified, 1u) << "only the byte-identical twin matches exactly";
+
+    EXPECT_EQ(fuzzy.method, "fuzzy-knn");
+    EXPECT_EQ(fuzzy.identified, 2u) << "fuzzy similarity identifies both";
+}

@@ -1,0 +1,113 @@
+// Streaming CTPH hasher: equality with the batch implementation across
+// sizes and chunkings (the defining property), snapshots, reset.
+
+#include <gtest/gtest.h>
+
+#include "fuzzy/compare.hpp"
+#include "fuzzy/ctph.hpp"
+#include "fuzzy/streaming.hpp"
+#include "util/rng.hpp"
+
+namespace sf = siren::fuzzy;
+
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::uint64_t seed, std::size_t n) {
+    siren::util::Rng rng(seed);
+    return rng.bytes(n);
+}
+
+}  // namespace
+
+TEST(Streaming, EmptyInput) {
+    sf::StreamingHasher h;
+    EXPECT_EQ(h.finalize(), sf::fuzzy_hash(std::string_view{}));
+    EXPECT_EQ(h.size(), 0u);
+}
+
+TEST(Streaming, SingleUpdateMatchesBatch) {
+    const auto data = bytes_of(1, 50000);
+    sf::StreamingHasher h;
+    h.update(data.data(), data.size());
+    EXPECT_EQ(h.finalize(), sf::fuzzy_hash(data));
+}
+
+TEST(Streaming, FinalizeIsASnapshot) {
+    const auto data = bytes_of(2, 30000);
+    sf::StreamingHasher h;
+    h.update(data.data(), 10000);
+    const auto early = h.finalize();
+    EXPECT_EQ(early, sf::fuzzy_hash(data.data(), 10000));
+
+    h.update(data.data() + 10000, 20000);
+    EXPECT_EQ(h.finalize(), sf::fuzzy_hash(data));
+}
+
+TEST(Streaming, ResetStartsOver) {
+    sf::StreamingHasher h;
+    h.update("some earlier stream");
+    h.reset();
+    const auto data = bytes_of(3, 5000);
+    h.update(data.data(), data.size());
+    EXPECT_EQ(h.finalize(), sf::fuzzy_hash(data));
+}
+
+// --- the equality property, swept over sizes x chunk patterns ---------------
+
+struct StreamCase {
+    std::size_t size;
+    std::size_t chunk;  // 0 = byte-at-a-time
+};
+
+class StreamingEquality : public ::testing::TestWithParam<StreamCase> {};
+
+TEST_P(StreamingEquality, MatchesBatchForAnyChunking) {
+    const auto param = GetParam();
+    const auto data = bytes_of(0xFEED ^ param.size, param.size);
+
+    sf::StreamingHasher h;
+    if (param.chunk == 0) {
+        for (const auto b : data) h.update(&b, 1);
+    } else {
+        std::size_t off = 0;
+        while (off < data.size()) {
+            const std::size_t n = std::min(param.chunk, data.size() - off);
+            h.update(data.data() + off, n);
+            off += n;
+        }
+    }
+    const auto streamed = h.finalize();
+    const auto batch = sf::fuzzy_hash(data);
+    EXPECT_EQ(streamed, batch) << "size=" << param.size << " chunk=" << param.chunk;
+    EXPECT_EQ(sf::compare(streamed, batch), param.size < 8 ? sf::compare(batch, batch) : 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndChunks, StreamingEquality,
+    ::testing::Values(StreamCase{1, 0}, StreamCase{7, 0}, StreamCase{100, 0},
+                      StreamCase{100, 3}, StreamCase{4096, 1}, StreamCase{4096, 7},
+                      StreamCase{4096, 4096}, StreamCase{65536, 17},
+                      StreamCase{65536, 1000}, StreamCase{1000000, 65536},
+                      StreamCase{1000000, 333333}),
+    [](const ::testing::TestParamInfo<StreamCase>& info) {
+        return "s" + std::to_string(info.param.size) + "_c" + std::to_string(info.param.chunk);
+    });
+
+class StreamingRandomSplit : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamingRandomSplit, RandomSplitPointsMatchBatch) {
+    siren::util::Rng rng(GetParam());
+    const auto data = bytes_of(GetParam() * 31, 20000 + rng.index(40000));
+
+    sf::StreamingHasher h;
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const std::size_t n = std::min<std::size_t>(1 + rng.index(9000), data.size() - off);
+        h.update(data.data() + off, n);
+        off += n;
+    }
+    EXPECT_EQ(h.finalize(), sf::fuzzy_hash(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingRandomSplit,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));

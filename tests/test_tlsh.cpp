@@ -1,0 +1,167 @@
+// TLSH-style locality-sensitive hashing: digest construction, validity
+// rules, distance semantics, and the locality property that makes it a
+// meaningful comparator for the CTPH ablation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "fuzzy/tlsh.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sf = siren::fuzzy;
+
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+    siren::util::Rng rng(seed);
+    return rng.bytes(n);
+}
+
+/// Flip `flips` bytes at deterministic positions.
+std::vector<std::uint8_t> perturb(std::vector<std::uint8_t> data, std::size_t flips,
+                                  std::uint64_t seed) {
+    siren::util::Rng rng(seed);
+    for (std::size_t i = 0; i < flips; ++i) {
+        data[rng.index(data.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    return data;
+}
+
+}  // namespace
+
+TEST(Tlsh, RejectsShortInput) {
+    const auto data = random_bytes(sf::kTlshMinSize - 1, 1);
+    EXPECT_FALSE(sf::tlsh_hash(data).has_value());
+    EXPECT_TRUE(sf::tlsh_hash(random_bytes(sf::kTlshMinSize, 1)).has_value());
+}
+
+TEST(Tlsh, RejectsDegenerateInput) {
+    // A constant run populates almost no buckets; the quartile encoding is
+    // undefined and the digest must be refused, not fabricated.
+    const std::vector<std::uint8_t> constant(4096, 0xAB);
+    EXPECT_FALSE(sf::tlsh_hash(constant).has_value());
+}
+
+TEST(Tlsh, DeterministicAndSelfDistanceZero) {
+    const auto data = random_bytes(4096, 7);
+    const auto a = sf::tlsh_hash(data);
+    const auto b = sf::tlsh_hash(data);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(*a, *b);
+    EXPECT_EQ(sf::tlsh_distance(*a, *b), 0);
+    EXPECT_EQ(sf::tlsh_similarity(*a, *b), 100);
+}
+
+TEST(Tlsh, RoundTripsThroughString) {
+    const auto d = sf::tlsh_hash(random_bytes(1024, 11));
+    ASSERT_TRUE(d);
+    const std::string s = d->to_string();
+    EXPECT_TRUE(s.starts_with("T1"));
+    EXPECT_EQ(s.size(), 2u + 2u * (3u + sf::kTlshBuckets / 4));
+    EXPECT_EQ(sf::TlshDigest::parse(s), *d);
+}
+
+TEST(Tlsh, ParseRejectsMalformedInput) {
+    EXPECT_THROW(sf::TlshDigest::parse(""), siren::util::ParseError);
+    EXPECT_THROW(sf::TlshDigest::parse("T1AB"), siren::util::ParseError);
+    const auto d = sf::tlsh_hash(random_bytes(1024, 11));
+    std::string s = d->to_string();
+    s[0] = 'X';
+    EXPECT_THROW(sf::TlshDigest::parse(s), siren::util::ParseError);
+    s = d->to_string();
+    s[5] = 'g';  // non-hex digit
+    EXPECT_THROW(sf::TlshDigest::parse(s), siren::util::ParseError);
+}
+
+TEST(Tlsh, DistanceIsSymmetric) {
+    const auto a = sf::tlsh_hash(random_bytes(2048, 3));
+    const auto b = sf::tlsh_hash(random_bytes(2048, 4));
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(sf::tlsh_distance(*a, *b), sf::tlsh_distance(*b, *a));
+}
+
+TEST(Tlsh, SmallEditsStayClose) {
+    const auto base = random_bytes(8192, 21);
+    const auto d0 = sf::tlsh_hash(base);
+    const auto d1 = sf::tlsh_hash(perturb(base, 8, 22));
+    ASSERT_TRUE(d0 && d1);
+    const auto unrelated = sf::tlsh_hash(random_bytes(8192, 23));
+    ASSERT_TRUE(unrelated);
+
+    const int near = sf::tlsh_distance(*d0, *d1);
+    const int far = sf::tlsh_distance(*d0, *unrelated);
+    EXPECT_LT(near, far) << "locality: a lightly edited file must be closer than a random one";
+    EXPECT_GT(sf::tlsh_similarity(*d0, *d1), sf::tlsh_similarity(*d0, *unrelated));
+}
+
+TEST(Tlsh, DistanceGrowsWithEditCount) {
+    // Monotone-in-expectation: average over several bases so single-seed
+    // noise cannot flip the ordering of light vs heavy edits.
+    double light_total = 0;
+    double heavy_total = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const auto base = random_bytes(8192, seed * 100);
+        const auto d0 = sf::tlsh_hash(base);
+        const auto light = sf::tlsh_hash(perturb(base, 16, seed));
+        const auto heavy = sf::tlsh_hash(perturb(base, 2048, seed));
+        ASSERT_TRUE(d0 && light && heavy);
+        light_total += sf::tlsh_distance(*d0, *light);
+        heavy_total += sf::tlsh_distance(*d0, *heavy);
+    }
+    EXPECT_LT(light_total, heavy_total);
+}
+
+TEST(Tlsh, LengthBandSeparatesVeryDifferentSizes) {
+    const auto small = sf::tlsh_hash(random_bytes(256, 5));
+    const auto large = sf::tlsh_hash(random_bytes(1 << 20, 5));
+    ASSERT_TRUE(small && large);
+    // 256 B vs 1 MiB are many log-1.5 bands apart; the length penalty alone
+    // must push the distance beyond the "related" range.
+    EXPECT_GT(sf::tlsh_distance(*small, *large), 100);
+}
+
+TEST(Tlsh, SimilarityScaleIsBounded) {
+    const auto a = sf::tlsh_hash(random_bytes(512, 31));
+    const auto b = sf::tlsh_hash(random_bytes(1 << 18, 77));
+    ASSERT_TRUE(a && b);
+    const int s = sf::tlsh_similarity(*a, *b);
+    EXPECT_GE(s, 0);
+    EXPECT_LE(s, 100);
+    EXPECT_EQ(sf::tlsh_similarity(*a, *a), 100);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: digest validity and self-identity across sizes.
+
+class TlshSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TlshSizeSweep, ValidDigestAcrossSizes) {
+    const std::size_t size = GetParam();
+    const auto data = random_bytes(size, size);
+    const auto d = sf::tlsh_hash(data);
+    ASSERT_TRUE(d) << "random data of size " << size << " must be hashable";
+    EXPECT_EQ(sf::tlsh_distance(*d, *d), 0);
+    // Round trip.
+    EXPECT_EQ(sf::TlshDigest::parse(d->to_string()), *d);
+    // The quartile encoding must actually discriminate: on random data each
+    // band holds ~32 of 128 buckets. Tiny inputs have heavy count ties, so
+    // the all-four-bands guarantee only binds once the histogram is dense.
+    std::array<int, 4> band_counts{};
+    for (std::size_t i = 0; i < sf::kTlshBuckets; ++i) {
+        band_counts[(d->body[i / 4] >> ((i % 4) * 2)) & 3]++;
+    }
+    const int bands_used =
+        static_cast<int>(std::count_if(band_counts.begin(), band_counts.end(),
+                                       [](int c) { return c > 0; }));
+    if (size >= 1000) {
+        EXPECT_EQ(bands_used, 4) << "sparse quartile use at size " << size;
+    } else {
+        EXPECT_GE(bands_used, 2) << "degenerate encoding at size " << size;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TlshSizeSweep,
+                         ::testing::Values(50, 64, 100, 256, 1000, 4096, 65536, 1 << 20));

@@ -1,0 +1,213 @@
+// util: strings, base64, hex, rng, thread pool, tables, env.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/base64.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace su = siren::util;
+
+TEST(Strings, SplitKeepsEmptyFields) {
+    EXPECT_EQ(su::split("a||b", '|'), (std::vector<std::string>{"a", "", "b"}));
+    EXPECT_EQ(su::split("", '|'), (std::vector<std::string>{""}));
+    EXPECT_EQ(su::split_nonempty("a||b|", '|'), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+    const std::vector<std::string> parts = {"x", "y", "zz"};
+    EXPECT_EQ(su::split(su::join(parts, ":"), ':'), parts);
+}
+
+TEST(Strings, Trim) {
+    EXPECT_EQ(su::trim("  abc\t\n"), "abc");
+    EXPECT_EQ(su::trim("   "), "");
+    EXPECT_EQ(su::trim("x"), "x");
+}
+
+TEST(Strings, CaseHelpers) {
+    EXPECT_EQ(su::to_lower("AbC"), "abc");
+    EXPECT_TRUE(su::icontains("Cray clang", "CLANG"));
+    EXPECT_FALSE(su::icontains("gcc", "clang"));
+    EXPECT_TRUE(su::starts_with("/usr/bin/ls", "/usr/"));
+    EXPECT_TRUE(su::ends_with("libm.so.6", ".6"));
+}
+
+TEST(Strings, EscapeFieldRoundTrip) {
+    const std::string nasty = "a|b\\c\nd\te|";
+    EXPECT_EQ(su::unescape_field(su::escape_field(nasty)), nasty);
+    EXPECT_EQ(su::escape_field("a|b").find('|'), std::string::npos);
+}
+
+TEST(Strings, PathHelpers) {
+    EXPECT_EQ(su::basename("/usr/bin/bash"), "bash");
+    EXPECT_EQ(su::basename("bash"), "bash");
+    EXPECT_EQ(su::dirname("/usr/bin/bash"), "/usr/bin/");
+    EXPECT_EQ(su::dirname("bash"), "");
+}
+
+TEST(Strings, WithCommas) {
+    EXPECT_EQ(su::with_commas(0), "0");
+    EXPECT_EQ(su::with_commas(999), "999");
+    EXPECT_EQ(su::with_commas(2317859), "2,317,859");
+    EXPECT_EQ(su::with_commas(1000), "1,000");
+}
+
+TEST(Strings, ReplaceAll) {
+    EXPECT_EQ(su::replace_all("{user}/x/{user}", "{user}", "u1"), "u1/x/u1");
+    EXPECT_EQ(su::replace_all("abc", "z", "y"), "abc");
+}
+
+TEST(Base64, KnownVectors) {
+    EXPECT_EQ(su::base64_encode(""), "");
+    EXPECT_EQ(su::base64_encode("f"), "Zg==");
+    EXPECT_EQ(su::base64_encode("fo"), "Zm8=");
+    EXPECT_EQ(su::base64_encode("foo"), "Zm9v");
+    EXPECT_EQ(su::base64_encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64, RoundTrip) {
+    su::Rng rng(1);
+    for (std::size_t len : {0u, 1u, 2u, 3u, 17u, 256u}) {
+        const auto bytes = rng.bytes(len);
+        const auto decoded = su::base64_decode(su::base64_encode(bytes.data(), bytes.size()));
+        EXPECT_EQ(decoded, bytes);
+    }
+}
+
+TEST(Base64, RejectsMalformed) {
+    EXPECT_THROW(su::base64_decode("abc"), su::ParseError);
+    EXPECT_THROW(su::base64_decode("a=bc"), su::ParseError);
+    EXPECT_THROW(su::base64_decode("????"), su::ParseError);
+}
+
+TEST(Hex, RoundTrip) {
+    const std::vector<std::uint8_t> bytes = {0x00, 0xff, 0x12, 0xab};
+    EXPECT_EQ(su::hex_encode(bytes), "00ff12ab");
+    EXPECT_EQ(su::hex_decode("00ff12ab"), bytes);
+    EXPECT_EQ(su::hex_decode("00FF12AB"), bytes);
+    EXPECT_THROW(su::hex_decode("0"), su::ParseError);
+    EXPECT_THROW(su::hex_decode("zz"), su::ParseError);
+}
+
+TEST(Hex, U64FixedWidth) {
+    EXPECT_EQ(su::hex_u64(0), "0000000000000000");
+    EXPECT_EQ(su::hex_u64(0xdeadbeef), "00000000deadbeef");
+}
+
+TEST(Rng, DeterministicPerSeed) {
+    su::Rng a(42), b(42), c(43);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowIsInRange) {
+    su::Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+    }
+}
+
+TEST(Rng, RangeInclusive) {
+    su::Rng rng(7);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) seen.insert(rng.range(-2, 2));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    su::Rng rng(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+    su::Rng rng(7);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ForkIndependent) {
+    su::Rng parent(9);
+    su::Rng a = parent.fork(1);
+    su::Rng b = parent.fork(2);
+    EXPECT_NE(a.next(), b.next());
+    // Forks are stable: re-deriving yields the same stream.
+    su::Rng a2 = parent.fork(1);
+    su::Rng a3 = parent.fork(1);
+    EXPECT_EQ(a2.next(), a3.next());
+}
+
+TEST(Rng, BytesLength) {
+    su::Rng rng(3);
+    EXPECT_EQ(rng.bytes(0).size(), 0u);
+    EXPECT_EQ(rng.bytes(7).size(), 7u);
+    EXPECT_EQ(rng.bytes(64).size(), 64u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+    su::ThreadPool pool(4);
+    auto f = pool.submit([] { return 21 * 2; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+    su::ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+    su::ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallel_for(100, [&](std::size_t i) {
+            if (i == 50) throw su::Error("boom");
+        }),
+        su::Error);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+    su::TextTable t({"A", "Name"});
+    t.add_row({"1", "x"});
+    t.add_row({"22", "longer"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("A   Name"), std::string::npos);
+    EXPECT_NE(out.find("22  longer"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+    su::TextTable t({"A", "B"});
+    EXPECT_THROW(t.add_row({"only-one"}), su::Error);
+}
+
+TEST(TextTable, TsvEscapesNothingButTabs) {
+    su::TextTable t({"A"});
+    t.add_row({"x"});
+    EXPECT_EQ(t.render_tsv(), "A\nx\n");
+}
+
+TEST(Env, Defaults) {
+    ::unsetenv("SIREN_TEST_ENV");
+    EXPECT_EQ(su::get_env_or("SIREN_TEST_ENV", "dflt"), "dflt");
+    EXPECT_DOUBLE_EQ(su::get_env_double("SIREN_TEST_ENV", 1.5), 1.5);
+    ::setenv("SIREN_TEST_ENV", "2.5", 1);
+    EXPECT_DOUBLE_EQ(su::get_env_double("SIREN_TEST_ENV", 1.5), 2.5);
+    ::setenv("SIREN_TEST_ENV", "junk", 1);
+    EXPECT_EQ(su::get_env_int("SIREN_TEST_ENV", 3), 3);
+    ::unsetenv("SIREN_TEST_ENV");
+}

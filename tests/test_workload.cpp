@@ -1,0 +1,232 @@
+// Workload substrate: binary synthesizer drift model, campaign catalog
+// consistency, generator planning and determinism.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "analytics/libfilter.hpp"
+#include "collect/exe_store.hpp"
+#include "elfio/elfio.hpp"
+#include "fuzzy/fuzzy.hpp"
+#include "workload/campaign.hpp"
+#include "workload/generator.hpp"
+#include "workload/synthesizer.hpp"
+
+namespace sw = siren::workload;
+namespace sf = siren::fuzzy;
+
+namespace {
+
+sw::BinaryRecipe icon_recipe(std::size_t version) {
+    sw::BinaryRecipe r;
+    r.lineage = "icon";
+    r.version = version;
+    r.compilers = {sw::compiler_comment_for("GCC [SUSE]")};
+    r.needed = {"libc.so.6"};
+    r.code_blocks = 8;
+    return r;
+}
+
+}  // namespace
+
+TEST(Synthesizer, Deterministic) {
+    const auto a = sw::synthesize(icon_recipe(3));
+    const auto b = sw::synthesize(icon_recipe(3));
+    EXPECT_EQ(a, b);
+}
+
+TEST(Synthesizer, ProducesValidElf) {
+    const auto bytes = sw::synthesize(icon_recipe(0));
+    ASSERT_TRUE(siren::elfio::Reader::looks_like_elf(bytes));
+    const siren::elfio::Reader reader(bytes);
+    EXPECT_EQ(reader.comment_strings(),
+              std::vector<std::string>{sw::compiler_comment_for("GCC [SUSE]")});
+    EXPECT_FALSE(reader.global_symbol_names().empty());
+    EXPECT_EQ(reader.needed_libraries(), std::vector<std::string>{"libc.so.6"});
+}
+
+TEST(Synthesizer, VersionZeroIdenticalAcrossCalls) {
+    // The UNKNOWN a.out twin: same lineage+version => byte-identical even
+    // through different recipe object instances.
+    auto r1 = icon_recipe(0);
+    auto r2 = icon_recipe(0);
+    r2.version_tag = r1.version_tag;
+    EXPECT_EQ(sw::synthesize(r1), sw::synthesize(r2));
+}
+
+TEST(Synthesizer, SimilarityDecaysWithVersionDistance) {
+    const auto base = sw::synthesize(icon_recipe(0));
+    const auto base_digest = sf::fuzzy_hash(base);
+
+    int previous = 101;
+    std::vector<int> scores;
+    for (const std::size_t version : {1u, 4u, 16u, 64u}) {
+        const auto variant = sw::synthesize(icon_recipe(version));
+        const int score = sf::compare(base_digest, sf::fuzzy_hash(variant));
+        scores.push_back(score);
+        EXPECT_LE(score, previous) << "similarity must not increase with drift";
+        previous = score;
+    }
+    EXPECT_GT(scores.front(), 60) << "one drift step should stay similar";
+    EXPECT_LT(scores.back(), scores.front());
+}
+
+TEST(Synthesizer, SymbolsDriftSlowerThanBytes) {
+    namespace se = siren::elfio;
+    const auto a = sw::synthesize(icon_recipe(0));
+    const auto b = sw::synthesize(icon_recipe(12));
+
+    const int file_sim = sf::compare(sf::fuzzy_hash(a), sf::fuzzy_hash(b));
+
+    const se::Reader ra(a), rb(b);
+    const auto sym_a = se::strings_blob(ra.global_symbol_names());
+    const auto sym_b = se::strings_blob(rb.global_symbol_names());
+    const int sym_sim = sf::compare(sf::fuzzy_hash(sym_a), sf::fuzzy_hash(sym_b));
+
+    EXPECT_GT(sym_sim, file_sim)
+        << "global symbols must be more stable than raw bytes (Table 7 pattern)";
+}
+
+TEST(Catalog, TagPathsRoundTripThroughLibraryFilter) {
+    // Every catalog tag path must derive exactly its own tag — otherwise
+    // Figures 2/5 would drift from the paper's tag vocabulary.
+    using siren::analytics::derive_library_tag;
+    for (const auto tag :
+         {"siren", "pthread", "cray", "quadmath-cray", "fabric-cray", "pmi-cray", "rocm",
+          "numa", "drm", "amdgpu-drm", "fortran", "libsci-cray", "rocm-blas",
+          "rocsolver-rocm", "rocsparse-rocm", "fft-cray", "rocm-fft", "rocfft-rocm-fft",
+          "craymath-cray", "MIOpen-rocm", "gromacs", "boost", "netcdf-cray", "amdgpu-cray",
+          "openacc-cray", "rocm-torch", "numa-rocm-torch", "numa-spack", "spack",
+          "blas-spack", "rocsolver-spack", "rocsparse-spack", "drm-spack",
+          "amdgpu-drm-spack", "climatedt", "climatedt-yaml", "hdf5-cray", "cuda-amber",
+          "amber", "netcdf-parallel-cray", "hdf5-parallel-cray",
+          "hdf5-fortran-parallel-cray", "torch-tykky", "numa-torch-tykky"}) {
+        EXPECT_EQ(derive_library_tag(sw::library_path_for_tag(tag)), tag)
+            << "catalog path for tag '" << tag << "' derives a different tag";
+    }
+}
+
+TEST(Catalog, LumiCampaignMarginalsMatchPaper) {
+    const auto spec = sw::lumi_campaign();
+    ASSERT_EQ(spec.users.size(), 12u);
+
+    std::uint64_t jobs = 0, sys = 0;
+    for (const auto& user : spec.users) {
+        jobs += user.jobs;
+        sys += user.system_processes;
+    }
+    EXPECT_EQ(jobs, 13448u);     // Table 2 total jobs
+    EXPECT_EQ(sys, 2317859u);    // Table 2 system-process total
+
+    std::uint64_t user_procs = 0;
+    for (const auto& soft : spec.software) {
+        for (const auto& alloc : soft.allocations) {
+            for (const auto& run : alloc.runs) user_procs += run.processes;
+        }
+    }
+    EXPECT_EQ(user_procs, 9042u);  // Table 2 user-process total
+
+    std::uint64_t python_procs = 0;
+    for (const auto& py : spec.python) {
+        for (const auto& group : py.groups) python_procs += group.processes;
+    }
+    EXPECT_EQ(python_procs, 23316u);  // Table 2 python total
+}
+
+TEST(Catalog, IconHas175VariantsInThreeCompilerGroups) {
+    const auto spec = sw::lumi_campaign();
+    for (const auto& soft : spec.software) {
+        if (soft.label != "icon" || soft.path_pattern.find("a.out") != std::string::npos) {
+            continue;
+        }
+        std::size_t variants = 0;
+        for (const auto& g : soft.groups) variants += g.variants;
+        EXPECT_EQ(variants, 175u);  // Table 5: unique FILE_H for icon
+        EXPECT_EQ(soft.groups.size(), 3u);
+        return;
+    }
+    FAIL() << "icon spec not found";
+}
+
+TEST(Generator, MiniCampaignPlansAndEmits) {
+    sw::GeneratorOptions options;
+    options.scale = 1.0;
+    const sw::Generator generator(sw::mini_campaign(), options);
+    EXPECT_GT(generator.job_count(), 0u);
+    EXPECT_GT(generator.totals().processes, 0u);
+
+    siren::collect::FileStore store;
+    generator.populate_store(store);
+    EXPECT_GT(store.size(), 5u);
+
+    std::uint64_t emitted = 0;
+    std::set<std::string> paths;
+    generator.run([&](const siren::sim::SimProcess& p) {
+        ++emitted;
+        paths.insert(p.exe_path);
+        EXPECT_TRUE(store.contains(p.exe_path)) << p.exe_path;
+        EXPECT_GT(p.pid, 0);
+        EXPECT_GE(p.start_time, 1733875200);
+    });
+    EXPECT_EQ(emitted, generator.totals().processes);
+    EXPECT_GT(paths.size(), 5u);
+}
+
+TEST(Generator, DeterministicAcrossRuns) {
+    sw::GeneratorOptions options;
+    options.scale = 1.0;
+    options.seed = 7;
+
+    auto fingerprint = [&] {
+        const sw::Generator generator(sw::mini_campaign(), options);
+        std::string fp;
+        generator.run([&](const siren::sim::SimProcess& p) {
+            fp += p.exe_path;
+            fp += ':';
+            fp += std::to_string(p.pid);
+            fp += ';';
+        });
+        return fp;
+    };
+    EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+TEST(Generator, ScaleShrinksProcessCounts) {
+    const auto spec = sw::lumi_campaign();
+    sw::GeneratorOptions small;
+    small.scale = 0.01;
+    const sw::Generator generator(spec, small);
+
+    // 1% of ~2.35M, plus per-entity minimums of 1.
+    EXPECT_GT(generator.totals().processes, 10000u);
+    EXPECT_LT(generator.totals().processes, 80000u);
+    EXPECT_GT(generator.job_count(), 100u);
+    EXPECT_LT(generator.job_count(), 1000u);
+}
+
+TEST(Generator, ShardedRunsCoverAllJobs) {
+    sw::GeneratorOptions options;
+    const sw::Generator generator(sw::mini_campaign(), options);
+
+    std::uint64_t total = 0;
+    const std::size_t half = generator.job_count() / 2;
+    sw::CampaignTotals a = generator.run_jobs(0, half, [&](const auto&) { ++total; });
+    sw::CampaignTotals b =
+        generator.run_jobs(half, generator.job_count(), [&](const auto&) { ++total; });
+    EXPECT_EQ(a.processes + b.processes, generator.totals().processes);
+    EXPECT_EQ(total, generator.totals().processes);
+}
+
+TEST(Generator, UnknownTwinIsByteIdenticalToIconBuildZero) {
+    // Table 7 row 1: the a.out probe must match one icon build at 100 on
+    // every dimension, which requires byte-identical images.
+    const sw::Generator generator(sw::mini_campaign(), {});
+    siren::collect::FileStore store;
+    generator.populate_store(store);
+
+    const auto& icon = store.image("/users/user_4/icon-model/build_0/bin/icon");
+    const auto& unknown = store.image("/scratch/project_1/run_0/a.out");
+    EXPECT_EQ(icon.bytes, unknown.bytes);
+}

@@ -1,0 +1,111 @@
+// siren_hash — fuzzy-hash files and compare digests (the ssdeep-style CLI).
+//
+//   siren_hash FILE...            print "digest  path" per file
+//   siren_hash -x FILE...         also print the strings/symbols digests
+//   siren_hash -c FILE_A FILE_B   compare two files (0..100)
+//   siren_hash -d DIGEST_A DIGEST_B
+//                                 compare two digest strings
+//
+// Exit code: 0 on success, 1 on usage errors, 2 when a file is unreadable.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "elfio/elfio.hpp"
+#include "fuzzy/fuzzy.hpp"
+#include "fuzzy/streaming.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    out.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    return true;
+}
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: siren_hash [-x] FILE...\n"
+                 "       siren_hash -c FILE_A FILE_B\n"
+                 "       siren_hash -d DIGEST_A DIGEST_B\n");
+    return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+
+    const std::string mode = argv[1];
+
+    if (mode == "-c") {
+        if (argc != 4) return usage();
+        std::vector<std::uint8_t> a, b;
+        if (!read_file(argv[2], a) || !read_file(argv[3], b)) {
+            std::fprintf(stderr, "siren_hash: cannot read input files\n");
+            return 2;
+        }
+        const int score =
+            siren::fuzzy::compare(siren::fuzzy::fuzzy_hash(a), siren::fuzzy::fuzzy_hash(b));
+        std::printf("%d\n", score);
+        return 0;
+    }
+
+    if (mode == "-d") {
+        if (argc != 4) return usage();
+        try {
+            std::printf("%d\n", siren::fuzzy::compare(argv[2], argv[3], /*strict=*/true));
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "siren_hash: %s\n", e.what());
+            return 1;
+        }
+        return 0;
+    }
+
+    const bool extended = mode == "-x";
+    int first_file = extended ? 2 : 1;
+    if (first_file >= argc) return usage();
+
+    int status = 0;
+    for (int i = first_file; i < argc; ++i) {
+        std::vector<std::uint8_t> bytes;
+        if (!read_file(argv[i], bytes)) {
+            std::fprintf(stderr, "siren_hash: cannot read %s\n", argv[i]);
+            status = 2;
+            continue;
+        }
+        std::printf("%s  %s\n", siren::fuzzy::fuzzy_hash(bytes).to_string().c_str(), argv[i]);
+        if (extended) {
+            namespace se = siren::elfio;
+            if (const auto tlsh = siren::fuzzy::tlsh_hash(bytes)) {
+                std::printf("  tlsh    : %s\n", tlsh->to_string().c_str());
+            }
+            const auto strings = se::printable_strings(bytes);
+            std::printf("  strings : %s\n",
+                        siren::fuzzy::fuzzy_hash(se::strings_blob(strings)).to_string().c_str());
+            if (se::Reader::looks_like_elf(bytes)) {
+                try {
+                    const se::Reader reader(bytes);
+                    const auto symbols = reader.global_symbol_names();
+                    std::printf("  symbols : %s\n",
+                                siren::fuzzy::fuzzy_hash(se::strings_blob(symbols))
+                                    .to_string()
+                                    .c_str());
+                    const auto comments = reader.comment_strings();
+                    if (!comments.empty()) {
+                        std::printf("  comment : %s\n", comments.front().c_str());
+                    }
+                    const std::string id = reader.build_id();
+                    if (!id.empty()) std::printf("  build-id: %s\n", id.c_str());
+                } catch (const std::exception&) {
+                    std::printf("  (malformed ELF: section details unavailable)\n");
+                }
+            }
+        }
+    }
+    return status;
+}

@@ -1,0 +1,63 @@
+// siren_query — post-processing and analysis over a stored message
+// database (what the paper's Python scripts do, as a C++ CLI).
+//
+//   siren_query DB_DIR                print the usage tables
+//   siren_query DB_DIR --markdown     full Markdown report (incl. security scan)
+//   siren_query DB_DIR --records      dump consolidated per-process records
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analytics/aggregate.hpp"
+#include "analytics/report.hpp"
+#include "analytics/tables.hpp"
+#include "consolidate/consolidator.hpp"
+#include "db/message_store.hpp"
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: siren_query DB_DIR [--markdown|--records]\n");
+        return 1;
+    }
+    const std::string mode = argc > 2 ? argv[2] : "";
+
+    try {
+        const auto db = siren::db::Database::load(argv[1]);
+        const auto consolidated = siren::consolidate::consolidate(db);
+
+        if (mode == "--records") {
+            for (const auto& r : consolidated.records) {
+                std::printf("%llu/%u pid=%lld host=%s exe=%s category=%s%s\n",
+                            static_cast<unsigned long long>(r.job_id), r.step_id,
+                            static_cast<long long>(r.pid), r.host.c_str(), r.exe_path.c_str(),
+                            std::string(to_string(r.category)).c_str(),
+                            r.has_missing_fields() ? " [missing fields]" : "");
+            }
+            return 0;
+        }
+
+        siren::analytics::Aggregates agg;
+        for (const auto& r : consolidated.records) agg.add(r);
+
+        if (mode == "--markdown") {
+            std::printf("%s", siren::analytics::campaign_report_markdown(agg).c_str());
+            return 0;
+        }
+
+        std::printf("== users/jobs/processes ==\n%s\n",
+                    siren::analytics::table2_users(agg).render().c_str());
+        std::printf("== system executables ==\n%s\n",
+                    siren::analytics::table3_system_execs(agg).render().c_str());
+        std::printf("== derived software labels ==\n%s\n",
+                    siren::analytics::table5_user_labels(agg).render().c_str());
+        std::printf("== python interpreters ==\n%s\n",
+                    siren::analytics::table8_python(agg).render().c_str());
+        std::printf("jobs with missing fields: %zu of %zu\n",
+                    agg.jobs_with_missing_fields.size(), agg.all_jobs.size());
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "siren_query: %s\n", e.what());
+        return 2;
+    }
+    return 0;
+}

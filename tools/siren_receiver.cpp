@@ -1,0 +1,72 @@
+// siren_receiver — the standalone message receiver (the paper's Go server,
+// as a C++ CLI): listens for SIREN UDP datagrams, stores raw messages,
+// and writes the database to disk on shutdown.
+//
+//   siren_receiver PORT OUTPUT_DIR [SECONDS]
+//
+// Runs for SECONDS (default: until SIGINT/SIGTERM), then persists
+// OUTPUT_DIR/messages.tsv. Pair it with the LD_PRELOAD collector:
+//
+//   siren_receiver 9742 /tmp/siren-db &
+//   SIREN_PORT=9742 LD_PRELOAD=.../libsiren_preload.so make -j
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "db/message_store.hpp"
+#include "net/udp.hpp"
+
+namespace {
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: siren_receiver PORT OUTPUT_DIR [SECONDS]\n");
+        return 1;
+    }
+    const auto port = static_cast<std::uint16_t>(std::strtoul(argv[1], nullptr, 10));
+    const std::string out_dir = argv[2];
+    const long run_seconds = argc > 3 ? std::strtol(argv[3], nullptr, 10) : 0;
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    siren::db::Database db;
+    siren::net::MessageQueue queue(1 << 18);
+
+    try {
+        siren::net::UdpReceiver receiver(queue, port);
+        siren::db::ReceiverService service(queue, db, /*workers=*/2);
+        std::printf("siren_receiver: listening on udp://127.0.0.1:%u, writing to %s\n",
+                    receiver.port(), out_dir.c_str());
+
+        const auto start = std::chrono::steady_clock::now();
+        while (!g_stop.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(200));
+            if (run_seconds > 0 &&
+                std::chrono::steady_clock::now() - start > std::chrono::seconds(run_seconds)) {
+                break;
+            }
+        }
+        receiver.stop();
+        queue.close();
+        service.finish();
+        std::printf("siren_receiver: stored %llu messages (%llu dropped at the queue)\n",
+                    static_cast<unsigned long long>(service.inserted()),
+                    static_cast<unsigned long long>(queue.dropped()));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "siren_receiver: %s\n", e.what());
+        return 2;
+    }
+
+    db.save(out_dir);
+    std::printf("siren_receiver: database written to %s\n", out_dir.c_str());
+    return 0;
+}

@@ -1,0 +1,114 @@
+// siren_registry — persistent software-recognition registry CLI.
+//
+//   siren_registry observe REGISTRY FILE [LABEL]
+//       Fuzzy-hash FILE and record a sighting; creates REGISTRY when
+//       missing. Prints the family the sighting landed in.
+//   siren_registry match REGISTRY FILE
+//       Query without recording. Prints family and score, or "unknown".
+//   siren_registry list REGISTRY
+//       Print the family inventory.
+//
+// Exit code: 0 on success (including "unknown" matches), 1 on usage
+// errors, 2 on unreadable files or corrupt registries.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzzy/fuzzy.hpp"
+#include "recognize/recognize.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: siren_registry observe REGISTRY FILE [LABEL]\n"
+                 "       siren_registry match   REGISTRY FILE\n"
+                 "       siren_registry list    REGISTRY\n");
+    return 1;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    out.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    return true;
+}
+
+/// Load the registry, tolerating a missing file (fresh registry).
+siren::recognize::Registry load_registry(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return siren::recognize::Registry{};
+    return siren::recognize::Registry::load(in);
+}
+
+int save_registry(const siren::recognize::Registry& reg, const std::string& path) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "siren_registry: cannot write %s\n", path.c_str());
+        return 2;
+    }
+    reg.save(out);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) return usage();
+    const std::string command = argv[1];
+    const std::string registry_path = argv[2];
+
+    try {
+        if (command == "list") {
+            if (argc != 3) return usage();
+            const auto reg = load_registry(registry_path);
+            std::printf("%-6s %-24s %10s %10s\n", "id", "name", "sightings", "exemplars");
+            for (const auto& fam : reg.families()) {
+                std::printf("%-6u %-24s %10llu %10zu\n", fam.id, fam.name.c_str(),
+                            static_cast<unsigned long long>(fam.sightings), fam.exemplars);
+            }
+            return 0;
+        }
+
+        if (command != "observe" && command != "match") return usage();
+        if ((command == "match" && argc != 4) ||
+            (command == "observe" && argc != 4 && argc != 5)) {
+            return usage();
+        }
+
+        std::vector<std::uint8_t> bytes;
+        if (!read_file(argv[3], bytes)) {
+            std::fprintf(stderr, "siren_registry: cannot read %s\n", argv[3]);
+            return 2;
+        }
+        const auto digest = siren::fuzzy::fuzzy_hash(bytes);
+
+        auto reg = load_registry(registry_path);
+        if (command == "match") {
+            const auto match = reg.best_match(digest);
+            if (!match) {
+                std::printf("unknown (no family above threshold)\n");
+            } else {
+                std::printf("%s (family %u, score %d)\n",
+                            reg.family(match->family).name.c_str(), match->family,
+                            match->best_score);
+            }
+            return 0;
+        }
+
+        const std::string label = argc == 5 ? argv[4] : "";
+        const auto obs = reg.observe(digest, label);
+        std::printf("%s -> family %u '%s' (score %d)%s\n", argv[3], obs.family,
+                    reg.family(obs.family).name.c_str(), obs.best_score,
+                    obs.new_family ? " [new family]" : "");
+        return save_registry(reg, registry_path);
+    } catch (const siren::util::ParseError& e) {
+        std::fprintf(stderr, "siren_registry: corrupt registry %s: %s\n",
+                     registry_path.c_str(), e.what());
+        return 2;
+    }
+}
