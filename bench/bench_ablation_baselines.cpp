@@ -18,8 +18,8 @@ int main() {
     std::vector<std::string> probes;
     for (const auto& [path, exe] : result.aggregates.execs) {
         if (path.find("/a.out") != std::string::npos) {
-            truth[path] = "icon";
-            probes.push_back(path);
+            truth[std::string(path)] = "icon";
+            probes.push_back(std::string(path));
         }
     }
     std::printf("Probes: %zu nondescript a.out executables (ground truth: icon)\n\n",

@@ -10,6 +10,18 @@
 //   SIREN_THREADS  worker threads, default = hardware concurrency
 //   SIREN_SEED     campaign seed, default 42
 //   SIREN_LOSS     datagram loss probability, default 0
+//
+// The campaign rides the zero-copy wire path (docs/wire_format.md): the
+// collector encodes into one reused buffer, each shard arenas the raw
+// datagram bytes and decodes them in place as net::MessageView, and
+// consolidation runs over view spans — steady state sends and flushes
+// perform no per-message heap allocation.
+//
+// Microbenchmark counterparts live in bench_perf_pipeline.cpp (BM_Decode vs
+// BM_DecodeView, BM_CollectConsolidate vs BM_CollectConsolidateView, with
+// allocs_per_op counters). `cmake --build build -t bench-pipeline-json`
+// runs them and condenses the numbers into BENCH_pipeline.json via
+// tools/bench_to_json.py — the machine-readable perf trajectory.
 
 #include <cstdio>
 #include <string>

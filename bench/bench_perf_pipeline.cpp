@@ -2,9 +2,20 @@
 // exercises: wire codec, chunking, per-process collection, consolidation.
 // The per-process cost is the overhead budget the LD_PRELOAD design must
 // respect.
+//
+// Owned-path benchmarks (BM_Decode, BM_CollectConsolidate) have zero-copy
+// view counterparts (BM_DecodeView, BM_CollectConsolidateView); the
+// allocs_per_op counter (heap allocations per iteration, via the
+// util/alloc_probe.hpp operator-new hook) makes the "no per-message heap
+// allocation in steady state" claim measurable. bench-pipeline-json runs
+// this binary and condenses the numbers into BENCH_pipeline.json.
 
 #include <benchmark/benchmark.h>
 
+#define SIREN_ALLOC_PROBE_IMPLEMENT
+#include "util/alloc_probe.hpp"
+
+#include "analytics/aggregate.hpp"
 #include "collect/collector.hpp"
 #include "consolidate/consolidator.hpp"
 #include "net/channel.hpp"
@@ -13,6 +24,17 @@
 #include "workload/synthesizer.hpp"
 
 namespace {
+
+/// Report heap allocations per iteration from the thread-local probe.
+class AllocCounter {
+public:
+    void start() { siren::util::alloc_probe_reset(); }
+    void report(benchmark::State& state) {
+        state.counters["allocs_per_op"] = benchmark::Counter(
+            static_cast<double>(siren::util::alloc_probe_count()),
+            benchmark::Counter::kAvgIterations);
+    }
+};
 
 siren::net::Message sample_message() {
     siren::net::Message m;
@@ -28,15 +50,48 @@ siren::net::Message sample_message() {
 
 void BM_Encode(benchmark::State& state) {
     const auto m = sample_message();
+    AllocCounter allocs;
+    allocs.start();
     for (auto _ : state) benchmark::DoNotOptimize(siren::net::encode(m));
+    allocs.report(state);
 }
 BENCHMARK(BM_Encode);
 
+void BM_EncodeInto(benchmark::State& state) {
+    const auto m = sample_message();
+    std::string wire;
+    siren::net::encode_into(m, wire);  // warm the buffer
+    AllocCounter allocs;
+    allocs.start();
+    for (auto _ : state) {
+        siren::net::encode_into(m, wire);
+        benchmark::DoNotOptimize(wire);
+    }
+    allocs.report(state);
+}
+BENCHMARK(BM_EncodeInto);
+
 void BM_Decode(benchmark::State& state) {
     const auto wire = siren::net::encode(sample_message());
+    AllocCounter allocs;
+    allocs.start();
     for (auto _ : state) benchmark::DoNotOptimize(siren::net::decode(wire));
+    allocs.report(state);
 }
 BENCHMARK(BM_Decode);
+
+void BM_DecodeView(benchmark::State& state) {
+    const auto wire = siren::net::encode(sample_message());
+    siren::net::MessageView view;
+    AllocCounter allocs;
+    allocs.start();
+    for (auto _ : state) {
+        siren::net::decode_view(wire, view);
+        benchmark::DoNotOptimize(view);
+    }
+    allocs.report(state);
+}
+BENCHMARK(BM_DecodeView);
 
 void BM_ChunkReassemble(benchmark::State& state) {
     const std::string content(static_cast<std::size_t>(state.range(0)), 'x');
@@ -117,6 +172,107 @@ void BM_ConsolidateProcess(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ConsolidateProcess);
+
+// ---------------------------------------------------------------------------
+// The full inline campaign step — collect one process, ship its datagrams,
+// consolidate, fold into aggregates — via the owned decode path (what the
+// pipeline did before the zero-copy rework) and the view path (what
+// core/framework.cpp does now). The view shard is the same
+// arena-of-raw-bytes design as the framework's InlineShard, built here from
+// the public API.
+
+struct BenchFixture {
+    siren::collect::FileStore store;
+    std::string exe = "/users/u/benchware/bin/app";
+    siren::sim::SimProcess process;
+
+    BenchFixture() {
+        siren::workload::BinaryRecipe recipe;
+        recipe.lineage = "benchware";
+        recipe.compilers = {"GCC: (SUSE Linux) 7.5.0"};
+        siren::collect::ExecutableImage image;
+        image.bytes = siren::workload::synthesize(recipe);
+        store.register_executable(exe, std::move(image));
+
+        process.exe_path = exe;
+        process.loaded_objects = {"/lib64/libc.so.6", "/opt/siren/lib/siren.so"};
+        process.loaded_modules = {"PrgEnv-cray/8.4.0", "cce/15.0.1"};
+        process.memory_map = {{0x400000, 0x500000, "r-xp", exe}};
+    }
+};
+
+struct OwnedShard : siren::net::Transport {
+    std::vector<siren::net::Message> messages;
+    void send(std::string_view d) noexcept override {
+        try {
+            messages.push_back(siren::net::decode(d));
+        } catch (...) {
+        }
+    }
+    void flush(siren::analytics::Aggregates& agg) {
+        auto result = siren::consolidate::consolidate(messages);
+        for (const auto& record : result.records) agg.add(record);
+        messages.clear();
+    }
+};
+
+struct ViewShard : siren::net::Transport {
+    std::string arena;
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+    std::vector<siren::net::MessageView> views;
+    siren::consolidate::ViewConsolidator consolidator;
+
+    void send(std::string_view d) noexcept override {
+        spans.push_back({arena.size(), d.size()});
+        arena.append(d);
+    }
+    void flush(siren::analytics::Aggregates& agg) {
+        views.clear();
+        for (const auto& [offset, size] : spans) {
+            siren::net::MessageView view;
+            try {
+                siren::net::decode_view(std::string_view(arena).substr(offset, size), view);
+                views.push_back(view);
+            } catch (...) {
+            }
+        }
+        auto result = consolidator.consolidate(views);
+        for (const auto& record : result.records) agg.add(record);
+        arena.clear();
+        spans.clear();
+    }
+};
+
+template <typename Shard>
+void run_collect_consolidate(benchmark::State& state) {
+    BenchFixture fixture;
+    Shard shard;
+    siren::collect::Collector collector(fixture.store, shard);
+    siren::analytics::Aggregates aggregates;
+
+    // Warm the derived cache, the shard buffers and the aggregate maps.
+    collector.collect(fixture.process);
+    shard.flush(aggregates);
+
+    AllocCounter allocs;
+    allocs.start();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(collector.collect(fixture.process));
+        shard.flush(aggregates);
+    }
+    allocs.report(state);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_CollectConsolidate(benchmark::State& state) {
+    run_collect_consolidate<OwnedShard>(state);
+}
+BENCHMARK(BM_CollectConsolidate);
+
+void BM_CollectConsolidateView(benchmark::State& state) {
+    run_collect_consolidate<ViewShard>(state);
+}
+BENCHMARK(BM_CollectConsolidateView);
 
 }  // namespace
 

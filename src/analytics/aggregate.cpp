@@ -8,6 +8,7 @@ using consolidate::Category;
 using consolidate::ProcessRecord;
 
 void Aggregates::add(const ProcessRecord& r) {
+    util::StringInterner& interner = util::StringInterner::global();
     ++total_processes;
     all_jobs.insert(r.job_id);
     if (r.has_missing_fields()) {
@@ -25,18 +26,18 @@ void Aggregates::add(const ProcessRecord& r) {
     }
 
     if (!r.exe_path.empty()) {
-        ExeStat& exe = execs[r.exe_path];
+        ExeStat& exe = execs[interner.intern(r.exe_path)];
         if (exe.path.empty()) exe.path = r.exe_path;
         exe.category = r.category;
         exe.users.insert(r.uid);
         exe.jobs.insert(r.job_id);
         ++exe.processes;
         if (!r.objects_hash.empty()) {
-            ObjectVariantStat& variant = exe.object_variants[r.objects_hash];
+            ObjectVariantStat& variant = exe.object_variants[interner.intern(r.objects_hash)];
             ++variant.processes;
             if (variant.sample_objects.empty()) variant.sample_objects = r.objects;
         }
-        if (!r.file_hash.empty()) exe.file_hashes.insert(r.file_hash);
+        if (!r.file_hash.empty()) exe.file_hashes.insert(interner.intern(r.file_hash));
         if (!exe.has_sample && !r.has_missing_fields()) {
             exe.sample = r;
             exe.has_sample = true;
@@ -44,19 +45,20 @@ void Aggregates::add(const ProcessRecord& r) {
     }
 
     if (r.category == Category::kPython) {
-        const std::string interp(util::basename(r.exe_path));
-        InterpreterStat& stat = interpreters[interp];
+        InterpreterStat& stat = interpreters[interner.intern(util::basename(r.exe_path))];
         stat.users.insert(r.uid);
         stat.jobs.insert(r.job_id);
         ++stat.processes;
-        if (!r.script_hash.empty()) stat.script_hashes.insert(r.script_hash);
+        const std::string_view script_hash =
+            r.script_hash.empty() ? std::string_view{} : interner.intern(r.script_hash);
+        if (!script_hash.empty()) stat.script_hashes.insert(script_hash);
 
         for (const auto& pkg : r.python_packages) {
-            PackageStat& p = packages[pkg];
+            PackageStat& p = packages[interner.intern(pkg)];
             p.users.insert(r.uid);
             p.jobs.insert(r.job_id);
             ++p.processes;
-            if (!r.script_hash.empty()) p.scripts.insert(r.script_hash);
+            if (!script_hash.empty()) p.scripts.insert(script_hash);
         }
     }
 }

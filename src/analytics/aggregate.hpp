@@ -4,9 +4,11 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "consolidate/record.hpp"
+#include "util/interner.hpp"
 
 namespace siren::analytics {
 
@@ -18,6 +20,14 @@ namespace siren::analytics {
 /// per-executable / per-user / per-package statistics (plus one sample
 /// record per executable for similarity search), and merge() combines
 /// per-thread instances after a sharded run.
+///
+/// Hot repeated strings — executable paths, digest hex, interpreter and
+/// package names — are interned once in util::StringInterner::global() and
+/// the maps/sets below key on the interned views: millions of add() calls
+/// hit the same few hundred pooled strings, and merging shards copies
+/// 16-byte views instead of reallocating key strings. Interned views live
+/// for the process lifetime, so aggregates can be merged and outlive their
+/// producing shards safely.
 
 /// One (executable, loaded-object-set) combination — the unit behind
 /// Table 3's "Unique OBJECTS_H" and Table 4's bash variants.
@@ -33,8 +43,8 @@ struct ExeStat {
     std::set<std::int64_t> users;       ///< UIDs
     std::set<std::uint64_t> jobs;
     std::uint64_t processes = 0;
-    std::map<std::string, ObjectVariantStat> object_variants;  ///< key: OB_H digest
-    std::set<std::string> file_hashes;  ///< distinct FILE_H digests
+    std::map<std::string_view, ObjectVariantStat> object_variants;  ///< key: interned OB_H digest
+    std::set<std::string_view> file_hashes;  ///< distinct FILE_H digests (interned)
     consolidate::ProcessRecord sample;  ///< first complete record seen
     bool has_sample = false;
 };
@@ -50,21 +60,21 @@ struct InterpreterStat {
     std::set<std::int64_t> users;
     std::set<std::uint64_t> jobs;
     std::uint64_t processes = 0;
-    std::set<std::string> script_hashes;  ///< distinct SCRIPT_H digests
+    std::set<std::string_view> script_hashes;  ///< distinct SCRIPT_H digests (interned)
 };
 
 struct PackageStat {
     std::set<std::int64_t> users;
     std::set<std::uint64_t> jobs;
     std::uint64_t processes = 0;
-    std::set<std::string> scripts;  ///< distinct SCRIPT_H digests importing it
+    std::set<std::string_view> scripts;  ///< distinct SCRIPT_H digests importing it (interned)
 };
 
 struct Aggregates {
-    std::map<std::int64_t, UserStat> users;          ///< by UID
-    std::map<std::string, ExeStat> execs;            ///< by executable path
-    std::map<std::string, InterpreterStat> interpreters;  ///< by basename
-    std::map<std::string, PackageStat> packages;     ///< by Python package
+    std::map<std::int64_t, UserStat> users;               ///< by UID
+    std::map<std::string_view, ExeStat> execs;            ///< by interned executable path
+    std::map<std::string_view, InterpreterStat> interpreters;  ///< by interned basename
+    std::map<std::string_view, PackageStat> packages;     ///< by interned Python package
 
     std::uint64_t total_processes = 0;
     std::set<std::uint64_t> all_jobs;

@@ -36,10 +36,10 @@ std::vector<RecognitionResult> evaluate_identification(const Aggregates& agg,
         bool crypto_hit = false;
         for (const auto& [path, exe] : agg.execs) {
             if (path == probe_path || exe.category != Category::kUser) continue;
-            if (labeler.label(path) == kUnknownLabel) continue;
+            if (labeler.label(exe.path) == kUnknownLabel) continue;
             for (const auto& h : exe.file_hashes) {
                 if (probe.file_hashes.count(h) != 0) {
-                    crypto_hit = labeler.label(path) == expected;
+                    crypto_hit = labeler.label(exe.path) == expected;
                     break;
                 }
             }

@@ -25,9 +25,11 @@ Labeler::Labeler(std::vector<Rule> rules) : rules_(std::move(rules)) {
     }
 }
 
-std::string Labeler::label(const std::string& exe_path) const {
+std::string Labeler::label(std::string_view exe_path) const {
     for (std::size_t i = 0; i < compiled_.size(); ++i) {
-        if (std::regex_search(exe_path, compiled_[i])) return rules_[i].label;
+        if (std::regex_search(exe_path.begin(), exe_path.end(), compiled_[i])) {
+            return rules_[i].label;
+        }
     }
     return kUnknownLabel;
 }

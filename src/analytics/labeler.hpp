@@ -2,6 +2,7 @@
 
 #include <regex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace siren::analytics {
@@ -29,7 +30,7 @@ public:
 
     /// First matching rule wins (rule order resolves overlaps such as
     /// "miniconda" containing the substring "icon").
-    std::string label(const std::string& exe_path) const;
+    std::string label(std::string_view exe_path) const;
 
     const std::vector<Rule>& rules() const { return rules_; }
 

@@ -21,7 +21,7 @@ RecognitionReport recognition_report(const Aggregates& agg, const Labeler& label
     for (const auto& [path, exe] : agg.execs) {
         if (exe.category != consolidate::Category::kUser) continue;
 
-        std::string hint = labeler.label(path);
+        std::string hint = labeler.label(exe.path);
         if (hint == kUnknownLabel) hint.clear();
 
         bool path_counted = false;

@@ -50,7 +50,7 @@ SecurityScanner::SecurityScanner(std::vector<Advisory> advisories,
                                  std::vector<std::string> known_packages)
     : advisories_(std::move(advisories)), known_(std::move(known_packages)) {}
 
-std::string SecurityScanner::classify(const std::string& package, std::string* detail) const {
+std::string SecurityScanner::classify(std::string_view package, std::string* detail) const {
     for (const auto& advisory : advisories_) {
         if (advisory.package == package) {
             if (detail != nullptr) *detail = advisory.summary;

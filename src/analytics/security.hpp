@@ -54,7 +54,7 @@ public:
 
     /// Classify one package name (exposed for tests).
     /// Returns the kind string, empty when the package is unremarkable.
-    std::string classify(const std::string& package, std::string* detail) const;
+    std::string classify(std::string_view package, std::string* detail) const;
 
 private:
     std::vector<Advisory> advisories_;

@@ -133,7 +133,7 @@ struct GroupStat {
     std::set<std::int64_t> users;
     std::set<std::uint64_t> jobs;
     std::uint64_t processes = 0;
-    std::set<std::string> file_hashes;
+    std::set<std::string_view> file_hashes;  ///< interned digests/paths from the aggregates
 };
 
 template <typename KeyOf>
@@ -203,14 +203,14 @@ TextTable table6_compilers(const Aggregates& agg) {
 TextTable table8_python(const Aggregates& agg) {
     struct Row {
         std::tuple<std::size_t, std::size_t, std::uint64_t, std::size_t> key;
-        const std::string* name;
+        std::string_view name;
         const InterpreterStat* stat;
     };
     std::vector<Row> rows;
     for (const auto& [name, stat] : agg.interpreters) {
         rows.push_back(
             {{stat.users.size(), stat.jobs.size(), stat.processes, stat.script_hashes.size()},
-             &name,
+             name,
              &stat});
     }
     sort_rows(rows);
@@ -218,7 +218,7 @@ TextTable table8_python(const Aggregates& agg) {
     TextTable t({"Python Interpreter", "Unique Users", "Job Count", "Process Count",
                  "Unique SCRIPT_H"});
     for (const auto& row : rows) {
-        t.add_row({*row.name, util::with_commas(row.stat->users.size()),
+        t.add_row({std::string(row.name), util::with_commas(row.stat->users.size()),
                    util::with_commas(row.stat->jobs.size()),
                    util::with_commas(row.stat->processes),
                    util::with_commas(row.stat->script_hashes.size())});
@@ -231,7 +231,7 @@ TextTable fig2_library_tags(const Aggregates& agg) {
         std::set<std::int64_t> users;
         std::set<std::uint64_t> jobs;
         std::uint64_t processes = 0;
-        std::set<std::string> execs;
+        std::set<std::string_view> execs;  ///< interned executable paths
     };
     std::map<std::string, TagStat> tags;
     for (const auto& [path, exe] : agg.execs) {
@@ -278,21 +278,21 @@ TextTable fig2_library_tags(const Aggregates& agg) {
 TextTable fig3_python_packages(const Aggregates& agg) {
     struct Row {
         std::tuple<std::size_t, std::size_t, std::uint64_t, std::size_t> key;
-        const std::string* name;
+        std::string_view name;
         const PackageStat* stat;
     };
     std::vector<Row> rows;
     for (const auto& [name, stat] : agg.packages) {
         rows.push_back(
             {{stat.users.size(), stat.jobs.size(), stat.processes, stat.scripts.size()},
-             &name,
+             name,
              &stat});
     }
     sort_rows(rows);
 
     TextTable t({"Package", "Unique Users", "Jobs", "Processes", "Unique Python Scripts"});
     for (const auto& row : rows) {
-        t.add_row({*row.name, util::with_commas(row.stat->users.size()),
+        t.add_row({std::string(row.name), util::with_commas(row.stat->users.size()),
                    util::with_commas(row.stat->jobs.size()),
                    util::with_commas(row.stat->processes),
                    util::with_commas(row.stat->scripts.size())});

@@ -45,17 +45,27 @@ std::string render_memmap_content(const sim::SimProcess& p) {
     return util::join(lines, "\n");
 }
 
-std::size_t Collector::send_field(const net::Message& header, net::MsgType type,
-                                  const std::string& content) {
-    net::Message typed = header;
-    typed.type = type;
-    std::size_t sent = 0;
-    for (const auto& chunk : net::chunk_content(typed, content, options_.max_datagram)) {
-        transport_.send(net::encode(chunk));
-        ++sent;
+std::size_t Collector::send_field(const net::MessageView& header, net::MsgType type,
+                                  std::string_view content) {
+    // Zero-copy send loop: chunk boundaries are computed arithmetically,
+    // each chunk is a view into `content`, and every datagram is encoded
+    // into the one reused wire buffer — no per-message heap allocation once
+    // the buffer capacity is warm.
+    net::MessageView m = header;
+    m.type = type;
+    const net::ChunkPlan plan = net::plan_chunks(m, content, options_.max_datagram, wire_);
+    m.total = plan.total;
+    for (std::uint32_t seq = 0; seq < plan.total; ++seq) {
+        m.seq = seq;
+        const std::size_t begin = static_cast<std::size_t>(seq) * plan.budget;
+        m.content = content.empty()
+                        ? std::string_view{}
+                        : content.substr(begin, std::min(plan.budget, content.size() - begin));
+        net::encode_into(m, wire_);
+        transport_.send(wire_);
     }
-    stats_.datagrams_sent.fetch_add(sent, std::memory_order_relaxed);
-    return sent;
+    stats_.datagrams_sent.fetch_add(plan.total, std::memory_order_relaxed);
+    return plan.total;
 }
 
 std::size_t Collector::collect(const sim::SimProcess& process) noexcept {
@@ -87,11 +97,12 @@ std::size_t Collector::collect_impl(const sim::SimProcess& p) {
     const Scope scope = classify(p);
     const Policy policy = Policy::for_scope(scope);
 
-    net::Message header;
+    const std::string exe_hash = exe_path_hash(p.exe_path);
+    net::MessageView header;
     header.job_id = p.job_id;
     header.step_id = p.step_id;
     header.pid = p.pid;
-    header.exe_hash = exe_path_hash(p.exe_path);
+    header.exe_hash = exe_hash;
     header.host = p.host;
     header.time = p.start_time;
     header.layer = net::Layer::kSelf;
@@ -152,7 +163,7 @@ std::size_t Collector::collect_impl(const sim::SimProcess& p) {
     // consolidation).
     if (scope == Scope::kPythonInterpreter && p.python && !p.python->script_path.empty()) {
         const Policy script_policy = Policy::for_scope(Scope::kPythonScript);
-        net::Message script_header = header;
+        net::MessageView script_header = header;
         script_header.layer = net::Layer::kScript;
 
         sent += send_field(script_header, net::MsgType::kIds,

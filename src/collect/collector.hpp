@@ -38,10 +38,12 @@ struct CollectorStats {
 /// processes: given everything a hooked process can observe about itself,
 /// emit the SIREN message set for its scope through a Transport.
 ///
-/// collect() is thread-safe (the campaign generator shards users over a
-/// pool) and never throws: any internal failure increments
+/// collect() never throws: any internal failure increments
 /// collection_errors and leaves the "user process" untouched — the
-/// graceful-failure contract of the paper.
+/// graceful-failure contract of the paper. The send path reuses one wire
+/// buffer across datagrams (zero heap traffic per message in steady state),
+/// so each thread needs its own Collector — the sharded campaign runner
+/// already works that way.
 class Collector {
 public:
     Collector(const FileStore& store, net::Transport& transport,
@@ -58,13 +60,14 @@ public:
 
 private:
     std::size_t collect_impl(const sim::SimProcess& process);
-    std::size_t send_field(const net::Message& header, net::MsgType type,
-                           const std::string& content);
+    std::size_t send_field(const net::MessageView& header, net::MsgType type,
+                           std::string_view content);
 
     const FileStore& store_;
     net::Transport& transport_;
     CollectorOptions options_;
     CollectorStats stats_;
+    std::string wire_;  ///< reused encode buffer — one allocation per campaign, not per datagram
 };
 
 /// Canonical CONTENT renderings shared by collector and consolidation.

@@ -147,50 +147,31 @@ std::vector<std::pair<net::Layer, net::MsgType>> expected_fields(Category catego
     return out;
 }
 
-}  // namespace
+/// Per-process accumulation shared by the owned and view pipelines: the
+/// record under construction plus which (layer, type) fields arrived at all.
+struct Accum {
+    ProcessRecord record;
+    std::set<std::pair<net::Layer, net::MsgType>> seen;
+};
 
-ConsolidationResult consolidate(const std::vector<net::Message>& messages) {
-    // Stage 1: reassemble chunked content per (process, layer, type).
-    net::Reassembler reassembler;
-    for (const auto& m : messages) reassembler.add(m);
+void tag_incomplete(ProcessRecord& r, net::Layer layer, net::MsgType type) {
+    std::string tag(net::to_string(layer));
+    tag += ":";
+    tag += net::to_string(type);
+    r.incomplete_fields.push_back(std::move(tag));
+}
 
-    // Stage 2: fold assembled fields into per-process records. The map key
-    // is the paper's disambiguator: JOBID/STEPID/PID/HASH/HOST — HASH (of
-    // the exe path) separates exec() chains that reuse a PID within one
-    // timestamp.
-    std::map<std::string, ProcessRecord> records;
-    std::map<std::string, std::set<std::pair<net::Layer, net::MsgType>>> received;
-    for (auto& assembled : reassembler.assemble()) {
-        const net::Message& m = assembled.merged;
-        ProcessRecord& r = records[m.process_key()];
-        received[m.process_key()].insert({m.layer, m.type});
-        r.job_id = m.job_id;
-        r.step_id = m.step_id;
-        r.pid = m.pid;
-        r.exe_hash = m.exe_hash;
-        r.host = m.host;
-        r.time = std::max(r.time, m.time);
-        if (assembled.complete()) {
-            apply_field(r, m.layer, m.type, m.content);
-        } else {
-            // Partial content is still applied (lists shrink, hashes may be
-            // damaged) but the field is flagged so analyses can exclude it.
-            apply_field(r, m.layer, m.type, m.content);
-            std::string tag(net::to_string(m.layer));
-            tag += ":";
-            tag += net::to_string(m.type);
-            r.incomplete_fields.push_back(std::move(tag));
-        }
-    }
-
-    // Stage 3: derive category and Python package imports; accumulate loss
-    // accounting per job.
+/// Stage 3, shared by both decode paths: derive category and Python package
+/// imports; accumulate loss accounting per job. Keyed by process key so both
+/// paths emit records in the same order.
+ConsolidationResult finish(std::map<std::string, Accum>&& accums) {
     ConsolidationResult result;
-    result.records.reserve(records.size());
+    result.records.reserve(accums.size());
     std::set<std::uint64_t> jobs;
     std::set<std::uint64_t> jobs_missing;
 
-    for (auto& [key, record] : records) {
+    for (auto& [key, accum] : accums) {
+        ProcessRecord& record = accum.record;
         record.category = categorize(record.exe_path);
         if (record.category == Category::kPython && !record.memmap_paths.empty()) {
             record.python_packages = collect::extract_python_packages(record.memmap_paths);
@@ -198,7 +179,7 @@ ConsolidationResult consolidate(const std::vector<net::Message>& messages) {
 
         // Wholly lost messages: fields the category's policy promises but
         // that never arrived.
-        const auto& seen = received[key];
+        const auto& seen = accum.seen;
         const bool has_script_layer =
             std::any_of(seen.begin(), seen.end(),
                         [](const auto& lt) { return lt.first == net::Layer::kScript; });
@@ -207,10 +188,7 @@ ConsolidationResult consolidate(const std::vector<net::Message>& messages) {
         }
         for (const auto& [layer, type] : expected_fields(record.category, has_script_layer)) {
             if (seen.count({layer, type}) != 0) continue;
-            std::string tag(net::to_string(layer));
-            tag += ":";
-            tag += net::to_string(type);
-            record.incomplete_fields.push_back(std::move(tag));
+            tag_incomplete(record, layer, type);
         }
 
         std::sort(record.incomplete_fields.begin(), record.incomplete_fields.end());
@@ -230,6 +208,141 @@ ConsolidationResult consolidate(const std::vector<net::Message>& messages) {
     result.total_jobs = jobs.size();
     result.jobs_with_missing_fields = jobs_missing.size();
     return result;
+}
+
+}  // namespace
+
+ConsolidationResult consolidate(const std::vector<net::Message>& messages) {
+    // Stage 1: reassemble chunked content per (process, layer, type).
+    net::Reassembler reassembler;
+    for (const auto& m : messages) reassembler.add(m);
+
+    // Stage 2: fold assembled fields into per-process records. The map key
+    // is the paper's disambiguator: JOBID/STEPID/PID/HASH/HOST — HASH (of
+    // the exe path) separates exec() chains that reuse a PID within one
+    // timestamp.
+    std::map<std::string, Accum> accums;
+    for (auto& assembled : reassembler.assemble()) {
+        const net::Message& m = assembled.merged;
+        Accum& a = accums[m.process_key()];
+        ProcessRecord& r = a.record;
+        a.seen.insert({m.layer, m.type});
+        r.job_id = m.job_id;
+        r.step_id = m.step_id;
+        r.pid = m.pid;
+        r.exe_hash = m.exe_hash;
+        r.host = m.host;
+        r.time = std::max(r.time, m.time);
+        apply_field(r, m.layer, m.type, m.content);
+        if (!assembled.complete()) {
+            // Partial content is still applied (lists shrink, hashes may be
+            // damaged) but the field is flagged so analyses can exclude it.
+            tag_incomplete(r, m.layer, m.type);
+        }
+    }
+
+    return finish(std::move(accums));
+}
+
+ConsolidationResult ViewConsolidator::consolidate(std::span<const net::MessageView> messages) {
+    // Stage 1: group chunks by process identity. Identity compares the raw
+    // wire bytes (both sides of a group came through the same encoder, so
+    // escaped-vs-raw never disagrees within a process). The linear group
+    // scan is O(#processes) per message — the inline shard flushes one
+    // process at a time, so in the hot path it is a single compare.
+    chunks_.clear();
+    groups_.clear();
+    std::uint32_t arrival = 0;
+    for (const net::MessageView& m : messages) {
+        std::uint32_t g = 0;
+        for (; g < groups_.size(); ++g) {
+            GroupRef& group = groups_[g];
+            if (group.job_id == m.job_id && group.step_id == m.step_id &&
+                group.pid == m.pid && group.exe_hash == m.exe_hash && group.host == m.host) {
+                group.time = std::max(group.time, m.time);
+                break;
+            }
+        }
+        if (g == groups_.size()) {
+            groups_.push_back({m.job_id, m.step_id, m.pid, m.exe_hash, m.host,
+                               m.host_escaped, m.time});
+        }
+        chunks_.push_back({g, m.layer, m.type, m.seq, m.total, arrival++, m.content,
+                           m.content_escaped});
+    }
+
+    // Stage 2: sort chunks into (process, layer, type, seq) runs — in-place,
+    // no per-message allocation — and assemble each run's content into the
+    // reused scratch buffer, unescaping lazily.
+    std::sort(chunks_.begin(), chunks_.end(), [](const ChunkRef& a, const ChunkRef& b) {
+        if (a.group != b.group) return a.group < b.group;
+        if (a.layer != b.layer) return a.layer < b.layer;
+        if (a.type != b.type) return a.type < b.type;
+        if (a.seq != b.seq) return a.seq < b.seq;
+        return a.arrival < b.arrival;
+    });
+
+    std::map<std::string, Accum> accums;
+    std::vector<Accum*> group_accum(groups_.size(), nullptr);
+    std::string key;
+
+    for (std::size_t i = 0; i < chunks_.size();) {
+        const ChunkRef& head = chunks_[i];
+        // One run = all chunks of one (process, layer, type).
+        std::uint32_t expected = 0;
+        std::uint32_t received = 0;
+        scratch_.clear();
+        std::size_t j = i;
+        for (; j < chunks_.size(); ++j) {
+            const ChunkRef& c = chunks_[j];
+            if (c.group != head.group || c.layer != head.layer || c.type != head.type) break;
+            // TOTAL should agree across chunks; a corrupted packet that
+            // disagrees keeps the larger claim so completeness stays
+            // conservative. Duplicate SEQs: the first arrival wins.
+            expected = std::max(expected, c.total);
+            if (j > i && c.seq == chunks_[j - 1].seq) continue;
+            ++received;
+            if (!c.escaped) {
+                scratch_.append(c.content);
+            } else {
+                util::unescape_field_into(c.content, scratch_);
+            }
+        }
+
+        Accum*& accum = group_accum[head.group];
+        if (accum == nullptr) {
+            const GroupRef& group = groups_[head.group];
+            key.clear();
+            net::MessageView id;
+            id.job_id = group.job_id;
+            id.step_id = group.step_id;
+            id.pid = group.pid;
+            id.exe_hash = group.exe_hash;
+            id.host = group.host;
+            id.host_escaped = group.host_escaped;
+            id.process_key_into(key);
+            accum = &accums[key];
+            ProcessRecord& r = accum->record;
+            r.job_id = group.job_id;
+            r.step_id = group.step_id;
+            r.pid = group.pid;
+            r.exe_hash = std::string(group.exe_hash);
+            r.host = group.host_escaped ? util::unescape_field(group.host)
+                                        : std::string(group.host);
+            r.time = group.time;
+        }
+        accum->seen.insert({head.layer, head.type});
+        apply_field(accum->record, head.layer, head.type, scratch_);
+        if (received != expected) tag_incomplete(accum->record, head.layer, head.type);
+        i = j;
+    }
+
+    return finish(std::move(accums));
+}
+
+ConsolidationResult consolidate(std::span<const net::MessageView> messages) {
+    ViewConsolidator consolidator;
+    return consolidator.consolidate(messages);
 }
 
 ConsolidationResult consolidate(const db::Database& db) {

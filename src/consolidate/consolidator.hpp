@@ -2,6 +2,9 @@
 
 #include <cstdint>
 #include <set>
+#include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "consolidate/record.hpp"
@@ -38,7 +41,49 @@ struct ConsolidationResult {
 ///  - fields whose chunks were lost are listed per record, never dropped.
 ConsolidationResult consolidate(const std::vector<net::Message>& messages);
 
+/// Same semantics over zero-copy views (the inline campaign path): chunk
+/// grouping and reassembly never copy or unescape a byte until a field's
+/// content is materialized for its record. The views' backing bytes must
+/// stay alive for the duration of the call.
+ConsolidationResult consolidate(std::span<const net::MessageView> messages);
+
 /// Same, reading from the raw-message table a ReceiverService populated.
 ConsolidationResult consolidate(const db::Database& db);
+
+/// Stateful variant of the view overload for steady-state callers (one per
+/// campaign shard): grouping and reassembly scratch is retained between
+/// calls, so consolidating one process's flush performs no per-message heap
+/// allocation once capacities are warm.
+class ViewConsolidator {
+public:
+    ConsolidationResult consolidate(std::span<const net::MessageView> messages);
+
+private:
+    /// One (process, layer, type) chunk, tagged for in-place run sorting.
+    struct ChunkRef {
+        std::uint32_t group = 0;
+        net::Layer layer = net::Layer::kSelf;
+        net::MsgType type = net::MsgType::kFileMeta;
+        std::uint32_t seq = 0;
+        std::uint32_t total = 1;
+        std::uint32_t arrival = 0;  ///< tie-break so duplicate SEQs keep the first arrival
+        std::string_view content;
+        bool escaped = false;
+    };
+    /// Identity of one process (views into the caller's message bytes).
+    struct GroupRef {
+        std::uint64_t job_id = 0;
+        std::uint32_t step_id = 0;
+        std::int64_t pid = 0;
+        std::string_view exe_hash;
+        std::string_view host;
+        bool host_escaped = false;
+        std::int64_t time = 0;
+    };
+
+    std::vector<ChunkRef> chunks_;   // reused across calls
+    std::vector<GroupRef> groups_;   // reused across calls
+    std::string scratch_;            // reused content-assembly buffer
+};
 
 }  // namespace siren::consolidate

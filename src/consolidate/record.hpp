@@ -65,6 +65,10 @@ struct ProcessRecord {
     std::vector<std::string> incomplete_fields;
 
     bool has_missing_fields() const { return !incomplete_fields.empty(); }
+
+    /// Memberwise equality — the owned and zero-copy consolidation paths
+    /// are tested to produce identical records.
+    friend bool operator==(const ProcessRecord&, const ProcessRecord&) = default;
 };
 
 }  // namespace siren::consolidate

@@ -30,6 +30,14 @@ namespace {
 /// flush, applies Bernoulli loss and feeds the survivors straight into a
 /// per-shard consolidator — the O(1)-memory rendition of
 /// send -> receive -> store -> consolidate.
+///
+/// Zero-copy steady state: surviving datagram bytes are appended to a
+/// per-shard arena (send() must copy — the collector reuses its wire buffer
+/// as soon as send() returns), decoded in place as MessageViews at flush
+/// time, and consolidated through a reused ViewConsolidator. The arena,
+/// span list, view list and consolidator scratch all keep their capacity
+/// across flushes, so after warm-up a process's messages cause no heap
+/// allocation anywhere on the transport path.
 class InlineShard : public net::Transport {
 public:
     InlineShard(double loss_rate, std::uint64_t seed) : loss_rate_(loss_rate), rng_(seed) {}
@@ -41,19 +49,38 @@ public:
             return;
         }
         try {
-            messages_.push_back(net::decode(datagram));
+            const std::size_t offset = arena_.size();
+            arena_.append(datagram);
+            spans_.push_back({offset, datagram.size()});
         } catch (...) {
-            ++malformed_;
+            // Allocation failure: account the datagram as lost, like a full
+            // socket buffer would. (Appending before recording the span
+            // means a failed append leaves no stale span behind; orphaned
+            // arena bytes are reclaimed by the next flush.)
+            ++lost_;
         }
     }
 
     /// Consolidate everything buffered since the last flush (exactly one
     /// process worth of messages) into the aggregates.
     void flush(analytics::Aggregates& agg) {
-        if (messages_.empty()) return;
-        auto result = consolidate::consolidate(messages_);
-        for (const auto& record : result.records) agg.add(record);
-        messages_.clear();
+        if (spans_.empty()) return;
+        views_.clear();
+        for (const auto& [offset, size] : spans_) {
+            net::MessageView view;
+            try {
+                net::decode_view(std::string_view(arena_).substr(offset, size), view);
+                views_.push_back(view);
+            } catch (...) {
+                ++malformed_;
+            }
+        }
+        if (!views_.empty()) {
+            auto result = consolidator_.consolidate(views_);
+            for (const auto& record : result.records) agg.add(record);
+        }
+        arena_.clear();
+        spans_.clear();
     }
 
     std::uint64_t sent() const { return sent_; }
@@ -63,7 +90,10 @@ public:
 private:
     double loss_rate_;
     util::Rng rng_;
-    std::vector<net::Message> messages_;
+    std::string arena_;  ///< raw datagram bytes of the in-flight process
+    std::vector<std::pair<std::size_t, std::size_t>> spans_;  ///< (offset, size) into arena_
+    std::vector<net::MessageView> views_;
+    consolidate::ViewConsolidator consolidator_;
     std::uint64_t sent_ = 0;
     std::uint64_t lost_ = 0;
     std::uint64_t malformed_ = 0;

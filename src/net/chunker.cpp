@@ -6,32 +6,49 @@
 
 namespace siren::net {
 
-std::vector<Message> chunk_content(const Message& header, std::string_view content,
-                                   std::size_t max_datagram) {
+ChunkPlan plan_chunks(const MessageView& header, std::string_view content,
+                      std::size_t max_datagram, std::string& scratch) {
     // Overhead of an encoded message with empty content; escaping can at
     // worst double the content bytes, so budget for that.
-    Message probe = header;
-    probe.content.clear();
+    MessageView probe = header;
+    probe.content = {};
+    probe.content_escaped = false;
     probe.seq = 0;
     probe.total = 1;
-    const std::size_t overhead = encode(probe).size() + 24;  // slack for wide SEQ/TOTAL digits
-    const std::size_t budget = max_datagram > overhead ? (max_datagram - overhead) / 2 : 64;
+    encode_into(probe, scratch);
+    const std::size_t overhead = scratch.size() + 24;  // slack for wide SEQ/TOTAL digits
+    ChunkPlan plan;
+    plan.budget = max_datagram > overhead
+                      ? std::max<std::size_t>((max_datagram - overhead) / 2, 1)
+                      : 64;
+    plan.total = content.empty()
+                     ? 1
+                     : static_cast<std::uint32_t>((content.size() + plan.budget - 1) / plan.budget);
+    return plan;
+}
+
+std::vector<Message> chunk_content(const Message& header, std::string_view content,
+                                   std::size_t max_datagram) {
+    std::string scratch;
+    const ChunkPlan plan = plan_chunks(as_view(header), content, max_datagram, scratch);
 
     std::vector<Message> out;
     if (content.empty()) {
-        out.push_back(probe);
+        Message m = header;
+        m.content.clear();
+        m.seq = 0;
+        m.total = 1;
+        out.push_back(std::move(m));
         return out;
     }
 
-    const std::uint32_t total =
-        static_cast<std::uint32_t>((content.size() + budget - 1) / budget);
-    out.reserve(total);
-    for (std::uint32_t seq = 0; seq < total; ++seq) {
+    out.reserve(plan.total);
+    for (std::uint32_t seq = 0; seq < plan.total; ++seq) {
         Message m = header;
         m.seq = seq;
-        m.total = total;
-        const std::size_t begin = static_cast<std::size_t>(seq) * budget;
-        const std::size_t len = std::min(budget, content.size() - begin);
+        m.total = plan.total;
+        const std::size_t begin = static_cast<std::size_t>(seq) * plan.budget;
+        const std::size_t len = std::min(plan.budget, content.size() - begin);
         m.content.assign(content.substr(begin, len));
         out.push_back(std::move(m));
     }

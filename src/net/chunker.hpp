@@ -22,6 +22,18 @@ inline constexpr std::size_t kMaxDatagramBytes = 1400;
 std::vector<Message> chunk_content(const Message& header, std::string_view content,
                                    std::size_t max_datagram = kMaxDatagramBytes);
 
+/// How `content` will be cut for `header`: the per-chunk payload budget and
+/// resulting chunk count. `scratch` is a reusable encode buffer (the header
+/// is probed with empty content to measure its overhead); no allocation
+/// once it has capacity. chunk_content() and the collector's zero-copy send
+/// loop share this arithmetic, so both paths cut identical chunks.
+struct ChunkPlan {
+    std::size_t budget = 0;   ///< content bytes per chunk (pre-escaping)
+    std::uint32_t total = 1;  ///< number of chunks, >= 1
+};
+ChunkPlan plan_chunks(const MessageView& header, std::string_view content,
+                      std::size_t max_datagram, std::string& scratch);
+
 /// Reassembles chunked messages per (process, layer, type).
 ///
 /// UDP may drop or reorder chunks; the reassembler keeps whatever arrived

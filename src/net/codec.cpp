@@ -9,32 +9,51 @@ namespace siren::net {
 
 using util::ParseError;
 
-std::string encode(const Message& m) {
-    std::string out;
-    out.reserve(m.content.size() + 160);
+using util::append_number;
+
+void encode_into(const MessageView& m, std::string& out) {
+    out.clear();
     out += kWireMagic;
     out += "|JOBID=";
-    out += std::to_string(m.job_id);
+    append_number(out, m.job_id);
     out += "|STEPID=";
-    out += std::to_string(m.step_id);
+    append_number(out, m.step_id);
     out += "|PID=";
-    out += std::to_string(m.pid);
+    append_number(out, m.pid);
     out += "|HASH=";
     out += m.exe_hash;
     out += "|HOST=";
-    out += util::escape_field(m.host);
+    if (m.host_escaped) {
+        out += m.host;  // already exact wire bytes
+    } else {
+        util::escape_field_into(m.host, out);
+    }
     out += "|TIME=";
-    out += std::to_string(m.time);
+    append_number(out, m.time);
     out += "|LAYER=";
     out += to_string(m.layer);
     out += "|TYPE=";
     out += to_string(m.type);
     out += "|SEQ=";
-    out += std::to_string(m.seq);
+    append_number(out, m.seq);
     out += "|TOTAL=";
-    out += std::to_string(m.total);
+    append_number(out, m.total);
     out += "|CONTENT=";
-    out += util::escape_field(m.content);
+    if (m.content_escaped) {
+        out += m.content;
+    } else {
+        util::escape_field_into(m.content, out);
+    }
+}
+
+void encode_into(const Message& m, std::string& out) {
+    encode_into(as_view(m), out);
+}
+
+std::string encode(const Message& m) {
+    std::string out;
+    out.reserve(m.content.size() + 160);
+    encode_into(m, out);
     return out;
 }
 
@@ -52,63 +71,126 @@ T parse_number(std::string_view field, std::string_view value) {
 
 }  // namespace
 
-Message decode(std::string_view datagram) {
-    const auto fields = util::split(datagram, '|');
-    if (fields.empty() || fields[0] != kWireMagic) {
+void decode_view(std::string_view datagram, MessageView& out) {
+    std::size_t pos = datagram.find('|');
+    if (datagram.substr(0, pos) != kWireMagic) {
         throw ParseError("datagram missing SIREN1 magic");
     }
 
-    Message m;
-    // Bit set tracking mandatory fields.
+    out = MessageView{};
+    // Bit set tracking which fields arrived; doubles as the duplicate
+    // detector — a datagram naming any field twice is corrupt (the two
+    // values could disagree and the wire never legitimately repeats one).
     unsigned seen = 0;
-    auto mark = [&seen](int bit) { seen |= 1u << bit; };
+    auto mark = [&seen](int bit, std::string_view key) {
+        const unsigned mask = 1u << bit;
+        if (seen & mask) throw ParseError("duplicate wire field " + std::string(key));
+        seen |= mask;
+    };
 
-    for (std::size_t i = 1; i < fields.size(); ++i) {
-        const std::string& field = fields[i];
-        const std::size_t eq = field.find('=');
-        if (eq == std::string::npos) throw ParseError("field without '=': " + field);
-        const std::string_view key(field.data(), eq);
-        const std::string_view value(field.data() + eq + 1, field.size() - eq - 1);
-
-        if (key == "JOBID") {
-            m.job_id = parse_number<std::uint64_t>(key, value);
-            mark(0);
-        } else if (key == "STEPID") {
-            m.step_id = parse_number<std::uint32_t>(key, value);
-            mark(1);
-        } else if (key == "PID") {
-            m.pid = parse_number<std::int64_t>(key, value);
-            mark(2);
-        } else if (key == "HASH") {
-            m.exe_hash = std::string(value);
-            mark(3);
-        } else if (key == "HOST") {
-            m.host = util::unescape_field(value);
-            mark(4);
-        } else if (key == "TIME") {
-            m.time = parse_number<std::int64_t>(key, value);
-            mark(5);
-        } else if (key == "LAYER") {
-            m.layer = layer_from_string(value);
-            mark(6);
-        } else if (key == "TYPE") {
-            m.type = msg_type_from_string(value);
-            mark(7);
-        } else if (key == "SEQ") {
-            m.seq = parse_number<std::uint32_t>(key, value);
-        } else if (key == "TOTAL") {
-            m.total = parse_number<std::uint32_t>(key, value);
-        } else if (key == "CONTENT") {
-            m.content = util::unescape_field(value);
-            mark(8);
-        } else {
-            // Unknown keys are ignored for forward compatibility.
+    // Per-field hot loop: dispatch on the first character, then match the
+    // whole "KEY=" prefix in one compare — no separate scan for '='. Only
+    // unknown keys (forward compatibility) pay for a '=' sanity check.
+    const auto after = [](std::string_view field, std::string_view prefix) {
+        return field.substr(prefix.size());
+    };
+    while (pos != std::string_view::npos) {
+        const std::size_t begin = pos + 1;
+        pos = datagram.find('|', begin);
+        const std::string_view field = pos == std::string_view::npos
+                                           ? datagram.substr(begin)
+                                           : datagram.substr(begin, pos - begin);
+        bool handled = true;
+        switch (field.empty() ? '\0' : field[0]) {
+            case 'J':
+                if (field.starts_with("JOBID=")) {
+                    mark(0, "JOBID");
+                    out.job_id = parse_number<std::uint64_t>("JOBID", after(field, "JOBID="));
+                } else {
+                    handled = false;
+                }
+                break;
+            case 'S':
+                if (field.starts_with("STEPID=")) {
+                    mark(1, "STEPID");
+                    out.step_id = parse_number<std::uint32_t>("STEPID", after(field, "STEPID="));
+                } else if (field.starts_with("SEQ=")) {
+                    mark(9, "SEQ");
+                    out.seq = parse_number<std::uint32_t>("SEQ", after(field, "SEQ="));
+                } else {
+                    handled = false;
+                }
+                break;
+            case 'P':
+                if (field.starts_with("PID=")) {
+                    mark(2, "PID");
+                    out.pid = parse_number<std::int64_t>("PID", after(field, "PID="));
+                } else {
+                    handled = false;
+                }
+                break;
+            case 'H':
+                if (field.starts_with("HASH=")) {
+                    mark(3, "HASH");
+                    out.exe_hash = after(field, "HASH=");
+                } else if (field.starts_with("HOST=")) {
+                    mark(4, "HOST");
+                    out.host = after(field, "HOST=");
+                    out.host_escaped = out.host.find('\\') != std::string_view::npos;
+                } else {
+                    handled = false;
+                }
+                break;
+            case 'T':
+                if (field.starts_with("TIME=")) {
+                    mark(5, "TIME");
+                    out.time = parse_number<std::int64_t>("TIME", after(field, "TIME="));
+                } else if (field.starts_with("TYPE=")) {
+                    mark(7, "TYPE");
+                    out.type = msg_type_from_string(after(field, "TYPE="));
+                } else if (field.starts_with("TOTAL=")) {
+                    mark(10, "TOTAL");
+                    out.total = parse_number<std::uint32_t>("TOTAL", after(field, "TOTAL="));
+                } else {
+                    handled = false;
+                }
+                break;
+            case 'L':
+                if (field.starts_with("LAYER=")) {
+                    mark(6, "LAYER");
+                    out.layer = layer_from_string(after(field, "LAYER="));
+                } else {
+                    handled = false;
+                }
+                break;
+            case 'C':
+                if (field.starts_with("CONTENT=")) {
+                    mark(8, "CONTENT");
+                    out.content = after(field, "CONTENT=");
+                    out.content_escaped = out.content.find('\\') != std::string_view::npos;
+                } else {
+                    handled = false;
+                }
+                break;
+            default:
+                handled = false;
+                break;
+        }
+        if (!handled && field.find('=') == std::string_view::npos) {
+            throw ParseError("field without '=': " + std::string(field));
         }
     }
 
-    if (seen != 0x1FFu) throw ParseError("datagram missing mandatory header fields");
-    if (m.total == 0 || m.seq >= m.total) throw ParseError("datagram chunk indices inconsistent");
-    return m;
+    if ((seen & 0x1FFu) != 0x1FFu) throw ParseError("datagram missing mandatory header fields");
+    if (out.total == 0 || out.seq >= out.total) {
+        throw ParseError("datagram chunk indices inconsistent");
+    }
+}
+
+Message decode(std::string_view datagram) {
+    MessageView view;
+    decode_view(datagram, view);
+    return view.to_message();
 }
 
 }  // namespace siren::net

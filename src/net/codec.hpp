@@ -16,12 +16,32 @@ inline constexpr std::string_view kWireMagic = "SIREN1";
 ///
 ///   SIREN1|JOBID=7|STEPID=0|PID=4242|HASH=<hex>|HOST=nid000012|
 ///   TIME=1733900000|LAYER=SELF|TYPE=OBJECTS|SEQ=0|TOTAL=2|CONTENT=...
+///
+/// See docs/wire_format.md for the full layout and escaping contract.
 std::string encode(const Message& m);
 
+/// Allocation-free encode: clears `out` and serializes into it. Integers are
+/// formatted with std::to_chars into stack scratch; reusing `out` across
+/// calls performs no heap allocation once its capacity is warm — this is the
+/// collector's steady-state send path.
+void encode_into(const Message& m, std::string& out);
+
+/// Same for a view. Fields flagged *_escaped are appended verbatim (they
+/// already hold exact wire bytes), so decode_view -> encode_into round-trips
+/// a datagram without ever unescaping.
+void encode_into(const MessageView& m, std::string& out);
+
 /// Parse a datagram payload; throws siren::util::ParseError on anything
-/// malformed (wrong magic, missing fields, bad numbers). Receivers catch
-/// and count these rather than crash — graceful failure is a SIREN design
-/// goal.
+/// malformed (wrong magic, missing fields, duplicated fields, bad numbers).
+/// Receivers catch and count these rather than crash — graceful failure is
+/// a SIREN design goal.
 Message decode(std::string_view datagram);
+
+/// Zero-copy decode: parses in place, pointing `out`'s string fields into
+/// `datagram` (which must outlive the view). Escaped HOST/CONTENT values are
+/// *not* unescaped — the escape flags are set instead and unescaping happens
+/// lazily, only for consumers that need the raw value. Same validation and
+/// ParseError contract as decode().
+void decode_view(std::string_view datagram, MessageView& out);
 
 }  // namespace siren::net

@@ -1,6 +1,7 @@
 #include "net/message.hpp"
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace siren::net {
 
@@ -39,26 +40,125 @@ Layer layer_from_string(std::string_view s) {
 }
 
 MsgType msg_type_from_string(std::string_view s) {
-    for (int i = 0; i <= static_cast<int>(MsgType::kMemMapHash); ++i) {
-        const auto t = static_cast<MsgType>(i);
-        if (to_string(t) == s) return t;
+    // First-character dispatch instead of a linear scan over all names:
+    // this runs once per datagram on the decode hot path.
+    switch (s.empty() ? '\0' : s[0]) {
+        case 'F':
+            if (s == "FILEMETA") return MsgType::kFileMeta;
+            if (s == "FILE_H") return MsgType::kFileHash;
+            break;
+        case 'I':
+            if (s == "IDS") return MsgType::kIds;
+            break;
+        case 'M':
+            if (s == "MODULES") return MsgType::kModules;
+            if (s == "MEMMAP") return MsgType::kMemMap;
+            if (s == "MODULES_H") return MsgType::kModulesHash;
+            if (s == "MEMMAP_H") return MsgType::kMemMapHash;
+            break;
+        case 'O':
+            if (s == "OBJECTS") return MsgType::kObjects;
+            if (s == "OBJECTS_H") return MsgType::kObjectsHash;
+            break;
+        case 'C':
+            if (s == "COMPILERS") return MsgType::kCompilers;
+            if (s == "COMPILERS_H") return MsgType::kCompilersHash;
+            break;
+        case 'S':
+            if (s == "STRINGS_H") return MsgType::kStringsHash;
+            if (s == "SYMBOLS_H") return MsgType::kSymbolsHash;
+            if (s == "SCRIPT_H") return MsgType::kScriptHash;
+            break;
+        default:
+            break;
     }
     throw util::ParseError("unknown TYPE: " + std::string(s));
 }
 
+namespace {
+
+using util::append_number;
+
+void append_process_key(std::string& out, std::uint64_t job_id, std::uint32_t step_id,
+                        std::int64_t pid, std::string_view exe_hash, std::string_view host) {
+    append_number(out, job_id);
+    out += '/';
+    append_number(out, step_id);
+    out += '/';
+    append_number(out, pid);
+    out += '/';
+    out += exe_hash;
+    out += '/';
+    out += host;
+}
+
+}  // namespace
+
 std::string Message::process_key() const {
     std::string key;
     key.reserve(64);
-    key += std::to_string(job_id);
-    key += '/';
-    key += std::to_string(step_id);
-    key += '/';
-    key += std::to_string(pid);
-    key += '/';
-    key += exe_hash;
-    key += '/';
-    key += host;
+    append_process_key(key, job_id, step_id, pid, exe_hash, host);
     return key;
+}
+
+std::string MessageView::host_str() const {
+    return host_escaped ? util::unescape_field(host) : std::string(host);
+}
+
+std::string MessageView::content_str() const {
+    return content_escaped ? util::unescape_field(content) : std::string(content);
+}
+
+void MessageView::append_content(std::string& out) const {
+    if (!content_escaped) {
+        out.append(content);
+    } else {
+        util::unescape_field_into(content, out);
+    }
+}
+
+Message MessageView::to_message() const {
+    Message m;
+    m.job_id = job_id;
+    m.step_id = step_id;
+    m.pid = pid;
+    m.exe_hash = std::string(exe_hash);
+    m.host = host_str();
+    m.time = time;
+    m.layer = layer;
+    m.type = type;
+    m.seq = seq;
+    m.total = total;
+    m.content = content_str();
+    return m;
+}
+
+void MessageView::process_key_into(std::string& out) const {
+    out.clear();
+    // The key must match Message::process_key(), which holds the *unescaped*
+    // host; hosts with escapes are rare enough that the temporary is fine.
+    if (host_escaped) {
+        const std::string raw = host_str();
+        append_process_key(out, job_id, step_id, pid, exe_hash, raw);
+    } else {
+        append_process_key(out, job_id, step_id, pid, exe_hash, host);
+    }
+}
+
+MessageView as_view(const Message& m) {
+    MessageView v;
+    v.job_id = m.job_id;
+    v.step_id = m.step_id;
+    v.pid = m.pid;
+    v.exe_hash = m.exe_hash;
+    v.host = m.host;
+    v.time = m.time;
+    v.layer = m.layer;
+    v.type = m.type;
+    v.seq = m.seq;
+    v.total = m.total;
+    v.content = m.content;
+    return v;
 }
 
 }  // namespace siren::net

@@ -61,4 +61,48 @@ struct Message {
     std::string process_key() const;
 };
 
+/// Non-owning view of one SIREN message: the zero-copy counterpart of
+/// Message for the hot collection path. String fields alias either a decoded
+/// datagram (decode_view) or caller-owned storage (the collector's send
+/// path); the view must not outlive those bytes.
+///
+/// `host`/`content` may still carry wire escaping: decode_view leaves the
+/// raw bytes in place and only records whether an escape sequence is
+/// present, so the common case (no '\\') round-trips without touching a
+/// single byte. Use host_str()/content_str()/append_content() to
+/// materialize the unescaped value, or encode_into() to re-emit the exact
+/// wire bytes.
+struct MessageView {
+    std::uint64_t job_id = 0;
+    std::uint32_t step_id = 0;
+    std::int64_t pid = 0;
+    std::string_view exe_hash;
+    std::string_view host;
+    std::int64_t time = 0;
+    Layer layer = Layer::kSelf;
+    MsgType type = MsgType::kFileMeta;
+    std::uint32_t seq = 0;
+    std::uint32_t total = 1;
+    std::string_view content;
+    /// True when the corresponding view still contains wire escapes.
+    bool host_escaped = false;
+    bool content_escaped = false;
+
+    std::string host_str() const;
+    std::string content_str() const;
+    /// Append the unescaped content to `out` (no allocation when `out` has
+    /// capacity) — the chunk-reassembly hot path.
+    void append_content(std::string& out) const;
+
+    /// Deep-copy into an owned Message (unescaping as needed).
+    Message to_message() const;
+
+    /// Append the same key Message::process_key() builds; reusing `out`
+    /// avoids the per-message allocation.
+    void process_key_into(std::string& out) const;
+};
+
+/// View a Message's fields (raw, i.e. unescaped). The view aliases `m`.
+MessageView as_view(const Message& m);
+
 }  // namespace siren::net

@@ -18,13 +18,22 @@ std::uint64_t posting_key(std::string_view gram, std::uint64_t block_tag) {
     return h;
 }
 
-/// Sort matches best-first, break ties by id, truncate to top_n.
+/// Sort matches best-first, break ties by id, truncate to top_n. With a
+/// top_n cap only the returned prefix is ordered (partial_sort: O(n log k)
+/// instead of O(n log n) — candidate sets run to thousands on campaign
+/// corpora while callers typically keep the top handful).
 void finalize(std::vector<ScoredMatch>& matches, std::size_t top_n) {
-    std::sort(matches.begin(), matches.end(), [](const ScoredMatch& a, const ScoredMatch& b) {
+    const auto better = [](const ScoredMatch& a, const ScoredMatch& b) {
         if (a.score != b.score) return a.score > b.score;
         return a.id < b.id;
-    });
-    if (top_n != 0 && matches.size() > top_n) matches.resize(top_n);
+    };
+    if (top_n != 0 && matches.size() > top_n) {
+        std::partial_sort(matches.begin(), matches.begin() + static_cast<std::ptrdiff_t>(top_n),
+                          matches.end(), better);
+        matches.resize(top_n);
+    } else {
+        std::sort(matches.begin(), matches.end(), better);
+    }
 }
 
 }  // namespace
@@ -61,11 +70,11 @@ void SimilarityIndex::index_string(std::string_view collapsed, std::uint64_t blo
 }
 
 void SimilarityIndex::collect_candidates(std::string_view collapsed, std::uint64_t block_tag,
-                                         std::vector<DigestId>& out) const {
+                                         std::vector<const std::vector<DigestId>*>& out) const {
     if (collapsed.empty()) return;
     const auto gather = [this, &out](std::uint64_t key) {
         const auto it = postings_.find(key);
-        if (it != postings_.end()) out.insert(out.end(), it->second.begin(), it->second.end());
+        if (it != postings_.end()) out.push_back(&it->second);
     };
     if (collapsed.size() < fuzzy::kCommonSubstringLength) {
         gather(posting_key(collapsed, block_tag ^ 0x5349524Eu));
@@ -78,11 +87,19 @@ void SimilarityIndex::collect_candidates(std::string_view collapsed, std::uint64
 
 std::vector<ScoredMatch> SimilarityIndex::query(const fuzzy::FuzzyDigest& probe, int min_score,
                                                 std::size_t top_n) const {
-    std::vector<DigestId> candidates;
+    // Two-phase gather: resolve the posting lists first so the candidate
+    // buffer is reserved in one shot instead of growing through appends.
+    std::vector<const std::vector<DigestId>*> lists;
     const std::string c1 = fuzzy::eliminate_sequences(probe.digest1);
     const std::string c2 = fuzzy::eliminate_sequences(probe.digest2);
-    collect_candidates(c1, probe.block_size, candidates);
-    collect_candidates(c2, probe.block_size * 2, candidates);
+    collect_candidates(c1, probe.block_size, lists);
+    collect_candidates(c2, probe.block_size * 2, lists);
+
+    std::size_t upper_bound = 0;
+    for (const auto* list : lists) upper_bound += list->size();
+    std::vector<DigestId> candidates;
+    candidates.reserve(upper_bound);
+    for (const auto* list : lists) candidates.insert(candidates.end(), list->begin(), list->end());
 
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());

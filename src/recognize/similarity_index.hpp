@@ -68,8 +68,10 @@ public:
 
 private:
     void index_string(std::string_view collapsed, std::uint64_t block_tag, DigestId id);
+    /// Gathers pointers to the matching posting lists (so callers can size
+    /// the candidate buffer before a single concatenation pass).
     void collect_candidates(std::string_view collapsed, std::uint64_t block_tag,
-                            std::vector<DigestId>& out) const;
+                            std::vector<const std::vector<DigestId>*>& out) const;
 
     std::vector<fuzzy::FuzzyDigest> digests_;
     std::unordered_map<std::uint64_t, std::vector<DigestId>> postings_;

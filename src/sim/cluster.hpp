@@ -35,6 +35,8 @@ struct FileMeta {
     /// Canonical one-line rendering used as message CONTENT.
     std::string render() const;
     static FileMeta parse(const std::string& line);
+
+    friend bool operator==(const FileMeta&, const FileMeta&) = default;
 };
 
 /// Python-specific observables of an interpreter process.

@@ -1,0 +1,105 @@
+#pragma once
+
+// Heap-allocation counting hook for steady-state zero-allocation tests and
+// bench counters.
+//
+// Exactly one translation unit of a *binary* (never the library) defines
+// SIREN_ALLOC_PROBE_IMPLEMENT before including this header; that TU then
+// provides replacement global operator new/delete which count allocations
+// per thread. Binaries that do not opt in are unaffected — the probe
+// functions only exist where implemented.
+//
+//   #define SIREN_ALLOC_PROBE_IMPLEMENT
+//   #include "util/alloc_probe.hpp"
+//   ...
+//   siren::util::alloc_probe_reset();
+//   hot_loop();
+//   EXPECT_EQ(siren::util::alloc_probe_count(), 0u);
+//
+// The counter is thread_local, so concurrent allocations on other threads
+// (logging, pools) never pollute a measurement.
+
+#include <cstdint>
+
+namespace siren::util {
+
+/// operator-new calls made by the current thread since the last reset.
+std::uint64_t alloc_probe_count() noexcept;
+void alloc_probe_reset() noexcept;
+
+namespace detail {
+inline thread_local std::uint64_t alloc_probe_calls = 0;
+}  // namespace detail
+
+}  // namespace siren::util
+
+#ifdef SIREN_ALLOC_PROBE_IMPLEMENT
+
+#include <cstdlib>
+#include <new>
+
+namespace siren::util {
+
+std::uint64_t alloc_probe_count() noexcept { return detail::alloc_probe_calls; }
+void alloc_probe_reset() noexcept { detail::alloc_probe_calls = 0; }
+
+}  // namespace siren::util
+
+namespace {
+
+void* siren_probe_alloc(std::size_t size) noexcept {
+    ++siren::util::detail::alloc_probe_calls;
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+void* siren_probe_alloc_aligned(std::size_t size, std::size_t align) noexcept {
+    ++siren::util::detail::alloc_probe_calls;
+    void* p = nullptr;
+    if (::posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                         size == 0 ? 1 : size) != 0) {
+        return nullptr;
+    }
+    return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+    void* p = siren_probe_alloc(size);
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+}
+void* operator new[](std::size_t size) {
+    void* p = siren_probe_alloc(size);
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    return siren_probe_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    return siren_probe_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+    void* p = siren_probe_alloc_aligned(size, static_cast<std::size_t>(align));
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    void* p = siren_probe_alloc_aligned(size, static_cast<std::size_t>(align));
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#endif  // SIREN_ALLOC_PROBE_IMPLEMENT

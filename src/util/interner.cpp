@@ -1,0 +1,36 @@
+#include "util/interner.hpp"
+
+#include <mutex>
+
+namespace siren::util {
+
+StringInterner::Shard& StringInterner::shard_for(std::string_view s) {
+    return shards_[Hash{}(s) % kShards];
+}
+
+std::string_view StringInterner::intern(std::string_view s) {
+    Shard& shard = shard_for(s);
+    {
+        std::shared_lock lock(shard.mutex);
+        const auto it = shard.pool.find(s);
+        if (it != shard.pool.end()) return *it;
+    }
+    std::unique_lock lock(shard.mutex);
+    return *shard.pool.emplace(s).first;
+}
+
+std::size_t StringInterner::size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+        std::shared_lock lock(shard.mutex);
+        total += shard.pool.size();
+    }
+    return total;
+}
+
+StringInterner& StringInterner::global() {
+    static StringInterner* instance = new StringInterner();  // leaked: views outlive statics
+    return *instance;
+}
+
+}  // namespace siren::util

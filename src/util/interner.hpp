@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace siren::util {
+
+/// Deduplicating string pool with stable storage.
+///
+/// intern() returns a view of the pooled copy; every later intern() of equal
+/// content returns a view of the *same* bytes, so interned views can be
+/// compared by (data, size) identity instead of content. Pooled strings live
+/// as long as the interner — the campaign aggregates use the process-wide
+/// global() pool so interned keys survive shard teardown and merge without
+/// copying.
+///
+/// Thread-safe; the table is sharded by hash and reads take a shared lock,
+/// so the steady state (string already pooled) is contention-free across
+/// collector shards.
+class StringInterner {
+public:
+    StringInterner() = default;
+    StringInterner(const StringInterner&) = delete;
+    StringInterner& operator=(const StringInterner&) = delete;
+
+    /// Pool `s` (copying it on first sight) and return the canonical view.
+    std::string_view intern(std::string_view s);
+
+    /// Distinct strings pooled so far.
+    std::size_t size() const;
+
+    /// Process-wide pool (never destroyed during normal operation).
+    static StringInterner& global();
+
+private:
+    struct Hash {
+        using is_transparent = void;
+        std::size_t operator()(std::string_view s) const noexcept {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+    struct Shard {
+        mutable std::shared_mutex mutex;
+        // node-based: element addresses survive rehash, so views stay valid.
+        std::unordered_set<std::string, Hash, std::equal_to<>> pool;
+    };
+
+    static constexpr std::size_t kShards = 8;
+    Shard& shard_for(std::string_view s);
+    std::array<Shard, kShards> shards_;
+};
+
+/// Fast equality for two views returned by the same interner: identity
+/// implies equality, and distinct interned strings never share storage.
+inline bool interned_eq(std::string_view a, std::string_view b) {
+    return a.data() == b.data() && a.size() == b.size();
+}
+
+}  // namespace siren::util

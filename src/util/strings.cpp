@@ -26,6 +26,24 @@ std::vector<std::string> split_nonempty(std::string_view s, char sep) {
     return out;
 }
 
+std::vector<std::string_view> split_view(std::string_view s, char sep) {
+    std::vector<std::string_view> out;
+    split_view_into(s, sep, out);
+    return out;
+}
+
+std::size_t split_view_into(std::string_view s, char sep, std::vector<std::string_view>& out) {
+    out.clear();
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out.size();
+}
+
 std::string join(const std::vector<std::string>& parts, std::string_view sep) {
     std::string out;
     for (std::size_t i = 0; i < parts.size(); ++i) {
@@ -90,6 +108,18 @@ std::string replace_all(std::string_view s, std::string_view from, std::string_v
 std::string escape_field(std::string_view s) {
     std::string out;
     out.reserve(s.size());
+    escape_field_into(s, out);
+    return out;
+}
+
+std::string unescape_field(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    unescape_field_into(s, out);
+    return out;
+}
+
+void escape_field_into(std::string_view s, std::string& out) {
     for (char c : s) {
         switch (c) {
             case '\\': out += "\\\\"; break;
@@ -99,12 +129,9 @@ std::string escape_field(std::string_view s) {
             default: out += c;
         }
     }
-    return out;
 }
 
-std::string unescape_field(std::string_view s) {
-    std::string out;
-    out.reserve(s.size());
+void unescape_field_into(std::string_view s, std::string& out) {
     for (std::size_t i = 0; i < s.size(); ++i) {
         if (s[i] != '\\' || i + 1 == s.size()) {
             out += s[i];
@@ -121,7 +148,6 @@ std::string unescape_field(std::string_view s) {
                 out += s[i];
         }
     }
-    return out;
 }
 
 std::string_view basename(std::string_view path) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -12,6 +13,15 @@ std::vector<std::string> split(std::string_view s, char sep);
 
 /// Split `s` on `sep`, dropping empty fields.
 std::vector<std::string> split_nonempty(std::string_view s, char sep);
+
+/// Zero-copy split: the returned views alias `s`, which must outlive them.
+/// Keeps empty fields, like split().
+std::vector<std::string_view> split_view(std::string_view s, char sep);
+
+/// Zero-copy split into a caller-owned buffer (cleared first); returns the
+/// piece count. Reusing `out` across calls performs no allocation once its
+/// capacity is warm — the hot-loop variant of split_view().
+std::size_t split_view_into(std::string_view s, char sep, std::vector<std::string_view>& out);
 
 /// Join `parts` with `sep` between elements.
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
@@ -40,11 +50,26 @@ std::string replace_all(std::string_view s, std::string_view from, std::string_v
 std::string escape_field(std::string_view s);
 std::string unescape_field(std::string_view s);
 
+/// Appending variants for callers that reuse an output buffer (the wire hot
+/// path): no allocation once `out` has capacity.
+void escape_field_into(std::string_view s, std::string& out);
+void unescape_field_into(std::string_view s, std::string& out);
+
 /// Last path component ("/usr/bin/bash" -> "bash"; "bash" -> "bash").
 std::string_view basename(std::string_view path);
 
 /// Directory part including trailing '/' ("/usr/bin/bash" -> "/usr/bin/").
 std::string_view dirname(std::string_view path);
+
+/// Append the decimal rendering of an integer via std::to_chars into stack
+/// scratch — no temporary string, no allocation when `out` has capacity.
+template <typename Int>
+void append_number(std::string& out, Int value) {
+    char buf[24];  // enough for any 64-bit integer
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+    (void)ec;
+    out.append(buf, ptr);
+}
 
 /// Format `n` with thousands separators: 2317859 -> "2,317,859".
 std::string with_commas(std::uint64_t n);

@@ -39,34 +39,79 @@ void ThreadPool::worker_loop() {
     }
 }
 
+void ThreadPool::enqueue(std::function<void()> task) {
+    {
+        std::lock_guard lock(mutex_);
+        tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+namespace {
+
+/// Shared state of one parallel_for call: the iteration function, the chunk
+/// geometry and a completion latch. Chunk tasks capture only a pointer to
+/// this (stack-lived — parallel_for outlives every task) plus their index.
+struct FanOut {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t chunk = 0;
+
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+
+    void run_chunk(std::size_t t) {
+        const std::size_t begin = t * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
+        try {
+            for (std::size_t i = begin; i < end && !failed.load(std::memory_order_relaxed); ++i) {
+                (*fn)(i);
+            }
+        } catch (...) {
+            std::lock_guard lock(mutex);
+            if (!failed.exchange(true)) first_error = std::current_exception();
+        }
+        std::lock_guard lock(mutex);
+        if (--remaining == 0) done.notify_one();
+    }
+};
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;
     const std::size_t nthreads = std::min(size(), n);
-    const std::size_t chunk = (n + nthreads - 1) / nthreads;
 
-    std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    FanOut state;
+    state.fn = &fn;
+    state.n = n;
+    state.chunk = (n + nthreads - 1) / nthreads;
+    const std::size_t tasks = (n + state.chunk - 1) / state.chunk;
+    state.remaining = tasks;
 
-    std::vector<std::future<void>> futures;
-    futures.reserve(nthreads);
-    for (std::size_t t = 0; t < nthreads; ++t) {
-        const std::size_t begin = t * chunk;
-        const std::size_t end = std::min(n, begin + chunk);
-        if (begin >= end) break;
-        futures.push_back(submit([&, begin, end] {
-            try {
-                for (std::size_t i = begin; i < end && !failed.load(std::memory_order_relaxed); ++i) {
-                    fn(i);
-                }
-            } catch (...) {
-                std::lock_guard lock(error_mutex);
-                if (!failed.exchange(true)) first_error = std::current_exception();
-            }
-        }));
+    std::size_t enqueued = 0;
+    try {
+        for (std::size_t t = 0; t < tasks; ++t) {
+            enqueue([&state, t] { state.run_chunk(t); });
+            ++enqueued;
+        }
+    } catch (...) {
+        // Enqueue failed partway: tasks already queued still reference the
+        // stack-lived state, so settle the latch for the never-enqueued
+        // remainder and wait the queued ones out before unwinding.
+        std::unique_lock lock(state.mutex);
+        state.remaining -= tasks - enqueued;
+        state.done.wait(lock, [&state] { return state.remaining == 0; });
+        throw;
     }
-    for (auto& f : futures) f.wait();
-    if (first_error) std::rethrow_exception(first_error);
+    {
+        std::unique_lock lock(state.mutex);
+        state.done.wait(lock, [&state] { return state.remaining == 0; });
+    }
+    if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn, std::size_t threads) {

@@ -28,27 +28,29 @@ public:
 
     std::size_t size() const { return workers_.size(); }
 
-    /// Enqueue a task; returns a future for its result.
+    /// Enqueue a task; returns a future for its result. For futureless
+    /// void fan-out, parallel_for() is cheaper — it skips the per-task
+    /// packaged_task/shared_ptr machinery entirely.
     template <typename F>
     auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
         using R = std::invoke_result_t<F>;
         auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
         auto fut = task->get_future();
-        {
-            std::lock_guard lock(mutex_);
-            tasks_.emplace([task] { (*task)(); });
-        }
-        cv_.notify_one();
+        enqueue([task] { (*task)(); });
         return fut;
     }
 
     /// Run fn(i) for i in [0, n) across the pool with chunked static
     /// scheduling; blocks until all iterations complete. Exceptions from any
-    /// chunk are rethrown (first one wins).
+    /// chunk are rethrown (first one wins). Chunk tasks share one
+    /// stack-allocated completion latch and capture only (pointer, index) —
+    /// small enough for std::function's inline storage, so the fan-out
+    /// allocates nothing per task.
     void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
 private:
     void worker_loop();
+    void enqueue(std::function<void()> task);
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;

@@ -268,3 +268,152 @@ TEST(Consolidate, InterleavedProcessesSeparate) {
         EXPECT_FALSE(r.has_missing_fields()) << "interleaving must not lose chunks";
     }
 }
+
+// ---------------------------------------------------------------------------
+// Zero-copy equivalence: consolidate(span<MessageView>) over raw datagram
+// bytes must produce records and loss accounting identical to the owned
+// consolidate(vector<Message>) — across chunking, drops, duplicates,
+// reordering, exec chains and Python merging.
+
+namespace {
+
+/// Capture raw datagram bytes, the way the framework's InlineShard arenas
+/// them (the views decode in place; `wires` owns the bytes).
+class RawCaptureTransport : public sn::Transport {
+public:
+    void send(std::string_view datagram) noexcept override {
+        wires.emplace_back(datagram);
+    }
+    std::vector<std::string> wires;
+};
+
+std::vector<std::string> collect_wires(const ss::SimProcess& p) {
+    siren::workload::BinaryRecipe recipe;
+    recipe.lineage = "icon";
+    recipe.compilers = {"GCC: (SUSE Linux) 7.5.0"};
+    recipe.code_blocks = 4;
+
+    sc::FileStore store;
+    sc::ExecutableImage image;
+    image.bytes = siren::workload::synthesize(recipe);
+    store.register_executable(p.exe_path, std::move(image));
+
+    RawCaptureTransport transport;
+    sc::Collector collector(store, transport);
+    collector.collect(p);
+    return transport.wires;
+}
+
+/// Consolidate the same datagrams through both paths and assert identity.
+void expect_paths_agree(const std::vector<std::string>& wires) {
+    std::vector<sn::Message> owned;
+    std::vector<sn::MessageView> views;
+    for (const auto& wire : wires) {
+        owned.push_back(sn::decode(wire));
+        sn::MessageView view;
+        sn::decode_view(wire, view);
+        views.push_back(view);
+    }
+
+    const auto by_owned = sx::consolidate(owned);
+    const auto by_view = sx::consolidate(views);
+
+    EXPECT_EQ(by_view.records, by_owned.records);
+    EXPECT_EQ(by_view.total_jobs, by_owned.total_jobs);
+    EXPECT_EQ(by_view.jobs_with_missing_fields, by_owned.jobs_with_missing_fields);
+    EXPECT_EQ(by_view.processes_with_missing_fields, by_owned.processes_with_missing_fields);
+    EXPECT_EQ(by_view.incomplete_field_groups, by_owned.incomplete_field_groups);
+}
+
+}  // namespace
+
+TEST(ConsolidateView, MatchesOwnedPathForCompleteProcess) {
+    expect_paths_agree(collect_wires(user_process()));
+}
+
+TEST(ConsolidateView, MatchesOwnedPathWithEscapedHost) {
+    auto p = user_process();
+    p.host = "nid|weird\thost\\01";
+    expect_paths_agree(collect_wires(p));
+}
+
+TEST(ConsolidateView, MatchesOwnedPathUnderChunkingDamage) {
+    auto p = user_process();
+    for (int i = 0; i < 400; ++i) {
+        p.loaded_modules.push_back("filler-module-" + std::to_string(i) + "/1.0.0");
+    }
+    auto wires = collect_wires(p);
+    ASSERT_GT(wires.size(), 4u);
+
+    // Drop one datagram, duplicate another, reverse the rest.
+    wires.erase(wires.begin() + static_cast<std::ptrdiff_t>(wires.size() / 2));
+    wires.push_back(wires[1]);
+    std::reverse(wires.begin(), wires.end());
+    expect_paths_agree(wires);
+}
+
+TEST(ConsolidateView, MatchesOwnedPathAcrossProcessesAndLayers) {
+    auto bash = user_process();
+    bash.exe_path = "/usr/bin/bash";
+    bash.memory_map.clear();
+    auto srun = bash;  // exec() chain: same PID, new exe
+    srun.exe_path = "/usr/bin/srun";
+
+    auto python = user_process();
+    python.pid = 777;
+    python.exe_path = "/usr/bin/python3.10";
+    ss::PythonInfo info;
+    info.script_path = "/users/user_4/scripts/run.py";
+    info.script_content = "import numpy\n";
+    info.script_meta.inode = 4242;
+    python.python = info;
+    python.memory_map = {
+        {0x400000, 0x500000, "r-xp", "/usr/bin/python3.10"},
+        {0x7f0000100000, 0x7f0000140000, "r-xp",
+         "/usr/lib64/python3.10/site-packages/numpy/core/umath.so"},
+    };
+
+    std::vector<std::string> wires = collect_wires(bash);
+    for (const auto& p : {srun, python}) {
+        const auto more = collect_wires(p);
+        wires.insert(wires.end(), more.begin(), more.end());
+    }
+    expect_paths_agree(wires);
+
+    // Sanity on the view result itself: three records, script merged.
+    std::vector<sn::MessageView> views;
+    std::vector<std::string> backing = wires;
+    for (const auto& wire : backing) {
+        sn::MessageView view;
+        sn::decode_view(wire, view);
+        views.push_back(view);
+    }
+    const auto result = sx::consolidate(views);
+    ASSERT_EQ(result.records.size(), 3u);
+}
+
+TEST(ConsolidateView, EmptySpan) {
+    const auto result = sx::consolidate(std::span<const sn::MessageView>{});
+    EXPECT_TRUE(result.records.empty());
+    EXPECT_EQ(result.total_jobs, 0u);
+}
+
+TEST(ConsolidateView, ConsolidatorIsReusableAcrossFlushes) {
+    sx::ViewConsolidator consolidator;
+    const auto wires_a = collect_wires(user_process());
+    auto p = user_process();
+    p.pid = 900;
+    const auto wires_b = collect_wires(p);
+
+    for (const auto* wires : {&wires_a, &wires_b, &wires_a}) {
+        std::vector<sn::MessageView> views;
+        for (const auto& wire : *wires) {
+            sn::MessageView view;
+            sn::decode_view(wire, view);
+            views.push_back(view);
+        }
+        const auto result = consolidator.consolidate(views);
+        ASSERT_EQ(result.records.size(), 1u);
+        EXPECT_FALSE(result.records[0].has_missing_fields());
+    }
+}

@@ -12,6 +12,7 @@
 #include "net/udp.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace sn = siren::net;
 namespace su = siren::util;
@@ -70,6 +71,185 @@ TEST(Codec, RejectsMalformedDatagrams) {
 TEST(Codec, IgnoresUnknownFieldsForForwardCompat) {
     const std::string wire = sn::encode(sample_message()) + "|FUTURE=stuff";
     EXPECT_EQ(sn::decode(wire), sample_message());
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy path: encode_into / decode_view must agree with the owned codec
+// byte for byte and message for message (docs/wire_format.md).
+
+namespace {
+
+std::vector<sn::Message> view_path_corpus() {
+    std::vector<sn::Message> corpus;
+    corpus.push_back(sample_message());
+
+    sn::Message nasty = sample_message();
+    nasty.content = "pipes| and \\ slashes \n newlines \t tabs ||";
+    nasty.host = "host|with|pipes";
+    corpus.push_back(nasty);
+
+    sn::Message escaped_host = sample_message();
+    escaped_host.host = "nid\\0001\t2";
+    corpus.push_back(escaped_host);
+
+    sn::Message embedded = sample_message();
+    embedded.content = std::string("a|b\nc") + '\x01' + "d\\e";
+    corpus.push_back(embedded);
+
+    sn::Message empty = sample_message();
+    empty.content.clear();
+    corpus.push_back(empty);
+    return corpus;
+}
+
+}  // namespace
+
+TEST(CodecView, EncodeIntoMatchesEncodeAcrossReuse) {
+    std::string wire;  // reused across all messages
+    for (const auto& m : view_path_corpus()) {
+        sn::encode_into(m, wire);
+        EXPECT_EQ(wire, sn::encode(m));
+    }
+}
+
+TEST(CodecView, DecodeViewAgreesWithOwnedDecode) {
+    for (const auto& m : view_path_corpus()) {
+        const std::string wire = sn::encode(m);
+        sn::MessageView view;
+        sn::decode_view(wire, view);
+        EXPECT_EQ(view.to_message(), sn::decode(wire));
+        EXPECT_EQ(view.to_message(), m);
+        EXPECT_EQ(view.host_str(), m.host);
+        EXPECT_EQ(view.content_str(), m.content);
+    }
+}
+
+TEST(CodecView, ViewsAliasTheDatagram) {
+    sn::Message m = sample_message();
+    m.content = "/lib64/libc.so.6";  // no escapable bytes anywhere
+    const std::string wire = sn::encode(m);
+    sn::MessageView view;
+    sn::decode_view(wire, view);
+    for (const auto field : {view.exe_hash, view.host, view.content}) {
+        EXPECT_GE(field.data(), wire.data());
+        EXPECT_LE(field.data() + field.size(), wire.data() + wire.size());
+    }
+    EXPECT_FALSE(view.host_escaped);
+    EXPECT_FALSE(view.content_escaped);
+}
+
+TEST(CodecView, EscapedFieldsStayRawUntilAsked) {
+    sn::Message m = sample_message();
+    m.content = "a|b";
+    m.host = "h\tx";
+    const std::string wire = sn::encode(m);
+    sn::MessageView view;
+    sn::decode_view(wire, view);
+    EXPECT_TRUE(view.content_escaped);
+    EXPECT_TRUE(view.host_escaped);
+    EXPECT_EQ(view.content, "a\\pb");  // raw wire bytes, untouched
+    EXPECT_EQ(view.content_str(), "a|b");
+    EXPECT_EQ(view.host_str(), "h\tx");
+
+    std::string assembled;
+    view.append_content(assembled);
+    EXPECT_EQ(assembled, "a|b");
+}
+
+TEST(CodecView, ReencodeIsByteIdentical) {
+    for (const auto& m : view_path_corpus()) {
+        const std::string wire = sn::encode(m);
+        sn::MessageView view;
+        sn::decode_view(wire, view);
+        std::string reencoded;
+        sn::encode_into(view, reencoded);
+        EXPECT_EQ(reencoded, wire);
+    }
+}
+
+TEST(CodecView, ProcessKeyIntoMatchesOwnedKey) {
+    for (const auto& m : view_path_corpus()) {
+        const std::string wire = sn::encode(m);
+        sn::MessageView view;
+        sn::decode_view(wire, view);
+        std::string key;
+        view.process_key_into(key);
+        EXPECT_EQ(key, m.process_key());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decode hardening: the wire never legitimately repeats, drops or reorders
+// mandatory fields silently — sweep permutations of all three corruptions.
+
+TEST(Codec, RejectsDuplicateFieldsNamingTheOffender) {
+    const std::string wire = sn::encode(sample_message());
+    const auto fields = su::split(wire, '|');
+    ASSERT_GT(fields.size(), 1u);
+    // Duplicate each field (skip the magic) somewhere in the datagram.
+    for (std::size_t dup = 1; dup < fields.size(); ++dup) {
+        const std::string corrupted = wire + "|" + fields[dup];
+        const std::string key = fields[dup].substr(0, fields[dup].find('='));
+        try {
+            sn::decode(corrupted);
+            FAIL() << "duplicated " << key << " accepted";
+        } catch (const su::ParseError& e) {
+            EXPECT_NE(std::string(e.what()).find(key), std::string::npos)
+                << "error should name the duplicated field: " << e.what();
+        }
+    }
+}
+
+TEST(Codec, FieldPermutationSweep) {
+    const sn::Message m = sample_message();
+    const std::string wire = sn::encode(m);
+    auto fields = su::split(wire, '|');
+    ASSERT_EQ(fields[0], std::string(sn::kWireMagic));
+
+    siren::util::Rng rng(20260728);
+    const auto rebuild = [](const std::vector<std::string>& parts) {
+        std::string out;
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            if (i != 0) out += '|';
+            out += parts[i];
+        }
+        return out;
+    };
+
+    // Reordered (magic stays first): any permutation of the key=value
+    // fields must decode to the same message.
+    for (int round = 0; round < 32; ++round) {
+        std::vector<std::string> shuffled(fields.begin() + 1, fields.end());
+        for (std::size_t i = shuffled.size(); i > 1; --i) {
+            std::swap(shuffled[i - 1], shuffled[rng.index(i)]);
+        }
+        std::vector<std::string> parts = {fields[0]};
+        parts.insert(parts.end(), shuffled.begin(), shuffled.end());
+        EXPECT_EQ(sn::decode(rebuild(parts)), m) << rebuild(parts);
+    }
+
+    // Truncated: dropping any mandatory field must throw; dropping the
+    // optional SEQ/TOTAL pair must not.
+    for (std::size_t drop = 1; drop < fields.size(); ++drop) {
+        std::vector<std::string> parts;
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            if (i != drop) parts.push_back(fields[i]);
+        }
+        const std::string key = fields[drop].substr(0, fields[drop].find('='));
+        if (key == "SEQ" || key == "TOTAL") {
+            EXPECT_EQ(sn::decode(rebuild(parts)), m) << key << " is optional";
+        } else {
+            EXPECT_THROW(sn::decode(rebuild(parts)), su::ParseError) << key << " is mandatory";
+        }
+    }
+
+    // Duplicated at a random position (not just appended): must throw.
+    for (std::size_t dup = 1; dup < fields.size(); ++dup) {
+        std::vector<std::string> parts = fields;
+        const std::size_t at = 1 + rng.index(parts.size() - 1);
+        parts.insert(parts.begin() + static_cast<std::ptrdiff_t>(at), fields[dup]);
+        EXPECT_THROW(sn::decode(rebuild(parts)), su::ParseError) << rebuild(parts);
+    }
 }
 
 TEST(Chunker, SmallContentSingleChunk) {

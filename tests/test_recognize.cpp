@@ -112,6 +112,27 @@ TEST(SimilarityIndex, MinScoreFiltersAndTopNTruncates) {
     EXPECT_GE(top3[1].score, top3[2].score);
 }
 
+TEST(SimilarityIndex, TopNEqualsPrefixOfFullRanking) {
+    // finalize() switches to partial_sort when top_n caps the result; the
+    // capped result must be exactly the prefix of the full ranking,
+    // including the ascending-id tie-break.
+    const Corpus corpus = make_corpus(6, 6, 4096, 9, 0.02);
+    sr::SimilarityIndex index;
+    for (const auto& d : corpus.digests) index.add(d);
+
+    for (std::size_t probe = 0; probe < corpus.digests.size(); probe += 3) {
+        const auto full = index.query(corpus.digests[probe], 1, 0);
+        for (const std::size_t top_n : {std::size_t{1}, std::size_t{3}, std::size_t{100}}) {
+            const auto capped = index.query(corpus.digests[probe], 1, top_n);
+            const std::size_t expect = std::min(top_n, full.size());
+            ASSERT_EQ(capped.size(), expect);
+            for (std::size_t i = 0; i < expect; ++i) {
+                EXPECT_EQ(capped[i], full[i]) << "probe " << probe << " top_n " << top_n;
+            }
+        }
+    }
+}
+
 TEST(SimilarityIndex, ResultsOrderedBestFirstTiesById) {
     sr::SimilarityIndex index;
     siren::util::Rng rng(4);

@@ -154,3 +154,44 @@ TEST(ToolsRegistry, UsageErrorsExitOne) {
     if (r.exit_code == -1) GTEST_SKIP() << "cannot spawn processes here";
     EXPECT_EQ(r.exit_code, 1);
 }
+
+#ifndef SIREN_BENCH_TO_JSON_PATH
+#define SIREN_BENCH_TO_JSON_PATH "tools/bench_to_json.py"
+#endif
+
+TEST(ToolsBenchToJson, CondensesGoogleBenchmarkOutput) {
+    const auto raw = (fs::temp_directory_path() / "siren_tools_bench_raw.json").string();
+    {
+        std::ofstream out(raw);
+        out << R"({
+  "context": {"date": "2026-07-28T00:00:00", "num_cpus": 8},
+  "benchmarks": [
+    {"name": "BM_Decode", "run_type": "iteration", "iterations": 1000,
+     "real_time": 400.0, "cpu_time": 399.0, "time_unit": "ns"},
+    {"name": "BM_DecodeView", "run_type": "iteration", "iterations": 4000,
+     "real_time": 100.0, "cpu_time": 99.0, "time_unit": "ns",
+     "allocs_per_op": 0.0}
+  ]
+})";
+    }
+
+    const auto r = run("python3", {SIREN_BENCH_TO_JSON_PATH, raw});
+    if (r.exit_code == -1) GTEST_SKIP() << "cannot spawn processes here";
+    if (r.exit_code == 127) GTEST_SKIP() << "python3 unavailable";
+    EXPECT_EQ(r.exit_code, 0);
+    // The condensed record keeps both benchmarks and derives the headline
+    // decode_view_speedup ratio (400 / 100 = 4.0).
+    EXPECT_NE(r.out.find("\"BM_DecodeView\""), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"decode_view_speedup\": 4.0"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"allocs_per_op\": 0.0"), std::string::npos) << r.out;
+
+    std::error_code ec;
+    fs::remove(raw, ec);
+}
+
+TEST(ToolsBenchToJson, BadInputExitsOne) {
+    const auto r = run("python3", {SIREN_BENCH_TO_JSON_PATH, "/nonexistent/bench.json"});
+    if (r.exit_code == -1) GTEST_SKIP() << "cannot spawn processes here";
+    if (r.exit_code == 127) GTEST_SKIP() << "python3 unavailable";
+    EXPECT_EQ(r.exit_code, 1);
+}

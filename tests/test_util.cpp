@@ -2,13 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <set>
+
+#include <thread>
 
 #include "util/base64.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/hex.hpp"
+#include "util/interner.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -20,6 +24,71 @@ TEST(Strings, SplitKeepsEmptyFields) {
     EXPECT_EQ(su::split("a||b", '|'), (std::vector<std::string>{"a", "", "b"}));
     EXPECT_EQ(su::split("", '|'), (std::vector<std::string>{""}));
     EXPECT_EQ(su::split_nonempty("a||b|", '|'), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Strings, SplitViewMatchesSplitAndAliasesInput) {
+    const std::string input = "a||b|cc";
+    const auto views = su::split_view(input, '|');
+    const auto owned = su::split(input, '|');
+    ASSERT_EQ(views.size(), owned.size());
+    for (std::size_t i = 0; i < views.size(); ++i) {
+        EXPECT_EQ(views[i], owned[i]);
+        if (!views[i].empty()) {
+            EXPECT_GE(views[i].data(), input.data());
+            EXPECT_LE(views[i].data() + views[i].size(), input.data() + input.size());
+        }
+    }
+}
+
+TEST(Strings, SplitViewIntoReusesBuffer) {
+    std::vector<std::string_view> pieces;
+    EXPECT_EQ(su::split_view_into("x:y:z", ':', pieces), 3u);
+    EXPECT_EQ(pieces, (std::vector<std::string_view>{"x", "y", "z"}));
+    // Reuse: the buffer is cleared, not appended to.
+    EXPECT_EQ(su::split_view_into("", ':', pieces), 1u);
+    EXPECT_EQ(pieces, (std::vector<std::string_view>{""}));
+}
+
+TEST(Interner, DedupesToIdenticalStorage) {
+    su::StringInterner interner;
+    const std::string a = "/usr/bin/bash";
+    const std::string b = "/usr/bin/bash";  // distinct buffer, equal content
+    const auto va = interner.intern(a);
+    const auto vb = interner.intern(b);
+    EXPECT_EQ(va, "/usr/bin/bash");
+    EXPECT_TRUE(su::interned_eq(va, vb));
+    EXPECT_EQ(static_cast<const void*>(va.data()), static_cast<const void*>(vb.data()));
+    EXPECT_FALSE(su::interned_eq(va, interner.intern("/usr/bin/zsh")));
+    EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(Interner, ViewsSurviveGrowth) {
+    su::StringInterner interner;
+    const auto first = interner.intern("stable");
+    for (int i = 0; i < 1000; ++i) interner.intern("filler-" + std::to_string(i));
+    EXPECT_TRUE(su::interned_eq(first, interner.intern("stable")));
+    EXPECT_EQ(first, "stable");
+}
+
+TEST(Interner, ConcurrentInternsAgree) {
+    su::StringInterner interner;
+    constexpr int kThreads = 4;
+    std::vector<std::array<std::string_view, 16>> seen(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < 16; ++i) {
+                seen[t][i] = interner.intern("shared-" + std::to_string(i));
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 1; t < kThreads; ++t) {
+        for (int i = 0; i < 16; ++i) {
+            EXPECT_TRUE(su::interned_eq(seen[0][i], seen[t][i]));
+        }
+    }
+    EXPECT_EQ(interner.size(), 16u);
 }
 
 TEST(Strings, JoinRoundTripsSplit) {

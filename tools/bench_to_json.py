@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Condense google-benchmark JSON output into a flat perf-trajectory record.
+
+Usage:
+    bench_perf_pipeline --benchmark_format=json --benchmark_out=raw.json
+    tools/bench_to_json.py raw.json -o BENCH_pipeline.json
+
+The cmake target `bench-pipeline-json` runs both steps and writes
+BENCH_pipeline.json into the build directory. The output maps benchmark name
+to its timings so successive runs diff cleanly:
+
+    {
+      "context": {"date": "...", "num_cpus": 16, ...},
+      "benchmarks": {
+        "BM_Decode":     {"real_time_ns": 410.2, "cpu_time_ns": 410.0, ...},
+        "BM_DecodeView": {"real_time_ns": 130.8, ...}
+      },
+      "ratios": {"decode_view_speedup": 3.14}
+    }
+
+`ratios` carries the headline numbers the perf trajectory tracks; unknown or
+missing benchmarks simply omit their ratio. Only the Python standard library
+is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def condense(raw: dict) -> dict:
+    context = raw.get("context", {})
+    out = {
+        "context": {
+            "date": context.get("date"),
+            "host_name": context.get("host_name"),
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "build_type": context.get("library_build_type"),
+        },
+        "benchmarks": {},
+        "ratios": {},
+    }
+
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        entry = {
+            "real_time_ns": bench.get("real_time"),
+            "cpu_time_ns": bench.get("cpu_time"),
+            "iterations": bench.get("iterations"),
+        }
+        for counter in ("items_per_second", "bytes_per_second", "allocs_per_op"):
+            if counter in bench:
+                entry[counter] = bench[counter]
+        out["benchmarks"][name] = entry
+
+    def ratio(slow: str, fast: str):
+        a = out["benchmarks"].get(slow, {}).get("real_time_ns")
+        b = out["benchmarks"].get(fast, {}).get("real_time_ns")
+        if a and b and b > 0:
+            return round(a / b, 3)
+        return None
+
+    for key, slow, fast in (
+        ("decode_view_speedup", "BM_Decode", "BM_DecodeView"),
+        ("encode_into_speedup", "BM_Encode", "BM_EncodeInto"),
+        ("collect_consolidate_view_speedup", "BM_CollectConsolidate",
+         "BM_CollectConsolidateView"),
+    ):
+        value = ratio(slow, fast)
+        if value is not None:
+            out["ratios"][key] = value
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("input", help="google-benchmark JSON file ('-' for stdin)")
+    parser.add_argument("-o", "--output", help="output path (default: stdout)")
+    args = parser.parse_args()
+
+    try:
+        if args.input == "-":
+            raw = json.load(sys.stdin)
+        else:
+            with open(args.input, encoding="utf-8") as f:
+                raw = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_to_json: cannot read {args.input}: {err}", file=sys.stderr)
+        return 1
+
+    condensed = condense(raw)
+    text = json.dumps(condensed, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
