@@ -15,12 +15,19 @@
 #define SIREN_ALLOC_PROBE_IMPLEMENT
 #include "util/alloc_probe.hpp"
 
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <thread>
+
 #include "analytics/aggregate.hpp"
 #include "collect/collector.hpp"
 #include "consolidate/consolidator.hpp"
+#include "ingest/ingest_server.hpp"
 #include "net/channel.hpp"
 #include "net/chunker.hpp"
 #include "net/codec.hpp"
+#include "storage/segment_store.hpp"
 #include "workload/synthesizer.hpp"
 
 namespace {
@@ -273,6 +280,104 @@ void BM_CollectConsolidateView(benchmark::State& state) {
     run_collect_consolidate<ViewShard>(state);
 }
 BENCHMARK(BM_CollectConsolidateView);
+
+// ---------------------------------------------------------------------------
+// Ingest daemon throughput: datagrams through the shard ring -> arena ->
+// decode_view -> handler pipeline (inject() is the socket hot path minus
+// the kernel), with and without the durable segment store. The acceptance
+// bar for the durable path is within 2x of the in-memory path — fsync
+// batching, not fsync-per-record, is what makes that possible.
+
+void BM_IngestThroughput(benchmark::State& state) {
+    namespace fs = std::filesystem;
+    const std::size_t shards = static_cast<std::size_t>(state.range(0));
+    const bool durable = state.range(1) != 0;
+    const std::string wire = siren::net::encode(sample_message());
+
+    fs::path dir;
+    std::unique_ptr<siren::storage::SegmentStore> store;
+    if (durable) {
+        // Journal to tmpfs when available: this microbenchmark isolates the
+        // *software* cost of durability (framing, CRC, group commit) from
+        // the device's fsync bandwidth, which varies orders of magnitude
+        // across machines. bench_ablation_transport reports the
+        // real-device durable cost.
+        const fs::path base = fs::is_directory("/dev/shm") ? fs::path("/dev/shm")
+                                                           : fs::temp_directory_path();
+        dir = base / ("siren_bench_ingest_" + std::to_string(::getpid()));
+        fs::remove_all(dir);
+        store = std::make_unique<siren::storage::SegmentStore>(dir.string(), shards);
+    }
+
+    siren::ingest::IngestOptions options;
+    options.shards = shards;
+    options.store = store.get();
+    std::atomic<std::uint64_t> handled{0};
+    siren::ingest::IngestServer server(
+        options, [&handled](std::size_t, std::span<const siren::net::MessageView> batch) {
+            handled.fetch_add(batch.size(), std::memory_order_relaxed);
+        });
+
+    std::size_t next_shard = 0;
+    for (auto _ : state) {
+        // Backpressure instead of drops: a full ring means the shard
+        // workers are the bottleneck, which is exactly what we measure.
+        while (!server.inject(next_shard, wire)) std::this_thread::yield();
+        next_shard = (next_shard + 1) % shards;
+    }
+    server.drain();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(wire.size()));
+    server.stop();
+    if (durable) {
+        state.counters["journaled"] = static_cast<double>(server.stats().appended);
+        store.reset();
+        fs::remove_all(dir);
+    }
+}
+BENCHMARK(BM_IngestThroughput)
+    ->ArgNames({"shards", "durable"})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->UseRealTime();
+
+// Segment replay: how fast a crashed collector's WAL streams back
+// (CRC-checked) — the recovery-time budget per gigabyte of backlog.
+void BM_SegmentReplay(benchmark::State& state) {
+    namespace fs = std::filesystem;
+    const auto dir = fs::temp_directory_path() /
+                     ("siren_bench_replay_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    constexpr std::uint64_t kRecords = 20000;
+    const std::string wire = siren::net::encode(sample_message());
+    {
+        siren::storage::SegmentStore store(dir.string(), 1);
+        for (std::uint64_t i = 0; i < kRecords; ++i) store.append(0, wire);
+        store.close();
+    }
+
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        std::uint64_t replayed = 0;
+        const auto stats = siren::storage::replay_directory(
+            dir.string(), [&replayed](std::string_view record) {
+                benchmark::DoNotOptimize(record);
+                ++replayed;
+            });
+        bytes = stats.bytes;
+        if (replayed != kRecords) {
+            state.SkipWithError("replay lost records");
+            break;
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kRecords));
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(bytes));
+    fs::remove_all(dir);
+}
+BENCHMARK(BM_SegmentReplay);
 
 }  // namespace
 

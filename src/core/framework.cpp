@@ -1,12 +1,16 @@
 #include "core/framework.hpp"
 
 #include <algorithm>
+#include <span>
 #include <thread>
 
 #include "collect/collector.hpp"
 #include "db/message_store.hpp"
+#include "ingest/ingest_server.hpp"
 #include "net/channel.hpp"
 #include "net/codec.hpp"
+#include "net/udp.hpp"
+#include "storage/segment_store.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -21,6 +25,10 @@ FrameworkOptions FrameworkOptions::from_env() {
     o.loss_rate = util::get_env_double("SIREN_LOSS", o.loss_rate);
     o.seed = static_cast<std::uint64_t>(util::get_env_int("SIREN_SEED", static_cast<std::int64_t>(o.seed)));
     o.threads = static_cast<std::size_t>(util::get_env_int("SIREN_THREADS", 0));
+    o.use_ingest = util::get_env_int("SIREN_INGEST", 0) != 0;
+    o.ingest_shards = static_cast<std::size_t>(
+        util::get_env_int("SIREN_INGEST_SHARDS", static_cast<std::int64_t>(o.ingest_shards)));
+    o.durable_dir = util::get_env_or("SIREN_DURABLE_DIR", o.durable_dir);
     return o;
 }
 
@@ -149,10 +157,16 @@ CampaignResult run_database(const workload::Generator& generator,
     CampaignResult result;
     result.database = std::make_unique<db::Database>();
 
+    std::unique_ptr<storage::SegmentStore> wal;
+    const std::size_t wal_shards = std::max<std::size_t>(options.ingest_shards, 2);
+    if (!options.durable_dir.empty()) {
+        wal = std::make_unique<storage::SegmentStore>(options.durable_dir, wal_shards);
+    }
+
     net::MessageQueue queue(1 << 20);
     net::InMemoryChannel channel(queue, options.loss_rate, options.seed);
     {
-        db::ReceiverService receiver(queue, *result.database, /*workers=*/2);
+        db::ReceiverService receiver(queue, *result.database, /*workers=*/2, wal.get());
         collect::Collector collector(store, channel);
         generator.run([&](const sim::SimProcess& p) { collector.collect(p); });
         queue.close();
@@ -163,6 +177,64 @@ CampaignResult run_database(const workload::Generator& generator,
     result.datagrams_sent = channel.stats().sent.load();
     result.datagrams_lost = channel.stats().lost.load() + queue.dropped();
     result.datagrams_malformed = channel.stats().malformed.load();
+    if (wal) {
+        result.wal_records = wal->appended();
+        result.wal_bytes = wal->appended_bytes();
+    }
+
+    auto consolidated = consolidate::consolidate(*result.database);
+    for (const auto& record : consolidated.records) result.aggregates.add(record);
+    result.records = std::move(consolidated.records);
+    return result;
+}
+
+/// Database mode over the production spine: the collector sends real UDP
+/// datagrams on loopback into the sharded epoll ingest daemon, whose shard
+/// workers journal them to the (optional) segment store and insert decoded
+/// messages into the raw-message table. The seeded Bernoulli loss model
+/// does not apply here — loss is whatever the kernel socket path does.
+CampaignResult run_database_ingest(const workload::Generator& generator,
+                                   const collect::FileStore& store,
+                                   const FrameworkOptions& options) {
+    CampaignResult result;
+    result.database = std::make_unique<db::Database>();
+    db::Table& table = db::create_message_table(*result.database);
+
+    const std::size_t shards = std::max<std::size_t>(1, options.ingest_shards);
+    std::unique_ptr<storage::SegmentStore> wal;
+    if (!options.durable_dir.empty()) {
+        wal = std::make_unique<storage::SegmentStore>(options.durable_dir, shards);
+    }
+
+    ingest::IngestOptions ingest_options;
+    ingest_options.shards = shards;
+    ingest_options.store = wal.get();
+    ingest::IngestServer server(
+        ingest_options, [&table](std::size_t, std::span<const net::MessageView> batch) {
+            // Table::append is internally synchronized; shard workers can
+            // insert concurrently.
+            for (const auto& view : batch) db::insert_message(table, view.to_message());
+        });
+
+    {
+        net::UdpSender sender("127.0.0.1", server.port());
+        collect::Collector collector(store, sender);
+        generator.run([&](const sim::SimProcess& p) { collector.collect(p); });
+        result.processes_collected = collector.stats().processes_collected.load();
+        result.collection_errors = collector.stats().collection_errors.load();
+        result.datagrams_sent = sender.sent();
+    }
+    server.quiesce();
+    server.stop();
+
+    const ingest::IngestStats stats = server.stats();
+    result.datagrams_malformed = stats.malformed;
+    result.datagrams_lost =
+        result.datagrams_sent - std::min(result.datagrams_sent, stats.decoded + stats.malformed);
+    if (wal) {
+        result.wal_records = wal->appended();
+        result.wal_bytes = wal->appended_bytes();
+    }
 
     auto consolidated = consolidate::consolidate(*result.database);
     for (const auto& record : consolidated.records) result.aggregates.add(record);
@@ -187,8 +259,10 @@ CampaignResult run_campaign(const workload::CampaignSpec& spec, const FrameworkO
                    std::to_string(generator.totals().processes) + " processes, " +
                    std::to_string(store.size()) + " unique executables");
 
-    CampaignResult result = options.use_database ? run_database(generator, store, options)
-                                                 : run_inline(generator, store, options);
+    CampaignResult result = options.use_database
+                                ? (options.use_ingest ? run_database_ingest(generator, store, options)
+                                                      : run_database(generator, store, options))
+                                : run_inline(generator, store, options);
     result.totals = generator.totals();
     result.wall_seconds = watch.seconds();
     return result;

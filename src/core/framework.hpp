@@ -28,9 +28,22 @@ struct FrameworkOptions {
     /// Only sensible at small scales; the full campaign produces ~10M
     /// messages.
     bool use_database = false;
+    /// Database mode only: replace the InMemoryChannel + MessageQueue pair
+    /// with the production spine — real UDP datagrams on loopback into the
+    /// sharded epoll ingest daemon (ingest::IngestServer). Loss then comes
+    /// from actual kernel/socket behavior, not the seeded Bernoulli model,
+    /// so it is no longer deterministic.
+    bool use_ingest = false;
+    /// Shard count for the ingest daemon (sockets × rings × workers).
+    std::size_t ingest_shards = 2;
+    /// Non-empty: journal raw datagrams to a durable segment store rooted
+    /// here (database mode; both the ingest daemon and the classic
+    /// ReceiverService honor it). Recover with db::replay_segments().
+    std::string durable_dir;
 
     /// Defaults overridden by SIREN_SCALE / SIREN_SEED / SIREN_THREADS /
-    /// SIREN_LOSS when set.
+    /// SIREN_LOSS / SIREN_INGEST / SIREN_INGEST_SHARDS / SIREN_DURABLE_DIR
+    /// when set.
     static FrameworkOptions from_env();
 };
 
@@ -47,6 +60,10 @@ struct CampaignResult {
     // Collector accounting.
     std::uint64_t processes_collected = 0;
     std::uint64_t collection_errors = 0;
+
+    // Durable-mode accounting (database mode with a segment store).
+    std::uint64_t wal_records = 0;  ///< raw datagrams journaled to segments
+    std::uint64_t wal_bytes = 0;    ///< framed bytes appended to segments
 
     /// Populated in database mode only.
     std::unique_ptr<db::Database> database;

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace siren::hash {
+
+/// CRC32C (Castagnoli polynomial, reflected 0x82F63B78) — the checksum the
+/// durable segment store frames every record with (docs/storage_format.md).
+/// Chosen over plain CRC32 for its better error-detection properties on
+/// storage payloads and for hardware support on both x86 (SSE4.2) and ARM.
+///
+/// One-shot digest of `data`. Standard convention: initial state ~0,
+/// final xor ~0, so crc32c("123456789") == 0xE3069283.
+std::uint32_t crc32c(std::string_view data);
+
+/// Streaming form: feed the previous return value back in as `crc` to
+/// extend the digest (seed with 0). crc32c(ab) == update(update(0,a),b).
+std::uint32_t crc32c_update(std::uint32_t crc, const void* data, std::size_t size);
+
+}  // namespace siren::hash

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace siren::ingest {
+
+/// Lock-free single-producer/single-consumer datagram ring — the hand-off
+/// between a shard's socket reader and its decode/store worker. One fixed
+/// slot per datagram keeps the fast path to a bounds check, a memcpy and
+/// one release store; there is no mutex, no CAS loop and no allocation
+/// after construction.
+///
+/// Contract: exactly one thread calls push(), exactly one calls drain().
+/// head_/tail_ are free-running 64-bit counters (masked on access), so
+/// wrap-around needs no special casing. Each side caches the other's
+/// counter and refreshes it only when the cached value says "full"/"empty",
+/// which keeps cross-core cache-line traffic off the common path.
+class SpscRing {
+public:
+    /// Slot payload bound. SIREN chunks wire content at
+    /// net::kMaxDatagramBytes (1400), so 2 KiB leaves generous headroom;
+    /// anything larger is not legitimate SIREN traffic.
+    static constexpr std::size_t kSlotBytes = 2048;
+
+    /// Capacity is rounded up to a power of two.
+    explicit SpscRing(std::size_t capacity = 4096) {
+        std::size_t cap = 1;
+        while (cap < capacity) cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /// Producer side. False when the ring is full (backpressure/drop call)
+    /// or the datagram exceeds kSlotBytes.
+    bool push(std::string_view datagram) noexcept {
+        if (datagram.size() > kSlotBytes) return false;
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail - cached_head_ == slots_.size()) {
+            cached_head_ = head_.load(std::memory_order_acquire);
+            if (tail - cached_head_ == slots_.size()) return false;
+        }
+        Slot& slot = slots_[tail & mask_];
+        slot.size = static_cast<std::uint32_t>(datagram.size());
+        std::memcpy(slot.bytes, datagram.data(), datagram.size());
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side: invoke `fn(std::string_view)` on up to `max_records`
+    /// buffered datagrams; returns how many were consumed. The views are
+    /// valid only inside `fn` — slots are released (and may be overwritten)
+    /// once drain() returns.
+    template <typename Fn>
+    std::size_t drain(Fn&& fn, std::size_t max_records) {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        if (cached_tail_ == head) {
+            cached_tail_ = tail_.load(std::memory_order_acquire);
+            if (cached_tail_ == head) return 0;
+        }
+        std::uint64_t available = cached_tail_ - head;
+        if (available > max_records) available = max_records;
+        for (std::uint64_t i = 0; i < available; ++i) {
+            const Slot& slot = slots_[(head + i) & mask_];
+            fn(std::string_view(slot.bytes, slot.size));
+        }
+        head_.store(head + available, std::memory_order_release);
+        return static_cast<std::size_t>(available);
+    }
+
+    bool empty() const {
+        return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire);
+    }
+
+private:
+    struct Slot {
+        std::uint32_t size = 0;
+        char bytes[kSlotBytes];
+    };
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next slot to write
+    alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next slot to read
+    alignas(64) std::uint64_t cached_head_ = 0;       ///< producer's snapshot of head_
+    alignas(64) std::uint64_t cached_tail_ = 0;       ///< consumer's snapshot of tail_
+};
+
+}  // namespace siren::ingest

@@ -17,7 +17,11 @@ namespace siren::net {
 /// aggregating excessive amounts of small files"). This transport exists
 /// as the third arm of the transport ablation: each datagram becomes one
 /// small file, so the bench can measure the metadata cost and the failure
-/// mode (spool unwritable) next to UDP and TCP.
+/// mode (spool unwritable) next to UDP, TCP and the fourth durability arm
+/// — the storage::SegmentStore behind the ingest daemon, which also
+/// persists every datagram but amortizes it into a few append-only,
+/// fsync-batched segment files instead of N tiny files (see
+/// bench_ablation_transport and docs/storage_format.md).
 ///
 /// Naming: `<seq>-<pid>.msg`, seq monotone per sender — unique within a
 /// process and collision-free across processes, like XALT's per-process

@@ -94,6 +94,7 @@ void UdpReceiver::stop() {
 void UdpReceiver::run() {
     std::string buffer;
     buffer.resize(65536);
+    MessageView view;  // reused across datagrams; decode_view fills it in place
     while (!stopping_.load(std::memory_order_relaxed)) {
         // poll() before recv(): SO_RCVTIMEO is not honored on every kernel
         // (sandboxed runtimes ignore it), and a receiver that cannot observe
@@ -113,8 +114,12 @@ void UdpReceiver::run() {
             break;
         }
         try {
-            Message m = decode(std::string_view(buffer.data(), static_cast<std::size_t>(n)));
-            if (queue_.push(std::move(m))) {
+            // Zero-copy validation: parse into the reused view (no heap
+            // allocation, nothing copied), and only materialize an owned
+            // Message for datagrams that actually pass — a malformed flood
+            // costs parsing, never string construction.
+            decode_view(std::string_view(buffer.data(), static_cast<std::size_t>(n)), view);
+            if (queue_.push(view.to_message())) {
                 stats_.delivered.fetch_add(1, std::memory_order_relaxed);
             } else {
                 stats_.lost.fetch_add(1, std::memory_order_relaxed);

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace siren::storage {
+
+/// Durable append-only segment files — the on-disk spine of the ingest
+/// daemon. Full byte-level layout in docs/storage_format.md; in short:
+///
+///   segment  := header record*
+///   header   := "SIRENSG1" u32(version) u32(reserved)
+///   record   := u32(payload length) u32(crc32c of payload) payload
+///
+/// All integers little-endian. A segment may end in a *torn* record (the
+/// writer crashed mid-append); replay recovers every complete record and
+/// reports the tear instead of throwing.
+
+inline constexpr std::string_view kSegmentMagic = "SIRENSG1";
+inline constexpr std::uint32_t kSegmentVersion = 1;
+inline constexpr std::size_t kSegmentHeaderBytes = 16;
+inline constexpr std::size_t kRecordHeaderBytes = 8;
+/// Sanity bound on one record; a larger length field at replay time means
+/// the framing is corrupt, not that someone stored a 4 GiB datagram.
+inline constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+/// Every segment file carries this suffix; replay scans for it.
+inline constexpr std::string_view kSegmentSuffix = ".seg";
+
+/// Durability and rotation policy for one writer.
+struct SegmentOptions {
+    std::size_t max_segment_bytes = 64u << 20;  ///< seal + rotate past this size
+    std::size_t buffer_bytes = 256u << 10;      ///< user-space write coalescing
+    /// fsync once this many bytes have been appended since the last sync —
+    /// the "fsync-batched" knob: durability lags at most this many bytes.
+    std::size_t fsync_interval_bytes = 1u << 20;
+    bool fsync_enabled = true;  ///< off = page cache only (benches, tmpfs)
+};
+
+/// Single-threaded append-only writer for one stream of segments
+/// (`<dir>/<prefix><seq>.seg`). The ingest daemon gives each shard its own
+/// writer, so the hot path needs no locking; all I/O failures after
+/// construction are counted, never thrown — a full disk must not kill the
+/// collector spine, only its durability.
+class SegmentWriter {
+public:
+    /// Invoked (from the writing thread) each time a segment is sealed,
+    /// with its path; the SegmentStore uses this to track compaction
+    /// candidates.
+    using SealFn = std::function<void(const std::string& path)>;
+
+    /// Creates `directory` if missing (throws util::SystemError when that
+    /// fails — a misconfigured store should be loud). The first segment
+    /// file is opened lazily on first append.
+    SegmentWriter(std::string directory, std::string prefix, SegmentOptions options = {},
+                  SealFn on_seal = nullptr);
+    ~SegmentWriter();
+
+    SegmentWriter(const SegmentWriter&) = delete;
+    SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+    /// Append one record (typically one raw wire datagram). Buffered;
+    /// false only on I/O failure (also counted in errors()).
+    bool append(std::string_view record) noexcept;
+
+    /// Durability barrier: write out the user-space buffer and fsync.
+    /// No-op when nothing is pending.
+    void sync() noexcept;
+
+    /// Group commit, caller = a background flusher thread: fsync whatever
+    /// has already been write()n, via a dup'd fd, *without* touching the
+    /// user-space buffer — safe concurrently with the appending thread,
+    /// which keeps writing at page-cache speed while the disk catches up.
+    void sync_written() noexcept;
+
+    /// Disable the append-path fsync-at-interval (buffer flushes at
+    /// interval instead); pair with a background thread calling
+    /// sync_written(). Durability lag becomes flush cadence + one buffer.
+    void set_inline_fsync(bool inline_fsync) { inline_fsync_ = inline_fsync; }
+
+    /// Seal the active segment (sync + close + on_seal) — the next append
+    /// opens a fresh file. No-op when no segment is open.
+    void rotate() noexcept;
+
+    /// sync + close without sealing the active segment as rotation would;
+    /// the file stays replayable (close() is what clean shutdown calls).
+    void close() noexcept;
+
+    std::uint64_t appended() const { return appended_; }
+    std::uint64_t appended_bytes() const { return appended_bytes_; }
+    std::uint64_t errors() const { return errors_; }
+    std::uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
+    std::uint64_t segments_opened() const { return segments_opened_; }
+    /// Bytes appended but not yet fsync'ed (the durability lag).
+    std::uint64_t unsynced_bytes() const { return unsynced_bytes_; }
+    const std::string& active_path() const { return active_path_; }
+
+private:
+    bool open_next() noexcept;
+    bool flush_buffer() noexcept;
+
+    std::string directory_;
+    std::string prefix_;
+    SegmentOptions options_;
+    SealFn on_seal_;
+
+    int fd_ = -1;
+    int dir_fd_ = -1;  ///< fsync'ed after create/seal so renames survive a crash
+    /// Guards fd_ *transitions* (open/rotate/close) against sync_written()'s
+    /// dup(); the append/write fast path never takes it.
+    std::mutex fd_mutex_;
+    bool inline_fsync_ = true;
+    std::string active_path_;
+    std::string buffer_;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t segment_bytes_ = 0;  ///< written + buffered bytes of the active file
+    std::uint64_t unsynced_bytes_ = 0;
+
+    std::uint64_t appended_ = 0;
+    std::uint64_t appended_bytes_ = 0;
+    std::uint64_t errors_ = 0;
+    std::atomic<std::uint64_t> syncs_{0};  ///< bumped by appender and flusher
+    std::uint64_t segments_opened_ = 0;
+};
+
+/// Accounting for one replay pass. A "tear" is an incomplete record at the
+/// end of a segment (crashed writer); a "crc failure" is a complete record
+/// whose payload no longer matches its checksum (bit rot) — the record is
+/// skipped but scanning continues, since the length framing is intact.
+struct ReplayStats {
+    std::uint64_t segments = 0;       ///< files with a valid header
+    std::uint64_t records = 0;        ///< complete, checksummed records delivered
+    std::uint64_t bytes = 0;          ///< payload bytes delivered
+    std::uint64_t torn_tails = 0;     ///< segments ending mid-record
+    std::uint64_t torn_bytes = 0;     ///< bytes abandoned in torn tails
+    std::uint64_t crc_failures = 0;   ///< records dropped on checksum mismatch
+    std::uint64_t bad_segments = 0;   ///< files skipped: unreadable/bad magic/version
+
+    void merge(const ReplayStats& o);
+};
+
+using RecordFn = std::function<void(std::string_view record)>;
+
+/// Replay every complete record of one segment file, in append order.
+/// Never throws: unreadable files and bad headers count as bad_segments,
+/// torn tails and checksum mismatches are counted and skipped.
+ReplayStats replay_segment(const std::string& path, const RecordFn& fn);
+
+/// Replay every `*.seg` file under `directory` in lexicographic order
+/// (writer naming makes that append order per shard stream). A missing
+/// directory is an empty replay, not an error.
+ReplayStats replay_directory(const std::string& directory, const RecordFn& fn);
+
+}  // namespace siren::storage

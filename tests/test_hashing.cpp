@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "hashing/crc32c.hpp"
 #include "hashing/fnv.hpp"
 #include "hashing/rolling.hpp"
 #include "hashing/sha1.hpp"
@@ -127,4 +128,38 @@ TEST(Rolling, ResetRestoresInitialState) {
     h.update(42);
     h.reset();
     EXPECT_EQ(h.value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C (Castagnoli) — the segment store's record checksum. Vectors from
+// RFC 3720 appendix B.4 (iSCSI) plus streaming-consistency properties.
+
+TEST(Crc32c, KnownVectors) {
+    EXPECT_EQ(sh::crc32c(""), 0x00000000u);
+    EXPECT_EQ(sh::crc32c("123456789"), 0xE3069283u);
+    EXPECT_EQ(sh::crc32c(std::string(32, '\0')), 0x8A9136AAu);
+    EXPECT_EQ(sh::crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+    const std::string data =
+        "SIREN1|JOBID=7|STEPID=0|PID=4242|HASH=00ff|HOST=nid000012|TIME=1733900000"
+        "|LAYER=SELF|TYPE=OBJECTS|SEQ=0|TOTAL=2|CONTENT=/lib64/libc.so.6";
+    const std::uint32_t expected = sh::crc32c(data);
+    for (std::size_t split = 0; split <= data.size(); ++split) {
+        std::uint32_t crc = sh::crc32c_update(0, data.data(), split);
+        crc = sh::crc32c_update(crc, data.data() + split, data.size() - split);
+        EXPECT_EQ(crc, expected) << "split at " << split;
+    }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+    std::string data = "the segment store relies on this detecting corruption";
+    const std::uint32_t clean = sh::crc32c(data);
+    for (std::size_t byte = 0; byte < data.size(); byte += 7) {
+        data[byte] ^= 0x01;
+        EXPECT_NE(sh::crc32c(data), clean) << "flip at byte " << byte;
+        data[byte] ^= 0x01;
+    }
+    EXPECT_EQ(sh::crc32c(data), clean);
 }
