@@ -1,5 +1,6 @@
 #include "ingest/ingest_server.hpp"
 
+#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
@@ -59,7 +60,10 @@ IngestServer::IngestServer(IngestOptions options, BatchHandler handler)
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
         addr.sin_port = htons(i == 0 ? options_.port : port_);
-        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+            throw util::SystemError("ingest bind address is not a valid IPv4 address: " +
+                                    options_.bind_address);
+        }
         if (::bind(shard->fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
             throw_errno("ingest bind()");
         }
@@ -90,21 +94,31 @@ IngestServer::IngestServer(IngestOptions options, BatchHandler handler)
     }
 
     // Sockets are all bound — only now start the threads, so no shard ever
-    // observes a half-constructed server.
-    for (auto& shard : shards_) {
-        shard->receiver = std::thread([this, s = shard.get()] { receive_loop(*s); });
-        shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
-    }
-    if (options_.store && options_.flush_interval.count() > 0) {
+    // observes a half-constructed server. If any later thread fails to
+    // start, unwind through stop(): letting a joinable std::thread reach
+    // its destructor would std::terminate the process.
+    const bool group_commit = options_.store && options_.flush_interval.count() > 0;
+    if (group_commit) {
         // Group commit: workers skip inline fsync; the flusher overlaps
-        // fsync with their page-cache-speed appends.
+        // fsync with their page-cache-speed appends. Flip the writers'
+        // mode BEFORE any worker thread exists — they read the flag on
+        // every append, unsynchronized.
         for (std::size_t i = 0; i < options_.shards; ++i) {
             options_.store->writer(i).set_inline_fsync(false);
         }
-        flusher_ = std::thread([this] { flusher_loop(); });
     }
-    if (options_.store && options_.compaction_interval.count() > 0) {
-        compactor_ = std::thread([this] { compaction_loop(); });
+    try {
+        for (auto& shard : shards_) {
+            shard->receiver = std::thread([this, s = shard.get()] { receive_loop(*s); });
+            shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+        }
+        if (group_commit) flusher_ = std::thread([this] { flusher_loop(); });
+        if (options_.store && options_.compaction_interval.count() > 0) {
+            compactor_ = std::thread([this] { compaction_loop(); });
+        }
+    } catch (...) {
+        stop();
+        throw;
     }
 }
 
@@ -345,7 +359,18 @@ void IngestServer::stop() {
         if (shard->event_fd >= 0) ::close(shard->event_fd);
         shard->fd = shard->epoll_fd = shard->event_fd = -1;
     }
-    if (options_.store) options_.store->sync_all();
+    if (options_.store) {
+        options_.store->sync_all();
+        // The store is caller-owned and outlives this server: give the
+        // writers back the inline-fsync durability bound the group-commit
+        // branch traded away for a flusher that no longer runs (or — on
+        // the constructor's unwind path — never started).
+        if (options_.flush_interval.count() > 0) {
+            for (std::size_t i = 0; i < options_.shards; ++i) {
+                options_.store->writer(i).set_inline_fsync(true);
+            }
+        }
+    }
 }
 
 IngestStats IngestServer::stats() const {

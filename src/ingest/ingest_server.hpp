@@ -24,6 +24,11 @@ struct IngestOptions {
     /// UDP port; 0 binds an ephemeral port on the first socket and the
     /// remaining shards join it via SO_REUSEPORT (see port()).
     std::uint16_t port = 0;
+    /// IPv4 address (dotted quad) every shard socket binds. Loopback by
+    /// default so tests and single-node benches stay private; a deployed
+    /// collector sets "0.0.0.0" (or a specific interface) so remote HPC
+    /// nodes can reach the daemon.
+    std::string bind_address = "127.0.0.1";
     /// Socket/ring/worker triples. SO_REUSEPORT spreads inbound datagrams
     /// across the sockets in the kernel, so shards scale receive work
     /// without any user-space distribution step.

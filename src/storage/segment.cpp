@@ -38,10 +38,24 @@ std::uint32_t get_u32le(const char* p) {
            static_cast<std::uint32_t>(b[2]) << 16 | static_cast<std::uint32_t>(b[3]) << 24;
 }
 
+/// Split `<head><digits>.seg` so segments can be matched to a stream and
+/// ordered by numeric sequence: plain lexicographic order breaks once a
+/// sequence outgrows its zero padding ("…-100000000.seg" would sort before
+/// "…-11111112.seg" despite being appended later). The caller guarantees
+/// `path` ends with kSegmentSuffix.
+std::pair<std::string_view, std::string_view> split_segment_name(std::string_view path) {
+    path.remove_suffix(kSegmentSuffix.size());
+    std::size_t digits_at = path.size();
+    while (digits_at > 0 && path[digits_at - 1] >= '0' && path[digits_at - 1] <= '9') {
+        --digits_at;
+    }
+    return {path.substr(0, digits_at), path.substr(digits_at)};
+}
+
 }  // namespace
 
 SegmentWriter::SegmentWriter(std::string directory, std::string prefix, SegmentOptions options,
-                             SealFn on_seal)
+                             SealFn on_seal, std::uint64_t resume_seq)
     : directory_(std::move(directory)),
       prefix_(std::move(prefix)),
       options_(options),
@@ -54,6 +68,50 @@ SegmentWriter::SegmentWriter(std::string directory, std::string prefix, SegmentO
     }
     dir_fd_ = ::open(directory_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
     buffer_.reserve(options_.buffer_bytes + 4096);
+
+    // Resume the sequence after whatever segments an earlier process left
+    // here: a restart on the same durable directory (the documented crash
+    // recovery workflow) must append *next to* the surviving data it will
+    // later replay, never truncate over it.
+    next_seq_ = resume_seq != kResumeByScan
+                    ? resume_seq
+                    : scan_resume_sequences(directory_, {prefix_}).front();
+}
+
+std::vector<std::uint64_t> scan_resume_sequences(const std::string& directory,
+                                                 const std::vector<std::string>& prefixes) {
+    std::vector<std::uint64_t> next(prefixes.size(), 0);
+    std::error_code ec;
+    for (fs::directory_iterator it(directory, ec), end; !ec && it != end; it.increment(ec)) {
+        std::error_code file_ec;
+        if (!it->is_regular_file(file_ec)) continue;
+        const std::string name = it->path().filename().string();
+        if (name.size() <= kSegmentSuffix.size() || !name.ends_with(kSegmentSuffix)) continue;
+        // Match each prefix literally (not via split_segment_name's
+        // trailing-digit heuristic): a prefix that itself ends in a digit
+        // would otherwise never match and restart its stream at 0. No
+        // early break — overlapping prefixes ("t-" and "t-1") each take
+        // the conservative, higher resume point.
+        for (std::size_t i = 0; i < prefixes.size(); ++i) {
+            const std::string& prefix = prefixes[i];
+            if (name.size() <= prefix.size() + kSegmentSuffix.size()) continue;
+            if (!name.starts_with(prefix)) continue;
+            const std::string_view digits(name.data() + prefix.size(),
+                                          name.size() - prefix.size() - kSegmentSuffix.size());
+            if (digits.empty() || digits.size() > 18) continue;
+            std::uint64_t seq = 0;
+            bool numeric = true;
+            for (const char c : digits) {
+                if (c < '0' || c > '9') {
+                    numeric = false;
+                    break;
+                }
+                seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+            }
+            if (numeric && seq >= next[i]) next[i] = seq + 1;
+        }
+    }
+    return next;
 }
 
 SegmentWriter::~SegmentWriter() {
@@ -62,10 +120,18 @@ SegmentWriter::~SegmentWriter() {
 }
 
 bool SegmentWriter::open_next() noexcept {
-    char name[32];
-    std::snprintf(name, sizeof name, "%08llu", static_cast<unsigned long long>(next_seq_));
-    active_path_ = directory_ + "/" + prefix_ + name + std::string(kSegmentSuffix);
-    const int fd = ::open(active_path_.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+    // O_EXCL is belt-and-braces on top of the constructor's directory scan:
+    // a name collision (another writer, a segment created since the scan)
+    // advances the sequence instead of truncating someone else's data.
+    int fd = -1;
+    for (int attempt = 0; attempt < 65536; ++attempt) {
+        char name[32];
+        std::snprintf(name, sizeof name, "%08llu", static_cast<unsigned long long>(next_seq_));
+        active_path_ = directory_ + "/" + prefix_ + name + std::string(kSegmentSuffix);
+        fd = ::open(active_path_.c_str(), O_CREAT | O_WRONLY | O_EXCL | O_CLOEXEC, 0644);
+        if (fd >= 0 || errno != EEXIST) break;
+        ++next_seq_;
+    }
     {
         std::lock_guard<std::mutex> lock(fd_mutex_);
         fd_ = fd;
@@ -83,7 +149,7 @@ bool SegmentWriter::open_next() noexcept {
     put_u32le(buffer_, kSegmentVersion);
     put_u32le(buffer_, 0);  // reserved
     segment_bytes_ = kSegmentHeaderBytes;
-    unsynced_bytes_ += kSegmentHeaderBytes;
+    pending_bytes_.fetch_add(kSegmentHeaderBytes, std::memory_order_relaxed);
     return true;
 }
 
@@ -92,6 +158,8 @@ bool SegmentWriter::flush_buffer() noexcept {
     if (fd_ < 0) {
         // Nothing to write into: drop the buffered bytes, count the loss.
         ++errors_;
+        ++flush_drops_;
+        pending_bytes_.fetch_sub(buffer_.size(), std::memory_order_relaxed);
         buffer_.clear();
         return false;
     }
@@ -102,11 +170,18 @@ bool SegmentWriter::flush_buffer() noexcept {
         if (n < 0) {
             if (errno == EINTR) continue;
             // Disk trouble: drop what we could not write (counted) rather
-            // than grow the buffer without bound.
+            // than grow the buffer without bound — and since an earlier
+            // partial write() may have left a truncated record mid-file,
+            // abandon this segment so the misaligned framing cannot poison
+            // records appended after it.
             ++errors_;
+            ++flush_drops_;
+            pending_bytes_.fetch_sub(remaining, std::memory_order_relaxed);
             buffer_.clear();
+            abandon_segment();
             return false;
         }
+        flushed_bytes_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
         p += n;
         remaining -= static_cast<std::size_t>(n);
     }
@@ -114,11 +189,39 @@ bool SegmentWriter::flush_buffer() noexcept {
     return true;
 }
 
+void SegmentWriter::advance_synced(std::uint64_t watermark) noexcept {
+    std::uint64_t cur = synced_bytes_.load(std::memory_order_relaxed);
+    while (cur < watermark &&
+           !synced_bytes_.compare_exchange_weak(cur, watermark, std::memory_order_relaxed)) {
+    }
+}
+
+void SegmentWriter::abandon_segment() noexcept {
+    {
+        std::lock_guard<std::mutex> lock(fd_mutex_);
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = -1;
+    }
+    // The damaged file's written-but-unsynced bytes will never be fsynced;
+    // they are lost (errors_), not lagging — stop reporting them.
+    advance_synced(flushed_bytes_.load(std::memory_order_relaxed));
+    if (on_seal_) on_seal_(active_path_);
+    active_path_.clear();
+    segment_bytes_ = 0;
+}
+
 bool SegmentWriter::append(std::string_view record) noexcept {
     if (record.size() > kMaxRecordBytes) {
         ++errors_;
         return false;
     }
+    // A buffer drop while this record is in flight — in append's own
+    // flush, in the interval sync() or inside rotate() — means the record
+    // (possibly with earlier buffered ones) was lost: the caller must not
+    // see it reported as journaled. Durability-only failures (a failed
+    // fsync of bytes that did reach the file) are deliberately excluded;
+    // those records exist and will replay.
+    const std::uint64_t drops_before = flush_drops_;
     if (fd_ < 0 && !open_next()) return false;
 
     // One append for the frame header, one for the payload — the framing
@@ -133,53 +236,99 @@ bool SegmentWriter::append(std::string_view record) noexcept {
     ++appended_;
     appended_bytes_ += framed;
     segment_bytes_ += framed;
-    unsynced_bytes_ += framed;
+    pending_bytes_.fetch_add(framed, std::memory_order_relaxed);
 
-    bool ok = true;
-    if (buffer_.size() >= options_.buffer_bytes) ok = flush_buffer();
+    if (buffer_.size() >= options_.buffer_bytes) flush_buffer();
     // Group-commit mode skips the interval fsync entirely: the buffer_bytes
     // flush above keeps bytes flowing to the page cache and the flusher
-    // thread's sync_written() makes them durable — unsynced_bytes_ then
-    // only bounds the *idle* sync, it must not trigger per-append work.
-    if (inline_fsync_ && unsynced_bytes_ >= options_.fsync_interval_bytes) sync();
+    // thread's sync_written() makes them durable — the unsynced watermark
+    // then only bounds the *idle* sync, it must not trigger per-append work.
+    if (inline_fsync_ && unsynced_bytes() >= options_.fsync_interval_bytes &&
+        pending_bytes_.load(std::memory_order_relaxed) >= inline_sync_backoff_until_) {
+        sync();
+        if (unsynced_bytes() >= options_.fsync_interval_bytes) {
+            // fsync failed and left the lag in place (only that path can:
+            // a flush drop zeroes the lag). Don't hammer an ailing disk
+            // with one fsync per append — retry after another interval's
+            // worth of appends.
+            inline_sync_backoff_until_ =
+                pending_bytes_.load(std::memory_order_relaxed) + options_.fsync_interval_bytes;
+        }
+    }
     if (segment_bytes_ >= options_.max_segment_bytes) rotate();
-    return ok;
+    return flush_drops_ == drops_before;
 }
 
 void SegmentWriter::sync_written() noexcept {
     if (!options_.fsync_enabled) return;
+    // Compare against *flushed*, not pending: bytes still in the appender's
+    // user-space buffer cannot be fsynced from here, so when nothing new
+    // has been write()n since the last sync the fsync would be a no-op.
+    if (flushed_bytes_.load(std::memory_order_relaxed) <=
+        synced_bytes_.load(std::memory_order_relaxed)) {
+        return;
+    }
     int dup_fd = -1;
+    std::uint64_t watermark = 0;
     {
         std::lock_guard<std::mutex> lock(fd_mutex_);
         if (fd_ < 0) return;
         dup_fd = ::dup(fd_);
+        // Snapshot under the lock: the fd cannot rotate away before the
+        // load, so every byte counted here went to this fd or to an
+        // already-synced predecessor — the fsync below makes all of them
+        // durable even while the appender keeps writing past the mark.
+        watermark = flushed_bytes_.load(std::memory_order_relaxed);
     }
-    if (dup_fd < 0) return;
+    if (dup_fd < 0) {
+        // fd exhaustion: nothing was fsynced, the lag stays visible and
+        // the failure is counted — not a silent skip.
+        ++errors_;
+        return;
+    }
     // fsync outside the lock: the appender can open/rotate freely while
     // the disk catches up; a rotation mid-fsync just means this dup keeps
     // the sealed file alive until its bytes are safe.
-    ::fsync(dup_fd);
+    const int rc = ::fsync(dup_fd);
     ::close(dup_fd);
+    if (rc != 0) {
+        // Not durable: leave the watermark where it was so the lag stays
+        // visible and the next interval retries the fsync.
+        ++errors_;
+        return;
+    }
     syncs_.fetch_add(1, std::memory_order_relaxed);
+    advance_synced(watermark);
 }
 
 void SegmentWriter::sync() noexcept {
     flush_buffer();
-    if (fd_ >= 0 && options_.fsync_enabled && unsynced_bytes_ > 0) {
-        ::fsync(fd_);
+    if (fd_ >= 0 && options_.fsync_enabled && unsynced_bytes() > 0) {
+        if (::fsync(fd_) != 0) {
+            // Not durable: keep the lag visible, retry on the next sync.
+            ++errors_;
+            return;
+        }
         syncs_.fetch_add(1, std::memory_order_relaxed);
     }
-    unsynced_bytes_ = 0;
+    advance_synced(flushed_bytes_.load(std::memory_order_relaxed));
 }
 
 void SegmentWriter::rotate() noexcept {
     if (fd_ < 0) return;
     sync();
+    // sync()'s flush may have hit a write failure and already abandoned
+    // (closed + sealed) the segment — nothing left to rotate.
+    if (fd_ < 0) return;
     {
         std::lock_guard<std::mutex> lock(fd_mutex_);
         ::close(fd_);
         fd_ = -1;
     }
+    // If sync()'s fsync failed (counted in errors_), the fd it could have
+    // retried against is now gone — reconcile the watermark so the sealed
+    // segment's bytes stop reporting as retriable lag.
+    advance_synced(flushed_bytes_.load(std::memory_order_relaxed));
     if (options_.fsync_enabled && dir_fd_ >= 0) ::fsync(dir_fd_);
     if (on_seal_) on_seal_(active_path_);
     active_path_.clear();
@@ -188,15 +337,19 @@ void SegmentWriter::rotate() noexcept {
 
 void SegmentWriter::close() noexcept {
     if (fd_ < 0) {
+        pending_bytes_.fetch_sub(buffer_.size(), std::memory_order_relaxed);
         buffer_.clear();
         return;
     }
     sync();
+    if (fd_ < 0) return;  // abandoned by a failed flush inside sync()
     {
         std::lock_guard<std::mutex> lock(fd_mutex_);
         ::close(fd_);
         fd_ = -1;
     }
+    // As in rotate(): a failed final fsync has no fd left to retry against.
+    advance_synced(flushed_bytes_.load(std::memory_order_relaxed));
     segment_bytes_ = 0;
 }
 
@@ -281,6 +434,21 @@ ReplayStats replay_segment(const std::string& path, const RecordFn& fn) {
     return stats;
 }
 
+namespace {
+
+bool segment_order(const std::string& a, const std::string& b) {
+    const auto [head_a, seq_a] = split_segment_name(a);
+    const auto [head_b, seq_b] = split_segment_name(b);
+    if (head_a != head_b) return head_a < head_b;
+    std::string_view na = seq_a.substr(std::min(seq_a.find_first_not_of('0'), seq_a.size()));
+    std::string_view nb = seq_b.substr(std::min(seq_b.find_first_not_of('0'), seq_b.size()));
+    if (na.size() != nb.size()) return na.size() < nb.size();  // shorter number = smaller
+    if (na != nb) return na < nb;
+    return a < b;  // numeric tie (padding difference): keep the order total
+}
+
+}  // namespace
+
 ReplayStats replay_directory(const std::string& directory, const RecordFn& fn) {
     ReplayStats stats;
     std::error_code ec;
@@ -292,7 +460,7 @@ ReplayStats replay_directory(const std::string& directory, const RecordFn& fn) {
             paths.push_back(it->path().string());
         }
     }
-    std::sort(paths.begin(), paths.end());
+    std::sort(paths.begin(), paths.end(), segment_order);
     for (const auto& path : paths) {
         stats.merge(replay_segment(path, fn));
     }

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace siren::storage {
 
@@ -52,11 +53,20 @@ public:
     /// candidates.
     using SealFn = std::function<void(const std::string& path)>;
 
+    /// resume_seq value meaning "scan the directory for the resume point".
+    static constexpr std::uint64_t kResumeByScan = ~0ull;
+
     /// Creates `directory` if missing (throws util::SystemError when that
-    /// fails — a misconfigured store should be loud). The first segment
-    /// file is opened lazily on first append.
+    /// fails — a misconfigured store should be loud). Resumes the segment
+    /// sequence *after* any `<prefix><seq>.seg` a previous run left behind
+    /// — a restarted process appends new segments next to the old data it
+    /// will later replay, never over it. The resume point is found by
+    /// scanning the directory, unless the caller already knows it
+    /// (SegmentStore scans once for all shards — see
+    /// scan_resume_sequences) and passes `resume_seq` explicitly. The
+    /// first segment file is opened lazily on first append.
     SegmentWriter(std::string directory, std::string prefix, SegmentOptions options = {},
-                  SealFn on_seal = nullptr);
+                  SealFn on_seal = nullptr, std::uint64_t resume_seq = kResumeByScan);
     ~SegmentWriter();
 
     SegmentWriter(const SegmentWriter&) = delete;
@@ -91,16 +101,31 @@ public:
 
     std::uint64_t appended() const { return appended_; }
     std::uint64_t appended_bytes() const { return appended_bytes_; }
-    std::uint64_t errors() const { return errors_; }
+    std::uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
     std::uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
     std::uint64_t segments_opened() const { return segments_opened_; }
-    /// Bytes appended but not yet fsync'ed (the durability lag).
-    std::uint64_t unsynced_bytes() const { return unsynced_bytes_; }
+    /// Bytes appended but not yet fsync'ed (the durability lag). Retired
+    /// by sync() and — in group-commit mode — by each successful
+    /// sync_written(), so it stays bounded under steady traffic.
+    std::uint64_t unsynced_bytes() const {
+        const std::uint64_t p = pending_bytes_.load(std::memory_order_relaxed);
+        const std::uint64_t s = synced_bytes_.load(std::memory_order_relaxed);
+        return p > s ? p - s : 0;
+    }
     const std::string& active_path() const { return active_path_; }
 
 private:
     bool open_next() noexcept;
     bool flush_buffer() noexcept;
+    /// Raise the durable watermark to `watermark` (CAS-max: the appender's
+    /// sync() and the flusher's sync_written() race benignly).
+    void advance_synced(std::uint64_t watermark) noexcept;
+    /// A write() failed mid-buffer: the active file may end in a partial
+    /// record that would misalign the length framing for everything after
+    /// it. Close and seal the damaged segment so the next append opens a
+    /// fresh one — replay then sees the damage as one torn tail instead of
+    /// silently losing every later record.
+    void abandon_segment() noexcept;
 
     std::string directory_;
     std::string prefix_;
@@ -117,11 +142,29 @@ private:
     std::string buffer_;
     std::uint64_t next_seq_ = 0;
     std::uint64_t segment_bytes_ = 0;  ///< written + buffered bytes of the active file
-    std::uint64_t unsynced_bytes_ = 0;
+    /// Durability-lag accounting as monotonic byte watermarks: pending_ =
+    /// bytes that entered the user-space buffer, flushed_ = bytes write()n
+    /// to a segment fd (both advanced by the appending thread only),
+    /// synced_ = the durable high-water mark, raised by whichever of
+    /// sync()/sync_written() fsyncs. unsynced_bytes() = pending - synced.
+    std::atomic<std::uint64_t> pending_bytes_{0};
+    std::atomic<std::uint64_t> flushed_bytes_{0};
+    std::atomic<std::uint64_t> synced_bytes_{0};
 
     std::uint64_t appended_ = 0;
     std::uint64_t appended_bytes_ = 0;
-    std::uint64_t errors_ = 0;
+    /// Buffer-drop events (appender thread only). append() uses the delta
+    /// across its own flush/sync/rotate calls to report whether *this*
+    /// record was dropped — errors_ won't do, since the flusher thread
+    /// also counts fsync failures there, which are not record drops.
+    std::uint64_t flush_drops_ = 0;
+    /// After a failed interval fsync, no retry until pending_bytes_ passes
+    /// this mark — one failing fsync per interval, not one per append
+    /// (appender thread only).
+    std::uint64_t inline_sync_backoff_until_ = 0;
+    /// Atomic because the flusher thread's sync_written() counts failed
+    /// fsyncs here too; everything else increments from the appender.
+    std::atomic<std::uint64_t> errors_{0};
     std::atomic<std::uint64_t> syncs_{0};  ///< bumped by appender and flusher
     std::uint64_t segments_opened_ = 0;
 };
@@ -144,14 +187,23 @@ struct ReplayStats {
 
 using RecordFn = std::function<void(std::string_view record)>;
 
+/// One directory pass computing, for each prefix, the sequence a restarted
+/// writer should resume at (highest existing `<prefix><seq>.seg` + 1, or 0
+/// when none). SegmentStore uses this so an N-shard restart scans the
+/// shared directory once instead of N times. A missing directory yields
+/// all zeros.
+std::vector<std::uint64_t> scan_resume_sequences(const std::string& directory,
+                                                 const std::vector<std::string>& prefixes);
+
 /// Replay every complete record of one segment file, in append order.
 /// Never throws: unreadable files and bad headers count as bad_segments,
 /// torn tails and checksum mismatches are counted and skipped.
 ReplayStats replay_segment(const std::string& path, const RecordFn& fn);
 
-/// Replay every `*.seg` file under `directory` in lexicographic order
-/// (writer naming makes that append order per shard stream). A missing
-/// directory is an empty replay, not an error.
+/// Replay every `*.seg` file under `directory`, ordered by (stream
+/// prefix, numeric sequence) — append order per shard stream, even when a
+/// sequence outgrows its zero padding. A missing directory is an empty
+/// replay, not an error.
 ReplayStats replay_directory(const std::string& directory, const RecordFn& fn);
 
 }  // namespace siren::storage

@@ -10,16 +10,27 @@ namespace siren::storage {
 SegmentStore::SegmentStore(std::string directory, std::size_t shards, SegmentOptions options)
     : directory_(std::move(directory)) {
     util::require(shards >= 1, "SegmentStore needs at least one shard");
-    writers_.reserve(shards);
+    std::vector<std::string> prefixes;
+    prefixes.reserve(shards);
     for (std::size_t s = 0; s < shards; ++s) {
         char prefix[32];
         std::snprintf(prefix, sizeof prefix, "shard%03zu-", s);
+        prefixes.emplace_back(prefix);
+    }
+    // One pass over the shared directory computes every shard's restart
+    // resume point — per-writer scans would walk the same (potentially
+    // huge) listing `shards` times.
+    const auto resume = scan_resume_sequences(directory_, prefixes);
+    writers_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
         writers_.push_back(std::make_unique<SegmentWriter>(
-            directory_, prefix, options, [this](const std::string& path) {
+            directory_, prefixes[s], options,
+            [this](const std::string& path) {
                 std::lock_guard<std::mutex> lock(sealed_mutex_);
                 sealed_.push_back({path, false});
                 ++sealed_count_;
-            }));
+            },
+            resume[s]));
     }
 }
 

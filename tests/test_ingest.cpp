@@ -18,6 +18,7 @@
 #include "net/codec.hpp"
 #include "net/udp.hpp"
 #include "storage/segment_store.hpp"
+#include "util/error.hpp"
 
 namespace si = siren::ingest;
 namespace sn = siren::net;
@@ -180,6 +181,28 @@ TEST(IngestServer, RealUdpLoopbackAcrossReuseportShards) {
     EXPECT_GE(handled.load(), static_cast<std::uint64_t>(kMessages) * 9 / 10);
     EXPECT_EQ(server.stats().malformed, 0u);
     server.stop();
+}
+
+TEST(IngestServer, BindAddressIsConfigurable) {
+    // The deployed collector binds a non-loopback address so remote nodes
+    // can reach it; the wildcard still accepts loopback traffic, which is
+    // what a single-host test can exercise.
+    si::IngestOptions options;
+    options.shards = 1;
+    options.bind_address = "0.0.0.0";
+    std::atomic<std::uint64_t> handled{0};
+    si::IngestServer server(options, [&](std::size_t, std::span<const sn::MessageView> batch) {
+        handled.fetch_add(batch.size());
+    });
+    sn::UdpSender sender("127.0.0.1", server.port());
+    for (int i = 0; i < 50; ++i) sender.send(sn::encode(sample_message(i)));
+    server.quiesce();
+    EXPECT_GT(handled.load(), 0u);
+    server.stop();
+
+    si::IngestOptions bad;
+    bad.bind_address = "not-an-address";
+    EXPECT_THROW(si::IngestServer(bad, nullptr), siren::util::SystemError);
 }
 
 TEST(IngestServer, StopIsPromptAndIdempotent) {

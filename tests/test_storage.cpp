@@ -83,6 +83,76 @@ TEST(Segment, SyncIsVisibleWithoutClose) {
     EXPECT_EQ(collect_records(dir.path()).size(), 10u);
 }
 
+// The crash-recovery workflow: restart a writer on the same durable
+// directory. It must resume the sequence AFTER the previous run's segments
+// (never truncate them — that is exactly the data the store promises
+// survives a restart) and replay must then see both runs.
+TEST(Segment, RestartResumesSequenceWithoutClobbering) {
+    StoreDir dir;
+    std::string first_path;
+    {
+        st::SegmentWriter writer(dir.path(), "t-");
+        for (int i = 0; i < 5; ++i) writer.append(record(i));
+        first_path = writer.active_path();
+        writer.close();
+    }
+    const auto first_size = fs::file_size(first_path);
+    {
+        st::SegmentWriter writer(dir.path(), "t-");
+        for (int i = 5; i < 10; ++i) writer.append(record(i));
+        EXPECT_NE(writer.active_path(), first_path)
+            << "the restarted writer must open a fresh segment";
+        writer.close();
+    }
+    EXPECT_EQ(fs::file_size(first_path), first_size) << "first run's segment left intact";
+
+    st::ReplayStats stats;
+    const auto records = collect_records(dir.path(), &stats);
+    ASSERT_EQ(records.size(), 10u);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(records[static_cast<std::size_t>(i)], record(i));
+    EXPECT_EQ(stats.segments, 2u);
+}
+
+// Sequences that outgrow the 8-digit zero padding must still replay in
+// append order: numerically, 11111112 < 100000000, even though the 9-digit
+// name sorts first lexicographically.
+TEST(Segment, ReplayOrdersByNumericSequenceBeyondPadding) {
+    StoreDir dir;
+    {
+        st::SegmentWriter writer(dir.path(), "t-");
+        writer.append(record(0));
+        writer.rotate();  // seals t-00000000.seg
+        writer.append(record(1));
+        writer.close();  // leaves t-00000001.seg
+    }
+    fs::rename(fs::path(dir.path()) / "t-00000000.seg", fs::path(dir.path()) / "t-11111112.seg");
+    fs::rename(fs::path(dir.path()) / "t-00000001.seg", fs::path(dir.path()) / "t-100000000.seg");
+
+    const auto records = collect_records(dir.path());
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0], record(0));
+    EXPECT_EQ(records[1], record(1));
+
+    // And a writer restarted here resumes after the 9-digit survivor.
+    st::SegmentWriter writer(dir.path(), "t-");
+    writer.append(record(2));
+    EXPECT_EQ(writer.active_path(), dir.path() + "/t-100000001.seg");
+    writer.close();
+}
+
+TEST(SegmentStore, RestartedStoreAppendsNextToSurvivingSegments) {
+    StoreDir dir;
+    constexpr std::size_t kShards = 2;
+    for (int run = 0; run < 3; ++run) {
+        st::SegmentStore store(dir.path(), kShards);
+        for (std::size_t s = 0; s < kShards; ++s) {
+            for (int i = 0; i < 10; ++i) store.append(s, record(run * 10 + i));
+        }
+        store.close();
+    }
+    EXPECT_EQ(collect_records(dir.path()).size(), 3u * kShards * 10u);
+}
+
 TEST(Segment, RotationSplitsIntoMultipleFiles) {
     StoreDir dir;
     st::SegmentOptions options;
@@ -104,6 +174,28 @@ TEST(Segment, RotationSplitsIntoMultipleFiles) {
     // Lexicographic file order must reproduce append order.
     for (int i = 0; i < 200; ++i) EXPECT_EQ(records[static_cast<std::size_t>(i)], record(i));
     EXPECT_GE(stats.segments, 4u);
+}
+
+// Group-commit mode: a successful background sync_written() must retire
+// the durability-lag stat (and make the next sync a no-op) instead of
+// letting unsynced_bytes grow without bound.
+TEST(Segment, SyncWrittenRetiresDurabilityLag) {
+    StoreDir dir;
+    st::SegmentOptions options;
+    options.buffer_bytes = 1;  // every append goes straight to the fd
+    st::SegmentWriter writer(dir.path(), "t-", options);
+    writer.set_inline_fsync(false);
+    for (int i = 0; i < 20; ++i) writer.append(record(i));
+    EXPECT_GT(writer.unsynced_bytes(), 0u);
+
+    writer.sync_written();
+    EXPECT_EQ(writer.unsynced_bytes(), 0u);
+    const auto syncs_after_flush = writer.syncs();
+    writer.sync_written();  // nothing new written since
+    EXPECT_EQ(writer.syncs(), syncs_after_flush) << "no redundant fsync when lag is zero";
+    writer.sync();
+    EXPECT_EQ(writer.syncs(), syncs_after_flush) << "sync() skips the fsync too";
+    writer.close();
 }
 
 // The crash-recovery contract (ISSUE acceptance): truncate a segment at

@@ -5,6 +5,8 @@
 //
 //   siren_ingestd PORT DATA_DIR [options]
 //     --shards N        sockets/rings/workers (default 4)
+//     --bind ADDR       IPv4 bind address (default 127.0.0.1; use 0.0.0.0
+//                       so remote compute nodes can reach the daemon)
 //     --seconds S       run duration (default: until SIGINT/SIGTERM)
 //     --memory          disable the segment store (in-memory ingest only)
 //     --compact-secs S  background-compact consolidated segments every S s
@@ -41,8 +43,8 @@ void handle_signal(int) { g_stop.store(true); }
 
 int usage() {
     std::fprintf(stderr,
-                 "usage: siren_ingestd PORT DATA_DIR [--shards N] [--seconds S] [--memory]\n"
-                 "                     [--compact-secs S] [--replay]\n");
+                 "usage: siren_ingestd PORT DATA_DIR [--shards N] [--bind ADDR] [--seconds S]\n"
+                 "                     [--memory] [--compact-secs S] [--replay]\n");
     return 1;
 }
 
@@ -55,6 +57,7 @@ int main(int argc, char** argv) {
     const std::string segments_dir = data_dir + "/segments";
 
     std::size_t shards = 4;
+    std::string bind_address = "127.0.0.1";
     long run_seconds = 0;
     long compact_seconds = 0;
     bool durable = true;
@@ -62,6 +65,8 @@ int main(int argc, char** argv) {
     for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
             shards = std::strtoul(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--bind") == 0 && i + 1 < argc) {
+            bind_address = argv[++i];
         } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
             run_seconds = std::strtol(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--compact-secs") == 0 && i + 1 < argc) {
@@ -105,6 +110,7 @@ int main(int argc, char** argv) {
 
         siren::ingest::IngestOptions options;
         options.port = port;
+        options.bind_address = bind_address;
         options.shards = shards;
         options.store = store.get();
         if (compact_seconds > 0) {
@@ -121,8 +127,8 @@ int main(int argc, char** argv) {
                     siren::db::insert_message(table, view.to_message());
                 }
             });
-        std::printf("siren_ingestd: %zu shard(s) on udp://127.0.0.1:%u, %s\n", server.shards(),
-                    server.port(),
+        std::printf("siren_ingestd: %zu shard(s) on udp://%s:%u, %s\n", server.shards(),
+                    bind_address.c_str(), server.port(),
                     durable ? ("journaling to " + segments_dir).c_str() : "in-memory (no WAL)");
 
         const auto start = std::chrono::steady_clock::now();
