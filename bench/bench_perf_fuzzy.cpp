@@ -94,7 +94,8 @@ void BM_ByteLevelCompare(benchmark::State& state) {
 BENCHMARK(BM_ByteLevelCompare)->Range(1 << 10, 1 << 24);
 
 void BM_WeightedEditDistance(benchmark::State& state) {
-    // Worst-case digest-length inputs.
+    // Worst-case digest-length inputs. Default costs dispatch to the
+    // bit-parallel indel kernel (one 64-bit word per row).
     std::string a, b;
     siren::util::Rng rng(3);
     for (int i = 0; i < 64; ++i) {
@@ -106,6 +107,21 @@ void BM_WeightedEditDistance(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_WeightedEditDistance);
+
+void BM_EditDistanceDpRow(benchmark::State& state) {
+    // The O(n*m) DP the bit-parallel kernel replaced, for the trajectory
+    // ratio (damerau_levenshtein keeps the rotating-row DP core).
+    std::string a, b;
+    siren::util::Rng rng(3);
+    for (int i = 0; i < 64; ++i) {
+        a += static_cast<char>('A' + rng.index(26));
+        b += static_cast<char>('A' + rng.index(26));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(siren::fuzzy::damerau_levenshtein(a, b));
+    }
+}
+BENCHMARK(BM_EditDistanceDpRow);
 
 }  // namespace
 

@@ -1,0 +1,170 @@
+// Microbenchmarks (google-benchmark) for the prepared-digest similarity
+// engine: legacy vs prepared fuzzy::compare (with allocs_per_op from the
+// util/alloc_probe.hpp operator-new hook), digest preparation cost, and
+// registry-scale top-n search — the block-size-bucketed Bloom-prefiltered
+// SimilarityIndex against the brute-force scan it replaces.
+//
+// The cmake target `bench-similarity-json` runs these and condenses the
+// numbers into BENCH_similarity.json via tools/bench_to_json.py; CI fails
+// if the prepared compare path is slower than the legacy path.
+
+#define SIREN_ALLOC_PROBE_IMPLEMENT
+#include "util/alloc_probe.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzzy/fuzzy.hpp"
+#include "recognize/recognize.hpp"
+#include "util/base64.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using siren::fuzzy::FuzzyDigest;
+using siren::fuzzy::PreparedDigest;
+
+/// Report heap allocations per iteration from the thread-local probe.
+class AllocCounter {
+public:
+    void start() { siren::util::alloc_probe_reset(); }
+    void report(benchmark::State& state) {
+        state.counters["allocs_per_op"] = benchmark::Counter(
+            static_cast<double>(siren::util::alloc_probe_count()),
+            benchmark::Counter::kAvgIterations);
+    }
+};
+
+std::string random_part(siren::util::Rng& rng, std::size_t len) {
+    std::string s;
+    for (std::size_t i = 0; i < len; ++i) s += siren::util::kBase64Alphabet[rng.index(64)];
+    return s;
+}
+
+/// Lineage drift: a few point edits on the digest strings (what a rebuild
+/// does to a CTPH digest) — keeps scores in the 60..95 band.
+FuzzyDigest mutate(siren::util::Rng& rng, FuzzyDigest d, std::size_t edits) {
+    for (std::size_t e = 0; e < edits; ++e) {
+        std::string& part = rng.below(3) == 0 ? d.digest2 : d.digest1;
+        if (part.empty()) continue;
+        part[rng.index(part.size())] = siren::util::kBase64Alphabet[rng.index(64)];
+    }
+    return d;
+}
+
+/// A synthetic known-software registry: families of drifted variants at a
+/// few adjacent block sizes — digest strings are synthesized directly so a
+/// 100k registry builds in milliseconds instead of hashing gigabytes.
+struct Registry {
+    std::vector<FuzzyDigest> digests;
+    siren::recognize::SimilarityIndex index;
+    FuzzyDigest probe;
+};
+
+const Registry& registry_of(std::size_t n) {
+    static std::map<std::size_t, Registry> cache;
+    const auto it = cache.find(n);
+    if (it != cache.end()) return it->second;
+
+    Registry& reg = cache[n];
+    siren::util::Rng rng(1009 * n + 7);
+    const std::uint64_t ladder[] = {1536, 3072, 6144};
+    constexpr std::size_t kVariants = 8;
+    while (reg.digests.size() < n) {
+        FuzzyDigest base;
+        base.block_size = ladder[rng.index(3)];
+        base.digest1 = random_part(rng, 48 + rng.index(16));
+        base.digest2 = random_part(rng, 24 + rng.index(8));
+        for (std::size_t v = 0; v < kVariants && reg.digests.size() < n; ++v) {
+            reg.digests.push_back(v == 0 ? base : mutate(rng, base, 1 + rng.index(5)));
+        }
+    }
+    for (const auto& d : reg.digests) reg.index.add(d);
+    reg.probe = mutate(rng, reg.digests[n / 2], 3);
+    return reg;
+}
+
+/// Legacy comparator: parses nothing but re-collapses and re-hashes grams
+/// on every call (4 string allocations + an unordered_set).
+void BM_FuzzyCompareLegacy(benchmark::State& state) {
+    const Registry& reg = registry_of(1000);
+    const FuzzyDigest& a = reg.probe;
+    const FuzzyDigest& b = reg.digests[500];
+    AllocCounter allocs;
+    allocs.start();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(siren::fuzzy::compare(a, b));
+    }
+    allocs.report(state);
+}
+BENCHMARK(BM_FuzzyCompareLegacy);
+
+/// Prepared comparator: Bloom-gated, bit-parallel, allocation-free.
+void BM_FuzzyComparePrepared(benchmark::State& state) {
+    const Registry& reg = registry_of(1000);
+    const PreparedDigest a(reg.probe);
+    const PreparedDigest b(reg.digests[500]);
+    AllocCounter allocs;
+    allocs.start();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(siren::fuzzy::compare(a, b));
+    }
+    allocs.report(state);
+}
+BENCHMARK(BM_FuzzyComparePrepared);
+
+void BM_PrepareDigest(benchmark::State& state) {
+    const Registry& reg = registry_of(1000);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(PreparedDigest(reg.probe));
+    }
+}
+BENCHMARK(BM_PrepareDigest);
+
+/// Registry search through the bucketed prepared index (the production
+/// path): items/s counts stored digests covered per second.
+void BM_SimilaritySearch(benchmark::State& state) {
+    const Registry& reg = registry_of(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reg.index.query(reg.probe, 60, 10));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SimilaritySearch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// The brute-force scan the index replaces: one legacy compare per stored
+/// digest per query.
+void BM_SimilaritySearchBrute(benchmark::State& state) {
+    const Registry& reg = registry_of(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reg.index.query_bruteforce(reg.probe, 60, 10));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SimilaritySearchBrute)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// Batch identification: 64 probes per call, chunked across a pool.
+void BM_SimilarityQueryMany(benchmark::State& state) {
+    const Registry& reg = registry_of(static_cast<std::size_t>(state.range(0)));
+    siren::util::Rng rng(4242);
+    std::vector<FuzzyDigest> probes;
+    for (int i = 0; i < 64; ++i) {
+        probes.push_back(mutate(rng, reg.digests[rng.index(reg.digests.size())], 3));
+    }
+    siren::util::ThreadPool pool;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reg.index.query_many(probes, 60, 10, &pool));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) * 64);
+}
+// UseRealTime: the work runs on pool workers, so wall clock is the only
+// honest denominator for items/s.
+BENCHMARK(BM_SimilarityQueryMany)->Arg(10000)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -40,6 +40,7 @@ void Aggregates::add(const ProcessRecord& r) {
         if (!r.file_hash.empty()) exe.file_hashes.insert(interner.intern(r.file_hash));
         if (!exe.has_sample && !r.has_missing_fields()) {
             exe.sample = r;
+            exe.prepared_sample = consolidate::PreparedHashes::from(r);
             exe.has_sample = true;
         }
     }
@@ -101,6 +102,7 @@ void Aggregates::merge(const Aggregates& other) {
         union_into(mine.file_hashes, stat.file_hashes);
         if (!mine.has_sample && stat.has_sample) {
             mine.sample = stat.sample;
+            mine.prepared_sample = stat.prepared_sample;
             mine.has_sample = true;
         }
     }

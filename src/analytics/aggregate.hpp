@@ -46,6 +46,10 @@ struct ExeStat {
     std::map<std::string_view, ObjectVariantStat> object_variants;  ///< key: interned OB_H digest
     std::set<std::string_view> file_hashes;  ///< distinct FILE_H digests (interned)
     consolidate::ProcessRecord sample;  ///< first complete record seen
+    /// The sample's six similarity digests, parsed and prepared when the
+    /// sample is captured — similarity_search scans candidates without
+    /// re-parsing a single digest string.
+    consolidate::PreparedHashes prepared_sample;
     bool has_sample = false;
 };
 

@@ -7,6 +7,7 @@
 namespace siren::analytics {
 
 using consolidate::Category;
+using consolidate::PreparedHashes;
 using consolidate::ProcessRecord;
 
 SimilarityScores score_records(const ProcessRecord& probe, const ProcessRecord& candidate) {
@@ -17,6 +18,21 @@ SimilarityScores score_records(const ProcessRecord& probe, const ProcessRecord& 
     s.fi = fuzzy::compare(probe.file_hash, candidate.file_hash);
     s.st = fuzzy::compare(probe.strings_hash, candidate.strings_hash);
     s.sy = fuzzy::compare(probe.symbols_hash, candidate.symbols_hash);
+    return s;
+}
+
+SimilarityScores score_records(const PreparedHashes& probe, const PreparedHashes& candidate) {
+    const auto dim = [&](PreparedHashes::Dimension d, const fuzzy::PreparedDigest& a,
+                         const fuzzy::PreparedDigest& b) {
+        return (probe.has(d) && candidate.has(d)) ? fuzzy::compare(a, b) : 0;
+    };
+    SimilarityScores s;
+    s.mo = dim(PreparedHashes::kModules, probe.modules, candidate.modules);
+    s.co = dim(PreparedHashes::kCompilers, probe.compilers, candidate.compilers);
+    s.ob = dim(PreparedHashes::kObjects, probe.objects, candidate.objects);
+    s.fi = dim(PreparedHashes::kFile, probe.file, candidate.file);
+    s.st = dim(PreparedHashes::kStrings, probe.strings, candidate.strings);
+    s.sy = dim(PreparedHashes::kSymbols, probe.symbols, candidate.symbols);
     return s;
 }
 
@@ -36,38 +52,98 @@ std::vector<SimilarityHit> similarity_search(const ProcessRecord& probe, const A
         if (label == kUnknownLabel) continue;
         candidates.push_back({&exe, std::move(label)});
     }
+    if (top_n == 0 || candidates.empty()) return {};
 
-    std::vector<SimilarityHit> hits(candidates.size());
-    auto score_one = [&](std::size_t i) {
-        const Candidate& c = candidates[i];
-        SimilarityHit hit;
-        hit.exe_path = c.exe->path;
-        hit.label = c.label;
-        hit.scores = score_records(probe, c.exe->sample);
-        hit.average = hit.scores.average();
-        hits[i] = std::move(hit);
+    const PreparedHashes probe_prepared = PreparedHashes::from(probe);
+
+    // Each scan chunk keeps a bounded top-n heap ordered worst-at-front
+    // (better() is the heap comparator, so the heap maximum is the worst
+    // retained hit); only the per-chunk winners are merged and sorted, so
+    // a registry-scale candidate set never pays a full sort.
+    struct Scored {
+        double average = 0.0;
+        SimilarityScores scores;
+        std::uint32_t idx = 0;
+    };
+    const auto better = [&](const Scored& a, const Scored& b) {
+        if (a.average != b.average) return a.average > b.average;
+        return candidates[a.idx].exe->path < candidates[b.idx].exe->path;
     };
 
+    const auto scan_chunk = [&](std::size_t begin, std::size_t end, std::vector<Scored>& heap) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const ExeStat& exe = *candidates[i].exe;
+            // Aggregates caches the prepared digests next to the sample;
+            // hand-assembled stats (valid == 0) are prepared on the fly.
+            const PreparedHashes* prep = &exe.prepared_sample;
+            PreparedHashes local;
+            if (prep->valid == 0) {
+                local = PreparedHashes::from(exe.sample);
+                prep = &local;
+            }
+            Scored scored;
+            scored.scores = score_records(probe_prepared, *prep);
+            scored.average = scored.scores.average();
+            scored.idx = static_cast<std::uint32_t>(i);
+            if (heap.size() < top_n) {
+                heap.push_back(scored);
+                std::push_heap(heap.begin(), heap.end(), better);
+            } else if (better(scored, heap.front())) {
+                std::pop_heap(heap.begin(), heap.end(), better);
+                heap.back() = scored;
+                std::push_heap(heap.begin(), heap.end(), better);
+            }
+        }
+    };
+
+    std::vector<Scored> winners;
     if (pool != nullptr && candidates.size() > 16) {
-        pool->parallel_for(candidates.size(), score_one);
+        // Chunk geometry depends only on (n, grain, pool size), so the
+        // merged result is deterministic and identical to the serial scan.
+        const std::size_t grain =
+            std::max<std::size_t>(32, candidates.size() / (8 * pool->size()));
+        std::vector<std::vector<Scored>> heaps(pool->chunk_count(candidates.size(), grain));
+        pool->parallel_for_chunks(
+            candidates.size(),
+            [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+                scan_chunk(begin, end, heaps[chunk]);
+            },
+            grain);
+        for (auto& heap : heaps) {
+            winners.insert(winners.end(), heap.begin(), heap.end());
+        }
     } else {
-        for (std::size_t i = 0; i < candidates.size(); ++i) score_one(i);
+        winners.reserve(std::min(top_n, candidates.size()));
+        scan_chunk(0, candidates.size(), winners);
     }
 
-    std::sort(hits.begin(), hits.end(), [](const SimilarityHit& a, const SimilarityHit& b) {
-        if (a.average != b.average) return a.average > b.average;
-        return a.exe_path < b.exe_path;
-    });
-    if (hits.size() > top_n) hits.resize(top_n);
+    std::sort(winners.begin(), winners.end(), better);
+    if (winners.size() > top_n) winners.resize(top_n);
+
+    std::vector<SimilarityHit> hits;
+    hits.reserve(winners.size());
+    for (const Scored& w : winners) {
+        SimilarityHit hit;
+        hit.exe_path = candidates[w.idx].exe->path;
+        hit.label = candidates[w.idx].label;
+        hit.scores = w.scores;
+        hit.average = w.average;
+        hits.push_back(std::move(hit));
+    }
     return hits;
 }
 
 const ProcessRecord* find_unknown_probe(const Aggregates& agg, const Labeler& labeler) {
+    // Scan every unknown and keep the lexicographically-first path instead
+    // of trusting container iteration order: the Table 7 probe choice must
+    // be reproducible even if the aggregate keying ever changes.
+    const ExeStat* best = nullptr;
     for (const auto& [path, exe] : agg.execs) {
         if (exe.category != Category::kUser || !exe.has_sample) continue;
-        if (labeler.label(path) == kUnknownLabel) return &exe.sample;
+        if (labeler.label(path) != kUnknownLabel) continue;
+        if (best == nullptr || exe.path < best->path) best = &exe;
     }
-    return nullptr;
+    return best == nullptr ? nullptr : &best->sample;
 }
 
 }  // namespace siren::analytics

@@ -35,22 +35,35 @@ struct SimilarityHit {
     double average = 0.0;
 };
 
-/// Compare two consolidated records across all six hash dimensions.
+/// Compare two consolidated records across all six hash dimensions
+/// (parses the digest strings of both sides on every call — use the
+/// prepared overload on hot paths).
 SimilarityScores score_records(const consolidate::ProcessRecord& probe,
                                const consolidate::ProcessRecord& candidate);
 
+/// Same scores, from digests prepared once (consolidate::PreparedHashes):
+/// allocation-free per comparison, identical results — an invalid
+/// dimension on either side scores 0 exactly like the parsing path.
+SimilarityScores score_records(const consolidate::PreparedHashes& probe,
+                               const consolidate::PreparedHashes& candidate);
+
 /// The paper's identification workflow (§4.3 "Identifying Unknown
 /// Applications"): rank every *labeled* user executable by average
-/// similarity to an UNKNOWN probe. Parallelizes across candidates when a
-/// pool is supplied.
+/// similarity to an UNKNOWN probe. The probe is prepared once and scored
+/// against each candidate's cached prepared digests; with a pool the scan
+/// is chunked (ThreadPool::parallel_for_chunks) and each chunk keeps a
+/// bounded top-n heap, merged at the end — no full sort of the candidate
+/// set, and results are identical to the serial path.
 std::vector<SimilarityHit> similarity_search(const consolidate::ProcessRecord& probe,
                                              const Aggregates& agg, const Labeler& labeler,
                                              std::size_t top_n = 10,
                                              util::ThreadPool* pool = nullptr);
 
-/// Find the sample record of the first UNKNOWN-labeled user executable —
-/// the natural probe for the Table 7 experiment. Returns nullptr when
-/// every executable was labeled.
+/// Find the sample record of the UNKNOWN-labeled user executable with the
+/// lexicographically smallest path — the natural probe for the Table 7
+/// experiment, chosen smallest-first so repeated runs over the same
+/// aggregates always pick the same probe regardless of container iteration
+/// order. Returns nullptr when every executable was labeled.
 const consolidate::ProcessRecord* find_unknown_probe(const Aggregates& agg,
                                                      const Labeler& labeler);
 

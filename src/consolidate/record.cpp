@@ -1,6 +1,36 @@
 #include "consolidate/record.hpp"
 
+#include "util/error.hpp"
+
 namespace siren::consolidate {
+
+namespace {
+
+/// Parse-and-prepare one hash string; returns false (dimension invalid)
+/// when the string is empty or malformed — collector output can contain
+/// truncated fields after UDP loss, and those must score 0, not throw.
+bool prepare_dimension(const std::string& text, fuzzy::PreparedDigest& out) {
+    if (text.empty()) return false;
+    try {
+        out = fuzzy::PreparedDigest(fuzzy::FuzzyDigest::parse(text));
+        return true;
+    } catch (const util::ParseError&) {
+        return false;
+    }
+}
+
+}  // namespace
+
+PreparedHashes PreparedHashes::from(const ProcessRecord& record) {
+    PreparedHashes p;
+    if (prepare_dimension(record.modules_hash, p.modules)) p.valid |= kModules;
+    if (prepare_dimension(record.compilers_hash, p.compilers)) p.valid |= kCompilers;
+    if (prepare_dimension(record.objects_hash, p.objects)) p.valid |= kObjects;
+    if (prepare_dimension(record.file_hash, p.file)) p.valid |= kFile;
+    if (prepare_dimension(record.strings_hash, p.strings)) p.valid |= kStrings;
+    if (prepare_dimension(record.symbols_hash, p.symbols)) p.valid |= kSymbols;
+    return p;
+}
 
 std::string_view to_string(Category c) {
     switch (c) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "fuzzy/prepared.hpp"
 #include "sim/cluster.hpp"
 
 namespace siren::consolidate {
@@ -69,6 +70,39 @@ struct ProcessRecord {
     /// Memberwise equality — the owned and zero-copy consolidation paths
     /// are tested to produce identical records.
     friend bool operator==(const ProcessRecord&, const ProcessRecord&) = default;
+};
+
+/// The six similarity dimensions of a record (paper Table 7), parsed and
+/// prepared once for repeated zero-alloc comparison. Records whose hash
+/// strings are empty or truncated (UDP loss) get the dimension's valid bit
+/// cleared; comparing an invalid dimension scores 0, exactly like the
+/// legacy string-parsing comparator.
+///
+/// This is the cached form similarity consumers keep next to a sample
+/// record (analytics::ExeStat) so a 100k-candidate search never re-parses
+/// digest strings.
+struct PreparedHashes {
+    enum Dimension : std::uint8_t {
+        kModules = 1u << 0,
+        kCompilers = 1u << 1,
+        kObjects = 1u << 2,
+        kFile = 1u << 3,
+        kStrings = 1u << 4,
+        kSymbols = 1u << 5,
+    };
+
+    fuzzy::PreparedDigest modules;
+    fuzzy::PreparedDigest compilers;
+    fuzzy::PreparedDigest objects;
+    fuzzy::PreparedDigest file;
+    fuzzy::PreparedDigest strings;
+    fuzzy::PreparedDigest symbols;
+    std::uint8_t valid = 0;  ///< Dimension bits whose source string parsed
+
+    bool has(Dimension d) const { return (valid & d) != 0; }
+
+    /// Prepare all six dimensions of a record.
+    static PreparedHashes from(const ProcessRecord& record);
 };
 
 }  // namespace siren::consolidate

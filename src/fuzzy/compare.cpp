@@ -33,32 +33,48 @@ bool has_common_substring(std::string_view a, std::string_view b) {
     return false;
 }
 
+namespace detail {
+
+std::uint64_t small_block_cap(std::uint64_t block_size, std::size_t len1, std::size_t len2) {
+    // Small block sizes mean little data was hashed; don't let a short
+    // digest claim a stronger match than it can support.
+    const std::uint64_t uncapped_threshold =
+        (99 + hash::kRollingWindow) / hash::kRollingWindow * kMinBlockSize;
+    if (block_size >= uncapped_threshold) return 100;
+    return block_size / kMinBlockSize * std::min(len1, len2);
+}
+
+int scale_distance_to_score(std::size_t dist, std::size_t len1, std::size_t len2,
+                            std::uint64_t block_size) {
+    // Scale the distance by digest lengths to a 0..100 mismatch proportion,
+    // then invert. Matches ssdeep's integer arithmetic.
+    std::uint64_t score = (dist * kSpamsumLength) / (len1 + len2);
+    score = (100 * score) / kSpamsumLength;
+    if (score >= 100) return 0;
+    score = 100 - score;
+    return static_cast<int>(std::min(score, small_block_cap(block_size, len1, len2)));
+}
+
+std::size_t max_distance_for_score(int min_score, std::size_t len1, std::size_t len2) {
+    if (min_score < 1) min_score = 1;
+    if (min_score > 100) return 0;
+    // score >= min_score  <=>  floor(100 * q / 64) <= 100 - min_score with
+    // q = floor(dist * 64 / (len1 + len2)); invert both floors.
+    const std::uint64_t k = static_cast<std::uint64_t>(100 - min_score);
+    const std::uint64_t qmax = (kSpamsumLength * (k + 1) - 1) / 100;
+    return static_cast<std::size_t>(((qmax + 1) * (len1 + len2) - 1) / kSpamsumLength);
+}
+
+}  // namespace detail
+
 namespace {
 
 /// Score two same-block-size digest strings (SSDeep's score_strings).
 int score_strings(std::string_view s1, std::string_view s2, std::uint64_t block_size) {
     if (s1.size() > kSpamsumLength || s2.size() > kSpamsumLength) return 0;
     if (!has_common_substring(s1, s2)) return 0;
-
     const std::size_t dist = weighted_edit_distance(s1, s2);
-
-    // Scale the distance by digest lengths to a 0..100 mismatch proportion,
-    // then invert. Matches ssdeep's integer arithmetic.
-    std::uint64_t score = (dist * kSpamsumLength) / (s1.size() + s2.size());
-    score = (100 * score) / kSpamsumLength;
-    if (score >= 100) return 0;
-    score = 100 - score;
-
-    // Small block sizes mean little data was hashed; don't let a short
-    // digest claim a stronger match than it can support.
-    const std::uint64_t uncapped_threshold =
-        (99 + hash::kRollingWindow) / hash::kRollingWindow * kMinBlockSize;
-    if (block_size < uncapped_threshold) {
-        const std::uint64_t cap =
-            block_size / kMinBlockSize * std::min(s1.size(), s2.size());
-        score = std::min<std::uint64_t>(score, cap);
-    }
-    return static_cast<int>(score);
+    return detail::scale_distance_to_score(dist, s1.size(), s2.size(), block_size);
 }
 
 }  // namespace

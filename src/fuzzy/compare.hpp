@@ -44,4 +44,26 @@ bool has_common_substring(std::string_view a, std::string_view b);
 
 inline constexpr std::size_t kCommonSubstringLength = 7;
 
+namespace detail {
+
+/// The ssdeep scale-and-cap formula shared by the legacy and prepared
+/// scorers: edit distance -> 0..100 score for two collapsed digest parts
+/// of the given lengths compared at `block_size`.
+int scale_distance_to_score(std::size_t dist, std::size_t len1, std::size_t len2,
+                            std::uint64_t block_size);
+
+/// Score ceiling imposed by a small block size (100 when uncapped): a
+/// short digest hashed little data and cannot claim a stronger match than
+/// it supports.
+std::uint64_t small_block_cap(std::uint64_t block_size, std::size_t len1, std::size_t len2);
+
+/// Largest edit distance whose scaled score can still reach `min_score`
+/// for parts of these lengths — the band the thresholded bit-parallel
+/// distance scan may abandon beyond. Exact inversion of the integer
+/// arithmetic in scale_distance_to_score (ignoring the small-block cap,
+/// which only lowers scores further).
+std::size_t max_distance_for_score(int min_score, std::size_t len1, std::size_t len2);
+
+}  // namespace detail
+
 }  // namespace siren::fuzzy

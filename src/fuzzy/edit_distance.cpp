@@ -1,6 +1,7 @@
 #include "fuzzy/edit_distance.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 namespace siren::fuzzy {
@@ -39,9 +40,78 @@ std::size_t dp_distance(std::string_view a, std::string_view b, const EditCosts&
     return prev[n];
 }
 
+/// Word width of the bit-parallel kernels: one pattern character per bit.
+constexpr std::size_t kWordBits = 64;
+
+/// Pattern match masks for the bit-parallel kernels: bit i of eq[c] is set
+/// when pattern[i] == c. Stack-only; the pattern must be <= kWordBits.
+struct MatchMasks {
+    std::uint64_t eq[256] = {};
+
+    explicit MatchMasks(std::string_view pattern) {
+        for (std::size_t i = 0; i < pattern.size(); ++i) {
+            eq[static_cast<unsigned char>(pattern[i])] |= std::uint64_t{1} << i;
+        }
+    }
+};
+
+/// Myers' bit-parallel Levenshtein (1999): the DP column is encoded as
+/// positive/negative delta bit-vectors and one text character advances the
+/// whole column in a handful of word operations. Pattern <= 64 chars.
+std::size_t myers_levenshtein(std::string_view text, std::string_view pattern) {
+    const MatchMasks masks(pattern);
+    const std::uint64_t msb = std::uint64_t{1} << (pattern.size() - 1);
+    std::uint64_t pv = ~std::uint64_t{0};
+    std::uint64_t mv = 0;
+    std::size_t score = pattern.size();
+
+    for (const char c : text) {
+        const std::uint64_t eq = masks.eq[static_cast<unsigned char>(c)];
+        const std::uint64_t xv = eq | mv;
+        const std::uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+        std::uint64_t ph = mv | ~(xh | pv);
+        std::uint64_t mh = pv & xh;
+        if (ph & msb) ++score;
+        if (mh & msb) --score;
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | ~(xv | ph);
+        mv = ph & xv;
+    }
+    return score;
+}
+
+/// One step of Hyyro's bit-parallel LCS recurrence. The complement of the
+/// row vector accumulates one bit per matched pattern position; u = s & eq
+/// picks the matches still "available", and (s + u) | (s - u) consumes
+/// them left-to-right exactly like the classic LCS DP row.
+inline void lcs_step(std::uint64_t& s, std::uint64_t eq) {
+    const std::uint64_t u = s & eq;
+    s = (s + u) | (s - u);
+}
+
+/// Bit-parallel LCS length (pattern <= 64 chars, any text length).
+std::size_t lcs_bitparallel(std::string_view text, std::string_view pattern) {
+    const MatchMasks masks(pattern);
+    std::uint64_t s = ~std::uint64_t{0};
+    for (const char c : text) lcs_step(s, masks.eq[static_cast<unsigned char>(c)]);
+    return static_cast<std::size_t>(std::popcount(~s));
+}
+
+/// True when `costs` price substitution and transposition at no less than
+/// a delete+insert pair with unit indel costs — then the optimal script is
+/// insert/delete-only and the distance collapses to the indel distance.
+bool costs_are_indel(const EditCosts& costs) {
+    return costs.insert == 1 && costs.remove == 1 && costs.substitute >= 2 &&
+           costs.transpose >= 2;
+}
+
 }  // namespace
 
 std::size_t levenshtein(std::string_view a, std::string_view b) {
+    if (a.size() < b.size()) std::swap(a, b);  // b is the pattern
+    if (b.empty()) return a.size();
+    if (b.size() <= kWordBits) return myers_levenshtein(a, b);
     EditCosts unit{1, 1, 1, 1};
     return dp_distance(a, b, unit, /*allow_transpose=*/false);
 }
@@ -53,7 +123,46 @@ std::size_t damerau_levenshtein(std::string_view a, std::string_view b) {
 
 std::size_t weighted_edit_distance(std::string_view a, std::string_view b,
                                    const EditCosts& costs) {
+    if (costs_are_indel(costs)) return indel_distance(a, b);
     return dp_distance(a, b, costs, /*allow_transpose=*/true);
+}
+
+std::size_t indel_distance(std::string_view a, std::string_view b) {
+    if (a.size() < b.size()) std::swap(a, b);
+    if (b.empty()) return a.size();
+    if (b.size() <= kWordBits) {
+        return a.size() + b.size() - 2 * lcs_bitparallel(a, b);
+    }
+    return dp_distance(a, b, EditCosts{1, 1, 2, 2}, /*allow_transpose=*/true);
+}
+
+std::size_t indel_distance_bounded(std::string_view a, std::string_view b,
+                                   std::size_t max_dist) {
+    if (a.size() < b.size()) std::swap(a, b);
+    // Length difference alone is a distance lower bound.
+    if (a.size() - b.size() > max_dist) return max_dist + 1;
+    if (b.empty()) return a.size();
+    if (b.size() > kWordBits) {
+        const std::size_t dist = dp_distance(a, b, EditCosts{1, 1, 2, 2}, true);
+        return dist;
+    }
+
+    const MatchMasks masks(b);
+    std::uint64_t s = ~std::uint64_t{0};
+    const std::size_t n = a.size();
+    std::size_t i = 0;
+    // The banded early exit: after consuming i text chars the final LCS is
+    // at most LCS(prefix, b) + (n - i), so the distance is at least
+    // n + |b| - 2 * that. Check every 16 chars to amortize the popcount.
+    while (i < n) {
+        const std::size_t stop = std::min(n, i + 16);
+        for (; i < stop; ++i) lcs_step(s, masks.eq[static_cast<unsigned char>(a[i])]);
+        if (i == n) break;
+        const std::size_t lcs_prefix = static_cast<std::size_t>(std::popcount(~s));
+        const std::size_t lcs_best = std::min(b.size(), lcs_prefix + (n - i));
+        if (n + b.size() - 2 * lcs_best > max_dist) return max_dist + 1;
+    }
+    return n + b.size() - 2 * static_cast<std::size_t>(std::popcount(~s));
 }
 
 }  // namespace siren::fuzzy

@@ -18,6 +18,9 @@ struct EditCosts {
 };
 
 /// Classic Levenshtein distance (insert/delete/substitute, unit costs).
+/// When the shorter string fits one machine word (<= 64 chars) this runs
+/// Myers' bit-parallel algorithm — O(n) words instead of O(n*m) cells;
+/// longer inputs fall back to the rolling-row DP.
 std::size_t levenshtein(std::string_view a, std::string_view b);
 
 /// Restricted Damerau-Levenshtein (optimal string alignment): Levenshtein
@@ -26,7 +29,26 @@ std::size_t damerau_levenshtein(std::string_view a, std::string_view b);
 
 /// Weighted restricted Damerau-Levenshtein; this is the distance the
 /// SSDeep-style scorer feeds into the 0-100 similarity formula.
+///
+/// Whenever the costs make substitution and transposition no cheaper than
+/// a delete+insert pair (true for the default {1, 1, 2, 2}), the optimal
+/// script uses insertions and deletions only, so the distance equals
+/// indel_distance() and is computed bit-parallel for digest-length inputs.
+/// Other cost mixes and long strings take the general weighted DP.
 std::size_t weighted_edit_distance(std::string_view a, std::string_view b,
                                    const EditCosts& costs = EditCosts{});
+
+/// Insert/delete-only edit distance: |a| + |b| - 2 * LCS(a, b).
+/// Bit-parallel (Hyyro's LCS bit-vector recurrence) when the shorter
+/// string is <= 64 chars, DP otherwise.
+std::size_t indel_distance(std::string_view a, std::string_view b);
+
+/// Early-abandoning indel distance for thresholded search: returns the
+/// exact distance when it is <= max_dist, and any value > max_dist once
+/// the running lower bound proves the threshold unreachable. The hot
+/// similarity path derives max_dist from the caller's min_score, so
+/// hopeless candidates abandon the scan after a few words.
+std::size_t indel_distance_bounded(std::string_view a, std::string_view b,
+                                   std::size_t max_dist);
 
 }  // namespace siren::fuzzy

@@ -3,11 +3,15 @@
 /// Umbrella header for the SSDeep-style fuzzy hashing substrate:
 ///  - ctph.hpp           context-triggered piecewise hashing (digests)
 ///  - compare.hpp        0..100 similarity scoring between digests
+///  - prepared.hpp       prepared digests: zero-alloc scoring with Bloom
+///                       7-gram prefilter signatures
 ///  - edit_distance.hpp  Levenshtein / Damerau-Levenshtein kernels
+///                       (bit-parallel for digest-length inputs)
 ///  - tlsh.hpp           TLSH-style locality-sensitive digest (ablation
 ///                       comparator for the CTPH choice)
 
 #include "fuzzy/compare.hpp"    // IWYU pragma: export
 #include "fuzzy/ctph.hpp"       // IWYU pragma: export
 #include "fuzzy/edit_distance.hpp"  // IWYU pragma: export
+#include "fuzzy/prepared.hpp"   // IWYU pragma: export
 #include "fuzzy/tlsh.hpp"       // IWYU pragma: export

@@ -1,0 +1,161 @@
+#include "fuzzy/prepared.hpp"
+
+#include <algorithm>
+
+#include "fuzzy/compare.hpp"
+#include "fuzzy/edit_distance.hpp"
+#include "util/error.hpp"
+
+namespace siren::fuzzy {
+
+namespace {
+
+/// Golden-ratio odd constant; the top 6 bits of packed * kGramMixer pick
+/// the Bloom bit (multiplicative hashing keeps similar grams apart).
+constexpr std::uint64_t kGramMixer = 0x9E3779B97F4A7C15ull;
+
+/// 7 base64 chars pack into 56 bits, so a gram IS its packed word and
+/// packed equality is gram equality — the confirm pass stays exact.
+constexpr std::uint64_t kGramMask = (std::uint64_t{1} << 56) - 1;
+
+std::uint64_t bit_of(std::uint64_t packed) {
+    return std::uint64_t{1} << ((packed * kGramMixer) >> 58);
+}
+
+/// Single home of the rolling 7-gram window recurrence (the Bloom
+/// signature, the confirm pass and the index's gram arrays must pack
+/// identically or the prefilter's no-false-negative guarantee breaks).
+/// Calls fn(packed) per gram; fn returning true stops the walk early.
+template <typename Fn>
+void for_each_gram(std::string_view s, Fn&& fn) {
+    std::uint64_t w = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        w = ((w << 8) | static_cast<unsigned char>(s[i])) & kGramMask;
+        if (i + 1 >= kCommonSubstringLength && fn(w)) return;
+    }
+}
+
+/// eliminate_sequences() into a caller-provided inline buffer. The source
+/// is <= kSpamsumLength (checked by the constructor) and collapsing only
+/// shrinks, so the buffer always fits.
+std::uint8_t eliminate_into(std::string_view s, std::array<char, kSpamsumLength>& out) {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (i >= 3 && s[i] == s[i - 1] && s[i] == s[i - 2] && s[i] == s[i - 3]) continue;
+        out[n++] = s[i];
+    }
+    return static_cast<std::uint8_t>(n);
+}
+
+/// Exact gate behind the Bloom prefilter: do two (>= 7 char) strings share
+/// a 7-gram? Each window packs into one word, so gram equality is a single
+/// integer compare; worst case 58x58 words, and the Bloom AND already
+/// filtered the overwhelmingly common no-overlap case.
+bool confirm_common_gram(std::string_view a, std::string_view b) {
+    std::array<std::uint64_t, kSpamsumLength> grams;
+    std::size_t count = 0;
+    for_each_gram(a, [&](std::uint64_t w) {
+        grams[count++] = w;
+        return false;
+    });
+    bool found = false;
+    for_each_gram(b, [&](std::uint64_t w) {
+        for (std::size_t g = 0; g < count; ++g) {
+            if (grams[g] == w) {
+                found = true;
+                return true;
+            }
+        }
+        return false;
+    });
+    return found;
+}
+
+/// Prepared-path score_strings: Bloom gate, exact confirm, cutoff-banded
+/// bit-parallel distance, then the shared ssdeep scale-and-cap formula.
+int score_parts(std::string_view s1, std::uint64_t sig1, std::string_view s2,
+                std::uint64_t sig2, std::uint64_t block_size, int min_score) {
+    if (s1.size() > kSpamsumLength || s2.size() > kSpamsumLength) return 0;
+    if (s1.size() < kCommonSubstringLength || s2.size() < kCommonSubstringLength) return 0;
+    if ((sig1 & sig2) == 0) return 0;
+    if (!confirm_common_gram(s1, s2)) return 0;
+
+    // The small-block cap bounds the score before any distance work.
+    if (detail::small_block_cap(block_size, s1.size(), s2.size()) <
+        static_cast<std::uint64_t>(min_score)) {
+        return 0;
+    }
+
+    const std::size_t max_dist = detail::max_distance_for_score(min_score, s1.size(), s2.size());
+    const std::size_t dist = indel_distance_bounded(s1, s2, max_dist);
+    if (dist > max_dist) return 0;
+    return detail::scale_distance_to_score(dist, s1.size(), s2.size(), block_size);
+}
+
+}  // namespace
+
+PreparedDigest::PreparedDigest(const FuzzyDigest& digest) : block_size_(digest.block_size) {
+    if (digest.digest1.size() > kSpamsumLength || digest.digest2.size() > kSpamsumLength) {
+        throw util::Error("PreparedDigest: digest part exceeds kSpamsumLength");
+    }
+    len1_ = eliminate_into(digest.digest1, data1_);
+    len2_ = eliminate_into(digest.digest2, data2_);
+    sig1_ = gram_signature(part1());
+    sig2_ = gram_signature(part2());
+}
+
+std::uint64_t gram_signature(std::string_view collapsed) {
+    if (collapsed.empty()) return 0;
+    if (collapsed.size() < kCommonSubstringLength) {
+        // Whole-string lane: identical short parts must still collide so
+        // the byte-identical == 100 fast path survives the prefilter.
+        std::uint64_t packed = collapsed.size();
+        for (const char c : collapsed) {
+            packed = (packed << 8) | static_cast<unsigned char>(c);
+        }
+        return bit_of(packed);
+    }
+    std::uint64_t sig = 0;
+    for_each_gram(collapsed, [&](std::uint64_t w) {
+        sig |= bit_of(w);
+        return false;
+    });
+    return sig;
+}
+
+std::size_t pack_grams(std::string_view collapsed, std::uint64_t* out) {
+    std::size_t count = 0;
+    for_each_gram(collapsed, [&](std::uint64_t w) {
+        out[count++] = w;
+        return false;
+    });
+    return count;
+}
+
+int compare(const PreparedDigest& a, const PreparedDigest& b, int min_score) {
+    min_score = std::max(min_score, 1);
+
+    const std::uint64_t bs1 = a.block_size();
+    const std::uint64_t bs2 = b.block_size();
+    if (bs1 != bs2 && bs1 != bs2 * 2 && bs2 != bs1 * 2) return 0;
+
+    if (bs1 == bs2 && a.part1() == b.part1() && a.part2() == b.part2() &&
+        !a.part1().empty()) {
+        return 100;
+    }
+
+    if (bs1 == bs2) {
+        return std::max(
+            score_parts(a.part1(), a.signature1(), b.part1(), b.signature1(), bs1, min_score),
+            score_parts(a.part2(), a.signature2(), b.part2(), b.signature2(), bs1 * 2,
+                        min_score));
+    }
+    if (bs1 == bs2 * 2) {
+        // a's fine digest lines up with b's coarse digest.
+        return score_parts(a.part1(), a.signature1(), b.part2(), b.signature2(), bs1,
+                           min_score);
+    }
+    return score_parts(a.part2(), a.signature2(), b.part1(), b.signature1(), bs2, min_score);
+}
+
+}  // namespace siren::fuzzy

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzzy/ctph.hpp"
+
+namespace siren::fuzzy {
+
+/// A FuzzyDigest preprocessed for repeated comparison — the unit the
+/// similarity engine stores and scans at registry scale.
+///
+/// prepare() pays once for everything the legacy compare() redid per call:
+///  - run collapsing (eliminate_sequences) of both digest parts, written
+///    into inline fixed-size buffers (parts are <= kSpamsumLength chars by
+///    construction, so no heap storage is ever needed);
+///  - a 64-bit Bloom signature of each part's 7-grams, so the
+///    common-substring gate becomes `sig_a & sig_b` plus one exact confirm
+///    pass instead of building a hash set of grams.
+///
+/// compare(PreparedDigest, PreparedDigest) is allocation-free (pinned by
+/// tests/test_prepared.cpp under util::alloc_probe) and returns exactly the
+/// legacy compare(FuzzyDigest, FuzzyDigest) score.
+class PreparedDigest {
+public:
+    PreparedDigest() = default;
+
+    /// Preprocess a digest. Throws util::Error when a digest part exceeds
+    /// kSpamsumLength (impossible for fuzzy_hash/parse output; only
+    /// hand-built FuzzyDigest values can get there).
+    explicit PreparedDigest(const FuzzyDigest& digest);
+
+    static PreparedDigest prepare(const FuzzyDigest& digest) { return PreparedDigest(digest); }
+
+    std::uint64_t block_size() const { return block_size_; }
+
+    /// Sequence-collapsed digest parts (views into the inline buffers).
+    std::string_view part1() const { return {data1_.data(), len1_}; }
+    std::string_view part2() const { return {data2_.data(), len2_}; }
+
+    /// Bloom signatures of part1's / part2's 7-grams (see gram_signature).
+    std::uint64_t signature1() const { return sig1_; }
+    std::uint64_t signature2() const { return sig2_; }
+
+private:
+    std::uint64_t block_size_ = kMinBlockSize;
+    std::uint64_t sig1_ = 0;
+    std::uint64_t sig2_ = 0;
+    std::array<char, kSpamsumLength> data1_{};
+    std::array<char, kSpamsumLength> data2_{};
+    std::uint8_t len1_ = 0;
+    std::uint8_t len2_ = 0;
+};
+
+/// 64-bit Bloom signature of a collapsed digest string: one bit per
+/// 7-gram. Two strings can share a 7-gram only if their signatures share a
+/// bit, so `(sig_a & sig_b) == 0` disproves a common substring without
+/// touching the bytes. Strings shorter than 7 chars get a whole-string bit
+/// instead, so byte-identical short parts (the compare() == 100 path) still
+/// collide in the prefilter. Empty strings have signature 0.
+std::uint64_t gram_signature(std::string_view collapsed);
+
+/// Write the packed 7-grams of `collapsed` into `out` (capacity >=
+/// kSpamsumLength) and return the count. A 7-char gram packs into 56 bits,
+/// so packed equality IS gram equality — sorted gram arrays make the exact
+/// common-substring test a two-pointer merge, which is how the similarity
+/// index confirms Bloom hits without touching digest bytes. Returns 0 for
+/// strings shorter than kCommonSubstringLength.
+std::size_t pack_grams(std::string_view collapsed, std::uint64_t* out);
+
+/// Similarity score, identical to compare(FuzzyDigest, FuzzyDigest), but
+/// allocation-free on prepared inputs.
+///
+/// `min_score` (>= 1) is a search cutoff, not a filter: any pair scoring
+/// at least min_score returns its exact score, while a pair that provably
+/// cannot reach min_score may return 0 early — the cutoff converts to a
+/// max edit distance bound and the bit-parallel scan abandons hopeless
+/// rows (see indel_distance_bounded). With the default min_score = 1 the
+/// result is exactly the legacy score for every input.
+int compare(const PreparedDigest& a, const PreparedDigest& b, int min_score = 1);
+
+}  // namespace siren::fuzzy

@@ -33,9 +33,10 @@ std::vector<std::vector<DigestId>> cluster_digests(const std::vector<fuzzy::Fuzz
     SimilarityIndex index;
     for (const auto& d : digests) index.add(d);
 
-    // Stage 1 (parallel): per-digest edge lists. Each digest queries the
-    // index for matches with a *larger* id so every edge appears exactly
-    // once and the stage is write-disjoint.
+    // Stage 1 (parallel): per-digest edge lists over the prepared index.
+    // Each digest queries for matches with a *larger* id so every edge
+    // appears exactly once, the stage is write-disjoint, and peak memory
+    // stays at the filtered half-edge set (not every self/back match).
     std::vector<std::vector<DigestId>> edges(digests.size());
     const auto score_one = [&](std::size_t i) {
         for (const ScoredMatch& m : index.query(digests[i], options.threshold)) {

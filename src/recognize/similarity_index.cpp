@@ -2,21 +2,9 @@
 
 #include <algorithm>
 
-#include "hashing/fnv.hpp"
-
 namespace siren::recognize {
 
 namespace {
-
-/// Posting key for a gram (or short whole string) at a block-size tag.
-/// The tag participates in the hash so grams only collide within a
-/// comparable block-size lane.
-std::uint64_t posting_key(std::string_view gram, std::uint64_t block_tag) {
-    std::uint64_t h = hash::fnv1a64(gram);
-    h ^= block_tag * hash::kFnv64Prime;
-    h *= hash::kFnv64Prime;
-    return h;
-}
 
 /// Sort matches best-first, break ties by id, truncate to top_n. With a
 /// top_n cap only the returned prefix is ordered (partial_sort: O(n log k)
@@ -38,84 +26,183 @@ void finalize(std::vector<ScoredMatch>& matches, std::size_t top_n) {
 
 }  // namespace
 
+namespace {
+
+bool intersect_sorted(const std::uint64_t* a, std::size_t na, const std::uint64_t* b,
+                      std::size_t nb) {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < na && j < nb) {
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (a[i] > b[j]) {
+            ++j;
+        } else {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
 DigestId SimilarityIndex::add(fuzzy::FuzzyDigest digest) {
     const auto id = static_cast<DigestId>(digests_.size());
-    const std::string c1 = fuzzy::eliminate_sequences(digest.digest1);
-    const std::string c2 = fuzzy::eliminate_sequences(digest.digest2);
-    index_string(c1, digest.block_size, id);
-    index_string(c2, digest.block_size * 2, id);
+    fuzzy::PreparedDigest prepared(digest);
+
+    Bucket* bucket = nullptr;
+    for (auto& b : buckets_) {
+        if (b.block_size == digest.block_size) {
+            bucket = &b;
+            break;
+        }
+    }
+    if (bucket == nullptr) {
+        buckets_.emplace_back();
+        bucket = &buckets_.back();
+        bucket->block_size = digest.block_size;
+    }
+    // Append one SoA row per part: the Bloom signature plus the sorted
+    // packed gram array (empty for parts shorter than 7 chars).
+    const auto push_part = [](PartColumn& column, std::uint64_t sig, std::string_view part) {
+        column.sigs.push_back(sig);
+        std::array<std::uint64_t, fuzzy::kSpamsumLength> grams;
+        const std::size_t count = fuzzy::pack_grams(part, grams.data());
+        std::sort(grams.begin(), grams.begin() + static_cast<std::ptrdiff_t>(count));
+        column.grams.insert(column.grams.end(), grams.begin(),
+                            grams.begin() + static_cast<std::ptrdiff_t>(count));
+        column.gram_ends.push_back(static_cast<std::uint32_t>(column.grams.size()));
+    };
+    push_part(bucket->part1, prepared.signature1(), prepared.part1());
+    push_part(bucket->part2, prepared.signature2(), prepared.part2());
+    bucket->ids.push_back(id);
+    bucket->prepared.push_back(prepared);
+
     digests_.push_back(std::move(digest));
     return id;
 }
 
-void SimilarityIndex::index_string(std::string_view collapsed, std::uint64_t block_tag,
-                                   DigestId id) {
-    if (collapsed.empty()) return;
-    const auto push = [this, id](std::uint64_t key) {
-        auto& list = postings_[key];
-        // The same gram can repeat within one digest; posting lists are
-        // per-digest deduplicated because ids arrive in insertion order.
-        if (list.empty() || list.back() != id) list.push_back(id);
-    };
-    if (collapsed.size() < fuzzy::kCommonSubstringLength) {
-        // Too short for the common-substring rule: the only way this
-        // string contributes to a nonzero score is byte-identical digests
-        // (the compare() == 100 fast path), caught by a whole-string key.
-        push(posting_key(collapsed, block_tag ^ 0x5349524Eu /* "SIRN" lane */));
-        return;
+const SimilarityIndex::Bucket* SimilarityIndex::find_bucket(std::uint64_t block_size) const {
+    for (const auto& b : buckets_) {
+        if (b.block_size == block_size) return &b;
     }
-    for (std::size_t i = 0; i + fuzzy::kCommonSubstringLength <= collapsed.size(); ++i) {
-        push(posting_key(collapsed.substr(i, fuzzy::kCommonSubstringLength), block_tag));
+    return nullptr;
+}
+
+void SimilarityIndex::scan_bucket(const Bucket& bucket, const fuzzy::PreparedDigest& probe,
+                                  const ProbeGrams& probe_grams, Pairing pairing, int min_score,
+                                  std::vector<ScoredMatch>& matches) const {
+    // Plausibility of one (probe part, candidate part) pair — the pair the
+    // block-size rule will actually score. A nonzero compare() needs
+    // byte-identical collapsed digests or a shared 7-gram in this pair;
+    // grams imply the signature AND and the sorted-gram intersection both
+    // fire, identical short parts share their whole-string Bloom bit and
+    // pass the equality arm. False positives rescore to < min_score and
+    // drop; false negatives cannot happen.
+    const auto part_plausible = [&](std::uint64_t probe_sig, const std::uint64_t* grams,
+                                    std::size_t gram_count, std::string_view probe_part,
+                                    const PartColumn& column, std::size_t i,
+                                    std::string_view candidate_part) {
+        if ((probe_sig & column.sigs[i]) == 0) return false;
+        const std::size_t begin = i == 0 ? 0 : column.gram_ends[i - 1];
+        const std::size_t end = column.gram_ends[i];
+        if (gram_count != 0 && end != begin) {
+            return intersect_sorted(grams, gram_count, column.grams.data() + begin,
+                                    end - begin);
+        }
+        // At least one side is shorter than a 7-gram: only byte-identical
+        // parts can contribute (the == 100 fast path).
+        return !probe_part.empty() && probe_part == candidate_part;
+    };
+
+    const std::size_t n = bucket.ids.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        bool plausible = false;
+        switch (pairing) {
+            case Pairing::kEqual:
+                plausible =
+                    part_plausible(probe.signature1(), probe_grams.grams1.data(),
+                                   probe_grams.count1, probe.part1(), bucket.part1, i,
+                                   bucket.prepared[i].part1()) ||
+                    part_plausible(probe.signature2(), probe_grams.grams2.data(),
+                                   probe_grams.count2, probe.part2(), bucket.part2, i,
+                                   bucket.prepared[i].part2());
+                break;
+            case Pairing::kProbeCoarser:  // probe bs == 2 * candidate bs
+                plausible = part_plausible(probe.signature1(), probe_grams.grams1.data(),
+                                           probe_grams.count1, probe.part1(), bucket.part2, i,
+                                           bucket.prepared[i].part2());
+                break;
+            case Pairing::kCandidateCoarser:  // candidate bs == 2 * probe bs
+                plausible = part_plausible(probe.signature2(), probe_grams.grams2.data(),
+                                           probe_grams.count2, probe.part2(), bucket.part1, i,
+                                           bucket.prepared[i].part1());
+                break;
+        }
+        if (!plausible) continue;
+        const int score = fuzzy::compare(probe, bucket.prepared[i], min_score);
+        if (score >= min_score) matches.push_back({bucket.ids[i], score});
     }
 }
 
-void SimilarityIndex::collect_candidates(std::string_view collapsed, std::uint64_t block_tag,
-                                         std::vector<const std::vector<DigestId>*>& out) const {
-    if (collapsed.empty()) return;
-    const auto gather = [this, &out](std::uint64_t key) {
-        const auto it = postings_.find(key);
-        if (it != postings_.end()) out.push_back(&it->second);
-    };
-    if (collapsed.size() < fuzzy::kCommonSubstringLength) {
-        gather(posting_key(collapsed, block_tag ^ 0x5349524Eu));
-        return;
+std::vector<ScoredMatch> SimilarityIndex::query(const fuzzy::PreparedDigest& probe,
+                                                int min_score, std::size_t top_n) const {
+    min_score = std::max(min_score, 1);
+    std::vector<ScoredMatch> matches;
+
+    // The probe's sorted gram arrays are built once per query and shared
+    // by every candidate's two-pointer intersection.
+    ProbeGrams probe_grams;
+    probe_grams.count1 = fuzzy::pack_grams(probe.part1(), probe_grams.grams1.data());
+    probe_grams.count2 = fuzzy::pack_grams(probe.part2(), probe_grams.grams2.data());
+    std::sort(probe_grams.grams1.begin(),
+              probe_grams.grams1.begin() + static_cast<std::ptrdiff_t>(probe_grams.count1));
+    std::sort(probe_grams.grams2.begin(),
+              probe_grams.grams2.begin() + static_cast<std::ptrdiff_t>(probe_grams.count2));
+
+    const std::uint64_t bs = probe.block_size();
+    if (const Bucket* b = find_bucket(bs)) {
+        scan_bucket(*b, probe, probe_grams, Pairing::kEqual, min_score, matches);
     }
-    for (std::size_t i = 0; i + fuzzy::kCommonSubstringLength <= collapsed.size(); ++i) {
-        gather(posting_key(collapsed.substr(i, fuzzy::kCommonSubstringLength), block_tag));
+    if (bs % 2 == 0) {
+        if (const Bucket* b = find_bucket(bs / 2)) {
+            scan_bucket(*b, probe, probe_grams, Pairing::kProbeCoarser, min_score, matches);
+        }
     }
+    if (const Bucket* b = find_bucket(bs * 2)) {
+        scan_bucket(*b, probe, probe_grams, Pairing::kCandidateCoarser, min_score, matches);
+    }
+
+    finalize(matches, top_n);
+    return matches;
 }
 
 std::vector<ScoredMatch> SimilarityIndex::query(const fuzzy::FuzzyDigest& probe, int min_score,
                                                 std::size_t top_n) const {
-    // Two-phase gather: resolve the posting lists first so the candidate
-    // buffer is reserved in one shot instead of growing through appends.
-    std::vector<const std::vector<DigestId>*> lists;
-    const std::string c1 = fuzzy::eliminate_sequences(probe.digest1);
-    const std::string c2 = fuzzy::eliminate_sequences(probe.digest2);
-    collect_candidates(c1, probe.block_size, lists);
-    collect_candidates(c2, probe.block_size * 2, lists);
+    return query(fuzzy::PreparedDigest(probe), min_score, top_n);
+}
 
-    std::size_t upper_bound = 0;
-    for (const auto* list : lists) upper_bound += list->size();
-    std::vector<DigestId> candidates;
-    candidates.reserve(upper_bound);
-    for (const auto* list : lists) candidates.insert(candidates.end(), list->begin(), list->end());
+std::vector<std::vector<ScoredMatch>> SimilarityIndex::query_many(
+    const std::vector<fuzzy::FuzzyDigest>& probes, int min_score, std::size_t top_n,
+    util::ThreadPool* pool) const {
+    std::vector<fuzzy::PreparedDigest> prepared;
+    prepared.reserve(probes.size());
+    for (const auto& p : probes) prepared.emplace_back(p);
 
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
-
-    std::vector<ScoredMatch> matches;
-    for (const DigestId id : candidates) {
-        const int score = fuzzy::compare(probe, digests_[id]);
-        if (score >= min_score) matches.push_back({id, score});
+    std::vector<std::vector<ScoredMatch>> results(probes.size());
+    const auto query_one = [&](std::size_t i) { results[i] = query(prepared[i], min_score, top_n); };
+    if (pool != nullptr && probes.size() > 1) {
+        pool->parallel_for(probes.size(), query_one);
+    } else {
+        for (std::size_t i = 0; i < probes.size(); ++i) query_one(i);
     }
-    finalize(matches, top_n);
-    return matches;
+    return results;
 }
 
 std::vector<ScoredMatch> SimilarityIndex::query_bruteforce(const fuzzy::FuzzyDigest& probe,
                                                            int min_score,
                                                            std::size_t top_n) const {
+    min_score = std::max(min_score, 1);
     std::vector<ScoredMatch> matches;
     for (DigestId id = 0; id < digests_.size(); ++id) {
         const int score = fuzzy::compare(probe, digests_[id]);

@@ -1,13 +1,15 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "fuzzy/compare.hpp"
 #include "fuzzy/ctph.hpp"
+#include "fuzzy/prepared.hpp"
+#include "util/thread_pool.hpp"
 
 namespace siren::recognize {
 
@@ -22,39 +24,63 @@ struct ScoredMatch {
     friend bool operator==(const ScoredMatch&, const ScoredMatch&) = default;
 };
 
-/// Inverted 7-gram index over fuzzy digests: sub-linear candidate lookup
-/// for similarity search, the standard ssdeep-scaling technique.
+/// Block-size-bucketed prepared-digest index: sub-linear candidate lookup
+/// for similarity search over registry-scale corpora.
+///
+/// Storage is one bucket per distinct block size, each holding its
+/// digests' prepared forms plus struct-of-arrays columns per digest part:
+/// the Bloom 7-gram signatures (fuzzy::PreparedDigest) and sorted packed
+/// 7-gram arrays. A probe at block size bs is comparable only with the
+/// bs/2, bs and 2*bs buckets (the digest1/digest2 pairing rule), so a
+/// query scans at most three buckets: per candidate an 8-byte signature
+/// AND, then — full-length digests saturate a 64-bit Bloom, so the AND
+/// mostly gates short and sparse parts — an exact two-pointer merge of
+/// sorted gram words, and only confirmed candidates are rescored.
 ///
 /// Correctness rests on a property of fuzzy::compare: a nonzero score
 /// requires either byte-identical collapsed digests or a common substring
 /// of kCommonSubstringLength (7) characters between the pair of digest
-/// strings that the block-size rule selects. Therefore indexing every
-/// 7-gram of every (sequence-collapsed) digest string — tagged with the
-/// effective block size it was computed at — yields a candidate set that
-/// is a **superset** of all digests scoring > 0 against any probe: the
-/// prefilter can return false positives (rescored and discarded) but never
-/// false negatives. `tests/test_recognize.cpp` asserts this equivalence
-/// against brute force over campaign-scale corpora.
-///
-/// Block-size tagging covers all three comparable configurations
-/// (equal, probe at 2x, candidate at 2x) because each digest is indexed
-/// twice: digest1 under its block size and digest2 under twice that, so
-/// two entries are comparable exactly when they share a tag.
+/// strings that the block-size rule selects. Two strings can share a
+/// 7-gram only if their Bloom signatures share a bit (and identical short
+/// strings share their whole-string bit), so the signature AND admits a
+/// **superset** of all digests scoring > 0 against any probe: false
+/// positives are rescored and discarded, false negatives cannot happen.
+/// `tests/test_recognize.cpp` asserts this equivalence against brute force
+/// over campaign-scale corpora.
 class SimilarityIndex {
 public:
     SimilarityIndex() = default;
 
     /// Insert a digest; returns its id (insertion order, dense from 0).
+    /// Digest parts must respect the kSpamsumLength cap (guaranteed by
+    /// fuzzy_hash and FuzzyDigest::parse); a hand-built digest with an
+    /// oversize part throws util::Error from the preparation step.
     DigestId add(fuzzy::FuzzyDigest digest);
 
-    /// All candidates scoring >= min_score against the probe, best first
-    /// (ties by ascending id); at most top_n results (0 = unlimited).
-    /// Uses the gram index to restrict rescoring to plausible candidates.
+    /// All candidates scoring >= min_score (clamped to >= 1) against the
+    /// probe, best first (ties by ascending id); at most top_n results
+    /// (0 = unlimited). Scans only the comparable block-size buckets and
+    /// uses min_score to band the edit-distance scan of each rescore.
+    /// Like add(), preparing the probe throws util::Error for hand-built
+    /// digests whose parts exceed kSpamsumLength (also applies to
+    /// query_many).
     std::vector<ScoredMatch> query(const fuzzy::FuzzyDigest& probe, int min_score = 1,
                                    std::size_t top_n = 0) const;
 
-    /// Same contract as query() but scans every stored digest. Exists as
-    /// the oracle for recall tests and the ablation baseline.
+    /// Same, for an already-prepared probe (no per-call preparation work).
+    std::vector<ScoredMatch> query(const fuzzy::PreparedDigest& probe, int min_score = 1,
+                                   std::size_t top_n = 0) const;
+
+    /// Batch query: one result vector per probe, each with query()'s exact
+    /// contract. Probes are prepared once up front; with a pool the scan is
+    /// chunked across its workers (results are identical either way).
+    std::vector<std::vector<ScoredMatch>> query_many(
+        const std::vector<fuzzy::FuzzyDigest>& probes, int min_score = 1,
+        std::size_t top_n = 0, util::ThreadPool* pool = nullptr) const;
+
+    /// Same contract as query() but scans every stored digest with the
+    /// legacy (unprepared) comparator. Exists as the oracle for recall
+    /// tests and the ablation baseline.
     std::vector<ScoredMatch> query_bruteforce(const fuzzy::FuzzyDigest& probe,
                                               int min_score = 1, std::size_t top_n = 0) const;
 
@@ -63,18 +89,49 @@ public:
 
     const fuzzy::FuzzyDigest& digest(DigestId id) const { return digests_.at(id); }
 
-    /// Number of distinct posting keys (diagnostics / bench reporting).
-    std::size_t posting_keys() const { return postings_.size(); }
+    /// Number of distinct block-size buckets (diagnostics / bench
+    /// reporting); bounded by the ~60 possible 3 * 2^k block sizes.
+    std::size_t bucket_count() const { return buckets_.size(); }
 
 private:
-    void index_string(std::string_view collapsed, std::uint64_t block_tag, DigestId id);
-    /// Gathers pointers to the matching posting lists (so callers can size
-    /// the candidate buffer before a single concatenation pass).
-    void collect_candidates(std::string_view collapsed, std::uint64_t block_tag,
-                            std::vector<const std::vector<DigestId>*>& out) const;
+    /// One digest part's worth of scan-side data across a bucket, SoA:
+    /// the Bloom signatures contiguously (8 bytes per candidate on the
+    /// reject path) and the sorted packed 7-gram arrays flattened with an
+    /// offset table (the exact confirm is a two-pointer merge against the
+    /// probe's sorted grams — no digest bytes touched until rescore).
+    struct PartColumn {
+        std::vector<std::uint64_t> sigs;
+        std::vector<std::uint64_t> grams;      ///< sorted per digest, flattened
+        std::vector<std::uint32_t> gram_ends;  ///< exclusive end per digest
+    };
 
+    /// All digests sharing one block size.
+    struct Bucket {
+        std::uint64_t block_size = 0;
+        PartColumn part1;
+        PartColumn part2;
+        std::vector<DigestId> ids;
+        std::vector<fuzzy::PreparedDigest> prepared;
+    };
+
+    /// Probe-side scratch for one query: each part's sorted packed grams.
+    struct ProbeGrams {
+        std::array<std::uint64_t, fuzzy::kSpamsumLength> grams1{};
+        std::array<std::uint64_t, fuzzy::kSpamsumLength> grams2{};
+        std::size_t count1 = 0;
+        std::size_t count2 = 0;
+    };
+
+    /// How a probe's parts pair with a bucket's (the block-size rule).
+    enum class Pairing { kEqual, kProbeCoarser, kCandidateCoarser };
+
+    const Bucket* find_bucket(std::uint64_t block_size) const;
+    void scan_bucket(const Bucket& bucket, const fuzzy::PreparedDigest& probe,
+                     const ProbeGrams& probe_grams, Pairing pairing, int min_score,
+                     std::vector<ScoredMatch>& matches) const;
+
+    std::vector<Bucket> buckets_;  ///< a handful of entries; linear lookup
     std::vector<fuzzy::FuzzyDigest> digests_;
-    std::unordered_map<std::uint64_t, std::vector<DigestId>> postings_;
 };
 
 }  // namespace siren::recognize

@@ -49,13 +49,21 @@ void ThreadPool::enqueue(std::function<void()> task) {
 
 namespace {
 
-/// Shared state of one parallel_for call: the iteration function, the chunk
+/// Auto grain: about eight chunks per worker — small enough to rebalance a
+/// skewed workload, large enough that the queue/latch cost per task is
+/// noise next to the chunk body.
+std::size_t resolve_grain(std::size_t n, std::size_t grain, std::size_t threads) {
+    if (grain != 0) return grain;
+    return std::max<std::size_t>(1, n / (8 * std::max<std::size_t>(1, threads)));
+}
+
+/// Shared state of one parallel_for call: the chunk function, the chunk
 /// geometry and a completion latch. Chunk tasks capture only a pointer to
 /// this (stack-lived — parallel_for outlives every task) plus their index.
 struct FanOut {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* chunk_fn = nullptr;
     std::size_t n = 0;
-    std::size_t chunk = 0;
+    std::size_t grain = 0;
 
     std::mutex mutex;
     std::condition_variable done;
@@ -64,11 +72,11 @@ struct FanOut {
     std::exception_ptr first_error;
 
     void run_chunk(std::size_t t) {
-        const std::size_t begin = t * chunk;
-        const std::size_t end = std::min(n, begin + chunk);
+        const std::size_t begin = t * grain;
+        const std::size_t end = std::min(n, begin + grain);
         try {
-            for (std::size_t i = begin; i < end && !failed.load(std::memory_order_relaxed); ++i) {
-                (*fn)(i);
+            if (!failed.load(std::memory_order_relaxed)) {
+                (*chunk_fn)(begin, end, t);
             }
         } catch (...) {
             std::lock_guard lock(mutex);
@@ -81,15 +89,22 @@ struct FanOut {
 
 }  // namespace
 
-void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+std::size_t ThreadPool::chunk_count(std::size_t n, std::size_t grain) const {
+    if (n == 0) return 0;
+    const std::size_t g = resolve_grain(n, grain, size());
+    return (n + g - 1) / g;
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& chunk_fn,
+    std::size_t grain) {
     if (n == 0) return;
-    const std::size_t nthreads = std::min(size(), n);
 
     FanOut state;
-    state.fn = &fn;
+    state.chunk_fn = &chunk_fn;
     state.n = n;
-    state.chunk = (n + nthreads - 1) / nthreads;
-    const std::size_t tasks = (n + state.chunk - 1) / state.chunk;
+    state.grain = resolve_grain(n, grain, size());
+    const std::size_t tasks = (n + state.grain - 1) / state.grain;
     state.remaining = tasks;
 
     std::size_t enqueued = 0;
@@ -112,6 +127,30 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
         state.done.wait(lock, [&state] { return state.remaining == 0; });
     }
     if (state.first_error) std::rethrow_exception(state.first_error);
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+    if (n == 0) return;
+    // The wrapper captures two pointers — inside std::function's inline
+    // storage, so the per-call fan-out still allocates nothing per task.
+    // `failed` keeps per-index cancellation: once any index throws, every
+    // in-flight chunk abandons at its next iteration instead of finishing
+    // its whole range.
+    std::atomic<bool> failed{false};
+    const std::function<void(std::size_t, std::size_t, std::size_t)> chunk_fn =
+        [&fn, &failed](std::size_t begin, std::size_t end, std::size_t) {
+            for (std::size_t i = begin;
+                 i < end && !failed.load(std::memory_order_relaxed); ++i) {
+                try {
+                    fn(i);
+                } catch (...) {
+                    failed.store(true, std::memory_order_relaxed);
+                    throw;
+                }
+            }
+        };
+    parallel_for_chunks(n, chunk_fn, grain);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn, std::size_t threads) {

@@ -46,7 +46,27 @@ public:
     /// stack-allocated completion latch and capture only (pointer, index) —
     /// small enough for std::function's inline storage, so the fan-out
     /// allocates nothing per task.
-    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+    ///
+    /// `grain` is the number of consecutive indices one queued task runs
+    /// (0 = auto: max(1, n / (8 * threads)) — about eight chunks per worker,
+    /// enough slack for load balancing while the per-task queue/latch
+    /// overhead amortizes over the chunk). Tiny per-item closures should
+    /// pick a grain large enough that the loop body dominates the per-index
+    /// std::function dispatch.
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                      std::size_t grain = 0);
+
+    /// Chunk-granular variant: chunk_fn(begin, end, chunk_index) is invoked
+    /// once per chunk with chunk_index < chunk_count(n, grain), so callers
+    /// can keep per-chunk state (bounded top-n heaps, local accumulators)
+    /// and merge deterministically afterwards — chunk geometry depends only
+    /// on (n, grain, size()), never on scheduling.
+    void parallel_for_chunks(
+        std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& chunk_fn,
+        std::size_t grain = 0);
+
+    /// Number of chunks parallel_for_chunks will produce for (n, grain).
+    std::size_t chunk_count(std::size_t n, std::size_t grain = 0) const;
 
 private:
     void worker_loop();

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "fuzzy/edit_distance.hpp"
 #include "util/rng.hpp"
 
@@ -48,6 +52,107 @@ TEST(Weighted, CustomCosts) {
     costs.insert = 5;
     EXPECT_EQ(sf::weighted_edit_distance("", "aa", costs), 10u);
 }
+
+TEST(Indel, Basics) {
+    EXPECT_EQ(sf::indel_distance("", ""), 0u);
+    EXPECT_EQ(sf::indel_distance("abc", ""), 3u);
+    EXPECT_EQ(sf::indel_distance("abc", "abc"), 0u);
+    EXPECT_EQ(sf::indel_distance("abc", "axc"), 2u) << "a substitution is delete+insert";
+    EXPECT_EQ(sf::indel_distance("ab", "ba"), 2u);
+    EXPECT_EQ(sf::indel_distance("abc", "abcd"), 1u);
+}
+
+TEST(Indel, EqualsDefaultWeightedDistance) {
+    // The dispatch invariant behind the bit-parallel fast path: with the
+    // default ssdeep costs the weighted distance IS the indel distance.
+    EXPECT_EQ(sf::weighted_edit_distance("kitten", "sitting"),
+              sf::indel_distance("kitten", "sitting"));
+}
+
+// --- bit-parallel vs reference DP -------------------------------------------
+
+namespace {
+
+/// Independent textbook DP used only as the test oracle, so the
+/// bit-parallel kernels are checked against a second implementation.
+std::size_t reference_levenshtein(std::string_view a, std::string_view b) {
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1,
+                               prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1)});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+std::size_t reference_lcs(std::string_view a, std::string_view b) {
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            cur[j] = a[i - 1] == b[j - 1] ? prev[j - 1] + 1 : std::max(prev[j], cur[j - 1]);
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+std::string random_word(siren::util::Rng& rng, std::size_t max_len, int alphabet) {
+    const std::size_t len = rng.index(max_len + 1);
+    std::string s;
+    for (std::size_t i = 0; i < len; ++i) {
+        s += static_cast<char>('a' + rng.index(static_cast<std::size_t>(alphabet)));
+    }
+    return s;
+}
+
+}  // namespace
+
+class BitParallelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitParallelSweep, LevenshteinMatchesReferenceAcrossWordBoundary) {
+    // Lengths 0..80 cross the 64-char word boundary, so both the Myers
+    // kernel and the DP fallback are exercised against the oracle.
+    siren::util::Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        const std::string a = random_word(rng, 80, 4);
+        const std::string b = random_word(rng, 80, 4);
+        EXPECT_EQ(sf::levenshtein(a, b), reference_levenshtein(a, b))
+            << "a='" << a << "' b='" << b << "'";
+    }
+}
+
+TEST_P(BitParallelSweep, IndelMatchesLcsFormula) {
+    siren::util::Rng rng(GetParam() ^ 0xBEEFu);
+    for (int i = 0; i < 200; ++i) {
+        const std::string a = random_word(rng, 80, 4);
+        const std::string b = random_word(rng, 80, 4);
+        EXPECT_EQ(sf::indel_distance(a, b), a.size() + b.size() - 2 * reference_lcs(a, b))
+            << "a='" << a << "' b='" << b << "'";
+    }
+}
+
+TEST_P(BitParallelSweep, WeightedDistanceUnchangedByDispatch) {
+    // The ssdeep scorer's distance must be identical whether it comes from
+    // the bit-parallel indel path (default costs, digest-length strings)
+    // or the general weighted DP (any costs); sub/transpose >= delete +
+    // insert collapses both to the LCS formula.
+    siren::util::Rng rng(GetParam() ^ 0x5151u);
+    const sf::EditCosts expensive{1, 1, 5, 7};
+    for (int i = 0; i < 100; ++i) {
+        const std::string a = random_word(rng, 64, 3);
+        const std::string b = random_word(rng, 64, 3);
+        const std::size_t indel = a.size() + b.size() - 2 * reference_lcs(a, b);
+        EXPECT_EQ(sf::weighted_edit_distance(a, b), indel);
+        EXPECT_EQ(sf::weighted_edit_distance(a, b, expensive), indel)
+            << "costs pricier than delete+insert cannot change the optimum";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitParallelSweep, ::testing::Values(101u, 202u, 303u));
 
 // --- metric-property sweeps -------------------------------------------------
 

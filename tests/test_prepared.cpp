@@ -1,0 +1,270 @@
+// Prepared-digest comparison engine: golden ssdeep-compatibility vectors,
+// randomized score parity against the legacy comparator, the Bloom-gram
+// prefilter's no-false-negative property, and the zero-allocation pin on
+// the prepared hot path.
+
+#define SIREN_ALLOC_PROBE_IMPLEMENT
+#include "util/alloc_probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzzy/compare.hpp"
+#include "fuzzy/ctph.hpp"
+#include "fuzzy/edit_distance.hpp"
+#include "fuzzy/prepared.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sf = siren::fuzzy;
+namespace su = siren::util;
+
+namespace {
+
+sf::PreparedDigest prep(std::string_view digest) {
+    return sf::PreparedDigest(sf::FuzzyDigest::parse(digest));
+}
+
+/// Random digest part; a small alphabet plus occasional run-doubling makes
+/// 7-gram overlaps and eliminate_sequences edges common instead of rare.
+std::string random_part(su::Rng& rng, std::size_t max_len, int alphabet) {
+    const std::size_t len = rng.index(max_len + 1);
+    std::string s;
+    while (s.size() < len) {
+        if (!s.empty() && rng.below(5) == 0) {
+            s += s.back();
+            continue;
+        }
+        s += static_cast<char>('A' + rng.index(static_cast<std::size_t>(alphabet)));
+    }
+    return s;
+}
+
+/// A handful of point edits — the drifted-rebuild shape where scores are
+/// nonzero and every branch of the scale/cap arithmetic gets exercised.
+std::string mutate_part(su::Rng& rng, std::string s) {
+    const std::size_t edits = rng.index(6);
+    for (std::size_t e = 0; e < edits && !s.empty(); ++e) {
+        const std::size_t p = rng.index(s.size());
+        switch (rng.below(3)) {
+            case 0: s[p] = static_cast<char>('A' + rng.index(6)); break;
+            case 1: s.erase(p, 1); break;
+            default:
+                if (s.size() < sf::kSpamsumLength) {
+                    s.insert(p, 1, static_cast<char>('A' + rng.index(6)));
+                }
+                break;
+        }
+    }
+    return s;
+}
+
+}  // namespace
+
+TEST(PreparedDigest, PartsAreSequenceCollapsed) {
+    const auto p = prep("3:AAAAAABCDEF:XXXXXY");
+    EXPECT_EQ(p.part1(), sf::eliminate_sequences("AAAAAABCDEF"));
+    EXPECT_EQ(p.part2(), sf::eliminate_sequences("XXXXXY"));
+    EXPECT_EQ(p.block_size(), 3u);
+}
+
+TEST(PreparedDigest, EmptyPartsHaveZeroSignature) {
+    const auto p = prep("3::");
+    EXPECT_TRUE(p.part1().empty());
+    EXPECT_EQ(p.signature1(), 0u);
+    EXPECT_EQ(p.signature2(), 0u);
+}
+
+TEST(PreparedDigest, RejectsOversizeParts) {
+    sf::FuzzyDigest d;
+    d.block_size = 3;
+    d.digest1 = std::string(sf::kSpamsumLength + 1, 'A');
+    EXPECT_THROW(sf::PreparedDigest{d}, su::Error);
+}
+
+TEST(GramSignature, SharedGramImpliesSharedBit) {
+    // The load-bearing prefilter property: a common 7-gram forces a common
+    // signature bit. Exercised over pairs built around a shared core.
+    su::Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+        const std::string core = random_part(rng, 20, 26) + "SHAREDG" + random_part(rng, 10, 26);
+        const std::string a = random_part(rng, 15, 26) + "SHAREDG";
+        if (core.size() < sf::kCommonSubstringLength || a.size() < sf::kCommonSubstringLength) {
+            continue;
+        }
+        EXPECT_NE(sf::gram_signature(core) & sf::gram_signature(a), 0u)
+            << "shared gram lost by signatures of '" << core << "' and '" << a << "'";
+    }
+}
+
+TEST(GramSignature, IdenticalShortStringsCollide) {
+    EXPECT_NE(sf::gram_signature("abc") & sf::gram_signature("abc"), 0u);
+    EXPECT_EQ(sf::gram_signature(""), 0u);
+}
+
+// Golden ssdeep-compatibility vectors: hand-picked digest pairs whose
+// scores pin the comparator's integer arithmetic — the 100 fast path,
+// run collapsing, insertion drift, cross-block-size pairing, the
+// small-block-size cap, and block-size incomparability. Both the legacy
+// and the prepared comparator must reproduce them exactly.
+struct GoldenVector {
+    const char* a;
+    const char* b;
+    int score;
+};
+
+class GoldenCompare : public ::testing::TestWithParam<GoldenVector> {};
+
+TEST_P(GoldenCompare, LegacyAndPreparedMatchGolden) {
+    const auto& v = GetParam();
+    EXPECT_EQ(sf::compare(v.a, v.b, /*strict=*/true), v.score);
+    EXPECT_EQ(sf::compare(v.b, v.a, /*strict=*/true), v.score) << "score must be symmetric";
+    EXPECT_EQ(sf::compare(prep(v.a), prep(v.b)), v.score);
+    EXPECT_EQ(sf::compare(prep(v.b), prep(v.a)), v.score);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Vectors, GoldenCompare,
+    ::testing::Values(
+        // Identical digests: the == 100 fast path.
+        GoldenVector{"3:ABCDEFGH:ABCDEFGH", "3:ABCDEFGH:ABCDEFGH", 100},
+        // Runs longer than 3 collapse before comparison, so these are
+        // identical too.
+        GoldenVector{"96:AAAAAAAABCDEFGHIJKLMNOPQRSTUVWXYZabcdefgh:ABCDEFGHIJKLMN",
+                     "96:AAAABCDEFGHIJKLMNOPQRSTUVWXYZabcdefgh:ABCDEFGHIJKLMN", 100},
+        GoldenVector{"96:QQQQQQQQABCDEFGHIJKL:ZZZZMNOPQR",
+                     "96:QQQQQABCDEFGHIJKL:ZZZZZZMNOPQR", 100},
+        // digest2 identical wins the max over a drifted digest1.
+        GoldenVector{"96:ABCDEFGHIJKLMNOPQRSTUVWXYZabcdef:ABCDEFGHIJKLMNOP",
+                     "96:ABCDEFGHIJKLMNOPXXXXQRSTUVWXYZabcdef:ABCDEFGHIJKLMNOP", 100},
+        // Adjacent block sizes pair fine digest1 with coarse digest2.
+        GoldenVector{"48:ABCDEFGHIJKLMNOPQRSTUVWXYZ:NOPQRSTUVWXYZabc",
+                     "96:NOPQRSTUVWXYZabcdefg:ABCDEFGHIJKLMNOPQRST", 90},
+        GoldenVector{"96:ABCDEFGHIJKLMNOPQRST:UVWXYZabcdef",
+                     "48:QRSTUVWXYZab:ABCDEFGHIJKLMNOPQRST", 100},
+        // Small block size: identical parts, but block 6/12 caps the score
+        // (12/3 * min-len 10 = 40 via the digest2 pair).
+        GoldenVector{"6:ABCDEFGHIJKL:MNOPQRSTUV", "6:ABCDEFGHIJKLX:MNOPQRSTUV", 40},
+        // Block sizes 96 vs 384 are not comparable.
+        GoldenVector{"96:ABCDEFGHIJKLMNOPQRST:UVWXYZabcdef",
+                     "384:ABCDEFGHIJKLMNOPQRST:UVWXYZabcdef", 0},
+        // No 7-char common substring: gated to 0 despite shared chars.
+        GoldenVector{"3:ABCDEFGHIJ:KLMNOPQRST", "3:JIHGFEDCBA:TSRQPONMLK", 0}));
+
+// The tentpole property: over ~10k generated digest pairs — same, double
+// and unrelated block sizes, short parts, empty parts, run collapsing —
+// the prepared comparator returns exactly the legacy score, and the
+// min_score-banded form never misclassifies against the cutoff.
+TEST(PreparedParity, TenThousandPairsMatchLegacyCompare) {
+    su::Rng rng(20260728);
+    const std::uint64_t block_sizes[] = {3, 6, 12, 24, 48, 96, 192, 3072};
+    std::size_t nonzero = 0;
+
+    for (int iter = 0; iter < 10000; ++iter) {
+        sf::FuzzyDigest a, b;
+        a.block_size = block_sizes[rng.index(8)];
+        switch (rng.below(4)) {
+            case 0: b.block_size = a.block_size; break;
+            case 1: b.block_size = a.block_size * 2; break;
+            case 2: b.block_size = std::max<std::uint64_t>(a.block_size / 2, 3); break;
+            default: b.block_size = block_sizes[rng.index(8)]; break;
+        }
+        const int alphabet = rng.below(2) ? 4 : 40;
+        a.digest1 = random_part(rng, sf::kSpamsumLength, alphabet);
+        a.digest2 = random_part(rng, sf::kSpamsumLength, alphabet);
+        if (rng.below(3) == 0) {
+            b.digest1 = a.digest1;
+            b.digest2 = a.digest2;
+        } else if (rng.below(2) == 0) {
+            b.digest1 = mutate_part(rng, a.digest1);
+            b.digest2 = mutate_part(rng, a.digest2);
+        } else {
+            b.digest1 = random_part(rng, sf::kSpamsumLength, alphabet);
+            b.digest2 = random_part(rng, sf::kSpamsumLength, alphabet);
+        }
+
+        const int legacy = sf::compare(a, b);
+        const sf::PreparedDigest pa(a), pb(b);
+        ASSERT_EQ(sf::compare(pa, pb), legacy)
+            << "pair " << iter << ": " << a.to_string() << " vs " << b.to_string();
+        if (legacy > 0) ++nonzero;
+
+        // Banded contract: >= cutoff means exact score, below means the
+        // result also stays below the cutoff.
+        const int cutoff = 1 + static_cast<int>(rng.index(100));
+        const int banded = sf::compare(pa, pb, cutoff);
+        if (legacy >= cutoff) {
+            ASSERT_EQ(banded, legacy) << "cutoff " << cutoff << " lost an above-band score";
+        } else {
+            ASSERT_LT(banded, cutoff) << "cutoff " << cutoff << " fabricated a score";
+        }
+    }
+    // The generator must actually produce scoring pairs or the sweep is
+    // vacuous; seed 20260728 yields ~2k.
+    EXPECT_GT(nonzero, 500u);
+}
+
+TEST(PreparedParity, RealDigestsFromDriftedBlobs) {
+    // End-to-end shape: digests produced by fuzzy_hash over drifted blobs
+    // (the paper's rebuild-drift model) score identically on both paths.
+    su::Rng rng(7);
+    auto base = rng.bytes(60000);
+    const auto probe = sf::fuzzy_hash(base);
+    for (int v = 0; v < 30; ++v) {
+        auto blob = base;
+        const std::size_t start = rng.index(blob.size() - 2000);
+        for (std::size_t i = 0; i < 100u * static_cast<std::size_t>(v); ++i) {
+            blob[start + (i % 2000)] = static_cast<std::uint8_t>(rng.below(256));
+        }
+        const auto candidate = sf::fuzzy_hash(blob);
+        EXPECT_EQ(sf::compare(sf::PreparedDigest(probe), sf::PreparedDigest(candidate)),
+                  sf::compare(probe, candidate));
+    }
+}
+
+TEST(PreparedAlloc, CompareIsAllocationFree) {
+    // The zero-allocation pin from the issue's acceptance criteria: once
+    // both sides are prepared, compare() must never touch the heap — for
+    // equal and adjacent block sizes, scoring and non-scoring pairs alike.
+    su::Rng rng(11);
+    const auto blob = rng.bytes(30000);
+    auto drifted = blob;
+    for (std::size_t i = 0; i < 1500; ++i) drifted[4000 + i] ^= 0x5A;
+
+    const sf::PreparedDigest a(sf::fuzzy_hash(blob));
+    const sf::PreparedDigest b(sf::fuzzy_hash(drifted));
+    const sf::PreparedDigest unrelated(sf::fuzzy_hash(rng.bytes(30000)));
+    const auto coarse = prep("192:ABCDEFGHIJKLMNOPQRST:UVWXYZabcdef");
+    const auto fine = prep("96:ZZZZYXWVUTSRQPONMLKJIH:ABCDEFGHIJKLMNOPQRST");
+
+    ASSERT_GT(sf::compare(a, b), 0) << "fixture must exercise the scoring path";
+
+    su::alloc_probe_reset();
+    int sink = 0;
+    for (int i = 0; i < 100; ++i) {
+        sink += sf::compare(a, b);
+        sink += sf::compare(a, unrelated);
+        sink += sf::compare(coarse, fine);
+        sink += sf::compare(a, b, 90);
+    }
+    EXPECT_EQ(su::alloc_probe_count(), 0u) << "prepared compare must not allocate (sink=" << sink
+                                           << ")";
+}
+
+TEST(BoundedIndel, AgreesWithExactDistanceUpToBound) {
+    su::Rng rng(13);
+    for (int i = 0; i < 2000; ++i) {
+        const std::string a = random_part(rng, 70, 5);
+        const std::string b = random_part(rng, 70, 5);
+        const std::size_t exact = sf::indel_distance(a, b);
+        const std::size_t bound = rng.index(80);
+        const std::size_t got = sf::indel_distance_bounded(a, b, bound);
+        if (exact <= bound) {
+            EXPECT_EQ(got, exact);
+        } else {
+            EXPECT_GT(got, bound);
+        }
+    }
+}

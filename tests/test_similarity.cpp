@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "analytics/baselines.hpp"
 #include "analytics/similarity.hpp"
 #include "core/siren.hpp"
@@ -77,6 +80,66 @@ TEST_F(SimilarityFixture, SymbolSimilarityOutlivesFileSimilarity) {
     ASSERT_GT(drifted, 0);
     EXPECT_GE(sy_sum / drifted + 3.0, fi_sum / drifted)
         << "on average, symbols must be at least as stable as raw bytes";
+}
+
+TEST_F(SimilarityFixture, UnknownProbeIsLexicographicallyFirst) {
+    // Table 7 runs must be reproducible: among all UNKNOWN user
+    // executables the probe is the lexicographically smallest path, not
+    // whichever one container iteration happens to visit first.
+    const auto labeler = sa::Labeler::default_rules();
+    const auto* probe = sa::find_unknown_probe(result_->aggregates, labeler);
+    ASSERT_NE(probe, nullptr);
+
+    std::string smallest;
+    for (const auto& [path, exe] : result_->aggregates.execs) {
+        if (exe.category != siren::consolidate::Category::kUser || !exe.has_sample) continue;
+        if (labeler.label(path) != sa::kUnknownLabel) continue;
+        if (smallest.empty() || exe.path < smallest) smallest = exe.path;
+    }
+    EXPECT_EQ(probe->exe_path, smallest);
+}
+
+TEST_F(SimilarityFixture, PreparedScoresMatchStringScores) {
+    // The cached prepared digests on ExeStat must reproduce the
+    // string-parsing scorer dimension for dimension.
+    const auto labeler = sa::Labeler::default_rules();
+    const auto* probe = sa::find_unknown_probe(result_->aggregates, labeler);
+    ASSERT_NE(probe, nullptr);
+    const auto probe_prepared = siren::consolidate::PreparedHashes::from(*probe);
+
+    std::size_t checked = 0;
+    for (const auto& [path, exe] : result_->aggregates.execs) {
+        if (!exe.has_sample || checked >= 25) break;
+        const auto via_strings = sa::score_records(*probe, exe.sample);
+        const auto via_prepared = sa::score_records(probe_prepared, exe.prepared_sample);
+        EXPECT_EQ(via_prepared.mo, via_strings.mo) << path;
+        EXPECT_EQ(via_prepared.co, via_strings.co) << path;
+        EXPECT_EQ(via_prepared.ob, via_strings.ob) << path;
+        EXPECT_EQ(via_prepared.fi, via_strings.fi) << path;
+        EXPECT_EQ(via_prepared.st, via_strings.st) << path;
+        EXPECT_EQ(via_prepared.sy, via_strings.sy) << path;
+        ++checked;
+    }
+    EXPECT_GT(checked, 0u);
+}
+
+TEST_F(SimilarityFixture, TopNIsPrefixOfLargerTopN) {
+    // The bounded per-chunk heaps must keep exactly the global best-n.
+    const auto labeler = sa::Labeler::default_rules();
+    const auto* probe = sa::find_unknown_probe(result_->aggregates, labeler);
+    ASSERT_NE(probe, nullptr);
+
+    siren::util::ThreadPool pool(4);
+    const auto top10 = sa::similarity_search(*probe, result_->aggregates, labeler, 10, &pool);
+    for (const std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{5}}) {
+        const auto capped = sa::similarity_search(*probe, result_->aggregates, labeler, n, &pool);
+        ASSERT_EQ(capped.size(), std::min(n, top10.size()));
+        for (std::size_t i = 0; i < capped.size(); ++i) {
+            EXPECT_EQ(capped[i].exe_path, top10[i].exe_path) << "top_n " << n;
+            EXPECT_DOUBLE_EQ(capped[i].average, top10[i].average);
+        }
+    }
+    EXPECT_TRUE(sa::similarity_search(*probe, result_->aggregates, labeler, 0, &pool).empty());
 }
 
 TEST_F(SimilarityFixture, ParallelSearchMatchesSerial) {

@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <set>
-
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/base64.hpp"
 #include "util/env.hpp"
@@ -248,6 +250,46 @@ TEST(ThreadPool, ParallelForPropagatesException) {
             if (i == 50) throw su::Error("boom");
         }),
         su::Error);
+}
+
+TEST(ThreadPool, ParallelForGrainStillCoversAllIndices) {
+    su::ThreadPool pool(4);
+    for (const std::size_t grain : {std::size_t{1}, std::size_t{7}, std::size_t{1000},
+                                    std::size_t{5000}}) {
+        std::vector<std::atomic<int>> hits(1000);
+        pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); }, grain);
+        for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "grain " << grain;
+    }
+}
+
+TEST(ThreadPool, ChunkGeometryIsDeterministic) {
+    su::ThreadPool pool(3);
+    // Auto grain: max(1, n / (8 * threads)) — n=1000, 3 threads -> 41.
+    EXPECT_EQ(pool.chunk_count(1000), (1000 + 40) / 41);
+    EXPECT_EQ(pool.chunk_count(1000, 100), 10u);
+    EXPECT_EQ(pool.chunk_count(5, 100), 1u);
+    EXPECT_EQ(pool.chunk_count(0), 0u);
+}
+
+TEST(ThreadPool, ParallelForChunksPartitionsTheRange) {
+    su::ThreadPool pool(4);
+    const std::size_t n = 997;  // prime: uneven tail chunk
+    const std::size_t grain = 64;
+    const std::size_t chunks = pool.chunk_count(n, grain);
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(chunks, {0, 0});
+    std::vector<std::atomic<int>> covered(n);
+    pool.parallel_for_chunks(
+        n,
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+            ranges[chunk] = {begin, end};
+            for (std::size_t i = begin; i < end; ++i) covered[i].fetch_add(1);
+        },
+        grain);
+    for (const auto& c : covered) ASSERT_EQ(c.load(), 1);
+    for (std::size_t t = 0; t < chunks; ++t) {
+        EXPECT_EQ(ranges[t].first, t * grain);
+        EXPECT_EQ(ranges[t].second, std::min(n, t * grain + grain));
+    }
 }
 
 TEST(TextTable, RendersAlignedColumns) {

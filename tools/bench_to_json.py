@@ -68,6 +68,13 @@ def condense(raw: dict) -> dict:
         ("encode_into_speedup", "BM_Encode", "BM_EncodeInto"),
         ("collect_consolidate_view_speedup", "BM_CollectConsolidate",
          "BM_CollectConsolidateView"),
+        ("prepared_compare_speedup", "BM_FuzzyCompareLegacy", "BM_FuzzyComparePrepared"),
+        ("similarity_search_speedup_1k", "BM_SimilaritySearchBrute/1000",
+         "BM_SimilaritySearch/1000"),
+        ("similarity_search_speedup_10k", "BM_SimilaritySearchBrute/10000",
+         "BM_SimilaritySearch/10000"),
+        ("similarity_search_speedup_100k", "BM_SimilaritySearchBrute/100000",
+         "BM_SimilaritySearch/100000"),
     ):
         value = ratio(slow, fast)
         if value is not None:
