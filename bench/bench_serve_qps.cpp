@@ -1,0 +1,197 @@
+// Microbenchmarks (google-benchmark) for the serving layer: identify QPS
+// against a live RecognitionService — the lock-free snapshot read path in
+// process and over the TCP query protocol — and the same identify latency
+// while a writer thread continuously applies observes. The snapshot-swap
+// scheme's headline claim is that the last two numbers match: query
+// latency must be independent of write volume.
+//
+// The cmake target `bench-serve-json` condenses the numbers into
+// BENCH_serve.json (ratios: serve_write_interference ~ 1.0,
+// serve_tcp_overhead); bench/trajectory/BENCH_serve.json is the committed
+// trajectory point.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fuzzy/fuzzy.hpp"
+#include "serve/serve.hpp"
+#include "util/base64.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+namespace sv = siren::serve;
+using siren::fuzzy::FuzzyDigest;
+
+std::string random_part(siren::util::Rng& rng, std::size_t len) {
+    std::string s;
+    for (std::size_t i = 0; i < len; ++i) s += siren::util::kBase64Alphabet[rng.index(64)];
+    return s;
+}
+
+FuzzyDigest mutate(siren::util::Rng& rng, FuzzyDigest d, std::size_t edits) {
+    for (std::size_t e = 0; e < edits; ++e) {
+        std::string& part = rng.below(3) == 0 ? d.digest2 : d.digest1;
+        if (part.empty()) continue;
+        part[rng.index(part.size())] = siren::util::kBase64Alphabet[rng.index(64)];
+    }
+    return d;
+}
+
+/// A service preloaded with n synthetic digests (families of drifted
+/// variants, as in bench_perf_similarity) plus a probe that matches.
+struct LiveService {
+    std::unique_ptr<sv::RecognitionService> service;
+    std::vector<FuzzyDigest> corpus;
+    FuzzyDigest probe;
+};
+
+LiveService& live_service(std::size_t n) {
+    static std::map<std::size_t, LiveService> cache;
+    const auto it = cache.find(n);
+    if (it != cache.end()) return it->second;
+
+    LiveService& live = cache[n];
+    siren::util::Rng rng(2027 * n + 3);
+    const std::uint64_t ladder[] = {1536, 3072, 6144};
+    constexpr std::size_t kVariants = 8;
+    while (live.corpus.size() < n) {
+        FuzzyDigest base;
+        base.block_size = ladder[rng.index(3)];
+        base.digest1 = random_part(rng, 48 + rng.index(16));
+        base.digest2 = random_part(rng, 24 + rng.index(8));
+        for (std::size_t v = 0; v < kVariants && live.corpus.size() < n; ++v) {
+            live.corpus.push_back(v == 0 ? base : mutate(rng, base, 1 + rng.index(5)));
+        }
+    }
+
+    sv::ServeOptions options;
+    options.writer_idle = std::chrono::milliseconds(1);
+    // Amortize the snapshot copy across ~10ms of applied batches — the
+    // deployment setting for write-heavy feeds (staleness stays bounded).
+    options.publish_interval = std::chrono::milliseconds(10);
+    live.service = std::make_unique<sv::RecognitionService>(options);
+    for (const auto& digest : live.corpus) live.service->observe(digest);
+    live.service->flush();
+    live.probe = mutate(rng, live.corpus[n / 2], 3);
+    return live;
+}
+
+/// Steady write pressure: a thread re-observing known digests (score-100
+/// sightings — no index growth, so the measured interference is purely the
+/// writer's batch/copy/publish cycle, not a registry that changes size).
+class WriteChurn {
+public:
+    explicit WriteChurn(LiveService& live) : live_(live) {
+        thread_ = std::thread([this] {
+            siren::util::Rng rng(71);
+            while (!stop_.load(std::memory_order_relaxed)) {
+                for (int burst = 0; burst < 64; ++burst) {
+                    live_.service->observe(live_.corpus[rng.index(live_.corpus.size())]);
+                }
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            }
+        });
+    }
+    ~WriteChurn() {
+        stop_.store(true, std::memory_order_relaxed);
+        thread_.join();
+        live_.service->flush();
+    }
+
+private:
+    LiveService& live_;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+/// The raw snapshot acquire — what every query pays before it scores.
+void BM_ServeSnapshotAcquire(benchmark::State& state) {
+    LiveService& live = live_service(1000);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(live.service->snapshot());
+    }
+}
+BENCHMARK(BM_ServeSnapshotAcquire);
+
+/// In-process identify on an idle service (the baseline p50).
+void BM_ServeIdentify(benchmark::State& state) {
+    LiveService& live = live_service(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(live.service->identify(live.probe));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeIdentify)->Arg(1000)->Arg(10000);
+
+/// The same identify while a writer thread applies a continuous observe
+/// stream (10k+ over a bench run). Snapshot swap means the two p50s track
+/// each other; CI compares this against BM_ServeIdentify.
+void BM_ServeIdentifyUnderWrites(benchmark::State& state) {
+    LiveService& live = live_service(static_cast<std::size_t>(state.range(0)));
+    const auto before = live.service->counters().observes_applied;
+    {
+        WriteChurn churn(live);
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(live.service->identify(live.probe));
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    state.counters["concurrent_observes"] = benchmark::Counter(
+        static_cast<double>(live.service->counters().observes_applied - before));
+}
+BENCHMARK(BM_ServeIdentifyUnderWrites)->Arg(1000)->Arg(10000);
+
+/// Batch identify fan-out through the service's thread pool.
+void BM_ServeIdentifyMany(benchmark::State& state) {
+    LiveService& live = live_service(10000);
+    siren::util::Rng rng(83);
+    std::vector<FuzzyDigest> probes;
+    for (int i = 0; i < 64; ++i) {
+        probes.push_back(mutate(rng, live.corpus[rng.index(live.corpus.size())], 2));
+    }
+    siren::util::ThreadPool pool(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(live.service->identify_many(probes, &pool));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ServeIdentifyMany);
+
+/// Full TCP round trip: frame, loopback, execute, frame back. The delta
+/// against BM_ServeIdentify is the transport cost per query.
+void BM_ServeIdentifyTcp(benchmark::State& state) {
+    LiveService& live = live_service(10000);
+    sv::QueryServer server(*live.service);
+    sv::QueryClient client("127.0.0.1", server.port());
+    const std::string probe = live.probe.to_string();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(client.identify(probe));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeIdentifyTcp);
+
+/// Synchronous observe round trip (enqueue -> batch apply -> publish).
+void BM_ServeObserveSync(benchmark::State& state) {
+    LiveService& live = live_service(1000);
+    siren::util::Rng rng(89);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            live.service->observe_sync(live.corpus[rng.index(live.corpus.size())]));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeObserveSync);
+
+}  // namespace
+
+BENCHMARK_MAIN();

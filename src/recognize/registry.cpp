@@ -9,12 +9,30 @@
 
 namespace siren::recognize {
 
+/// Family names live inside the line-oriented, space-separated save format,
+/// so every whitespace byte and every control character is a format
+/// injection vector: a name carrying '\n' would terminate its `family` line
+/// early and leave the remainder to be parsed as an attacker-shaped record.
+/// Map the whole hostile class to '_' (labels in the wild are token-shaped
+/// already).
+std::string sanitize_label(std::string_view name) {
+    std::string out(name);
+    for (char& c : out) {
+        const auto u = static_cast<unsigned char>(c);
+        if (u <= ' ' || u == 0x7F) c = '_';
+    }
+    return out;
+}
+
 namespace {
 
-std::string sanitize_name(std::string_view name) {
-    std::string out(name);
-    std::replace(out.begin(), out.end(), ' ', '_');
-    return out;
+/// Every internal rename path funnels through this: the save format needs
+/// names to be nonempty single tokens, so an empty name falls back to the
+/// anonymous "family-<id>" form instead of emitting a missing-token line
+/// that load() would reject.
+std::string family_name_or_default(std::string_view name, FamilyId id) {
+    if (name.empty()) return "family-" + std::to_string(id);
+    return sanitize_label(name);
 }
 
 }  // namespace
@@ -25,7 +43,7 @@ FamilyId Registry::found_family(std::string_view name_hint) {
     const auto id = static_cast<FamilyId>(families_.size());
     FamilyInfo info;
     info.id = id;
-    info.name = name_hint.empty() ? "family-" + std::to_string(id) : sanitize_name(name_hint);
+    info.name = family_name_or_default(name_hint, id);
     families_.push_back(std::move(info));
     return id;
 }
@@ -55,7 +73,7 @@ Observation Registry::observe(const fuzzy::FuzzyDigest& digest, std::string_view
     // Post-analysis labeling: the first labeled sighting names an
     // anonymous family (UNKNOWN -> icon in the paper's Table 7 flow).
     if (!name_hint.empty() && fam.name.starts_with("family-")) {
-        fam.name = sanitize_name(name_hint);
+        fam.name = sanitize_label(name_hint);
     }
 
     // Retain drifted variants as exemplars so the family's reach extends
@@ -80,12 +98,34 @@ std::optional<Observation> Registry::best_match(const fuzzy::FuzzyDigest& digest
     return obs;
 }
 
+std::vector<Observation> Registry::top_families(const fuzzy::FuzzyDigest& digest,
+                                                std::size_t k) const {
+    std::vector<Observation> out;
+    if (k == 0) return out;
+    // The index ranks exemplars best-first, so the first hit per family is
+    // that family's best score. No top_n cap on the index query: the k
+    // requested *families* may hide behind many exemplars of one family.
+    const auto matches = index_.query(digest, options_.match_threshold, 0);
+    std::vector<bool> seen(families_.size(), false);
+    for (const auto& m : matches) {
+        const FamilyId fam = exemplar_owner_[m.id];
+        if (seen[fam]) continue;
+        seen[fam] = true;
+        Observation obs;
+        obs.family = fam;
+        obs.best_score = m.score;
+        out.push_back(obs);
+        if (out.size() == k) break;
+    }
+    return out;
+}
+
 std::vector<FamilyInfo> Registry::families() const { return families_; }
 
 const FamilyInfo& Registry::family(FamilyId id) const { return families_.at(id); }
 
 void Registry::rename(FamilyId id, std::string_view name) {
-    families_.at(id).name = sanitize_name(name);
+    families_.at(id).name = family_name_or_default(name, id);
 }
 
 void Registry::merge(const Registry& other) {
@@ -138,7 +178,12 @@ void Registry::merge(const Registry& other) {
 
 void Registry::save(std::ostream& out) const {
     for (const FamilyInfo& fam : families_) {
-        out << "family " << fam.id << ' ' << fam.sightings << ' ' << fam.name << '\n';
+        // Names were sanitized on the way in (found_family/rename/merge),
+        // but save is the format boundary — re-sanitize so no future code
+        // path that smuggles raw bytes into FamilyInfo::name can corrupt
+        // the line framing.
+        out << "family " << fam.id << ' ' << fam.sightings << ' '
+            << family_name_or_default(fam.name, fam.id) << '\n';
     }
     for (std::size_t i = 0; i < exemplar_owner_.size(); ++i) {
         out << "exemplar " << exemplar_owner_[i] << ' '
@@ -149,6 +194,7 @@ void Registry::save(std::ostream& out) const {
 Registry Registry::load(std::istream& in, RegistryOptions options) {
     Registry reg(options);
     std::string line;
+    std::string trailing;
     std::size_t line_no = 0;
     while (std::getline(in, line)) {
         ++line_no;
@@ -159,7 +205,7 @@ Registry Registry::load(std::istream& in, RegistryOptions options) {
         if (kind == "family") {
             FamilyInfo info;
             fields >> info.id >> info.sightings >> info.name;
-            if (fields.fail() || info.id != reg.families_.size()) {
+            if (fields.fail() || info.id != reg.families_.size() || (fields >> trailing)) {
                 throw util::ParseError("registry: bad family line " + std::to_string(line_no));
             }
             reg.families_.push_back(info);
@@ -168,9 +214,15 @@ Registry Registry::load(std::istream& in, RegistryOptions options) {
             FamilyId owner = 0;
             std::string digest;
             fields >> owner >> digest;
-            if (fields.fail() || owner >= reg.families_.size()) {
+            if (fields.fail() || owner >= reg.families_.size() || (fields >> trailing)) {
                 throw util::ParseError("registry: bad exemplar line " + std::to_string(line_no));
             }
+            // Clamp to this registry's exemplar budget: a file saved under a
+            // larger max_exemplars_per_family must not overshoot the new
+            // budget forever (observe() only checks the budget on *add*).
+            // Exemplars were saved in retention order, so skipping the
+            // overflow keeps the oldest — the family's original anchors.
+            if (reg.families_[owner].exemplars >= options.max_exemplars_per_family) continue;
             reg.exemplar_owner_.push_back(owner);
             reg.index_.add(fuzzy::FuzzyDigest::parse(digest));
             ++reg.families_[owner].exemplars;

@@ -15,6 +15,13 @@ namespace siren::recognize {
 /// Identifier of a software family inside a Registry.
 using FamilyId = std::uint32_t;
 
+/// The registry's name mapping: every whitespace/control byte becomes '_'.
+/// Family names live inside the line-oriented, space-separated save format,
+/// so this is the format-injection boundary — exported so protocol clients
+/// (serve::QueryClient) apply provably the same rule before shipping a
+/// label over the wire.
+std::string sanitize_label(std::string_view name);
+
 /// Tuning knobs for Registry::observe.
 struct RegistryOptions {
     /// Minimum score against any exemplar to join an existing family.
@@ -70,6 +77,13 @@ public:
     /// nullopt when nothing reaches match_threshold.
     std::optional<Observation> best_match(const fuzzy::FuzzyDigest& digest) const;
 
+    /// The `k` best families for a probe (each family once, scored by its
+    /// best exemplar, best first; ties by ascending exemplar id). The
+    /// identification view for ambiguous probes — "which known software
+    /// does this unknown binary resemble, ranked".
+    std::vector<Observation> top_families(const fuzzy::FuzzyDigest& digest,
+                                          std::size_t k) const;
+
     /// Families, id order.
     std::vector<FamilyInfo> families() const;
 
@@ -92,15 +106,21 @@ public:
     /// counts are added, so total_sightings is conserved across a merge.
     void merge(const Registry& other);
 
-    /// Line-oriented text persistence:
+    /// Line-oriented text persistence (full grammar in
+    /// docs/recognition_service.md):
     ///   `family <id> <sightings> <name>`
     ///   `exemplar <family-id> <digest>`
-    /// Names are stored with spaces mapped to `_` (the label vocabulary in
-    /// the wild is token-shaped already).
+    /// Names are stored with every whitespace/control byte mapped to `_`
+    /// (the label vocabulary in the wild is token-shaped already); the
+    /// mapping happens when names enter the registry and again defensively
+    /// at save time, so a hostile hint can never corrupt the line framing.
     void save(std::ostream& out) const;
 
     /// Rebuild a registry from save() output; throws siren::util::ParseError
-    /// on malformed input.
+    /// on malformed input (including trailing junk on a record line). Each
+    /// family's exemplars are clamped to `options.max_exemplars_per_family`,
+    /// keeping the oldest — a registry saved under a larger budget loads
+    /// under the smaller one instead of overshooting it forever.
     static Registry load(std::istream& in, RegistryOptions options = {});
 
 private:

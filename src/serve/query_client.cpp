@@ -1,0 +1,266 @@
+#include "serve/query_client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "recognize/registry.hpp"  // sanitize_label
+#include "serve/query_protocol.hpp"
+#include "util/error.hpp"
+
+namespace siren::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void write_all(int fd, std::string_view data, Clock::time_point deadline) {
+    const char* p = data.data();
+    std::size_t remaining = data.size();
+    while (remaining > 0) {
+        if (Clock::now() >= deadline) throw util::SystemError("query send timed out");
+        const ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+                pollfd pfd{fd, POLLOUT, 0};
+                ::poll(&pfd, 1, 50);
+                continue;
+            }
+            throw util::SystemError("query send failed: " + std::string(std::strerror(errno)));
+        }
+        p += n;
+        remaining -= static_cast<std::size_t>(n);
+    }
+}
+
+/// Parse an Identified out of "<family> <score> <name...>".
+Identified parse_identified(std::istringstream& fields) {
+    Identified result;
+    std::string name;
+    if (!(fields >> result.family >> result.score >> name)) {
+        throw util::ParseError("malformed identify reply");
+    }
+    result.name = std::move(name);
+    return result;
+}
+
+}  // namespace
+
+QueryClient::QueryClient(const std::string& host, std::uint16_t port,
+                         std::chrono::milliseconds timeout)
+    : timeout_(timeout) {
+    // Non-blocking throughout: the documented per-call deadline must bound
+    // connect() and send() too, not just the reply wait — a SYN-dropping
+    // host or a stalled server otherwise hangs the caller at the kernel's
+    // pleasure instead of throwing at timeout_.
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (fd_ < 0) throw util::SystemError("socket(): " + std::string(std::strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd_);
+        fd_ = -1;
+        throw util::SystemError("inet_pton(" + host + ") failed");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        if (errno != EINPROGRESS) {
+            const std::string reason = std::strerror(errno);
+            ::close(fd_);
+            fd_ = -1;
+            throw util::SystemError("connect(" + host + "): " + reason);
+        }
+        pollfd pfd{fd_, POLLOUT, 0};
+        const int ready =
+            ::poll(&pfd, 1, static_cast<int>(std::min<long>(timeout_.count(), 1 << 30)));
+        int so_error = 0;
+        socklen_t len = sizeof so_error;
+        if (ready <= 0 ||
+            ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 || so_error != 0) {
+            const std::string reason =
+                ready <= 0 ? "timed out" : std::strerror(so_error);
+            ::close(fd_);
+            fd_ = -1;
+            throw util::SystemError("connect(" + host + "): " + reason);
+        }
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+QueryClient::~QueryClient() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+std::string QueryClient::request(std::string_view payload) {
+    if (fd_ < 0) throw util::SystemError("query client is disconnected");
+    try {
+        const auto deadline = Clock::now() + timeout_;
+        std::string frame;
+        append_frame(frame, payload);
+        write_all(fd_, frame, deadline);
+
+        char buf[16 << 10];
+        for (;;) {
+            std::size_t consumed = 0;
+            const auto reply = parse_frame(buffer_, consumed);  // ParseError propagates
+            if (reply) {
+                std::string out(*reply);
+                buffer_.erase(0, consumed);
+                return out;
+            }
+            const auto now = Clock::now();
+            if (now >= deadline) throw util::SystemError("query reply timed out");
+            pollfd pfd{fd_, POLLIN, 0};
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+            const int ready =
+                ::poll(&pfd, 1, static_cast<int>(std::min<long>(left.count(), 200)));
+            if (ready < 0) {
+                if (errno == EINTR) continue;
+                throw util::SystemError("poll(): " + std::string(std::strerror(errno)));
+            }
+            if (ready == 0) continue;
+            const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+            if (n == 0) throw util::SystemError("query connection closed by the service");
+            if (n < 0) {
+                if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+                throw util::SystemError("recv(): " + std::string(std::strerror(errno)));
+            }
+            buffer_.append(buf, static_cast<std::size_t>(n));
+        }
+    } catch (...) {
+        // An abandoned exchange desynchronizes the request/reply pairing:
+        // the reply (or its tail) may still arrive and would be handed to
+        // the *next* request. Tear the connection down so later calls fail
+        // loudly instead of answering with someone else's reply.
+        if (fd_ >= 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+        buffer_.clear();
+        throw;
+    }
+}
+
+std::optional<Identified> QueryClient::identify(std::string_view digest) {
+    const std::string reply = request("IDENTIFY " + std::string(digest));
+    std::istringstream fields(reply);
+    std::string status;
+    fields >> status;
+    if (status == "UNKNOWN") return std::nullopt;
+    if (status != "OK") throw util::Error("identify: " + reply);
+    return parse_identified(fields);
+}
+
+std::vector<std::optional<Identified>> QueryClient::identify_many(
+    const std::vector<std::string>& digests) {
+    if (digests.empty()) return {};
+    if (digests.size() == 1) return {identify(digests.front())};
+    std::string payload = "IDENTIFY";
+    for (const auto& digest : digests) {
+        payload.push_back(' ');
+        payload += digest;
+    }
+    const std::string reply = request(payload);
+    std::istringstream lines(reply);
+    std::string header;
+    std::getline(lines, header);
+    std::istringstream head(header);
+    std::string status;
+    std::size_t count = 0;
+    head >> status >> count;
+    if (status != "OK" || count != digests.size()) {
+        throw util::Error("identify_many: " + reply);
+    }
+    std::vector<std::optional<Identified>> out;
+    out.reserve(count);
+    std::string line;
+    while (std::getline(lines, line) && out.size() < count) {
+        if (line == "unknown") {
+            out.emplace_back(std::nullopt);
+            continue;
+        }
+        std::istringstream fields(line);
+        std::string kind;
+        fields >> kind;
+        if (kind != "match") throw util::Error("identify_many: bad line '" + line + "'");
+        out.emplace_back(parse_identified(fields));
+    }
+    if (out.size() != count) throw util::Error("identify_many: truncated reply");
+    return out;
+}
+
+Identified QueryClient::observe(std::string_view digest, std::string_view hint) {
+    std::string payload = "OBSERVE " + std::string(digest);
+    if (!hint.empty()) {
+        payload.push_back(' ');
+        // Hints are single protocol tokens. Apply the registry's own name
+        // mapping so a label like "Open MPI" arrives as the "Open_MPI" the
+        // registry would store, instead of tripping an ERR on the extra
+        // token.
+        payload += recognize::sanitize_label(hint);
+    }
+    const std::string reply = request(payload);
+    std::istringstream fields(reply);
+    std::string status;
+    fields >> status;
+    if (status != "OK") throw util::Error("observe: " + reply);
+    Identified result;
+    std::string novelty;
+    std::string name;
+    if (!(fields >> result.family >> result.score >> novelty >> name)) {
+        throw util::ParseError("malformed observe reply: " + reply);
+    }
+    result.new_family = novelty == "new";
+    result.name = std::move(name);
+    return result;
+}
+
+std::vector<Identified> QueryClient::top_n(std::string_view digest, std::size_t k) {
+    const std::string reply =
+        request("TOPN " + std::string(digest) + ' ' + std::to_string(k));
+    std::istringstream lines(reply);
+    std::string header;
+    std::getline(lines, header);
+    std::istringstream head(header);
+    std::string status;
+    std::size_t count = 0;
+    head >> status >> count;
+    if (status != "OK") throw util::Error("top_n: " + reply);
+    std::vector<Identified> out;
+    std::string line;
+    while (std::getline(lines, line) && out.size() < count) {
+        std::istringstream fields(line);
+        std::string kind;
+        fields >> kind;
+        if (kind != "match") throw util::Error("top_n: bad line '" + line + "'");
+        out.push_back(parse_identified(fields));
+    }
+    if (out.size() != count) throw util::Error("top_n: truncated reply");
+    return out;
+}
+
+std::string QueryClient::stats_text() {
+    const std::string reply = request("STATS");
+    if (!reply.starts_with("OK")) throw util::Error("stats: " + reply);
+    const auto newline = reply.find('\n');
+    return newline == std::string::npos ? std::string() : reply.substr(newline + 1);
+}
+
+std::string QueryClient::checkpoint() {
+    const std::string reply = request("CHECKPOINT");
+    if (!reply.starts_with("OK ")) throw util::Error("checkpoint: " + reply);
+    return reply.substr(3);
+}
+
+}  // namespace siren::serve

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/recognition_service.hpp"  // Identified
+
+namespace siren::serve {
+
+/// Synchronous client for the recognition query protocol — the library
+/// behind `siren_query --identify HOST:PORT DIGEST` and the serve tests.
+/// One TCP connection, blocking request/response with a per-call deadline.
+class QueryClient {
+public:
+    /// Connects eagerly; throws util::SystemError when the service is
+    /// unreachable.
+    QueryClient(const std::string& host, std::uint16_t port,
+                std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+    ~QueryClient();
+
+    QueryClient(const QueryClient&) = delete;
+    QueryClient& operator=(const QueryClient&) = delete;
+
+    /// One framed round trip; throws util::SystemError on socket
+    /// failure/timeout, util::ParseError on a garbage frame.
+    std::string request(std::string_view payload);
+
+    // Typed wrappers over request(). Digests travel as their canonical
+    // string form; an "ERR ..." response surfaces as util::Error.
+    std::optional<Identified> identify(std::string_view digest);
+    std::vector<std::optional<Identified>> identify_many(
+        const std::vector<std::string>& digests);
+    Identified observe(std::string_view digest, std::string_view hint = {});
+    std::vector<Identified> top_n(std::string_view digest, std::size_t k);
+    /// STATS response as "key value" lines (minus the leading OK).
+    std::string stats_text();
+    /// Force a checkpoint; returns its path.
+    std::string checkpoint();
+
+private:
+    int fd_ = -1;
+    std::chrono::milliseconds timeout_;
+    std::string buffer_;
+};
+
+}  // namespace siren::serve

@@ -1,0 +1,179 @@
+#include "serve/query_protocol.hpp"
+
+#include <charconv>
+#include <vector>
+
+#include "fuzzy/ctph.hpp"
+#include "serve/recognition_service.hpp"
+#include "util/endian.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace siren::serve {
+
+namespace {
+
+void append_match(std::string& out, const Identified& match) {
+    out += "match ";
+    util::append_number(out, match.family);
+    out.push_back(' ');
+    util::append_number(out, match.score);
+    out.push_back(' ');
+    out += match.name;
+    out.push_back('\n');
+}
+
+}  // namespace
+
+void append_frame(std::string& out, std::string_view payload) {
+    util::append_u32le(out, static_cast<std::uint32_t>(payload.size()));
+    out.append(payload);
+}
+
+std::optional<std::string_view> parse_frame(std::string_view buffer, std::size_t& consumed) {
+    consumed = 0;
+    if (buffer.size() < 4) return std::nullopt;
+    const std::uint32_t length = util::get_u32le(buffer.data());
+    if (length > kMaxQueryFrameBytes) {
+        throw util::ParseError("query frame of " + std::to_string(length) +
+                               " bytes exceeds the limit");
+    }
+    if (buffer.size() < 4u + length) return std::nullopt;
+    consumed = 4u + length;
+    return buffer.substr(4, length);
+}
+
+namespace {
+
+/// A response must itself fit the frame limit — the server must never emit
+/// a frame its own protocol (and QueryClient::parse_frame) declares
+/// invalid. A huge-but-legal batch IDENTIFY or TOPN gets a clear error
+/// instead of a torn connection on the client side.
+std::string cap_response(std::string response) {
+    if (response.size() > kMaxQueryFrameBytes) {
+        return "ERR response of " + std::to_string(response.size()) +
+               " bytes exceeds the frame limit; lower the batch size or k";
+    }
+    return response;
+}
+
+}  // namespace
+
+std::string execute_query(RecognitionService& service, std::string_view request) {
+    std::vector<std::string_view> words;
+    util::split_view_into(util::trim(request), ' ', words);
+    std::erase(words, std::string_view{});  // tolerate doubled spaces
+    if (words.empty()) return "ERR empty request";
+    const std::string_view verb = words[0];
+
+    try {
+        if (verb == "IDENTIFY") {
+            if (words.size() < 2) return "ERR IDENTIFY needs at least one digest";
+            if (words.size() == 2) {
+                const auto match = service.identify(fuzzy::FuzzyDigest::parse(words[1]));
+                if (!match) return "UNKNOWN";
+                std::string out = "OK ";
+                util::append_number(out, match->family);
+                out.push_back(' ');
+                util::append_number(out, match->score);
+                out.push_back(' ');
+                out += match->name;
+                return cap_response(std::move(out));
+            }
+            std::vector<fuzzy::FuzzyDigest> digests;
+            digests.reserve(words.size() - 1);
+            for (std::size_t i = 1; i < words.size(); ++i) {
+                digests.push_back(fuzzy::FuzzyDigest::parse(words[i]));
+            }
+            const auto matches = service.identify_many(digests, service.batch_pool());
+            std::string out = "OK ";
+            util::append_number(out, matches.size());
+            out.push_back('\n');
+            for (const auto& match : matches) {
+                if (match) {
+                    append_match(out, *match);
+                } else {
+                    out += "unknown\n";
+                }
+            }
+            return cap_response(std::move(out));
+        }
+
+        if (verb == "OBSERVE") {
+            if (words.size() < 2 || words.size() > 3) {
+                return "ERR usage: OBSERVE digest [hint]";
+            }
+            const std::string hint = words.size() == 3 ? std::string(words[2]) : std::string();
+            const auto result =
+                service.observe_sync(fuzzy::FuzzyDigest::parse(words[1]), hint);
+            std::string out = "OK ";
+            util::append_number(out, result.family);
+            out.push_back(' ');
+            util::append_number(out, result.score);
+            out.push_back(' ');
+            out += result.new_family ? "new" : "known";
+            out.push_back(' ');
+            out += result.name;
+            return cap_response(std::move(out));
+        }
+
+        if (verb == "TOPN") {
+            if (words.size() != 3) return "ERR usage: TOPN digest k";
+            std::size_t k = 0;
+            const auto [ptr, ec] =
+                std::from_chars(words[2].data(), words[2].data() + words[2].size(), k);
+            if (ec != std::errc{} || ptr != words[2].data() + words[2].size() || k == 0) {
+                return "ERR TOPN k must be a positive integer";
+            }
+            const auto matches = service.top_n(fuzzy::FuzzyDigest::parse(words[1]), k);
+            std::string out = "OK ";
+            util::append_number(out, matches.size());
+            out.push_back('\n');
+            for (const auto& match : matches) append_match(out, match);
+            return cap_response(std::move(out));
+        }
+
+        if (verb == "STATS") {
+            if (words.size() != 1) return "ERR STATS takes no arguments";
+            const auto snap = service.snapshot();
+            const auto counters = service.counters();
+            std::string out = "OK\n";
+            const auto line = [&out](std::string_view key, std::uint64_t value) {
+                out += key;
+                out.push_back(' ');
+                util::append_number(out, value);
+                out.push_back('\n');
+            };
+            line("families", snap->registry.family_count());
+            line("sightings", snap->registry.total_sightings());
+            line("snapshot_version", snap->version);
+            line("applied", snap->applied);
+            line("identifies", counters.identifies);
+            line("observes_enqueued", counters.observes_enqueued);
+            line("observes_applied", counters.observes_applied);
+            line("observes_dropped", counters.observes_dropped);
+            line("feed_records", counters.feed_records);
+            line("feed_file_hashes", counters.feed_file_hashes);
+            line("feed_malformed", counters.feed_malformed);
+            line("publishes", counters.publishes);
+            line("checkpoints", counters.checkpoints);
+            line("checkpoint_errors", counters.checkpoint_errors);
+            return out;
+        }
+
+        if (verb == "CHECKPOINT") {
+            if (words.size() != 1) return "ERR CHECKPOINT takes no arguments";
+            std::string error;
+            if (!service.checkpoint_now(&error)) {
+                return "ERR checkpoint failed: " + error;
+            }
+            return "OK " + service.options().checkpoint_path;
+        }
+
+        return "ERR unknown verb '" + std::string(verb) + "'";
+    } catch (const util::Error& e) {
+        return std::string("ERR ") + e.what();
+    }
+}
+
+}  // namespace siren::serve

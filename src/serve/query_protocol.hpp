@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace siren::serve {
+
+class RecognitionService;
+
+/// Length-framed query protocol shared by QueryServer and QueryClient.
+///
+/// Transport framing (identical to net::TcpSender's): a 4-byte
+/// little-endian payload length, then the payload. Payloads are single
+/// text requests/responses:
+///
+///   request  := "IDENTIFY" digest+ | "OBSERVE" digest [hint]
+///             | "TOPN" digest k | "STATS" | "CHECKPOINT"
+///   response := "OK" ... | "UNKNOWN" | "ERR" reason
+///
+/// Full grammar and examples in docs/recognition_service.md.
+inline constexpr std::uint32_t kMaxQueryFrameBytes = 1u << 20;
+
+/// Append one framed payload to `out`.
+void append_frame(std::string& out, std::string_view payload);
+
+/// When `buffer` starts with a complete frame, return its payload view
+/// (aliasing `buffer`) and set `consumed` to the frame's total size;
+/// otherwise nullopt (`consumed` = 0). Throws util::ParseError when the
+/// length field exceeds kMaxQueryFrameBytes — the stream is garbage and
+/// the connection should be dropped.
+std::optional<std::string_view> parse_frame(std::string_view buffer, std::size_t& consumed);
+
+/// Execute one request payload against the service and return the response
+/// payload. Never throws: malformed requests yield "ERR ..." responses.
+std::string execute_query(RecognitionService& service, std::string_view request);
+
+}  // namespace siren::serve

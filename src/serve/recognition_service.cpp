@@ -1,0 +1,486 @@
+#include "serve/recognition_service.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "net/codec.hpp"
+#include "net/message.hpp"
+#include "util/error.hpp"
+
+namespace siren::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Write `body` to `path` atomically: tmp file, fsync, rename, fsync the
+/// directory — a crash leaves either the old checkpoint or the new one,
+/// never a torn mix.
+bool write_file_atomic(const std::string& path, std::string_view body, std::string& error) {
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        error = "open(" + tmp + "): " + std::strerror(errno);
+        return false;
+    }
+    const char* p = body.data();
+    std::size_t remaining = body.size();
+    while (remaining > 0) {
+        const ssize_t n = ::write(fd, p, remaining);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            error = "write(" + tmp + "): " + std::strerror(errno);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        p += n;
+        remaining -= static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        error = "fsync(" + tmp + "): " + std::strerror(errno);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = "rename(" + tmp + "): " + std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    const std::string dir = fs::path(path).parent_path().string();
+    const int dir_fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dir_fd >= 0) {
+        ::fsync(dir_fd);
+        ::close(dir_fd);
+    }
+    return true;
+}
+
+}  // namespace
+
+RecognitionService::RecognitionService(ServeOptions options)
+    : options_(std::move(options)), master_(options_.registry) {
+    load_checkpoint();  // fills master_ and tail_ (with the watermark) when present
+
+    if (!options_.segments_dir.empty() && !tail_) {
+        tail_ = std::make_unique<SegmentTail>(options_.segments_dir);
+    }
+
+    // Catch-up replay: everything past the watermark, before serving. The
+    // canonical segment order makes this deterministic, so a restart
+    // converges to the same family assignments the uninterrupted run had.
+    if (tail_) {
+        while (tail_->poll([this](std::string_view record) { apply_feed_record(record); },
+                           options_.feed_batch_max) > 0) {
+        }
+    }
+    if (options_.batch_pool_threads > 0) {
+        batch_pool_ = std::make_unique<util::ThreadPool>(options_.batch_pool_threads);
+    }
+    publish(0);
+    writer_ = std::thread([this] { writer_loop(); });
+}
+
+RecognitionService::~RecognitionService() { stop(); }
+
+void RecognitionService::load_checkpoint() {
+    if (options_.checkpoint_path.empty()) return;
+    std::ifstream in(options_.checkpoint_path);
+    if (!in) return;  // first boot: no checkpoint yet
+
+    std::string magic;
+    std::uint32_t version = 0;
+    in >> magic >> version;
+    if (magic != kCheckpointMagic || version != kCheckpointVersion) {
+        throw util::ParseError("checkpoint " + options_.checkpoint_path +
+                               ": bad magic/version ('" + magic + "')");
+    }
+
+    SegmentTail::Offsets offsets;
+    std::uint64_t applied = 0;
+    std::string word;
+    bool saw_registry = false;
+    while (in >> word) {
+        if (word == "applied") {
+            if (!(in >> applied)) {
+                throw util::ParseError("checkpoint: bad applied line");
+            }
+        } else if (word == "offset") {
+            std::string name;
+            std::uint64_t off = 0;
+            if (!(in >> name >> off)) {
+                throw util::ParseError("checkpoint: bad offset line");
+            }
+            offsets[name] = off;
+        } else if (word == "registry") {
+            // The registry section is the remainder of the stream; consume
+            // the end of the marker line first.
+            std::string rest;
+            std::getline(in, rest);
+            master_ = recognize::Registry::load(in, options_.registry);
+            saw_registry = true;
+            break;
+        } else {
+            throw util::ParseError("checkpoint: unknown record '" + word + "'");
+        }
+    }
+    if (!saw_registry) {
+        throw util::ParseError("checkpoint " + options_.checkpoint_path +
+                               ": missing registry section");
+    }
+    applied_total_ = applied;
+    if (!options_.segments_dir.empty()) {
+        tail_ = std::make_unique<SegmentTail>(options_.segments_dir, std::move(offsets));
+    }
+}
+
+void RecognitionService::apply_feed_record(std::string_view record) {
+    feed_records_.fetch_add(1, std::memory_order_relaxed);
+    try {
+        net::MessageView view;
+        net::decode_view(record, view);
+        if (view.type != net::MsgType::kFileHash) return;
+        const auto digest = fuzzy::FuzzyDigest::parse(view.content_str());
+        master_.observe(digest);
+        ++applied_total_;
+        feed_file_hashes_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const util::Error&) {
+        // Not a SIREN datagram / unparseable digest: the WAL is shared
+        // with whatever else the ingest daemon journals — count and move on.
+        feed_malformed_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void RecognitionService::publish(std::uint64_t applied_through) {
+    auto snap = std::make_shared<RegistrySnapshot>();
+    snap->registry = master_;
+    snap->version = publishes_.fetch_add(1, std::memory_order_relaxed) + 1;
+    snap->applied = applied_total_;
+    snapshot_.store(std::move(snap), std::memory_order_release);
+    if (applied_through > 0) {
+        applied_seq_.store(applied_through, std::memory_order_release);
+    }
+}
+
+bool RecognitionService::write_checkpoint(std::string& error) {
+    if (options_.checkpoint_path.empty()) {
+        error = "no checkpoint path configured";
+        return false;
+    }
+    std::ostringstream body;
+    body << kCheckpointMagic << ' ' << kCheckpointVersion << '\n';
+    body << "applied " << applied_total_ << '\n';
+    if (tail_) {
+        for (const auto& [name, offset] : tail_->offsets()) {
+            body << "offset " << name << ' ' << offset << '\n';
+        }
+    }
+    body << "registry\n";
+    master_.save(body);
+    return write_file_atomic(options_.checkpoint_path, body.view(), error);
+}
+
+void RecognitionService::writer_loop() {
+    auto last_checkpoint = std::chrono::steady_clock::now();
+    auto last_feed = std::chrono::steady_clock::time_point{};     // poll immediately
+    auto last_publish = std::chrono::steady_clock::time_point{};  // publish immediately
+    bool dirty = false;                   ///< applied but not yet published
+    std::uint64_t unpublished_seq = 0;    ///< highest applied client seq
+
+    std::vector<PendingObserve> batch;
+    std::vector<std::pair<std::shared_ptr<std::promise<Identified>>, Identified>> replies;
+
+    const auto drain_feed = [this](std::size_t budget) {
+        return tail_ ? tail_->poll(
+                           [this](std::string_view record) { apply_feed_record(record); },
+                           budget)
+                     : 0;
+    };
+
+    for (;;) {
+        bool checkpoint_wanted = false;
+        bool stopping = false;
+        batch.clear();
+        replies.clear();
+        {
+            std::unique_lock lock(queue_mutex_);
+            queue_cv_.wait_for(lock, options_.writer_idle, [this] {
+                return stop_.load(std::memory_order_relaxed) || !queue_.empty() ||
+                       checkpoint_requested_;
+            });
+            batch.swap(queue_);
+            checkpoint_wanted = checkpoint_requested_;
+            checkpoint_requested_ = false;
+            stopping = stop_.load(std::memory_order_relaxed);
+        }
+        if (!batch.empty()) applied_cv_.notify_all();  // queue room for blocked writers
+
+        // Feed first, client observes second: segment records are older
+        // (they were ingested before this loop iteration) and recovery
+        // replays them in exactly this order.
+        std::size_t fed = 0;
+        bool polled_feed = false;
+        const auto now = std::chrono::steady_clock::now();
+        if (tail_ && (stopping || now - last_feed >= options_.feed_poll)) {
+            polled_feed = true;
+            // One bounded poll per publish cycle; at shutdown, drain
+            // everything the daemon managed to journal.
+            std::size_t n = 0;
+            do {
+                n = drain_feed(options_.feed_batch_max);
+                fed += n;
+            } while (stopping && n > 0);
+            last_feed = now;
+        }
+
+        for (auto& pending : batch) {
+            const auto obs = master_.observe(pending.digest, pending.name_hint);
+            ++applied_total_;
+            unpublished_seq = pending.seq;
+            if (pending.reply) {
+                Identified result;
+                result.family = obs.family;
+                result.score = obs.best_score;
+                result.new_family = obs.new_family;
+                result.name = master_.family(obs.family).name;
+                replies.emplace_back(std::move(pending.reply), std::move(result));
+            }
+        }
+        observes_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
+
+        // Publish policy: every modifying cycle by default; under a
+        // publish_interval the copy is amortized across batches. A sync
+        // observe or shutdown always publishes — their contract is
+        // read-your-writes on return.
+        dirty = dirty || !batch.empty() || fed > 0;
+        if (dirty && (!replies.empty() || stopping ||
+                      std::chrono::steady_clock::now() - last_publish >=
+                          options_.publish_interval)) {
+            publish(unpublished_seq);
+            last_publish = std::chrono::steady_clock::now();
+            dirty = false;
+        }
+
+        {
+            std::lock_guard lock(queue_mutex_);
+            // flush() counts *completed feed polls*, not writer iterations
+            // — an idle cycle that skipped the feed (poll cadence not due)
+            // must not satisfy a caller waiting for journaled records.
+            if (polled_feed || !tail_) ++feed_polls_done_;
+            snapshot_dirty_ = dirty;
+        }
+        applied_cv_.notify_all();
+        // Resolve observe_sync waiters only after the publish: the caller
+        // must be able to identify() what it just observed.
+        for (auto& [promise, result] : replies) {
+            promise->set_value(std::move(result));
+        }
+
+        const bool interval_due =
+            options_.checkpoint_interval.count() > 0 &&
+            std::chrono::steady_clock::now() - last_checkpoint >= options_.checkpoint_interval &&
+            !options_.checkpoint_path.empty();
+        if (checkpoint_wanted || (interval_due && !stopping)) {
+            std::string error;
+            const bool ok = write_checkpoint(error);
+            last_checkpoint = std::chrono::steady_clock::now();
+            if (ok) {
+                checkpoints_.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                checkpoint_errors_.fetch_add(1, std::memory_order_relaxed);
+            }
+            {
+                std::lock_guard lock(queue_mutex_);
+                ++checkpoints_done_;
+                checkpoint_ok_ = ok;
+                checkpoint_error_ = error;
+            }
+            applied_cv_.notify_all();
+        }
+
+        if (stopping) break;
+    }
+
+    // Final checkpoint: the clean-shutdown state, watermark included.
+    if (!options_.checkpoint_path.empty()) {
+        std::string error;
+        if (write_checkpoint(error)) {
+            checkpoints_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            checkpoint_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    {
+        std::lock_guard lock(queue_mutex_);
+        writer_done_ = true;
+    }
+    applied_cv_.notify_all();
+}
+
+std::optional<Identified> RecognitionService::identify(const fuzzy::FuzzyDigest& digest) const {
+    identifies_.fetch_add(1, std::memory_order_relaxed);
+    const auto snap = snapshot();
+    const auto match = snap->registry.best_match(digest);
+    if (!match) return std::nullopt;
+    Identified result;
+    result.family = match->family;
+    result.score = match->best_score;
+    result.name = snap->registry.family(match->family).name;
+    return result;
+}
+
+std::vector<Identified> RecognitionService::top_n(const fuzzy::FuzzyDigest& digest,
+                                                  std::size_t k) const {
+    identifies_.fetch_add(1, std::memory_order_relaxed);
+    const auto snap = snapshot();
+    std::vector<Identified> out;
+    for (const auto& obs : snap->registry.top_families(digest, k)) {
+        Identified result;
+        result.family = obs.family;
+        result.score = obs.best_score;
+        result.name = snap->registry.family(obs.family).name;
+        out.push_back(std::move(result));
+    }
+    return out;
+}
+
+std::vector<std::optional<Identified>> RecognitionService::identify_many(
+    const std::vector<fuzzy::FuzzyDigest>& digests, util::ThreadPool* pool) const {
+    identifies_.fetch_add(digests.size(), std::memory_order_relaxed);
+    const auto snap = snapshot();
+    std::vector<std::optional<Identified>> out(digests.size());
+    const auto resolve = [&](std::size_t i) {
+        const auto match = snap->registry.best_match(digests[i]);
+        if (!match) return;
+        Identified result;
+        result.family = match->family;
+        result.score = match->best_score;
+        result.name = snap->registry.family(match->family).name;
+        out[i] = std::move(result);
+    };
+    if (pool != nullptr && digests.size() > 1) {
+        pool->parallel_for(digests.size(), resolve);
+    } else {
+        for (std::size_t i = 0; i < digests.size(); ++i) resolve(i);
+    }
+    return out;
+}
+
+std::optional<std::uint64_t> RecognitionService::observe(fuzzy::FuzzyDigest digest,
+                                                         std::string name_hint) {
+    std::uint64_t seq = 0;
+    {
+        std::lock_guard lock(queue_mutex_);
+        if (writer_done_ || stop_.load(std::memory_order_relaxed) ||
+            queue_.size() >= options_.queue_capacity) {
+            observes_dropped_.fetch_add(1, std::memory_order_relaxed);
+            return std::nullopt;
+        }
+        seq = next_seq_++;
+        queue_.push_back({std::move(digest), std::move(name_hint), seq, nullptr});
+    }
+    observes_enqueued_.fetch_add(1, std::memory_order_relaxed);
+    queue_cv_.notify_one();
+    return seq;
+}
+
+Identified RecognitionService::observe_sync(fuzzy::FuzzyDigest digest, std::string name_hint) {
+    auto reply = std::make_shared<std::promise<Identified>>();
+    auto future = reply->get_future();
+    {
+        std::unique_lock lock(queue_mutex_);
+        applied_cv_.wait(lock, [this] {
+            return writer_done_ || stop_.load(std::memory_order_relaxed) ||
+                   queue_.size() < options_.queue_capacity;
+        });
+        if (writer_done_ || stop_.load(std::memory_order_relaxed)) {
+            throw util::Error("recognition service is stopped");
+        }
+        queue_.push_back({std::move(digest), std::move(name_hint), next_seq_++, reply});
+    }
+    observes_enqueued_.fetch_add(1, std::memory_order_relaxed);
+    queue_cv_.notify_one();
+    return future.get();
+}
+
+void RecognitionService::flush() {
+    std::uint64_t seq_target = 0;
+    std::uint64_t polls_target = 0;
+    {
+        std::lock_guard lock(queue_mutex_);
+        seq_target = next_seq_ - 1;
+        // Two completed poll cycles: one may already have been in flight
+        // (and missed records written just before this call), the second
+        // must have started after it — and therefore seen them.
+        polls_target = feed_polls_done_ + (tail_ ? 2 : 1);
+    }
+    std::unique_lock lock(queue_mutex_);
+    applied_cv_.wait(lock, [&] {
+        return writer_done_ ||
+               (applied_seq_.load(std::memory_order_acquire) >= seq_target &&
+                feed_polls_done_ >= polls_target && !snapshot_dirty_);
+    });
+}
+
+bool RecognitionService::checkpoint_now(std::string* error) {
+    std::uint64_t generation = 0;
+    {
+        std::lock_guard lock(queue_mutex_);
+        if (writer_done_) {
+            if (error) *error = "recognition service is stopped";
+            return false;
+        }
+        generation = checkpoints_done_;
+        checkpoint_requested_ = true;
+    }
+    queue_cv_.notify_one();
+    std::unique_lock lock(queue_mutex_);
+    applied_cv_.wait(lock,
+                     [&] { return writer_done_ || checkpoints_done_ > generation; });
+    if (checkpoints_done_ <= generation) {
+        if (error) *error = "recognition service stopped before the checkpoint";
+        return false;
+    }
+    if (error) *error = checkpoint_error_;
+    return checkpoint_ok_;
+}
+
+ServeCounters RecognitionService::counters() const {
+    ServeCounters c;
+    c.identifies = identifies_.load(std::memory_order_relaxed);
+    c.observes_enqueued = observes_enqueued_.load(std::memory_order_relaxed);
+    c.observes_dropped = observes_dropped_.load(std::memory_order_relaxed);
+    c.observes_applied = observes_applied_.load(std::memory_order_relaxed);
+    c.feed_records = feed_records_.load(std::memory_order_relaxed);
+    c.feed_file_hashes = feed_file_hashes_.load(std::memory_order_relaxed);
+    c.feed_malformed = feed_malformed_.load(std::memory_order_relaxed);
+    c.publishes = publishes_.load(std::memory_order_relaxed);
+    c.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+    c.checkpoint_errors = checkpoint_errors_.load(std::memory_order_relaxed);
+    return c;
+}
+
+void RecognitionService::stop() {
+    if (stopped_.exchange(true)) {
+        if (writer_.joinable()) writer_.join();
+        return;
+    }
+    {
+        std::lock_guard lock(queue_mutex_);
+        stop_.store(true, std::memory_order_relaxed);
+    }
+    queue_cv_.notify_all();
+    applied_cv_.notify_all();
+    if (writer_.joinable()) writer_.join();
+}
+
+}  // namespace siren::serve

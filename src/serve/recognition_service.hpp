@@ -1,0 +1,242 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "fuzzy/ctph.hpp"
+#include "recognize/registry.hpp"
+#include "serve/segment_tail.hpp"
+#include "util/thread_pool.hpp"
+
+namespace siren::serve {
+
+/// Tuning for one RecognitionService.
+struct ServeOptions {
+    recognize::RegistryOptions registry;
+
+    /// Segment directory of an ingest daemon to follow (FILE_H digests
+    /// flow into the live registry); empty = client observes only.
+    std::string segments_dir;
+    /// How often the writer thread polls the segment directory for new
+    /// records when otherwise idle.
+    std::chrono::milliseconds feed_poll{20};
+    /// Records applied per writer iteration before a snapshot is published;
+    /// bounds both publish latency during catch-up and snapshot staleness.
+    std::size_t feed_batch_max = 4096;
+
+    /// Checkpoint file; empty = no persistence. Written atomically
+    /// (tmp + rename) by the writer thread.
+    std::string checkpoint_path;
+    /// Periodic checkpoint cadence; 0 = only explicit checkpoint_now()
+    /// and the final checkpoint at stop().
+    std::chrono::milliseconds checkpoint_interval{30000};
+
+    /// Longest the writer sleeps waiting for queued observes before it
+    /// polls the feed again.
+    std::chrono::milliseconds writer_idle{5};
+    /// Minimum spacing between snapshot publishes. Publishing copies the
+    /// whole registry, so under a heavy write stream this knob amortizes
+    /// the copy across more applied batches (bounded staleness) instead of
+    /// copying per batch. 0 = publish after every modifying cycle.
+    /// observe_sync() and shutdown publish immediately regardless.
+    std::chrono::milliseconds publish_interval{0};
+    /// Bound on queued (not yet applied) client observes; beyond it,
+    /// observe() drops (counted) and observe_sync() blocks.
+    std::size_t queue_capacity = 1 << 16;
+
+    /// Worker threads for batch identify fan-out (multi-digest IDENTIFY
+    /// requests route through ThreadPool::parallel_for). 0 = resolve
+    /// batches serially on the calling thread.
+    std::size_t batch_pool_threads = 0;
+};
+
+/// The immutable unit readers hold: one registry state, frozen. Queries
+/// resolve family names against the *same* snapshot they scored in, so a
+/// concurrent rename/merge can never tear a result.
+struct RegistrySnapshot {
+    recognize::Registry registry;
+    std::uint64_t version = 0;  ///< publish count (0 = the empty boot snapshot)
+    std::uint64_t applied = 0;  ///< observes applied in total (feed + clients)
+};
+
+/// One resolved identification.
+struct Identified {
+    recognize::FamilyId family = 0;
+    int score = 0;
+    bool new_family = false;  ///< observe paths only
+    std::string name;
+};
+
+/// Counter snapshot (see RecognitionService::stats).
+struct ServeCounters {
+    std::uint64_t identifies = 0;         ///< identify/top_n/identify_many probes
+    std::uint64_t observes_enqueued = 0;
+    std::uint64_t observes_dropped = 0;   ///< queue full (async observe only)
+    std::uint64_t observes_applied = 0;   ///< client observes applied by the writer
+    std::uint64_t feed_records = 0;       ///< segment records delivered by the tail
+    std::uint64_t feed_file_hashes = 0;   ///< FILE_H records applied as observes
+    std::uint64_t feed_malformed = 0;     ///< records that failed decode/parse
+    std::uint64_t publishes = 0;          ///< snapshots published
+    std::uint64_t checkpoints = 0;
+    std::uint64_t checkpoint_errors = 0;
+};
+
+/// The online recognition service — the third leg of the collect -> ingest
+/// -> recognize pipeline. It turns recognize::Registry (a single-threaded
+/// library) into a long-running, concurrently queryable daemon around one
+/// concurrency scheme:
+///
+///   * Readers (any thread) acquire the current RegistrySnapshot through an
+///     atomic shared_ptr load and run entirely on that immutable state —
+///     no lock is taken on the query path, and query latency does not
+///     depend on write volume.
+///   * One writer thread owns the only mutable Registry. It drains queued
+///     client observes and tails the ingest daemon's segments, applies a
+///     batch, then publishes a fresh immutable copy via atomic pointer
+///     swap. The copy cost is amortized over the whole batch; readers
+///     holding the previous snapshot keep it alive until they drop it.
+///
+/// Persistence: the writer periodically checkpoints the registry together
+/// with the segment-tail watermark (atomic tmp+rename). Crash recovery =
+/// load the last checkpoint, then resume tailing from the watermark — the
+/// un-checkpointed suffix of every segment replays in canonical order, so
+/// a restarted service converges to the same family assignments.
+/// docs/recognition_service.md covers the scheme, formats and ordering.
+class RecognitionService {
+public:
+    /// Loads the checkpoint when one exists (throws util::ParseError if it
+    /// is corrupt — a daemon must not silently start empty over real
+    /// state), replays segments past the watermark, publishes the boot
+    /// snapshot, then starts the writer thread.
+    explicit RecognitionService(ServeOptions options);
+    ~RecognitionService();
+
+    RecognitionService(const RecognitionService&) = delete;
+    RecognitionService& operator=(const RecognitionService&) = delete;
+
+    // ---- read path (any thread, lock-free) -------------------------------
+
+    /// The current immutable snapshot; never null.
+    std::shared_ptr<const RegistrySnapshot> snapshot() const {
+        return snapshot_.load(std::memory_order_acquire);
+    }
+
+    /// Best family for a probe, or nullopt below the match threshold.
+    std::optional<Identified> identify(const fuzzy::FuzzyDigest& digest) const;
+
+    /// Top `k` families by best-exemplar score (deduplicated by family,
+    /// best first).
+    std::vector<Identified> top_n(const fuzzy::FuzzyDigest& digest, std::size_t k) const;
+
+    /// Batch identify against one snapshot; with a pool the probes fan out
+    /// through ThreadPool::parallel_for. Results are positional.
+    std::vector<std::optional<Identified>> identify_many(
+        const std::vector<fuzzy::FuzzyDigest>& digests, util::ThreadPool* pool = nullptr) const;
+
+    // ---- write path ------------------------------------------------------
+
+    /// Queue a sighting for the writer thread; returns its sequence number,
+    /// or nullopt when the queue is full (the drop is counted). Visibility:
+    /// the observation is in some snapshot once applied_seq() passes the
+    /// returned sequence.
+    std::optional<std::uint64_t> observe(fuzzy::FuzzyDigest digest, std::string name_hint = {});
+
+    /// Queue a sighting and wait for it to be applied and published;
+    /// returns the resolved observation (blocks for queue room when full).
+    Identified observe_sync(fuzzy::FuzzyDigest digest, std::string name_hint = {});
+
+    /// Highest client-observe sequence applied and published.
+    std::uint64_t applied_seq() const { return applied_seq_.load(std::memory_order_acquire); }
+
+    /// Block until every observe enqueued so far is applied and published,
+    /// and one feed poll has completed since the call (test barrier).
+    void flush();
+
+    /// Force a checkpoint now (blocks until the writer wrote it). False
+    /// when no checkpoint path is configured or the write failed;
+    /// `error` (optional) receives the reason.
+    bool checkpoint_now(std::string* error = nullptr);
+
+    ServeCounters counters() const;
+    const ServeOptions& options() const { return options_; }
+
+    /// The service-owned batch fan-out pool (null unless
+    /// options.batch_pool_threads > 0).
+    util::ThreadPool* batch_pool() const { return batch_pool_.get(); }
+
+    /// Stop the writer (applies the remaining queue, publishes, writes the
+    /// final checkpoint); idempotent, called by the destructor. Reads stay
+    /// valid after stop() — they serve the last published snapshot.
+    void stop();
+
+private:
+    struct PendingObserve {
+        fuzzy::FuzzyDigest digest;
+        std::string name_hint;
+        std::uint64_t seq = 0;
+        std::shared_ptr<std::promise<Identified>> reply;  ///< observe_sync only
+    };
+
+    void writer_loop();
+    /// Apply one raw segment record (wire datagram) to the master registry.
+    void apply_feed_record(std::string_view record);
+    /// Publish an immutable copy of the master registry.
+    void publish(std::uint64_t applied_through);
+    /// Write the checkpoint file; returns false and fills `error` on failure.
+    bool write_checkpoint(std::string& error);
+    void load_checkpoint();
+
+    ServeOptions options_;
+    recognize::Registry master_;  ///< writer thread only (after construction)
+    /// Total observes applied to master_ (feed + clients); writer thread
+    /// only, mirrored into each snapshot and the checkpoint.
+    std::uint64_t applied_total_ = 0;
+    std::unique_ptr<SegmentTail> tail_;
+    std::unique_ptr<util::ThreadPool> batch_pool_;
+    std::atomic<std::shared_ptr<const RegistrySnapshot>> snapshot_;
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;    ///< wakes the writer
+    std::condition_variable applied_cv_;  ///< wakes flush()/observe_sync waiters
+    std::vector<PendingObserve> queue_;
+    std::uint64_t next_seq_ = 1;
+    std::uint64_t feed_polls_done_ = 0;
+    bool checkpoint_requested_ = false;
+    bool checkpoint_ok_ = false;
+    std::string checkpoint_error_;
+    std::uint64_t checkpoints_done_ = 0;
+    bool writer_done_ = false;      ///< writer thread exited (final checkpoint written)
+    bool snapshot_dirty_ = false;   ///< applied changes awaiting a publish
+
+    std::atomic<std::uint64_t> applied_seq_{0};
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> stopped_{false};
+    std::thread writer_;
+
+    mutable std::atomic<std::uint64_t> identifies_{0};
+    std::atomic<std::uint64_t> observes_enqueued_{0};
+    std::atomic<std::uint64_t> observes_dropped_{0};
+    std::atomic<std::uint64_t> observes_applied_{0};
+    std::atomic<std::uint64_t> feed_records_{0};
+    std::atomic<std::uint64_t> feed_file_hashes_{0};
+    std::atomic<std::uint64_t> feed_malformed_{0};
+    std::atomic<std::uint64_t> publishes_{0};
+    std::atomic<std::uint64_t> checkpoints_{0};
+    std::atomic<std::uint64_t> checkpoint_errors_{0};
+};
+
+/// Checkpoint file magic (first token of the first line).
+inline constexpr std::string_view kCheckpointMagic = "SIRENCKPT";
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+}  // namespace siren::serve

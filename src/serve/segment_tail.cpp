@@ -1,0 +1,123 @@
+#include "serve/segment_tail.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <vector>
+
+#include "hashing/crc32c.hpp"
+#include "util/endian.hpp"
+
+namespace siren::serve {
+
+namespace fs = std::filesystem;
+
+using util::get_u32le;
+
+SegmentTail::SegmentTail(std::string directory, Offsets start)
+    : directory_(std::move(directory)), offsets_(std::move(start)) {
+    stats_.files_seen = offsets_.size();
+}
+
+std::size_t SegmentTail::consume_file(const std::string& path, const std::string& name,
+                                      const storage::RecordFn& fn, std::size_t budget) {
+    std::uint64_t& offset = offsets_[name];
+    if (offset == kBadFile) return 0;
+
+    std::error_code ec;
+    const std::uint64_t size = fs::file_size(path, ec);
+    if (ec) return 0;  // vanished between listing and stat; next poll drops it
+
+    // New file: wait for the full 16-byte header, then validate it once.
+    if (offset == 0) {
+        if (size < storage::kSegmentHeaderBytes) return 0;
+        std::ifstream in(path, std::ios::binary);
+        char header[storage::kSegmentHeaderBytes];
+        if (!in || !in.read(header, storage::kSegmentHeaderBytes) ||
+            std::memcmp(header, storage::kSegmentMagic.data(), storage::kSegmentMagic.size()) !=
+                0 ||
+            get_u32le(header + 8) != storage::kSegmentVersion) {
+            offset = kBadFile;
+            ++stats_.bad_segments;
+            return 0;
+        }
+        offset = storage::kSegmentHeaderBytes;
+    }
+    if (size <= offset) return 0;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return 0;
+    in.seekg(static_cast<std::streamoff>(offset));
+
+    std::size_t delivered = 0;
+    char rec[storage::kRecordHeaderBytes];
+    while (budget == 0 || delivered < budget) {
+        // Only bytes visible in the size snapshot are consumed: the writer
+        // may keep appending while we read, but a frame is final once its
+        // last byte exists (segment writers are strictly sequential).
+        if (size - offset < storage::kRecordHeaderBytes) break;
+        if (!in.read(rec, storage::kRecordHeaderBytes)) break;
+        const std::uint32_t length = get_u32le(rec);
+        const std::uint32_t crc = get_u32le(rec + 4);
+        if (length > storage::kMaxRecordBytes) {
+            // Implausible length mid-stream: the framing is corrupt and
+            // nothing after this point can be trusted.
+            offset = kBadFile;
+            ++stats_.bad_segments;
+            return delivered;
+        }
+        if (size - offset - storage::kRecordHeaderBytes < length) {
+            break;  // frame still in flight (or a torn tail): retry next poll
+        }
+        payload_.resize(length);
+        if (length > 0 && !in.read(payload_.data(), length)) break;
+        offset += storage::kRecordHeaderBytes + length;
+        if (hash::crc32c(payload_) != crc) {
+            ++stats_.crc_failures;
+            continue;
+        }
+        ++stats_.records;
+        stats_.bytes += length;
+        ++delivered;
+        if (fn) fn(payload_);
+    }
+    return delivered;
+}
+
+std::size_t SegmentTail::poll(const storage::RecordFn& fn, std::size_t max_records) {
+    ++stats_.polls;
+    std::error_code list_error;
+    const std::vector<std::string> paths = storage::list_segments(directory_, &list_error);
+
+    std::set<std::string> present;
+    std::size_t delivered = 0;
+    for (const auto& path : paths) {
+        const std::string name = fs::path(path).filename().string();
+        present.insert(name);
+        if (offsets_.emplace(name, 0).second) ++stats_.files_seen;
+        if (max_records != 0 && delivered >= max_records) continue;
+        delivered += consume_file(path, name, fn,
+                                  max_records == 0 ? 0 : max_records - delivered);
+    }
+
+    // Files that vanished were compacted away (their records were already
+    // consolidated downstream); dropping their offsets keeps the
+    // checkpoint watermark from growing without bound. Only on a clean
+    // listing, though: a transiently unreadable directory must not erase
+    // watermarks whose files still exist — re-reading them from byte 0
+    // would re-observe every record.
+    if (!list_error) {
+        for (auto it = offsets_.begin(); it != offsets_.end();) {
+            if (!present.contains(it->first)) {
+                it = offsets_.erase(it);
+                ++stats_.files_dropped;
+            } else {
+                ++it;
+            }
+        }
+    }
+    return delivered;
+}
+
+}  // namespace siren::serve

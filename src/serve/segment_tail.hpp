@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "storage/segment.hpp"
+
+namespace siren::serve {
+
+/// Accounting for one SegmentTail across its lifetime.
+struct TailStats {
+    std::uint64_t records = 0;       ///< complete, checksummed records delivered
+    std::uint64_t bytes = 0;         ///< payload bytes delivered
+    std::uint64_t crc_failures = 0;  ///< complete records dropped on checksum mismatch
+    std::uint64_t bad_segments = 0;  ///< files skipped forever: bad magic/version/framing
+    std::uint64_t files_seen = 0;    ///< distinct segment files discovered
+    std::uint64_t files_dropped = 0; ///< tracked files that vanished (compaction)
+    std::uint64_t polls = 0;
+};
+
+/// Incremental follower of a segment directory — the live counterpart of
+/// storage::replay_directory. Where replay reads everything once, the tail
+/// keeps a per-file byte offset and each poll() delivers only records
+/// appended past it, in the canonical (stream prefix, numeric sequence)
+/// replay order. This is how the recognition service drinks from the ingest
+/// daemon's WAL without restarts: the daemon appends, the tail follows.
+///
+/// A record is delivered only when its full frame (8-byte header + payload,
+/// see docs/storage_format.md) is on disk; a partial frame at a file's tail
+/// is indistinguishable from an append in flight, so the tail simply leaves
+/// it for the next poll — if the writer crashed it stays a torn tail and is
+/// never delivered, exactly like replay. Complete records failing their
+/// CRC are skipped (bit rot; framing is intact). A file whose header or
+/// framing is corrupt is marked bad and never consumed again.
+///
+/// The offsets map *is* the durable watermark: checkpoint it together with
+/// the state built from the delivered records, and a restarted consumer
+/// resumes from exactly the first unapplied record (see
+/// RecognitionService's checkpoint format in docs/recognition_service.md).
+///
+/// Not thread-safe: one tail, one polling thread.
+class SegmentTail {
+public:
+    /// basename -> offset of the first unconsumed byte. std::map keeps
+    /// checkpoint serialization deterministic.
+    using Offsets = std::map<std::string, std::uint64_t>;
+
+    /// Offset value marking a file as bad (never consumed again); kept in
+    /// the map so the verdict survives a checkpoint/restart cycle.
+    static constexpr std::uint64_t kBadFile = ~0ull;
+
+    explicit SegmentTail(std::string directory, Offsets start = {});
+
+    /// Scan the directory and deliver up to `max_records` (0 = unlimited)
+    /// newly completed records to `fn`; returns how many were delivered.
+    /// A missing directory is an empty poll, not an error.
+    std::size_t poll(const storage::RecordFn& fn, std::size_t max_records = 0);
+
+    const Offsets& offsets() const { return offsets_; }
+    const TailStats& stats() const { return stats_; }
+    const std::string& directory() const { return directory_; }
+
+private:
+    /// Consume completed records from one file starting at its stored
+    /// offset; returns records delivered.
+    std::size_t consume_file(const std::string& path, const std::string& name,
+                             const storage::RecordFn& fn, std::size_t budget);
+
+    std::string directory_;
+    Offsets offsets_;
+    TailStats stats_;
+    std::string payload_;  ///< reused record buffer
+};
+
+}  // namespace siren::serve

@@ -1,0 +1,15 @@
+#pragma once
+
+/// Umbrella header for the serving layer — the third leg of the pipeline
+/// (collect -> ingest -> recognize, served live):
+///  - segment_tail.hpp         incremental follower of ingest segments
+///  - recognition_service.hpp  snapshot-swap concurrent registry service
+///  - query_protocol.hpp       length-framed query protocol
+///  - query_server.hpp         epoll TCP front end
+///  - query_client.hpp         synchronous client library
+
+#include "serve/query_client.hpp"         // IWYU pragma: export
+#include "serve/query_protocol.hpp"       // IWYU pragma: export
+#include "serve/query_server.hpp"         // IWYU pragma: export
+#include "serve/recognition_service.hpp"  // IWYU pragma: export
+#include "serve/segment_tail.hpp"         // IWYU pragma: export

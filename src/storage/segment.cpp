@@ -11,32 +11,17 @@
 #include <vector>
 
 #include "hashing/crc32c.hpp"
+#include "util/endian.hpp"
 #include "util/error.hpp"
 
 namespace siren::storage {
 
 namespace fs = std::filesystem;
 
+using util::get_u32le;
+using util::put_u32le;
+
 namespace {
-
-void put_u32le(char* out, std::uint32_t v) {
-    out[0] = static_cast<char>(v & 0xFF);
-    out[1] = static_cast<char>((v >> 8) & 0xFF);
-    out[2] = static_cast<char>((v >> 16) & 0xFF);
-    out[3] = static_cast<char>((v >> 24) & 0xFF);
-}
-
-void put_u32le(std::string& out, std::uint32_t v) {
-    char bytes[4];
-    put_u32le(bytes, v);
-    out.append(bytes, 4);
-}
-
-std::uint32_t get_u32le(const char* p) {
-    const auto* b = reinterpret_cast<const unsigned char*>(p);
-    return static_cast<std::uint32_t>(b[0]) | static_cast<std::uint32_t>(b[1]) << 8 |
-           static_cast<std::uint32_t>(b[2]) << 16 | static_cast<std::uint32_t>(b[3]) << 24;
-}
 
 /// Split `<head><digits>.seg` so segments can be matched to a stream and
 /// ordered by numeric sequence: plain lexicographic order breaks once a
@@ -146,8 +131,8 @@ bool SegmentWriter::open_next() noexcept {
     // Make the new directory entry itself durable before data lands in it.
     if (options_.fsync_enabled && dir_fd_ >= 0) ::fsync(dir_fd_);
     buffer_.append(kSegmentMagic);
-    put_u32le(buffer_, kSegmentVersion);
-    put_u32le(buffer_, 0);  // reserved
+    util::append_u32le(buffer_, kSegmentVersion);
+    util::append_u32le(buffer_, 0);  // reserved
     segment_bytes_ = kSegmentHeaderBytes;
     pending_bytes_.fetch_add(kSegmentHeaderBytes, std::memory_order_relaxed);
     return true;
@@ -449,19 +434,25 @@ bool segment_order(const std::string& a, const std::string& b) {
 
 }  // namespace
 
-ReplayStats replay_directory(const std::string& directory, const RecordFn& fn) {
-    ReplayStats stats;
+std::vector<std::string> list_segments(const std::string& directory, std::error_code* error) {
     std::error_code ec;
     std::vector<std::string> paths;
     for (fs::directory_iterator it(directory, ec), end; !ec && it != end; it.increment(ec)) {
-        if (!it->is_regular_file(ec)) continue;
+        std::error_code file_ec;
+        if (!it->is_regular_file(file_ec)) continue;
         const std::string name = it->path().filename().string();
         if (name.size() > kSegmentSuffix.size() && name.ends_with(kSegmentSuffix)) {
             paths.push_back(it->path().string());
         }
     }
+    if (error != nullptr) *error = ec;
     std::sort(paths.begin(), paths.end(), segment_order);
-    for (const auto& path : paths) {
+    return paths;
+}
+
+ReplayStats replay_directory(const std::string& directory, const RecordFn& fn) {
+    ReplayStats stats;
+    for (const auto& path : list_segments(directory)) {
         stats.merge(replay_segment(path, fn));
     }
     return stats;

@@ -195,6 +195,16 @@ using RecordFn = std::function<void(std::string_view record)>;
 std::vector<std::uint64_t> scan_resume_sequences(const std::string& directory,
                                                  const std::vector<std::string>& prefixes);
 
+/// Every `*.seg` file under `directory`, ordered by (stream prefix, numeric
+/// sequence) — the canonical replay order, shared by replay_directory and
+/// the serving layer's segment tailer. A missing directory yields an empty
+/// list. When `error` is non-null it receives the directory iteration's
+/// error code (cleared on success) — callers tracking per-file state (the
+/// segment tail) must not mistake a transiently unreadable directory for
+/// "every file vanished".
+std::vector<std::string> list_segments(const std::string& directory,
+                                       std::error_code* error = nullptr);
+
 /// Replay every complete record of one segment file, in append order.
 /// Never throws: unreadable files and bad headers count as bad_segments,
 /// torn tails and checksum mismatches are counted and skipped.

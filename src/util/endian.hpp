@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace siren::util {
+
+/// Little-endian u32 framing helpers, shared by the segment record format
+/// (storage/segment.cpp, serve/segment_tail.cpp) and the query protocol
+/// (serve/query_protocol.cpp) — one definition, not one per scan loop.
+
+inline void put_u32le(char* out, std::uint32_t v) {
+    out[0] = static_cast<char>(v & 0xFF);
+    out[1] = static_cast<char>((v >> 8) & 0xFF);
+    out[2] = static_cast<char>((v >> 16) & 0xFF);
+    out[3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+inline void append_u32le(std::string& out, std::uint32_t v) {
+    char bytes[4];
+    put_u32le(bytes, v);
+    out.append(bytes, 4);
+}
+
+inline std::uint32_t get_u32le(const char* p) {
+    const auto* b = reinterpret_cast<const unsigned char*>(p);
+    return static_cast<std::uint32_t>(b[0]) | static_cast<std::uint32_t>(b[1]) << 8 |
+           static_cast<std::uint32_t>(b[2]) << 16 | static_cast<std::uint32_t>(b[3]) << 24;
+}
+
+}  // namespace siren::util

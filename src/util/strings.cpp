@@ -160,6 +160,17 @@ std::string_view dirname(std::string_view path) {
     return slash == std::string_view::npos ? std::string_view{} : path.substr(0, slash + 1);
 }
 
+bool parse_decimal(std::string_view s, long& out) {
+    if (s.empty() || s.size() > 18) return false;  // 18 digits always fit a long
+    long value = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9') return false;
+        value = value * 10 + (c - '0');
+    }
+    out = value;
+    return true;
+}
+
 std::string with_commas(std::uint64_t n) {
     std::string digits = std::to_string(n);
     std::string out;

@@ -71,6 +71,12 @@ void append_number(std::string& out, Int value) {
     out.append(buf, ptr);
 }
 
+/// Strict non-negative decimal parse for CLI arguments: the whole token
+/// must be digits (no sign, no trailing junk, no overflow). "80x" or ""
+/// must be a loud usage error, not silently become some other port/shard
+/// count — shared by the operator daemons' argument parsing.
+bool parse_decimal(std::string_view s, long& out);
+
 /// Format `n` with thousands separators: 2317859 -> "2,317,859".
 std::string with_commas(std::uint64_t n);
 

@@ -399,6 +399,16 @@ TEST(Registry, RenameAndSanitization) {
     const auto obs = reg.observe(sf::fuzzy_hash(rng.bytes(2048)));
     reg.rename(obs.family, "Weather Model v2");
     EXPECT_EQ(reg.family(obs.family).name, "Weather_Model_v2");
+
+    // Renaming to an empty string must not leave an empty name: the save
+    // format needs a nonempty token per family line, so the anonymous
+    // default comes back instead.
+    reg.rename(obs.family, "");
+    EXPECT_EQ(reg.family(obs.family).name, "family-0");
+    std::ostringstream out;
+    reg.save(out);
+    std::istringstream in(out.str());
+    EXPECT_NO_THROW(sr::Registry::load(in)) << "empty rename corrupted the save format";
 }
 
 TEST(Registry, SaveLoadRoundTrip) {
@@ -436,7 +446,81 @@ TEST(Registry, LoadRejectsMalformedInput) {
     EXPECT_THROW(load_from("family 5 0 gap-in-ids\n"), siren::util::ParseError);
     EXPECT_THROW(load_from("exemplar 0 3:abc:def\n"), siren::util::ParseError)
         << "exemplar referencing a family that was never declared";
+    EXPECT_THROW(load_from("family 0 1 name trailing-junk\n"), siren::util::ParseError)
+        << "a family line with extra tokens is corrupt, not 'name plus noise'";
+    EXPECT_THROW(load_from("family 0 1 ok\nexemplar 0 3:abc:def junk\n"),
+                 siren::util::ParseError);
     EXPECT_NO_THROW(load_from(""));
+}
+
+TEST(Registry, HostileNamesCannotCorruptSaveFormat) {
+    // A name hint carrying newlines/tabs is a format injection attempt: the
+    // embedded "family"/"exemplar" lines must never reach the parser as
+    // records. Every whitespace and control byte maps to '_'.
+    sr::Registry reg;
+    siren::util::Rng rng(131);
+    const auto blob_a = rng.bytes(4096);
+    const auto blob_b = rng.bytes(4096);
+    reg.observe(sf::fuzzy_hash(blob_a), "evil\nfamily 99 7 fake");
+    const auto obs_b = reg.observe(sf::fuzzy_hash(blob_b), "tab\there\rand\x01more");
+    reg.rename(obs_b.family, "renamed\nexemplar 0 3:abc:def");
+
+    std::ostringstream out;
+    reg.save(out);
+    std::istringstream in(out.str());
+    const sr::Registry restored = sr::Registry::load(in);
+
+    ASSERT_EQ(restored.family_count(), 2u) << "injected lines must not become records";
+    EXPECT_EQ(restored.total_sightings(), 2u);
+    EXPECT_EQ(restored.family(0).name, "evil_family_99_7_fake");
+    EXPECT_EQ(restored.family(1).name, "renamed_exemplar_0_3:abc:def");
+    for (const auto& fam : restored.families()) {
+        for (const char c : fam.name) {
+            EXPECT_FALSE(static_cast<unsigned char>(c) <= ' ' ||
+                         static_cast<unsigned char>(c) == 0x7F)
+                << "whitespace/control byte survived sanitization in '" << fam.name << "'";
+        }
+    }
+}
+
+TEST(Registry, LoadClampsExemplarsToSmallerBudget) {
+    // Grow one family past 4 exemplars under a permissive budget…
+    sr::Registry big({.match_threshold = 20, .exemplar_add_below = 101,
+                      .max_exemplars_per_family = 16});
+    siren::util::Rng rng(137);
+    const auto base = rng.bytes(8192);
+    big.observe(sf::fuzzy_hash(base), "chain");
+    auto blob = base;
+    for (int round = 0; round < 5; ++round) {
+        blob = mutate_region(std::move(blob), 600 + 900 * static_cast<std::size_t>(round), 100,
+                             140 + static_cast<std::uint64_t>(round));
+        big.observe(sf::fuzzy_hash(blob));
+    }
+    ASSERT_EQ(big.family_count(), 1u);
+    ASSERT_GT(big.family(0).exemplars, 2u);
+
+    // …then load the save under a budget of 2: the overshoot is clamped and
+    // the *oldest* exemplars (the original anchors, first in the file) win.
+    std::ostringstream out;
+    big.save(out);
+    std::istringstream in(out.str());
+    const sr::Registry clamped = sr::Registry::load(
+        in, {.match_threshold = 20, .exemplar_add_below = 101, .max_exemplars_per_family = 2});
+    ASSERT_EQ(clamped.family_count(), 1u);
+    EXPECT_EQ(clamped.family(0).exemplars, 2u);
+    EXPECT_EQ(clamped.family(0).sightings, big.family(0).sightings)
+        << "clamping drops exemplars, never sightings";
+    const auto match = clamped.best_match(sf::fuzzy_hash(base));
+    ASSERT_TRUE(match.has_value()) << "the first-retained exemplar survives the clamp";
+    EXPECT_EQ(match->best_score, 100);
+
+    // Save-under-2 then load-under-2 is a fixed point.
+    std::ostringstream out2;
+    clamped.save(out2);
+    std::istringstream in2(out2.str());
+    const sr::Registry again = sr::Registry::load(
+        in2, {.match_threshold = 20, .exemplar_add_below = 101, .max_exemplars_per_family = 2});
+    EXPECT_EQ(again.family(0).exemplars, 2u);
 }
 
 // Property: a registry fed a whole corpus groups it consistently with
@@ -569,4 +653,87 @@ TEST(RegistryMerge, RedundantExemplarsNotDuplicated) {
     EXPECT_EQ(a.family(0).exemplars, 1u)
         << "an identical exemplar from the other node adds no reach";
     EXPECT_EQ(a.total_sightings(), 2u);
+}
+
+TEST(RegistryMerge, ExemplarBudgetExhaustionMidMerge) {
+    // The target enters the merge with its family's budget already spent;
+    // the source brings genuinely drifted (non-redundant) exemplars. None
+    // may be imported past the budget — but the sightings still are.
+    const sr::RegistryOptions tight{.match_threshold = 20, .exemplar_add_below = 101,
+                                    .max_exemplars_per_family = 2};
+    siren::util::Rng rng(139);
+    const auto base = rng.bytes(8192);
+
+    sr::Registry target(tight);
+    target.observe(sf::fuzzy_hash(base), "chain");
+    target.observe(sf::fuzzy_hash(mutate_region(base, 600, 120, 141)));
+    ASSERT_EQ(target.family(0).exemplars, 2u) << "budget spent before the merge";
+
+    sr::Registry source({.match_threshold = 20, .exemplar_add_below = 101,
+                         .max_exemplars_per_family = 16});
+    source.observe(sf::fuzzy_hash(base));
+    source.observe(sf::fuzzy_hash(mutate_region(base, 2500, 120, 142)));
+    source.observe(sf::fuzzy_hash(mutate_region(base, 4400, 120, 143)));
+
+    target.merge(source);
+    ASSERT_EQ(target.family_count(), 1u);
+    EXPECT_EQ(target.family(0).exemplars, 2u) << "merge must respect the target's budget";
+    EXPECT_EQ(target.family(0).sightings, 5u);
+    EXPECT_EQ(target.total_sightings(), 5u);
+}
+
+TEST(RegistryMerge, TotalSightingsConservedAcrossMultiFamilyMerge) {
+    siren::util::Rng rng(149);
+    const auto shared = rng.bytes(8192);
+    sr::Registry a, b;
+    a.observe(sf::fuzzy_hash(shared), "icon");
+    a.observe(sf::fuzzy_hash(shared));
+    a.observe(sf::fuzzy_hash(rng.bytes(4096)), "gromacs");
+    b.observe(sf::fuzzy_hash(shared));                      // folds into icon
+    b.observe(sf::fuzzy_hash(rng.bytes(4096)), "lammps");   // re-founded
+    b.observe(sf::fuzzy_hash(rng.bytes(4096)));             // anonymous, re-founded
+
+    const auto expected = a.total_sightings() + b.total_sightings();
+    a.merge(b);
+    EXPECT_EQ(a.total_sightings(), expected);
+    std::uint64_t per_family_sum = 0;
+    for (const auto& fam : a.families()) per_family_sum += fam.sightings;
+    EXPECT_EQ(per_family_sum, expected) << "per-family counts and the total must agree";
+}
+
+TEST(RegistryMerge, SaveLoadMergeRoundTrip) {
+    // The multi-receiver deployment flow with persistence in the loop: each
+    // node saves its registry, the central site loads and merges them. The
+    // merged result must match merging the live registries directly.
+    siren::util::Rng rng(151);
+    const auto shared = rng.bytes(8192);
+    sr::Registry node1({.match_threshold = 40});
+    sr::Registry node2({.match_threshold = 40});
+    node1.observe(sf::fuzzy_hash(shared), "icon");
+    node1.observe(sf::fuzzy_hash(rng.bytes(4096)), "gromacs");
+    node2.observe(sf::fuzzy_hash(mutate_region(shared, 900, 300, 152)));
+    node2.observe(sf::fuzzy_hash(rng.bytes(4096)), "lammps");
+
+    const auto round_trip = [](const sr::Registry& reg) {
+        std::ostringstream out;
+        reg.save(out);
+        std::istringstream in(out.str());
+        return sr::Registry::load(in, {.match_threshold = 40});
+    };
+    sr::Registry central = round_trip(node1);
+    central.merge(round_trip(node2));
+
+    sr::Registry direct({.match_threshold = 40});
+    direct.merge(node1);
+    direct.merge(node2);
+
+    ASSERT_EQ(central.family_count(), direct.family_count());
+    EXPECT_EQ(central.total_sightings(), direct.total_sightings());
+    std::set<std::string> central_names, direct_names;
+    for (const auto& fam : central.families()) central_names.insert(fam.name);
+    for (const auto& fam : direct.families()) direct_names.insert(fam.name);
+    EXPECT_EQ(central_names, direct_names);
+    const auto match = central.best_match(sf::fuzzy_hash(shared));
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(central.family(match->family).name, "icon");
 }

@@ -155,6 +155,61 @@ TEST(ToolsRegistry, UsageErrorsExitOne) {
     EXPECT_EQ(r.exit_code, 1);
 }
 
+#ifndef SIREN_QUERY_PATH
+#define SIREN_QUERY_PATH "siren_query"
+#endif
+#ifndef SIREN_RECOGNIZED_PATH
+#define SIREN_RECOGNIZED_PATH "siren_recognized"
+#endif
+
+TEST(ToolsQuery, UnknownFlagIsUsageErrorNotTablesView) {
+    // Regression: `siren_query DB --bogus` used to fall through to the
+    // default tables view; an unrecognized flag must be rejected loudly.
+    const auto r = run(SIREN_QUERY_PATH, {"/tmp", "--bogus"});
+    if (r.exit_code == -1) GTEST_SKIP() << "cannot spawn processes here";
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_TRUE(r.out.empty()) << "usage goes to stderr, not stdout: " << r.out;
+}
+
+TEST(ToolsQuery, UnknownLeadingFlagIsUsageError) {
+    const auto r = run(SIREN_QUERY_PATH, {"--bogus", "x"});
+    if (r.exit_code == -1) GTEST_SKIP() << "cannot spawn processes here";
+    EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(ToolsQuery, ExtraArgumentsAreUsageErrors) {
+    const auto r = run(SIREN_QUERY_PATH, {"/tmp", "--records", "extra"});
+    if (r.exit_code == -1) GTEST_SKIP() << "cannot spawn processes here";
+    EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(ToolsQuery, BadEndpointExitsOne) {
+    const auto r = run(SIREN_QUERY_PATH, {"--identify", "not-an-endpoint", "3:abc:def"});
+    if (r.exit_code == -1) GTEST_SKIP() << "cannot spawn processes here";
+    EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(ToolsQuery, UnreachableServiceExitsTwo) {
+    // Port 1 on loopback: connect() refused — runtime failure, not usage.
+    const auto r = run(SIREN_QUERY_PATH, {"--identify", "127.0.0.1:1", "3:abc:def"});
+    if (r.exit_code == -1) GTEST_SKIP() << "cannot spawn processes here";
+    EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(ToolsRecognized, UsageErrors) {
+    auto r = run(SIREN_RECOGNIZED_PATH, {});
+    if (r.exit_code == -1) GTEST_SKIP() << "cannot spawn processes here";
+    EXPECT_EQ(r.exit_code, 1);
+    r = run(SIREN_RECOGNIZED_PATH, {"not-a-port"});
+    EXPECT_EQ(r.exit_code, 1);
+    r = run(SIREN_RECOGNIZED_PATH, {"0", "--bogus"});
+    EXPECT_EQ(r.exit_code, 1);
+    r = run(SIREN_RECOGNIZED_PATH, {"0", "--threshold", "200"});
+    EXPECT_EQ(r.exit_code, 1);
+    r = run(SIREN_RECOGNIZED_PATH, {"0", "--seconds"});
+    EXPECT_EQ(r.exit_code, 1) << "a flag missing its value is incomplete, not ignored";
+}
+
 #ifndef SIREN_BENCH_TO_JSON_PATH
 #define SIREN_BENCH_TO_JSON_PATH "tools/bench_to_json.py"
 #endif

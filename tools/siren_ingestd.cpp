@@ -21,6 +21,7 @@
 // recovers every complete record (a torn tail from the crash is reported,
 // not fatal). See docs/storage_format.md.
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +36,7 @@
 #include "db/message_store.hpp"
 #include "ingest/ingest_server.hpp"
 #include "storage/segment_store.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -48,15 +50,24 @@ int usage() {
     return 1;
 }
 
+/// Strict numeric parse (util::parse_decimal): "80x" or "" must be a loud
+/// usage error, not silently become some other port/shard count.
+bool parse_number(const char* arg, long& out) { return siren::util::parse_decimal(arg, out); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc < 3) return usage();
-    const auto port = static_cast<std::uint16_t>(std::strtoul(argv[1], nullptr, 10));
+    long port_value = 0;
+    if (!parse_number(argv[1], port_value) || port_value > 65535) {
+        std::fprintf(stderr, "siren_ingestd: bad port '%s'\n", argv[1]);
+        return usage();
+    }
+    const auto port = static_cast<std::uint16_t>(port_value);
     const std::string data_dir = argv[2];
     const std::string segments_dir = data_dir + "/segments";
 
-    std::size_t shards = 4;
+    long shards = 4;
     std::string bind_address = "127.0.0.1";
     long run_seconds = 0;
     long compact_seconds = 0;
@@ -64,22 +75,23 @@ int main(int argc, char** argv) {
     bool replay = false;
     for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
-            shards = std::strtoul(argv[++i], nullptr, 10);
+            if (!parse_number(argv[++i], shards)) return usage();
         } else if (std::strcmp(argv[i], "--bind") == 0 && i + 1 < argc) {
             bind_address = argv[++i];
         } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
-            run_seconds = std::strtol(argv[++i], nullptr, 10);
+            if (!parse_number(argv[++i], run_seconds)) return usage();
         } else if (std::strcmp(argv[i], "--compact-secs") == 0 && i + 1 < argc) {
-            compact_seconds = std::strtol(argv[++i], nullptr, 10);
+            if (!parse_number(argv[++i], compact_seconds)) return usage();
         } else if (std::strcmp(argv[i], "--memory") == 0) {
             durable = false;
         } else if (std::strcmp(argv[i], "--replay") == 0) {
             replay = true;
         } else {
+            std::fprintf(stderr, "siren_ingestd: unknown or incomplete option '%s'\n", argv[i]);
             return usage();
         }
     }
-    if (shards == 0) return usage();
+    if (shards <= 0) return usage();
 
     if (replay) {
         siren::db::Database db;
@@ -105,13 +117,14 @@ int main(int argc, char** argv) {
     try {
         std::unique_ptr<siren::storage::SegmentStore> store;
         if (durable) {
-            store = std::make_unique<siren::storage::SegmentStore>(segments_dir, shards);
+            store = std::make_unique<siren::storage::SegmentStore>(
+                segments_dir, static_cast<std::size_t>(shards));
         }
 
         siren::ingest::IngestOptions options;
         options.port = port;
         options.bind_address = bind_address;
-        options.shards = shards;
+        options.shards = static_cast<std::size_t>(shards);
         options.store = store.get();
         if (compact_seconds > 0) {
             // Records are inserted before their segment seals, so sealed

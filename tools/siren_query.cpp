@@ -1,26 +1,162 @@
 // siren_query — post-processing and analysis over a stored message
-// database (what the paper's Python scripts do, as a C++ CLI).
+// database (what the paper's Python scripts do, as a C++ CLI), plus the
+// client face of the live recognition service.
 //
 //   siren_query DB_DIR                print the usage tables
 //   siren_query DB_DIR --markdown     full Markdown report (incl. security scan)
 //   siren_query DB_DIR --records      dump consolidated per-process records
+//
+//   siren_query --identify HOST:PORT DIGEST...
+//                                     ask a running siren_recognized which
+//                                     family each digest belongs to
+//   siren_query --observe HOST:PORT DIGEST [LABEL]
+//                                     record a sighting (optionally labeled)
+//   siren_query --topn HOST:PORT DIGEST K
+//                                     ranked candidate families for a digest
+//   siren_query --serve-stats HOST:PORT
+//                                     service counters
+//   siren_query --serve-checkpoint HOST:PORT
+//                                     force a registry checkpoint
+//
+// Exit codes: 0 success (including "unknown" identifications), 1 usage
+// errors (any unrecognized flag is rejected, not ignored), 2 runtime
+// failures (unreadable DB, unreachable service).
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "analytics/aggregate.hpp"
 #include "analytics/report.hpp"
 #include "analytics/tables.hpp"
 #include "consolidate/consolidator.hpp"
 #include "db/message_store.hpp"
+#include "serve/query_client.hpp"
+#include "util/strings.hpp"
 
-int main(int argc, char** argv) {
-    if (argc < 2) {
-        std::fprintf(stderr, "usage: siren_query DB_DIR [--markdown|--records]\n");
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: siren_query DB_DIR [--markdown|--records]\n"
+                 "       siren_query --identify HOST:PORT DIGEST...\n"
+                 "       siren_query --observe HOST:PORT DIGEST [LABEL]\n"
+                 "       siren_query --topn HOST:PORT DIGEST K\n"
+                 "       siren_query --serve-stats HOST:PORT\n"
+                 "       siren_query --serve-checkpoint HOST:PORT\n");
+    return 1;
+}
+
+/// Split "HOST:PORT"; false on anything malformed.
+bool parse_endpoint(const std::string& endpoint, std::string& host, std::uint16_t& port) {
+    const auto colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    host = endpoint.substr(0, colon);
+    long value = 0;
+    if (!siren::util::parse_decimal(std::string_view(endpoint).substr(colon + 1), value) ||
+        value == 0 || value > 65535) {
+        return false;
+    }
+    port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+int serve_mode(const std::string& mode, const std::vector<std::string>& args) {
+    if (args.empty()) return usage();
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parse_endpoint(args[0], host, port)) {
+        std::fprintf(stderr, "siren_query: bad HOST:PORT '%s'\n", args[0].c_str());
         return 1;
     }
+
+    try {
+        siren::serve::QueryClient client(host, port);
+
+        if (mode == "--identify") {
+            if (args.size() < 2) return usage();
+            const std::vector<std::string> digests(args.begin() + 1, args.end());
+            const auto matches = client.identify_many(digests);
+            for (std::size_t i = 0; i < digests.size(); ++i) {
+                if (matches[i]) {
+                    std::printf("%s -> %s (family %u, score %d)\n", digests[i].c_str(),
+                                matches[i]->name.c_str(), matches[i]->family,
+                                matches[i]->score);
+                } else {
+                    std::printf("%s -> unknown\n", digests[i].c_str());
+                }
+            }
+            return 0;
+        }
+        if (mode == "--observe") {
+            if (args.size() < 2 || args.size() > 3) return usage();
+            const auto result =
+                client.observe(args[1], args.size() == 3 ? args[2] : std::string());
+            std::printf("%s -> family %u '%s' (score %d)%s\n", args[1].c_str(), result.family,
+                        result.name.c_str(), result.score,
+                        result.new_family ? " [new family]" : "");
+            return 0;
+        }
+        if (mode == "--topn") {
+            if (args.size() != 3) return usage();
+            long k = 0;
+            if (!siren::util::parse_decimal(args[2], k) || k <= 0) return usage();
+            const auto matches = client.top_n(args[1], static_cast<std::size_t>(k));
+            if (matches.empty()) {
+                std::printf("unknown (no family above threshold)\n");
+                return 0;
+            }
+            for (const auto& match : matches) {
+                std::printf("%-24s family %-6u score %d\n", match.name.c_str(), match.family,
+                            match.score);
+            }
+            return 0;
+        }
+        if (mode == "--serve-stats") {
+            if (args.size() != 1) return usage();
+            std::printf("%s", client.stats_text().c_str());
+            return 0;
+        }
+        if (mode == "--serve-checkpoint") {
+            if (args.size() != 1) return usage();
+            std::printf("checkpoint written: %s\n", client.checkpoint().c_str());
+            return 0;
+        }
+        return usage();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "siren_query: %s\n", e.what());
+        return 2;
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string first = argv[1];
+
+    if (first.starts_with("--")) {
+        // Service-client modes take the flag first; anything else that
+        // looks like a flag is an error, not a silent fall-through.
+        static const char* kServeModes[] = {"--identify", "--observe", "--topn",
+                                            "--serve-stats", "--serve-checkpoint"};
+        for (const char* mode : kServeModes) {
+            if (first == mode) {
+                return serve_mode(first, std::vector<std::string>(argv + 2, argv + argc));
+            }
+        }
+        std::fprintf(stderr, "siren_query: unknown option '%s'\n", first.c_str());
+        return usage();
+    }
+
     const std::string mode = argc > 2 ? argv[2] : "";
+    if (argc > 3 || (argc == 3 && mode != "--markdown" && mode != "--records")) {
+        if (!mode.empty() && mode != "--markdown" && mode != "--records") {
+            std::fprintf(stderr, "siren_query: unknown option '%s'\n", mode.c_str());
+        }
+        return usage();
+    }
 
     try {
         const auto db = siren::db::Database::load(argv[1]);

@@ -10,6 +10,7 @@
 //   siren_receiver 9742 /tmp/siren-db &
 //   SIREN_PORT=9742 LD_PRELOAD=.../libsiren_preload.so make -j
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -20,20 +21,37 @@
 
 #include "db/message_store.hpp"
 #include "net/udp.hpp"
+#include "util/strings.hpp"
 
 namespace {
+
 std::atomic<bool> g_stop{false};
 void handle_signal(int) { g_stop.store(true); }
+
+int usage() {
+    std::fprintf(stderr, "usage: siren_receiver PORT OUTPUT_DIR [SECONDS]\n");
+    return 1;
+}
+
+/// Strict numeric parse: see util::parse_decimal.
+bool parse_number(const char* arg, long& out) { return siren::util::parse_decimal(arg, out); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 3) {
-        std::fprintf(stderr, "usage: siren_receiver PORT OUTPUT_DIR [SECONDS]\n");
-        return 1;
+    if (argc < 3 || argc > 4) return usage();
+    long port_value = 0;
+    if (!parse_number(argv[1], port_value) || port_value > 65535) {
+        std::fprintf(stderr, "siren_receiver: bad port '%s'\n", argv[1]);
+        return usage();
     }
-    const auto port = static_cast<std::uint16_t>(std::strtoul(argv[1], nullptr, 10));
+    const auto port = static_cast<std::uint16_t>(port_value);
     const std::string out_dir = argv[2];
-    const long run_seconds = argc > 3 ? std::strtol(argv[3], nullptr, 10) : 0;
+    long run_seconds = 0;
+    if (argc > 3 && !parse_number(argv[3], run_seconds)) {
+        std::fprintf(stderr, "siren_receiver: bad SECONDS '%s'\n", argv[3]);
+        return usage();
+    }
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);

@@ -1,0 +1,159 @@
+// siren_recognized — the live recognition daemon: a snapshot-swap registry
+// service answering concurrent IDENTIFY/TOPN/OBSERVE/STATS queries over a
+// length-framed TCP protocol, optionally fed by an ingest daemon's durable
+// segments and checkpointed for crash recovery.
+//
+//   siren_recognized PORT [options]
+//     --bind ADDR          IPv4 bind address (default 127.0.0.1)
+//     --segments DIR       follow this segment directory (FILE_H digests
+//                          flow into the live registry; pair with
+//                          `siren_ingestd PORT DATA_DIR` on DATA_DIR/segments)
+//     --checkpoint FILE    registry checkpoint path: loaded at startup,
+//                          written periodically and at shutdown
+//     --checkpoint-secs S  checkpoint cadence (default 30, 0 = only final)
+//     --threshold N        registry match threshold (default 60)
+//     --batch-threads N    fan-out pool for multi-digest IDENTIFY (default 0)
+//     --seconds S          run duration (default: until SIGINT/SIGTERM)
+//     --poll-ms MS         segment follow cadence (default 20)
+//     --publish-ms MS      min spacing between snapshot publishes (default 5;
+//                          amortizes the registry copy under write storms)
+//
+// Crash recovery = last checkpoint + replay of every segment record past
+// its watermark (see docs/recognition_service.md). Query with:
+//
+//   siren_query --identify 127.0.0.1:PORT DIGEST
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "serve/serve.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop.store(true); }
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: siren_recognized PORT [--bind ADDR] [--segments DIR]\n"
+                 "                        [--checkpoint FILE] [--checkpoint-secs S]\n"
+                 "                        [--threshold N] [--batch-threads N]\n"
+                 "                        [--seconds S] [--poll-ms MS] [--publish-ms MS]\n");
+    return 1;
+}
+
+/// Strict numeric parse (util::parse_decimal): usage errors in a daemon's
+/// command line should be loud, not silently become port 0.
+bool parse_number(const char* arg, long& out) { return siren::util::parse_decimal(arg, out); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    long port = 0;
+    if (!parse_number(argv[1], port) || port > 65535) {
+        std::fprintf(stderr, "siren_recognized: bad port '%s'\n", argv[1]);
+        return usage();
+    }
+
+    siren::serve::ServeOptions options;
+    siren::serve::QueryServerOptions server_options;
+    server_options.port = static_cast<std::uint16_t>(port);
+    long run_seconds = 0;
+    long checkpoint_seconds = 30;
+    long poll_ms = 20;
+    long publish_ms = 5;
+    long threshold = 60;
+    long batch_threads = 0;
+    for (int i = 2; i < argc; ++i) {
+        const auto needs_value = [&](const char* flag) {
+            return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+        };
+        if (needs_value("--bind")) {
+            server_options.bind_address = argv[++i];
+        } else if (needs_value("--segments")) {
+            options.segments_dir = argv[++i];
+        } else if (needs_value("--checkpoint")) {
+            options.checkpoint_path = argv[++i];
+        } else if (needs_value("--checkpoint-secs")) {
+            if (!parse_number(argv[++i], checkpoint_seconds)) return usage();
+        } else if (needs_value("--threshold")) {
+            if (!parse_number(argv[++i], threshold) || threshold < 1 || threshold > 100) {
+                return usage();
+            }
+        } else if (needs_value("--batch-threads")) {
+            if (!parse_number(argv[++i], batch_threads)) return usage();
+        } else if (needs_value("--seconds")) {
+            if (!parse_number(argv[++i], run_seconds)) return usage();
+        } else if (needs_value("--poll-ms")) {
+            if (!parse_number(argv[++i], poll_ms) || poll_ms < 1) return usage();
+        } else if (needs_value("--publish-ms")) {
+            if (!parse_number(argv[++i], publish_ms)) return usage();
+        } else {
+            std::fprintf(stderr, "siren_recognized: unknown or incomplete option '%s'\n",
+                         argv[i]);
+            return usage();
+        }
+    }
+    options.registry.match_threshold = static_cast<int>(threshold);
+    options.checkpoint_interval = std::chrono::seconds(checkpoint_seconds);
+    options.feed_poll = std::chrono::milliseconds(poll_ms);
+    options.publish_interval = std::chrono::milliseconds(publish_ms);
+    options.batch_pool_threads = static_cast<std::size_t>(batch_threads);
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    try {
+        siren::serve::RecognitionService service(options);
+        siren::serve::QueryServer server(service, server_options);
+
+        const auto boot = service.snapshot();
+        std::printf("siren_recognized: serving on tcp://%s:%u (families=%zu, applied=%llu%s%s)\n",
+                    server_options.bind_address.c_str(), server.port(),
+                    boot->registry.family_count(),
+                    static_cast<unsigned long long>(boot->applied),
+                    options.segments_dir.empty() ? "" : ", following segments",
+                    options.checkpoint_path.empty() ? "" : ", checkpointing");
+        std::fflush(stdout);  // scripted callers parse the port from this line
+
+        const auto start = std::chrono::steady_clock::now();
+        while (!g_stop.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            if (run_seconds > 0 &&
+                std::chrono::steady_clock::now() - start > std::chrono::seconds(run_seconds)) {
+                break;
+            }
+        }
+
+        server.stop();
+        service.stop();  // final checkpoint
+
+        const auto counters = service.counters();
+        const auto server_stats = server.stats();
+        const auto snap = service.snapshot();
+        std::printf("siren_recognized: families=%zu sightings=%llu requests=%llu "
+                    "feed_file_hashes=%llu feed_malformed=%llu checkpoints=%llu "
+                    "checkpoint_errors=%llu\n",
+                    snap->registry.family_count(),
+                    static_cast<unsigned long long>(snap->registry.total_sightings()),
+                    static_cast<unsigned long long>(server_stats.requests),
+                    static_cast<unsigned long long>(counters.feed_file_hashes),
+                    static_cast<unsigned long long>(counters.feed_malformed),
+                    static_cast<unsigned long long>(counters.checkpoints),
+                    static_cast<unsigned long long>(counters.checkpoint_errors));
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "siren_recognized: %s\n", e.what());
+        return 2;
+    }
+}
