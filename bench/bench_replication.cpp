@@ -1,0 +1,199 @@
+// Microbenchmarks (google-benchmark) for the replication layer: follower
+// catch-up throughput from an empty replica (records/s over loopback TCP)
+// against the leader's own local write throughput for the same corpus, and
+// steady-state replication lag while a sustained observe storm keeps
+// appending to the leader's segments.
+//
+// The cmake target `bench-replication-json` condenses the numbers into
+// BENCH_replication.json. The gated ratio is replication_catchup_lag =
+// catch-up wall time / local write wall time: if shipping the log cannot
+// keep within a small factor of writing it, a follower under sustained
+// load never converges. bench/trajectory/BENCH_replication.json is the
+// committed trajectory point.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/replication.hpp"
+#include "storage/segment_store.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace sv = siren::serve;
+namespace ss = siren::storage;
+
+std::string scratch_root() {
+    static const std::string root = [] {
+        std::string path = (fs::temp_directory_path() /
+                            ("siren_bench_repl_" + std::to_string(::getpid())))
+                               .string();
+        fs::remove_all(path);
+        fs::create_directories(path);
+        return path;
+    }();
+    return root;
+}
+
+/// Synthetic ~128-byte records, the size class of a FILE_H wire datagram.
+const std::vector<std::string>& corpus(std::size_t n) {
+    static std::vector<std::string> records;
+    if (records.size() < n) {
+        siren::util::Rng rng(4242);
+        records.reserve(n);
+        while (records.size() < n) {
+            std::string r = "record-" + std::to_string(records.size()) + "-";
+            while (r.size() < 128) r.push_back(static_cast<char>('a' + rng.below(26)));
+            records.push_back(std::move(r));
+        }
+    }
+    return records;
+}
+
+ss::SegmentOptions no_fsync() {
+    ss::SegmentOptions options;
+    options.fsync_enabled = false;
+    return options;
+}
+
+std::uint64_t dir_bytes(const std::string& dir) {
+    std::uint64_t total = 0;
+    for (const auto& path : ss::list_segments(dir)) {
+        std::error_code ec;
+        const auto size = fs::file_size(path, ec);
+        if (!ec) total += size;
+    }
+    return total;
+}
+
+void wait_until_bytes(const std::string& dir, std::uint64_t target) {
+    while (dir_bytes(dir) < target) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+}
+
+sv::ReplicationSourceOptions fast_source(const std::string& dir) {
+    sv::ReplicationSourceOptions options;
+    options.segments_dir = dir;
+    options.poll = std::chrono::milliseconds(1);
+    return options;
+}
+
+/// The baseline: what the leader itself pays to write the corpus locally
+/// (fsync off — both sides of the ratio measure byte movement, not disk
+/// sync policy).
+void BM_SegmentWriteLocal(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto& records = corpus(n);
+    int round = 0;
+    for (auto _ : state) {
+        const std::string dir =
+            scratch_root() + "/write_" + std::to_string(state.range(0)) + "_" +
+            std::to_string(round++);
+        {
+            ss::SegmentStore store(dir, 1, no_fsync());
+            for (std::size_t i = 0; i < n; ++i) store.append(0, records[i]);
+            store.close();
+        }
+        state.PauseTiming();
+        fs::remove_all(dir);
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SegmentWriteLocal)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+/// Catch-up: an empty follower subscribes and ships the whole corpus over
+/// loopback. Timed per iteration: follower construction (connect +
+/// subscribe) through byte-for-byte convergence.
+void BM_ReplicationCatchup(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto& records = corpus(n);
+    const std::string leader_dir =
+        scratch_root() + "/catchup_leader_" + std::to_string(state.range(0));
+    if (!fs::exists(leader_dir)) {
+        ss::SegmentStore store(leader_dir, 1, no_fsync());
+        for (std::size_t i = 0; i < n; ++i) store.append(0, records[i]);
+        store.close();
+    }
+    const std::uint64_t target = dir_bytes(leader_dir);
+    sv::ReplicationSource source(fast_source(leader_dir));
+
+    int round = 0;
+    for (auto _ : state) {
+        const std::string replica_dir =
+            scratch_root() + "/catchup_replica_" + std::to_string(round++);
+        {
+            sv::ReplicationFollowerOptions options;
+            options.leader_port = source.port();
+            options.directory = replica_dir;
+            sv::ReplicationFollower follower(options);
+            wait_until_bytes(replica_dir, target);
+        }
+        state.PauseTiming();
+        fs::remove_all(replica_dir);
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    state.counters["shipped_bytes"] =
+        benchmark::Counter(static_cast<double>(target), benchmark::Counter::kDefaults);
+}
+BENCHMARK(BM_ReplicationCatchup)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+/// Steady-state lag under a sustained observe storm: a connected follower
+/// is live while the leader keeps appending; each iteration lands one
+/// burst and waits for the follower to drain it — items/s is the sustained
+/// replicated-records rate, real time per iteration the burst-to-replica
+/// lag.
+std::unique_ptr<ss::SegmentStore> g_storm_store;
+std::unique_ptr<sv::ReplicationSource> g_storm_source;
+std::unique_ptr<sv::ReplicationFollower> g_storm_follower;
+
+void BM_ReplicationStormLag(benchmark::State& state) {
+    const auto burst = static_cast<std::size_t>(state.range(0));
+    const auto& records = corpus(burst);
+    const std::string leader_dir = scratch_root() + "/storm_leader";
+    const std::string replica_dir = scratch_root() + "/storm_replica";
+    if (!g_storm_store) {
+        g_storm_store = std::make_unique<ss::SegmentStore>(leader_dir, 1, no_fsync());
+        g_storm_source = std::make_unique<sv::ReplicationSource>(fast_source(leader_dir));
+        sv::ReplicationFollowerOptions options;
+        options.leader_port = g_storm_source->port();
+        options.directory = replica_dir;
+        g_storm_follower = std::make_unique<sv::ReplicationFollower>(options);
+    }
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < burst; ++i) g_storm_store->append(0, records[i]);
+        g_storm_store->sync_all();
+        wait_until_bytes(replica_dir, dir_bytes(leader_dir));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(burst));
+}
+BENCHMARK(BM_ReplicationStormLag)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    // Tear the storm fixture down before its directories vanish.
+    g_storm_follower.reset();
+    g_storm_source.reset();
+    g_storm_store.reset();
+    fs::remove_all(scratch_root());
+    return 0;
+}

@@ -8,6 +8,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -16,6 +17,73 @@
 #include "util/log.hpp"
 
 namespace siren::net {
+
+int connect_nonblocking(const std::string& host, std::uint16_t port,
+                        std::chrono::milliseconds timeout, int wake_fd, std::string& error) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (fd < 0) {
+        error = "socket(): " + std::string(std::strerror(errno));
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        error = "inet_pton(" + host + ") failed";
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        if (errno != EINPROGRESS) {
+            error = "connect(" + host + "): " + std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+        pollfd pfds[2] = {{fd, POLLOUT, 0}, {wake_fd, POLLIN, 0}};
+        const nfds_t nfds = wake_fd >= 0 ? 2 : 1;
+        const int ready = ::poll(
+            pfds, nfds, static_cast<int>(std::min<long>(timeout.count(), 1 << 30)));
+        int so_error = 0;
+        socklen_t len = sizeof so_error;
+        if (ready <= 0 || (pfds[1].revents & POLLIN) != 0 ||
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 || so_error != 0) {
+            error = "connect(" + host + "): " +
+                    (ready <= 0 ? "timed out"
+                                : (pfds[1].revents & POLLIN) != 0 ? "stopped"
+                                                                  : std::strerror(so_error));
+            ::close(fd);
+            return -1;
+        }
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+}
+
+bool send_all_nonblocking(int fd, std::string_view data,
+                          std::chrono::steady_clock::time_point deadline, std::string& error) {
+    const char* p = data.data();
+    std::size_t remaining = data.size();
+    while (remaining > 0) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+            error = "send timed out";
+            return false;
+        }
+        const ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+                pollfd pfd{fd, POLLOUT, 0};
+                ::poll(&pfd, 1, 50);
+                continue;
+            }
+            error = "send failed: " + std::string(std::strerror(errno));
+            return false;
+        }
+        p += n;
+        remaining -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
 
 namespace {
 

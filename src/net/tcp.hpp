@@ -1,14 +1,31 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "net/channel.hpp"
 
 namespace siren::net {
+
+/// Non-blocking IPv4 connect bounded by `timeout`: returns a connected
+/// SOCK_NONBLOCK|SOCK_CLOEXEC fd with TCP_NODELAY set, or -1 with `error`
+/// filled. When `wake_fd` >= 0, that fd becoming readable aborts the wait
+/// (error "stopped") — how a retry loop's stop() interrupts a SYN that
+/// nobody answers. Shared by serve::QueryClient and the replication
+/// follower; one connect dance, not one per client.
+int connect_nonblocking(const std::string& host, std::uint16_t port,
+                        std::chrono::milliseconds timeout, int wake_fd, std::string& error);
+
+/// Send all of `data` on a non-blocking socket, polling for writability,
+/// until done or `deadline` passes; false with `error` filled on timeout
+/// or socket failure.
+bool send_all_nonblocking(int fd, std::string_view data,
+                          std::chrono::steady_clock::time_point deadline, std::string& error);
 
 /// TCP message sender with length-prefixed framing — the design SIREN
 /// deliberately rejected (paper §3.1 chose UDP "fire and forget" over TCP

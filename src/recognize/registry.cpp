@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "hashing/fnv.hpp"
 #include "util/error.hpp"
 
 namespace siren::recognize {
@@ -189,6 +190,16 @@ void Registry::save(std::ostream& out) const {
         out << "exemplar " << exemplar_owner_[i] << ' '
             << index_.digest(static_cast<DigestId>(i)).to_string() << '\n';
     }
+}
+
+std::uint64_t Registry::fingerprint() const {
+    // Hash the save-format text: it already covers every observable field
+    // in a canonical order, and reusing it means the fingerprint can never
+    // silently drift from what persistence (and a follower's replay)
+    // actually reconstructs.
+    std::ostringstream body;
+    save(body);
+    return hash::fnv1a64(body.view());
 }
 
 Registry Registry::load(std::istream& in, RegistryOptions options) {

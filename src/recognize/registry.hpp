@@ -92,6 +92,15 @@ public:
     std::size_t family_count() const { return families_.size(); }
     std::uint64_t total_sightings() const { return total_sightings_; }
 
+    /// Deterministic 64-bit digest of the full registry state (families in
+    /// id order with name and sightings, exemplars in retention order) —
+    /// the convergence audit hook of the replication layer: a follower that
+    /// applied the same record stream as the leader reports the same
+    /// fingerprint, so "did the replica converge" is one integer compare
+    /// instead of a family-by-family diff (exposed as `fingerprint` in the
+    /// service's STATS response, see docs/replication.md).
+    std::uint64_t fingerprint() const;
+
     /// Rename a family (post-analysis labeling).
     void rename(FamilyId id, std::string_view name);
 

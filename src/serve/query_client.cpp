@@ -13,6 +13,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "net/tcp.hpp"
 #include "recognize/registry.hpp"  // sanitize_label
 #include "serve/query_protocol.hpp"
 #include "util/error.hpp"
@@ -22,25 +23,6 @@ namespace siren::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-void write_all(int fd, std::string_view data, Clock::time_point deadline) {
-    const char* p = data.data();
-    std::size_t remaining = data.size();
-    while (remaining > 0) {
-        if (Clock::now() >= deadline) throw util::SystemError("query send timed out");
-        const ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);
-        if (n <= 0) {
-            if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
-                pollfd pfd{fd, POLLOUT, 0};
-                ::poll(&pfd, 1, 50);
-                continue;
-            }
-            throw util::SystemError("query send failed: " + std::string(std::strerror(errno)));
-        }
-        p += n;
-        remaining -= static_cast<std::size_t>(n);
-    }
-}
 
 /// Parse an Identified out of "<family> <score> <name...>".
 Identified parse_identified(std::istringstream& fields) {
@@ -61,40 +43,11 @@ QueryClient::QueryClient(const std::string& host, std::uint16_t port,
     // Non-blocking throughout: the documented per-call deadline must bound
     // connect() and send() too, not just the reply wait — a SYN-dropping
     // host or a stalled server otherwise hangs the caller at the kernel's
-    // pleasure instead of throwing at timeout_.
-    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
-    if (fd_ < 0) throw util::SystemError("socket(): " + std::string(std::strerror(errno)));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-        ::close(fd_);
-        fd_ = -1;
-        throw util::SystemError("inet_pton(" + host + ") failed");
-    }
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-        if (errno != EINPROGRESS) {
-            const std::string reason = std::strerror(errno);
-            ::close(fd_);
-            fd_ = -1;
-            throw util::SystemError("connect(" + host + "): " + reason);
-        }
-        pollfd pfd{fd_, POLLOUT, 0};
-        const int ready =
-            ::poll(&pfd, 1, static_cast<int>(std::min<long>(timeout_.count(), 1 << 30)));
-        int so_error = 0;
-        socklen_t len = sizeof so_error;
-        if (ready <= 0 ||
-            ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 || so_error != 0) {
-            const std::string reason =
-                ready <= 0 ? "timed out" : std::strerror(so_error);
-            ::close(fd_);
-            fd_ = -1;
-            throw util::SystemError("connect(" + host + "): " + reason);
-        }
-    }
-    const int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    // pleasure instead of throwing at timeout_. The connect dance itself
+    // is shared with the replication follower (net::connect_nonblocking).
+    std::string error;
+    fd_ = net::connect_nonblocking(host, port, timeout_, -1, error);
+    if (fd_ < 0) throw util::SystemError(error);
 }
 
 QueryClient::~QueryClient() {
@@ -107,7 +60,10 @@ std::string QueryClient::request(std::string_view payload) {
         const auto deadline = Clock::now() + timeout_;
         std::string frame;
         append_frame(frame, payload);
-        write_all(fd_, frame, deadline);
+        std::string send_error;
+        if (!net::send_all_nonblocking(fd_, frame, deadline, send_error)) {
+            throw util::SystemError("query " + send_error);
+        }
 
         char buf[16 << 10];
         for (;;) {

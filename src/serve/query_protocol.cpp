@@ -100,6 +100,10 @@ std::string execute_query(RecognitionService& service, std::string_view request)
         }
 
         if (verb == "OBSERVE") {
+            if (service.options().read_only) {
+                return std::string("ERR ") + std::string(kReadOnlyError) +
+                       ": route OBSERVE to the leader";
+            }
             if (words.size() < 2 || words.size() > 3) {
                 return "ERR usage: OBSERVE digest [hint]";
             }
@@ -144,8 +148,14 @@ std::string execute_query(RecognitionService& service, std::string_view request)
                 util::append_number(out, value);
                 out.push_back('\n');
             };
+            out += service.options().read_only ? "role follower\n" : "role leader\n";
             line("families", snap->registry.family_count());
             line("sightings", snap->registry.total_sightings());
+            // The convergence audit: identical fingerprints = identical
+            // registry state, so "did this follower converge" is a
+            // leader-vs-follower STATS compare (docs/replication.md).
+            // Memoized per snapshot — polling STATS stays cheap.
+            line("fingerprint", snap->fingerprint());
             line("snapshot_version", snap->version);
             line("applied", snap->applied);
             line("identifies", counters.identifies);
@@ -158,6 +168,8 @@ std::string execute_query(RecognitionService& service, std::string_view request)
             line("publishes", counters.publishes);
             line("checkpoints", counters.checkpoints);
             line("checkpoint_errors", counters.checkpoint_errors);
+            line("observes_journaled", counters.observes_journaled);
+            line("wal_fallbacks", counters.wal_fallbacks);
             return out;
         }
 

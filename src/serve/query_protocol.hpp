@@ -22,6 +22,11 @@ class RecognitionService;
 /// Full grammar and examples in docs/recognition_service.md.
 inline constexpr std::uint32_t kMaxQueryFrameBytes = 1u << 20;
 
+/// The marker a read-only follower embeds in its OBSERVE rejection.
+/// ReplicaClient matches on it to fail over to the leader, so it is part
+/// of the protocol, not just error prose (docs/replication.md).
+inline constexpr std::string_view kReadOnlyError = "read-only follower";
+
 /// Append one framed payload to `out`.
 void append_frame(std::string& out, std::string_view payload);
 

@@ -69,10 +69,23 @@ bool write_file_atomic(const std::string& path, std::string_view body, std::stri
 
 RecognitionService::RecognitionService(ServeOptions options)
     : options_(std::move(options)), master_(options_.registry) {
+    if (options_.observe_wal && options_.segments_dir.empty()) {
+        throw util::Error("observe_wal needs segments_dir (the WAL lives there)");
+    }
     load_checkpoint();  // fills master_ and tail_ (with the watermark) when present
 
     if (!options_.segments_dir.empty() && !tail_) {
         tail_ = std::make_unique<SegmentTail>(options_.segments_dir);
+    }
+    if (options_.observe_wal) {
+        // The WAL shares the followed directory: journaled observes come
+        // back through the tail (one apply path, replicated for free). Its
+        // sequence resumes after whatever an earlier run left, so catch-up
+        // replay below recovers observes older checkpoints never saw.
+        storage::SegmentOptions wal_options;
+        wal_options.fsync_enabled = options_.wal_fsync;
+        wal_ = std::make_unique<storage::SegmentWriter>(
+            options_.segments_dir, std::string(kObserveWalPrefix), wal_options);
     }
 
     // Catch-up replay: everything past the watermark, before serving. The
@@ -149,15 +162,127 @@ void RecognitionService::apply_feed_record(std::string_view record) {
         net::MessageView view;
         net::decode_view(record, view);
         if (view.type != net::MsgType::kFileHash) return;
-        const auto digest = fuzzy::FuzzyDigest::parse(view.content_str());
-        master_.observe(digest);
+        // FILE_H content is "digest" from collectors and "digest hint"
+        // from the observe WAL (hints are sanitized single tokens). The
+        // hint is honored only for obs- stream records: ingest datagrams
+        // arrive over (spoofable) UDP, and a forged "digest EvilName"
+        // there must stay a parse failure, not name a family.
+        const bool from_wal =
+            tail_ && tail_->current_file().starts_with(kObserveWalPrefix);
+        const std::string content = view.content_str();
+        const auto space = from_wal ? content.find(' ') : std::string::npos;
+        const auto digest = fuzzy::FuzzyDigest::parse(
+            std::string_view(content).substr(0, space));
+        std::string_view hint;
+        if (space != std::string::npos) {
+            hint = std::string_view(content).substr(space + 1);
+        }
+        const auto obs = master_.observe(digest, hint);
         ++applied_total_;
         feed_file_hashes_.fetch_add(1, std::memory_order_relaxed);
+
+        // A record of our own observe WAL may be one this cycle journaled:
+        // resolve its waiter. Same obs- scoping as the hint: an ingest
+        // datagram can never satisfy someone's promise.
+        if (wal_replies_out_ != nullptr && from_wal) {
+            const auto it = wal_pending_.find(view.job_id);
+            if (it != wal_pending_.end()) {
+                if (it->second.seq > wal_seq_high_) wal_seq_high_ = it->second.seq;
+                if (it->second.reply) {
+                    wal_replies_out_->emplace_back(std::move(it->second.reply),
+                                                   resolve_applied(obs));
+                }
+                wal_pending_.erase(it);
+            }
+        }
     } catch (const util::Error&) {
         // Not a SIREN datagram / unparseable digest: the WAL is shared
         // with whatever else the ingest daemon journals — count and move on.
         feed_malformed_.fetch_add(1, std::memory_order_relaxed);
     }
+}
+
+Identified RecognitionService::resolve_applied(const recognize::Observation& obs) const {
+    Identified result;
+    result.family = obs.family;
+    result.score = obs.best_score;
+    result.new_family = obs.new_family;
+    result.name = master_.family(obs.family).name;
+    return result;
+}
+
+void RecognitionService::apply_direct(
+    PendingObserve& pending,
+    std::vector<std::pair<std::shared_ptr<std::promise<Identified>>, Identified>>& replies) {
+    const auto obs = master_.observe(pending.digest, pending.name_hint);
+    ++applied_total_;
+    if (pending.reply) {
+        replies.emplace_back(std::move(pending.reply), resolve_applied(obs));
+    }
+}
+
+void RecognitionService::journal_and_apply(
+    std::vector<PendingObserve>& batch,
+    std::vector<std::pair<std::shared_ptr<std::promise<Identified>>, Identified>>& replies,
+    std::uint64_t& unpublished_seq, bool stopping) {
+    // Journal: one FILE_H datagram per observe, the seq riding as the job
+    // id so the feed delivery below can be matched back to its waiter.
+    std::string content;
+    std::size_t journaled = 0;
+    for (auto& pending : batch) {
+        net::Message m;
+        m.job_id = pending.seq;
+        m.type = net::MsgType::kFileHash;
+        content = pending.digest.to_string();
+        if (!pending.name_hint.empty()) {
+            content.push_back(' ');
+            content += recognize::sanitize_label(pending.name_hint);
+        }
+        m.content = content;
+        if (wal_->append(net::encode(m))) {
+            wal_pending_.emplace(pending.seq, std::move(pending));
+            ++journaled;
+        } else {
+            // Journal failure (disk trouble): the observe still has to
+            // apply — degrade to the direct path. Followers will miss it,
+            // which wal_fallbacks makes visible.
+            wal_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+            if (pending.seq > unpublished_seq) unpublished_seq = pending.seq;
+            apply_direct(pending, replies);
+        }
+    }
+    observes_journaled_.fetch_add(journaled, std::memory_order_relaxed);
+    wal_->sync();  // flush (+ fsync unless disabled): visible to the tail now
+
+    // Forced drain: deliver the journaled records (and whatever the ingest
+    // side appended) until every waiter resolved or the feed stops making
+    // progress.
+    wal_replies_out_ = &replies;
+    wal_seq_high_ = unpublished_seq;
+    const auto drain = [this](std::size_t budget) {
+        return tail_->poll([this](std::string_view record) { apply_feed_record(record); },
+                           budget);
+    };
+    while (!wal_pending_.empty() && drain(options_.feed_batch_max) > 0) {
+    }
+    if (stopping) {
+        while (drain(options_.feed_batch_max) > 0) {
+        }
+    }
+    wal_replies_out_ = nullptr;
+    unpublished_seq = wal_seq_high_;
+
+    // Liveness backstop: anything the feed failed to hand back (it should
+    // not happen — the WAL was flushed before the drain) applies directly
+    // so no observe_sync caller can hang on a lost promise. The record may
+    // later arrive through the feed too; a double-applied sighting inflates
+    // one count but cannot move family assignments (score-100 self-match).
+    for (auto& [seq, pending] : wal_pending_) {
+        wal_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        if (seq > unpublished_seq) unpublished_seq = seq;
+        apply_direct(pending, replies);
+    }
+    wal_pending_.clear();
 }
 
 void RecognitionService::publish(std::uint64_t applied_through) {
@@ -230,7 +355,15 @@ void RecognitionService::writer_loop() {
         std::size_t fed = 0;
         bool polled_feed = false;
         const auto now = std::chrono::steady_clock::now();
-        if (tail_ && (stopping || now - last_feed >= options_.feed_poll)) {
+        if (wal_ && !batch.empty()) {
+            // Leader WAL mode: journal the batch and pull it back through
+            // the feed — that drain doubles as this cycle's feed poll.
+            const auto before = feed_records_.load(std::memory_order_relaxed);
+            journal_and_apply(batch, replies, unpublished_seq, stopping);
+            fed += feed_records_.load(std::memory_order_relaxed) - before;
+            polled_feed = true;
+            last_feed = now;
+        } else if (tail_ && (stopping || now - last_feed >= options_.feed_poll)) {
             polled_feed = true;
             // One bounded poll per publish cycle; at shutdown, drain
             // everything the daemon managed to journal.
@@ -242,17 +375,10 @@ void RecognitionService::writer_loop() {
             last_feed = now;
         }
 
-        for (auto& pending : batch) {
-            const auto obs = master_.observe(pending.digest, pending.name_hint);
-            ++applied_total_;
-            unpublished_seq = pending.seq;
-            if (pending.reply) {
-                Identified result;
-                result.family = obs.family;
-                result.score = obs.best_score;
-                result.new_family = obs.new_family;
-                result.name = master_.family(obs.family).name;
-                replies.emplace_back(std::move(pending.reply), std::move(result));
+        if (!wal_) {
+            for (auto& pending : batch) {
+                unpublished_seq = pending.seq;
+                apply_direct(pending, replies);
             }
         }
         observes_applied_.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -466,6 +592,8 @@ ServeCounters RecognitionService::counters() const {
     c.publishes = publishes_.load(std::memory_order_relaxed);
     c.checkpoints = checkpoints_.load(std::memory_order_relaxed);
     c.checkpoint_errors = checkpoint_errors_.load(std::memory_order_relaxed);
+    c.observes_journaled = observes_journaled_.load(std::memory_order_relaxed);
+    c.wal_fallbacks = wal_fallbacks_.load(std::memory_order_relaxed);
     return c;
 }
 

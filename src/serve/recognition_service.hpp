@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -16,6 +17,7 @@
 #include "fuzzy/ctph.hpp"
 #include "recognize/registry.hpp"
 #include "serve/segment_tail.hpp"
+#include "storage/segment.hpp"
 #include "util/thread_pool.hpp"
 
 namespace siren::serve {
@@ -58,6 +60,25 @@ struct ServeOptions {
     /// requests route through ThreadPool::parallel_for). 0 = resolve
     /// batches serially on the calling thread.
     std::size_t batch_pool_threads = 0;
+
+    /// Leader mode for replication: journal client observes into
+    /// segments_dir (stream prefix "obs-", wire FILE_H datagrams carrying
+    /// "digest [hint]") and apply them *through the segment feed* instead
+    /// of directly — one apply path for everything, so followers shipping
+    /// the directory replay the exact same stream, and TCP observes become
+    /// durable (a restarted leader recovers them from its own WAL instead
+    /// of only from checkpoints). Requires segments_dir.
+    bool observe_wal = false;
+    /// fsync the WAL after each journaled batch (off for tests/benches on
+    /// tmpfs — visibility to the feed only needs the buffer flushed).
+    bool wal_fsync = true;
+
+    /// Follower mode: the registry is built purely from replicated
+    /// segments; the query protocol rejects OBSERVE (route it to the
+    /// leader) while IDENTIFY/TOPN/STATS/CHECKPOINT serve locally. The
+    /// in-process observe()/observe_sync() API stays usable — it is how
+    /// tests seed state — but nothing network-facing reaches it.
+    bool read_only = false;
 };
 
 /// The immutable unit readers hold: one registry state, frozen. Queries
@@ -67,6 +88,23 @@ struct RegistrySnapshot {
     recognize::Registry registry;
     std::uint64_t version = 0;  ///< publish count (0 = the empty boot snapshot)
     std::uint64_t applied = 0;  ///< observes applied in total (feed + clients)
+
+    /// Registry::fingerprint() of this frozen state, memoized — a polled
+    /// STATS must not pay the O(exemplars) serialization per call. Racing
+    /// readers compute the same deterministic value, so the unsynchronized
+    /// double-compute is benign (0 doubles as "not yet computed"; a true
+    /// zero hash merely recomputes).
+    std::uint64_t fingerprint() const {
+        std::uint64_t value = fingerprint_.load(std::memory_order_acquire);
+        if (value == 0) {
+            value = registry.fingerprint();
+            fingerprint_.store(value, std::memory_order_release);
+        }
+        return value;
+    }
+
+private:
+    mutable std::atomic<std::uint64_t> fingerprint_{0};
 };
 
 /// One resolved identification.
@@ -89,6 +127,8 @@ struct ServeCounters {
     std::uint64_t publishes = 0;          ///< snapshots published
     std::uint64_t checkpoints = 0;
     std::uint64_t checkpoint_errors = 0;
+    std::uint64_t observes_journaled = 0;  ///< client observes appended to the WAL
+    std::uint64_t wal_fallbacks = 0;       ///< journal/feed misses applied directly
 };
 
 /// The online recognition service — the third leg of the collect -> ingest
@@ -190,6 +230,21 @@ private:
     void writer_loop();
     /// Apply one raw segment record (wire datagram) to the master registry.
     void apply_feed_record(std::string_view record);
+    /// WAL mode: journal the batch, force a feed drain so it applies, and
+    /// direct-apply any record the feed failed to deliver (liveness).
+    void journal_and_apply(std::vector<PendingObserve>& batch,
+                           std::vector<std::pair<std::shared_ptr<std::promise<Identified>>,
+                                                 Identified>>& replies,
+                           std::uint64_t& unpublished_seq, bool stopping);
+    /// Direct apply of one client observe (the non-WAL path and the WAL
+    /// fallback); fills `replies` when the observe carries a promise.
+    void apply_direct(PendingObserve& pending,
+                      std::vector<std::pair<std::shared_ptr<std::promise<Identified>>,
+                                            Identified>>& replies);
+    /// The observe_sync reply for an observation just applied to master_
+    /// (shared by the WAL-resolution and direct paths — they must never
+    /// diverge).
+    Identified resolve_applied(const recognize::Observation& obs) const;
     /// Publish an immutable copy of the master registry.
     void publish(std::uint64_t applied_through);
     /// Write the checkpoint file; returns false and fills `error` on failure.
@@ -202,6 +257,12 @@ private:
     /// only, mirrored into each snapshot and the checkpoint.
     std::uint64_t applied_total_ = 0;
     std::unique_ptr<SegmentTail> tail_;
+    /// Leader observe WAL (options_.observe_wal); writer thread only.
+    std::unique_ptr<storage::SegmentWriter> wal_;
+    /// Journaled observes whose feed delivery is pending, keyed by the
+    /// sequence number travelling as the datagram's job id; writer thread
+    /// only — entries live for exactly one journal_and_apply cycle.
+    std::map<std::uint64_t, PendingObserve> wal_pending_;
     std::unique_ptr<util::ThreadPool> batch_pool_;
     std::atomic<std::shared_ptr<const RegistrySnapshot>> snapshot_;
 
@@ -233,7 +294,19 @@ private:
     std::atomic<std::uint64_t> publishes_{0};
     std::atomic<std::uint64_t> checkpoints_{0};
     std::atomic<std::uint64_t> checkpoint_errors_{0};
+    std::atomic<std::uint64_t> observes_journaled_{0};
+    std::atomic<std::uint64_t> wal_fallbacks_{0};
+
+    /// WAL-drain scratch, valid only inside journal_and_apply (writer
+    /// thread): where apply_feed_record deposits resolved replies and the
+    /// highest applied client sequence.
+    std::vector<std::pair<std::shared_ptr<std::promise<Identified>>, Identified>>*
+        wal_replies_out_ = nullptr;
+    std::uint64_t wal_seq_high_ = 0;
 };
+
+/// Stream prefix of the leader's observe WAL inside segments_dir.
+inline constexpr std::string_view kObserveWalPrefix = "obs-";
 
 /// Checkpoint file magic (first token of the first line).
 inline constexpr std::string_view kCheckpointMagic = "SIRENCKPT";

@@ -1,0 +1,122 @@
+#include "serve/replica_client.hpp"
+
+#include <utility>
+
+#include "serve/query_protocol.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace siren::serve {
+
+std::vector<ReplicaEndpoint> parse_replica_list(std::string_view list) {
+    std::vector<ReplicaEndpoint> out;
+    std::vector<std::string_view> parts;
+    util::split_view_into(list, ',', parts);
+    for (const auto part : parts) {
+        const auto endpoint = util::trim(part);
+        if (endpoint.empty()) continue;  // tolerate "a:1,,b:2" and trailing commas
+        const auto colon = endpoint.rfind(':');
+        if (colon == std::string_view::npos || colon == 0) {
+            throw util::ParseError("bad replica endpoint '" + std::string(endpoint) +
+                                   "' (want HOST:PORT)");
+        }
+        long port = 0;
+        if (!util::parse_decimal(endpoint.substr(colon + 1), port) || port <= 0 ||
+            port > 65535) {
+            throw util::ParseError("bad replica port in '" + std::string(endpoint) + "'");
+        }
+        out.push_back({std::string(endpoint.substr(0, colon)),
+                       static_cast<std::uint16_t>(port)});
+    }
+    if (out.empty()) throw util::ParseError("empty replica list");
+    return out;
+}
+
+ReplicaClient::ReplicaClient(std::vector<ReplicaEndpoint> replicas,
+                             std::chrono::milliseconds timeout)
+    : replicas_(std::move(replicas)), timeout_(timeout) {
+    if (replicas_.empty()) throw util::Error("replica client needs at least one endpoint");
+    connections_.resize(replicas_.size());
+}
+
+QueryClient& ReplicaClient::client(std::size_t index) {
+    if (!connections_[index]) {
+        connections_[index] = std::make_unique<QueryClient>(replicas_[index].host,
+                                                            replicas_[index].port, timeout_);
+    }
+    return *connections_[index];
+}
+
+template <typename Fn>
+auto ReplicaClient::with_failover(std::size_t start, Fn&& fn) {
+    ++stats_.requests;
+    for (std::size_t attempt = 0;; ++attempt) {
+        const std::size_t index = (start + attempt) % replicas_.size();
+        try {
+            return fn(client(index), index);
+        } catch (const util::SystemError&) {
+            // Transport trouble: this endpoint is down or unreachable.
+            // Drop its connection (a failed QueryClient is dead anyway)
+            // and move on; the endpoint gets a fresh connect next turn.
+            connections_[index].reset();
+            ++stats_.failovers;
+            if (attempt + 1 >= replicas_.size()) throw;
+        }
+    }
+}
+
+std::optional<Identified> ReplicaClient::identify(std::string_view digest) {
+    return with_failover(next_read_++,
+                         [&](QueryClient& c, std::size_t) { return c.identify(digest); });
+}
+
+std::vector<std::optional<Identified>> ReplicaClient::identify_many(
+    const std::vector<std::string>& digests) {
+    return with_failover(next_read_++,
+                         [&](QueryClient& c, std::size_t) { return c.identify_many(digests); });
+}
+
+std::vector<Identified> ReplicaClient::top_n(std::string_view digest, std::size_t k) {
+    return with_failover(next_read_++,
+                         [&](QueryClient& c, std::size_t) { return c.top_n(digest, k); });
+}
+
+std::string ReplicaClient::stats_text() {
+    return with_failover(next_read_++,
+                         [&](QueryClient& c, std::size_t) { return c.stats_text(); });
+}
+
+std::string ReplicaClient::checkpoint() {
+    return with_failover(next_read_++,
+                         [&](QueryClient& c, std::size_t) { return c.checkpoint(); });
+}
+
+Identified ReplicaClient::observe(std::string_view digest, std::string_view hint) {
+    // Leader-seeking: start at the endpoint that last accepted a write and
+    // walk the list, skipping read-only rejections and dead endpoints.
+    // Unlike reads, an application-level read-only ERR participates in the
+    // failover — it means "wrong replica", not "bad request".
+    ++stats_.requests;
+    std::string last_error = "no replica accepted the observe";
+    for (std::size_t attempt = 0; attempt < replicas_.size(); ++attempt) {
+        const std::size_t index = (leader_hint_ + attempt) % replicas_.size();
+        try {
+            auto result = client(index).observe(digest, hint);
+            leader_hint_ = index;
+            return result;
+        } catch (const util::SystemError& e) {
+            connections_[index].reset();
+            ++stats_.failovers;
+            last_error = e.what();
+        } catch (const util::Error& e) {
+            if (std::string_view(e.what()).find(kReadOnlyError) == std::string_view::npos) {
+                throw;  // real application error: every replica would agree
+            }
+            ++stats_.read_only_redirects;
+            last_error = e.what();
+        }
+    }
+    throw util::Error("observe failed on every replica: " + last_error);
+}
+
+}  // namespace siren::serve

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/query_client.hpp"
+
+namespace siren::serve {
+
+/// One HOST:PORT of a recognition replica (leader or follower).
+struct ReplicaEndpoint {
+    std::string host;
+    std::uint16_t port = 0;
+};
+
+/// Parse "host:port[,host:port…]"; throws util::ParseError on anything
+/// malformed (empty host, non-numeric/zero port).
+std::vector<ReplicaEndpoint> parse_replica_list(std::string_view list);
+
+/// ReplicaClient counters.
+struct ReplicaClientStats {
+    std::uint64_t requests = 0;             ///< typed calls issued
+    std::uint64_t failovers = 0;            ///< endpoint skipped on a transport error
+    std::uint64_t read_only_redirects = 0;  ///< OBSERVE bounced off a follower
+};
+
+/// Replica-aware face of QueryClient — the client side of the scale-out
+/// story. Reads (identify/identify_many/top_n/stats/checkpoint) spread
+/// round-robin across the replica list and fail over to the next replica
+/// on any transport error (connect refused/timed out, dead connection,
+/// reply deadline) until one answers or every replica failed. OBSERVE is
+/// leader-seeking: a follower's read-only rejection (kReadOnlyError) makes
+/// the client try the next replica, and whichever endpoint accepts is
+/// remembered as the leader for subsequent writes.
+///
+/// Connections are lazy and cached per endpoint; an endpoint that failed
+/// reconnects on its next turn, so a restarted replica rejoins the
+/// rotation automatically. Application-level "ERR …" responses (bad
+/// digest, unknown verb) are NOT failed over — every replica would answer
+/// the same — and surface as util::Error exactly like QueryClient's.
+/// Not thread-safe: one client, one thread (as QueryClient).
+class ReplicaClient {
+public:
+    /// Endpoints are used as given; duplicates are legal. Throws
+    /// util::Error when the list is empty. No connection is attempted
+    /// until the first call.
+    explicit ReplicaClient(std::vector<ReplicaEndpoint> replicas,
+                           std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+    std::optional<Identified> identify(std::string_view digest);
+    std::vector<std::optional<Identified>> identify_many(const std::vector<std::string>& digests);
+    std::vector<Identified> top_n(std::string_view digest, std::size_t k);
+    std::string stats_text();
+    std::string checkpoint();
+
+    /// Leader-seeking write; throws util::Error carrying the last
+    /// rejection when every replica is read-only or unreachable.
+    Identified observe(std::string_view digest, std::string_view hint = {});
+
+    std::size_t replica_count() const { return replicas_.size(); }
+    const ReplicaClientStats& stats() const { return stats_; }
+
+private:
+    /// Connected client for `index`, creating it on demand (throws
+    /// util::SystemError when the endpoint is unreachable).
+    QueryClient& client(std::size_t index);
+    /// Run `fn` against replicas starting at `start`, failing over on
+    /// transport errors; rethrows the last one when all replicas fail.
+    template <typename Fn>
+    auto with_failover(std::size_t start, Fn&& fn);
+
+    std::vector<ReplicaEndpoint> replicas_;
+    std::vector<std::unique_ptr<QueryClient>> connections_;
+    std::chrono::milliseconds timeout_;
+    std::size_t next_read_ = 0;    ///< round-robin cursor
+    std::size_t leader_hint_ = 0;  ///< last endpoint that accepted a write
+    ReplicaClientStats stats_;
+};
+
+}  // namespace siren::serve

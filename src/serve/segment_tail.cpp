@@ -97,8 +97,10 @@ std::size_t SegmentTail::poll(const storage::RecordFn& fn, std::size_t max_recor
         present.insert(name);
         if (offsets_.emplace(name, 0).second) ++stats_.files_seen;
         if (max_records != 0 && delivered >= max_records) continue;
+        current_file_ = name;
         delivered += consume_file(path, name, fn,
                                   max_records == 0 ? 0 : max_records - delivered);
+        current_file_.clear();
     }
 
     // Files that vanished were compacted away (their records were already

@@ -62,6 +62,12 @@ public:
     const TailStats& stats() const { return stats_; }
     const std::string& directory() const { return directory_; }
 
+    /// Basename of the segment file whose record is currently being
+    /// delivered — valid only inside a poll() callback. Lets a consumer
+    /// distinguish streams sharing one directory (the recognition service
+    /// uses it to tell its own observe-WAL records from ingest records).
+    const std::string& current_file() const { return current_file_; }
+
 private:
     /// Consume completed records from one file starting at its stored
     /// offset; returns records delivered.
@@ -71,7 +77,8 @@ private:
     std::string directory_;
     Offsets offsets_;
     TailStats stats_;
-    std::string payload_;  ///< reused record buffer
+    std::string payload_;       ///< reused record buffer
+    std::string current_file_;  ///< basename being consumed (delivery context)
 };
 
 }  // namespace siren::serve

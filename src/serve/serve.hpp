@@ -7,9 +7,13 @@
 ///  - query_protocol.hpp       length-framed query protocol
 ///  - query_server.hpp         epoll TCP front end
 ///  - query_client.hpp         synchronous client library
+///  - replica_client.hpp       round-robin/failover client over replicas
+///  - replication.hpp          segment-shipping leader/follower replication
 
 #include "serve/query_client.hpp"         // IWYU pragma: export
 #include "serve/query_protocol.hpp"       // IWYU pragma: export
 #include "serve/query_server.hpp"         // IWYU pragma: export
 #include "serve/recognition_service.hpp"  // IWYU pragma: export
+#include "serve/replica_client.hpp"       // IWYU pragma: export
+#include "serve/replication.hpp"          // IWYU pragma: export
 #include "serve/segment_tail.hpp"         // IWYU pragma: export

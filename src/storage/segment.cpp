@@ -348,6 +348,26 @@ void ReplayStats::merge(const ReplayStats& o) {
     bad_segments += o.bad_segments;
 }
 
+std::size_t read_segment_range(const std::string& path, std::uint64_t offset,
+                               std::size_t max_bytes, std::string& out) {
+    out.clear();
+    if (max_bytes == 0) return 0;
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return 0;
+    out.resize(max_bytes);
+    std::size_t total = 0;
+    while (total < max_bytes) {
+        const ssize_t n = ::pread(fd, out.data() + total, max_bytes - total,
+                                  static_cast<off_t>(offset + total));
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        total += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    out.resize(total);
+    return total;
+}
+
 ReplayStats replay_segment(const std::string& path, const RecordFn& fn) {
     ReplayStats stats;
     std::ifstream in(path, std::ios::binary);

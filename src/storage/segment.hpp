@@ -205,6 +205,16 @@ std::vector<std::uint64_t> scan_resume_sequences(const std::string& directory,
 std::vector<std::string> list_segments(const std::string& directory,
                                        std::error_code* error = nullptr);
 
+/// Read up to `max_bytes` of `path` starting at byte `offset` into `out`
+/// (replacing its contents), via pread — safe against a writer appending
+/// to the same file concurrently, since segment files are strictly
+/// append-only and bytes below the current size never change. Returns the
+/// number of bytes read: 0 on error, a missing file, or offset at/past the
+/// end. This is the byte-level read the replication source uses to stream
+/// sealed *and live* segments from a follower-supplied watermark.
+std::size_t read_segment_range(const std::string& path, std::uint64_t offset,
+                               std::size_t max_bytes, std::string& out);
+
 /// Replay every complete record of one segment file, in append order.
 /// Never throws: unreadable files and bad headers count as bad_segments,
 /// torn tails and checksum mismatches are counted and skipped.

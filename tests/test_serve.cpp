@@ -501,7 +501,8 @@ TEST(QueryProtocol, ExecuteQueryVerbsAndErrors) {
     EXPECT_NE(identified.find("icon"), std::string::npos);
 
     EXPECT_TRUE(sv::execute_query(service, "TOPN " + digest_str + " 3").starts_with("OK 1\n"));
-    EXPECT_TRUE(sv::execute_query(service, "STATS").starts_with("OK\nfamilies 1\n"));
+    EXPECT_TRUE(
+        sv::execute_query(service, "STATS").starts_with("OK\nrole leader\nfamilies 1\n"));
 
     EXPECT_TRUE(sv::execute_query(service, "").starts_with("ERR"));
     EXPECT_TRUE(sv::execute_query(service, "FROBNICATE x").starts_with("ERR"));

@@ -105,6 +105,14 @@ def condense(raw: dict) -> dict:
     value = ratio("BM_ServeIdentifyTcp", "BM_ServeIdentify/10000")
     if value is not None:
         out["ratios"]["serve_tcp_overhead"] = value
+
+    # Replication: follower catch-up wall time over the leader's local
+    # write wall time for the same corpus. Near 1x means shipping the log
+    # keeps pace with writing it — the precondition for a follower ever
+    # converging under sustained ingest. CI gates this loudly (< 10x).
+    value = ratio("BM_ReplicationCatchup/20000", "BM_SegmentWriteLocal/20000")
+    if value is not None:
+        out["ratios"]["replication_catchup_lag"] = value
     return out
 
 

@@ -6,17 +6,22 @@
 //   siren_query DB_DIR --markdown     full Markdown report (incl. security scan)
 //   siren_query DB_DIR --records      dump consolidated per-process records
 //
-//   siren_query --identify HOST:PORT DIGEST...
+//   siren_query --identify REPLICAS DIGEST...
 //                                     ask a running siren_recognized which
 //                                     family each digest belongs to
-//   siren_query --observe HOST:PORT DIGEST [LABEL]
+//   siren_query --observe REPLICAS DIGEST [LABEL]
 //                                     record a sighting (optionally labeled)
-//   siren_query --topn HOST:PORT DIGEST K
+//   siren_query --topn REPLICAS DIGEST K
 //                                     ranked candidate families for a digest
-//   siren_query --serve-stats HOST:PORT
+//   siren_query --serve-stats REPLICAS
 //                                     service counters
-//   siren_query --serve-checkpoint HOST:PORT
+//   siren_query --serve-checkpoint REPLICAS
 //                                     force a registry checkpoint
+//
+// REPLICAS is "HOST:PORT" or a comma-separated list of them (a leader and
+// its followers): reads round-robin across the list and fail over on a
+// dead replica; --observe seeks the leader, skipping read-only followers
+// (see docs/replication.md).
 //
 // Exit codes: 0 success (including "unknown" identifications), 1 usage
 // errors (any unrecognized flag is rejected, not ignored), 2 runtime
@@ -32,7 +37,7 @@
 #include "analytics/tables.hpp"
 #include "consolidate/consolidator.hpp"
 #include "db/message_store.hpp"
-#include "serve/query_client.hpp"
+#include "serve/replica_client.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -40,39 +45,27 @@ namespace {
 int usage() {
     std::fprintf(stderr,
                  "usage: siren_query DB_DIR [--markdown|--records]\n"
-                 "       siren_query --identify HOST:PORT DIGEST...\n"
-                 "       siren_query --observe HOST:PORT DIGEST [LABEL]\n"
-                 "       siren_query --topn HOST:PORT DIGEST K\n"
-                 "       siren_query --serve-stats HOST:PORT\n"
-                 "       siren_query --serve-checkpoint HOST:PORT\n");
+                 "       siren_query --identify REPLICAS DIGEST...\n"
+                 "       siren_query --observe REPLICAS DIGEST [LABEL]\n"
+                 "       siren_query --topn REPLICAS DIGEST K\n"
+                 "       siren_query --serve-stats REPLICAS\n"
+                 "       siren_query --serve-checkpoint REPLICAS\n"
+                 "       (REPLICAS = HOST:PORT[,HOST:PORT...])\n");
     return 1;
-}
-
-/// Split "HOST:PORT"; false on anything malformed.
-bool parse_endpoint(const std::string& endpoint, std::string& host, std::uint16_t& port) {
-    const auto colon = endpoint.rfind(':');
-    if (colon == std::string::npos || colon == 0) return false;
-    host = endpoint.substr(0, colon);
-    long value = 0;
-    if (!siren::util::parse_decimal(std::string_view(endpoint).substr(colon + 1), value) ||
-        value == 0 || value > 65535) {
-        return false;
-    }
-    port = static_cast<std::uint16_t>(value);
-    return true;
 }
 
 int serve_mode(const std::string& mode, const std::vector<std::string>& args) {
     if (args.empty()) return usage();
-    std::string host;
-    std::uint16_t port = 0;
-    if (!parse_endpoint(args[0], host, port)) {
-        std::fprintf(stderr, "siren_query: bad HOST:PORT '%s'\n", args[0].c_str());
+    std::vector<siren::serve::ReplicaEndpoint> replicas;
+    try {
+        replicas = siren::serve::parse_replica_list(args[0]);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "siren_query: %s\n", e.what());
         return 1;
     }
 
     try {
-        siren::serve::QueryClient client(host, port);
+        siren::serve::ReplicaClient client(std::move(replicas));
 
         if (mode == "--identify") {
             if (args.size() < 2) return usage();
