@@ -21,6 +21,7 @@
 #include "recognize/recognize.hpp"
 #include "util/base64.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -135,6 +136,20 @@ void BM_SimilaritySearch(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_SimilaritySearch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// The same bucketed search pinned to the scalar scan kernel: the
+/// denominator of the simd_scan_speedup ratio (and the byte-for-byte PR 3
+/// baseline, kept callable so the speedup is measured, not remembered).
+void BM_SimilaritySearchScalar(benchmark::State& state) {
+    const Registry& reg = registry_of(static_cast<std::size_t>(state.range(0)));
+    siren::util::simd::force_level(siren::util::simd::Level::kScalar);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reg.index.query(reg.probe, 60, 10));
+    }
+    siren::util::simd::clear_forced_level();
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SimilaritySearchScalar)->Arg(10000)->Arg(100000);
 
 /// The brute-force scan the index replaces: one legacy compare per stored
 /// digest per query.

@@ -165,4 +165,81 @@ std::size_t indel_distance_bounded(std::string_view a, std::string_view b,
     return n + b.size() - 2 * static_cast<std::size_t>(std::popcount(~s));
 }
 
+void indel_distance_bounded_x4(const std::string_view* a, const std::string_view* b,
+                               const std::size_t* max_dist, std::size_t* out) {
+    struct Lane {
+        std::string_view text;  ///< longer side
+        std::string_view pat;   ///< shorter side, <= kWordBits chars
+        std::uint64_t s = ~std::uint64_t{0};
+        bool active = false;
+    };
+    Lane lanes[4];
+    // Per-lane match masks (the same table MatchMasks builds); 8 KiB of
+    // stack, the batched equivalent of the scalar routine's 2 KiB.
+    std::uint64_t eq[4][256];
+
+    for (int k = 0; k < 4; ++k) {
+        std::string_view text = a[k];
+        std::string_view pat = b[k];
+        if (text.size() < pat.size()) std::swap(text, pat);
+        // The setup gates mirror indel_distance_bounded in order.
+        if (text.size() - pat.size() > max_dist[k]) {
+            out[k] = max_dist[k] + 1;
+            continue;
+        }
+        if (pat.empty()) {
+            out[k] = text.size();
+            continue;
+        }
+        if (pat.size() > kWordBits) {
+            out[k] = indel_distance_bounded(text, pat, max_dist[k]);
+            continue;
+        }
+        Lane& lane = lanes[k];
+        lane.text = text;
+        lane.pat = pat;
+        lane.active = true;
+        std::fill(std::begin(eq[k]), std::end(eq[k]), std::uint64_t{0});
+        for (std::size_t p = 0; p < pat.size(); ++p) {
+            eq[k][static_cast<unsigned char>(pat[p])] |= std::uint64_t{1} << p;
+        }
+    }
+    if (!lanes[0].active && !lanes[1].active && !lanes[2].active && !lanes[3].active) return;
+
+    // Lockstep advance: every active lane consumes one text char per step,
+    // so all lanes reach their 16-char band checkpoints on the same
+    // iteration — the abandon schedule is exactly the scalar routine's,
+    // per lane.
+    for (std::size_t base = 0;; base += 16) {
+        for (std::size_t pos = base; pos < base + 16; ++pos) {
+            for (int k = 0; k < 4; ++k) {
+                Lane& lane = lanes[k];
+                if (!lane.active || pos >= lane.text.size()) continue;
+                lcs_step(lane.s, eq[k][static_cast<unsigned char>(lane.text[pos])]);
+            }
+        }
+        bool any_active = false;
+        for (int k = 0; k < 4; ++k) {
+            Lane& lane = lanes[k];
+            if (!lane.active) continue;
+            const std::size_t n = lane.text.size();
+            const std::size_t i = std::min(n, base + 16);
+            const auto lcs_prefix = static_cast<std::size_t>(std::popcount(~lane.s));
+            if (i == n) {
+                out[k] = n + lane.pat.size() - 2 * lcs_prefix;
+                lane.active = false;
+                continue;
+            }
+            const std::size_t lcs_best = std::min(lane.pat.size(), lcs_prefix + (n - i));
+            if (n + lane.pat.size() - 2 * lcs_best > max_dist[k]) {
+                out[k] = max_dist[k] + 1;
+                lane.active = false;
+                continue;
+            }
+            any_active = true;
+        }
+        if (!any_active) break;
+    }
+}
+
 }  // namespace siren::fuzzy

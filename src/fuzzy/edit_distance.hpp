@@ -51,4 +51,15 @@ std::size_t indel_distance(std::string_view a, std::string_view b);
 std::size_t indel_distance_bounded(std::string_view a, std::string_view b,
                                    std::size_t max_dist);
 
+/// Four independent bounded indel distances in one interleaved loop:
+/// out[k] = indel_distance_bounded(a[k], b[k], max_dist[k]), bit-identical
+/// per lane (including the > max_dist abandon sentinel and its schedule).
+/// The four Hyyro bit-vector recurrences are serial dependency chains
+/// individually; stepping them in lockstep lets the CPU overlap them, which
+/// is where batched rescoring gets its speedup — no wide registers needed,
+/// so every dispatch level benefits. Lanes whose shorter side exceeds 64
+/// chars fall back to the scalar routine.
+void indel_distance_bounded_x4(const std::string_view* a, const std::string_view* b,
+                               const std::size_t* max_dist, std::size_t* out);
+
 }  // namespace siren::fuzzy

@@ -71,25 +71,52 @@ bool confirm_common_gram(std::string_view a, std::string_view b) {
     return found;
 }
 
-/// Prepared-path score_strings: Bloom gate, exact confirm, cutoff-banded
-/// bit-parallel distance, then the shared ssdeep scale-and-cap formula.
-int score_parts(std::string_view s1, std::uint64_t sig1, std::string_view s2,
-                std::uint64_t sig2, std::uint64_t block_size, int min_score) {
-    if (s1.size() > kSpamsumLength || s2.size() > kSpamsumLength) return 0;
-    if (s1.size() < kCommonSubstringLength || s2.size() < kCommonSubstringLength) return 0;
-    if ((sig1 & sig2) == 0) return 0;
-    if (!confirm_common_gram(s1, s2)) return 0;
+/// The gate half of score_parts: Bloom gate, exact confirm and the
+/// small-block cap either settle the score at 0 (run = false) or emit the
+/// banded distance job whose result decides it. Split out so the scalar
+/// path and the batched compare_x4 share every gate bit for bit.
+struct PartScoreJob {
+    std::string_view s1;
+    std::string_view s2;
+    std::uint64_t block_size = 0;
+    std::size_t max_dist = 0;
+    bool run = false;
+};
+
+PartScoreJob prepare_part_score(std::string_view s1, std::uint64_t sig1, std::string_view s2,
+                                std::uint64_t sig2, std::uint64_t block_size, int min_score) {
+    PartScoreJob job;
+    if (s1.size() > kSpamsumLength || s2.size() > kSpamsumLength) return job;
+    if (s1.size() < kCommonSubstringLength || s2.size() < kCommonSubstringLength) return job;
+    if ((sig1 & sig2) == 0) return job;
+    if (!confirm_common_gram(s1, s2)) return job;
 
     // The small-block cap bounds the score before any distance work.
     if (detail::small_block_cap(block_size, s1.size(), s2.size()) <
         static_cast<std::uint64_t>(min_score)) {
-        return 0;
+        return job;
     }
 
-    const std::size_t max_dist = detail::max_distance_for_score(min_score, s1.size(), s2.size());
-    const std::size_t dist = indel_distance_bounded(s1, s2, max_dist);
-    if (dist > max_dist) return 0;
-    return detail::scale_distance_to_score(dist, s1.size(), s2.size(), block_size);
+    job.s1 = s1;
+    job.s2 = s2;
+    job.block_size = block_size;
+    job.max_dist = detail::max_distance_for_score(min_score, s1.size(), s2.size());
+    job.run = true;
+    return job;
+}
+
+int finish_part_score(const PartScoreJob& job, std::size_t dist) {
+    if (dist > job.max_dist) return 0;
+    return detail::scale_distance_to_score(dist, job.s1.size(), job.s2.size(), job.block_size);
+}
+
+/// Prepared-path score_strings: Bloom gate, exact confirm, cutoff-banded
+/// bit-parallel distance, then the shared ssdeep scale-and-cap formula.
+int score_parts(std::string_view s1, std::uint64_t sig1, std::string_view s2,
+                std::uint64_t sig2, std::uint64_t block_size, int min_score) {
+    const PartScoreJob job = prepare_part_score(s1, sig1, s2, sig2, block_size, min_score);
+    if (!job.run) return 0;
+    return finish_part_score(job, indel_distance_bounded(job.s1, job.s2, job.max_dist));
 }
 
 }  // namespace
@@ -156,6 +183,78 @@ int compare(const PreparedDigest& a, const PreparedDigest& b, int min_score) {
                            min_score);
     }
     return score_parts(a.part2(), a.signature2(), b.part1(), b.signature1(), bs2, min_score);
+}
+
+void compare_x4(const PreparedDigest& probe, const PreparedDigest* const* candidates,
+                std::size_t count, int min_score, int* out) {
+    min_score = std::max(min_score, 1);
+    const std::uint64_t bs1 = probe.block_size();
+
+    // Per candidate: up to two scored pairs (the equal-block-size case).
+    // Every gate mirrors compare(); only the surviving distance jobs are
+    // pooled and run four at a time through the interleaved kernel.
+    int pair_score[4][2] = {};
+    bool decided[4] = {};
+    struct Pending {
+        PartScoreJob job;
+        std::size_t cand = 0;
+        int pair = 0;
+    };
+    Pending pending[8];
+    std::size_t n_pending = 0;
+
+    for (std::size_t c = 0; c < count && c < 4; ++c) {
+        const PreparedDigest& cand = *candidates[c];
+        out[c] = 0;
+        const std::uint64_t bs2 = cand.block_size();
+        if (bs1 != bs2 && bs1 != bs2 * 2 && bs2 != bs1 * 2) {
+            decided[c] = true;
+            continue;
+        }
+        if (bs1 == bs2 && probe.part1() == cand.part1() && probe.part2() == cand.part2() &&
+            !probe.part1().empty()) {
+            out[c] = 100;
+            decided[c] = true;
+            continue;
+        }
+        const auto add = [&](std::string_view s1, std::uint64_t sig1, std::string_view s2,
+                             std::uint64_t sig2, std::uint64_t block_size, int pair) {
+            PartScoreJob job = prepare_part_score(s1, sig1, s2, sig2, block_size, min_score);
+            if (job.run) pending[n_pending++] = {job, c, pair};
+        };
+        if (bs1 == bs2) {
+            add(probe.part1(), probe.signature1(), cand.part1(), cand.signature1(), bs1, 0);
+            add(probe.part2(), probe.signature2(), cand.part2(), cand.signature2(), bs1 * 2, 1);
+        } else if (bs1 == bs2 * 2) {
+            add(probe.part1(), probe.signature1(), cand.part2(), cand.signature2(), bs1, 0);
+        } else {
+            add(probe.part2(), probe.signature2(), cand.part1(), cand.signature1(), bs2, 0);
+        }
+    }
+
+    for (std::size_t base = 0; base < n_pending; base += 4) {
+        const std::size_t m = std::min<std::size_t>(4, n_pending - base);
+        // Idle lanes run empty strings: distance 0, never read back.
+        std::string_view lhs[4] = {};
+        std::string_view rhs[4] = {};
+        std::size_t max_dist[4] = {};
+        std::size_t dist[4] = {};
+        for (std::size_t k = 0; k < m; ++k) {
+            lhs[k] = pending[base + k].job.s1;
+            rhs[k] = pending[base + k].job.s2;
+            max_dist[k] = pending[base + k].job.max_dist;
+        }
+        indel_distance_bounded_x4(lhs, rhs, max_dist, dist);
+        for (std::size_t k = 0; k < m; ++k) {
+            const Pending& p = pending[base + k];
+            pair_score[p.cand][p.pair] = finish_part_score(p.job, dist[k]);
+        }
+    }
+
+    for (std::size_t c = 0; c < count && c < 4; ++c) {
+        if (decided[c]) continue;
+        out[c] = std::max(pair_score[c][0], pair_score[c][1]);
+    }
 }
 
 }  // namespace siren::fuzzy

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -79,5 +80,15 @@ std::size_t pack_grams(std::string_view collapsed, std::uint64_t* out);
 /// rows (see indel_distance_bounded). With the default min_score = 1 the
 /// result is exactly the legacy score for every input.
 int compare(const PreparedDigest& a, const PreparedDigest& b, int min_score = 1);
+
+/// Batched rescore: out[k] = compare(probe, *candidates[k], min_score) for
+/// k < count (count <= 4; extra lanes ignored), allocation-free like
+/// compare(). The gates run per candidate exactly as in compare(); the
+/// surviving bounded edit distances are pooled and executed four at a time
+/// through indel_distance_bounded_x4, which hides the bit-parallel
+/// recurrence's dependency chain when a bucket scan confirms several
+/// candidates at once. Scores are identical to compare() by construction.
+void compare_x4(const PreparedDigest& probe, const PreparedDigest* const* candidates,
+                std::size_t count, int min_score, int* out);
 
 }  // namespace siren::fuzzy

@@ -1,6 +1,7 @@
 #include "recognize/similarity_index.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace siren::recognize {
 
@@ -92,6 +93,19 @@ const SimilarityIndex::Bucket* SimilarityIndex::find_bucket(std::uint64_t block_
 void SimilarityIndex::scan_bucket(const Bucket& bucket, const fuzzy::PreparedDigest& probe,
                                   const ProbeGrams& probe_grams, Pairing pairing, int min_score,
                                   std::vector<ScoredMatch>& matches) const {
+    const auto level = util::simd::active_level();
+    if (level == util::simd::Level::kScalar) {
+        scan_bucket_scalar(bucket, probe, probe_grams, pairing, min_score, matches);
+        return;
+    }
+    scan_bucket_simd(bucket, probe, probe_grams, pairing, min_score, level, matches);
+}
+
+void SimilarityIndex::scan_bucket_scalar(const Bucket& bucket,
+                                         const fuzzy::PreparedDigest& probe,
+                                         const ProbeGrams& probe_grams, Pairing pairing,
+                                         int min_score,
+                                         std::vector<ScoredMatch>& matches) const {
     // Plausibility of one (probe part, candidate part) pair — the pair the
     // block-size rule will actually score. A nonzero compare() needs
     // byte-identical collapsed digests or a shared 7-gram in this pair;
@@ -143,6 +157,108 @@ void SimilarityIndex::scan_bucket(const Bucket& bucket, const fuzzy::PreparedDig
         const int score = fuzzy::compare(probe, bucket.prepared[i], min_score);
         if (score >= min_score) matches.push_back({bucket.ids[i], score});
     }
+}
+
+void SimilarityIndex::scan_bucket_simd(const Bucket& bucket, const fuzzy::PreparedDigest& probe,
+                                       const ProbeGrams& probe_grams, Pairing pairing,
+                                       int min_score, util::simd::Level level,
+                                       std::vector<ScoredMatch>& matches) const {
+    namespace simd = util::simd;
+
+    // Same contract as the scalar part_plausible, with the exact confirm
+    // routed through the vector/galloping intersection (identical answers).
+    const auto part_plausible = [&](std::uint64_t probe_sig, const std::uint64_t* grams,
+                                    std::size_t gram_count, std::string_view probe_part,
+                                    const PartColumn& column, std::size_t i,
+                                    std::string_view candidate_part) {
+        if ((probe_sig & column.sigs[i]) == 0) return false;
+        const std::size_t begin = i == 0 ? 0 : column.gram_ends[i - 1];
+        const std::size_t end = column.gram_ends[i];
+        if (gram_count != 0 && end != begin) {
+            return simd::sorted_intersect(grams, gram_count, column.grams.data() + begin,
+                                          end - begin, level);
+        }
+        return !probe_part.empty() && probe_part == candidate_part;
+    };
+    // Bitmap survivors re-run the per-part signature AND above: for the
+    // equal pairing the OR-bitmap cannot say which side fired, and for the
+    // coarser pairings the recheck is one load against a column already in
+    // cache.
+    const auto plausible_at = [&](std::size_t i) {
+        switch (pairing) {
+            case Pairing::kEqual:
+                return part_plausible(probe.signature1(), probe_grams.grams1.data(),
+                                      probe_grams.count1, probe.part1(), bucket.part1, i,
+                                      bucket.prepared[i].part1()) ||
+                       part_plausible(probe.signature2(), probe_grams.grams2.data(),
+                                      probe_grams.count2, probe.part2(), bucket.part2, i,
+                                      bucket.prepared[i].part2());
+            case Pairing::kProbeCoarser:
+                return part_plausible(probe.signature1(), probe_grams.grams1.data(),
+                                      probe_grams.count1, probe.part1(), bucket.part2, i,
+                                      bucket.prepared[i].part2());
+            case Pairing::kCandidateCoarser:
+                return part_plausible(probe.signature2(), probe_grams.grams2.data(),
+                                      probe_grams.count2, probe.part2(), bucket.part1, i,
+                                      bucket.prepared[i].part1());
+        }
+        return false;
+    };
+
+    // Confirmed candidates rescore four at a time; compare_x4 reproduces
+    // compare() per lane, so scores (and thus matches) are unchanged.
+    const fuzzy::PreparedDigest* pending[4];
+    std::size_t pending_at[4];
+    std::size_t n_pending = 0;
+    const auto flush_pending = [&] {
+        int scores[4];
+        fuzzy::compare_x4(probe, pending, n_pending, min_score, scores);
+        for (std::size_t k = 0; k < n_pending; ++k) {
+            if (scores[k] >= min_score) {
+                matches.push_back({bucket.ids[pending_at[k]], scores[k]});
+            }
+        }
+        n_pending = 0;
+    };
+
+    // Phase 1 per chunk: the signature prefilter as a vectorized bitmap
+    // over the SoA sig columns (the chunk bound keeps the bitmap on the
+    // stack, and chunks stay within one round of the L1 sig stream).
+    constexpr std::size_t kChunk = 512;
+    std::uint64_t bitmap[kChunk / 64];
+    const std::size_t n = bucket.ids.size();
+    for (std::size_t chunk = 0; chunk < n; chunk += kChunk) {
+        const std::size_t m = std::min(kChunk, n - chunk);
+        switch (pairing) {
+            case Pairing::kEqual:
+                simd::sig_gate_bitmap_or(bucket.part1.sigs.data() + chunk, probe.signature1(),
+                                         bucket.part2.sigs.data() + chunk, probe.signature2(),
+                                         m, bitmap, level);
+                break;
+            case Pairing::kProbeCoarser:
+                simd::sig_gate_bitmap(bucket.part2.sigs.data() + chunk, m, probe.signature1(),
+                                      bitmap, level);
+                break;
+            case Pairing::kCandidateCoarser:
+                simd::sig_gate_bitmap(bucket.part1.sigs.data() + chunk, m, probe.signature2(),
+                                      bitmap, level);
+                break;
+        }
+        const std::size_t words = (m + 63) / 64;
+        for (std::size_t w = 0; w < words; ++w) {
+            std::uint64_t bits = bitmap[w];
+            while (bits != 0) {
+                const auto bit = static_cast<std::size_t>(std::countr_zero(bits));
+                bits &= bits - 1;
+                const std::size_t i = chunk + w * 64 + bit;
+                if (!plausible_at(i)) continue;
+                pending[n_pending] = &bucket.prepared[i];
+                pending_at[n_pending] = i;
+                if (++n_pending == 4) flush_pending();
+            }
+        }
+    }
+    flush_pending();
 }
 
 std::vector<ScoredMatch> SimilarityIndex::query(const fuzzy::PreparedDigest& probe,

@@ -9,6 +9,7 @@
 #include "fuzzy/compare.hpp"
 #include "fuzzy/ctph.hpp"
 #include "fuzzy/prepared.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace siren::recognize {
@@ -126,9 +127,23 @@ private:
     enum class Pairing { kEqual, kProbeCoarser, kCandidateCoarser };
 
     const Bucket* find_bucket(std::uint64_t block_size) const;
+    /// Dispatches on util::simd::active_level(): the scalar scan is the
+    /// reference (and the baseline the CI speedup ratio measures); the SIMD
+    /// scan computes the same candidate superset with vector kernels, so
+    /// both produce identical matches (asserted by the parity suite).
     void scan_bucket(const Bucket& bucket, const fuzzy::PreparedDigest& probe,
                      const ProbeGrams& probe_grams, Pairing pairing, int min_score,
                      std::vector<ScoredMatch>& matches) const;
+    void scan_bucket_scalar(const Bucket& bucket, const fuzzy::PreparedDigest& probe,
+                            const ProbeGrams& probe_grams, Pairing pairing, int min_score,
+                            std::vector<ScoredMatch>& matches) const;
+    /// Three-phase vectorized scan: (1) a signature-AND bitmap over the SoA
+    /// sig columns, 2-4 candidates per instruction; (2) per survivor, the
+    /// exact gram confirm via the galloping/block-compare intersection;
+    /// (3) confirmed candidates rescored four at a time (compare_x4).
+    void scan_bucket_simd(const Bucket& bucket, const fuzzy::PreparedDigest& probe,
+                          const ProbeGrams& probe_grams, Pairing pairing, int min_score,
+                          util::simd::Level level, std::vector<ScoredMatch>& matches) const;
 
     std::vector<Bucket> buckets_;  ///< a handful of entries; linear lookup
     std::vector<fuzzy::FuzzyDigest> digests_;

@@ -121,8 +121,11 @@ std::optional<Identified> QueryClient::identify(std::string_view digest) {
 std::vector<std::optional<Identified>> QueryClient::identify_many(
     const std::vector<std::string>& digests) {
     if (digests.empty()) return {};
-    if (digests.size() == 1) return {identify(digests.front())};
-    std::string payload = "IDENTIFY";
+    // IDENTIFYB answers in counted framing even for one digest, so the
+    // truncated-reply check below covers the single-probe case too; the
+    // old shortcut through identify() accepted a bare reply and could not
+    // tell a complete answer from a cut-off batch.
+    std::string payload = "IDENTIFYB";
     for (const auto& digest : digests) {
         payload.push_back(' ');
         payload += digest;

@@ -67,18 +67,15 @@ std::string execute_query(RecognitionService& service, std::string_view request)
     const std::string_view verb = words[0];
 
     try {
-        if (verb == "IDENTIFY") {
-            if (words.size() < 2) return "ERR IDENTIFY needs at least one digest";
-            if (words.size() == 2) {
+        if (verb == "IDENTIFY" || verb == "IDENTIFYB") {
+            if (words.size() < 2) {
+                return "ERR " + std::string(verb) + " needs at least one digest";
+            }
+            // IDENTIFYB always answers in counted batch framing, even for
+            // one digest; bare IDENTIFY keeps the historical split.
+            if (verb == "IDENTIFY" && words.size() == 2) {
                 const auto match = service.identify(fuzzy::FuzzyDigest::parse(words[1]));
-                if (!match) return "UNKNOWN";
-                std::string out = "OK ";
-                util::append_number(out, match->family);
-                out.push_back(' ');
-                util::append_number(out, match->score);
-                out.push_back(' ');
-                out += match->name;
-                return cap_response(std::move(out));
+                return cap_response(format_identify_reply(match));
             }
             std::vector<fuzzy::FuzzyDigest> digests;
             digests.reserve(words.size() - 1);
@@ -86,17 +83,7 @@ std::string execute_query(RecognitionService& service, std::string_view request)
                 digests.push_back(fuzzy::FuzzyDigest::parse(words[i]));
             }
             const auto matches = service.identify_many(digests, service.batch_pool());
-            std::string out = "OK ";
-            util::append_number(out, matches.size());
-            out.push_back('\n');
-            for (const auto& match : matches) {
-                if (match) {
-                    append_match(out, *match);
-                } else {
-                    out += "unknown\n";
-                }
-            }
-            return cap_response(std::move(out));
+            return cap_response(format_identify_many_reply(matches));
         }
 
         if (verb == "OBSERVE") {
@@ -186,6 +173,31 @@ std::string execute_query(RecognitionService& service, std::string_view request)
     } catch (const util::Error& e) {
         return std::string("ERR ") + e.what();
     }
+}
+
+std::string format_identify_reply(const std::optional<Identified>& match) {
+    if (!match) return "UNKNOWN";
+    std::string out = "OK ";
+    util::append_number(out, match->family);
+    out.push_back(' ');
+    util::append_number(out, match->score);
+    out.push_back(' ');
+    out += match->name;
+    return out;
+}
+
+std::string format_identify_many_reply(const std::vector<std::optional<Identified>>& matches) {
+    std::string out = "OK ";
+    util::append_number(out, matches.size());
+    out.push_back('\n');
+    for (const auto& match : matches) {
+        if (match) {
+            append_match(out, *match);
+        } else {
+            out += "unknown\n";
+        }
+    }
+    return out;
 }
 
 }  // namespace siren::serve

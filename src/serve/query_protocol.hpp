@@ -4,10 +4,11 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
+
+#include "serve/recognition_service.hpp"  // Identified
 
 namespace siren::serve {
-
-class RecognitionService;
 
 /// Length-framed query protocol shared by QueryServer and QueryClient.
 ///
@@ -15,9 +16,15 @@ class RecognitionService;
 /// little-endian payload length, then the payload. Payloads are single
 /// text requests/responses:
 ///
-///   request  := "IDENTIFY" digest+ | "OBSERVE" digest [hint]
+///   request  := "IDENTIFY" digest+ | "IDENTIFYB" digest+
+///             | "OBSERVE" digest [hint]
 ///             | "TOPN" digest k | "STATS" | "CHECKPOINT"
 ///   response := "OK" ... | "UNKNOWN" | "ERR" reason
+///
+/// IDENTIFYB is batch IDENTIFY with an unconditional counted reply
+/// ("OK n" + one line per digest) even for n = 1, so clients can detect
+/// truncated batch replies uniformly; plain IDENTIFY keeps the historical
+/// shape (bare reply for one digest, counted for several).
 ///
 /// Full grammar and examples in docs/recognition_service.md.
 inline constexpr std::uint32_t kMaxQueryFrameBytes = 1u << 20;
@@ -40,5 +47,15 @@ std::optional<std::string_view> parse_frame(std::string_view buffer, std::size_t
 /// Execute one request payload against the service and return the response
 /// payload. Never throws: malformed requests yield "ERR ..." responses.
 std::string execute_query(RecognitionService& service, std::string_view request);
+
+/// Reply payload for one resolved singleton IDENTIFY:
+/// "OK family score name" or "UNKNOWN". Shared by execute_query and the
+/// server-side coalescer so batched singletons answer byte-identically.
+std::string format_identify_reply(const std::optional<Identified>& match);
+
+/// Reply payload for a counted identify batch (IDENTIFYB / multi-digest
+/// IDENTIFY): "OK n\n" + one "match family score name" / "unknown" line
+/// per digest, in request order.
+std::string format_identify_many_reply(const std::vector<std::optional<Identified>>& matches);
 
 }  // namespace siren::serve

@@ -61,6 +61,18 @@ struct ServeOptions {
     /// batches serially on the calling thread.
     std::size_t batch_pool_threads = 0;
 
+    /// Query-server micro-batching of singleton IDENTIFY frames: probes
+    /// arriving within this window (across all connections) coalesce into
+    /// one identify_many pass through batch_pool(), each connection getting
+    /// its own reply. The window bounds the extra latency of the first
+    /// coalesced probe; 0 disables coalescing (every frame executes
+    /// inline, the pre-coalescer behavior).
+    std::uint32_t batch_window_us = 0;
+    /// Probes per coalesced batch; a full batch flushes immediately
+    /// without waiting out the window, so under saturating traffic the
+    /// window cost disappears and this knob sizes the identify_many calls.
+    std::size_t batch_max = 64;
+
     /// Leader mode for replication: journal client observes into
     /// segments_dir (stream prefix "obs-", wire FILE_H datagrams carrying
     /// "digest [hint]") and apply them *through the segment feed* instead

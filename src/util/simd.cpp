@@ -1,0 +1,392 @@
+#include "util/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/env.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define SIREN_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace siren::util::simd {
+
+namespace {
+
+Level detect() {
+#if defined(SIREN_SIMD_X86) && (defined(__GNUC__) || defined(__clang__))
+    // SSE2 is the x86-64 baseline; only AVX2 needs a runtime probe.
+    if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+    return Level::kSse2;
+#elif defined(SIREN_SIMD_X86)
+    return Level::kSse2;
+#else
+    return Level::kScalar;
+#endif
+}
+
+/// force_level() state; -1 = none. Relaxed: per-query dispatch only needs
+/// an eventually-visible clamp, not ordering against the scan itself.
+std::atomic<int> g_forced{-1};
+
+/// detected_level() clamped by the one-shot SIREN_FORCE_SCALAR read.
+Level env_level() {
+    static const Level cached = [] {
+        if (util::get_env_int("SIREN_FORCE_SCALAR", 0) != 0) return Level::kScalar;
+        return detect();
+    }();
+    return cached;
+}
+
+// ---------------------------------------------------------------------------
+// Signature-gate bitmaps. Each variant walks the column front to back and
+// assembles bitmap words in order, so the outputs are identical bit for bit.
+
+void sig_gate_bitmap_scalar(const std::uint64_t* sigs, std::size_t n, std::uint64_t probe,
+                            std::uint64_t* bitmap) {
+    std::uint64_t word = 0;
+    unsigned shift = 0;
+    std::size_t wi = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((sigs[i] & probe) != 0) word |= std::uint64_t{1} << shift;
+        if (++shift == 64) {
+            bitmap[wi++] = word;
+            word = 0;
+            shift = 0;
+        }
+    }
+    if (shift != 0) bitmap[wi] = word;
+}
+
+void sig_gate_bitmap_or_scalar(const std::uint64_t* sigs_a, std::uint64_t probe_a,
+                               const std::uint64_t* sigs_b, std::uint64_t probe_b,
+                               std::size_t n, std::uint64_t* bitmap) {
+    std::uint64_t word = 0;
+    unsigned shift = 0;
+    std::size_t wi = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((sigs_a[i] & probe_a) != 0 || (sigs_b[i] & probe_b) != 0) {
+            word |= std::uint64_t{1} << shift;
+        }
+        if (++shift == 64) {
+            bitmap[wi++] = word;
+            word = 0;
+            shift = 0;
+        }
+    }
+    if (shift != 0) bitmap[wi] = word;
+}
+
+#if defined(SIREN_SIMD_X86)
+
+/// 64-bit-lane zero test with SSE2-only ops: a lane is zero iff both of
+/// its 32-bit halves compare equal to zero.
+inline __m128i lanes_zero_sse2(__m128i v) {
+    const __m128i eq32 = _mm_cmpeq_epi32(v, _mm_setzero_si128());
+    return _mm_and_si128(eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+
+void sig_gate_bitmap_sse2(const std::uint64_t* sigs, std::size_t n, std::uint64_t probe,
+                          std::uint64_t* bitmap) {
+    const __m128i vprobe = _mm_set1_epi64x(static_cast<long long>(probe));
+    std::uint64_t word = 0;
+    unsigned shift = 0;
+    std::size_t wi = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sigs + i));
+        const __m128i zero_lanes = lanes_zero_sse2(_mm_and_si128(v, vprobe));
+        const auto zero_mask =
+            static_cast<unsigned>(_mm_movemask_pd(_mm_castsi128_pd(zero_lanes)));
+        word |= static_cast<std::uint64_t>(~zero_mask & 0x3u) << shift;
+        shift += 2;
+        if (shift == 64) {
+            bitmap[wi++] = word;
+            word = 0;
+            shift = 0;
+        }
+    }
+    for (; i < n; ++i) {
+        if ((sigs[i] & probe) != 0) word |= std::uint64_t{1} << shift;
+        if (++shift == 64) {
+            bitmap[wi++] = word;
+            word = 0;
+            shift = 0;
+        }
+    }
+    if (shift != 0) bitmap[wi] = word;
+}
+
+void sig_gate_bitmap_or_sse2(const std::uint64_t* sigs_a, std::uint64_t probe_a,
+                             const std::uint64_t* sigs_b, std::uint64_t probe_b, std::size_t n,
+                             std::uint64_t* bitmap) {
+    const __m128i vpa = _mm_set1_epi64x(static_cast<long long>(probe_a));
+    const __m128i vpb = _mm_set1_epi64x(static_cast<long long>(probe_b));
+    std::uint64_t word = 0;
+    unsigned shift = 0;
+    std::size_t wi = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sigs_a + i));
+        const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sigs_b + i));
+        const __m128i both_zero = _mm_and_si128(lanes_zero_sse2(_mm_and_si128(va, vpa)),
+                                                lanes_zero_sse2(_mm_and_si128(vb, vpb)));
+        const auto zero_mask =
+            static_cast<unsigned>(_mm_movemask_pd(_mm_castsi128_pd(both_zero)));
+        word |= static_cast<std::uint64_t>(~zero_mask & 0x3u) << shift;
+        shift += 2;
+        if (shift == 64) {
+            bitmap[wi++] = word;
+            word = 0;
+            shift = 0;
+        }
+    }
+    for (; i < n; ++i) {
+        if ((sigs_a[i] & probe_a) != 0 || (sigs_b[i] & probe_b) != 0) {
+            word |= std::uint64_t{1} << shift;
+        }
+        if (++shift == 64) {
+            bitmap[wi++] = word;
+            word = 0;
+            shift = 0;
+        }
+    }
+    if (shift != 0) bitmap[wi] = word;
+}
+
+__attribute__((target("avx2"))) void sig_gate_bitmap_avx2(const std::uint64_t* sigs,
+                                                          std::size_t n, std::uint64_t probe,
+                                                          std::uint64_t* bitmap) {
+    const __m256i vprobe = _mm256_set1_epi64x(static_cast<long long>(probe));
+    const __m256i zero = _mm256_setzero_si256();
+    std::uint64_t word = 0;
+    unsigned shift = 0;
+    std::size_t wi = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sigs + i));
+        const __m256i zero_lanes = _mm256_cmpeq_epi64(_mm256_and_si256(v, vprobe), zero);
+        const auto zero_mask =
+            static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(zero_lanes)));
+        word |= static_cast<std::uint64_t>(~zero_mask & 0xFu) << shift;
+        shift += 4;
+        if (shift == 64) {
+            bitmap[wi++] = word;
+            word = 0;
+            shift = 0;
+        }
+    }
+    for (; i < n; ++i) {
+        if ((sigs[i] & probe) != 0) word |= std::uint64_t{1} << shift;
+        if (++shift == 64) {
+            bitmap[wi++] = word;
+            word = 0;
+            shift = 0;
+        }
+    }
+    if (shift != 0) bitmap[wi] = word;
+}
+
+__attribute__((target("avx2"))) void sig_gate_bitmap_or_avx2(
+    const std::uint64_t* sigs_a, std::uint64_t probe_a, const std::uint64_t* sigs_b,
+    std::uint64_t probe_b, std::size_t n, std::uint64_t* bitmap) {
+    const __m256i vpa = _mm256_set1_epi64x(static_cast<long long>(probe_a));
+    const __m256i vpb = _mm256_set1_epi64x(static_cast<long long>(probe_b));
+    const __m256i zero = _mm256_setzero_si256();
+    std::uint64_t word = 0;
+    unsigned shift = 0;
+    std::size_t wi = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sigs_a + i));
+        const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sigs_b + i));
+        const __m256i za = _mm256_cmpeq_epi64(_mm256_and_si256(va, vpa), zero);
+        const __m256i zb = _mm256_cmpeq_epi64(_mm256_and_si256(vb, vpb), zero);
+        const __m256i both_zero = _mm256_and_si256(za, zb);
+        const auto zero_mask =
+            static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(both_zero)));
+        word |= static_cast<std::uint64_t>(~zero_mask & 0xFu) << shift;
+        shift += 4;
+        if (shift == 64) {
+            bitmap[wi++] = word;
+            word = 0;
+            shift = 0;
+        }
+    }
+    for (; i < n; ++i) {
+        if ((sigs_a[i] & probe_a) != 0 || (sigs_b[i] & probe_b) != 0) {
+            word |= std::uint64_t{1} << shift;
+        }
+        if (++shift == 64) {
+            bitmap[wi++] = word;
+            word = 0;
+            shift = 0;
+        }
+    }
+    if (shift != 0) bitmap[wi] = word;
+}
+
+#endif  // SIREN_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Sorted-u64 intersection (boolean). Inputs may contain duplicates.
+
+bool intersect_scalar(const std::uint64_t* a, std::size_t na, const std::uint64_t* b,
+                      std::size_t nb) {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < na && j < nb) {
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (a[i] > b[j]) {
+            ++j;
+        } else {
+            return true;
+        }
+    }
+    return false;
+}
+
+/// First index >= from with v[idx] >= x, by exponential probing then a
+/// binary search of the bracketed window.
+std::size_t gallop_lower_bound(const std::uint64_t* v, std::size_t n, std::size_t from,
+                               std::uint64_t x) {
+    if (from >= n || v[from] >= x) return from;
+    std::size_t lo = from;  // invariant: v[lo] < x
+    std::size_t step = 1;
+    while (lo + step < n && v[lo + step] < x) {
+        lo += step;
+        step <<= 1;
+    }
+    const std::size_t hi = std::min(n, lo + step + 1);
+    return static_cast<std::size_t>(std::lower_bound(v + lo + 1, v + hi, x) - v);
+}
+
+/// Asymmetric case: walk the small array, galloping through the large one.
+/// O(ns * log(nl / ns)) instead of O(ns + nl).
+bool gallop_intersect(const std::uint64_t* small, std::size_t ns, const std::uint64_t* large,
+                      std::size_t nl) {
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < ns && pos < nl; ++i) {
+        pos = gallop_lower_bound(large, nl, pos, small[i]);
+        if (pos < nl && large[pos] == small[i]) return true;
+    }
+    return false;
+}
+
+#if defined(SIREN_SIMD_X86)
+
+/// Block merge: compare a 4-element block of each side all-pairs (the
+/// block against all four rotations of the other), then discard whichever
+/// block's last element is smaller — everything later on the other side is
+/// strictly larger (equality would have matched), so a discarded block can
+/// never intersect the remainder.
+__attribute__((target("avx2"))) bool intersect_avx2(const std::uint64_t* a, std::size_t na,
+                                                    const std::uint64_t* b, std::size_t nb) {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i + 4 <= na && j + 4 <= nb) {
+        const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+        __m256i eq = _mm256_cmpeq_epi64(va, vb);
+        eq = _mm256_or_si256(
+            eq, _mm256_cmpeq_epi64(va, _mm256_permute4x64_epi64(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+        eq = _mm256_or_si256(
+            eq, _mm256_cmpeq_epi64(va, _mm256_permute4x64_epi64(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+        eq = _mm256_or_si256(
+            eq, _mm256_cmpeq_epi64(va, _mm256_permute4x64_epi64(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+        if (!_mm256_testz_si256(eq, eq)) return true;
+        if (a[i + 3] < b[j + 3]) {
+            i += 4;
+        } else {
+            j += 4;
+        }
+    }
+    return intersect_scalar(a + i, na - i, b + j, nb - j);
+}
+
+#endif  // SIREN_SIMD_X86
+
+}  // namespace
+
+Level detected_level() {
+    static const Level cached = detect();
+    return cached;
+}
+
+Level active_level() {
+    const Level base = env_level();
+    const int forced = g_forced.load(std::memory_order_relaxed);
+    if (forced < 0) return base;
+    return static_cast<int>(base) < forced ? base : static_cast<Level>(forced);
+}
+
+void force_level(Level level) {
+    g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void clear_forced_level() { g_forced.store(-1, std::memory_order_relaxed); }
+
+std::string_view level_name(Level level) {
+    switch (level) {
+        case Level::kSse2:
+            return "sse2";
+        case Level::kAvx2:
+            return "avx2";
+        case Level::kScalar:
+            break;
+    }
+    return "scalar";
+}
+
+void sig_gate_bitmap(const std::uint64_t* sigs, std::size_t n, std::uint64_t probe_sig,
+                     std::uint64_t* bitmap, Level level) {
+#if defined(SIREN_SIMD_X86)
+    if (level == Level::kAvx2) {
+        sig_gate_bitmap_avx2(sigs, n, probe_sig, bitmap);
+        return;
+    }
+    if (level == Level::kSse2) {
+        sig_gate_bitmap_sse2(sigs, n, probe_sig, bitmap);
+        return;
+    }
+#else
+    (void)level;
+#endif
+    sig_gate_bitmap_scalar(sigs, n, probe_sig, bitmap);
+}
+
+void sig_gate_bitmap_or(const std::uint64_t* sigs_a, std::uint64_t probe_a,
+                        const std::uint64_t* sigs_b, std::uint64_t probe_b, std::size_t n,
+                        std::uint64_t* bitmap, Level level) {
+#if defined(SIREN_SIMD_X86)
+    if (level == Level::kAvx2) {
+        sig_gate_bitmap_or_avx2(sigs_a, probe_a, sigs_b, probe_b, n, bitmap);
+        return;
+    }
+    if (level == Level::kSse2) {
+        sig_gate_bitmap_or_sse2(sigs_a, probe_a, sigs_b, probe_b, n, bitmap);
+        return;
+    }
+#else
+    (void)level;
+#endif
+    sig_gate_bitmap_or_scalar(sigs_a, probe_a, sigs_b, probe_b, n, bitmap);
+}
+
+bool sorted_intersect(const std::uint64_t* a, std::size_t na, const std::uint64_t* b,
+                      std::size_t nb, Level level) {
+    if (na == 0 || nb == 0) return false;
+    // Gram columns are wildly asymmetric when a short probe part meets a
+    // long flattened column; galloping beats any linear merge there.
+    if (na * 8 <= nb) return gallop_intersect(a, na, b, nb);
+    if (nb * 8 <= na) return gallop_intersect(b, nb, a, na);
+#if defined(SIREN_SIMD_X86)
+    if (level == Level::kAvx2 && na >= 4 && nb >= 4) return intersect_avx2(a, na, b, nb);
+#endif
+    (void)level;
+    return intersect_scalar(a, na, b, nb);
+}
+
+}  // namespace siren::util::simd

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace siren::util::simd {
+
+/// Vector width the similarity hot path runs at, decided once per process
+/// by cpuid. Levels are ordered: a higher level implies every capability of
+/// the lower ones, so clamping (forcing) can only move down.
+enum class Level : int {
+    kScalar = 0,  ///< portable fallback, also the oracle for parity tests
+    kSse2 = 1,    ///< x86-64 baseline: 2x 64-bit lanes
+    kAvx2 = 2,    ///< 4x 64-bit lanes
+};
+
+/// What the hardware supports (cached after the first call).
+Level detected_level();
+
+/// The level the kernels actually dispatch on: detected_level() clamped by
+/// the SIREN_FORCE_SCALAR=1 environment override (read once) and by any
+/// force_level() in effect.
+Level active_level();
+
+/// Clamp active_level() to at most `level` (tests and benches pin the
+/// scalar path on AVX2 boxes; forcing above detected_level() is a no-op).
+void force_level(Level level);
+
+/// Undo force_level(); the environment override still applies.
+void clear_forced_level();
+
+/// "scalar" / "sse2" / "avx2".
+std::string_view level_name(Level level);
+
+/// Signature prefilter, vectorized: bit i of `bitmap` is set when
+/// `sigs[i] & probe_sig != 0`. `bitmap` must hold (n + 63) / 64 words; all
+/// of them (including tail bits past n) are overwritten, tail bits zero.
+void sig_gate_bitmap(const std::uint64_t* sigs, std::size_t n, std::uint64_t probe_sig,
+                     std::uint64_t* bitmap, Level level);
+
+/// Two-column variant for the equal-block-size pairing: bit i is set when
+/// either part's signature AND fires — `(sigs_a[i] & probe_a) != 0 ||
+/// (sigs_b[i] & probe_b) != 0`. Same bitmap contract as sig_gate_bitmap.
+void sig_gate_bitmap_or(const std::uint64_t* sigs_a, std::uint64_t probe_a,
+                        const std::uint64_t* sigs_b, std::uint64_t probe_b, std::size_t n,
+                        std::uint64_t* bitmap, Level level);
+
+/// Do two sorted u64 arrays (duplicates allowed) share an element? The
+/// exact gram confirm of the similarity scan. AVX2 compares 4x4 blocks
+/// all-pairs per step; heavily asymmetric inputs (8x or more) gallop the
+/// small side through the large one; everything else is the classic
+/// two-pointer merge. All variants return identical answers.
+bool sorted_intersect(const std::uint64_t* a, std::size_t na, const std::uint64_t* b,
+                      std::size_t nb, Level level);
+
+}  // namespace siren::util::simd

@@ -152,6 +152,49 @@ TEST_P(BitParallelSweep, WeightedDistanceUnchangedByDispatch) {
     }
 }
 
+TEST_P(BitParallelSweep, InterleavedX4MatchesScalarBounded) {
+    // The batched rescore kernel interleaves four Myers computations; every
+    // lane must stay bit-identical to the scalar bounded call — including
+    // the max_dist+1 abandon sentinel and the >64-char DP fallback — for
+    // any lane mix.
+    siren::util::Rng rng(GetParam() ^ 0x4444u);
+    for (int round = 0; round < 200; ++round) {
+        std::string a_store[4];
+        std::string b_store[4];
+        std::string_view a[4];
+        std::string_view b[4];
+        std::size_t max_dist[4];
+        for (int k = 0; k < 4; ++k) {
+            // Lengths 0..80 cross the 64-char pattern boundary, so some
+            // lanes take the scalar fallback while others stay batched.
+            a_store[k] = random_word(rng, 80, 4);
+            b_store[k] = random_word(rng, 80, 4);
+            a[k] = a_store[k];
+            b[k] = b_store[k];
+            max_dist[k] = rng.index(96);
+        }
+        std::size_t batched[4];
+        sf::indel_distance_bounded_x4(a, b, max_dist, batched);
+        for (int k = 0; k < 4; ++k) {
+            EXPECT_EQ(batched[k], sf::indel_distance_bounded(a[k], b[k], max_dist[k]))
+                << "lane " << k << " a='" << a[k] << "' b='" << b[k]
+                << "' max_dist=" << max_dist[k];
+        }
+    }
+}
+
+TEST(IndelX4, EmptyAndBoundaryLanes) {
+    const std::string_view a[4] = {"", "abcdef", "", "zzzz"};
+    const std::string_view b[4] = {"", "", "xyz", "zzzz"};
+    const std::size_t max_dist[4] = {0, 3, 10, 0};
+    std::size_t out[4];
+    sf::indel_distance_bounded_x4(a, b, max_dist, out);
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_EQ(out[1], 4u) << "abandoned: length gap 6 > max_dist 3 reports max_dist+1";
+    EXPECT_EQ(out[2], 3u);
+    EXPECT_EQ(out[3], 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BitParallelSweep, ::testing::Values(101u, 202u, 303u));
 
 // --- metric-property sweeps -------------------------------------------------

@@ -13,6 +13,7 @@
 #include "recognize/recognize.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sr = siren::recognize;
@@ -165,6 +166,53 @@ TEST_P(IndexRecallSweep, IndexedQueryEqualsBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IndexRecallSweep, ::testing::Values(11, 22, 33, 44, 55));
+
+namespace {
+
+/// RAII pin for the SIMD dispatch level, so an assertion failure cannot
+/// leave a forced level behind for later tests.
+struct ForcedLevel {
+    explicit ForcedLevel(siren::util::simd::Level level) {
+        siren::util::simd::force_level(level);
+    }
+    ~ForcedLevel() { siren::util::simd::clear_forced_level(); }
+};
+
+}  // namespace
+
+// The SIMD scan contract: whatever level the hardware dispatches to, the
+// results are bit-identical to the forced-scalar scan and to brute force —
+// same ids, same scores, same order. Randomized at 10k-digest scale so the
+// vector kernels cross many chunk boundaries, bucket sizes, and pairings.
+class SimdParitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimdParitySweep, SimdScalarAndBruteForceAgreeAt10k) {
+    const std::uint64_t seed = GetParam();
+    const Corpus corpus = make_corpus(200, 50, 2048, seed, 0.015);
+    ASSERT_EQ(corpus.digests.size(), 10000u);
+    sr::SimilarityIndex index;
+    for (const auto& d : corpus.digests) index.add(d);
+
+    siren::util::Rng rng(seed ^ 0x51D0u);
+    for (int round = 0; round < 48; ++round) {
+        const auto& probe = corpus.digests[rng.index(corpus.digests.size())];
+        const int min_score = static_cast<int>(1 + rng.index(90));
+        const std::size_t top_n = round % 3 == 0 ? 0 : rng.index(20);
+
+        const auto simd = index.query(probe, min_score, top_n);
+        std::vector<sr::ScoredMatch> scalar;
+        {
+            ForcedLevel pin(siren::util::simd::Level::kScalar);
+            scalar = index.query(probe, min_score, top_n);
+        }
+        ASSERT_EQ(simd, scalar) << "simd vs forced-scalar, seed " << seed << " round "
+                                << round << " min_score " << min_score;
+        ASSERT_EQ(simd, index.query_bruteforce(probe, min_score, top_n))
+            << "simd vs brute force, seed " << seed << " round " << round;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdParitySweep, ::testing::Values(71u, 72u));
 
 TEST(SimilarityIndex, PrunesVersusBruteForce) {
     // The point of the index: on a corpus of unrelated blobs the Bloom

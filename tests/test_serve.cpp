@@ -4,6 +4,10 @@
 // the live recognition daemon.
 
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -616,6 +620,27 @@ TEST(QueryServer, BatchIdentifyAndConcurrentClientsUnderWrites) {
     EXPECT_EQ(server.stats().protocol_errors, 0u);
 }
 
+TEST(QueryProtocol, IdentifybAlwaysAnswersCounted) {
+    sv::RecognitionService service(fast_options());
+    siren::util::Rng rng(61);
+    const auto digest_str = sf::fuzzy_hash(rng.bytes(8192)).to_string();
+
+    // Counted framing even for one digest — the uniformity IDENTIFYB exists
+    // for (QueryClient's truncation check relies on it).
+    EXPECT_EQ(sv::execute_query(service, "IDENTIFYB " + digest_str), "OK 1\nunknown\n");
+    sv::execute_query(service, "OBSERVE " + digest_str + " icon");
+    const auto reply = sv::execute_query(service, "IDENTIFYB " + digest_str);
+    EXPECT_TRUE(reply.starts_with("OK 1\nmatch ")) << reply;
+    EXPECT_NE(reply.find("icon"), std::string::npos);
+
+    const auto both =
+        sv::execute_query(service, "IDENTIFYB " + digest_str + " 3:zzzzzzz:zzzzzzz");
+    EXPECT_TRUE(both.starts_with("OK 2\nmatch ")) << both;
+    EXPECT_NE(both.find("\nunknown\n"), std::string::npos) << both;
+
+    EXPECT_TRUE(sv::execute_query(service, "IDENTIFYB").starts_with("ERR"));
+}
+
 TEST(QueryServer, GarbageFrameDropsConnectionNotServer) {
     sv::RecognitionService service(fast_options());
     sv::QueryServer server(service);
@@ -630,4 +655,258 @@ TEST(QueryServer, GarbageFrameDropsConnectionNotServer) {
     EXPECT_TRUE(good.request("STATS").starts_with("OK"));
     server.stop();
     EXPECT_GE(server.stats().protocol_errors, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Request coalescing
+
+namespace {
+
+/// Blocking loopback socket for protocol-level tests that need pipelining
+/// or a stub server — things QueryClient's one-request-at-a-time API
+/// deliberately does not expose.
+int raw_connect(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/// Read until `count` complete frames arrive; returns their payloads.
+std::vector<std::string> read_frames(int fd, std::size_t count) {
+    std::vector<std::string> frames;
+    std::string buffer;
+    char buf[4096];
+    while (frames.size() < count) {
+        std::size_t consumed = 0;
+        const auto payload = sv::parse_frame(buffer, consumed);
+        if (payload) {
+            frames.emplace_back(*payload);
+            buffer.erase(0, consumed);
+            continue;
+        }
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) break;  // peer closed: return what we have
+        buffer.append(buf, static_cast<std::size_t>(n));
+    }
+    return frames;
+}
+
+}  // namespace
+
+TEST(QueryServer, CoalescingOffByDefault) {
+    sv::RecognitionService service(fast_options());
+    sv::QueryServer server(service);
+    sv::QueryClient client("127.0.0.1", server.port());
+    siren::util::Rng rng(67);
+    (void)client.identify(sf::fuzzy_hash(rng.bytes(8192)).to_string());
+    server.stop();
+    EXPECT_EQ(server.stats().coalesced_batches, 0u);
+    EXPECT_EQ(server.stats().coalesced_probes, 0u);
+}
+
+TEST(QueryServer, CoalescedConcurrentSingletonsMatchSequentialAnswers) {
+    auto options = fast_options();
+    options.batch_window_us = 2000;
+    options.batch_max = 8;
+    options.batch_pool_threads = 2;
+    sv::RecognitionService service(options);
+
+    siren::util::Rng rng(71);
+    std::vector<std::string> known;
+    for (int fam = 0; fam < 6; ++fam) {
+        const auto base = rng.bytes(16384);
+        service.observe_sync(sf::fuzzy_hash(base), "fam" + std::to_string(fam));
+        known.push_back(sf::fuzzy_hash(base).to_string());
+        known.push_back(sf::fuzzy_hash(mutate_region(base, 2000, 400,
+                                                     static_cast<std::uint64_t>(fam)))
+                            .to_string());
+    }
+    known.push_back(sf::fuzzy_hash(rng.bytes(4096)).to_string());  // unknown probe
+
+    // The oracle: the single-threaded, uncoalesced answer per digest. No
+    // writers run, so the snapshot cannot move under the clients.
+    std::vector<std::optional<sv::Identified>> expected;
+    for (const auto& digest : known) {
+        expected.push_back(service.identify(sf::FuzzyDigest::parse(digest)));
+    }
+
+    sv::QueryServer server(service);
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 8; ++t) {
+        clients.emplace_back([&, t] {
+            try {
+                sv::QueryClient client("127.0.0.1", server.port());
+                for (int i = 0; i < 20; ++i) {
+                    const std::size_t pick =
+                        (static_cast<std::size_t>(t) * 20 + static_cast<std::size_t>(i)) %
+                        known.size();
+                    const auto match = client.identify(known[pick]);
+                    const auto& want = expected[pick];
+                    if (match.has_value() != want.has_value() ||
+                        (match && (match->family != want->family ||
+                                   match->score != want->score || match->name != want->name))) {
+                        mismatches.fetch_add(1);
+                        return;
+                    }
+                }
+            } catch (const std::exception&) {
+                mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto& c : clients) c.join();
+    server.stop();
+    EXPECT_EQ(mismatches.load(), 0) << "a coalesced singleton got a non-sequential answer";
+    // Every singleton IDENTIFY flows through the batcher when coalescing is
+    // on; even a worst-case schedule where every probe flushes alone still
+    // counts its flushes.
+    EXPECT_GE(server.stats().coalesced_batches, 1u);
+    EXPECT_EQ(server.stats().coalesced_probes, 160u);
+    EXPECT_LE(server.stats().coalesced_batches, server.stats().coalesced_probes);
+}
+
+TEST(QueryServer, PipelinedSingletonsRideOneBatchAndReplyInOrder) {
+    auto options = fast_options();
+    options.batch_window_us = 5000;
+    options.batch_max = 8;
+    sv::RecognitionService service(options);
+    siren::util::Rng rng(73);
+    std::vector<std::string> digests;
+    for (int i = 0; i < 5; ++i) {
+        const auto blob = rng.bytes(8192);
+        service.observe_sync(sf::fuzzy_hash(blob), "pipe" + std::to_string(i));
+        digests.push_back(sf::fuzzy_hash(blob).to_string());
+    }
+    sv::QueryServer server(service);
+
+    // One write carrying five singleton frames plus a trailing STATS: the
+    // five park in one batch, and STATS — not coalescible — must wait its
+    // turn so replies come back strictly in request order.
+    const int fd = raw_connect(server.port());
+    ASSERT_GE(fd, 0);
+    std::string burst;
+    for (const auto& digest : digests) sv::append_frame(burst, "IDENTIFY " + digest);
+    sv::append_frame(burst, "STATS");
+    ASSERT_EQ(::send(fd, burst.data(), burst.size(), 0),
+              static_cast<ssize_t>(burst.size()));
+
+    const auto replies = read_frames(fd, 6);
+    ::close(fd);
+    ASSERT_EQ(replies.size(), 6u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_TRUE(replies[static_cast<std::size_t>(i)].starts_with("OK ")) << replies[i];
+        EXPECT_NE(replies[static_cast<std::size_t>(i)].find("pipe" + std::to_string(i)),
+                  std::string::npos)
+            << "reply " << i << " out of order: " << replies[i];
+    }
+    EXPECT_TRUE(replies[5].starts_with("OK\nrole leader\n")) << replies[5];
+    EXPECT_NE(replies[5].find("\nsimd_level "), std::string::npos) << replies[5];
+    EXPECT_NE(replies[5].find("\ncoalesced_batches "), std::string::npos) << replies[5];
+    EXPECT_NE(replies[5].find("\ncoalesce_occupancy "), std::string::npos) << replies[5];
+
+    server.stop();
+    EXPECT_EQ(server.stats().coalesced_probes, 5u);
+    EXPECT_EQ(server.stats().coalesced_batches, 1u)
+        << "five pipelined singletons below batch_max must flush as one batch";
+}
+
+TEST(QueryServer, CoalescerAnswersMalformedDigestInOrder) {
+    auto options = fast_options();
+    options.batch_window_us = 2000;
+    options.batch_max = 4;
+    sv::RecognitionService service(options);
+    siren::util::Rng rng(79);
+    const auto digest_str = sf::fuzzy_hash(rng.bytes(8192)).to_string();
+    service.observe_sync(sf::FuzzyDigest::parse(digest_str), "icon");
+    sv::QueryServer server(service);
+
+    const int fd = raw_connect(server.port());
+    ASSERT_GE(fd, 0);
+    std::string burst;
+    sv::append_frame(burst, "IDENTIFY " + digest_str);
+    sv::append_frame(burst, "IDENTIFY not-a-digest");
+    sv::append_frame(burst, "IDENTIFYB " + digest_str);
+    ASSERT_EQ(::send(fd, burst.data(), burst.size(), 0),
+              static_cast<ssize_t>(burst.size()));
+    const auto replies = read_frames(fd, 3);
+    ::close(fd);
+    server.stop();
+    ASSERT_EQ(replies.size(), 3u);
+    EXPECT_TRUE(replies[0].starts_with("OK ")) << replies[0];
+    EXPECT_TRUE(replies[1].starts_with("ERR")) << replies[1];
+    EXPECT_TRUE(replies[2].starts_with("OK 1\nmatch "))
+        << "coalesced IDENTIFYB must keep counted framing: " << replies[2];
+}
+
+// ---------------------------------------------------------------------------
+// QueryClient::identify_many single-probe framing
+
+TEST(QueryClient, IdentifyManyOfOneMatchesIdentify) {
+    sv::RecognitionService service(fast_options());
+    siren::util::Rng rng(83);
+    const auto digest_str = sf::fuzzy_hash(rng.bytes(8192)).to_string();
+    service.observe_sync(sf::FuzzyDigest::parse(digest_str), "solo");
+    sv::QueryServer server(service);
+
+    sv::QueryClient client("127.0.0.1", server.port());
+    const auto single = client.identify(digest_str);
+    const auto many = client.identify_many({digest_str});
+    ASSERT_EQ(many.size(), 1u);
+    ASSERT_TRUE(single && many[0]);
+    EXPECT_EQ(many[0]->family, single->family);
+    EXPECT_EQ(many[0]->score, single->score);
+    EXPECT_EQ(many[0]->name, single->name);
+
+    const auto unknown = client.identify_many({"3:zzzzzzz:zzzzzzz"});
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_FALSE(unknown[0].has_value());
+}
+
+TEST(QueryClient, IdentifyManyOfOneDetectsTruncatedReply) {
+    // Regression: the old single-element shortcut answered through bare
+    // IDENTIFY framing, so a batch reply cut off after its header passed
+    // undetected for exactly one probe. A stub server that advertises one
+    // result and sends none must now trip the truncation check.
+    const int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ASSERT_GE(listener, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    ASSERT_EQ(::listen(listener, 1), 0);
+    socklen_t len = sizeof addr;
+    ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+    const std::uint16_t port = ntohs(addr.sin_port);
+
+    std::string seen_request;
+    std::thread stub([&] {
+        const int conn = ::accept(listener, nullptr, nullptr);
+        char buf[512];
+        const ssize_t n = ::recv(conn, buf, sizeof buf, 0);
+        if (n > 4) seen_request.assign(buf + 4, static_cast<std::size_t>(n) - 4);
+        std::string reply;
+        sv::append_frame(reply, "OK 1\n");  // header promises a line, body missing
+        (void)::send(conn, reply.data(), reply.size(), MSG_NOSIGNAL);
+        ::close(conn);
+    });
+
+    sv::QueryClient client("127.0.0.1", port);
+    try {
+        (void)client.identify_many({"3:abcdefg:hijklmn"});
+        FAIL() << "truncated counted reply must throw";
+    } catch (const siren::util::Error& e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+    }
+    stub.join();
+    ::close(listener);
+    EXPECT_TRUE(seen_request.starts_with("IDENTIFYB "))
+        << "single-probe identify_many must use counted framing: " << seen_request;
 }

@@ -1,0 +1,167 @@
+// SIMD dispatch layer: level plumbing, and every vector kernel checked
+// bit-for-bit against an independent scalar oracle at all dispatch levels
+// the host supports (on AVX2 hardware that is scalar, SSE2, and AVX2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace simd = siren::util::simd;
+
+namespace {
+
+/// RAII pin so a failing assertion cannot leak a forced level into later
+/// tests.
+struct ForcedLevel {
+    explicit ForcedLevel(simd::Level level) { simd::force_level(level); }
+    ~ForcedLevel() { simd::clear_forced_level(); }
+};
+
+std::vector<simd::Level> supported_levels() {
+    std::vector<simd::Level> levels = {simd::Level::kScalar};
+    if (simd::detected_level() >= simd::Level::kSse2) levels.push_back(simd::Level::kSse2);
+    if (simd::detected_level() >= simd::Level::kAvx2) levels.push_back(simd::Level::kAvx2);
+    return levels;
+}
+
+/// Independent oracle for the signature gate (not the production scalar
+/// kernel, which is itself under test as Level::kScalar).
+std::vector<std::uint64_t> oracle_bitmap(const std::vector<std::uint64_t>& sigs,
+                                         std::uint64_t probe) {
+    std::vector<std::uint64_t> bitmap((sigs.size() + 63) / 64, 0);
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+        if ((sigs[i] & probe) != 0) bitmap[i / 64] |= 1ull << (i % 64);
+    }
+    return bitmap;
+}
+
+bool oracle_intersect(const std::vector<std::uint64_t>& a,
+                      const std::vector<std::uint64_t>& b) {
+    for (const auto x : a) {
+        if (std::binary_search(b.begin(), b.end(), x)) return true;
+    }
+    return false;
+}
+
+std::vector<std::uint64_t> random_sorted(siren::util::Rng& rng, std::size_t n,
+                                         std::uint64_t range) {
+    std::vector<std::uint64_t> v;
+    v.reserve(n);
+    // Narrow range on purpose: collisions produce duplicates, which the
+    // AVX2 all-pairs block compare must handle.
+    for (std::size_t i = 0; i < n; ++i) v.push_back(rng.next() % range);
+    std::sort(v.begin(), v.end());
+    return v;
+}
+
+}  // namespace
+
+TEST(SimdLevel, NamesAndOrdering) {
+    EXPECT_EQ(simd::level_name(simd::Level::kScalar), "scalar");
+    EXPECT_EQ(simd::level_name(simd::Level::kSse2), "sse2");
+    EXPECT_EQ(simd::level_name(simd::Level::kAvx2), "avx2");
+    EXPECT_GE(simd::detected_level(), simd::Level::kScalar);
+    EXPECT_LE(simd::active_level(), simd::detected_level());
+}
+
+TEST(SimdLevel, ForceClampsAndClears) {
+    const auto before = simd::active_level();
+    {
+        ForcedLevel pin(simd::Level::kScalar);
+        EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+    }
+    EXPECT_EQ(simd::active_level(), before) << "clear_forced_level must restore";
+    // Forcing above the detected level is a no-op clamp, never an upgrade.
+    ForcedLevel pin(simd::Level::kAvx2);
+    EXPECT_LE(simd::active_level(), simd::detected_level());
+}
+
+TEST(SimdSigGate, MatchesOracleAtEveryLevel) {
+    siren::util::Rng rng(4242);
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                                std::size_t{63}, std::size_t{64}, std::size_t{65},
+                                std::size_t{200}}) {
+        std::vector<std::uint64_t> sigs;
+        for (std::size_t i = 0; i < n; ++i) {
+            // Mix sparse and dense signatures so both hit-heavy and
+            // miss-heavy words occur.
+            sigs.push_back(rng.index(4) == 0 ? rng.next() : (1ull << rng.index(64)));
+        }
+        const std::uint64_t probe = rng.next();
+        const auto expected = oracle_bitmap(sigs, probe);
+        for (const auto level : supported_levels()) {
+            std::vector<std::uint64_t> bitmap((n + 63) / 64, ~0ull);  // dirty on purpose
+            simd::sig_gate_bitmap(sigs.data(), n, probe, bitmap.data(), level);
+            EXPECT_EQ(bitmap, expected)
+                << "n=" << n << " level=" << simd::level_name(level);
+        }
+    }
+}
+
+TEST(SimdSigGate, OrVariantMatchesOracleAtEveryLevel) {
+    siren::util::Rng rng(2424);
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{64}, std::size_t{129}}) {
+        std::vector<std::uint64_t> sigs_a;
+        std::vector<std::uint64_t> sigs_b;
+        for (std::size_t i = 0; i < n; ++i) {
+            sigs_a.push_back(1ull << rng.index(64));
+            sigs_b.push_back(1ull << rng.index(64));
+        }
+        const std::uint64_t probe_a = rng.next() & rng.next();
+        const std::uint64_t probe_b = rng.next() & rng.next();
+        const auto bits_a = oracle_bitmap(sigs_a, probe_a);
+        const auto bits_b = oracle_bitmap(sigs_b, probe_b);
+        std::vector<std::uint64_t> expected((n + 63) / 64, 0);
+        for (std::size_t w = 0; w < expected.size(); ++w) expected[w] = bits_a[w] | bits_b[w];
+        for (const auto level : supported_levels()) {
+            std::vector<std::uint64_t> bitmap((n + 63) / 64, ~0ull);
+            simd::sig_gate_bitmap_or(sigs_a.data(), probe_a, sigs_b.data(), probe_b, n,
+                                     bitmap.data(), level);
+            EXPECT_EQ(bitmap, expected)
+                << "n=" << n << " level=" << simd::level_name(level);
+        }
+    }
+}
+
+TEST(SimdIntersect, MatchesOracleAtEveryLevel) {
+    siren::util::Rng rng(777);
+    // Size pairs cover: empty sides, sub-vector-width, the galloping
+    // threshold (8x asymmetry), and block-sized inputs.
+    const std::size_t sizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 16, 33, 100, 200};
+    for (const std::size_t na : sizes) {
+        for (const std::size_t nb : sizes) {
+            for (int round = 0; round < 8; ++round) {
+                // Vary density so some pairs intersect and some do not.
+                const std::uint64_t range = round % 2 == 0 ? 64 : 100000;
+                const auto a = random_sorted(rng, na, range);
+                const auto b = random_sorted(rng, nb, range);
+                const bool expected = oracle_intersect(a, b);
+                for (const auto level : supported_levels()) {
+                    EXPECT_EQ(simd::sorted_intersect(a.data(), na, b.data(), nb, level),
+                              expected)
+                        << "na=" << na << " nb=" << nb << " range=" << range
+                        << " level=" << simd::level_name(level);
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdIntersect, DuplicateRuns) {
+    // Long equal runs at block boundaries: the all-pairs compare and the
+    // strict advance rule must not skip past a shared value.
+    const std::vector<std::uint64_t> a = {5, 5, 5, 5, 9, 9, 9, 9};
+    const std::vector<std::uint64_t> b = {1, 1, 1, 1, 9, 9, 9, 9};
+    const std::vector<std::uint64_t> c = {1, 2, 3, 4, 6, 7, 8, 10};
+    for (const auto level : supported_levels()) {
+        EXPECT_TRUE(simd::sorted_intersect(a.data(), a.size(), b.data(), b.size(), level));
+        EXPECT_FALSE(simd::sorted_intersect(a.data(), a.size(), c.data(), c.size(), level));
+    }
+}

@@ -84,6 +84,10 @@ def condense(raw: dict) -> dict:
          "BM_SimilaritySearch/10000"),
         ("similarity_search_speedup_100k", "BM_SimilaritySearchBrute/100000",
          "BM_SimilaritySearch/100000"),
+        ("simd_scan_speedup_10k", "BM_SimilaritySearchScalar/10000",
+         "BM_SimilaritySearch/10000"),
+        ("simd_scan_speedup_100k", "BM_SimilaritySearchScalar/100000",
+         "BM_SimilaritySearch/100000"),
     ):
         value = ratio(slow, fast)
         if value is not None:
@@ -105,6 +109,26 @@ def condense(raw: dict) -> dict:
     value = ratio("BM_ServeIdentifyTcp", "BM_ServeIdentify/10000")
     if value is not None:
         out["ratios"]["serve_tcp_overhead"] = value
+
+    # Coalescing: concurrent singleton IDENTIFY throughput with the
+    # micro-batcher on, relative to the inline-execution baseline and to
+    # the explicit 64-probe IDENTIFYB ceiling. items/s is the honest
+    # metric here — the benches are multi-connection and real-time based.
+    def items_ratio(numer: str, denom: str):
+        a = out["benchmarks"].get(numer, {}).get("items_per_second")
+        b = out["benchmarks"].get(denom, {}).get("items_per_second")
+        if a and b and b > 0:
+            return round(a / b, 3)
+        return None
+
+    value = items_ratio("BM_ServeIdentifyTcpCoalesced/real_time/threads:4",
+                        "BM_ServeIdentifyTcpConcurrent/real_time/threads:4")
+    if value is not None:
+        out["ratios"]["identify_singleton_coalesced_vs_uncoalesced"] = value
+    value = items_ratio("BM_ServeIdentifyTcpCoalesced/real_time/threads:4",
+                        "BM_ServeIdentifyManyTcp/real_time")
+    if value is not None:
+        out["ratios"]["identify_singleton_coalesced_vs_batch"] = value
 
     # Replication: follower catch-up wall time over the leader's local
     # write wall time for the same corpus. Near 1x means shipping the log

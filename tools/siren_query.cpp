@@ -9,6 +9,11 @@
 //   siren_query --identify REPLICAS DIGEST...
 //                                     ask a running siren_recognized which
 //                                     family each digest belongs to
+//   siren_query --identify-file REPLICAS FILE
+//                                     batch identify: one digest per line
+//                                     (blank lines and #-comments skipped),
+//                                     sent as a single identify_many round
+//                                     trip
 //   siren_query --observe REPLICAS DIGEST [LABEL]
 //                                     record a sighting (optionally labeled)
 //   siren_query --topn REPLICAS DIGEST K
@@ -29,6 +34,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -46,6 +52,7 @@ int usage() {
     std::fprintf(stderr,
                  "usage: siren_query DB_DIR [--markdown|--records]\n"
                  "       siren_query --identify REPLICAS DIGEST...\n"
+                 "       siren_query --identify-file REPLICAS FILE\n"
                  "       siren_query --observe REPLICAS DIGEST [LABEL]\n"
                  "       siren_query --topn REPLICAS DIGEST K\n"
                  "       siren_query --serve-stats REPLICAS\n"
@@ -70,6 +77,36 @@ int serve_mode(const std::string& mode, const std::vector<std::string>& args) {
         if (mode == "--identify") {
             if (args.size() < 2) return usage();
             const std::vector<std::string> digests(args.begin() + 1, args.end());
+            const auto matches = client.identify_many(digests);
+            for (std::size_t i = 0; i < digests.size(); ++i) {
+                if (matches[i]) {
+                    std::printf("%s -> %s (family %u, score %d)\n", digests[i].c_str(),
+                                matches[i]->name.c_str(), matches[i]->family,
+                                matches[i]->score);
+                } else {
+                    std::printf("%s -> unknown\n", digests[i].c_str());
+                }
+            }
+            return 0;
+        }
+        if (mode == "--identify-file") {
+            if (args.size() != 2) return usage();
+            std::ifstream in(args[1]);
+            if (!in) {
+                std::fprintf(stderr, "siren_query: cannot read '%s'\n", args[1].c_str());
+                return 2;
+            }
+            std::vector<std::string> digests;
+            std::string line;
+            while (std::getline(in, line)) {
+                const auto digest = siren::util::trim(line);
+                if (digest.empty() || digest.front() == '#') continue;
+                digests.emplace_back(digest);
+            }
+            if (digests.empty()) {
+                std::fprintf(stderr, "siren_query: '%s' holds no digests\n", args[1].c_str());
+                return 2;
+            }
             const auto matches = client.identify_many(digests);
             for (std::size_t i = 0; i < digests.size(); ++i) {
                 if (matches[i]) {
@@ -132,8 +169,8 @@ int main(int argc, char** argv) {
     if (first.starts_with("--")) {
         // Service-client modes take the flag first; anything else that
         // looks like a flag is an error, not a silent fall-through.
-        static const char* kServeModes[] = {"--identify", "--observe", "--topn",
-                                            "--serve-stats", "--serve-checkpoint"};
+        static const char* kServeModes[] = {"--identify", "--identify-file", "--observe",
+                                            "--topn", "--serve-stats", "--serve-checkpoint"};
         for (const char* mode : kServeModes) {
             if (first == mode) {
                 return serve_mode(first, std::vector<std::string>(argv + 2, argv + argc));

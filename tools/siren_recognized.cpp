@@ -14,6 +14,9 @@
 //     --checkpoint-secs S  checkpoint cadence (default 30, 0 = only final)
 //     --threshold N        registry match threshold (default 60)
 //     --batch-threads N    fan-out pool for multi-digest IDENTIFY (default 0)
+//     --batch-window-us U  coalesce singleton IDENTIFYs arriving within U
+//                          microseconds into one batch (default 0 = off)
+//     --batch-max N        max probes per coalesced batch (default 64)
 //     --seconds S          run duration (default: until SIGINT/SIGTERM)
 //     --poll-ms MS         segment follow cadence (default 20)
 //     --publish-ms MS      min spacing between snapshot publishes (default 5;
@@ -62,6 +65,7 @@ int usage() {
                  "usage: siren_recognized PORT [--bind ADDR] [--segments DIR]\n"
                  "                        [--checkpoint FILE] [--checkpoint-secs S]\n"
                  "                        [--threshold N] [--batch-threads N]\n"
+                 "                        [--batch-window-us U] [--batch-max N]\n"
                  "                        [--seconds S] [--poll-ms MS] [--publish-ms MS]\n"
                  "                        [--replicate PORT] [--replicate-bind ADDR]\n"
                  "                        [--no-wal-fsync] [--follow HOST:PORT]\n");
@@ -91,6 +95,8 @@ int main(int argc, char** argv) {
     long publish_ms = 5;
     long threshold = 60;
     long batch_threads = 0;
+    long batch_window_us = 0;
+    long batch_max = 64;
     long replicate_port = -1;  // -1 = replication off
     std::string replicate_bind;
     std::string follow_endpoint;
@@ -112,6 +118,12 @@ int main(int argc, char** argv) {
             }
         } else if (needs_value("--batch-threads")) {
             if (!parse_number(argv[++i], batch_threads)) return usage();
+        } else if (needs_value("--batch-window-us")) {
+            if (!parse_number(argv[++i], batch_window_us) || batch_window_us < 0) {
+                return usage();
+            }
+        } else if (needs_value("--batch-max")) {
+            if (!parse_number(argv[++i], batch_max) || batch_max < 1) return usage();
         } else if (needs_value("--seconds")) {
             if (!parse_number(argv[++i], run_seconds)) return usage();
         } else if (needs_value("--poll-ms")) {
@@ -151,6 +163,8 @@ int main(int argc, char** argv) {
     options.feed_poll = std::chrono::milliseconds(poll_ms);
     options.publish_interval = std::chrono::milliseconds(publish_ms);
     options.batch_pool_threads = static_cast<std::size_t>(batch_threads);
+    options.batch_window_us = static_cast<std::uint32_t>(batch_window_us);
+    options.batch_max = static_cast<std::size_t>(batch_max);
     options.observe_wal = replicate_port >= 0;
     options.read_only = !follow_endpoint.empty();
 
