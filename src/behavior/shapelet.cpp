@@ -1,0 +1,121 @@
+#include "behavior/shapelet.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace siren::behavior {
+
+namespace {
+
+/// Equiprobable N(0,1) breakpoints for a 16-symbol alphabet: each symbol
+/// covers 1/16 of the probability mass of a standard normal, so a
+/// well-normalized trace spends comparable time in every bin and the
+/// digest's symbol distribution stays flat (maximum 7-gram entropy).
+constexpr double kBreakpoints[kAlphabet - 1] = {
+    -1.5341, -1.1503, -0.8871, -0.6745, -0.4888, -0.3186, -0.1573, 0.0,
+    0.1573,  0.3186,  0.4888,  0.6745,  0.8871,  1.1503,  1.5341,
+};
+
+char quantize(double z) {
+    std::size_t idx = kAlphabet - 1;
+    for (std::size_t i = 0; i < kAlphabet - 1; ++i) {
+        if (z < kBreakpoints[i]) {
+            idx = i;
+            break;
+        }
+    }
+    return static_cast<char>('A' + idx);
+}
+
+/// Piecewise-aggregate `samples` into means of `window` samples, quantize
+/// each against the trace-global (mean, stddev). A partial tail window is
+/// dropped: including it would make the last symbol depend on how many
+/// samples straggled in, and determinism across slightly-ragged trace
+/// lengths matters more than the tail's fraction of a symbol.
+std::string sax_word(std::span<const double> samples, double mean, double inv_stddev,
+                     std::size_t window) {
+    const std::size_t windows = samples.size() / window;
+    std::string word;
+    word.reserve(windows);
+    for (std::size_t i = 0; i < windows; ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < window; ++j) sum += samples[i * window + j];
+        const double z = (sum / static_cast<double>(window) - mean) * inv_stddev;
+        word += quantize(z);
+    }
+    return word;
+}
+
+}  // namespace
+
+bool is_behavior_digest(const fuzzy::FuzzyDigest& digest) {
+    const std::uint64_t bs = digest.block_size;
+    return bs >= kBlockScale && (bs & (bs - 1)) == 0;
+}
+
+fuzzy::FuzzyDigest shapelet_digest(std::span<const double> samples) {
+    util::require(samples.size() >= kMinTraceSamples,
+                  "shapelet_digest: trace too short (" + std::to_string(samples.size()) +
+                      " samples, need " + std::to_string(kMinTraceSamples) + ")");
+
+    double mean = 0.0;
+    for (const double s : samples) mean += s;
+    mean /= static_cast<double>(samples.size());
+    double var = 0.0;
+    for (const double s : samples) var += (s - mean) * (s - mean);
+    var /= static_cast<double>(samples.size());
+    // A flat trace (idle counter) has no shape: every window lands on the
+    // median symbol, eliminate_sequences collapses the run, and the digest
+    // matches only other flat traces. inv_stddev = 0 encodes exactly that.
+    const double stddev = std::sqrt(var);
+    const double inv_stddev = stddev > 1e-12 ? 1.0 / stddev : 0.0;
+
+    // Smallest power-of-two window whose coarse-resolution word still fits
+    // kTargetSymbols — the spamsum block-size ladder, transposed to time:
+    // traces of similar duration land on the same rung, traces of double
+    // duration land one rung up, and digest2 (computed at 2w) is what lets
+    // adjacent rungs still score against each other.
+    std::size_t window = 1;
+    while (samples.size() / window > kTargetSymbols) window *= 2;
+
+    fuzzy::FuzzyDigest digest;
+    digest.block_size = static_cast<std::uint64_t>(window) * kBlockScale;
+    digest.digest1 = sax_word(samples, mean, inv_stddev, window);
+    digest.digest2 = sax_word(samples, mean, inv_stddev, window * 2);
+    return digest;
+}
+
+std::string shapelet_digest_string(std::span<const double> samples) {
+    return shapelet_digest(samples).to_string();
+}
+
+std::vector<double> parse_trace(std::string_view text) {
+    std::vector<double> samples;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                     text[pos] == '\n' || text[pos] == '\r' ||
+                                     text[pos] == ',')) {
+            ++pos;
+        }
+        if (pos >= text.size()) break;
+        std::size_t end = pos;
+        while (end < text.size() && text[end] != ' ' && text[end] != '\t' &&
+               text[end] != '\n' && text[end] != '\r' && text[end] != ',') {
+            ++end;
+        }
+        const std::string token(text.substr(pos, end - pos));
+        char* parsed_end = nullptr;
+        const double value = std::strtod(token.c_str(), &parsed_end);
+        if (parsed_end == token.c_str() || *parsed_end != '\0') {
+            throw util::ParseError("trace sample is not a number: " + token);
+        }
+        samples.push_back(value);
+        pos = end;
+    }
+    return samples;
+}
+
+}  // namespace siren::behavior

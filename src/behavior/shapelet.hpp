@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fuzzy/ctph.hpp"
+
+namespace siren::behavior {
+
+/// Behavioral fingerprints: quantized shapelet digests of runtime counter
+/// traces (SAX-style — Lin et al.'s Symbolic Aggregate approXimation).
+///
+/// A trace is a windowed time series of one runtime counter (instructions,
+/// FLOPs, power, network bytes — anything sampled at a fixed cadence while
+/// the job runs). The digest pipeline:
+///
+///   1. z-normalize the whole trace (mean 0, stddev 1) — recognition must
+///      not depend on absolute counter magnitude, only on *shape*: the same
+///      solver on a faster node traces the same curve, scaled.
+///   2. Piecewise-aggregate into windows of `w` samples (window means).
+///   3. Quantize each window mean into a 16-symbol alphabet ('A'..'P')
+///      using equiprobable N(0,1) breakpoints.
+///
+/// The resulting symbol string is packaged as a fuzzy::FuzzyDigest —
+/// digest1 at window w, digest2 at window 2w, exactly the two-resolution
+/// scheme spamsum uses — so the entire existing compare stack
+/// (eliminate_sequences, Bloom 7-gram gating, bounded Myers, the SIMD
+/// bucket scan) measures behavioral similarity without a single new
+/// comparison routine.
+///
+/// Block-size labeling: the digest's block_size is `w * kBlockScale`
+/// (kBlockScale = 64). Two properties follow from fuzzy::compare's
+/// block-size rules (equal or factor-2 only, small-block score caps):
+///
+///   - w and 2w traces stay comparable (64w vs 128w is exactly factor 2),
+///     and block_size >= 64 always clears the small-block score cap.
+///   - Behavior digests can never score against content digests: content
+///     block sizes are 3 * 2^k, behavior block sizes are 64 * 2^j, and
+///     3 * 2^a = 64 * 2^b (or twice it) has no solution. The two channels
+///     share one SimilarityIndex implementation yet cannot cross-match.
+
+/// Symbols in the quantization alphabet. 16 is the selectivity knob for
+/// the whole compare stack: a nonzero fuzzy::compare score requires a
+/// common 7-gram, and with 16 equiprobable symbols two *unrelated* traces
+/// almost never share seven consecutive quantile bins — so the Bloom
+/// prefilter rejects cross-family candidates cheaply and spurious
+/// behavior matches stay rare. Two runs of the *same* workload differ
+/// only by noise-driven single-bin flips, which the Myers edit distance
+/// absorbs (and digest2's coarser windows average away).
+inline constexpr std::size_t kAlphabet = 16;
+
+/// Target symbols per digest part; matches fuzzy::kSpamsumLength so the
+/// compare stack's length assumptions hold.
+inline constexpr std::size_t kTargetSymbols = fuzzy::kSpamsumLength;
+
+/// block_size = window * kBlockScale; see the header comment.
+inline constexpr std::uint64_t kBlockScale = 64;
+
+/// Minimum samples for a meaningful digest: below one 7-gram of windows
+/// the compare stack can only ever report 0 or exact-match 100.
+inline constexpr std::size_t kMinTraceSamples = 8;
+
+/// True when `digest` carries the behavior-channel block-size labeling
+/// (power of two, >= kBlockScale). Content digests (3 * 2^k) never do.
+bool is_behavior_digest(const fuzzy::FuzzyDigest& digest);
+
+/// Digest one counter trace. Deterministic: the same samples always yield
+/// the same digest. Throws util::Error when `samples` has fewer than
+/// kMinTraceSamples entries.
+fuzzy::FuzzyDigest shapelet_digest(std::span<const double> samples);
+
+/// shapelet_digest(...).to_string() — the canonical `bs:d1:d2` form that
+/// rides the wire as TS_H content.
+std::string shapelet_digest_string(std::span<const double> samples);
+
+/// Parse a whitespace-separated list of counter samples ("12.5 13 11.75
+/// ...") into a trace — the text form tools accept on stdin and the CI
+/// smoke pipes around. Throws util::ParseError on non-numeric tokens.
+std::vector<double> parse_trace(std::string_view text);
+
+}  // namespace siren::behavior

@@ -29,6 +29,7 @@ std::string_view to_string(MsgType type) {
         case MsgType::kObjectsHash: return "OBJECTS_H";
         case MsgType::kCompilersHash: return "COMPILERS_H";
         case MsgType::kMemMapHash: return "MEMMAP_H";
+        case MsgType::kTimeSeriesHash: return "TS_H";
     }
     return "FILEMETA";
 }
@@ -68,6 +69,9 @@ MsgType msg_type_from_string(std::string_view s) {
             if (s == "STRINGS_H") return MsgType::kStringsHash;
             if (s == "SYMBOLS_H") return MsgType::kSymbolsHash;
             if (s == "SCRIPT_H") return MsgType::kScriptHash;
+            break;
+        case 'T':
+            if (s == "TS_H") return MsgType::kTimeSeriesHash;
             break;
         default:
             break;

@@ -27,6 +27,7 @@ enum class MsgType : std::uint8_t {
     kObjectsHash = 11,  ///< OB_H: fuzzy hash of the shared-objects list
     kCompilersHash = 12,  ///< CO_H: fuzzy hash of the compilers list
     kMemMapHash = 13,     ///< MA_H: fuzzy hash of the memory map list
+    kTimeSeriesHash = 14,  ///< TS_H: shapelet digest of a runtime counter trace
 };
 
 std::string_view to_string(Layer layer);

@@ -90,11 +90,84 @@ Observation Registry::observe(const fuzzy::FuzzyDigest& digest, std::string_view
     return obs;
 }
 
+std::optional<FamilyId> Registry::family_named(std::string_view name) const {
+    if (name.empty()) return std::nullopt;
+    const std::string wanted = sanitize_label(name);
+    // Linear scan: this runs only when a behavioral sighting missed every
+    // behavior exemplar (new trace shapes are rare once a fleet warms up),
+    // and names mutate through rename/lazy-labeling, which a side map
+    // would have to chase through every path.
+    for (const FamilyInfo& fam : families_) {
+        if (fam.name == wanted) return fam.id;
+    }
+    return std::nullopt;
+}
+
+Observation Registry::observe_behavior(const fuzzy::FuzzyDigest& digest,
+                                       std::string_view name_hint) {
+    ++total_sightings_;
+    Observation obs;
+
+    const auto matches = behavior_index_.query(digest, options_.match_threshold, 1);
+    if (matches.empty()) {
+        // No known trace shape. Prefer attaching to the family the hint
+        // names (that is how content-founded families gain a behavioral
+        // signature); found a behavior-only family otherwise.
+        if (const auto named = family_named(name_hint)) {
+            obs.family = *named;
+            auto& fam = families_[obs.family];
+            ++fam.sightings;
+            if (fam.behavior_exemplars < options_.max_exemplars_per_family) {
+                behavior_owner_.push_back(obs.family);
+                behavior_index_.add(digest);
+                ++fam.behavior_exemplars;
+                obs.new_exemplar = true;
+            }
+            return obs;
+        }
+        obs.family = found_family(name_hint);
+        obs.new_family = true;
+        obs.new_exemplar = true;
+        behavior_owner_.push_back(obs.family);
+        behavior_index_.add(digest);
+        auto& fam = families_[obs.family];
+        fam.sightings = 1;
+        fam.behavior_exemplars = 1;
+        return obs;
+    }
+
+    obs.family = behavior_owner_[matches.front().id];
+    obs.best_score = matches.front().score;
+    auto& fam = families_[obs.family];
+    ++fam.sightings;
+    if (!name_hint.empty() && fam.name.starts_with("family-")) {
+        fam.name = sanitize_label(name_hint);
+    }
+    if (obs.best_score < options_.exemplar_add_below &&
+        fam.behavior_exemplars < options_.max_exemplars_per_family) {
+        behavior_owner_.push_back(obs.family);
+        behavior_index_.add(digest);
+        ++fam.behavior_exemplars;
+        obs.new_exemplar = true;
+    }
+    return obs;
+}
+
 std::optional<Observation> Registry::best_match(const fuzzy::FuzzyDigest& digest) const {
     const auto matches = index_.query(digest, options_.match_threshold, 1);
     if (matches.empty()) return std::nullopt;
     Observation obs;
     obs.family = exemplar_owner_[matches.front().id];
+    obs.best_score = matches.front().score;
+    return obs;
+}
+
+std::optional<Observation> Registry::best_match_behavior(
+    const fuzzy::FuzzyDigest& digest) const {
+    const auto matches = behavior_index_.query(digest, options_.match_threshold, 1);
+    if (matches.empty()) return std::nullopt;
+    Observation obs;
+    obs.family = behavior_owner_[matches.front().id];
     obs.best_score = matches.front().score;
     return obs;
 }
@@ -121,6 +194,91 @@ std::vector<Observation> Registry::top_families(const fuzzy::FuzzyDigest& digest
     return out;
 }
 
+std::vector<Observation> Registry::top_families_behavior(const fuzzy::FuzzyDigest& digest,
+                                                         std::size_t k) const {
+    std::vector<Observation> out;
+    if (k == 0) return out;
+    const auto matches = behavior_index_.query(digest, options_.match_threshold, 0);
+    std::vector<bool> seen(families_.size(), false);
+    for (const auto& m : matches) {
+        const FamilyId fam = behavior_owner_[m.id];
+        if (seen[fam]) continue;
+        seen[fam] = true;
+        Observation obs;
+        obs.family = fam;
+        obs.best_score = m.score;
+        out.push_back(obs);
+        if (out.size() == k) break;
+    }
+    return out;
+}
+
+int Registry::fuse_scores(int content_score, int behavior_score, bool both_probed) const {
+    // With a single probe only that channel can score, so the fused value
+    // is a pass-through. With both probes supplied, a channel that found
+    // nothing contributes its zero to the weighted mean — a family the
+    // probe matched on both channels must outrank a family one channel
+    // matched marginally harder, or fusion would be worse than either
+    // channel alone whenever they disagree.
+    if (!both_probed) return std::max(content_score, behavior_score);
+    const int wc = options_.content_weight;
+    const int wb = options_.behavior_weight;
+    if (wc + wb <= 0) return std::max(content_score, behavior_score);
+    return (wc * content_score + wb * behavior_score) / (wc + wb);
+}
+
+std::vector<FusedMatch> Registry::top_families_fused(const fuzzy::FuzzyDigest* content,
+                                                     const fuzzy::FuzzyDigest* behavior,
+                                                     std::size_t k) const {
+    std::vector<FusedMatch> out;
+    if (k == 0) return out;
+    // Best per-channel score per family; 0 = "this channel had no match at
+    // or above threshold" (channel scores of matched exemplars are always
+    // >= match_threshold > 0, so 0 is unambiguous as a sentinel).
+    std::vector<int> content_best(families_.size(), 0);
+    std::vector<int> behavior_best(families_.size(), 0);
+    if (content != nullptr) {
+        for (const auto& m : index_.query(*content, options_.match_threshold, 0)) {
+            int& best = content_best[exemplar_owner_[m.id]];
+            if (m.score > best) best = m.score;
+        }
+    }
+    if (behavior != nullptr) {
+        for (const auto& m :
+             behavior_index_.query(*behavior, options_.match_threshold, 0)) {
+            int& best = behavior_best[behavior_owner_[m.id]];
+            if (m.score > best) best = m.score;
+        }
+    }
+    const bool both_probed = content != nullptr && behavior != nullptr;
+    for (FamilyId fam = 0; fam < families_.size(); ++fam) {
+        if (content_best[fam] == 0 && behavior_best[fam] == 0) continue;
+        FusedMatch match;
+        match.family = fam;
+        match.content_score = content_best[fam];
+        match.behavior_score = behavior_best[fam];
+        match.score = fuse_scores(match.content_score, match.behavior_score, both_probed);
+        out.push_back(match);
+    }
+    // Fused score descending, family id ascending on ties: the ranking
+    // must be bit-deterministic for the replication convergence audit and
+    // the gated bench.
+    std::sort(out.begin(), out.end(), [](const FusedMatch& a, const FusedMatch& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.family < b.family;
+    });
+    if (out.size() > k) out.resize(k);
+    return out;
+}
+
+std::size_t Registry::fused_family_count() const {
+    std::size_t fused = 0;
+    for (const FamilyInfo& fam : families_) {
+        if (fam.exemplars > 0 && fam.behavior_exemplars > 0) ++fused;
+    }
+    return fused;
+}
+
 std::vector<FamilyInfo> Registry::families() const { return families_; }
 
 const FamilyInfo& Registry::family(FamilyId id) const { return families_.at(id); }
@@ -130,15 +288,21 @@ void Registry::rename(FamilyId id, std::string_view name) {
 }
 
 void Registry::merge(const Registry& other) {
-    // Group the other registry's exemplars by family, in digest-id order
-    // (the order they were retained, i.e. oldest anchor first).
+    // Group the other registry's exemplars by family and channel, in
+    // digest-id order (the order they were retained, oldest anchor first).
     std::vector<std::vector<DigestId>> exemplars_of(other.families_.size());
     for (std::size_t i = 0; i < other.exemplar_owner_.size(); ++i) {
         exemplars_of[other.exemplar_owner_[i]].push_back(static_cast<DigestId>(i));
     }
+    std::vector<std::vector<DigestId>> behavior_of(other.families_.size());
+    for (std::size_t i = 0; i < other.behavior_owner_.size(); ++i) {
+        behavior_of[other.behavior_owner_[i]].push_back(static_cast<DigestId>(i));
+    }
 
     for (const FamilyInfo& fam : other.families_) {
-        // Anchor: the first exemplar that matches an existing family here.
+        // Anchor: the first exemplar that matches an existing family here —
+        // content first (the stronger signal), behavior as fallback for
+        // behavior-only families.
         FamilyId target = 0;
         bool matched = false;
         for (const DigestId ex : exemplars_of[fam.id]) {
@@ -148,6 +312,15 @@ void Registry::merge(const Registry& other) {
                 target = exemplar_owner_[hits.front().id];
                 matched = true;
                 break;
+            }
+        }
+        for (std::size_t i = 0; !matched && i < behavior_of[fam.id].size(); ++i) {
+            const auto hits = behavior_index_.query(
+                other.behavior_index_.digest(behavior_of[fam.id][i]),
+                options_.match_threshold, 1);
+            if (!hits.empty()) {
+                target = behavior_owner_[hits.front().id];
+                matched = true;
             }
         }
         if (!matched) {
@@ -162,7 +335,7 @@ void Registry::merge(const Registry& other) {
         target_fam.sightings += fam.sightings;
         total_sightings_ += fam.sightings;
 
-        // Import exemplars that add reach, under the target's budget.
+        // Import exemplars that add reach, under each channel's budget.
         for (const DigestId ex : exemplars_of[fam.id]) {
             if (target_fam.exemplars >= options_.max_exemplars_per_family) break;
             const auto& digest = other.index_.digest(ex);
@@ -173,6 +346,18 @@ void Registry::merge(const Registry& other) {
             exemplar_owner_.push_back(target);
             index_.add(digest);
             ++target_fam.exemplars;
+        }
+        for (const DigestId ex : behavior_of[fam.id]) {
+            if (target_fam.behavior_exemplars >= options_.max_exemplars_per_family) break;
+            const auto& digest = other.behavior_index_.digest(ex);
+            const auto near =
+                behavior_index_.query(digest, options_.exemplar_add_below, 1);
+            const bool redundant =
+                !near.empty() && behavior_owner_[near.front().id] == target;
+            if (redundant) continue;
+            behavior_owner_.push_back(target);
+            behavior_index_.add(digest);
+            ++target_fam.behavior_exemplars;
         }
     }
 }
@@ -189,6 +374,15 @@ void Registry::save(std::ostream& out) const {
     for (std::size_t i = 0; i < exemplar_owner_.size(); ++i) {
         out << "exemplar " << exemplar_owner_[i] << ' '
             << index_.digest(static_cast<DigestId>(i)).to_string() << '\n';
+    }
+    // Behavior exemplars follow content ones: old save files (no
+    // bexemplar lines) stay loadable, and fingerprint() — which hashes
+    // this text — covers the behavior channel with no extra code, so
+    // behavioral divergence between replicas is as loud as content
+    // divergence.
+    for (std::size_t i = 0; i < behavior_owner_.size(); ++i) {
+        out << "bexemplar " << behavior_owner_[i] << ' '
+            << behavior_index_.digest(static_cast<DigestId>(i)).to_string() << '\n';
     }
 }
 
@@ -237,6 +431,20 @@ Registry Registry::load(std::istream& in, RegistryOptions options) {
             reg.exemplar_owner_.push_back(owner);
             reg.index_.add(fuzzy::FuzzyDigest::parse(digest));
             ++reg.families_[owner].exemplars;
+        } else if (kind == "bexemplar") {
+            FamilyId owner = 0;
+            std::string digest;
+            fields >> owner >> digest;
+            if (fields.fail() || owner >= reg.families_.size() || (fields >> trailing)) {
+                throw util::ParseError("registry: bad bexemplar line " +
+                                       std::to_string(line_no));
+            }
+            if (reg.families_[owner].behavior_exemplars >= options.max_exemplars_per_family) {
+                continue;
+            }
+            reg.behavior_owner_.push_back(owner);
+            reg.behavior_index_.add(fuzzy::FuzzyDigest::parse(digest));
+            ++reg.families_[owner].behavior_exemplars;
         } else {
             throw util::ParseError("registry: unknown record '" + kind + "' at line " +
                                    std::to_string(line_no));

@@ -32,9 +32,21 @@ struct RegistryOptions {
     /// v1 ~ v2 ~ v3 chains stay one family even when v1 vs v3 scores 0).
     int exemplar_add_below = 95;
 
-    /// Exemplar budget per family; bounds memory and query cost on
-    /// long-running deployments.
+    /// Exemplar budget per family *and channel*; bounds memory and query
+    /// cost on long-running deployments.
     std::size_t max_exemplars_per_family = 16;
+
+    /// Integer weights of the fused score combiner (top_families_fused):
+    /// with both probes supplied, fused = (content_weight * cs +
+    /// behavior_weight * bs) / (content_weight + behavior_weight), where a
+    /// channel that found no match contributes 0 — so a family both
+    /// channels agree on outranks a family one channel matched marginally
+    /// harder. With a single probe the channel's score passes through.
+    /// Integer math keeps the fused ranking bit-deterministic across
+    /// platforms. Content weighs more by default — an exact byte match is
+    /// stronger evidence than a similar counter curve.
+    int content_weight = 3;
+    int behavior_weight = 2;
 };
 
 /// Result of one Registry::observe call.
@@ -45,12 +57,22 @@ struct Observation {
     bool new_exemplar = false;   ///< sighting was retained as an exemplar
 };
 
+/// Per-channel provenance of one fused identification: which signal(s)
+/// put this family in the ranking and how strongly each scored.
+struct FusedMatch {
+    FamilyId family = 0;
+    int score = 0;           ///< fused (or single-channel pass-through) score
+    int content_score = 0;   ///< 0 when the content channel had no match
+    int behavior_score = 0;  ///< 0 when the behavior channel had no match
+};
+
 /// Aggregate view of one family.
 struct FamilyInfo {
     FamilyId id = 0;
     std::string name;            ///< first non-empty hint, else "family-<id>"
     std::uint64_t sightings = 0;
-    std::size_t exemplars = 0;
+    std::size_t exemplars = 0;           ///< content-channel exemplars
+    std::size_t behavior_exemplars = 0;  ///< behavior-channel exemplars
 };
 
 /// Incremental software-recognition registry — the operational form of the
@@ -73,9 +95,23 @@ public:
     /// (file-name regex match); pass empty for nondescript names.
     Observation observe(const fuzzy::FuzzyDigest& digest, std::string_view name_hint = {});
 
+    /// Record a behavioral sighting (a shapelet digest of the process's
+    /// runtime counter trace — see src/behavior/shapelet.hpp). Matching
+    /// runs against the behavior channel's exemplars only. On a miss, a
+    /// non-empty `name_hint` that names an existing family attaches the
+    /// trace to it — that is how a family founded by content sightings
+    /// grows its behavioral signature and becomes recognizable after its
+    /// binary is renamed or recompiled past content-match range; with no
+    /// such family the sighting founds a new (behavior-only) one.
+    Observation observe_behavior(const fuzzy::FuzzyDigest& digest,
+                                 std::string_view name_hint = {});
+
     /// Best-scoring family for a probe without recording anything;
     /// nullopt when nothing reaches match_threshold.
     std::optional<Observation> best_match(const fuzzy::FuzzyDigest& digest) const;
+
+    /// best_match over the behavior channel.
+    std::optional<Observation> best_match_behavior(const fuzzy::FuzzyDigest& digest) const;
 
     /// The `k` best families for a probe (each family once, scored by its
     /// best exemplar, best first; ties by ascending exemplar id). The
@@ -84,6 +120,23 @@ public:
     std::vector<Observation> top_families(const fuzzy::FuzzyDigest& digest,
                                           std::size_t k) const;
 
+    /// top_families over the behavior channel.
+    std::vector<Observation> top_families_behavior(const fuzzy::FuzzyDigest& digest,
+                                                   std::size_t k) const;
+
+    /// Fused identification: rank families by the weighted combination of
+    /// their best content score against `content` and best behavior score
+    /// against `behavior` (either probe may be null — the other channel
+    /// then carries the ranking alone). Each channel applies
+    /// match_threshold before fusion; with both probes supplied a channel
+    /// that found nothing contributes 0 to the weighted mean, so
+    /// two-channel agreement dominates a lone marginal match. Per-channel
+    /// scores survive into the result for provenance. Ties break by
+    /// ascending family id — the ranking is bit-deterministic.
+    std::vector<FusedMatch> top_families_fused(const fuzzy::FuzzyDigest* content,
+                                               const fuzzy::FuzzyDigest* behavior,
+                                               std::size_t k) const;
+
     /// Families, id order.
     std::vector<FamilyInfo> families() const;
 
@@ -91,6 +144,12 @@ public:
 
     std::size_t family_count() const { return families_.size(); }
     std::uint64_t total_sightings() const { return total_sightings_; }
+
+    /// Channel sizes, as surfaced in STATS: retained exemplars per channel
+    /// and how many families hold signatures in *both* channels.
+    std::size_t content_digest_count() const { return exemplar_owner_.size(); }
+    std::size_t behavior_digest_count() const { return behavior_owner_.size(); }
+    std::size_t fused_family_count() const;
 
     /// Deterministic 64-bit digest of the full registry state (families in
     /// id order with name and sightings, exemplars in retention order) —
@@ -119,6 +178,7 @@ public:
     /// docs/recognition_service.md):
     ///   `family <id> <sightings> <name>`
     ///   `exemplar <family-id> <digest>`
+    ///   `bexemplar <family-id> <digest>`   (behavior channel)
     /// Names are stored with every whitespace/control byte mapped to `_`
     /// (the label vocabulary in the wild is token-shaped already); the
     /// mapping happens when names enter the registry and again defensively
@@ -134,10 +194,16 @@ public:
 
 private:
     FamilyId found_family(std::string_view name_hint);
+    /// Family whose current name equals sanitize_label(name), if any — the
+    /// behavioral attach-by-hint lookup (runs only on a channel miss).
+    std::optional<FamilyId> family_named(std::string_view name) const;
+    int fuse_scores(int content_score, int behavior_score, bool both_probed) const;
 
     RegistryOptions options_;
-    SimilarityIndex index_;                 ///< all exemplars, flat
-    std::vector<FamilyId> exemplar_owner_;  ///< index digest id -> family
+    SimilarityIndex index_;                 ///< content exemplars, flat
+    std::vector<FamilyId> exemplar_owner_;  ///< content digest id -> family
+    SimilarityIndex behavior_index_;        ///< behavior exemplars, flat
+    std::vector<FamilyId> behavior_owner_;  ///< behavior digest id -> family
     std::vector<FamilyInfo> families_;
     std::uint64_t total_sightings_ = 0;
 };

@@ -159,8 +159,11 @@ std::vector<std::optional<Identified>> QueryClient::identify_many(
     return out;
 }
 
-Identified QueryClient::observe(std::string_view digest, std::string_view hint) {
-    std::string payload = "OBSERVE " + std::string(digest);
+namespace {
+
+std::string observe_payload(std::string_view verb, std::string_view digest,
+                            std::string_view hint) {
+    std::string payload = std::string(verb) + ' ' + std::string(digest);
     if (!hint.empty()) {
         payload.push_back(' ');
         // Hints are single protocol tokens. Apply the registry's own name
@@ -169,7 +172,13 @@ Identified QueryClient::observe(std::string_view digest, std::string_view hint) 
         // token.
         payload += recognize::sanitize_label(hint);
     }
-    const std::string reply = request(payload);
+    return payload;
+}
+
+}  // namespace
+
+Identified QueryClient::observe(std::string_view digest, std::string_view hint) {
+    const std::string reply = request(observe_payload("OBSERVE", digest, hint));
     std::istringstream fields(reply);
     std::string status;
     fields >> status;
@@ -183,6 +192,78 @@ Identified QueryClient::observe(std::string_view digest, std::string_view hint) 
     result.new_family = novelty == "new";
     result.name = std::move(name);
     return result;
+}
+
+std::optional<Identified> QueryClient::identify_behavior(std::string_view digest) {
+    const std::string reply = request("IDENTIFYTS " + std::string(digest));
+    std::istringstream fields(reply);
+    std::string status;
+    fields >> status;
+    if (status == "UNKNOWN") return std::nullopt;
+    if (status != "OK") throw util::Error("identify_behavior: " + reply);
+    return parse_identified(fields);
+}
+
+Identified QueryClient::observe_behavior(std::string_view digest, std::string_view hint) {
+    const std::string reply = request(observe_payload("OBSERVETS", digest, hint));
+    std::istringstream fields(reply);
+    std::string status;
+    fields >> status;
+    if (status != "OK") throw util::Error("observe_behavior: " + reply);
+    Identified result;
+    std::string novelty;
+    std::string name;
+    if (!(fields >> result.family >> result.score >> novelty >> name)) {
+        throw util::ParseError("malformed observe_behavior reply: " + reply);
+    }
+    result.new_family = novelty == "new";
+    result.name = std::move(name);
+    return result;
+}
+
+std::vector<FusedIdentified> QueryClient::identify_fused(std::string_view content_digest,
+                                                         std::string_view behavior_digest,
+                                                         std::size_t k) {
+    if (content_digest.empty() && behavior_digest.empty()) {
+        throw util::Error("identify_fused: at least one digest is required");
+    }
+    std::string payload = "IDENTIFY2";
+    if (!content_digest.empty()) {
+        payload += " C ";
+        payload += content_digest;
+    }
+    if (!behavior_digest.empty()) {
+        payload += " B ";
+        payload += behavior_digest;
+    }
+    payload.push_back(' ');
+    payload += std::to_string(k);
+    const std::string reply = request(payload);
+    std::istringstream lines(reply);
+    std::string header;
+    std::getline(lines, header);
+    std::istringstream head(header);
+    std::string status;
+    std::size_t count = 0;
+    head >> status >> count;
+    if (status != "OK") throw util::Error("identify_fused: " + reply);
+    std::vector<FusedIdentified> out;
+    std::string line;
+    while (std::getline(lines, line) && out.size() < count) {
+        std::istringstream fields(line);
+        std::string kind;
+        std::string name;
+        FusedIdentified match;
+        if (!(fields >> kind >> match.family >> match.score >> match.content_score >>
+              match.behavior_score >> name) ||
+            kind != "match") {
+            throw util::Error("identify_fused: bad line '" + line + "'");
+        }
+        match.name = std::move(name);
+        out.push_back(std::move(match));
+    }
+    if (out.size() != count) throw util::Error("identify_fused: truncated reply");
+    return out;
 }
 
 std::vector<Identified> QueryClient::top_n(std::string_view digest, std::size_t k) {

@@ -36,6 +36,15 @@ public:
         const std::vector<std::string>& digests);
     Identified observe(std::string_view digest, std::string_view hint = {});
     std::vector<Identified> top_n(std::string_view digest, std::size_t k);
+    /// Behavior-channel probe (IDENTIFYTS) / sighting (OBSERVETS); the
+    /// digest is a shapelet digest (behavior::shapelet_digest_string).
+    std::optional<Identified> identify_behavior(std::string_view digest);
+    Identified observe_behavior(std::string_view digest, std::string_view hint = {});
+    /// Fused identification (IDENTIFY2): pass either digest empty to probe
+    /// one channel alone (at least one must be non-empty).
+    std::vector<FusedIdentified> identify_fused(std::string_view content_digest,
+                                                std::string_view behavior_digest,
+                                                std::size_t k = 5);
     /// STATS response as "key value" lines (minus the leading OK).
     std::string stats_text();
     /// Force a checkpoint; returns its path.

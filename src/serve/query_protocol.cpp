@@ -57,14 +57,31 @@ std::string cap_response(std::string response) {
     return response;
 }
 
+QueryVerb verb_of(std::string_view verb) {
+    if (verb == "IDENTIFY") return QueryVerb::kIdentify;
+    if (verb == "IDENTIFYB") return QueryVerb::kIdentifyB;
+    if (verb == "IDENTIFYTS") return QueryVerb::kIdentifyTs;
+    if (verb == "IDENTIFY2") return QueryVerb::kIdentify2;
+    if (verb == "OBSERVE") return QueryVerb::kObserve;
+    if (verb == "OBSERVETS") return QueryVerb::kObserveTs;
+    if (verb == "TOPN") return QueryVerb::kTopN;
+    if (verb == "STATS") return QueryVerb::kStats;
+    if (verb == "CHECKPOINT") return QueryVerb::kCheckpoint;
+    return QueryVerb::kUnknown;
+}
+
 }  // namespace
 
 std::string execute_query(RecognitionService& service, std::string_view request) {
     std::vector<std::string_view> words;
     util::split_view_into(util::trim(request), ' ', words);
     std::erase(words, std::string_view{});  // tolerate doubled spaces
-    if (words.empty()) return "ERR empty request";
+    if (words.empty()) {
+        service.count_verb(QueryVerb::kUnknown);
+        return "ERR empty request";
+    }
     const std::string_view verb = words[0];
+    service.count_verb(verb_of(verb));
 
     try {
         if (verb == "IDENTIFY" || verb == "IDENTIFYB") {
@@ -86,17 +103,70 @@ std::string execute_query(RecognitionService& service, std::string_view request)
             return cap_response(format_identify_many_reply(matches));
         }
 
-        if (verb == "OBSERVE") {
+        if (verb == "IDENTIFYTS") {
+            if (words.size() != 2) return "ERR usage: IDENTIFYTS digest";
+            const auto match = service.identify_behavior(fuzzy::FuzzyDigest::parse(words[1]));
+            return cap_response(format_identify_reply(match));
+        }
+
+        if (verb == "IDENTIFY2") {
+            // IDENTIFY2 [C digest] [B digest] [k] — at least one channel.
+            std::optional<fuzzy::FuzzyDigest> content;
+            std::optional<fuzzy::FuzzyDigest> behavior;
+            std::size_t k = 5;
+            std::size_t i = 1;
+            if (i + 1 < words.size() && words[i] == "C") {
+                content = fuzzy::FuzzyDigest::parse(words[i + 1]);
+                i += 2;
+            }
+            if (i + 1 < words.size() && words[i] == "B") {
+                behavior = fuzzy::FuzzyDigest::parse(words[i + 1]);
+                i += 2;
+            }
+            if (i < words.size()) {
+                const auto [ptr, ec] =
+                    std::from_chars(words[i].data(), words[i].data() + words[i].size(), k);
+                if (ec != std::errc{} || ptr != words[i].data() + words[i].size() || k == 0) {
+                    return "ERR IDENTIFY2 k must be a positive integer";
+                }
+                ++i;
+            }
+            if (i != words.size() || (!content && !behavior)) {
+                return "ERR usage: IDENTIFY2 [C digest] [B digest] [k]";
+            }
+            const auto matches = service.identify_fused(content, behavior, k);
+            std::string out = "OK ";
+            util::append_number(out, matches.size());
+            out.push_back('\n');
+            for (const auto& match : matches) {
+                out += "match ";
+                util::append_number(out, match.family);
+                out.push_back(' ');
+                util::append_number(out, match.score);
+                out.push_back(' ');
+                util::append_number(out, match.content_score);
+                out.push_back(' ');
+                util::append_number(out, match.behavior_score);
+                out.push_back(' ');
+                out += match.name;
+                out.push_back('\n');
+            }
+            return cap_response(std::move(out));
+        }
+
+        if (verb == "OBSERVE" || verb == "OBSERVETS") {
             if (service.options().read_only) {
-                return std::string("ERR ") + std::string(kReadOnlyError) +
-                       ": route OBSERVE to the leader";
+                return std::string("ERR ") + std::string(kReadOnlyError) + ": route " +
+                       std::string(verb) + " to the leader";
             }
             if (words.size() < 2 || words.size() > 3) {
-                return "ERR usage: OBSERVE digest [hint]";
+                return "ERR usage: " + std::string(verb) + " digest [hint]";
             }
             const std::string hint = words.size() == 3 ? std::string(words[2]) : std::string();
-            const auto result =
-                service.observe_sync(fuzzy::FuzzyDigest::parse(words[1]), hint);
+            const auto digest = fuzzy::FuzzyDigest::parse(words[1]);
+            const auto result = verb == "OBSERVETS"
+                                    ? service.observe_behavior_sync(digest, hint)
+                                    : service.observe_sync(digest, hint);
             std::string out = "OK ";
             util::append_number(out, result.family);
             out.push_back(' ');
@@ -138,6 +208,11 @@ std::string execute_query(RecognitionService& service, std::string_view request)
             out += service.options().read_only ? "role follower\n" : "role leader\n";
             line("families", snap->registry.family_count());
             line("sightings", snap->registry.total_sightings());
+            // Channel sizes: retained exemplars per recognition channel and
+            // how many families carry signatures in both (the fused set).
+            line("content_digests", snap->registry.content_digest_count());
+            line("behavior_digests", snap->registry.behavior_digest_count());
+            line("fused_families", snap->registry.fused_family_count());
             // The convergence audit: identical fingerprints = identical
             // registry state, so "did this follower converge" is a
             // leader-vs-follower STATS compare (docs/replication.md).
@@ -151,12 +226,18 @@ std::string execute_query(RecognitionService& service, std::string_view request)
             line("observes_dropped", counters.observes_dropped);
             line("feed_records", counters.feed_records);
             line("feed_file_hashes", counters.feed_file_hashes);
+            line("feed_ts_hashes", counters.feed_ts_hashes);
             line("feed_malformed", counters.feed_malformed);
             line("publishes", counters.publishes);
             line("checkpoints", counters.checkpoints);
             line("checkpoint_errors", counters.checkpoint_errors);
             line("observes_journaled", counters.observes_journaled);
             line("wal_fallbacks", counters.wal_fallbacks);
+            // Per-verb request counters (this STATS included).
+            for (std::size_t v = 0; v < static_cast<std::size_t>(QueryVerb::kCount); ++v) {
+                const auto verb_id = static_cast<QueryVerb>(v);
+                line(query_verb_name(verb_id), service.verb_count(verb_id));
+            }
             return out;
         }
 

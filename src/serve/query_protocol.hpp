@@ -17,9 +17,18 @@ namespace siren::serve {
 /// text requests/responses:
 ///
 ///   request  := "IDENTIFY" digest+ | "IDENTIFYB" digest+
-///             | "OBSERVE" digest [hint]
+///             | "IDENTIFYTS" digest
+///             | "IDENTIFY2" ["C" digest] ["B" digest] [k]
+///             | "OBSERVE" digest [hint] | "OBSERVETS" digest [hint]
 ///             | "TOPN" digest k | "STATS" | "CHECKPOINT"
 ///   response := "OK" ... | "UNKNOWN" | "ERR" reason
+///
+/// IDENTIFYTS probes the behavior channel (shapelet digests, see
+/// docs/behavior_fingerprints.md) with a singleton reply; OBSERVETS records
+/// a behavioral sighting. IDENTIFY2 is fused identification: at least one
+/// of the C (content) / B (behavior) probes, optional result count k
+/// (default 5); the counted reply lines are
+/// "match family fused_score content_score behavior_score name".
 ///
 /// IDENTIFYB is batch IDENTIFY with an unconditional counted reply
 /// ("OK n" + one line per digest) even for n = 1, so clients can detect

@@ -67,6 +67,23 @@ bool write_file_atomic(const std::string& path, std::string_view body, std::stri
 
 }  // namespace
 
+std::string_view query_verb_name(QueryVerb verb) {
+    switch (verb) {
+        case QueryVerb::kIdentify: return "verb_identify";
+        case QueryVerb::kIdentifyB: return "verb_identifyb";
+        case QueryVerb::kIdentifyTs: return "verb_identifyts";
+        case QueryVerb::kIdentify2: return "verb_identify2";
+        case QueryVerb::kObserve: return "verb_observe";
+        case QueryVerb::kObserveTs: return "verb_observets";
+        case QueryVerb::kTopN: return "verb_topn";
+        case QueryVerb::kStats: return "verb_stats";
+        case QueryVerb::kCheckpoint: return "verb_checkpoint";
+        case QueryVerb::kUnknown: return "verb_unknown";
+        case QueryVerb::kCount: break;
+    }
+    return "verb_unknown";
+}
+
 RecognitionService::RecognitionService(ServeOptions options)
     : options_(std::move(options)), master_(options_.registry) {
     if (options_.observe_wal && options_.segments_dir.empty()) {
@@ -161,12 +178,14 @@ void RecognitionService::apply_feed_record(std::string_view record) {
     try {
         net::MessageView view;
         net::decode_view(record, view);
-        if (view.type != net::MsgType::kFileHash) return;
-        // FILE_H content is "digest" from collectors and "digest hint"
-        // from the observe WAL (hints are sanitized single tokens). The
-        // hint is honored only for obs- stream records: ingest datagrams
-        // arrive over (spoofable) UDP, and a forged "digest EvilName"
-        // there must stay a parse failure, not name a family.
+        const bool behavioral = view.type == net::MsgType::kTimeSeriesHash;
+        if (view.type != net::MsgType::kFileHash && !behavioral) return;
+        // FILE_H/TS_H content is "digest" from collectors and
+        // "digest hint" from the observe WAL (hints are sanitized single
+        // tokens). The hint is honored only for obs- stream records:
+        // ingest datagrams arrive over (spoofable) UDP, and a forged
+        // "digest EvilName" there must stay a parse failure, not name a
+        // family.
         const bool from_wal =
             tail_ && tail_->current_file().starts_with(kObserveWalPrefix);
         const std::string content = view.content_str();
@@ -177,9 +196,11 @@ void RecognitionService::apply_feed_record(std::string_view record) {
         if (space != std::string::npos) {
             hint = std::string_view(content).substr(space + 1);
         }
-        const auto obs = master_.observe(digest, hint);
+        const auto obs =
+            behavioral ? master_.observe_behavior(digest, hint) : master_.observe(digest, hint);
         ++applied_total_;
-        feed_file_hashes_.fetch_add(1, std::memory_order_relaxed);
+        (behavioral ? feed_ts_hashes_ : feed_file_hashes_)
+            .fetch_add(1, std::memory_order_relaxed);
 
         // A record of our own observe WAL may be one this cycle journaled:
         // resolve its waiter. Same obs- scoping as the hint: an ingest
@@ -214,7 +235,9 @@ Identified RecognitionService::resolve_applied(const recognize::Observation& obs
 void RecognitionService::apply_direct(
     PendingObserve& pending,
     std::vector<std::pair<std::shared_ptr<std::promise<Identified>>, Identified>>& replies) {
-    const auto obs = master_.observe(pending.digest, pending.name_hint);
+    const auto obs = pending.behavioral
+                         ? master_.observe_behavior(pending.digest, pending.name_hint)
+                         : master_.observe(pending.digest, pending.name_hint);
     ++applied_total_;
     if (pending.reply) {
         replies.emplace_back(std::move(pending.reply), resolve_applied(obs));
@@ -225,14 +248,16 @@ void RecognitionService::journal_and_apply(
     std::vector<PendingObserve>& batch,
     std::vector<std::pair<std::shared_ptr<std::promise<Identified>>, Identified>>& replies,
     std::uint64_t& unpublished_seq, bool stopping) {
-    // Journal: one FILE_H datagram per observe, the seq riding as the job
-    // id so the feed delivery below can be matched back to its waiter.
+    // Journal: one FILE_H (or TS_H for behavioral sightings) datagram per
+    // observe, the seq riding as the job id so the feed delivery below can
+    // be matched back to its waiter.
     std::string content;
     std::size_t journaled = 0;
     for (auto& pending : batch) {
         net::Message m;
         m.job_id = pending.seq;
-        m.type = net::MsgType::kFileHash;
+        m.type = pending.behavioral ? net::MsgType::kTimeSeriesHash
+                                    : net::MsgType::kFileHash;
         content = pending.digest.to_string();
         if (!pending.name_hint.empty()) {
             content.push_back(' ');
@@ -464,12 +489,59 @@ std::optional<Identified> RecognitionService::identify(const fuzzy::FuzzyDigest&
     return result;
 }
 
+std::optional<Identified> RecognitionService::identify_behavior(
+    const fuzzy::FuzzyDigest& digest) const {
+    identifies_.fetch_add(1, std::memory_order_relaxed);
+    const auto snap = snapshot();
+    const auto match = snap->registry.best_match_behavior(digest);
+    if (!match) return std::nullopt;
+    Identified result;
+    result.family = match->family;
+    result.score = match->best_score;
+    result.name = snap->registry.family(match->family).name;
+    return result;
+}
+
+std::vector<FusedIdentified> RecognitionService::identify_fused(
+    const std::optional<fuzzy::FuzzyDigest>& content,
+    const std::optional<fuzzy::FuzzyDigest>& behavior, std::size_t k) const {
+    identifies_.fetch_add(1, std::memory_order_relaxed);
+    const auto snap = snapshot();
+    std::vector<FusedIdentified> out;
+    for (const auto& match : snap->registry.top_families_fused(
+             content ? &*content : nullptr, behavior ? &*behavior : nullptr, k)) {
+        FusedIdentified result;
+        result.family = match.family;
+        result.score = match.score;
+        result.content_score = match.content_score;
+        result.behavior_score = match.behavior_score;
+        result.name = snap->registry.family(match.family).name;
+        out.push_back(std::move(result));
+    }
+    return out;
+}
+
 std::vector<Identified> RecognitionService::top_n(const fuzzy::FuzzyDigest& digest,
                                                   std::size_t k) const {
     identifies_.fetch_add(1, std::memory_order_relaxed);
     const auto snap = snapshot();
     std::vector<Identified> out;
     for (const auto& obs : snap->registry.top_families(digest, k)) {
+        Identified result;
+        result.family = obs.family;
+        result.score = obs.best_score;
+        result.name = snap->registry.family(obs.family).name;
+        out.push_back(std::move(result));
+    }
+    return out;
+}
+
+std::vector<Identified> RecognitionService::top_n_behavior(const fuzzy::FuzzyDigest& digest,
+                                                           std::size_t k) const {
+    identifies_.fetch_add(1, std::memory_order_relaxed);
+    const auto snap = snapshot();
+    std::vector<Identified> out;
+    for (const auto& obs : snap->registry.top_families_behavior(digest, k)) {
         Identified result;
         result.family = obs.family;
         result.score = obs.best_score;
@@ -501,8 +573,9 @@ std::vector<std::optional<Identified>> RecognitionService::identify_many(
     return out;
 }
 
-std::optional<std::uint64_t> RecognitionService::observe(fuzzy::FuzzyDigest digest,
-                                                         std::string name_hint) {
+std::optional<std::uint64_t> RecognitionService::enqueue_observe(fuzzy::FuzzyDigest digest,
+                                                                 std::string name_hint,
+                                                                 bool behavioral) {
     std::uint64_t seq = 0;
     {
         std::lock_guard lock(queue_mutex_);
@@ -512,14 +585,15 @@ std::optional<std::uint64_t> RecognitionService::observe(fuzzy::FuzzyDigest dige
             return std::nullopt;
         }
         seq = next_seq_++;
-        queue_.push_back({std::move(digest), std::move(name_hint), seq, nullptr});
+        queue_.push_back({std::move(digest), std::move(name_hint), seq, nullptr, behavioral});
     }
     observes_enqueued_.fetch_add(1, std::memory_order_relaxed);
     queue_cv_.notify_one();
     return seq;
 }
 
-Identified RecognitionService::observe_sync(fuzzy::FuzzyDigest digest, std::string name_hint) {
+Identified RecognitionService::enqueue_observe_sync(fuzzy::FuzzyDigest digest,
+                                                    std::string name_hint, bool behavioral) {
     auto reply = std::make_shared<std::promise<Identified>>();
     auto future = reply->get_future();
     {
@@ -531,11 +605,30 @@ Identified RecognitionService::observe_sync(fuzzy::FuzzyDigest digest, std::stri
         if (writer_done_ || stop_.load(std::memory_order_relaxed)) {
             throw util::Error("recognition service is stopped");
         }
-        queue_.push_back({std::move(digest), std::move(name_hint), next_seq_++, reply});
+        queue_.push_back({std::move(digest), std::move(name_hint), next_seq_++, reply, behavioral});
     }
     observes_enqueued_.fetch_add(1, std::memory_order_relaxed);
     queue_cv_.notify_one();
     return future.get();
+}
+
+std::optional<std::uint64_t> RecognitionService::observe(fuzzy::FuzzyDigest digest,
+                                                         std::string name_hint) {
+    return enqueue_observe(std::move(digest), std::move(name_hint), false);
+}
+
+Identified RecognitionService::observe_sync(fuzzy::FuzzyDigest digest, std::string name_hint) {
+    return enqueue_observe_sync(std::move(digest), std::move(name_hint), false);
+}
+
+std::optional<std::uint64_t> RecognitionService::observe_behavior(fuzzy::FuzzyDigest digest,
+                                                                  std::string name_hint) {
+    return enqueue_observe(std::move(digest), std::move(name_hint), true);
+}
+
+Identified RecognitionService::observe_behavior_sync(fuzzy::FuzzyDigest digest,
+                                                     std::string name_hint) {
+    return enqueue_observe_sync(std::move(digest), std::move(name_hint), true);
 }
 
 void RecognitionService::flush() {
@@ -588,6 +681,7 @@ ServeCounters RecognitionService::counters() const {
     c.observes_applied = observes_applied_.load(std::memory_order_relaxed);
     c.feed_records = feed_records_.load(std::memory_order_relaxed);
     c.feed_file_hashes = feed_file_hashes_.load(std::memory_order_relaxed);
+    c.feed_ts_hashes = feed_ts_hashes_.load(std::memory_order_relaxed);
     c.feed_malformed = feed_malformed_.load(std::memory_order_relaxed);
     c.publishes = publishes_.load(std::memory_order_relaxed);
     c.checkpoints = checkpoints_.load(std::memory_order_relaxed);

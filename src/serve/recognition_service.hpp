@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -127,6 +128,35 @@ struct Identified {
     std::string name;
 };
 
+/// One fused (content + behavior) identification with per-channel
+/// provenance — the serving-layer face of recognize::FusedMatch.
+struct FusedIdentified {
+    recognize::FamilyId family = 0;
+    int score = 0;           ///< fused score
+    int content_score = 0;   ///< 0 = content channel had no match
+    int behavior_score = 0;  ///< 0 = behavior channel had no match
+    std::string name;
+};
+
+/// Query-protocol verbs, indexing the per-verb request counters STATS
+/// reports. kUnknown counts unrecognized verbs and empty requests.
+enum class QueryVerb : std::size_t {
+    kIdentify = 0,
+    kIdentifyB,
+    kIdentifyTs,
+    kIdentify2,
+    kObserve,
+    kObserveTs,
+    kTopN,
+    kStats,
+    kCheckpoint,
+    kUnknown,
+    kCount,  ///< sentinel, not a verb
+};
+
+/// STATS key for one verb counter ("verb_identify", ...).
+std::string_view query_verb_name(QueryVerb verb);
+
 /// Counter snapshot (see RecognitionService::stats).
 struct ServeCounters {
     std::uint64_t identifies = 0;         ///< identify/top_n/identify_many probes
@@ -135,6 +165,7 @@ struct ServeCounters {
     std::uint64_t observes_applied = 0;   ///< client observes applied by the writer
     std::uint64_t feed_records = 0;       ///< segment records delivered by the tail
     std::uint64_t feed_file_hashes = 0;   ///< FILE_H records applied as observes
+    std::uint64_t feed_ts_hashes = 0;     ///< TS_H records applied as behavioral observes
     std::uint64_t feed_malformed = 0;     ///< records that failed decode/parse
     std::uint64_t publishes = 0;          ///< snapshots published
     std::uint64_t checkpoints = 0;
@@ -186,9 +217,24 @@ public:
     /// Best family for a probe, or nullopt below the match threshold.
     std::optional<Identified> identify(const fuzzy::FuzzyDigest& digest) const;
 
+    /// Best family for a behavioral (shapelet) probe — the behavior
+    /// channel's identify.
+    std::optional<Identified> identify_behavior(const fuzzy::FuzzyDigest& digest) const;
+
+    /// Fused identification: rank families by the weighted combination of
+    /// both channels (either probe may be absent); per-channel scores
+    /// survive for provenance. See recognize::Registry::top_families_fused.
+    std::vector<FusedIdentified> identify_fused(
+        const std::optional<fuzzy::FuzzyDigest>& content,
+        const std::optional<fuzzy::FuzzyDigest>& behavior, std::size_t k) const;
+
     /// Top `k` families by best-exemplar score (deduplicated by family,
     /// best first).
     std::vector<Identified> top_n(const fuzzy::FuzzyDigest& digest, std::size_t k) const;
+
+    /// top_n over the behavior channel.
+    std::vector<Identified> top_n_behavior(const fuzzy::FuzzyDigest& digest,
+                                           std::size_t k) const;
 
     /// Batch identify against one snapshot; with a pool the probes fan out
     /// through ThreadPool::parallel_for. Results are positional.
@@ -207,6 +253,14 @@ public:
     /// returns the resolved observation (blocks for queue room when full).
     Identified observe_sync(fuzzy::FuzzyDigest digest, std::string name_hint = {});
 
+    /// Behavioral counterparts: the digest is a shapelet digest and the
+    /// writer applies it through Registry::observe_behavior. In WAL mode
+    /// the journal record is a TS_H datagram, so followers replay the
+    /// behavioral stream exactly like the content one.
+    std::optional<std::uint64_t> observe_behavior(fuzzy::FuzzyDigest digest,
+                                                  std::string name_hint = {});
+    Identified observe_behavior_sync(fuzzy::FuzzyDigest digest, std::string name_hint = {});
+
     /// Highest client-observe sequence applied and published.
     std::uint64_t applied_seq() const { return applied_seq_.load(std::memory_order_acquire); }
 
@@ -221,6 +275,15 @@ public:
 
     ServeCounters counters() const;
     const ServeOptions& options() const { return options_; }
+
+    /// Per-verb request accounting (bumped by execute_query, surfaced as
+    /// `verb_*` STATS lines).
+    void count_verb(QueryVerb verb) const {
+        verb_counts_[static_cast<std::size_t>(verb)].fetch_add(1, std::memory_order_relaxed);
+    }
+    std::uint64_t verb_count(QueryVerb verb) const {
+        return verb_counts_[static_cast<std::size_t>(verb)].load(std::memory_order_relaxed);
+    }
 
     /// The service-owned batch fan-out pool (null unless
     /// options.batch_pool_threads > 0).
@@ -237,7 +300,13 @@ private:
         std::string name_hint;
         std::uint64_t seq = 0;
         std::shared_ptr<std::promise<Identified>> reply;  ///< observe_sync only
+        bool behavioral = false;  ///< apply via observe_behavior / journal as TS_H
     };
+
+    std::optional<std::uint64_t> enqueue_observe(fuzzy::FuzzyDigest digest,
+                                                 std::string name_hint, bool behavioral);
+    Identified enqueue_observe_sync(fuzzy::FuzzyDigest digest, std::string name_hint,
+                                    bool behavioral);
 
     void writer_loop();
     /// Apply one raw segment record (wire datagram) to the master registry.
@@ -297,11 +366,14 @@ private:
     std::thread writer_;
 
     mutable std::atomic<std::uint64_t> identifies_{0};
+    mutable std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(QueryVerb::kCount)>
+        verb_counts_{};
     std::atomic<std::uint64_t> observes_enqueued_{0};
     std::atomic<std::uint64_t> observes_dropped_{0};
     std::atomic<std::uint64_t> observes_applied_{0};
     std::atomic<std::uint64_t> feed_records_{0};
     std::atomic<std::uint64_t> feed_file_hashes_{0};
+    std::atomic<std::uint64_t> feed_ts_hashes_{0};
     std::atomic<std::uint64_t> feed_malformed_{0};
     std::atomic<std::uint64_t> publishes_{0};
     std::atomic<std::uint64_t> checkpoints_{0};

@@ -81,6 +81,19 @@ std::vector<Identified> ReplicaClient::top_n(std::string_view digest, std::size_
                          [&](QueryClient& c, std::size_t) { return c.top_n(digest, k); });
 }
 
+std::optional<Identified> ReplicaClient::identify_behavior(std::string_view digest) {
+    return with_failover(
+        next_read_++, [&](QueryClient& c, std::size_t) { return c.identify_behavior(digest); });
+}
+
+std::vector<FusedIdentified> ReplicaClient::identify_fused(std::string_view content_digest,
+                                                           std::string_view behavior_digest,
+                                                           std::size_t k) {
+    return with_failover(next_read_++, [&](QueryClient& c, std::size_t) {
+        return c.identify_fused(content_digest, behavior_digest, k);
+    });
+}
+
 std::string ReplicaClient::stats_text() {
     return with_failover(next_read_++,
                          [&](QueryClient& c, std::size_t) { return c.stats_text(); });
@@ -92,6 +105,15 @@ std::string ReplicaClient::checkpoint() {
 }
 
 Identified ReplicaClient::observe(std::string_view digest, std::string_view hint) {
+    return observe_impl(digest, hint, false);
+}
+
+Identified ReplicaClient::observe_behavior(std::string_view digest, std::string_view hint) {
+    return observe_impl(digest, hint, true);
+}
+
+Identified ReplicaClient::observe_impl(std::string_view digest, std::string_view hint,
+                                       bool behavioral) {
     // Leader-seeking: start at the endpoint that last accepted a write and
     // walk the list, skipping read-only rejections and dead endpoints.
     // Unlike reads, an application-level read-only ERR participates in the
@@ -101,7 +123,8 @@ Identified ReplicaClient::observe(std::string_view digest, std::string_view hint
     for (std::size_t attempt = 0; attempt < replicas_.size(); ++attempt) {
         const std::size_t index = (leader_hint_ + attempt) % replicas_.size();
         try {
-            auto result = client(index).observe(digest, hint);
+            auto result = behavioral ? client(index).observe_behavior(digest, hint)
+                                     : client(index).observe(digest, hint);
             leader_hint_ = index;
             return result;
         } catch (const util::SystemError& e) {

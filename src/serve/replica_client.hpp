@@ -55,12 +55,19 @@ public:
     std::optional<Identified> identify(std::string_view digest);
     std::vector<std::optional<Identified>> identify_many(const std::vector<std::string>& digests);
     std::vector<Identified> top_n(std::string_view digest, std::size_t k);
+    /// Behavior-channel and fused reads, round-robin like identify().
+    std::optional<Identified> identify_behavior(std::string_view digest);
+    std::vector<FusedIdentified> identify_fused(std::string_view content_digest,
+                                                std::string_view behavior_digest,
+                                                std::size_t k = 5);
     std::string stats_text();
     std::string checkpoint();
 
     /// Leader-seeking write; throws util::Error carrying the last
     /// rejection when every replica is read-only or unreachable.
     Identified observe(std::string_view digest, std::string_view hint = {});
+    /// Leader-seeking behavioral write (OBSERVETS), same failover contract.
+    Identified observe_behavior(std::string_view digest, std::string_view hint = {});
 
     std::size_t replica_count() const { return replicas_.size(); }
     const ReplicaClientStats& stats() const { return stats_; }
@@ -73,6 +80,8 @@ private:
     /// transport errors; rethrows the last one when all replicas fail.
     template <typename Fn>
     auto with_failover(std::size_t start, Fn&& fn);
+    /// Shared leader-seeking walk of observe()/observe_behavior().
+    Identified observe_impl(std::string_view digest, std::string_view hint, bool behavioral);
 
     std::vector<ReplicaEndpoint> replicas_;
     std::vector<std::unique_ptr<QueryClient>> connections_;

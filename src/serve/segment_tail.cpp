@@ -58,15 +58,10 @@ std::size_t SegmentTail::consume_file(const std::string& path, const std::string
         // last byte exists (segment writers are strictly sequential).
         if (size - offset < storage::kRecordHeaderBytes) break;
         if (!in.read(rec, storage::kRecordHeaderBytes)) break;
-        const std::uint32_t length = get_u32le(rec);
+        const std::uint32_t word = get_u32le(rec);
+        const std::uint8_t kind = static_cast<std::uint8_t>(word >> storage::kRecordKindShift);
+        const std::uint32_t length = word & storage::kRecordLengthMask;
         const std::uint32_t crc = get_u32le(rec + 4);
-        if (length > storage::kMaxRecordBytes) {
-            // Implausible length mid-stream: the framing is corrupt and
-            // nothing after this point can be trusted.
-            offset = kBadFile;
-            ++stats_.bad_segments;
-            return delivered;
-        }
         if (size - offset - storage::kRecordHeaderBytes < length) {
             break;  // frame still in flight (or a torn tail): retry next poll
         }
@@ -75,6 +70,13 @@ std::size_t SegmentTail::consume_file(const std::string& path, const std::string
         offset += storage::kRecordHeaderBytes + length;
         if (hash::crc32c(payload_) != crc) {
             ++stats_.crc_failures;
+            continue;
+        }
+        if (kind != storage::kRecordKindRaw) {
+            // A checksummed record of a future kind (newer leader, older
+            // follower): advance past it and count it — a mixed-version
+            // fleet must not wedge or mark the shipped segment bad.
+            ++stats_.unknown_kinds;
             continue;
         }
         ++stats_.records;

@@ -15,6 +15,7 @@ struct TailStats {
     std::uint64_t bytes = 0;         ///< payload bytes delivered
     std::uint64_t crc_failures = 0;  ///< complete records dropped on checksum mismatch
     std::uint64_t bad_segments = 0;  ///< files skipped forever: bad magic/version/framing
+    std::uint64_t unknown_kinds = 0; ///< valid records of a kind this version cannot parse
     std::uint64_t files_seen = 0;    ///< distinct segment files discovered
     std::uint64_t files_dropped = 0; ///< tracked files that vanished (compaction)
     std::uint64_t polls = 0;

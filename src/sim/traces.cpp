@@ -1,0 +1,92 @@
+#include "sim/traces.hpp"
+
+#include <cmath>
+
+#include "hashing/fnv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace siren::sim {
+
+namespace {
+
+/// One phase of the synthetic application: a counter level with an
+/// oscillation riding on it (iterative solvers beat at their sweep
+/// period) and a linear slope (ramp-up, drain).
+struct Phase {
+    double weight;  ///< share of the trace this phase occupies
+    double level;   ///< baseline counter value
+    double amp;     ///< oscillation amplitude
+    double period;  ///< oscillation period, in samples
+    double slope;   ///< level change across the phase
+};
+
+constexpr std::uint64_t kTraceSalt = 0xB14AC7E5ull;
+
+}  // namespace
+
+std::vector<double> synthesize_trace(const TraceRecipe& recipe) {
+    util::require(recipe.samples > 0, "synthesize_trace: zero samples");
+    const std::uint64_t base = util::mix64(hash::fnv1a64(recipe.lineage) ^ kTraceSalt);
+
+    // Phase structure from the lineage seed alone: the algorithm's shape.
+    util::Rng shape(base);
+    const std::size_t phase_count = 3 + shape.index(4);
+    std::vector<Phase> phases(phase_count);
+    double total_weight = 0.0;
+    for (Phase& p : phases) {
+        p.weight = 0.5 + shape.uniform();
+        p.level = 0.5 + 3.5 * shape.uniform();
+        p.amp = p.level * 0.6 * shape.uniform();
+        p.period = 8.0 + 32.0 * shape.uniform();
+        p.slope = p.level * 0.5 * (shape.uniform() - 0.5);
+        total_weight += p.weight;
+    }
+
+    // Version drift: each step nudges every phase's level and period by
+    // ~1%. Behavior drifts far slower than content — the synthesizer
+    // rewrites ~3% of code blocks per step, but the solver underneath
+    // still runs the same phases — so the behavioral channel keeps
+    // recognizing versions whose content digests long stopped matching.
+    for (std::size_t step = 1; step <= recipe.version; ++step) {
+        util::Rng drift(util::mix64(base ^ (step * 0x9E3779B97F4A7C15ull)));
+        for (Phase& p : phases) {
+            p.level *= 1.0 + 0.02 * (drift.uniform() - 0.5);
+            p.period *= 1.0 + 0.02 * (drift.uniform() - 0.5);
+        }
+    }
+
+    // Noise is the only place run_seed enters: two runs of one binary
+    // share every shape parameter above and differ only here.
+    util::Rng noise(util::mix64(base ^ util::mix64(recipe.run_seed ^ 0x5EEDFACEull)));
+
+    std::vector<double> samples;
+    samples.reserve(recipe.samples);
+    std::size_t emitted = 0;
+    double consumed_weight = 0.0;
+    for (std::size_t pi = 0; pi < phases.size(); ++pi) {
+        const Phase& p = phases[pi];
+        consumed_weight += p.weight;
+        // Cumulative-weight boundaries: the last phase always lands
+        // exactly on recipe.samples regardless of rounding.
+        const std::size_t boundary =
+            pi + 1 == phases.size()
+                ? recipe.samples
+                : static_cast<std::size_t>(consumed_weight / total_weight *
+                                           static_cast<double>(recipe.samples));
+        const std::size_t phase_len = boundary > emitted ? boundary - emitted : 0;
+        for (std::size_t i = 0; i < phase_len; ++i) {
+            const double t = static_cast<double>(i);
+            const double progress =
+                phase_len > 1 ? t / static_cast<double>(phase_len - 1) : 0.0;
+            double value = p.level + p.slope * progress +
+                           p.amp * std::sin(2.0 * M_PI * t / p.period);
+            value *= 1.0 + recipe.noise * (2.0 * noise.uniform() - 1.0);
+            samples.push_back(value);
+            ++emitted;
+        }
+    }
+    return samples;
+}
+
+}  // namespace siren::sim

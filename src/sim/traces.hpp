@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace siren::sim {
+
+/// Recipe for one synthetic runtime counter trace.
+///
+/// The simulator has no real hardware counters to sample, so it
+/// synthesizes traces whose *relationships* mirror how real HPC
+/// applications behave: every execution of the same `lineage` follows the
+/// same phase structure (init ramp, iterative compute phases with their
+/// own oscillation periods, teardown) because that structure comes from
+/// the algorithm, not the build. `version` drift perturbs the shape only
+/// slightly — a recompiled or renamed binary runs the same solver — which
+/// is precisely why the behavioral channel recognizes what content
+/// hashing cannot. `run_seed` varies the measurement noise between runs
+/// of the identical binary; recognition must survive it.
+struct TraceRecipe {
+    std::string lineage;       ///< seed key: same lineage = same phase structure
+    std::size_t version = 0;   ///< drift steps; each nudges levels/periods ~1%
+    std::size_t samples = 256; ///< counter samples in the trace
+    double noise = 0.04;       ///< relative per-sample measurement noise
+    std::uint64_t run_seed = 0;  ///< varies noise only, never the shape
+};
+
+/// Deterministically synthesize the counter trace for a recipe. Same
+/// recipe (including run_seed), same samples — and two recipes differing
+/// only in run_seed trace the same curve under different noise.
+std::vector<double> synthesize_trace(const TraceRecipe& recipe);
+
+}  // namespace siren::sim

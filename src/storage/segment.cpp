@@ -195,7 +195,7 @@ void SegmentWriter::abandon_segment() noexcept {
     segment_bytes_ = 0;
 }
 
-bool SegmentWriter::append(std::string_view record) noexcept {
+bool SegmentWriter::append(std::string_view record, std::uint8_t kind) noexcept {
     if (record.size() > kMaxRecordBytes) {
         ++errors_;
         return false;
@@ -212,7 +212,8 @@ bool SegmentWriter::append(std::string_view record) noexcept {
     // One append for the frame header, one for the payload — the framing
     // cost must stay invisible next to the record memcpy.
     char frame[kRecordHeaderBytes];
-    put_u32le(frame, static_cast<std::uint32_t>(record.size()));
+    put_u32le(frame, static_cast<std::uint32_t>(record.size()) |
+                         (static_cast<std::uint32_t>(kind) << kRecordKindShift));
     put_u32le(frame + 4, hash::crc32c(record));
     buffer_.append(frame, kRecordHeaderBytes);
     buffer_.append(record);
@@ -346,6 +347,7 @@ void ReplayStats::merge(const ReplayStats& o) {
     torn_bytes += o.torn_bytes;
     crc_failures += o.crc_failures;
     bad_segments += o.bad_segments;
+    unknown_kinds += o.unknown_kinds;
 }
 
 std::size_t read_segment_range(const std::string& path, std::uint64_t offset,
@@ -409,12 +411,12 @@ ReplayStats replay_segment(const std::string& path, const RecordFn& fn) {
             stats.torn_bytes += size - pos;
             break;
         }
-        const std::uint32_t length = get_u32le(rec);
+        const std::uint32_t word = get_u32le(rec);
+        const std::uint8_t kind = static_cast<std::uint8_t>(word >> kRecordKindShift);
+        const std::uint32_t length = word & kRecordLengthMask;
         const std::uint32_t crc = get_u32le(rec + 4);
-        if (length > kMaxRecordBytes || size - pos - kRecordHeaderBytes < length) {
-            // Length field points past the end of the file (torn payload)
-            // or is implausible (corrupt framing): everything from here on
-            // is unusable.
+        if (size - pos - kRecordHeaderBytes < length) {
+            // Length field points past the end of the file: torn payload.
             ++stats.torn_tails;
             stats.torn_bytes += size - pos;
             break;
@@ -427,9 +429,18 @@ ReplayStats replay_segment(const std::string& path, const RecordFn& fn) {
         }
         pos += kRecordHeaderBytes + length;
         if (hash::crc32c(payload) != crc) {
-            // Complete record, wrong checksum: bit rot in the payload. The
-            // framing is intact, so skip this record and keep scanning.
+            // Complete record, wrong checksum: bit rot in the payload (or a
+            // corrupt frame word that mis-framed this read). The framing as
+            // parsed is intact, so skip this record and keep scanning.
             ++stats.crc_failures;
+            continue;
+        }
+        if (kind != kRecordKindRaw) {
+            // A well-formed record of a kind this version does not speak —
+            // written by a newer process sharing the directory. Count and
+            // skip; treating it as corruption would wedge mixed-version
+            // fleets on the first future-format record.
+            ++stats.unknown_kinds;
             continue;
         }
         ++stats.records;

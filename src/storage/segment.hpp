@@ -15,19 +15,31 @@ namespace siren::storage {
 ///
 ///   segment  := header record*
 ///   header   := "SIRENSG1" u32(version) u32(reserved)
-///   record   := u32(payload length) u32(crc32c of payload) payload
+///   record   := u32(kind<<24 | payload length) u32(crc32c of payload) payload
 ///
-/// All integers little-endian. A segment may end in a *torn* record (the
-/// writer crashed mid-append); replay recovers every complete record and
-/// reports the tear instead of throwing.
+/// All integers little-endian. The top byte of the length word is the
+/// *record kind*: kind 0 is a raw wire datagram (every record written
+/// before the field existed reads back as kind 0, since lengths never
+/// reached 2^24). Readers skip-and-count records whose kind they do not
+/// understand — forward compatibility for mixed-version fleets where a
+/// newer leader ships record kinds an older follower cannot parse yet.
+/// A segment may end in a *torn* record (the writer crashed mid-append);
+/// replay recovers every complete record and reports the tear instead of
+/// throwing.
 
 inline constexpr std::string_view kSegmentMagic = "SIRENSG1";
 inline constexpr std::uint32_t kSegmentVersion = 1;
 inline constexpr std::size_t kSegmentHeaderBytes = 16;
 inline constexpr std::size_t kRecordHeaderBytes = 8;
-/// Sanity bound on one record; a larger length field at replay time means
-/// the framing is corrupt, not that someone stored a 4 GiB datagram.
-inline constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+/// Sanity bound on one record's payload: the length must fit the low 24
+/// bits of the frame word so the kind byte above it is unambiguous.
+inline constexpr std::uint32_t kMaxRecordBytes = (1u << 24) - 1;
+/// Record kinds this version understands. Raw wire datagrams are the only
+/// kind delivered to replay/tail callbacks; anything else is counted as
+/// unknown and skipped.
+inline constexpr std::uint8_t kRecordKindRaw = 0;
+inline constexpr unsigned kRecordKindShift = 24;
+inline constexpr std::uint32_t kRecordLengthMask = (1u << kRecordKindShift) - 1;
 /// Every segment file carries this suffix; replay scans for it.
 inline constexpr std::string_view kSegmentSuffix = ".seg";
 
@@ -73,8 +85,11 @@ public:
     SegmentWriter& operator=(const SegmentWriter&) = delete;
 
     /// Append one record (typically one raw wire datagram). Buffered;
-    /// false only on I/O failure (also counted in errors()).
-    bool append(std::string_view record) noexcept;
+    /// false only on I/O failure (also counted in errors()). `kind` tags
+    /// the frame's record kind; today's writers only emit kRecordKindRaw,
+    /// but readers already skip-and-count unknown kinds, so a future
+    /// writer can introduce new kinds without wedging older replicas.
+    bool append(std::string_view record, std::uint8_t kind = kRecordKindRaw) noexcept;
 
     /// Durability barrier: write out the user-space buffer and fsync.
     /// No-op when nothing is pending.
@@ -181,6 +196,7 @@ struct ReplayStats {
     std::uint64_t torn_bytes = 0;     ///< bytes abandoned in torn tails
     std::uint64_t crc_failures = 0;   ///< records dropped on checksum mismatch
     std::uint64_t bad_segments = 0;   ///< files skipped: unreadable/bad magic/version
+    std::uint64_t unknown_kinds = 0;  ///< valid records of a kind this version cannot parse
 
     void merge(const ReplayStats& o);
 };

@@ -4,6 +4,7 @@
 
 #include "elfio/elfio.hpp"
 #include "hashing/fnv.hpp"
+#include "sim/traces.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -152,6 +153,16 @@ std::string synthesize_python_script(const std::string& user, std::size_t index,
     }
     out += "\n\nif __name__ == \"__main__\":\n    main()\n";
     return out;
+}
+
+std::vector<double> behavior_trace(const BinaryRecipe& recipe, std::uint64_t run_seed,
+                                   std::size_t samples) {
+    sim::TraceRecipe trace;
+    trace.lineage = recipe.lineage;
+    trace.version = recipe.version;
+    trace.samples = samples;
+    trace.run_seed = run_seed;
+    return sim::synthesize_trace(trace);
 }
 
 }  // namespace siren::workload

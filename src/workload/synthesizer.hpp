@@ -48,4 +48,12 @@ std::vector<std::uint8_t> synthesize_system_tool(const std::string& name);
 std::string synthesize_python_script(const std::string& user, std::size_t index,
                                      const std::vector<std::string>& packages);
 
+/// Synthesize the runtime counter trace one run of this recipe's binary
+/// would emit (see sim::synthesize_trace): same lineage = same phase
+/// structure, version drift nudges it ~1% per step, `run_seed` varies
+/// only the measurement noise. This is the behavioral twin of
+/// synthesize() — content comes from the ELF image, behavior from here.
+std::vector<double> behavior_trace(const BinaryRecipe& recipe, std::uint64_t run_seed,
+                                   std::size_t samples = 256);
+
 }  // namespace siren::workload

@@ -25,10 +25,12 @@
 
 #include "hashing/crc32c.hpp"
 
+#include "behavior/shapelet.hpp"
 #include "fuzzy/fuzzy.hpp"
 #include "net/codec.hpp"
 #include "net/message.hpp"
 #include "serve/serve.hpp"
+#include "sim/traces.hpp"
 #include "storage/segment_store.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -644,4 +646,75 @@ TEST(RecognitionService, ObserveWalRequiresSegmentsDir) {
     auto options = fast_options();
     options.observe_wal = true;
     EXPECT_THROW(sv::RecognitionService{options}, siren::util::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Behavioral channel replication
+
+namespace {
+
+std::vector<double> repl_family_trace(std::size_t family, std::uint64_t run_seed) {
+    siren::sim::TraceRecipe recipe;
+    recipe.lineage = "repl/" + std::to_string(family);
+    recipe.samples = 256;
+    recipe.run_seed = run_seed;
+    return siren::sim::synthesize_trace(recipe);
+}
+
+}  // namespace
+
+TEST(Replication, BehavioralRecordsShipAndFingerprintDetectsDivergence) {
+    // The behavior channel must ride the same segment-shipping path as
+    // content sightings, and Registry::fingerprint() must cover it — a
+    // replica whose behavior channel silently drifted has to show up in
+    // the one-integer convergence audit, not only in a family-by-family
+    // diff of the content channel.
+    ScratchDir dir("behavior");
+    const auto leader_dir = dir.sub("leader");
+    const auto replica_dir = dir.sub("replica");
+
+    auto leader_options = fast_options();
+    leader_options.segments_dir = leader_dir;
+    leader_options.observe_wal = true;
+    leader_options.wal_fsync = false;
+    sv::RecognitionService leader(leader_options);
+
+    siren::util::Rng rng(113);
+    const auto content = sf::fuzzy_hash(rng.bytes(8192));
+    leader.observe_sync(content, "chroma");
+    leader.observe_behavior_sync(
+        siren::behavior::shapelet_digest(repl_family_trace(1, 1)), "chroma");
+    leader.flush();
+    const auto leader_fp = leader.snapshot()->registry.fingerprint();
+
+    sv::ReplicationSource source(source_options(leader_dir));
+    sv::ReplicationFollower ship(follow_options(source.port(), replica_dir));
+    auto follower_options = fast_options();
+    follower_options.segments_dir = replica_dir;
+    follower_options.read_only = true;
+    sv::RecognitionService follower(follower_options);
+
+    ASSERT_TRUE(eventually(
+        [&] { return follower.snapshot()->registry.fingerprint() == leader_fp; }))
+        << "follower fingerprint " << follower.snapshot()->registry.fingerprint()
+        << " never converged to leader " << leader_fp;
+    EXPECT_EQ(follower.snapshot()->registry.behavior_digest_count(), 1u);
+
+    // A fresh run of the workload is recognizable on the follower.
+    const auto match = follower.identify_behavior(
+        siren::behavior::shapelet_digest(repl_family_trace(1, 2)));
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->name, "chroma");
+
+    // Divergence: a behavioral record applied on the follower but not the
+    // leader (in-process observe bypasses the read-only network guard —
+    // the simulated fault). Content channels still agree; only the
+    // fingerprint exposes the drift.
+    follower.observe_behavior_sync(
+        siren::behavior::shapelet_digest(repl_family_trace(2, 1)), "rogue");
+    const auto diverged = follower.snapshot()->registry;
+    EXPECT_EQ(diverged.content_digest_count(),
+              leader.snapshot()->registry.content_digest_count());
+    EXPECT_NE(diverged.fingerprint(), leader.snapshot()->registry.fingerprint())
+        << "behavior-channel divergence must break the fingerprint";
 }

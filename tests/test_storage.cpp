@@ -13,6 +13,7 @@
 #include "hashing/crc32c.hpp"
 #include "storage/segment.hpp"
 #include "storage/segment_store.hpp"
+#include "serve/segment_tail.hpp"
 
 namespace st = siren::storage;
 namespace fs = std::filesystem;
@@ -354,4 +355,100 @@ TEST(SegmentStore, CompactionRemovesOnlyMarkedSealedSegments) {
     EXPECT_LT(remaining, 100u);
     EXPECT_GT(remaining, 0u);
     store.close();
+}
+
+TEST(Segment, UnknownFutureRecordKindsAreSkippedAndCounted) {
+    // Forward compatibility at the byte level: a newer writer tags frames
+    // with a record kind this version does not understand; replay and
+    // tailing must deliver every known record, count the foreign ones,
+    // and never desynchronize the frame scan.
+    StoreDir dir;
+    std::string path;
+    {
+        st::SegmentWriter writer(dir.path(), "t-");
+        writer.append(record(0));
+        writer.append("future-payload-this-version-cannot-parse", /*kind=*/7);
+        writer.append(record(1));
+        path = writer.active_path();
+        writer.close();
+    }
+
+    // The kind byte rides the top 8 bits of the little-endian frame word:
+    // confirm the second record's frame carries it on disk, byte-exactly.
+    {
+        std::ifstream f(path, std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        std::string bytes((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+        const std::size_t frame2 =
+            st::kSegmentHeaderBytes + st::kRecordHeaderBytes + record(0).size();
+        ASSERT_LT(frame2 + 4, bytes.size());
+        EXPECT_EQ(static_cast<std::uint8_t>(bytes[frame2 + 3]), 7u)
+            << "kind byte must sit above the 24-bit length";
+        EXPECT_EQ(static_cast<std::uint8_t>(bytes[frame2 + 0]), 40u)
+            << "payload length stays in the low 24 bits";
+    }
+
+    st::ReplayStats stats;
+    const auto records = collect_records(dir.path(), &stats);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0], record(0));
+    EXPECT_EQ(records[1], record(1)) << "scan resynchronizes past the foreign record";
+    EXPECT_EQ(stats.unknown_kinds, 1u);
+    EXPECT_EQ(stats.crc_failures, 0u);
+    EXPECT_EQ(stats.torn_tails, 0u);
+}
+
+TEST(Segment, UnknownKindPatchedIntoExistingFrameStillSkips) {
+    // The same property driven purely by byte surgery: take a normal
+    // segment and flip one frame's kind byte to a future value, the way a
+    // replica would see it after a partial fleet upgrade.
+    StoreDir dir;
+    std::string path;
+    {
+        st::SegmentWriter writer(dir.path(), "t-");
+        for (int i = 0; i < 3; ++i) writer.append(record(i));
+        path = writer.active_path();
+        writer.close();
+    }
+    const std::size_t frame1 =
+        st::kSegmentHeaderBytes + st::kRecordHeaderBytes + record(0).size();
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(frame1 + 3));
+    f.put('\xFE');
+    f.close();
+
+    st::ReplayStats stats;
+    const auto records = collect_records(dir.path(), &stats);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0], record(0));
+    EXPECT_EQ(records[1], record(2));
+    EXPECT_EQ(stats.unknown_kinds, 1u);
+}
+
+TEST(SegmentTailForwardCompat, TailSkipsAndCountsUnknownKinds) {
+    StoreDir dir;
+    st::SegmentWriter writer(dir.path(), "t-");
+    writer.append(record(0));
+    writer.append("kind-nine-payload", /*kind=*/9);
+    writer.append(record(1));
+    writer.sync();
+
+    siren::serve::SegmentTail tail(dir.path());
+    std::vector<std::string> seen;
+    tail.poll([&](std::string_view r) { seen.emplace_back(r); });
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], record(0));
+    EXPECT_EQ(seen[1], record(1));
+    EXPECT_EQ(tail.stats().unknown_kinds, 1u);
+
+    // The offset watermark advanced past the foreign record: appending
+    // more raw records delivers only the new ones on the next poll.
+    writer.append(record(2));
+    writer.sync();
+    seen.clear();
+    tail.poll([&](std::string_view r) { seen.emplace_back(r); });
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], record(2));
+    EXPECT_EQ(tail.stats().unknown_kinds, 1u);
 }

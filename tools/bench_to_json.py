@@ -60,7 +60,9 @@ def condense(raw: dict) -> dict:
             "cpu_time_ns": bench.get("cpu_time"),
             "iterations": bench.get("iterations"),
         }
-        for counter in ("items_per_second", "bytes_per_second", "allocs_per_op"):
+        for counter in ("items_per_second", "bytes_per_second", "allocs_per_op",
+                        "content_top1_rate", "fused_top1_rate",
+                        "fused_identify_overhead"):
             if counter in bench:
                 entry[counter] = bench[counter]
         out["benchmarks"][name] = entry
@@ -137,6 +139,21 @@ def condense(raw: dict) -> dict:
     value = ratio("BM_ReplicationCatchup/20000", "BM_SegmentWriteLocal/20000")
     if value is not None:
         out["ratios"]["replication_catchup_lag"] = value
+
+    # Behavioral channel. The gated ratio comes from the interleaved
+    # benchmark's counter — content-only and fused identify are timed in
+    # the same loop, so frequency drift between separately-run benchmarks
+    # cancels out. CI gates fused_identify_overhead <= 1.25 (fused QPS no
+    # worse than 0.8x content-only). behavior_identify_overhead is the
+    # informational cross-benchmark ratio.
+    value = (out["benchmarks"].get("BM_FusedIdentifyOverhead", {})
+             .get("fused_identify_overhead"))
+    if value is not None:
+        out["ratios"]["fused_identify_overhead"] = round(value, 3)
+    value = ratio("BM_BehaviorIdentify", "BM_ContentIdentifyBaseline",
+                  key="cpu_time_ns")
+    if value is not None:
+        out["ratios"]["behavior_identify_overhead"] = value
     return out
 
 
@@ -144,6 +161,12 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("input", help="google-benchmark JSON file ('-' for stdin)")
     parser.add_argument("-o", "--output", help="output path (default: stdout)")
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="BENCHMARK",
+        help="fail unless this benchmark appears in the input (repeatable; "
+        "a comma-separated list is also accepted). Use this in CI so a "
+        "renamed or filtered-out benchmark is a loud, named error instead "
+        "of a silently missing ratio.")
     args = parser.parse_args()
 
     try:
@@ -157,6 +180,17 @@ def main() -> int:
         return 1
 
     condensed = condense(raw)
+
+    required = [name for spec in args.require for name in spec.split(",") if name]
+    missing = [name for name in required if name not in condensed["benchmarks"]]
+    if missing:
+        have = ", ".join(sorted(condensed["benchmarks"])) or "(none)"
+        for name in missing:
+            print(f"bench_to_json: required benchmark '{name}' is missing from "
+                  f"{args.input}", file=sys.stderr)
+        print(f"bench_to_json: benchmarks present: {have}", file=sys.stderr)
+        return 1
+
     text = json.dumps(condensed, indent=2, sort_keys=True) + "\n"
     if args.output:
         with open(args.output, "w", encoding="utf-8") as f:

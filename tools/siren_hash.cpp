@@ -5,15 +5,21 @@
 //   siren_hash -c FILE_A FILE_B   compare two files (0..100)
 //   siren_hash -d DIGEST_A DIGEST_B
 //                                 compare two digest strings
+//   siren_hash -t TRACE...        shapelet digest per runtime counter trace:
+//                                 whitespace-separated samples, '-' = stdin
+//                                 (docs/behavior_fingerprints.md)
 //
 // Exit code: 0 on success, 1 on usage errors, 2 when a file is unreadable.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
+#include "behavior/shapelet.hpp"
 #include "elfio/elfio.hpp"
 #include "fuzzy/fuzzy.hpp"
 #include "fuzzy/streaming.hpp"
@@ -31,7 +37,8 @@ int usage() {
     std::fprintf(stderr,
                  "usage: siren_hash [-x] FILE...\n"
                  "       siren_hash -c FILE_A FILE_B\n"
-                 "       siren_hash -d DIGEST_A DIGEST_B\n");
+                 "       siren_hash -d DIGEST_A DIGEST_B\n"
+                 "       siren_hash -t TRACE... ('-' reads samples from stdin)\n");
     return 1;
 }
 
@@ -64,6 +71,37 @@ int main(int argc, char** argv) {
             return 1;
         }
         return 0;
+    }
+
+    if (mode == "-t") {
+        if (argc < 3) return usage();
+        int status = 0;
+        for (int i = 2; i < argc; ++i) {
+            std::string text;
+            if (std::strcmp(argv[i], "-") == 0) {
+                text.assign(std::istreambuf_iterator<char>(std::cin),
+                            std::istreambuf_iterator<char>());
+            } else {
+                std::ifstream in(argv[i]);
+                if (!in) {
+                    std::fprintf(stderr, "siren_hash: cannot read %s\n", argv[i]);
+                    status = 2;
+                    continue;
+                }
+                text.assign(std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>());
+            }
+            try {
+                const auto trace = siren::behavior::parse_trace(text);
+                std::printf("%s  %s\n",
+                            siren::behavior::shapelet_digest_string(trace).c_str(),
+                            argv[i]);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "siren_hash: %s: %s\n", argv[i], e.what());
+                status = 2;
+            }
+        }
+        return status;
     }
 
     const bool extended = mode == "-x";

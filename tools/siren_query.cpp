@@ -16,6 +16,15 @@
 //                                     trip
 //   siren_query --observe REPLICAS DIGEST [LABEL]
 //                                     record a sighting (optionally labeled)
+//   siren_query --identify-ts REPLICAS DIGEST
+//                                     behavior-channel identify: DIGEST is a
+//                                     shapelet digest of a runtime counter
+//                                     trace (docs/behavior_fingerprints.md)
+//   siren_query --observe-ts REPLICAS DIGEST [LABEL]
+//                                     record a behavioral sighting
+//   siren_query --identify2 REPLICAS CONTENT_DIGEST BEHAVIOR_DIGEST [K]
+//                                     fused identification over both
+//                                     channels ("-" skips a channel)
 //   siren_query --topn REPLICAS DIGEST K
 //                                     ranked candidate families for a digest
 //   siren_query --serve-stats REPLICAS
@@ -54,6 +63,9 @@ int usage() {
                  "       siren_query --identify REPLICAS DIGEST...\n"
                  "       siren_query --identify-file REPLICAS FILE\n"
                  "       siren_query --observe REPLICAS DIGEST [LABEL]\n"
+                 "       siren_query --identify-ts REPLICAS DIGEST\n"
+                 "       siren_query --observe-ts REPLICAS DIGEST [LABEL]\n"
+                 "       siren_query --identify2 REPLICAS CONTENT BEHAVIOR [K] ('-' skips)\n"
                  "       siren_query --topn REPLICAS DIGEST K\n"
                  "       siren_query --serve-stats REPLICAS\n"
                  "       siren_query --serve-checkpoint REPLICAS\n"
@@ -128,6 +140,48 @@ int serve_mode(const std::string& mode, const std::vector<std::string>& args) {
                         result.new_family ? " [new family]" : "");
             return 0;
         }
+        if (mode == "--identify-ts") {
+            if (args.size() != 2) return usage();
+            const auto match = client.identify_behavior(args[1]);
+            if (match) {
+                std::printf("%s -> %s (family %u, score %d)\n", args[1].c_str(),
+                            match->name.c_str(), match->family, match->score);
+            } else {
+                std::printf("%s -> unknown\n", args[1].c_str());
+            }
+            return 0;
+        }
+        if (mode == "--observe-ts") {
+            if (args.size() < 2 || args.size() > 3) return usage();
+            const auto result =
+                client.observe_behavior(args[1], args.size() == 3 ? args[2] : std::string());
+            std::printf("%s -> family %u '%s' (score %d)%s\n", args[1].c_str(), result.family,
+                        result.name.c_str(), result.score,
+                        result.new_family ? " [new family]" : "");
+            return 0;
+        }
+        if (mode == "--identify2") {
+            if (args.size() < 3 || args.size() > 4) return usage();
+            const std::string content = args[1] == "-" ? std::string() : args[1];
+            const std::string behavior = args[2] == "-" ? std::string() : args[2];
+            if (content.empty() && behavior.empty()) return usage();
+            long k = 5;
+            if (args.size() == 4 && (!siren::util::parse_decimal(args[3], k) || k <= 0)) {
+                return usage();
+            }
+            const auto matches =
+                client.identify_fused(content, behavior, static_cast<std::size_t>(k));
+            if (matches.empty()) {
+                std::printf("unknown (no family above threshold on either channel)\n");
+                return 0;
+            }
+            for (const auto& match : matches) {
+                std::printf("%-24s family %-6u fused %-3d content %-3d behavior %d\n",
+                            match.name.c_str(), match.family, match.score,
+                            match.content_score, match.behavior_score);
+            }
+            return 0;
+        }
         if (mode == "--topn") {
             if (args.size() != 3) return usage();
             long k = 0;
@@ -169,8 +223,11 @@ int main(int argc, char** argv) {
     if (first.starts_with("--")) {
         // Service-client modes take the flag first; anything else that
         // looks like a flag is an error, not a silent fall-through.
-        static const char* kServeModes[] = {"--identify", "--identify-file", "--observe",
-                                            "--topn", "--serve-stats", "--serve-checkpoint"};
+        static const char* kServeModes[] = {"--identify",    "--identify-file",
+                                            "--observe",     "--identify-ts",
+                                            "--observe-ts",  "--identify2",
+                                            "--topn",        "--serve-stats",
+                                            "--serve-checkpoint"};
         for (const char* mode : kServeModes) {
             if (first == mode) {
                 return serve_mode(first, std::vector<std::string>(argv + 2, argv + argc));
