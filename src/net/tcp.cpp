@@ -14,12 +14,18 @@
 
 #include "net/codec.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 
 namespace siren::net {
 
 int connect_nonblocking(const std::string& host, std::uint16_t port,
                         std::chrono::milliseconds timeout, int wake_fd, std::string& error) {
+    if (const auto fp = SIREN_FAILPOINT("net.tcp.connect");
+        fp.action == util::failpoint::Action::kError) {
+        error = "connect(" + host + "): " + std::strerror(fp.err != 0 ? fp.err : ECONNREFUSED);
+        return -1;
+    }
     const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
     if (fd < 0) {
         error = "socket(): " + std::string(std::strerror(errno));
@@ -67,6 +73,16 @@ bool send_all_nonblocking(int fd, std::string_view data,
     while (remaining > 0) {
         if (std::chrono::steady_clock::now() >= deadline) {
             error = "send timed out";
+            return false;
+        }
+        if (const auto fp = SIREN_FAILPOINT("net.tcp.send")) {
+            if (fp.action == util::failpoint::Action::kShortWrite && remaining > 1) {
+                // Push a real prefix so the peer sees a half frame, then
+                // fail the connection — a mid-send RST, not a clean close.
+                (void)::send(fd, p, remaining / 2, MSG_NOSIGNAL);
+            }
+            error = "send failed: " +
+                    std::string(std::strerror(fp.err != 0 ? fp.err : ECONNRESET));
             return false;
         }
         const ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);

@@ -7,6 +7,7 @@
 #include "serve/recognition_service.hpp"
 #include "util/endian.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/strings.hpp"
 
 namespace siren::serve {
@@ -162,6 +163,15 @@ std::string execute_query(RecognitionService& service, std::string_view request)
             if (words.size() < 2 || words.size() > 3) {
                 return "ERR usage: " + std::string(verb) + " digest [hint]";
             }
+            // Admission control: a full writer queue means observe_sync
+            // would block this event-loop thread (and every connection it
+            // serves) behind the backlog. Shed with the typed marker so
+            // clients back off or try another replica instead of hanging.
+            if (service.queue_depth() >= service.shed_threshold()) {
+                service.count_observe_shed();
+                return std::string("ERR ") + std::string(kOverloadedError) +
+                       ": observe queue is full, retry later";
+            }
             const std::string hint = words.size() == 3 ? std::string(words[2]) : std::string();
             const auto digest = fuzzy::FuzzyDigest::parse(words[1]);
             const auto result = verb == "OBSERVETS"
@@ -233,6 +243,19 @@ std::string execute_query(RecognitionService& service, std::string_view request)
             line("checkpoint_errors", counters.checkpoint_errors);
             line("observes_journaled", counters.observes_journaled);
             line("wal_fallbacks", counters.wal_fallbacks);
+            line("observes_shed", counters.observes_shed);
+            // Armed failpoints (fault-injection builds only): one
+            // "failpoint.<name> <fires>" line per armed point, so a chaos
+            // driver can confirm over the wire that its faults landed.
+            if (util::failpoint::compiled_in()) {
+                for (const auto& fp : util::failpoint::counters()) {
+                    out += "failpoint.";
+                    out += fp.name;
+                    out.push_back(' ');
+                    util::append_number(out, fp.fires);
+                    out.push_back('\n');
+                }
+            }
             // Per-verb request counters (this STATS included).
             for (std::size_t v = 0; v < static_cast<std::size_t>(QueryVerb::kCount); ++v) {
                 const auto verb_id = static_cast<QueryVerb>(v);

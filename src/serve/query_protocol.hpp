@@ -43,6 +43,13 @@ inline constexpr std::uint32_t kMaxQueryFrameBytes = 1u << 20;
 /// of the protocol, not just error prose (docs/replication.md).
 inline constexpr std::string_view kReadOnlyError = "read-only follower";
 
+/// The marker an overloaded replica embeds in a shed reply ("ERR
+/// overloaded"). Like kReadOnlyError it is protocol, not prose:
+/// ReplicaClient treats it as retryable (back off, try another replica)
+/// rather than a request error every replica would repeat
+/// (docs/robustness.md).
+inline constexpr std::string_view kOverloadedError = "overloaded";
+
 /// Append one framed payload to `out`.
 void append_frame(std::string& out, std::string_view payload);
 

@@ -78,6 +78,9 @@ QueryServer::QueryServer(RecognitionService& service, QueryServerOptions options
     batch_window_us_ = service_.options().batch_window_us;
     batch_max_ = service_.options().batch_max;
     coalesce_on_ = batch_window_us_ > 0 && batch_max_ > 0;
+    shed_coalesce_depth_ = service_.options().shed_coalesce_depth != 0
+                               ? service_.options().shed_coalesce_depth
+                               : 8 * batch_max_;
     if (coalesce_on_) {
         // The coalescing window needs sub-millisecond expiry, which the
         // 200ms epoll_wait timeout cannot provide: a CLOCK_MONOTONIC
@@ -126,6 +129,8 @@ QueryServerStats QueryServer::stats() const {
     s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
     s.coalesced_batches = coalesced_batches_.load(std::memory_order_relaxed);
     s.coalesced_probes = coalesced_probes_.load(std::memory_order_relaxed);
+    s.shed_coalesce = shed_coalesce_.load(std::memory_order_relaxed);
+    s.accept_stalls = accept_stalls_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -231,6 +236,8 @@ std::string QueryServer::execute_with_stats(std::string_view payload) {
         // before traffic fills it.
         line("coalesce_occupancy",
              batches > 0 && batch_max_ > 0 ? probes * 100 / (batches * batch_max_) : 0);
+        line("shed_coalesce", shed_coalesce_.load(std::memory_order_relaxed));
+        line("accept_stalls", accept_stalls_.load(std::memory_order_relaxed));
     }
     return response;
 }
@@ -247,6 +254,23 @@ bool QueryServer::coalesce_frame(int fd, Connection& conn, std::string_view payl
     if (verb != "IDENTIFY" && verb != "IDENTIFYB") return false;
     const std::string_view rest = util::trim(request.substr(space + 1));
     if (rest.empty() || rest.find(' ') != std::string_view::npos) return false;
+
+    // Admission control: past the in-flight bound, shed instead of parking
+    // more identify work. The shed reply is itself parked (error
+    // pre-rendered, immediate deadline) so per-connection reply order
+    // holds even when earlier probes of this connection are still waiting.
+    if (pending_batch_.size() >= shed_coalesce_depth_) {
+        shed_coalesce_.fetch_add(1, std::memory_order_relaxed);
+        PendingProbe shed;
+        shed.fd = fd;
+        shed.gen = conn.gen;
+        shed.error_reply = std::string("ERR ") + std::string(kOverloadedError) +
+                           ": identify coalescer is full, retry later";
+        shed.deadline = std::chrono::steady_clock::now();
+        pending_batch_.push_back(std::move(shed));
+        ++conn.pending_replies;
+        return true;
+    }
 
     PendingProbe probe;
     probe.fd = fd;
@@ -419,11 +443,39 @@ void QueryServer::event_loop() {
         // process_frames never recurses through a flush.
         run_coalescer();
 
+        // Re-arm a listener that fd exhaustion disarmed once the cooldown
+        // passed (some fds have likely been released by then; if not, the
+        // next accept disarms again).
+        if (!listener_armed_ && std::chrono::steady_clock::now() >= accept_rearm_at_ &&
+            !stopping_.load(std::memory_order_acquire)) {
+            epoll_event ev{};
+            ev.events = EPOLLIN;
+            ev.data.fd = listen_fd_;
+            if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+                listener_armed_ = true;
+                accept_ready = true;  // drain whatever queued while disarmed
+            }
+        }
+
         if (accept_ready && !stopping_.load(std::memory_order_acquire)) {
             for (;;) {
                 const int client = ::accept4(listen_fd_, nullptr, nullptr,
                                              SOCK_NONBLOCK | SOCK_CLOEXEC);
-                if (client < 0) break;  // EAGAIN or transient error
+                if (client < 0) {
+                    if (errno == EMFILE || errno == ENFILE) {
+                        // fd exhaustion: accept4 will keep failing without
+                        // consuming the backlog, and the level-triggered
+                        // listener would wake every epoll_wait into a hot
+                        // spin. Take the listener out of the set briefly;
+                        // established connections keep being served.
+                        accept_stalls_.fetch_add(1, std::memory_order_relaxed);
+                        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+                        listener_armed_ = false;
+                        accept_rearm_at_ = std::chrono::steady_clock::now() +
+                                           std::chrono::milliseconds(50);
+                    }
+                    break;  // EAGAIN or transient error
+                }
                 if (connections_.size() >= options_.max_connections) {
                     rejected_.fetch_add(1, std::memory_order_relaxed);
                     ::close(client);

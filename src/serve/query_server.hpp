@@ -35,6 +35,8 @@ struct QueryServerStats {
     std::uint64_t protocol_errors = 0;   ///< oversize/garbage frames (connection dropped)
     std::uint64_t coalesced_batches = 0; ///< identify_many flushes of parked probes
     std::uint64_t coalesced_probes = 0;  ///< singleton probes that rode a coalesced batch
+    std::uint64_t shed_coalesce = 0;     ///< probes refused "ERR overloaded": coalescer full
+    std::uint64_t accept_stalls = 0;     ///< listener disarmed: fd exhaustion (EMFILE/ENFILE)
 };
 
 /// The TCP face of a RecognitionService: one epoll event-loop thread
@@ -126,8 +128,17 @@ private:
     bool coalesce_on_ = false;
     std::uint32_t batch_window_us_ = 0;
     std::size_t batch_max_ = 0;
+    /// Parked probes at/above this bound shed with "ERR overloaded"
+    /// (ServeOptions::shed_coalesce_depth, default 8 * batch_max).
+    std::size_t shed_coalesce_depth_ = 0;
     std::vector<PendingProbe> pending_batch_;
     std::uint64_t next_gen_ = 1;
+
+    /// Accepts are disarmed (listener out of the epoll set) after
+    /// EMFILE/ENFILE until the re-arm deadline; prevents the level-
+    /// triggered listener from spinning the loop while fds are exhausted.
+    bool listener_armed_ = true;
+    std::chrono::steady_clock::time_point accept_rearm_at_{};
 
     std::atomic<std::uint64_t> connections_total_{0};
     std::atomic<std::uint64_t> rejected_{0};
@@ -135,6 +146,8 @@ private:
     std::atomic<std::uint64_t> protocol_errors_{0};
     std::atomic<std::uint64_t> coalesced_batches_{0};
     std::atomic<std::uint64_t> coalesced_probes_{0};
+    std::atomic<std::uint64_t> shed_coalesce_{0};
+    std::atomic<std::uint64_t> accept_stalls_{0};
 };
 
 }  // namespace siren::serve

@@ -13,6 +13,7 @@
 #include "net/codec.hpp"
 #include "net/message.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace siren::serve {
 
@@ -51,6 +52,14 @@ bool write_file_atomic(const std::string& path, std::string_view body, std::stri
         return false;
     }
     ::close(fd);
+    if (const auto fp = SIREN_FAILPOINT("serve.checkpoint.rename");
+        fp.action == util::failpoint::Action::kError) {
+        // Injected crash-before-rename: the tmp file stays, the previous
+        // checkpoint survives untouched — the atomicity claim under test.
+        error = "rename(" + tmp + "): " + std::strerror(fp.err != 0 ? fp.err : EIO);
+        ::unlink(tmp.c_str());
+        return false;
+    }
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
         error = "rename(" + tmp + "): " + std::strerror(errno);
         ::unlink(tmp.c_str());
@@ -103,6 +112,19 @@ RecognitionService::RecognitionService(ServeOptions options)
         wal_options.fsync_enabled = options_.wal_fsync;
         wal_ = std::make_unique<storage::SegmentWriter>(
             options_.segments_dir, std::string(kObserveWalPrefix), wal_options);
+        // Observe seqs ride the WAL as job ids, and the fallback skip-set
+        // keys on them — so they must never repeat across restarts. A
+        // counter restarting at 1 would collide with seqs still pending in
+        // old segments (a persisted fallback seq and a fresh one sharing a
+        // set entry double-applies whichever record drains second). The
+        // writer's resume sequence is a durable, strictly-increasing
+        // incarnation number: fold it in as an epoch. Low 32 bits leave
+        // room for ~4B observes per incarnation. applied_seq_ starts at
+        // the same base: flush() waits for applied_seq_ >= next_seq_ - 1,
+        // and a zero start would leave an idle restarted service waiting
+        // for observes that never existed.
+        next_seq_ = (wal_->next_segment_seq() << 32) | 1;
+        applied_seq_.store(next_seq_ - 1, std::memory_order_release);
     }
 
     // Catch-up replay: everything past the watermark, before serving. The
@@ -151,6 +173,17 @@ void RecognitionService::load_checkpoint() {
                 throw util::ParseError("checkpoint: bad offset line");
             }
             offsets[name] = off;
+        } else if (word == "fallback") {
+            // A WAL observe the liveness backstop applied directly whose
+            // feed delivery was still outstanding at checkpoint time: the
+            // checkpointed registry already contains it, so catch-up
+            // replay must skip it or this leader double-applies after a
+            // restart and silently diverges from its followers.
+            std::uint64_t seq = 0;
+            if (!(in >> seq)) {
+                throw util::ParseError("checkpoint: bad fallback line");
+            }
+            wal_fallback_seqs_.insert(seq);
         } else if (word == "registry") {
             // The registry section is the remainder of the stream; consume
             // the end of the marker line first.
@@ -188,6 +221,15 @@ void RecognitionService::apply_feed_record(std::string_view record) {
         // family.
         const bool from_wal =
             tail_ && tail_->current_file().starts_with(kObserveWalPrefix);
+        // A record the liveness backstop already applied directly (the feed
+        // failed to deliver it in its own journal cycle, e.g. a transient
+        // read error) must not apply again on re-delivery — the double
+        // count would diverge this leader from followers replaying the
+        // same WAL exactly once.
+        if (from_wal && !wal_fallback_seqs_.empty() &&
+            wal_fallback_seqs_.erase(view.job_id) > 0) {
+            return;
+        }
         const std::string content = view.content_str();
         const auto space = from_wal ? content.find(' ') : std::string::npos;
         const auto digest = fuzzy::FuzzyDigest::parse(
@@ -264,7 +306,11 @@ void RecognitionService::journal_and_apply(
             content += recognize::sanitize_label(pending.name_hint);
         }
         m.content = content;
-        if (wal_->append(net::encode(m))) {
+        // Injected journal failure: exercises the WAL fallback (direct
+        // apply, wal_fallbacks counted) without needing real disk trouble.
+        const bool journal_failed =
+            SIREN_FAILPOINT("serve.wal.append").action == util::failpoint::Action::kError;
+        if (!journal_failed && wal_->append(net::encode(m))) {
             wal_pending_.emplace(pending.seq, std::move(pending));
             ++journaled;
         } else {
@@ -297,15 +343,19 @@ void RecognitionService::journal_and_apply(
     wal_replies_out_ = nullptr;
     unpublished_seq = wal_seq_high_;
 
-    // Liveness backstop: anything the feed failed to hand back (it should
-    // not happen — the WAL was flushed before the drain) applies directly
-    // so no observe_sync caller can hang on a lost promise. The record may
-    // later arrive through the feed too; a double-applied sighting inflates
-    // one count but cannot move family assignments (score-100 self-match).
+    // Liveness backstop: anything the feed failed to hand back (a transient
+    // tail read error — the WAL was flushed before the drain) applies
+    // directly so no observe_sync caller can hang on a lost promise. The
+    // record is still durably journaled and will arrive through the feed
+    // once the tail recovers; wal_fallback_seqs_ marks it so that delivery
+    // is skipped instead of double-applied (which would silently diverge
+    // this leader from its followers). Entries are erased on re-delivery,
+    // so the set stays as small as the fallback burst itself.
     for (auto& [seq, pending] : wal_pending_) {
         wal_fallbacks_.fetch_add(1, std::memory_order_relaxed);
         if (seq > unpublished_seq) unpublished_seq = seq;
         apply_direct(pending, replies);
+        wal_fallback_seqs_.insert(seq);
     }
     wal_pending_.clear();
 }
@@ -333,6 +383,11 @@ bool RecognitionService::write_checkpoint(std::string& error) {
         for (const auto& [name, offset] : tail_->offsets()) {
             body << "offset " << name << ' ' << offset << '\n';
         }
+    }
+    // Backstop-applied observes still ahead of the watermark (see
+    // load_checkpoint): persisted so a restart skips their replay.
+    for (const auto seq : wal_fallback_seqs_) {
+        body << "fallback " << seq << '\n';
     }
     body << "registry\n";
     master_.save(body);
@@ -688,6 +743,7 @@ ServeCounters RecognitionService::counters() const {
     c.checkpoint_errors = checkpoint_errors_.load(std::memory_order_relaxed);
     c.observes_journaled = observes_journaled_.load(std::memory_order_relaxed);
     c.wal_fallbacks = wal_fallbacks_.load(std::memory_order_relaxed);
+    c.observes_shed = observes_shed_.load(std::memory_order_relaxed);
     return c;
 }
 

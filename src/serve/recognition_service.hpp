@@ -10,6 +10,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -56,6 +57,20 @@ struct ServeOptions {
     /// Bound on queued (not yet applied) client observes; beyond it,
     /// observe() drops (counted) and observe_sync() blocks.
     std::size_t queue_capacity = 1 << 16;
+
+    /// Admission control for network observes: when the writer queue holds
+    /// at least this many pending observes, the query protocol sheds
+    /// OBSERVE/OBSERVETS with an explicit "ERR overloaded" instead of
+    /// blocking the server's event loop behind observe_sync(). 0 = use
+    /// queue_capacity (shed exactly where observe_sync would have blocked).
+    /// In-process observe()/observe_sync() callers are never shed.
+    std::size_t shed_queue_depth = 0;
+
+    /// Admission control for coalesced IDENTIFY: when the query server's
+    /// coalescer already holds this many probes waiting for a batch slot,
+    /// further singleton IDENTIFYs are shed with "ERR overloaded" instead
+    /// of growing the in-flight set without bound. 0 = 8 * batch_max.
+    std::size_t shed_coalesce_depth = 0;
 
     /// Worker threads for batch identify fan-out (multi-digest IDENTIFY
     /// requests route through ThreadPool::parallel_for). 0 = resolve
@@ -172,6 +187,7 @@ struct ServeCounters {
     std::uint64_t checkpoint_errors = 0;
     std::uint64_t observes_journaled = 0;  ///< client observes appended to the WAL
     std::uint64_t wal_fallbacks = 0;       ///< journal/feed misses applied directly
+    std::uint64_t observes_shed = 0;       ///< network observes refused: overload
 };
 
 /// The online recognition service — the third leg of the collect -> ingest
@@ -276,6 +292,23 @@ public:
     ServeCounters counters() const;
     const ServeOptions& options() const { return options_; }
 
+    /// Client observes queued but not yet applied — the admission-control
+    /// signal the query protocol sheds on.
+    std::size_t queue_depth() const {
+        std::lock_guard lock(queue_mutex_);
+        return queue_.size();
+    }
+    /// Observes the writer queue may still accept before the network shed
+    /// threshold (options resolved: 0 means queue_capacity).
+    std::size_t shed_threshold() const {
+        return options_.shed_queue_depth != 0 ? options_.shed_queue_depth
+                                              : options_.queue_capacity;
+    }
+    /// Bump the shed counter (query protocol, on an "ERR overloaded" reply).
+    void count_observe_shed() const {
+        observes_shed_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     /// Per-verb request accounting (bumped by execute_query, surfaced as
     /// `verb_*` STATS lines).
     void count_verb(QueryVerb verb) const {
@@ -344,10 +377,14 @@ private:
     /// sequence number travelling as the datagram's job id; writer thread
     /// only — entries live for exactly one journal_and_apply cycle.
     std::map<std::uint64_t, PendingObserve> wal_pending_;
+    /// Seqs the liveness backstop applied directly after a failed feed
+    /// drain: their eventual feed re-delivery is skipped, not re-applied
+    /// (writer thread only; erased on that delivery).
+    std::set<std::uint64_t> wal_fallback_seqs_;
     std::unique_ptr<util::ThreadPool> batch_pool_;
     std::atomic<std::shared_ptr<const RegistrySnapshot>> snapshot_;
 
-    std::mutex queue_mutex_;
+    mutable std::mutex queue_mutex_;
     std::condition_variable queue_cv_;    ///< wakes the writer
     std::condition_variable applied_cv_;  ///< wakes flush()/observe_sync waiters
     std::vector<PendingObserve> queue_;
@@ -380,6 +417,7 @@ private:
     std::atomic<std::uint64_t> checkpoint_errors_{0};
     std::atomic<std::uint64_t> observes_journaled_{0};
     std::atomic<std::uint64_t> wal_fallbacks_{0};
+    mutable std::atomic<std::uint64_t> observes_shed_{0};
 
     /// WAL-drain scratch, valid only inside journal_and_apply (writer
     /// thread): where apply_feed_record deposits resolved replies and the

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "serve/query_client.hpp"
+#include "util/rng.hpp"
 
 namespace siren::serve {
 
@@ -22,11 +23,37 @@ struct ReplicaEndpoint {
 /// malformed (empty host, non-numeric/zero port).
 std::vector<ReplicaEndpoint> parse_replica_list(std::string_view list);
 
+/// Retry/backoff tuning for one ReplicaClient.
+struct ReplicaClientOptions {
+    /// Per-call deadline handed to each QueryClient.
+    std::chrono::milliseconds timeout{5000};
+    /// Extra sweeps across the whole replica list after the first one
+    /// fails everywhere, each preceded by a backoff sleep. 0 restores the
+    /// single-sweep PR 5 behavior (fail fast, never sleep).
+    std::size_t retry_sweeps = 2;
+    /// Between-sweep backoff bounds (decorrelated jitter: each sleep is
+    /// uniform in [floor, min(cap, 3 * previous sleep)]), so a dead fleet
+    /// is probed at a decaying, desynchronized cadence instead of being
+    /// hot-spun.
+    std::chrono::milliseconds backoff_floor{50};
+    std::chrono::milliseconds backoff_cap{2000};
+    /// Per-endpoint cooldown after a failure: the endpoint is skipped
+    /// (unless every endpoint is cooling) until the cooldown expires.
+    /// Doubles per consecutive failure up to the cap; any success resets.
+    std::chrono::milliseconds cooldown_floor{200};
+    std::chrono::milliseconds cooldown_cap{5000};
+    /// Jitter seed; 0 derives one per instance.
+    std::uint64_t jitter_seed = 0;
+};
+
 /// ReplicaClient counters.
 struct ReplicaClientStats {
     std::uint64_t requests = 0;             ///< typed calls issued
     std::uint64_t failovers = 0;            ///< endpoint skipped on a transport error
     std::uint64_t read_only_redirects = 0;  ///< OBSERVE bounced off a follower
+    std::uint64_t overload_redirects = 0;   ///< "ERR overloaded" shed replies retried
+    std::uint64_t cooldown_skips = 0;       ///< endpoints skipped while cooling down
+    std::uint64_t backoffs = 0;             ///< between-sweep sleeps taken
 };
 
 /// Replica-aware face of QueryClient — the client side of the scale-out
@@ -42,7 +69,17 @@ struct ReplicaClientStats {
 /// reconnects on its next turn, so a restarted replica rejoins the
 /// rotation automatically. Application-level "ERR …" responses (bad
 /// digest, unknown verb) are NOT failed over — every replica would answer
-/// the same — and surface as util::Error exactly like QueryClient's.
+/// the same — and surface as util::Error exactly like QueryClient's. Two
+/// exceptions participate in failover because they mean "wrong replica
+/// right now", not "bad request": kReadOnlyError (OBSERVE hit a follower)
+/// and kOverloadedError (the replica shed the request under load).
+///
+/// A sweep that fails on every endpoint no longer rethrows immediately:
+/// up to retry_sweeps more passes run, separated by decorrelated-jitter
+/// backoff sleeps, and endpoints that failed recently sit out a growing
+/// cooldown (they are only probed when every endpoint is cooling). A dead
+/// fleet therefore costs bounded, decaying probe traffic instead of a hot
+/// spin, and a briefly-overloaded fleet absorbs the retry.
 /// Not thread-safe: one client, one thread (as QueryClient).
 class ReplicaClient {
 public:
@@ -51,6 +88,7 @@ public:
     /// until the first call.
     explicit ReplicaClient(std::vector<ReplicaEndpoint> replicas,
                            std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+    ReplicaClient(std::vector<ReplicaEndpoint> replicas, ReplicaClientOptions options);
 
     std::optional<Identified> identify(std::string_view digest);
     std::vector<std::optional<Identified>> identify_many(const std::vector<std::string>& digests);
@@ -73,11 +111,24 @@ public:
     const ReplicaClientStats& stats() const { return stats_; }
 
 private:
+    /// Per-endpoint failure memory for the cooldown policy.
+    struct EndpointHealth {
+        std::chrono::steady_clock::time_point down_until{};
+        std::chrono::milliseconds cooldown{0};  ///< next failure's cooldown span
+    };
+
     /// Connected client for `index`, creating it on demand (throws
     /// util::SystemError when the endpoint is unreachable).
     QueryClient& client(std::size_t index);
+    bool cooling(std::size_t index) const;
+    void mark_success(std::size_t index);
+    void mark_failure(std::size_t index);
+    /// Sleep before the next sweep; returns the span actually slept and
+    /// advances the decorrelated-jitter state.
+    std::chrono::milliseconds backoff_sleep(std::chrono::milliseconds previous);
     /// Run `fn` against replicas starting at `start`, failing over on
-    /// transport errors; rethrows the last one when all replicas fail.
+    /// transport errors and overload sheds; rethrows the last error when
+    /// every sweep of the retry budget fails.
     template <typename Fn>
     auto with_failover(std::size_t start, Fn&& fn);
     /// Shared leader-seeking walk of observe()/observe_behavior().
@@ -85,7 +136,9 @@ private:
 
     std::vector<ReplicaEndpoint> replicas_;
     std::vector<std::unique_ptr<QueryClient>> connections_;
-    std::chrono::milliseconds timeout_;
+    std::vector<EndpointHealth> health_;
+    ReplicaClientOptions options_;
+    util::Rng rng_;
     std::size_t next_read_ = 0;    ///< round-robin cursor
     std::size_t leader_hint_ = 0;  ///< last endpoint that accepted a write
     ReplicaClientStats stats_;

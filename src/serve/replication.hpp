@@ -184,8 +184,13 @@ struct ReplicationFollowerOptions {
     /// Local replica segment directory (the sink's target).
     std::string directory;
     std::chrono::milliseconds connect_timeout{5000};
-    /// Pause between reconnect attempts after any failure.
+    /// Floor of the reconnect pause. Consecutive failed connects double the
+    /// pause from here (with jitter) up to reconnect_backoff_cap; the first
+    /// retry after a working session starts back at the floor. Jitter keeps
+    /// a fleet of followers from probing a recovering leader in lockstep.
     std::chrono::milliseconds reconnect_backoff{500};
+    /// Ceiling of the exponential reconnect backoff.
+    std::chrono::milliseconds reconnect_backoff_cap{10000};
 };
 
 /// ReplicationFollower counters.
@@ -196,6 +201,8 @@ struct ReplicationFollowerStats {
     std::uint64_t bytes = 0;             ///< segment bytes appended locally
     std::uint64_t duplicate_bytes = 0;   ///< re-shipped bytes skipped
     std::uint64_t chunk_drops = 0;       ///< connections dropped on a bad chunk
+    std::uint64_t backoffs = 0;          ///< reconnect pauses taken
+    std::uint64_t last_backoff_ms = 0;   ///< length of the most recent pause
     std::string last_error;
 };
 
@@ -235,6 +242,8 @@ private:
     std::atomic<std::uint64_t> connects_{0};
     std::atomic<std::uint64_t> disconnects_{0};
     std::atomic<std::uint64_t> chunk_drops_{0};
+    std::atomic<std::uint64_t> backoffs_{0};
+    std::atomic<std::uint64_t> last_backoff_ms_{0};
     mutable std::mutex error_mutex_;
     std::string last_error_;
     std::thread thread_;

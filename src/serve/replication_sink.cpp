@@ -22,6 +22,8 @@
 #include "serve/query_protocol.hpp"
 #include "storage/segment.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace siren::serve {
@@ -136,7 +138,22 @@ bool ReplicationSink::apply_chunk(std::string_view payload, std::string& error) 
     const char* p = bytes.data();
     std::size_t remaining = bytes.size();
     while (remaining > 0) {
-        const ssize_t n = ::write(fd, p, remaining);
+        ssize_t n;
+        if (const auto fp = SIREN_FAILPOINT("replication.sink.write")) {
+            if (fp.action == util::failpoint::Action::kShortWrite && remaining > 1) {
+                // A real partial append: the landed prefix extends the
+                // watermark, the rest is re-requested on resubscribe.
+                const ssize_t wrote = ::write(fd, p, remaining / 2);
+                if (wrote > 0) {
+                    p += wrote;
+                    remaining -= static_cast<std::size_t>(wrote);
+                }
+            }
+            errno = fp.err != 0 ? fp.err : ENOSPC;
+            n = -1;
+        } else {
+            n = ::write(fd, p, remaining);
+        }
         if (n < 0) {
             if (errno == EINTR) continue;
             // A partial append is safe: the bytes that did land extend the
@@ -196,6 +213,8 @@ ReplicationFollowerStats ReplicationFollower::stats() const {
     s.chunks = sink_.stats().chunks.load(std::memory_order_relaxed);
     s.bytes = sink_.stats().bytes.load(std::memory_order_relaxed);
     s.duplicate_bytes = sink_.stats().duplicate_bytes.load(std::memory_order_relaxed);
+    s.backoffs = backoffs_.load(std::memory_order_relaxed);
+    s.last_backoff_ms = last_backoff_ms_.load(std::memory_order_relaxed);
     std::lock_guard lock(error_mutex_);
     s.last_error = last_error_;
     return s;
@@ -281,13 +300,41 @@ void ReplicationFollower::session() {
 }
 
 void ReplicationFollower::run() {
+    // Jitter source: per-follower seed (not a shared constant) so a fleet
+    // restarted together does not re-probe a dead leader in lockstep.
+    util::Rng rng(util::mix64(
+        static_cast<std::uint64_t>(Clock::now().time_since_epoch().count()) ^
+        static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(this))));
+    unsigned failures = 0;
     while (!stop_.load(std::memory_order_acquire)) {
+        const std::uint64_t connects_before = connects_.load(std::memory_order_relaxed);
         session();
         if (stop_.load(std::memory_order_acquire)) break;
+        if (connects_.load(std::memory_order_relaxed) > connects_before) {
+            // The leader answered this session; whatever ended it, the next
+            // probe starts back at the floor.
+            failures = 0;
+        } else if (failures < 31) {
+            ++failures;
+        }
+        // Exponential from the floor with full jitter above it, capped:
+        // sleep in [floor, min(cap, floor * 2^(failures-1))]. A session
+        // that connected but then dropped sleeps exactly the floor.
+        const long floor_ms = std::max<long>(1, options_.reconnect_backoff.count());
+        const long cap_ms = std::max(floor_ms, options_.reconnect_backoff_cap.count());
+        long ceiling_ms = floor_ms;
+        for (unsigned i = 1; i < failures && ceiling_ms < cap_ms; ++i) {
+            ceiling_ms = std::min(cap_ms, ceiling_ms * 2);
+        }
+        const long sleep_ms =
+            floor_ms +
+            static_cast<long>(rng.below(static_cast<std::uint64_t>(ceiling_ms - floor_ms + 1)));
+        backoffs_.fetch_add(1, std::memory_order_relaxed);
+        last_backoff_ms_.store(static_cast<std::uint64_t>(sleep_ms),
+                               std::memory_order_relaxed);
         // Backoff, interruptible by stop()'s eventfd write.
         pollfd pfd{wake_fd_, POLLIN, 0};
-        ::poll(&pfd, 1,
-               static_cast<int>(std::min<long>(options_.reconnect_backoff.count(), 1 << 30)));
+        ::poll(&pfd, 1, static_cast<int>(std::min<long>(sleep_ms, 1 << 30)));
     }
 }
 

@@ -21,6 +21,7 @@
 #include "storage/segment.hpp"
 #include "util/endian.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/strings.hpp"
 
 namespace siren::serve {
@@ -254,6 +255,11 @@ void ReplicationSource::pump(Follower& conn, const std::vector<SegmentState>& se
         // current size is final.
         for (;;) {
             if (conn.out.size() - conn.out_pos >= options_.max_buffered_bytes) return;
+            // Injected chunk stall: a delay(…) spec sleeps inside eval (the
+            // shipping cadence hiccups), an error(…) spec skips this
+            // wake-up's pump entirely — the follower's watermark protocol
+            // must absorb both without losing bytes.
+            if (SIREN_FAILPOINT("replication.source.chunk")) return;
             const std::size_t got =
                 storage::read_segment_range(segment.path, offset, options_.chunk_bytes, chunk_);
             if (got == 0) break;
@@ -264,6 +270,13 @@ void ReplicationSource::pump(Follower& conn, const std::vector<SegmentState>& se
             header.push_back(' ');
             util::append_number(header, hash::crc32c(chunk_));
             header.push_back('\n');
+            if (const auto fp = SIREN_FAILPOINT("replication.source.corrupt");
+                fp.action == util::failpoint::Action::kCorrupt) {
+                // Flip a payload byte *after* the header's CRC was computed:
+                // the follower's apply_chunk must reject it (chunk_drops)
+                // and resubscribe from its durable watermark.
+                chunk_[0] = static_cast<char>(chunk_[0] ^ 0x01);
+            }
             util::append_u32le(conn.out, static_cast<std::uint32_t>(header.size() + got));
             conn.out += header;
             conn.out += chunk_;

@@ -4,10 +4,12 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "hashing/crc32c.hpp"
 #include "util/endian.hpp"
+#include "util/failpoint.hpp"
 
 namespace siren::serve {
 
@@ -15,15 +17,40 @@ namespace fs = std::filesystem;
 
 using util::get_u32le;
 
+namespace {
+
+/// Stream identity of a segment basename: the name minus its numeric
+/// sequence and ".seg" suffix (mirrors storage's `<prefix><seq>.seg`
+/// layout). Cross-file ordering is only meaningful within one stream.
+std::string_view stream_head(std::string_view name) {
+    if (name.ends_with(storage::kSegmentSuffix)) {
+        name.remove_suffix(storage::kSegmentSuffix.size());
+    }
+    std::size_t digits_at = name.size();
+    while (digits_at > 0 && name[digits_at - 1] >= '0' && name[digits_at - 1] <= '9') {
+        --digits_at;
+    }
+    return name.substr(0, digits_at);
+}
+
+}  // namespace
+
 SegmentTail::SegmentTail(std::string directory, Offsets start)
     : directory_(std::move(directory)), offsets_(std::move(start)) {
     stats_.files_seen = offsets_.size();
 }
 
 std::size_t SegmentTail::consume_file(const std::string& path, const std::string& name,
-                                      const storage::RecordFn& fn, std::size_t budget) {
+                                      const storage::RecordFn& fn, std::size_t budget,
+                                      bool& drained) {
     std::uint64_t& offset = offsets_[name];
-    if (offset == kBadFile) return 0;
+    if (offset == kBadFile) return 0;  // terminally skipped: drained, not pending
+    drained = false;  // pending until proven consumed to the size snapshot
+    // Injected feed stall: delay(…) slows the tail inside eval, error(…)
+    // defers this file — and, via the drained flag, the rest of its stream
+    // — until the next poll. Records arrive late, never lost or reordered
+    // (the offset is untouched).
+    if (SIREN_FAILPOINT("serve.tail.read")) return 0;
 
     std::error_code ec;
     const std::uint64_t size = fs::file_size(path, ec);
@@ -40,11 +67,15 @@ std::size_t SegmentTail::consume_file(const std::string& path, const std::string
             get_u32le(header + 8) != storage::kSegmentVersion) {
             offset = kBadFile;
             ++stats_.bad_segments;
+            drained = true;
             return 0;
         }
         offset = storage::kSegmentHeaderBytes;
     }
-    if (size <= offset) return 0;
+    if (size <= offset) {
+        drained = true;
+        return 0;
+    }
 
     std::ifstream in(path, std::ios::binary);
     if (!in) return 0;
@@ -84,6 +115,9 @@ std::size_t SegmentTail::consume_file(const std::string& path, const std::string
         ++delivered;
         if (fn) fn(payload_);
     }
+    // Anything short of the size snapshot — a torn frame, a failed read, an
+    // exhausted budget — leaves bytes that may still become records.
+    drained = offset >= size;
     return delivered;
 }
 
@@ -93,16 +127,27 @@ std::size_t SegmentTail::poll(const storage::RecordFn& fn, std::size_t max_recor
     const std::vector<std::string> paths = storage::list_segments(directory_, &list_error);
 
     std::set<std::string> present;
+    std::set<std::string, std::less<>> stalled;  // stream heads with an undrained older file
     std::size_t delivered = 0;
     for (const auto& path : paths) {
         const std::string name = fs::path(path).filename().string();
         present.insert(name);
         if (offsets_.emplace(name, 0).second) ++stats_.files_seen;
         if (max_records != 0 && delivered >= max_records) continue;
+        const std::string_view head = stream_head(name);
+        if (stalled.contains(head)) {
+            // An older file of this stream wasn't fully drained; consuming
+            // this one now would deliver its records out of canonical
+            // order. Defer it — the stall clears on a later poll.
+            ++stats_.stalls;
+            continue;
+        }
         current_file_ = name;
+        bool drained = true;
         delivered += consume_file(path, name, fn,
-                                  max_records == 0 ? 0 : max_records - delivered);
+                                  max_records == 0 ? 0 : max_records - delivered, drained);
         current_file_.clear();
+        if (!drained) stalled.emplace(head);
     }
 
     // Files that vanished were compacted away (their records were already

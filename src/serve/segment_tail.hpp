@@ -18,6 +18,7 @@ struct TailStats {
     std::uint64_t unknown_kinds = 0; ///< valid records of a kind this version cannot parse
     std::uint64_t files_seen = 0;    ///< distinct segment files discovered
     std::uint64_t files_dropped = 0; ///< tracked files that vanished (compaction)
+    std::uint64_t stalls = 0;        ///< newer files deferred behind an undrained older one
     std::uint64_t polls = 0;
 };
 
@@ -35,6 +36,16 @@ struct TailStats {
 /// never delivered, exactly like replay. Complete records failing their
 /// CRC are skipped (bit rot; framing is intact). A file whose header or
 /// framing is corrupt is marked bad and never consumed again.
+///
+/// Canonical order is enforced *across* files too: while an older file of a
+/// stream still has (or may have) undelivered bytes — a pending header, a
+/// torn frame, a transient read failure — newer files of that same stream
+/// are deferred to a later poll rather than consumed around it. Without
+/// this, a stall on file N would let file N+1's records apply first, an
+/// order replay would never produce (and a divergence a checkpoint would
+/// freeze). Terminally bad files don't defer their stream: they are
+/// skipped, not pending. Streams are independent — a stall in one never
+/// delays another sharing the directory.
 ///
 /// The offsets map *is* the durable watermark: checkpoint it together with
 /// the state built from the delivered records, and a restarted consumer
@@ -71,9 +82,11 @@ public:
 
 private:
     /// Consume completed records from one file starting at its stored
-    /// offset; returns records delivered.
+    /// offset; returns records delivered. Clears `drained` when the file
+    /// was left with bytes that may still become deliverable records — the
+    /// signal poll() uses to defer newer files of the same stream.
     std::size_t consume_file(const std::string& path, const std::string& name,
-                             const storage::RecordFn& fn, std::size_t budget);
+                             const storage::RecordFn& fn, std::size_t budget, bool& drained);
 
     std::string directory_;
     Offsets offsets_;

@@ -13,6 +13,7 @@
 #include "hashing/crc32c.hpp"
 #include "util/endian.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace siren::storage {
 
@@ -105,6 +106,14 @@ SegmentWriter::~SegmentWriter() {
 }
 
 bool SegmentWriter::open_next() noexcept {
+    if (const auto fp = SIREN_FAILPOINT("storage.segment.open");
+        fp.action == util::failpoint::Action::kError) {
+        // Injected open failure (ENOSPC, EMFILE, ...): same accounting as a
+        // real one — counted, no active segment, the caller's append drops.
+        ++errors_;
+        active_path_.clear();
+        return false;
+    }
     // O_EXCL is belt-and-braces on top of the constructor's directory scan:
     // a name collision (another writer, a segment created since the scan)
     // advances the sequence instead of truncating someone else's data.
@@ -151,7 +160,26 @@ bool SegmentWriter::flush_buffer() noexcept {
     const char* p = buffer_.data();
     std::size_t remaining = buffer_.size();
     while (remaining > 0) {
-        const ssize_t n = ::write(fd_, p, remaining);
+        ssize_t n;
+        if (const auto fp = SIREN_FAILPOINT("storage.segment.write")) {
+            if (fp.action == util::failpoint::Action::kShortWrite && remaining > 1) {
+                // Land a real prefix before failing: the file ends mid-frame,
+                // exactly the torn tail a crash between the two write()s
+                // leaves, so replay-side torn_tails accounting is exercised
+                // against genuine on-disk truncation.
+                const ssize_t wrote = ::write(fd_, p, remaining / 2);
+                if (wrote > 0) {
+                    flushed_bytes_.fetch_add(static_cast<std::uint64_t>(wrote),
+                                             std::memory_order_relaxed);
+                    p += wrote;
+                    remaining -= static_cast<std::size_t>(wrote);
+                }
+            }
+            errno = fp.err != 0 ? fp.err : ENOSPC;
+            n = -1;
+        } else {
+            n = ::write(fd_, p, remaining);
+        }
         if (n < 0) {
             if (errno == EINTR) continue;
             // Disk trouble: drop what we could not write (counted) rather
@@ -217,6 +245,12 @@ bool SegmentWriter::append(std::string_view record, std::uint8_t kind) noexcept 
     put_u32le(frame + 4, hash::crc32c(record));
     buffer_.append(frame, kRecordHeaderBytes);
     buffer_.append(record);
+    if (const auto fp = SIREN_FAILPOINT("storage.segment.corrupt");
+        fp.action == util::failpoint::Action::kCorrupt && !record.empty()) {
+        // Flip a payload byte *after* the CRC was framed: replay sees a
+        // complete record whose checksum lies — the bit-rot path.
+        buffer_.back() = static_cast<char>(buffer_.back() ^ 0x01);
+    }
 
     const std::uint64_t framed = kRecordHeaderBytes + record.size();
     ++appended_;
@@ -275,7 +309,14 @@ void SegmentWriter::sync_written() noexcept {
     // fsync outside the lock: the appender can open/rotate freely while
     // the disk catches up; a rotation mid-fsync just means this dup keeps
     // the sealed file alive until its bytes are safe.
-    const int rc = ::fsync(dup_fd);
+    int rc;
+    if (const auto fp = SIREN_FAILPOINT("storage.segment.fsync");
+        fp.action == util::failpoint::Action::kError) {
+        errno = fp.err != 0 ? fp.err : EIO;
+        rc = -1;
+    } else {
+        rc = ::fsync(dup_fd);
+    }
     ::close(dup_fd);
     if (rc != 0) {
         // Not durable: leave the watermark where it was so the lag stays
@@ -290,7 +331,9 @@ void SegmentWriter::sync_written() noexcept {
 void SegmentWriter::sync() noexcept {
     flush_buffer();
     if (fd_ >= 0 && options_.fsync_enabled && unsynced_bytes() > 0) {
-        if (::fsync(fd_) != 0) {
+        const bool injected = SIREN_FAILPOINT("storage.segment.fsync").action ==
+                              util::failpoint::Action::kError;
+        if (injected || ::fsync(fd_) != 0) {
             // Not durable: keep the lag visible, retry on the next sync.
             ++errors_;
             return;

@@ -128,6 +128,12 @@ public:
         return p > s ? p - s : 0;
     }
     const std::string& active_path() const { return active_path_; }
+    /// Sequence number the next opened segment file will carry. Right
+    /// after construction this is the resume point — strictly greater
+    /// than every segment a previous run left behind, which makes it
+    /// usable as a per-incarnation epoch (the observe WAL derives
+    /// restart-unique job ids from it; see RecognitionService).
+    std::uint64_t next_segment_seq() const { return next_seq_; }
 
 private:
     bool open_next() noexcept;

@@ -1,0 +1,199 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "util/env.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace siren::util::failpoint {
+
+namespace {
+
+/// One armed point. `delay_us` composes with any action (sleep first, then
+/// inject); a pure delay(…) spec is kNone + delay.
+struct Point {
+    Action action = Action::kNone;
+    int err = 0;
+    std::uint32_t delay_us = 0;
+    std::uint32_t one_in = 1;  ///< fire on every Nth hit (1 = always)
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+};
+
+struct Registry {
+    std::mutex mutex;
+    std::map<std::string, Point, std::less<>> points;
+    /// Armed-point count mirrored outside the lock: the unarmed fast path
+    /// in eval() is one relaxed load, no mutex.
+    std::atomic<std::size_t> armed{0};
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+
+/// Parse one spec into a Point (counters zeroed). Throws ParseError.
+Point parse_spec(std::string_view spec) {
+    Point point;
+    auto body = trim(spec);
+    if (const auto percent = body.rfind('%'); percent != std::string_view::npos) {
+        long n = 0;
+        if (!parse_decimal(trim(body.substr(percent + 1)), n) || n < 1) {
+            throw ParseError("bad failpoint one-in-N in '" + std::string(spec) + "'");
+        }
+        point.one_in = static_cast<std::uint32_t>(n);
+        body = trim(body.substr(0, percent));
+    }
+    const auto call_arg = [&](std::string_view mode) -> std::optional<long> {
+        if (!starts_with(body, mode) || body.size() <= mode.size() ||
+            body[mode.size()] != '(' || body.back() != ')') {
+            return std::nullopt;
+        }
+        long value = 0;
+        const auto inner = trim(body.substr(mode.size() + 1, body.size() - mode.size() - 2));
+        if (!parse_decimal(inner, value)) {
+            throw ParseError("bad failpoint argument in '" + std::string(spec) + "'");
+        }
+        return value;
+    };
+    if (const auto err = call_arg("error")) {
+        point.action = Action::kError;
+        point.err = static_cast<int>(*err);
+    } else if (const auto usec = call_arg("delay")) {
+        point.action = Action::kNone;
+        point.delay_us = static_cast<std::uint32_t>(*usec);
+    } else if (body == "short-write") {
+        point.action = Action::kShortWrite;
+    } else if (body == "corrupt-byte") {
+        point.action = Action::kCorrupt;
+    } else {
+        throw ParseError("unknown failpoint mode '" + std::string(spec) + "'");
+    }
+    return point;
+}
+
+/// Arm without the env bootstrap (callable from inside it).
+void arm(const std::string& name, std::string_view spec) {
+    auto point = parse_spec(spec);
+    auto& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    const bool fresh = reg.points.emplace(name, point).second;
+    if (!fresh) {
+        reg.points[name] = point;  // re-arm: replace mode, reset counters
+    } else {
+        reg.armed.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void arm_from_spec_list(std::string_view list) {
+    std::vector<std::string_view> entries;
+    split_view_into(list, ';', entries);
+    for (const auto entry : entries) {
+        const auto item = trim(entry);
+        if (item.empty()) continue;
+        const auto eq = item.find('=');
+        if (eq == std::string_view::npos || eq == 0) {
+            throw ParseError("bad failpoint entry '" + std::string(item) +
+                             "' (want name=spec)");
+        }
+        arm(std::string(trim(item.substr(0, eq))), trim(item.substr(eq + 1)));
+    }
+}
+
+/// One-time environment bootstrap. A malformed SIREN_FAILPOINTS value must
+/// not throw out of some unrelated write() deep in a daemon — report it
+/// loudly on stderr and run without the broken entries instead.
+void ensure_env_loaded() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const auto spec = get_env("SIREN_FAILPOINTS");
+        if (!spec || spec->empty()) return;
+        try {
+            arm_from_spec_list(*spec);
+        } catch (const ParseError& e) {
+            std::fprintf(stderr, "siren: ignoring SIREN_FAILPOINTS: %s\n", e.what());
+        }
+    });
+}
+
+}  // namespace
+
+void activate(const std::string& name, std::string_view spec) {
+    ensure_env_loaded();
+    arm(name, spec);
+}
+
+void deactivate(const std::string& name) {
+    ensure_env_loaded();
+    auto& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    if (reg.points.erase(name) > 0) {
+        reg.armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+void clear() {
+    ensure_env_loaded();
+    auto& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    reg.points.clear();
+    reg.armed.store(0, std::memory_order_relaxed);
+}
+
+void activate_from_spec_list(std::string_view list) {
+    ensure_env_loaded();
+    arm_from_spec_list(list);
+}
+
+std::vector<Counter> counters() {
+    ensure_env_loaded();
+    auto& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    std::vector<Counter> out;
+    out.reserve(reg.points.size());
+    for (const auto& [name, point] : reg.points) {
+        out.push_back({name, point.hits, point.fires});
+    }
+    return out;  // map order = name-sorted
+}
+
+std::uint64_t fire_count(const std::string& name) {
+    ensure_env_loaded();
+    auto& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    const auto it = reg.points.find(name);
+    return it == reg.points.end() ? 0 : it->second.fires;
+}
+
+Hit eval(const char* name) {
+    ensure_env_loaded();
+    auto& reg = registry();
+    if (reg.armed.load(std::memory_order_relaxed) == 0) return Hit{};
+    Hit hit;
+    std::uint32_t delay_us = 0;
+    {
+        std::lock_guard lock(reg.mutex);
+        const auto it = reg.points.find(std::string_view(name));
+        if (it == reg.points.end()) return Hit{};
+        auto& point = it->second;
+        ++point.hits;
+        if (point.one_in > 1 && point.hits % point.one_in != 0) return Hit{};
+        ++point.fires;
+        delay_us = point.delay_us;
+        hit = Hit{point.action, point.err};
+    }
+    if (delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+    return hit;
+}
+
+}  // namespace siren::util::failpoint

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Named failpoints: deterministic fault injection at the I/O seams.
+//
+// A failpoint is a named hook compiled into a hot path:
+//
+//     if (auto fp = SIREN_FAILPOINT("storage.segment.write")) {
+//         errno = fp.err;
+//         return -1;  // behave as if write() failed
+//     }
+//
+// When the build does not define SIREN_FAILPOINTS the macro expands to a
+// constant empty Hit, the branch folds away, and the shipped binary pays
+// nothing — the no-overhead gate in CI holds the build to that promise.
+// When compiled in, an unarmed failpoint costs one relaxed atomic load.
+//
+// Activation is programmatic (activate/deactivate below, used by the chaos
+// harness) or by environment at first use:
+//
+//     SIREN_FAILPOINTS="storage.segment.fsync=error(5)%10;net.tcp.send=short-write"
+//
+// Spec grammar, per point:
+//     error(ERRNO)   fail the call with this errno
+//     delay(USEC)    sleep USEC microseconds, then pass through
+//     short-write    truncate the I/O to a prefix
+//     corrupt-byte   flip one byte of the payload
+// optionally suffixed with %N to fire only every Nth hit (one-in-N).
+//
+// The catalog of wired sites lives in docs/robustness.md.
+namespace siren::util::failpoint {
+
+/// What an armed failpoint asks the call site to do.
+enum class Action : std::uint8_t {
+    kNone = 0,    ///< pass through (not armed, skipped by %N, or delay-only)
+    kError,       ///< fail with errno `err`
+    kShortWrite,  ///< perform a truncated I/O, then take the partial path
+    kCorrupt,     ///< flip a byte of the in-flight payload
+};
+
+/// One eval() result. Contextually false when nothing should be injected,
+/// so sites read `if (auto fp = SIREN_FAILPOINT("name")) { ... }`.
+struct Hit {
+    Action action = Action::kNone;
+    int err = 0;  ///< errno to report for kError (0 defaults to EIO at sites)
+    explicit operator bool() const { return action != Action::kNone; }
+};
+
+/// True when the build carries the injection hooks (SIREN_FAILPOINTS=1).
+constexpr bool compiled_in() {
+#if defined(SIREN_FAILPOINTS) && SIREN_FAILPOINTS
+    return true;
+#else
+    return false;
+#endif
+}
+
+/// Arm `name` with `spec` (grammar above). Throws util::ParseError on a
+/// malformed spec. Re-arming an existing point resets its counters.
+void activate(const std::string& name, std::string_view spec);
+
+/// Disarm one point (counters are dropped) / every point.
+void deactivate(const std::string& name);
+void clear();
+
+/// Parse and arm a ";"-separated "name=spec" list — the SIREN_FAILPOINTS
+/// environment format. Throws util::ParseError on a malformed entry.
+void activate_from_spec_list(std::string_view list);
+
+/// Counters for one armed point: `hits` counts evals that reached it,
+/// `fires` the subset that actually injected (differs under %N and for
+/// delay points only via hits==fires accounting of the sleep).
+struct Counter {
+    std::string name;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+};
+
+/// Snapshot of every armed point, name-sorted (STATS export order).
+std::vector<Counter> counters();
+
+/// Fires so far for `name` (0 when not armed). Chaos-harness assertions
+/// use this to prove a scheduled fault actually landed.
+std::uint64_t fire_count(const std::string& name);
+
+/// Implementation hook behind SIREN_FAILPOINT(); call sites use the macro.
+Hit eval(const char* name);
+
+}  // namespace siren::util::failpoint
+
+#if defined(SIREN_FAILPOINTS) && SIREN_FAILPOINTS
+#define SIREN_FAILPOINT(name) ::siren::util::failpoint::eval(name)
+#else
+#define SIREN_FAILPOINT(name) (::siren::util::failpoint::Hit{})
+#endif

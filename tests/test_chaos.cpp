@@ -1,0 +1,100 @@
+// Chaos campaigns over the in-process fleet harness (src/serve/chaos.hpp):
+// randomized failpoint schedules and kill-restarts must leave every client
+// op typed-and-prompt, the healed fleet fingerprint-converged, and the
+// leader checkpoint reloadable — the acceptance invariants of
+// docs/robustness.md. The failpoint campaigns need a -DSIREN_FAILPOINTS=ON
+// build and skip otherwise (the CI chaos leg runs them).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+#include "serve/chaos.hpp"
+#include "util/failpoint.hpp"
+
+namespace fs = std::filesystem;
+namespace sc = siren::serve::chaos;
+
+namespace {
+
+class ScratchDir {
+public:
+    explicit ScratchDir(const std::string& tag) {
+        static std::atomic<int> counter{0};
+        path_ = (fs::temp_directory_path() /
+                 ("siren_chaos_" + tag + "_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(counter.fetch_add(1))))
+                    .string();
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~ScratchDir() {
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+    }
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+sc::ChaosOptions campaign(const std::string& root, std::uint64_t seed, std::size_t ops) {
+    sc::ChaosOptions options;
+    options.root = root;
+    options.seed = seed;
+    options.ops = ops;
+    options.followers = 2;
+    return options;
+}
+
+}  // namespace
+
+TEST(Chaos, KillRestartScheduleHoldsInvariants) {
+    // Runs in every build: kill-restarts only, no failpoints. Leader and
+    // follower deaths mid-traffic must never hang an op or tear state.
+    ScratchDir dir("kills");
+    auto options = campaign(dir.path(), 11, 80);
+    options.use_failpoints = false;
+    const auto report = sc::run_chaos(options);
+    EXPECT_TRUE(report.ok()) << report.failure << '\n' << sc::format_report(report);
+    EXPECT_TRUE(report.converged);
+    EXPECT_TRUE(report.checkpoint_reload_ok);
+    EXPECT_EQ(report.deadline_misses, 0u);
+    EXPECT_GE(report.kills_leader + report.kills_follower, 1u)
+        << "the seed must actually schedule kills";
+    EXPECT_GE(report.ops_ok, 1u);
+}
+
+TEST(Chaos, SeededFailpointCampaignHealsAndConverges) {
+    if (!siren::util::failpoint::compiled_in()) {
+        GTEST_SKIP() << "build with -DSIREN_FAILPOINTS=ON for fault-injection chaos";
+    }
+    ScratchDir dir("faults");
+    const auto report = sc::run_chaos(campaign(dir.path(), 42, 160));
+    EXPECT_TRUE(report.ok()) << report.failure << '\n' << sc::format_report(report);
+    EXPECT_TRUE(report.converged);
+    EXPECT_TRUE(report.checkpoint_reload_ok);
+    EXPECT_EQ(report.deadline_misses, 0u);
+    EXPECT_GE(report.faults_armed, 1u) << "the seed must actually arm failpoints";
+    EXPECT_GE(report.failpoint_fires, 1u) << "armed faults must actually land";
+    EXPECT_GE(report.ops_ok, 1u);
+    // Convergence is leader == every follower, reported per replica.
+    ASSERT_EQ(report.follower_fingerprints.size(), 2u);
+    for (const auto fp : report.follower_fingerprints) {
+        EXPECT_EQ(fp, report.leader_fingerprint);
+    }
+}
+
+TEST(Chaos, SecondSeedCoversDifferentSchedule) {
+    if (!siren::util::failpoint::compiled_in()) {
+        GTEST_SKIP() << "build with -DSIREN_FAILPOINTS=ON for fault-injection chaos";
+    }
+    ScratchDir dir("faults2");
+    const auto report = sc::run_chaos(campaign(dir.path(), 1337, 120));
+    EXPECT_TRUE(report.ok()) << report.failure << '\n' << sc::format_report(report);
+    EXPECT_TRUE(report.converged);
+    EXPECT_EQ(report.deadline_misses, 0u);
+}

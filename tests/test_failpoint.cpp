@@ -1,0 +1,131 @@
+// Registry semantics of the failpoint subsystem (src/util/failpoint.hpp):
+// spec parsing, %N cadence, counters, re-arm resets, and the build-flag
+// contract of the SIREN_FAILPOINT macro. These call eval() directly, so
+// they hold in every build — only the macro tests depend on whether the
+// hooks were compiled in.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace fp = siren::util::failpoint;
+
+namespace {
+
+// The registry is process-global; every test starts and ends empty.
+class Failpoint : public ::testing::Test {
+protected:
+    void SetUp() override { fp::clear(); }
+    void TearDown() override { fp::clear(); }
+};
+
+}  // namespace
+
+TEST_F(Failpoint, UnarmedEvalIsFalse) {
+    const auto hit = fp::eval("test.unarmed");
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(hit.action, fp::Action::kNone);
+    EXPECT_EQ(fp::fire_count("test.unarmed"), 0u);
+    EXPECT_TRUE(fp::counters().empty());
+}
+
+TEST_F(Failpoint, ErrorSpecCarriesErrno) {
+    fp::activate("test.err", "error(28)");
+    const auto hit = fp::eval("test.err");
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit.action, fp::Action::kError);
+    EXPECT_EQ(hit.err, 28);
+    EXPECT_EQ(fp::fire_count("test.err"), 1u);
+}
+
+TEST_F(Failpoint, ShortWriteAndCorruptSpecs) {
+    fp::activate("test.short", "short-write");
+    fp::activate("test.corrupt", "corrupt-byte");
+    EXPECT_EQ(fp::eval("test.short").action, fp::Action::kShortWrite);
+    EXPECT_EQ(fp::eval("test.corrupt").action, fp::Action::kCorrupt);
+}
+
+TEST_F(Failpoint, OneInNFiresOnEveryNthHit) {
+    fp::activate("test.cadence", "error(5)%3");
+    int fired = 0;
+    for (int i = 1; i <= 9; ++i) {
+        if (fp::eval("test.cadence")) {
+            ++fired;
+            // Fires land exactly on hits 3, 6, 9.
+            EXPECT_EQ(i % 3, 0) << "fired on hit " << i;
+        }
+    }
+    EXPECT_EQ(fired, 3);
+    const auto counters = fp::counters();
+    ASSERT_EQ(counters.size(), 1u);
+    EXPECT_EQ(counters[0].name, "test.cadence");
+    EXPECT_EQ(counters[0].hits, 9u);
+    EXPECT_EQ(counters[0].fires, 3u);
+}
+
+TEST_F(Failpoint, DelaySpecSleepsButInjectsNothing) {
+    fp::activate("test.delay", "delay(20000)");
+    const auto start = std::chrono::steady_clock::now();
+    const auto hit = fp::eval("test.delay");
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_FALSE(hit) << "a pure delay passes the call through";
+    EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+    EXPECT_EQ(fp::fire_count("test.delay"), 1u) << "the sleep itself counts as a fire";
+}
+
+TEST_F(Failpoint, ReArmReplacesModeAndResetsCounters) {
+    fp::activate("test.rearm", "error(5)");
+    fp::eval("test.rearm");
+    fp::eval("test.rearm");
+    EXPECT_EQ(fp::fire_count("test.rearm"), 2u);
+
+    fp::activate("test.rearm", "short-write%2");
+    EXPECT_EQ(fp::fire_count("test.rearm"), 0u) << "re-arm resets counters";
+    EXPECT_FALSE(fp::eval("test.rearm")) << "fresh cadence: first hit skipped";
+    EXPECT_EQ(fp::eval("test.rearm").action, fp::Action::kShortWrite);
+}
+
+TEST_F(Failpoint, DeactivateDisarms) {
+    fp::activate("test.off", "error(5)");
+    ASSERT_TRUE(fp::eval("test.off"));
+    fp::deactivate("test.off");
+    EXPECT_FALSE(fp::eval("test.off"));
+    EXPECT_EQ(fp::fire_count("test.off"), 0u) << "counters drop with the point";
+    fp::deactivate("test.off");  // disarming an unarmed point is a no-op
+}
+
+TEST_F(Failpoint, SpecListArmsMultiplePoints) {
+    fp::activate_from_spec_list(" test.b = short-write %2 ; test.a=error(17);; ");
+    const auto counters = fp::counters();
+    ASSERT_EQ(counters.size(), 2u);
+    EXPECT_EQ(counters[0].name, "test.a") << "counters() is name-sorted";
+    EXPECT_EQ(counters[1].name, "test.b");
+    EXPECT_EQ(fp::eval("test.a").err, 17);
+}
+
+TEST_F(Failpoint, MalformedSpecsThrow) {
+    EXPECT_THROW(fp::activate("test.bad", "explode"), siren::util::ParseError);
+    EXPECT_THROW(fp::activate("test.bad", "error()"), siren::util::ParseError);
+    EXPECT_THROW(fp::activate("test.bad", "error(x)"), siren::util::ParseError);
+    EXPECT_THROW(fp::activate("test.bad", "error(5)%0"), siren::util::ParseError);
+    EXPECT_THROW(fp::activate_from_spec_list("=error(5)"), siren::util::ParseError);
+    EXPECT_THROW(fp::activate_from_spec_list("no-equals-sign"), siren::util::ParseError);
+    EXPECT_FALSE(fp::eval("test.bad")) << "a failed activate must not arm";
+}
+
+TEST_F(Failpoint, MacroHonorsBuildFlag) {
+    fp::activate("test.macro", "error(9)");
+    const auto hit = SIREN_FAILPOINT("test.macro");
+    if (fp::compiled_in()) {
+        EXPECT_TRUE(hit);
+        EXPECT_EQ(hit.err, 9);
+        EXPECT_EQ(fp::fire_count("test.macro"), 1u);
+    } else {
+        EXPECT_FALSE(hit) << "without SIREN_FAILPOINTS the macro folds to a no-op";
+        EXPECT_EQ(fp::fire_count("test.macro"), 0u);
+    }
+}

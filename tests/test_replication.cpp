@@ -33,6 +33,7 @@
 #include "sim/traces.hpp"
 #include "storage/segment_store.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace fs = std::filesystem;
@@ -717,4 +718,90 @@ TEST(Replication, BehavioralRecordsShipAndFingerprintDetectsDivergence) {
               leader.snapshot()->registry.content_digest_count());
     EXPECT_NE(diverged.fingerprint(), leader.snapshot()->registry.fingerprint())
         << "behavior-channel divergence must break the fingerprint";
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-path behavior: reconnect backoff and injected corruption
+
+TEST(Replication, ReconnectBackoffGrowsWithJitterOnDeadLeader) {
+    ScratchDir dir("backoff");
+
+    // Grab a port nothing listens on: bind, read it back, close.
+    int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(probe, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    socklen_t len = sizeof addr;
+    ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    const auto dead_port = ntohs(addr.sin_port);
+    ::close(probe);
+
+    auto options = follow_options(dead_port, dir.sub("replica"));
+    options.reconnect_backoff = std::chrono::milliseconds(10);
+    options.reconnect_backoff_cap = std::chrono::milliseconds(80);
+    sv::ReplicationFollower follower(options);
+
+    // Every connect fails, so pauses are taken and the jittered pause
+    // eventually exceeds the floor (the ceiling doubles per failure). All
+    // pauses stay within [floor, cap].
+    std::uint64_t max_pause = 0;
+    ASSERT_TRUE(eventually([&] {
+        const auto stats = follower.stats();
+        if (stats.last_backoff_ms > 0) {
+            EXPECT_GE(stats.last_backoff_ms, 10u);
+            EXPECT_LE(stats.last_backoff_ms, 80u);
+            max_pause = std::max(max_pause, stats.last_backoff_ms);
+        }
+        return stats.backoffs >= 6 && max_pause > 10;
+    })) << "backoffs=" << follower.stats().backoffs << " max_pause=" << max_pause;
+    EXPECT_EQ(follower.stats().connects, 0u);
+    EXPECT_NE(follower.stats().last_error, "");
+}
+
+TEST(ReplicationFailpoints, CorruptedChunksDropConnectionsButConverge) {
+    namespace fp = siren::util::failpoint;
+    if (!fp::compiled_in()) {
+        GTEST_SKIP() << "needs -DSIREN_FAILPOINTS=ON";
+    }
+    fp::clear();
+    ScratchDir dir("corrupt");
+    const auto leader_dir = dir.sub("leader");
+    const auto replica_dir = dir.sub("replica");
+    ss::SegmentStore store(leader_dir, 2);
+    for (int i = 0; i < 16; ++i) {
+        store.append(i % 2, "record-" + std::to_string(i));
+    }
+    store.sync_all();
+
+    // Every other shipped chunk arrives with a flipped byte: the sink's
+    // CRC must catch each one, the follower drops and resubscribes from
+    // its watermark, and the replica still converges byte-for-byte. Tiny
+    // chunks make the backlog ship in many pieces so the cadence gets
+    // plenty of hits.
+    fp::activate("replication.source.corrupt", "corrupt-byte%2");
+    auto src_options = source_options(leader_dir);
+    src_options.chunk_bytes = 64;
+    sv::ReplicationSource source(src_options);
+    auto options = follow_options(source.port(), replica_dir);
+    options.reconnect_backoff = std::chrono::milliseconds(5);
+    sv::ReplicationFollower follower(options);
+
+    ASSERT_TRUE(eventually([&] { return follower.stats().chunk_drops >= 2; }))
+        << "injected corruption must surface as counted chunk drops";
+    EXPECT_GE(fp::fire_count("replication.source.corrupt"), 2u);
+
+    // Disarmed, every retry ships clean: the watermark protocol recovers
+    // the replica byte-for-byte and pays a counted pause per drop taken.
+    fp::clear();
+    ASSERT_TRUE(eventually([&] { return dir_bytes(replica_dir) == dir_bytes(leader_dir); }))
+        << "resubscribes from the watermark must drain the backlog";
+    EXPECT_EQ(records_of(replica_dir), records_of(leader_dir));
+    EXPECT_GE(follower.stats().backoffs, 1u) << "each drop pays a reconnect pause";
+
+    store.append(0, "epilogue");
+    store.sync_all();
+    ASSERT_TRUE(eventually([&] { return dir_bytes(replica_dir) == dir_bytes(leader_dir); }));
+    EXPECT_EQ(records_of(replica_dir), records_of(leader_dir));
 }

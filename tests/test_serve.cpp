@@ -7,6 +7,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -909,4 +910,186 @@ TEST(QueryClient, IdentifyManyOfOneDetectsTruncatedReply) {
     ::close(listener);
     EXPECT_TRUE(seen_request.starts_with("IDENTIFYB "))
         << "single-probe identify_many must use counted framing: " << seen_request;
+}
+
+// ---------------------------------------------------------------------------
+// fd exhaustion at the accept seam
+
+TEST(QueryServer, FdExhaustionStallsAcceptThenRecovers) {
+    sv::RecognitionService service(fast_options());
+    sv::QueryServer server(service);
+    ASSERT_NE(server.port(), 0);
+
+    {  // sanity: the server accepts and answers before the squeeze
+        sv::QueryClient client("127.0.0.1", server.port());
+        EXPECT_NE(client.stats_text().find("families"), std::string::npos);
+    }
+    const auto accepted_before = server.stats().connections;
+
+    // Client sockets created while fds are plentiful: connect() only needs
+    // the listen backlog, so they establish even while the server cannot
+    // accept4 them.
+    int pending[3];
+    for (int& s : pending) {
+        s = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(s, 0);
+    }
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+
+    // Deny the whole process new fds: the next accept4 fails with EMFILE.
+    // RAII restore so a failing assertion cannot starve the rest of the
+    // binary.
+    struct Restore {
+        rlimit saved{};
+        bool armed = false;
+        void now() {
+            if (armed) {
+                ::setrlimit(RLIMIT_NOFILE, &saved);
+                armed = false;
+            }
+        }
+        ~Restore() { now(); }
+    } restore;
+    ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &restore.saved), 0);
+    restore.armed = true;
+    rlimit tight = restore.saved;
+    tight.rlim_cur = 0;
+    ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+    for (int s : pending) {
+        ASSERT_EQ(::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    }
+
+    // The listener must disarm (counted) instead of hot-spinning the event
+    // loop or wedging it.
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (server.stats().accept_stalls == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GE(server.stats().accept_stalls, 1u)
+        << "EMFILE on accept must disarm the listener and count the stall";
+    EXPECT_EQ(server.stats().connections, accepted_before)
+        << "nothing can be accepted while fds are exhausted";
+
+    // fds come back: the re-armed listener drains the backlog it never
+    // dropped — every pre-squeeze connection gets served.
+    restore.now();
+    deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (server.stats().connections < accepted_before + 3 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(server.stats().connections, accepted_before + 3);
+
+    std::string request;
+    sv::append_frame(request, "STATS");
+    ASSERT_EQ(::send(pending[0], request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    char buf[4096];
+    EXPECT_GT(::recv(pending[0], buf, sizeof buf, 0), 0)
+        << "a connection accepted after the stall must be fully served";
+
+    for (int s : pending) ::close(s);
+}
+
+// ---------------------------------------------------------------------------
+// Overload shedding
+
+TEST(QueryProtocol, ObserveShedsWhenWriterQueueSaturated) {
+    auto options = fast_options();
+    options.shed_queue_depth = 1;  // any pending observe triggers the shed
+    sv::RecognitionService service(options);
+
+    siren::util::Rng rng(101);
+    const auto probe = sf::fuzzy_hash(rng.bytes(8192)).to_string();
+    EXPECT_TRUE(sv::execute_query(service, "OBSERVE " + probe + " calm").starts_with("OK"))
+        << "an idle service admits observes";
+
+    // Saturate the writer queue; the network path must shed with the typed
+    // marker instead of blocking the (single-threaded) event loop behind
+    // the backlog. The enqueues are async, so the queue genuinely backs up.
+    for (int i = 0; i < 512; ++i) {
+        service.observe(sf::fuzzy_hash(rng.bytes(2048)));
+    }
+    const auto shed = sv::execute_query(service, "OBSERVE " + probe + " storm");
+    ASSERT_TRUE(shed.starts_with("ERR overloaded")) << shed;
+    EXPECT_GE(service.counters().observes_shed, 1u);
+
+    // In-process callers are never shed — the queue keeps accepting.
+    EXPECT_TRUE(service.observe(sf::fuzzy_hash(rng.bytes(2048))).has_value());
+
+    // Once the backlog drains, the same request is admitted again, and
+    // STATS carries the shed count for operators.
+    service.flush();
+    EXPECT_TRUE(sv::execute_query(service, "OBSERVE " + probe + " after").starts_with("OK"));
+    const auto stats = sv::execute_query(service, "STATS");
+    EXPECT_NE(stats.find("observes_shed "), std::string::npos) << stats;
+}
+
+TEST(QueryServer, CoalescerShedsBeyondDepthButKeepsReplyOrder) {
+    auto options = fast_options();
+    options.batch_window_us = 100000;  // 100ms: probes park long enough to pile up
+    options.batch_max = 64;
+    options.shed_coalesce_depth = 2;
+    sv::RecognitionService service(options);
+    sv::QueryServer server(service);
+    ASSERT_NE(server.port(), 0);
+
+    siren::util::Rng rng(103);
+    const auto digest = sf::fuzzy_hash(rng.bytes(8192)).to_string();
+
+    // Five pipelined singleton IDENTIFYs in one write: two park in the
+    // coalescer, three must shed immediately — but every reply still
+    // arrives, in request order, on this connection.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+    std::string burst;
+    for (int i = 0; i < 5; ++i) sv::append_frame(burst, "IDENTIFY " + digest);
+    ASSERT_EQ(::send(fd, burst.data(), burst.size(), 0),
+              static_cast<ssize_t>(burst.size()));
+
+    std::vector<std::string> replies;
+    std::string wire;
+    char buf[4096];
+    while (replies.size() < 5) {
+        std::size_t consumed = 0;
+        if (const auto payload = sv::parse_frame(wire, consumed)) {
+            replies.emplace_back(*payload);
+            wire.erase(0, consumed);
+            continue;
+        }
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        ASSERT_GT(n, 0) << "server closed before all five replies arrived";
+        wire.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    std::size_t shed_replies = 0;
+    std::size_t answered = 0;
+    for (const auto& line : replies) {
+        if (line.starts_with("ERR overloaded")) {
+            ++shed_replies;
+        } else if (!line.empty()) {
+            ++answered;
+        }
+    }
+    std::string transcript;
+    for (const auto& line : replies) transcript += line + "\n";
+    EXPECT_EQ(shed_replies, 3u) << transcript;
+    EXPECT_EQ(answered, 2u) << transcript;
+    EXPECT_EQ(server.stats().shed_coalesce, 3u);
+    EXPECT_EQ(server.stats().coalesced_probes, 2u)
+        << "the parked probes still resolve through the batch";
+    server.stop();
 }

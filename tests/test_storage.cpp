@@ -14,6 +14,7 @@
 #include "storage/segment.hpp"
 #include "storage/segment_store.hpp"
 #include "serve/segment_tail.hpp"
+#include "util/failpoint.hpp"
 
 namespace st = siren::storage;
 namespace fs = std::filesystem;
@@ -451,4 +452,118 @@ TEST(SegmentTailForwardCompat, TailSkipsAndCountsUnknownKinds) {
     ASSERT_EQ(seen.size(), 1u);
     EXPECT_EQ(seen[0], record(2));
     EXPECT_EQ(tail.stats().unknown_kinds, 1u);
+}
+
+// --- Degraded-path behavior under injected disk faults --------------------
+//
+// These drive the storage.segment.* failpoints (docs/robustness.md) and so
+// need a -DSIREN_FAILPOINTS=ON build; they skip elsewhere. Each test arms
+// its points through a fixture that clears the global registry afterwards,
+// so a failed assertion cannot leak faults into unrelated tests.
+
+namespace fp = siren::util::failpoint;
+
+class SegmentFailpoints : public ::testing::Test {
+protected:
+    void SetUp() override {
+        if (!fp::compiled_in()) {
+            GTEST_SKIP() << "build with -DSIREN_FAILPOINTS=ON for fault injection";
+        }
+        fp::clear();
+    }
+    void TearDown() override { fp::clear(); }
+
+    /// buffer_bytes=1 makes every append flush immediately, so an injected
+    /// write failure surfaces in that append's own return value instead of
+    /// a later sync's.
+    static st::SegmentOptions unbuffered() {
+        st::SegmentOptions options;
+        options.buffer_bytes = 1;
+        return options;
+    }
+};
+
+TEST_F(SegmentFailpoints, WriteFailureAbandonsSegmentAndKeepsPriorRecords) {
+    StoreDir dir;
+    st::SegmentWriter writer(dir.path(), "t-", unbuffered());
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(writer.append(record(i)));
+
+    fp::activate("storage.segment.write", "error(28)");  // ENOSPC
+    EXPECT_FALSE(writer.append(record(3))) << "a dropped record must not report journaled";
+    EXPECT_GE(writer.errors(), 1u);
+    EXPECT_TRUE(writer.active_path().empty()) << "the damaged segment is abandoned";
+    EXPECT_EQ(writer.unsynced_bytes(), 0u)
+        << "dropped bytes are lost (counted), not reported as durability lag";
+
+    // Disk recovers: the next append opens a fresh segment next to the
+    // abandoned one, and replay sees everything that was acknowledged.
+    fp::clear();
+    ASSERT_TRUE(writer.append(record(4)));
+    writer.sync();
+
+    st::ReplayStats stats;
+    const auto records = collect_records(dir.path(), &stats);
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_EQ(records[0], record(0));
+    EXPECT_EQ(records[2], record(2));
+    EXPECT_EQ(records[3], record(4)) << "the dropped record is gone, later ones survive";
+    EXPECT_EQ(stats.segments, 2u);
+}
+
+TEST_F(SegmentFailpoints, ShortWriteLeavesTornTailReplayRecovers) {
+    StoreDir dir;
+    st::SegmentWriter writer(dir.path(), "t-", unbuffered());
+    ASSERT_TRUE(writer.append(record(0)));
+    ASSERT_TRUE(writer.append(record(1)));
+
+    // A prefix of the frame lands on disk before the failure — the same
+    // truncation a crash between two write()s leaves behind.
+    fp::activate("storage.segment.write", "short-write");
+    EXPECT_FALSE(writer.append(record(2)));
+    fp::clear();
+    ASSERT_TRUE(writer.append(record(3)));
+    writer.sync();
+
+    st::ReplayStats stats;
+    const auto records = collect_records(dir.path(), &stats);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[1], record(1));
+    EXPECT_EQ(records[2], record(3));
+    EXPECT_EQ(stats.torn_tails, 1u) << "the truncated frame is a torn tail, not corruption";
+    EXPECT_GT(stats.torn_bytes, 0u);
+}
+
+TEST_F(SegmentFailpoints, FsyncFailureKeepsDurabilityLagVisible) {
+    StoreDir dir;
+    st::SegmentWriter writer(dir.path(), "t-");
+    ASSERT_TRUE(writer.append(record(0)));
+
+    fp::activate("storage.segment.fsync", "error(5)");  // EIO
+    writer.sync();
+    EXPECT_GE(writer.errors(), 1u);
+    EXPECT_EQ(writer.syncs(), 0u);
+    EXPECT_GT(writer.unsynced_bytes(), 0u)
+        << "a failed fsync must leave the lag visible, not silently clear it";
+
+    fp::clear();
+    writer.sync();
+    EXPECT_EQ(writer.syncs(), 1u);
+    EXPECT_EQ(writer.unsynced_bytes(), 0u) << "retry succeeds once the disk recovers";
+}
+
+TEST_F(SegmentFailpoints, CorruptedPayloadIsCaughtByReplayCrc) {
+    StoreDir dir;
+    st::SegmentWriter writer(dir.path(), "t-");
+    // Bit rot on every second record, injected after the CRC was framed.
+    fp::activate("storage.segment.corrupt", "corrupt-byte%2");
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE(writer.append(record(i)));
+    fp::clear();
+    writer.sync();
+
+    st::ReplayStats stats;
+    const auto records = collect_records(dir.path(), &stats);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0], record(0));
+    EXPECT_EQ(records[1], record(2));
+    EXPECT_EQ(stats.crc_failures, 2u) << "framing survives, the checksum convicts the bytes";
 }

@@ -1,0 +1,96 @@
+// siren_chaos — seeded chaos campaign against an in-process recognition
+// fleet (leader + replication source + followers): randomized failpoint
+// activations and node kill-restarts interleaved with client operations,
+// then a heal phase asserting the robustness invariants (docs/robustness.md):
+//
+//   * every client op succeeds or fails typed within the op deadline,
+//   * the healed fleet converges to one Registry fingerprint,
+//   * the leader checkpoint reloads into an identical registry.
+//
+//   siren_chaos --seed N [--ops N] [--followers N] [--no-failpoints]
+//               [--no-kills] [--dir PATH]
+//
+// Failpoints require a -DSIREN_FAILPOINTS=ON build; without the hooks the
+// campaign still runs its kill-restart schedule (and says so). The report
+// (counters + PASS/FAIL) goes to stdout. Exit codes: 0 every invariant
+// held, 1 a violation (the FAIL line names it), 2 usage errors.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+#include "serve/chaos.hpp"
+#include "util/failpoint.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: siren_chaos --seed N [--ops N] [--followers N]\n"
+                 "                   [--no-failpoints] [--no-kills] [--dir PATH]\n");
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    siren::serve::chaos::ChaosOptions options;
+    bool seeded = false;
+    std::string dir;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto long_value = [&](long& out) {
+            if (i + 1 >= argc) return false;
+            return siren::util::parse_decimal(argv[++i], out) && out >= 0;
+        };
+        long value = 0;
+        if (arg == "--seed" && long_value(value)) {
+            options.seed = static_cast<std::uint64_t>(value);
+            seeded = true;
+        } else if (arg == "--ops" && long_value(value) && value > 0) {
+            options.ops = static_cast<std::size_t>(value);
+        } else if (arg == "--followers" && long_value(value)) {
+            options.followers = static_cast<std::size_t>(value);
+        } else if (arg == "--dir" && i + 1 < argc) {
+            dir = argv[++i];
+        } else if (arg == "--no-failpoints") {
+            options.use_failpoints = false;
+        } else if (arg == "--no-kills") {
+            options.kill_restart = false;
+        } else {
+            std::fprintf(stderr, "siren_chaos: bad argument '%s'\n", arg.c_str());
+            return usage();
+        }
+    }
+    if (!seeded) return usage();
+
+    if (options.use_failpoints && !siren::util::failpoint::compiled_in()) {
+        std::printf("note: failpoints not compiled in (build with -DSIREN_FAILPOINTS=ON); "
+                    "running the kill-restart schedule only\n");
+    }
+
+    const bool scratch = dir.empty();
+    if (scratch) {
+        dir = (std::filesystem::temp_directory_path() /
+               ("siren_chaos_" + std::to_string(::getpid()) + "_" +
+                std::to_string(options.seed)))
+                  .string();
+    }
+    options.root = dir;
+
+    std::printf("seed %llu ops %zu followers %zu dir %s\n",
+                static_cast<unsigned long long>(options.seed), options.ops,
+                options.followers, dir.c_str());
+    const auto report = siren::serve::chaos::run_chaos(options);
+    std::printf("%s", siren::serve::chaos::format_report(report).c_str());
+
+    if (scratch && report.ok()) {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);  // keep the dir on failure for forensics
+    } else if (!report.ok()) {
+        std::printf("state kept in %s\n", dir.c_str());
+    }
+    return report.ok() ? 0 : 1;
+}
