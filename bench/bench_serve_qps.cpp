@@ -14,6 +14,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -264,6 +266,85 @@ void BM_ServeIdentifyManyTcp(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_ServeIdentifyManyTcp)->UseRealTime();
+
+/// Synthetic digest with a chosen block size: random 24-grams essentially
+/// never collide on a 7-gram, so every observe founds its own family.
+FuzzyDigest synthetic_digest(std::uint64_t block_size, siren::util::Rng& rng) {
+    FuzzyDigest digest;
+    digest.block_size = block_size;
+    digest.digest1 = random_part(rng, 24);
+    digest.digest2 = random_part(rng, 12);
+    return digest;
+}
+
+/// A registry-scale service booted from a synthesized checkpoint — the
+/// loader appends exemplars without similarity queries, so 100k families
+/// cost parse + index-append at startup, not 100k observe matches.
+sv::RecognitionService& registry_scale_service(std::size_t families) {
+    static std::map<std::size_t, std::unique_ptr<sv::RecognitionService>> cache;
+    auto& slot = cache[families];
+    if (slot) return *slot;
+
+    siren::util::Rng rng(47);
+    std::string body = "SIRENCKPT 1\napplied 0\nregistry\n";
+    for (std::size_t i = 0; i < families; ++i) {
+        body += "family " + std::to_string(i) + " 1 fam-" + std::to_string(i) + "\n";
+    }
+    for (std::size_t i = 0; i < families; ++i) {
+        body += "exemplar " + std::to_string(i) + " " +
+                synthetic_digest(1536, rng).to_string() + "\n";
+    }
+    const auto path = std::filesystem::temp_directory_path() /
+                      ("siren_bench_publish_" + std::to_string(families) + ".ckpt");
+    {
+        std::ofstream out(path);
+        out << body;
+    }
+    sv::ServeOptions options;
+    options.writer_idle = std::chrono::milliseconds(1);
+    options.checkpoint_path = path.string();
+    slot = std::make_unique<sv::RecognitionService>(options);
+    return *slot;
+}
+
+/// The O(delta) acceptance bench: apply-and-publish a 100-record batch of
+/// fresh sightings against a 10k vs 100k registry. With COW chunk sharing
+/// the publish copies touched chunks only, so publish_cost_per_record must
+/// be flat across the two sizes (CI gates the ratio, publish_delta_flatness,
+/// at < 2x; the pre-COW full-copy pipeline measured ~10x). The batch uses
+/// a block size whose x2 ladder is disjoint from the corpus ladder, so the
+/// timed region is enqueue + batch apply + publish copy + swap — no
+/// size-dependent bucket scan sneaks into the numerator.
+void BM_ServePublishDelta(benchmark::State& state) {
+    const auto families = static_cast<std::size_t>(state.range(0));
+    sv::RecognitionService& service = registry_scale_service(families);
+    siren::util::Rng rng(137 + families);
+    constexpr int kBatch = 100;
+    std::uint64_t total_ns = 0;
+    std::uint64_t records = 0;
+    for (auto _ : state) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kBatch - 1; ++i) service.observe(synthetic_digest(192, rng));
+        benchmark::DoNotOptimize(service.observe_sync(synthetic_digest(192, rng)));
+        total_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                                 t0)
+                .count());
+        records += kBatch;
+    }
+    const auto counters = service.counters();
+    state.counters["publish_cost_per_record"] = benchmark::Counter(
+        static_cast<double>(total_ns) / static_cast<double>(records));
+    state.counters["snapshot_shared_fraction"] = benchmark::Counter(
+        counters.total_chunks == 0
+            ? 0.0
+            : static_cast<double>(counters.shared_chunks) /
+                  static_cast<double>(counters.total_chunks));
+    state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+// Fixed iteration count: each iteration founds 100 new families, so the
+// corpus must not grow with --benchmark_min_time.
+BENCHMARK(BM_ServePublishDelta)->Arg(10000)->Arg(100000)->Iterations(50);
 
 /// Synchronous observe round trip (enqueue -> batch apply -> publish).
 void BM_ServeObserveSync(benchmark::State& state) {

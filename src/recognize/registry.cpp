@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "hashing/fnv.hpp"
 #include "util/error.hpp"
@@ -60,7 +61,7 @@ Observation Registry::observe(const fuzzy::FuzzyDigest& digest, std::string_view
         obs.new_exemplar = true;
         exemplar_owner_.push_back(obs.family);
         index_.add(digest);
-        auto& fam = families_[obs.family];
+        auto& fam = families_.mutate(obs.family);
         fam.sightings = 1;
         fam.exemplars = 1;
         return obs;
@@ -68,7 +69,7 @@ Observation Registry::observe(const fuzzy::FuzzyDigest& digest, std::string_view
 
     obs.family = exemplar_owner_[matches.front().id];
     obs.best_score = matches.front().score;
-    auto& fam = families_[obs.family];
+    auto& fam = families_.mutate(obs.family);
     ++fam.sightings;
 
     // Post-analysis labeling: the first labeled sighting names an
@@ -97,7 +98,8 @@ std::optional<FamilyId> Registry::family_named(std::string_view name) const {
     // behavior exemplar (new trace shapes are rare once a fleet warms up),
     // and names mutate through rename/lazy-labeling, which a side map
     // would have to chase through every path.
-    for (const FamilyInfo& fam : families_) {
+    for (std::size_t f = 0; f < families_.size(); ++f) {
+        const FamilyInfo& fam = families_[f];
         if (fam.name == wanted) return fam.id;
     }
     return std::nullopt;
@@ -115,7 +117,7 @@ Observation Registry::observe_behavior(const fuzzy::FuzzyDigest& digest,
         // signature); found a behavior-only family otherwise.
         if (const auto named = family_named(name_hint)) {
             obs.family = *named;
-            auto& fam = families_[obs.family];
+            auto& fam = families_.mutate(obs.family);
             ++fam.sightings;
             if (fam.behavior_exemplars < options_.max_exemplars_per_family) {
                 behavior_owner_.push_back(obs.family);
@@ -130,7 +132,7 @@ Observation Registry::observe_behavior(const fuzzy::FuzzyDigest& digest,
         obs.new_exemplar = true;
         behavior_owner_.push_back(obs.family);
         behavior_index_.add(digest);
-        auto& fam = families_[obs.family];
+        auto& fam = families_.mutate(obs.family);
         fam.sightings = 1;
         fam.behavior_exemplars = 1;
         return obs;
@@ -138,7 +140,7 @@ Observation Registry::observe_behavior(const fuzzy::FuzzyDigest& digest,
 
     obs.family = behavior_owner_[matches.front().id];
     obs.best_score = matches.front().score;
-    auto& fam = families_[obs.family];
+    auto& fam = families_.mutate(obs.family);
     ++fam.sightings;
     if (!name_hint.empty() && fam.name.starts_with("family-")) {
         fam.name = sanitize_label(name_hint);
@@ -273,18 +275,25 @@ std::vector<FusedMatch> Registry::top_families_fused(const fuzzy::FuzzyDigest* c
 
 std::size_t Registry::fused_family_count() const {
     std::size_t fused = 0;
-    for (const FamilyInfo& fam : families_) {
+    for (std::size_t f = 0; f < families_.size(); ++f) {
+        const FamilyInfo& fam = families_[f];
         if (fam.exemplars > 0 && fam.behavior_exemplars > 0) ++fused;
     }
     return fused;
 }
 
-std::vector<FamilyInfo> Registry::families() const { return families_; }
+std::vector<FamilyInfo> Registry::families() const {
+    std::vector<FamilyInfo> out;
+    out.reserve(families_.size());
+    for (std::size_t f = 0; f < families_.size(); ++f) out.push_back(families_[f]);
+    return out;
+}
 
 const FamilyInfo& Registry::family(FamilyId id) const { return families_.at(id); }
 
 void Registry::rename(FamilyId id, std::string_view name) {
-    families_.at(id).name = family_name_or_default(name, id);
+    if (id >= families_.size()) throw std::out_of_range("registry: unknown family id");
+    families_.mutate(id).name = family_name_or_default(name, id);
 }
 
 void Registry::merge(const Registry& other) {
@@ -299,7 +308,8 @@ void Registry::merge(const Registry& other) {
         behavior_of[other.behavior_owner_[i]].push_back(static_cast<DigestId>(i));
     }
 
-    for (const FamilyInfo& fam : other.families_) {
+    for (std::size_t f = 0; f < other.families_.size(); ++f) {
+        const FamilyInfo& fam = other.families_[f];
         // Anchor: the first exemplar that matches an existing family here —
         // content first (the stronger signal), behavior as fallback for
         // behavior-only families.
@@ -328,10 +338,10 @@ void Registry::merge(const Registry& other) {
             target = found_family(anonymous ? std::string_view{} : std::string_view(fam.name));
         } else if (!fam.name.starts_with("family-") &&
                    families_[target].name.starts_with("family-")) {
-            families_[target].name = fam.name;  // the incoming side had the label
+            families_.mutate(target).name = fam.name;  // the incoming side had the label
         }
 
-        auto& target_fam = families_[target];
+        auto& target_fam = families_.mutate(target);
         target_fam.sightings += fam.sightings;
         total_sightings_ += fam.sightings;
 
@@ -363,7 +373,8 @@ void Registry::merge(const Registry& other) {
 }
 
 void Registry::save(std::ostream& out) const {
-    for (const FamilyInfo& fam : families_) {
+    for (std::size_t f = 0; f < families_.size(); ++f) {
+        const FamilyInfo& fam = families_[f];
         // Names were sanitized on the way in (found_family/rename/merge),
         // but save is the format boundary — re-sanitize so no future code
         // path that smuggles raw bytes into FamilyInfo::name can corrupt
@@ -387,13 +398,134 @@ void Registry::save(std::ostream& out) const {
 }
 
 std::uint64_t Registry::fingerprint() const {
-    // Hash the save-format text: it already covers every observable field
-    // in a canonical order, and reusing it means the fingerprint can never
-    // silently drift from what persistence (and a follower's replay)
-    // actually reconstructs.
-    std::ostringstream body;
-    save(body);
-    return hash::fnv1a64(body.view());
+    // Incremental form of "hash the save-format text": each storage chunk
+    // memoizes the fnv1a64 of exactly the save() lines its elements emit,
+    // and the fingerprint hashes the ordered sequence of chunk hashes
+    // (with a tag byte per section so family/exemplar/bexemplar chunk
+    // sequences cannot alias). The chunk layout is a pure function of the
+    // element counts the save text encodes, so registries with identical
+    // save() text — the replication-convergence equivalence — still have
+    // identical fingerprints; a registry that changed by a small delta
+    // re-hashes only the chunks the delta touched (memos invalidate on
+    // mutation/clone, see util::CowVec).
+    std::string combined;
+    combined.reserve(8 * (families_.chunk_count() + exemplar_owner_.chunk_count() +
+                          behavior_owner_.chunk_count()) +
+                     3);
+    const auto append_hash = [&combined](std::uint64_t h) {
+        for (int b = 0; b < 8; ++b) {
+            combined.push_back(static_cast<char>((h >> (8 * b)) & 0xFF));
+        }
+    };
+    std::string scratch;
+
+    combined.push_back('f');
+    for (std::size_t c = 0; c < families_.chunk_count(); ++c) {
+        append_hash(families_.chunk_memo(
+            c, [&](std::size_t base, const std::vector<FamilyInfo>& items) {
+                (void)base;
+                scratch.clear();
+                for (const FamilyInfo& fam : items) {
+                    scratch += "family ";
+                    scratch += std::to_string(fam.id);
+                    scratch += ' ';
+                    scratch += std::to_string(fam.sightings);
+                    scratch += ' ';
+                    scratch += family_name_or_default(fam.name, fam.id);
+                    scratch += '\n';
+                }
+                return hash::fnv1a64(scratch);
+            }));
+    }
+    // Owner chunks memoize their whole section slice — owner ids *and* the
+    // digest text of the same id range. Digests are immutable once added
+    // and every index add pairs with exactly one owner push_back, so an
+    // owner chunk's memo invalidates exactly when its slice changes.
+    const auto exemplar_section = [&](const char tag, const auto& owners,
+                                      const SimilarityIndex& index, std::string_view kind) {
+        combined.push_back(tag);
+        for (std::size_t c = 0; c < owners.chunk_count(); ++c) {
+            append_hash(owners.chunk_memo(
+                c, [&](std::size_t base, const std::vector<FamilyId>& items) {
+                    scratch.clear();
+                    for (std::size_t i = 0; i < items.size(); ++i) {
+                        scratch += kind;
+                        scratch += ' ';
+                        scratch += std::to_string(items[i]);
+                        scratch += ' ';
+                        scratch += index.digest(static_cast<DigestId>(base + i)).to_string();
+                        scratch += '\n';
+                    }
+                    return hash::fnv1a64(scratch);
+                }));
+        }
+    };
+    exemplar_section('e', exemplar_owner_, index_, "exemplar");
+    exemplar_section('b', behavior_owner_, behavior_index_, "bexemplar");
+
+    return hash::fnv1a64(combined);
+}
+
+Registry::Sharing Registry::sharing_with(const Registry& prev) const {
+    Sharing s;
+    const auto add_index = [&s](const SimilarityIndex& mine, const SimilarityIndex& theirs) {
+        const auto is = mine.sharing_with(theirs);
+        s.shared_buckets += is.shared_buckets;
+        s.total_buckets += is.total_buckets;
+        s.shared_chunks += is.shared_chunks;
+        s.total_chunks += is.total_chunks;
+    };
+    add_index(index_, prev.index_);
+    add_index(behavior_index_, prev.behavior_index_);
+    const auto add_column = [&s](const auto& mine, const auto& theirs) {
+        s.shared_chunks += mine.shared_chunks_with(theirs);
+        s.total_chunks += mine.chunk_count();
+    };
+    add_column(families_, prev.families_);
+    add_column(exemplar_owner_, prev.exemplar_owner_);
+    add_column(behavior_owner_, prev.behavior_owner_);
+    return s;
+}
+
+bool Registry::self_check(std::string* why) const {
+    const auto fail = [why](std::string message) {
+        if (why != nullptr) *why = std::move(message);
+        return false;
+    };
+    if (exemplar_owner_.size() != index_.size()) {
+        return fail("content owner column and index sizes disagree");
+    }
+    if (behavior_owner_.size() != behavior_index_.size()) {
+        return fail("behavior owner column and index sizes disagree");
+    }
+    std::vector<std::size_t> exemplars(families_.size(), 0);
+    std::vector<std::size_t> behavior_exemplars(families_.size(), 0);
+    for (std::size_t i = 0; i < exemplar_owner_.size(); ++i) {
+        const FamilyId owner = exemplar_owner_[i];
+        if (owner >= families_.size()) return fail("content exemplar owned by unknown family");
+        ++exemplars[owner];
+    }
+    for (std::size_t i = 0; i < behavior_owner_.size(); ++i) {
+        const FamilyId owner = behavior_owner_[i];
+        if (owner >= families_.size()) return fail("behavior exemplar owned by unknown family");
+        ++behavior_exemplars[owner];
+    }
+    std::uint64_t sightings = 0;
+    for (std::size_t f = 0; f < families_.size(); ++f) {
+        const FamilyInfo& fam = families_[f];
+        if (fam.id != f) return fail("family ids are not dense");
+        if (fam.exemplars != exemplars[f]) {
+            return fail("family content exemplar tally disagrees with owner column");
+        }
+        if (fam.behavior_exemplars != behavior_exemplars[f]) {
+            return fail("family behavior exemplar tally disagrees with owner column");
+        }
+        sightings += fam.sightings;
+    }
+    if (sightings != total_sightings_) {
+        return fail("total_sightings disagrees with per-family sum");
+    }
+    return true;
 }
 
 Registry Registry::load(std::istream& in, RegistryOptions options) {
@@ -430,7 +562,7 @@ Registry Registry::load(std::istream& in, RegistryOptions options) {
             if (reg.families_[owner].exemplars >= options.max_exemplars_per_family) continue;
             reg.exemplar_owner_.push_back(owner);
             reg.index_.add(fuzzy::FuzzyDigest::parse(digest));
-            ++reg.families_[owner].exemplars;
+            ++reg.families_.mutate(owner).exemplars;
         } else if (kind == "bexemplar") {
             FamilyId owner = 0;
             std::string digest;
@@ -444,7 +576,7 @@ Registry Registry::load(std::istream& in, RegistryOptions options) {
             }
             reg.behavior_owner_.push_back(owner);
             reg.behavior_index_.add(fuzzy::FuzzyDigest::parse(digest));
-            ++reg.families_[owner].behavior_exemplars;
+            ++reg.families_.mutate(owner).behavior_exemplars;
         } else {
             throw util::ParseError("registry: unknown record '" + kind + "' at line " +
                                    std::to_string(line_no));

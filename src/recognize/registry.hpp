@@ -9,6 +9,7 @@
 
 #include "fuzzy/ctph.hpp"
 #include "recognize/similarity_index.hpp"
+#include "util/cow_vec.hpp"
 
 namespace siren::recognize {
 
@@ -158,7 +159,42 @@ public:
     /// fingerprint, so "did the replica converge" is one integer compare
     /// instead of a family-by-family diff (exposed as `fingerprint` in the
     /// service's STATS response, see docs/replication.md).
+    ///
+    /// Computed incrementally: each immutable storage chunk memoizes the
+    /// hash of its canonical text (the same lines save() emits), and the
+    /// fingerprint is a hash over the ordered chunk hashes — so a registry
+    /// that changed by a small delta since the last call re-hashes only
+    /// the touched chunks. Two registries with identical save() text have
+    /// identical chunk layouts (layout is a pure function of element
+    /// counts), hence identical fingerprints.
     std::uint64_t fingerprint() const;
+
+    /// Structural sharing between this registry and `prev` (typically the
+    /// previously published snapshot): buckets and chunks — index bucket
+    /// chunks, digest chunks, family and owner-column chunks — that are
+    /// pointer-identical in both. Cost is O(total chunks), independent of
+    /// element count; the publish path surfaces the numbers as STATS
+    /// counters and the structural-sharing regression test pins them.
+    struct Sharing {
+        std::size_t shared_buckets = 0;
+        std::size_t total_buckets = 0;
+        std::size_t shared_chunks = 0;
+        std::size_t total_chunks = 0;
+    };
+    Sharing sharing_with(const Registry& prev) const;
+
+    /// Internal consistency audit — the torn-snapshot oracle for the chaos
+    /// harness: owner columns and index sizes agree, every owner id names
+    /// an existing family, per-family exemplar tallies match the columns,
+    /// and total_sightings is conserved. A snapshot assembled from a
+    /// half-mutated registry would trip one of these. O(registry); returns
+    /// false and fills `why` (when non-null) on the first violation.
+    bool self_check(std::string* why = nullptr) const;
+
+    /// Channel indexes, for structural-sharing introspection in tests
+    /// (bucket_identity / bucket_chunk_identities pointer pins).
+    const SimilarityIndex& content_index() const { return index_; }
+    const SimilarityIndex& behavior_index() const { return behavior_index_; }
 
     /// Rename a family (post-analysis labeling).
     void rename(FamilyId id, std::string_view name);
@@ -199,12 +235,28 @@ private:
     std::optional<FamilyId> family_named(std::string_view name) const;
     int fuse_scores(int content_score, int behavior_score, bool both_probed) const;
 
+    /// Rows per FamilyInfo chunk. Deliberately small: observe() bumps
+    /// `sightings` on a *random* family for every record, so a publish
+    /// after a batch of B observes clones up to B family chunks — small
+    /// chunks keep that clone cost O(B * rows), flat in registry size.
+    static constexpr std::size_t kFamilyChunkRows = 64;
+    /// Rows per owner-column chunk. Owner columns are append-only (only
+    /// the tail chunk is ever cloned), so larger chunks just mean fewer
+    /// pointers per copy. Matches SimilarityIndex::kChunkRows so owner
+    /// chunks and digest chunks cover the same id ranges.
+    static constexpr std::size_t kOwnerChunkRows = SimilarityIndex::kChunkRows;
+
     RegistryOptions options_;
-    SimilarityIndex index_;                 ///< content exemplars, flat
-    std::vector<FamilyId> exemplar_owner_;  ///< content digest id -> family
-    SimilarityIndex behavior_index_;        ///< behavior exemplars, flat
-    std::vector<FamilyId> behavior_owner_;  ///< behavior digest id -> family
-    std::vector<FamilyInfo> families_;
+    SimilarityIndex index_;           ///< content exemplars, chunked COW buckets
+    /// content digest id -> family; chunk memos carry the incremental
+    /// fingerprint of the exemplar section (owner + digest text): digests
+    /// are immutable once added and every index add pairs with one owner
+    /// push_back, so an owner chunk's memo invalidates exactly when its
+    /// section's content changes.
+    util::CowVec<FamilyId, kOwnerChunkRows> exemplar_owner_;
+    SimilarityIndex behavior_index_;  ///< behavior exemplars, chunked COW buckets
+    util::CowVec<FamilyId, kOwnerChunkRows> behavior_owner_;  ///< behavior id -> family
+    util::CowVec<FamilyInfo, kFamilyChunkRows> families_;
     std::uint64_t total_sightings_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <unordered_set>
 
 namespace siren::recognize {
 
@@ -25,10 +26,6 @@ void finalize(std::vector<ScoredMatch>& matches, std::size_t top_n) {
     }
 }
 
-}  // namespace
-
-namespace {
-
 bool intersect_sorted(const std::uint64_t* a, std::size_t na, const std::uint64_t* b,
                       std::size_t nb) {
     std::size_t i = 0;
@@ -47,22 +44,64 @@ bool intersect_sorted(const std::uint64_t* a, std::size_t na, const std::uint64_
 
 }  // namespace
 
+SimilarityIndex::SimilarityIndex(const SimilarityIndex& other)
+    : buckets_(other.buckets_),
+      bucket_owned_(other.buckets_.size(), false),
+      digests_(other.digests_) {
+    // Both sides now reach the same bucket headers: demote the source to
+    // copy-on-write as well (same protocol as util::CowVec — the digests_
+    // member copy above already did this for the digest chunks).
+    other.bucket_owned_.assign(other.buckets_.size(), false);
+}
+
+SimilarityIndex& SimilarityIndex::operator=(const SimilarityIndex& other) {
+    if (this == &other) return *this;
+    buckets_ = other.buckets_;
+    bucket_owned_.assign(buckets_.size(), false);
+    other.bucket_owned_.assign(other.buckets_.size(), false);
+    digests_ = other.digests_;
+    return *this;
+}
+
+SimilarityIndex::Bucket& SimilarityIndex::owned_bucket(std::uint64_t block_size) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i]->block_size != block_size) continue;
+        if (!bucket_owned_[i]) {
+            // Header clone only: the chunk pointers are shared with the
+            // original, so the clone starts with every chunk demoted to
+            // copy-on-write.
+            auto clone = std::make_shared<Bucket>(*buckets_[i]);
+            clone->chunk_owned.assign(clone->chunks.size(), false);
+            buckets_[i] = std::move(clone);
+            bucket_owned_[i] = true;
+        }
+        return *buckets_[i];
+    }
+    auto fresh = std::make_shared<Bucket>();
+    fresh->block_size = block_size;
+    buckets_.push_back(std::move(fresh));
+    bucket_owned_.push_back(true);
+    return *buckets_.back();
+}
+
+SimilarityIndex::BucketChunk& SimilarityIndex::owned_tail_chunk(Bucket& bucket) {
+    if (bucket.chunks.empty() || bucket.chunks.back()->rows() == kChunkRows) {
+        bucket.chunks.push_back(std::make_shared<BucketChunk>());
+        bucket.chunk_owned.push_back(true);
+    } else if (!bucket.chunk_owned.back()) {
+        bucket.chunks.back() = std::make_shared<BucketChunk>(*bucket.chunks.back());
+        bucket.chunk_owned.back() = true;
+    }
+    return *bucket.chunks.back();
+}
+
 DigestId SimilarityIndex::add(fuzzy::FuzzyDigest digest) {
     const auto id = static_cast<DigestId>(digests_.size());
     fuzzy::PreparedDigest prepared(digest);
 
-    Bucket* bucket = nullptr;
-    for (auto& b : buckets_) {
-        if (b.block_size == digest.block_size) {
-            bucket = &b;
-            break;
-        }
-    }
-    if (bucket == nullptr) {
-        buckets_.emplace_back();
-        bucket = &buckets_.back();
-        bucket->block_size = digest.block_size;
-    }
+    Bucket& bucket = owned_bucket(digest.block_size);
+    BucketChunk& chunk = owned_tail_chunk(bucket);
+
     // Append one SoA row per part: the Bloom signature plus the sorted
     // packed gram array (empty for parts shorter than 7 chars).
     const auto push_part = [](PartColumn& column, std::uint64_t sig, std::string_view part) {
@@ -74,10 +113,11 @@ DigestId SimilarityIndex::add(fuzzy::FuzzyDigest digest) {
                             grams.begin() + static_cast<std::ptrdiff_t>(count));
         column.gram_ends.push_back(static_cast<std::uint32_t>(column.grams.size()));
     };
-    push_part(bucket->part1, prepared.signature1(), prepared.part1());
-    push_part(bucket->part2, prepared.signature2(), prepared.part2());
-    bucket->ids.push_back(id);
-    bucket->prepared.push_back(prepared);
+    push_part(chunk.part1, prepared.signature1(), prepared.part1());
+    push_part(chunk.part2, prepared.signature2(), prepared.part2());
+    chunk.ids.push_back(id);
+    chunk.prepared.push_back(prepared);
+    ++bucket.size;
 
     digests_.push_back(std::move(digest));
     return id;
@@ -85,27 +125,69 @@ DigestId SimilarityIndex::add(fuzzy::FuzzyDigest digest) {
 
 const SimilarityIndex::Bucket* SimilarityIndex::find_bucket(std::uint64_t block_size) const {
     for (const auto& b : buckets_) {
-        if (b.block_size == block_size) return &b;
+        if (b->block_size == block_size) return b.get();
     }
     return nullptr;
+}
+
+const void* SimilarityIndex::bucket_identity(std::uint64_t block_size) const {
+    return find_bucket(block_size);
+}
+
+std::vector<const void*> SimilarityIndex::bucket_chunk_identities(
+    std::uint64_t block_size) const {
+    std::vector<const void*> out;
+    if (const Bucket* b = find_bucket(block_size)) {
+        out.reserve(b->chunks.size());
+        for (const auto& chunk : b->chunks) out.push_back(chunk.get());
+    }
+    return out;
+}
+
+SimilarityIndex::Sharing SimilarityIndex::sharing_with(const SimilarityIndex& prev) const {
+    std::unordered_set<const void*> prior;
+    for (const auto& b : prev.buckets_) {
+        prior.insert(b.get());
+        for (const auto& chunk : b->chunks) prior.insert(chunk.get());
+    }
+    for (std::size_t c = 0; c < prev.digests_.chunk_count(); ++c) {
+        prior.insert(prev.digests_.chunk_identity(c));
+    }
+
+    Sharing s;
+    s.total_buckets = buckets_.size();
+    for (const auto& b : buckets_) {
+        if (prior.contains(b.get())) ++s.shared_buckets;
+        for (const auto& chunk : b->chunks) {
+            ++s.total_chunks;
+            if (prior.contains(chunk.get())) ++s.shared_chunks;
+        }
+    }
+    for (std::size_t c = 0; c < digests_.chunk_count(); ++c) {
+        ++s.total_chunks;
+        if (prior.contains(digests_.chunk_identity(c))) ++s.shared_chunks;
+    }
+    return s;
 }
 
 void SimilarityIndex::scan_bucket(const Bucket& bucket, const fuzzy::PreparedDigest& probe,
                                   const ProbeGrams& probe_grams, Pairing pairing, int min_score,
                                   std::vector<ScoredMatch>& matches) const {
     const auto level = util::simd::active_level();
-    if (level == util::simd::Level::kScalar) {
-        scan_bucket_scalar(bucket, probe, probe_grams, pairing, min_score, matches);
-        return;
+    for (const auto& chunk : bucket.chunks) {
+        if (level == util::simd::Level::kScalar) {
+            scan_chunk_scalar(*chunk, probe, probe_grams, pairing, min_score, matches);
+        } else {
+            scan_chunk_simd(*chunk, probe, probe_grams, pairing, min_score, level, matches);
+        }
     }
-    scan_bucket_simd(bucket, probe, probe_grams, pairing, min_score, level, matches);
 }
 
-void SimilarityIndex::scan_bucket_scalar(const Bucket& bucket,
-                                         const fuzzy::PreparedDigest& probe,
-                                         const ProbeGrams& probe_grams, Pairing pairing,
-                                         int min_score,
-                                         std::vector<ScoredMatch>& matches) const {
+void SimilarityIndex::scan_chunk_scalar(const BucketChunk& chunk,
+                                        const fuzzy::PreparedDigest& probe,
+                                        const ProbeGrams& probe_grams, Pairing pairing,
+                                        int min_score,
+                                        std::vector<ScoredMatch>& matches) const {
     // Plausibility of one (probe part, candidate part) pair — the pair the
     // block-size rule will actually score. A nonzero compare() needs
     // byte-identical collapsed digests or a shared 7-gram in this pair;
@@ -129,40 +211,41 @@ void SimilarityIndex::scan_bucket_scalar(const Bucket& bucket,
         return !probe_part.empty() && probe_part == candidate_part;
     };
 
-    const std::size_t n = bucket.ids.size();
+    const std::size_t n = chunk.rows();
     for (std::size_t i = 0; i < n; ++i) {
         bool plausible = false;
         switch (pairing) {
             case Pairing::kEqual:
                 plausible =
                     part_plausible(probe.signature1(), probe_grams.grams1.data(),
-                                   probe_grams.count1, probe.part1(), bucket.part1, i,
-                                   bucket.prepared[i].part1()) ||
+                                   probe_grams.count1, probe.part1(), chunk.part1, i,
+                                   chunk.prepared[i].part1()) ||
                     part_plausible(probe.signature2(), probe_grams.grams2.data(),
-                                   probe_grams.count2, probe.part2(), bucket.part2, i,
-                                   bucket.prepared[i].part2());
+                                   probe_grams.count2, probe.part2(), chunk.part2, i,
+                                   chunk.prepared[i].part2());
                 break;
             case Pairing::kProbeCoarser:  // probe bs == 2 * candidate bs
                 plausible = part_plausible(probe.signature1(), probe_grams.grams1.data(),
-                                           probe_grams.count1, probe.part1(), bucket.part2, i,
-                                           bucket.prepared[i].part2());
+                                           probe_grams.count1, probe.part1(), chunk.part2, i,
+                                           chunk.prepared[i].part2());
                 break;
             case Pairing::kCandidateCoarser:  // candidate bs == 2 * probe bs
                 plausible = part_plausible(probe.signature2(), probe_grams.grams2.data(),
-                                           probe_grams.count2, probe.part2(), bucket.part1, i,
-                                           bucket.prepared[i].part1());
+                                           probe_grams.count2, probe.part2(), chunk.part1, i,
+                                           chunk.prepared[i].part1());
                 break;
         }
         if (!plausible) continue;
-        const int score = fuzzy::compare(probe, bucket.prepared[i], min_score);
-        if (score >= min_score) matches.push_back({bucket.ids[i], score});
+        const int score = fuzzy::compare(probe, chunk.prepared[i], min_score);
+        if (score >= min_score) matches.push_back({chunk.ids[i], score});
     }
 }
 
-void SimilarityIndex::scan_bucket_simd(const Bucket& bucket, const fuzzy::PreparedDigest& probe,
-                                       const ProbeGrams& probe_grams, Pairing pairing,
-                                       int min_score, util::simd::Level level,
-                                       std::vector<ScoredMatch>& matches) const {
+void SimilarityIndex::scan_chunk_simd(const BucketChunk& chunk,
+                                      const fuzzy::PreparedDigest& probe,
+                                      const ProbeGrams& probe_grams, Pairing pairing,
+                                      int min_score, util::simd::Level level,
+                                      std::vector<ScoredMatch>& matches) const {
     namespace simd = util::simd;
 
     // Same contract as the scalar part_plausible, with the exact confirm
@@ -188,19 +271,19 @@ void SimilarityIndex::scan_bucket_simd(const Bucket& bucket, const fuzzy::Prepar
         switch (pairing) {
             case Pairing::kEqual:
                 return part_plausible(probe.signature1(), probe_grams.grams1.data(),
-                                      probe_grams.count1, probe.part1(), bucket.part1, i,
-                                      bucket.prepared[i].part1()) ||
+                                      probe_grams.count1, probe.part1(), chunk.part1, i,
+                                      chunk.prepared[i].part1()) ||
                        part_plausible(probe.signature2(), probe_grams.grams2.data(),
-                                      probe_grams.count2, probe.part2(), bucket.part2, i,
-                                      bucket.prepared[i].part2());
+                                      probe_grams.count2, probe.part2(), chunk.part2, i,
+                                      chunk.prepared[i].part2());
             case Pairing::kProbeCoarser:
                 return part_plausible(probe.signature1(), probe_grams.grams1.data(),
-                                      probe_grams.count1, probe.part1(), bucket.part2, i,
-                                      bucket.prepared[i].part2());
+                                      probe_grams.count1, probe.part1(), chunk.part2, i,
+                                      chunk.prepared[i].part2());
             case Pairing::kCandidateCoarser:
                 return part_plausible(probe.signature2(), probe_grams.grams2.data(),
-                                      probe_grams.count2, probe.part2(), bucket.part1, i,
-                                      bucket.prepared[i].part1());
+                                      probe_grams.count2, probe.part2(), chunk.part1, i,
+                                      chunk.prepared[i].part1());
         }
         return false;
     };
@@ -215,47 +298,43 @@ void SimilarityIndex::scan_bucket_simd(const Bucket& bucket, const fuzzy::Prepar
         fuzzy::compare_x4(probe, pending, n_pending, min_score, scores);
         for (std::size_t k = 0; k < n_pending; ++k) {
             if (scores[k] >= min_score) {
-                matches.push_back({bucket.ids[pending_at[k]], scores[k]});
+                matches.push_back({chunk.ids[pending_at[k]], scores[k]});
             }
         }
         n_pending = 0;
     };
 
-    // Phase 1 per chunk: the signature prefilter as a vectorized bitmap
-    // over the SoA sig columns (the chunk bound keeps the bitmap on the
-    // stack, and chunks stay within one round of the L1 sig stream).
-    constexpr std::size_t kChunk = 512;
-    std::uint64_t bitmap[kChunk / 64];
-    const std::size_t n = bucket.ids.size();
-    for (std::size_t chunk = 0; chunk < n; chunk += kChunk) {
-        const std::size_t m = std::min(kChunk, n - chunk);
-        switch (pairing) {
-            case Pairing::kEqual:
-                simd::sig_gate_bitmap_or(bucket.part1.sigs.data() + chunk, probe.signature1(),
-                                         bucket.part2.sigs.data() + chunk, probe.signature2(),
-                                         m, bitmap, level);
-                break;
-            case Pairing::kProbeCoarser:
-                simd::sig_gate_bitmap(bucket.part2.sigs.data() + chunk, m, probe.signature1(),
-                                      bitmap, level);
-                break;
-            case Pairing::kCandidateCoarser:
-                simd::sig_gate_bitmap(bucket.part1.sigs.data() + chunk, m, probe.signature2(),
-                                      bitmap, level);
-                break;
-        }
-        const std::size_t words = (m + 63) / 64;
-        for (std::size_t w = 0; w < words; ++w) {
-            std::uint64_t bits = bitmap[w];
-            while (bits != 0) {
-                const auto bit = static_cast<std::size_t>(std::countr_zero(bits));
-                bits &= bits - 1;
-                const std::size_t i = chunk + w * 64 + bit;
-                if (!plausible_at(i)) continue;
-                pending[n_pending] = &bucket.prepared[i];
-                pending_at[n_pending] = i;
-                if (++n_pending == 4) flush_pending();
-            }
+    // Phase 1: the signature prefilter as a vectorized bitmap over the
+    // chunk's SoA sig columns — a chunk is at most kChunkRows rows, so the
+    // bitmap lives on the stack and the sig stream fits one L1 round.
+    std::uint64_t bitmap[kChunkRows / 64];
+    const std::size_t m = chunk.rows();
+    switch (pairing) {
+        case Pairing::kEqual:
+            simd::sig_gate_bitmap_or(chunk.part1.sigs.data(), probe.signature1(),
+                                     chunk.part2.sigs.data(), probe.signature2(), m, bitmap,
+                                     level);
+            break;
+        case Pairing::kProbeCoarser:
+            simd::sig_gate_bitmap(chunk.part2.sigs.data(), m, probe.signature1(), bitmap,
+                                  level);
+            break;
+        case Pairing::kCandidateCoarser:
+            simd::sig_gate_bitmap(chunk.part1.sigs.data(), m, probe.signature2(), bitmap,
+                                  level);
+            break;
+    }
+    const std::size_t words = (m + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t bits = bitmap[w];
+        while (bits != 0) {
+            const auto bit = static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const std::size_t i = w * 64 + bit;
+            if (!plausible_at(i)) continue;
+            pending[n_pending] = &chunk.prepared[i];
+            pending_at[n_pending] = i;
+            if (++n_pending == 4) flush_pending();
         }
     }
     flush_pending();

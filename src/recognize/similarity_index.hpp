@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "fuzzy/compare.hpp"
 #include "fuzzy/ctph.hpp"
 #include "fuzzy/prepared.hpp"
+#include "util/cow_vec.hpp"
 #include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
@@ -38,6 +40,16 @@ struct ScoredMatch {
 /// mostly gates short and sparse parts — an exact two-pointer merge of
 /// sorted gram words, and only confirmed candidates are rescored.
 ///
+/// Bucket storage is segmented into immutable refcounted chunks of
+/// kChunkRows rows (BucketChunk) so the whole index copies in O(chunks)
+/// pointer copies and two copies structurally share every chunk neither
+/// mutated afterwards — the O(delta) snapshot-publication substrate
+/// (docs/recognition_service.md). Appends touch only the tail chunk of one
+/// bucket; the ownership protocol mirrors util::CowVec: copying (either
+/// direction) demotes both instances to copy-on-write, and a mutator
+/// clones the bucket header and tail chunk it is about to write unless
+/// this instance still owns them.
+///
 /// Correctness rests on a property of fuzzy::compare: a nonzero score
 /// requires either byte-identical collapsed digests or a common substring
 /// of kCommonSubstringLength (7) characters between the pair of digest
@@ -50,7 +62,21 @@ struct ScoredMatch {
 /// over campaign-scale corpora.
 class SimilarityIndex {
 public:
+    /// Rows per immutable bucket chunk (and per digest chunk). Power of
+    /// two, small enough that cloning one tail chunk per touched bucket
+    /// keeps publish cost O(batch), large enough that the SIMD scan's
+    /// per-chunk setup amortizes (the signature bitmap covers a whole
+    /// chunk per call).
+    static constexpr std::size_t kChunkRows = 256;
+
     SimilarityIndex() = default;
+
+    /// Copies share every bucket and chunk structurally; both sides fall
+    /// back to copy-on-write for subsequent mutation (see class comment).
+    SimilarityIndex(const SimilarityIndex& other);
+    SimilarityIndex& operator=(const SimilarityIndex& other);
+    SimilarityIndex(SimilarityIndex&&) noexcept = default;
+    SimilarityIndex& operator=(SimilarityIndex&&) noexcept = default;
 
     /// Insert a digest; returns its id (insertion order, dense from 0).
     /// Digest parts must respect the kSpamsumLength cap (guaranteed by
@@ -94,8 +120,38 @@ public:
     /// reporting); bounded by the ~60 possible 3 * 2^k block sizes.
     std::size_t bucket_count() const { return buckets_.size(); }
 
+    // ---- structural-sharing introspection -------------------------------
+
+    /// How much of this index is pointer-identical with `prev` (typically
+    /// the previous published snapshot): whole buckets untouched since the
+    /// copy, and individual chunks (bucket chunks + digest chunks). The
+    /// publish path surfaces these as the shared_buckets / shared_chunks
+    /// STATS counters; the structural-sharing regression test pins them.
+    struct Sharing {
+        std::size_t shared_buckets = 0;
+        std::size_t total_buckets = 0;
+        std::size_t shared_chunks = 0;
+        std::size_t total_chunks = 0;
+    };
+    Sharing sharing_with(const SimilarityIndex& prev) const;
+
+    /// Stable identity of the bucket holding `block_size` (nullptr when
+    /// absent) — pointer-equal across two indexes iff neither touched the
+    /// bucket since they were copies of each other.
+    const void* bucket_identity(std::uint64_t block_size) const;
+
+    /// Identities of that bucket's chunks, in order (empty when absent).
+    std::vector<const void*> bucket_chunk_identities(std::uint64_t block_size) const;
+
+    /// Chunk view of the stored digests (Registry's incremental
+    /// fingerprint aligns its memo chunks with these ids).
+    std::size_t digest_chunk_count() const { return digests_.chunk_count(); }
+    const void* digest_chunk_identity(std::size_t c) const {
+        return digests_.chunk_identity(c);
+    }
+
 private:
-    /// One digest part's worth of scan-side data across a bucket, SoA:
+    /// One digest part's worth of scan-side data across a chunk, SoA:
     /// the Bloom signatures contiguously (8 bytes per candidate on the
     /// reject path) and the sorted packed 7-gram arrays flattened with an
     /// offset table (the exact confirm is a two-pointer merge against the
@@ -106,13 +162,25 @@ private:
         std::vector<std::uint32_t> gram_ends;  ///< exclusive end per digest
     };
 
-    /// All digests sharing one block size.
-    struct Bucket {
-        std::uint64_t block_size = 0;
+    /// Up to kChunkRows digests of one bucket, immutable once shared.
+    struct BucketChunk {
         PartColumn part1;
         PartColumn part2;
         std::vector<DigestId> ids;
         std::vector<fuzzy::PreparedDigest> prepared;
+
+        std::size_t rows() const { return ids.size(); }
+    };
+
+    /// All digests sharing one block size: a header over shared chunks.
+    /// `chunk_owned` parallels `chunks` and is meaningful only while the
+    /// enclosing index owns this Bucket object (bucket_owned_): a cloned
+    /// header starts with every chunk demoted to copy-on-write.
+    struct Bucket {
+        std::uint64_t block_size = 0;
+        std::size_t size = 0;  ///< total rows across chunks
+        std::vector<std::shared_ptr<BucketChunk>> chunks;
+        std::vector<bool> chunk_owned;
     };
 
     /// Probe-side scratch for one query: each part's sorted packed grams.
@@ -127,26 +195,36 @@ private:
     enum class Pairing { kEqual, kProbeCoarser, kCandidateCoarser };
 
     const Bucket* find_bucket(std::uint64_t block_size) const;
-    /// Dispatches on util::simd::active_level(): the scalar scan is the
-    /// reference (and the baseline the CI speedup ratio measures); the SIMD
-    /// scan computes the same candidate superset with vector kernels, so
-    /// both produce identical matches (asserted by the parity suite).
+    /// The bucket for `block_size`, cloned first (header only — chunks
+    /// stay shared) unless this instance owns it; created when absent.
+    Bucket& owned_bucket(std::uint64_t block_size);
+    /// The bucket's tail chunk with room for one more row, cloned first
+    /// unless owned; a fresh chunk when the tail is full (or none exists).
+    BucketChunk& owned_tail_chunk(Bucket& bucket);
+
+    /// Dispatches on util::simd::active_level() per chunk: the scalar scan
+    /// is the reference (and the baseline the CI speedup ratio measures);
+    /// the SIMD scan computes the same candidate superset with vector
+    /// kernels, so both produce identical matches (parity suite).
     void scan_bucket(const Bucket& bucket, const fuzzy::PreparedDigest& probe,
                      const ProbeGrams& probe_grams, Pairing pairing, int min_score,
                      std::vector<ScoredMatch>& matches) const;
-    void scan_bucket_scalar(const Bucket& bucket, const fuzzy::PreparedDigest& probe,
-                            const ProbeGrams& probe_grams, Pairing pairing, int min_score,
-                            std::vector<ScoredMatch>& matches) const;
+    void scan_chunk_scalar(const BucketChunk& chunk, const fuzzy::PreparedDigest& probe,
+                           const ProbeGrams& probe_grams, Pairing pairing, int min_score,
+                           std::vector<ScoredMatch>& matches) const;
     /// Three-phase vectorized scan: (1) a signature-AND bitmap over the SoA
     /// sig columns, 2-4 candidates per instruction; (2) per survivor, the
     /// exact gram confirm via the galloping/block-compare intersection;
     /// (3) confirmed candidates rescored four at a time (compare_x4).
-    void scan_bucket_simd(const Bucket& bucket, const fuzzy::PreparedDigest& probe,
-                          const ProbeGrams& probe_grams, Pairing pairing, int min_score,
-                          util::simd::Level level, std::vector<ScoredMatch>& matches) const;
+    void scan_chunk_simd(const BucketChunk& chunk, const fuzzy::PreparedDigest& probe,
+                         const ProbeGrams& probe_grams, Pairing pairing, int min_score,
+                         util::simd::Level level, std::vector<ScoredMatch>& matches) const;
 
-    std::vector<Bucket> buckets_;  ///< a handful of entries; linear lookup
-    std::vector<fuzzy::FuzzyDigest> digests_;
+    std::vector<std::shared_ptr<Bucket>> buckets_;  ///< a handful; linear lookup
+    /// Which bucket headers this instance may mutate in place; mutable
+    /// because copying demotes the source to copy-on-write too.
+    mutable std::vector<bool> bucket_owned_;
+    util::CowVec<fuzzy::FuzzyDigest, kChunkRows> digests_;
 };
 
 }  // namespace siren::recognize

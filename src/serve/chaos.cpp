@@ -107,6 +107,10 @@ constexpr Fault kFaultMenu[] = {
     {"replication.source.corrupt", "corrupt-byte%4"},  // follower must reject
     {"replication.sink.write", "error(28)%5"},    // ENOSPC on the replica disk
     {"serve.tail.read", "error(5)%3"},            // EIO reading the feed
+    {"serve.publish.copy", "delay(3000)%2"},      // slow O(delta) registry copy
+    {"serve.publish.copy", "error(5)%4"},         // publish aborted pre-copy; retried
+    {"serve.publish.swap", "delay(1000)%3"},      // stall between copy and swap
+    {"serve.publish.swap", "error(5)%5"},         // assembled snapshot dropped; retried
 };
 
 bool eventually(const std::function<bool()>& done, std::chrono::milliseconds limit) {
@@ -178,6 +182,10 @@ ChaosReport run_chaos(const ChaosOptions& options) {
         std::vector<fuzzy::FuzzyDigest> behavior_corpus;
         for (int i = 0; i < 8; ++i) behavior_corpus.push_back(fuzzy::fuzzy_hash(rng.bytes(4096)));
 
+        // Snapshot versions restart from zero with each leader incarnation,
+        // so the monotonicity audit below resets on a leader kill.
+        std::uint64_t last_snapshot_version = 0;
+
         for (std::size_t op = 0; op < options.ops; ++op) {
             // Chaos event roughly every 6th op.
             if (rng.below(6) == 0) {
@@ -206,6 +214,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
                     leader.kill();
                     leader.start(leader_dir, leader_ckpt);
                     ++report.kills_leader;
+                    last_snapshot_version = 0;
                     client = make_client();
                 }
             }
@@ -245,6 +254,28 @@ ChaosReport run_chaos(const ChaosOptions& options) {
                 set_failure(report, "op " + std::to_string(op) + " took " +
                                         std::to_string(elapsed.count()) + "ms (deadline " +
                                         std::to_string(options.op_deadline.count()) + "ms)");
+            }
+
+            // Torn-snapshot audit: whatever the writer is doing — including
+            // a publish stalled or aborted by the serve.publish.* faults
+            // above — every snapshot a reader can acquire must be internally
+            // consistent (the COW copy must not expose a half-mutated
+            // registry) and versions must only move forward within one
+            // leader incarnation.
+            ++report.snapshot_audits;
+            const auto snap = leader.service->snapshot();
+            std::string why;
+            if (!snap->registry.self_check(&why)) {
+                ++report.torn_snapshots;
+                set_failure(report, "torn snapshot at op " + std::to_string(op) + ": " + why);
+            } else if (snap->version < last_snapshot_version) {
+                ++report.torn_snapshots;
+                set_failure(report, "snapshot version went backwards at op " +
+                                        std::to_string(op) + ": " +
+                                        std::to_string(snap->version) + " after " +
+                                        std::to_string(last_snapshot_version));
+            } else {
+                last_snapshot_version = snap->version;
             }
         }
 
@@ -322,6 +353,8 @@ std::string format_report(const ChaosReport& report) {
     line("failpoint_fires", report.failpoint_fires);
     line("kills_leader", report.kills_leader);
     line("kills_follower", report.kills_follower);
+    line("snapshot_audits", report.snapshot_audits);
+    line("torn_snapshots", report.torn_snapshots);
     line("converged", report.converged ? 1 : 0);
     line("checkpoint_reload_ok", report.checkpoint_reload_ok ? 1 : 0);
     line("leader_fingerprint", report.leader_fingerprint);

@@ -48,6 +48,8 @@ struct ChaosReport {
     std::uint64_t failpoint_fires = 0;   ///< injections that actually landed
     std::uint64_t kills_leader = 0;
     std::uint64_t kills_follower = 0;
+    std::uint64_t snapshot_audits = 0;   ///< leader snapshots inspected mid-chaos
+    std::uint64_t torn_snapshots = 0;    ///< snapshots failing self_check or version order (violation)
     bool converged = false;              ///< fleet reached one fingerprint after heal
     bool checkpoint_reload_ok = false;   ///< leader checkpoint reloads to the same state
     std::uint64_t leader_fingerprint = 0;

@@ -244,6 +244,17 @@ std::string execute_query(RecognitionService& service, std::string_view request)
             line("observes_journaled", counters.observes_journaled);
             line("wal_fallbacks", counters.wal_fallbacks);
             line("observes_shed", counters.observes_shed);
+            // Publish-cost telemetry: O(delta) publication means
+            // publish_ns tracks batch size, and shared_*/total_* report
+            // how much of the latest snapshot is structurally shared with
+            // its predecessor (docs/recognition_service.md).
+            line("publish_ns", counters.publish_ns);
+            line("publish_ns_last", counters.publish_ns_last);
+            line("publish_errors", counters.publish_errors);
+            line("shared_buckets", counters.shared_buckets);
+            line("total_buckets", counters.total_buckets);
+            line("shared_chunks", counters.shared_chunks);
+            line("total_chunks", counters.total_chunks);
             // Armed failpoints (fault-injection builds only): one
             // "failpoint.<name> <fires>" line per armed point, so a chaos
             // driver can confirm over the wire that its faults landed.

@@ -360,15 +360,61 @@ void RecognitionService::journal_and_apply(
     wal_pending_.clear();
 }
 
-void RecognitionService::publish(std::uint64_t applied_through) {
+bool RecognitionService::publish(std::uint64_t applied_through) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto prev = snapshot_.load(std::memory_order_acquire);
+
+    // Injected slow/failed copy — a publish abort keeps the previous
+    // snapshot serving and leaves the writer's dirty state set, so a later
+    // cycle retries. The boot publish is exempt: snapshot() must never
+    // return null.
+    if (const auto fp = SIREN_FAILPOINT("serve.publish.copy");
+        fp.action == util::failpoint::Action::kError && prev != nullptr) {
+        publish_errors_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+
     auto snap = std::make_shared<RegistrySnapshot>();
+    // O(delta) copy: chunk-pointer vectors copy; every chunk the writer
+    // didn't touch since the previous publish is shared with it.
     snap->registry = master_;
-    snap->version = publishes_.fetch_add(1, std::memory_order_relaxed) + 1;
+    snap->version = publishes_.load(std::memory_order_relaxed) + 1;
     snap->applied = applied_total_;
-    snapshot_.store(std::move(snap), std::memory_order_release);
+
+    // Injected slow/failed swap: a delay stretches the window where
+    // readers still serve the previous snapshot (staleness, never a torn
+    // state — the swap itself stays one atomic store); an error drops the
+    // assembled snapshot before it becomes visible.
+    if (const auto fp = SIREN_FAILPOINT("serve.publish.swap");
+        fp.action == util::failpoint::Action::kError && prev != nullptr) {
+        publish_errors_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+
+    const std::shared_ptr<const RegistrySnapshot> published = std::move(snap);
+    snapshot_.store(published, std::memory_order_release);
+    publishes_.fetch_add(1, std::memory_order_relaxed);
     if (applied_through > 0) {
         applied_seq_.store(applied_through, std::memory_order_release);
     }
+    // publish_ns covers the reader-facing critical path only (copy +
+    // swap); the sharing tally below is telemetry, and at O(total chunks)
+    // it would otherwise dominate the timing it is meant to explain.
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             t0)
+            .count());
+    publish_ns_last_.store(ns, std::memory_order_relaxed);
+    publish_ns_.fetch_add(ns, std::memory_order_relaxed);
+
+    if (prev != nullptr) {
+        const auto sharing = published->registry.sharing_with(prev->registry);
+        shared_buckets_.store(sharing.shared_buckets, std::memory_order_relaxed);
+        total_buckets_.store(sharing.total_buckets, std::memory_order_relaxed);
+        shared_chunks_.store(sharing.shared_chunks, std::memory_order_relaxed);
+        total_chunks_.store(sharing.total_chunks, std::memory_order_relaxed);
+    }
+    return true;
 }
 
 bool RecognitionService::write_checkpoint(std::string& error) {
@@ -471,9 +517,13 @@ void RecognitionService::writer_loop() {
         if (dirty && (!replies.empty() || stopping ||
                       std::chrono::steady_clock::now() - last_publish >=
                           options_.publish_interval)) {
-            publish(unpublished_seq);
-            last_publish = std::chrono::steady_clock::now();
-            dirty = false;
+            // A failed publish (injected fault) keeps dirty set: the
+            // applied state is already in master_, only its visibility is
+            // delayed until a later cycle's retry succeeds.
+            if (publish(unpublished_seq)) {
+                last_publish = std::chrono::steady_clock::now();
+                dirty = false;
+            }
         }
 
         {
@@ -744,6 +794,13 @@ ServeCounters RecognitionService::counters() const {
     c.observes_journaled = observes_journaled_.load(std::memory_order_relaxed);
     c.wal_fallbacks = wal_fallbacks_.load(std::memory_order_relaxed);
     c.observes_shed = observes_shed_.load(std::memory_order_relaxed);
+    c.publish_ns = publish_ns_.load(std::memory_order_relaxed);
+    c.publish_ns_last = publish_ns_last_.load(std::memory_order_relaxed);
+    c.publish_errors = publish_errors_.load(std::memory_order_relaxed);
+    c.shared_buckets = shared_buckets_.load(std::memory_order_relaxed);
+    c.total_buckets = total_buckets_.load(std::memory_order_relaxed);
+    c.shared_chunks = shared_chunks_.load(std::memory_order_relaxed);
+    c.total_chunks = total_chunks_.load(std::memory_order_relaxed);
     return c;
 }
 

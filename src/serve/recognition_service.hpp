@@ -48,10 +48,11 @@ struct ServeOptions {
     /// Longest the writer sleeps waiting for queued observes before it
     /// polls the feed again.
     std::chrono::milliseconds writer_idle{5};
-    /// Minimum spacing between snapshot publishes. Publishing copies the
-    /// whole registry, so under a heavy write stream this knob amortizes
-    /// the copy across more applied batches (bounded staleness) instead of
-    /// copying per batch. 0 = publish after every modifying cycle.
+    /// Minimum spacing between snapshot publishes. A publish copies only
+    /// the storage chunks the batch touched (O(delta), structural sharing
+    /// with the previous snapshot), so this knob now mainly bounds the
+    /// per-batch fixed cost (chunk-pointer copy + swap) and snapshot churn
+    /// under extreme write rates. 0 = publish after every modifying cycle.
     /// observe_sync() and shutdown publish immediately regardless.
     std::chrono::milliseconds publish_interval{0};
     /// Bound on queued (not yet applied) client observes; beyond it,
@@ -188,6 +189,18 @@ struct ServeCounters {
     std::uint64_t observes_journaled = 0;  ///< client observes appended to the WAL
     std::uint64_t wal_fallbacks = 0;       ///< journal/feed misses applied directly
     std::uint64_t observes_shed = 0;       ///< network observes refused: overload
+    std::uint64_t publish_ns = 0;          ///< cumulative wall time inside publish()
+    std::uint64_t publish_ns_last = 0;     ///< wall time of the latest publish
+    std::uint64_t publish_errors = 0;      ///< publishes skipped (injected faults)
+    /// Structural sharing between the latest snapshot and its predecessor
+    /// (Registry::sharing_with): how much of the new snapshot is
+    /// pointer-identical with the old one. shared/total == 1 would mean
+    /// nothing changed; a small batch against a large registry should keep
+    /// the shared fraction near 1 — the O(delta) publication claim.
+    std::uint64_t shared_buckets = 0;
+    std::uint64_t total_buckets = 0;
+    std::uint64_t shared_chunks = 0;
+    std::uint64_t total_chunks = 0;
 };
 
 /// The online recognition service — the third leg of the collect -> ingest
@@ -202,8 +215,11 @@ struct ServeCounters {
 ///   * One writer thread owns the only mutable Registry. It drains queued
 ///     client observes and tails the ingest daemon's segments, applies a
 ///     batch, then publishes a fresh immutable copy via atomic pointer
-///     swap. The copy cost is amortized over the whole batch; readers
-///     holding the previous snapshot keep it alive until they drop it.
+///     swap. The copy is O(touched delta), not O(registry): the registry's
+///     chunked copy-on-write storage shares every untouched bucket and
+///     column chunk with the previous snapshot, so publish cost tracks the
+///     batch, not the corpus. Readers holding the previous snapshot keep
+///     it (and the chunks only it references) alive until they drop it.
 ///
 /// Persistence: the writer periodically checkpoints the registry together
 /// with the segment-tail watermark (atomic tmp+rename). Crash recovery =
@@ -359,8 +375,13 @@ private:
     /// (shared by the WAL-resolution and direct paths — they must never
     /// diverge).
     Identified resolve_applied(const recognize::Observation& obs) const;
-    /// Publish an immutable copy of the master registry.
-    void publish(std::uint64_t applied_through);
+    /// Publish an immutable copy of the master registry. The copy is
+    /// O(touched delta): master_'s chunked COW storage shares every chunk
+    /// the batch didn't touch with the previous snapshot (see
+    /// docs/recognition_service.md). Returns false when an injected
+    /// failpoint (serve.publish.copy / serve.publish.swap) aborted the
+    /// publish — the caller must keep its dirty state and retry later.
+    bool publish(std::uint64_t applied_through);
     /// Write the checkpoint file; returns false and fills `error` on failure.
     bool write_checkpoint(std::string& error);
     void load_checkpoint();
@@ -418,6 +439,13 @@ private:
     std::atomic<std::uint64_t> observes_journaled_{0};
     std::atomic<std::uint64_t> wal_fallbacks_{0};
     mutable std::atomic<std::uint64_t> observes_shed_{0};
+    std::atomic<std::uint64_t> publish_ns_{0};
+    std::atomic<std::uint64_t> publish_ns_last_{0};
+    std::atomic<std::uint64_t> publish_errors_{0};
+    std::atomic<std::uint64_t> shared_buckets_{0};
+    std::atomic<std::uint64_t> total_buckets_{0};
+    std::atomic<std::uint64_t> shared_chunks_{0};
+    std::atomic<std::uint64_t> total_chunks_{0};
 
     /// WAL-drain scratch, valid only inside journal_and_apply (writer
     /// thread): where apply_feed_record deposits resolved replies and the

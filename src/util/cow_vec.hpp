@@ -1,0 +1,151 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace siren::util {
+
+/// Chunked copy-on-write vector: the storage primitive behind O(delta)
+/// snapshot publication (docs/recognition_service.md).
+///
+/// Elements live in fixed-size chunks held through shared_ptr, so copying
+/// the whole container is O(size / RowsPerChunk) pointer copies — the
+/// chunks themselves are shared structurally between the copies. Mutation
+/// goes through an ownership protocol instead of refcount inspection:
+/// each instance tracks, per chunk, whether it may write the chunk in
+/// place (`owned_`). Copying — in either direction — clears the flags on
+/// *both* instances, because after a copy every chunk is reachable from
+/// two containers; the next mutation through either side clones the
+/// touched chunk first. The flags are plain bools (no atomics), which is
+/// race-free under the service's discipline: exactly one thread copies or
+/// mutates a given mutable container (the writer thread owns the master
+/// registry; published copies are immutable), so flag reads and writes
+/// never interleave across threads.
+///
+/// Each chunk carries a memoized content hash for incremental
+/// fingerprinting (Registry::fingerprint): chunk_memo() returns the cached
+/// value or computes and caches it. The memo is an atomic because
+/// *readers* of shared immutable chunks may compute it concurrently — the
+/// benign double-compute pattern (0 = uncomputed sentinel); mutation paths
+/// reset it, and cloned chunks start unset.
+template <typename T, std::size_t RowsPerChunk>
+class CowVec {
+    static_assert(RowsPerChunk > 0 && (RowsPerChunk & (RowsPerChunk - 1)) == 0,
+                  "RowsPerChunk must be a power of two (index math compiles to shifts)");
+
+public:
+    CowVec() = default;
+
+    CowVec(const CowVec& other) : chunks_(other.chunks_), size_(other.size_) {
+        owned_.assign(chunks_.size(), false);
+        other.owned_.assign(other.chunks_.size(), false);
+    }
+    CowVec& operator=(const CowVec& other) {
+        if (this == &other) return *this;
+        chunks_ = other.chunks_;
+        size_ = other.size_;
+        owned_.assign(chunks_.size(), false);
+        other.owned_.assign(other.chunks_.size(), false);
+        return *this;
+    }
+    CowVec(CowVec&&) noexcept = default;
+    CowVec& operator=(CowVec&&) noexcept = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const T& operator[](std::size_t i) const {
+        return chunks_[i / RowsPerChunk]->items[i % RowsPerChunk];
+    }
+
+    const T& at(std::size_t i) const {
+        if (i >= size_) throw std::out_of_range("CowVec::at: index out of range");
+        return (*this)[i];
+    }
+
+    /// Mutable access to element i; clones the containing chunk first
+    /// unless this instance already owns it. Invalidates the chunk memo.
+    T& mutate(std::size_t i) {
+        Chunk& chunk = owned_chunk(i / RowsPerChunk);
+        chunk.memo.store(0, std::memory_order_relaxed);
+        return chunk.items[i % RowsPerChunk];
+    }
+
+    void push_back(T value) {
+        if (chunks_.empty() || chunks_.back()->items.size() == RowsPerChunk) {
+            chunks_.push_back(std::make_shared<Chunk>());
+            owned_.push_back(true);
+        }
+        Chunk& chunk = owned_chunk(chunks_.size() - 1);
+        chunk.memo.store(0, std::memory_order_relaxed);
+        chunk.items.push_back(std::move(value));
+        ++size_;
+    }
+
+    // ---- chunk introspection (fingerprints, sharing stats, tests) -------
+
+    static constexpr std::size_t chunk_rows() { return RowsPerChunk; }
+    std::size_t chunk_count() const { return chunks_.size(); }
+    std::size_t chunk_base(std::size_t c) const { return c * RowsPerChunk; }
+    const std::vector<T>& chunk_items(std::size_t c) const { return chunks_[c]->items; }
+
+    /// Stable identity of chunk c's current storage — pointer-equal across
+    /// two containers iff they structurally share the chunk.
+    const void* chunk_identity(std::size_t c) const { return chunks_[c].get(); }
+
+    /// Chunks shared (pointer-identical, position-wise) with another
+    /// container — chunks never reorder, so positional compare is exact.
+    std::size_t shared_chunks_with(const CowVec& other) const {
+        const std::size_t n = std::min(chunks_.size(), other.chunks_.size());
+        std::size_t shared = 0;
+        for (std::size_t c = 0; c < n; ++c) {
+            if (chunks_[c] == other.chunks_[c]) ++shared;
+        }
+        return shared;
+    }
+
+    /// Memoized per-chunk content hash: returns the cached value, or runs
+    /// `compute(first_element_index, items)` and caches its result. Racing
+    /// readers of a shared immutable chunk compute the same deterministic
+    /// value, so the unsynchronized double-compute is benign (0 doubles as
+    /// "not yet computed"; a true zero hash is remapped to 1).
+    template <typename Fn>
+    std::uint64_t chunk_memo(std::size_t c, Fn&& compute) const {
+        const Chunk& chunk = *chunks_[c];
+        std::uint64_t value = chunk.memo.load(std::memory_order_relaxed);
+        if (value != 0) return value;
+        value = compute(chunk_base(c), chunk.items);
+        if (value == 0) value = 1;
+        chunk.memo.store(value, std::memory_order_relaxed);
+        return value;
+    }
+
+private:
+    struct Chunk {
+        std::vector<T> items;
+        mutable std::atomic<std::uint64_t> memo{0};  ///< 0 = uncomputed
+
+        Chunk() = default;
+        Chunk(const Chunk& other) : items(other.items) {}  // clone starts unmemoized
+    };
+
+    Chunk& owned_chunk(std::size_t c) {
+        if (!owned_[c]) {
+            chunks_[c] = std::make_shared<Chunk>(*chunks_[c]);
+            owned_[c] = true;
+        }
+        return *chunks_[c];
+    }
+
+    std::vector<std::shared_ptr<Chunk>> chunks_;
+    /// Which chunks this instance may mutate in place; mutable because a
+    /// copy must demote the *source* to copy-on-write too.
+    mutable std::vector<bool> owned_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace siren::util

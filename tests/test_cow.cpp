@@ -1,0 +1,273 @@
+// COW storage layer: the chunked copy-on-write containers behind O(delta)
+// snapshot publication — CowVec ownership semantics, structural sharing
+// across SimilarityIndex and Registry copies (pointer-equality pins), and
+// the incremental chunk-memoized fingerprint against a from-scratch
+// rebuild oracle (docs/recognition_service.md).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzzy/fuzzy.hpp"
+#include "recognize/recognize.hpp"
+#include "util/cow_vec.hpp"
+#include "util/rng.hpp"
+
+namespace sr = siren::recognize;
+namespace sf = siren::fuzzy;
+namespace su = siren::util;
+
+namespace {
+
+/// A synthetic digest with a chosen block size: random base64-ish parts,
+/// well under kSpamsumLength. Random 24-grams essentially never share a
+/// 7-gram, so every observe founds its own family — which is exactly what
+/// the structural-sharing tests want: each batch touches only its own
+/// block-size bucket.
+sf::FuzzyDigest make_digest(std::uint64_t block_size, su::Rng& rng) {
+    static constexpr char kAlphabet[] =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    sf::FuzzyDigest digest;
+    digest.block_size = block_size;
+    for (int i = 0; i < 24; ++i) digest.digest1.push_back(kAlphabet[rng.below(64)]);
+    for (int i = 0; i < 12; ++i) digest.digest2.push_back(kAlphabet[rng.below(64)]);
+    return digest;
+}
+
+TEST(CowVec, CopyIsolatesMutationsInBothDirections) {
+    su::CowVec<int, 4> original;
+    for (int i = 0; i < 10; ++i) original.push_back(i);
+
+    su::CowVec<int, 4> copy(original);
+    ASSERT_EQ(copy.size(), 10u);
+    for (std::size_t c = 0; c < copy.chunk_count(); ++c) {
+        EXPECT_EQ(copy.chunk_identity(c), original.chunk_identity(c));
+    }
+
+    // Mutating the copy must not show through to the original...
+    copy.mutate(0) = 100;
+    EXPECT_EQ(copy[0], 100);
+    EXPECT_EQ(original[0], 0);
+    // ...and — the both-sides-demoted protocol — mutating the *source*
+    // after a copy must not show through either.
+    original.mutate(5) = 500;
+    EXPECT_EQ(original[5], 500);
+    EXPECT_EQ(copy[5], 5);
+
+    // Only the touched chunks diverged; the rest stayed shared.
+    EXPECT_NE(copy.chunk_identity(0), original.chunk_identity(0));
+    EXPECT_NE(copy.chunk_identity(1), original.chunk_identity(1));
+    EXPECT_EQ(copy.chunk_identity(2), original.chunk_identity(2));
+    EXPECT_EQ(copy.shared_chunks_with(original), 1u);
+}
+
+TEST(CowVec, AppendAfterCopyClonesOnlyTheTailChunk) {
+    su::CowVec<int, 4> original;
+    for (int i = 0; i < 6; ++i) original.push_back(i);  // chunk 0 full, chunk 1 half
+
+    su::CowVec<int, 4> copy(original);
+    original.push_back(6);
+    ASSERT_EQ(original.size(), 7u);
+    EXPECT_EQ(copy.size(), 6u);
+    EXPECT_EQ(copy.chunk_identity(0), original.chunk_identity(0));  // full chunk shared
+    EXPECT_NE(copy.chunk_identity(1), original.chunk_identity(1));  // tail cloned
+
+    // Appends that open a fresh chunk leave every pre-existing chunk alone.
+    su::CowVec<int, 4> copy2(original);
+    original.push_back(7);  // fills chunk 1
+    original.push_back(8);  // opens chunk 2
+    EXPECT_EQ(copy2.shared_chunks_with(original), 1u);
+    EXPECT_EQ(original.chunk_count(), 3u);
+}
+
+TEST(CowVec, ChunkMemoCachesAndInvalidatesOnMutation) {
+    su::CowVec<int, 4> vec;
+    for (int i = 0; i < 4; ++i) vec.push_back(i);
+
+    int computes = 0;
+    const auto hash = [&computes](std::size_t base, const std::vector<int>& items) {
+        ++computes;
+        std::uint64_t h = base + 1;
+        for (int v : items) h = h * 31 + static_cast<std::uint64_t>(v);
+        return h;
+    };
+    const auto first = vec.chunk_memo(0, hash);
+    EXPECT_EQ(vec.chunk_memo(0, hash), first);
+    EXPECT_EQ(computes, 1);  // second call served from the memo
+
+    vec.mutate(2) = 42;
+    const auto second = vec.chunk_memo(0, hash);
+    EXPECT_EQ(computes, 2);  // mutation invalidated the memo
+    EXPECT_NE(second, first);
+
+    // A copy sees the already-memoized value without recomputing (the memo
+    // travels with the shared chunk).
+    su::CowVec<int, 4> copy(vec);
+    EXPECT_EQ(copy.chunk_memo(0, hash), second);
+    EXPECT_EQ(computes, 2);
+}
+
+TEST(CowVec, AtThrowsOutOfRange) {
+    su::CowVec<int, 4> vec;
+    vec.push_back(7);
+    EXPECT_EQ(vec.at(0), 7);
+    EXPECT_THROW(vec.at(1), std::out_of_range);
+}
+
+TEST(SimilarityIndexCow, CopySharesChunksAndAnswersIdentically) {
+    // Same-size blobs land in one block-size bucket; past kChunkRows (256)
+    // digests that bucket spans multiple chunks, so an append after the
+    // copy clones only the tail chunk and the full ones stay shared.
+    su::Rng rng(2025);
+    std::vector<sf::FuzzyDigest> first_batch;
+    for (int i = 0; i < 300; ++i) first_batch.push_back(sf::fuzzy_hash(rng.bytes(4096)));
+
+    sr::SimilarityIndex index;
+    for (const auto& digest : first_batch) index.add(digest);
+
+    const sr::SimilarityIndex snapshot(index);  // the "published" copy
+    std::vector<sf::FuzzyDigest> second_batch;
+    for (int i = 0; i < 100; ++i) {
+        second_batch.push_back(sf::fuzzy_hash(rng.bytes(4096)));
+        index.add(second_batch.back());
+    }
+
+    // The writer's appends never touched the snapshot.
+    ASSERT_EQ(snapshot.size(), 300u);
+    ASSERT_EQ(index.size(), 400u);
+    const auto sharing = index.sharing_with(snapshot);
+    EXPECT_GT(sharing.shared_chunks, 0u);
+    EXPECT_GT(sharing.total_chunks, sharing.shared_chunks);
+
+    // Oracle: a from-scratch index over the same 300 digests answers every
+    // probe exactly like the structurally-shared snapshot does.
+    sr::SimilarityIndex fresh;
+    for (const auto& digest : first_batch) fresh.add(digest);
+    for (const auto& probe : first_batch) {
+        EXPECT_EQ(snapshot.query(probe, 1), fresh.query(probe, 1));
+    }
+    for (const auto& probe : second_batch) {
+        EXPECT_EQ(snapshot.query(probe, 1), fresh.query(probe, 1));
+    }
+}
+
+TEST(RegistryCow, DisjointBlockSizeBatchesShareUntouchedBuckets) {
+    constexpr std::uint64_t kBlockA = 1536;
+    constexpr std::uint64_t kBlockB = 6144;  // 4x apart: never co-scanned
+
+    su::Rng rng(7);
+    sr::Registry registry;
+    for (int i = 0; i < 300; ++i) {
+        registry.observe(make_digest(kBlockA, rng), "a-" + std::to_string(i));
+    }
+
+    const sr::Registry snap1(registry);  // publish #1
+
+    for (int i = 0; i < 300; ++i) {
+        registry.observe(make_digest(kBlockB, rng), "b-" + std::to_string(i));
+    }
+
+    const sr::Registry snap2(registry);  // publish #2
+
+    // Pointer-equality pins: batch B opened its own bucket, so the batch-A
+    // bucket — header and every chunk — is the *same object* in both
+    // snapshots, not a copy.
+    const auto& idx1 = snap1.content_index();
+    const auto& idx2 = snap2.content_index();
+    ASSERT_NE(idx1.bucket_identity(kBlockA), nullptr);
+    EXPECT_EQ(idx2.bucket_identity(kBlockA), idx1.bucket_identity(kBlockA));
+    EXPECT_EQ(idx2.bucket_chunk_identities(kBlockA), idx1.bucket_chunk_identities(kBlockA));
+    EXPECT_EQ(idx1.bucket_identity(kBlockB), nullptr);
+    ASSERT_NE(idx2.bucket_identity(kBlockB), nullptr);
+
+    // The digest column: snap1's fully-populated chunks are shared; only
+    // the chunk that was snap1's tail (and batch B's fresh chunks) differ.
+    const std::size_t snap1_chunks = idx1.digest_chunk_count();
+    ASSERT_GE(snap1_chunks, 2u);
+    for (std::size_t c = 0; c + 1 < snap1_chunks; ++c) {
+        EXPECT_EQ(idx2.digest_chunk_identity(c), idx1.digest_chunk_identity(c));
+    }
+
+    // Aggregate sharing as the publish path reports it.
+    const auto sharing = snap2.sharing_with(snap1);
+    EXPECT_GE(sharing.shared_buckets, 1u);
+    EXPECT_GT(sharing.shared_chunks, 0u);
+    EXPECT_GT(sharing.total_chunks, sharing.shared_chunks);
+
+    // Both snapshots are internally consistent...
+    std::string why;
+    EXPECT_TRUE(snap1.self_check(&why)) << why;
+    EXPECT_TRUE(snap2.self_check(&why)) << why;
+
+    // ...and the incremental (chunk-memoized) fingerprint of the shared
+    // registry equals the fingerprint of a from-scratch rebuild: save,
+    // reload, compare. This pins the equivalence the replication layer's
+    // convergence audit depends on.
+    std::stringstream saved;
+    snap2.save(saved);
+    const auto rebuilt = sr::Registry::load(saved);
+    EXPECT_EQ(rebuilt.fingerprint(), snap2.fingerprint());
+    EXPECT_NE(snap1.fingerprint(), snap2.fingerprint());
+}
+
+TEST(RegistryCow, WriterMutationsNeverShowThroughToASnapshot) {
+    su::Rng rng(11);
+    sr::Registry registry;
+    std::vector<sf::FuzzyDigest> digests;
+    for (int i = 0; i < 100; ++i) {
+        digests.push_back(make_digest(1536, rng));
+        registry.observe(digests.back(), "fam-" + std::to_string(i));
+    }
+
+    const sr::Registry snapshot(registry);
+    const auto frozen_fp = snapshot.fingerprint();
+    const auto frozen_families = snapshot.family_count();
+    const auto frozen_sightings = snapshot.total_sightings();
+
+    // Every mutation class: re-sighting (bumps a family chunk in place),
+    // new family + exemplar (index + owner + family appends), a behavior
+    // sighting, and a rename.
+    for (int i = 0; i < 100; ++i) registry.observe(digests[static_cast<std::size_t>(i)]);
+    registry.observe(make_digest(3072, rng), "fresh");
+    registry.observe_behavior(make_digest(192, rng), "fam-0");
+    registry.rename(0, "renamed");
+
+    EXPECT_EQ(snapshot.family_count(), frozen_families);
+    EXPECT_EQ(snapshot.total_sightings(), frozen_sightings);
+    EXPECT_EQ(snapshot.family(0).name, "fam-0");
+    EXPECT_EQ(snapshot.fingerprint(), frozen_fp);
+    std::string why;
+    EXPECT_TRUE(snapshot.self_check(&why)) << why;
+    EXPECT_TRUE(registry.self_check(&why)) << why;
+
+    // The writer's view did change — and a save/load round-trip of it
+    // still fingerprints identically (incremental == from-scratch).
+    EXPECT_NE(registry.fingerprint(), frozen_fp);
+    std::stringstream saved;
+    registry.save(saved);
+    EXPECT_EQ(sr::Registry::load(saved).fingerprint(), registry.fingerprint());
+}
+
+TEST(RegistryCow, ResightingsCloneOnlyTouchedFamilyChunks) {
+    su::Rng rng(13);
+    sr::Registry registry;
+    std::vector<sf::FuzzyDigest> digests;
+    for (int i = 0; i < 512; ++i) {  // 8 family chunks of 64
+        digests.push_back(make_digest(1536, rng));
+        registry.observe(digests.back(), "fam-" + std::to_string(i));
+    }
+    ASSERT_EQ(registry.family_count(), 512u);
+
+    const sr::Registry snapshot(registry);
+    // Re-sight one existing family: no index/owner appends at all, one
+    // family chunk cloned for the sightings bump.
+    registry.observe(digests[0]);
+
+    const auto sharing = registry.sharing_with(snapshot);
+    EXPECT_EQ(sharing.shared_buckets, sharing.total_buckets);
+    EXPECT_EQ(sharing.shared_chunks + 1, sharing.total_chunks);
+}
+
+}  // namespace

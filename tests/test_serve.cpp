@@ -11,6 +11,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -26,6 +27,7 @@
 #include "serve/serve.hpp"
 #include "storage/segment_store.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace fs = std::filesystem;
@@ -1092,4 +1094,214 @@ TEST(QueryServer, CoalescerShedsBeyondDepthButKeepsReplyOrder) {
     EXPECT_EQ(server.stats().coalesced_probes, 2u)
         << "the parked probes still resolve through the batch";
     server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// O(delta) snapshot publication: structural sharing, publish failpoints,
+// and reader tail latency under a publish storm
+
+namespace {
+
+/// Synthetic digest with a chosen block size: random base64-ish parts.
+/// Random 24-grams essentially never collide on a 7-gram, so every
+/// observe founds its own family.
+sf::FuzzyDigest synthetic_digest(std::uint64_t block_size, siren::util::Rng& rng) {
+    static constexpr char kAlphabet[] =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    sf::FuzzyDigest digest;
+    digest.block_size = block_size;
+    for (int i = 0; i < 24; ++i) digest.digest1.push_back(kAlphabet[rng.below(64)]);
+    for (int i = 0; i < 12; ++i) digest.digest2.push_back(kAlphabet[rng.below(64)]);
+    return digest;
+}
+
+/// Checkpoint text for a registry of `families` single-exemplar families —
+/// the fast path to a registry-scale service: the checkpoint loader adds
+/// exemplars without running the observe matching, so booting 100k
+/// families costs parse + index-append, not 100k similarity queries.
+std::string synthetic_checkpoint(std::size_t families, std::uint64_t seed) {
+    siren::util::Rng rng(seed);
+    std::string body = "SIRENCKPT 1\napplied 0\nregistry\n";
+    for (std::size_t i = 0; i < families; ++i) {
+        body += "family " + std::to_string(i) + " 1 fam-" + std::to_string(i) + "\n";
+    }
+    std::string exemplars;
+    for (std::size_t i = 0; i < families; ++i) {
+        exemplars += "exemplar " + std::to_string(i) + " " +
+                     synthetic_digest(1536, rng).to_string() + "\n";
+    }
+    return body + exemplars;
+}
+
+}  // namespace
+
+TEST(RecognitionService, PublishSharesStructureWithPreviousSnapshot) {
+    sv::RecognitionService service(fast_options());
+    siren::util::Rng rng(41);
+    for (int i = 0; i < 300; ++i) {
+        service.observe(synthetic_digest(1536, rng), "fam" + std::to_string(i));
+    }
+    service.flush();
+    const auto before = service.snapshot();
+
+    service.observe_sync(synthetic_digest(1536, rng), "delta");
+    const auto after = service.snapshot();
+    ASSERT_GT(after->version, before->version);
+
+    // The publish path measured itself and reported the sharing.
+    const auto counters = service.counters();
+    EXPECT_GT(counters.publish_ns, 0u);
+    EXPECT_GT(counters.publish_ns_last, 0u);
+    EXPECT_GT(counters.total_chunks, 0u);
+    EXPECT_GT(counters.shared_chunks, 0u)
+        << "a one-observe publish must share chunks with its predecessor";
+
+    // Direct pin between the two held snapshots: a single observe against
+    // a 300-family registry leaves most chunks pointer-identical.
+    const auto sharing = after->registry.sharing_with(before->registry);
+    EXPECT_GT(sharing.shared_chunks * 2, sharing.total_chunks)
+        << "shared " << sharing.shared_chunks << " of " << sharing.total_chunks;
+    std::string why;
+    EXPECT_TRUE(after->registry.self_check(&why)) << why;
+}
+
+TEST(RecognitionService, PublishFailpointsDelayAndErrorNeverTearSnapshots) {
+    if (!siren::util::failpoint::compiled_in()) {
+        GTEST_SKIP() << "build carries no failpoint hooks (SIREN_FAILPOINTS=OFF)";
+    }
+    siren::util::failpoint::clear();
+    sv::RecognitionService service(fast_options());
+    siren::util::Rng rng(43);
+    const auto known = synthetic_digest(3072, rng);
+    service.observe_sync(known, "anchor");
+
+    // Phase 1 — slow copies: readers keep serving (possibly stale, never
+    // torn) while every publish sleeps inside the copy failpoint.
+    siren::util::failpoint::activate("serve.publish.copy", "delay(2000)");
+    for (int i = 0; i < 3; ++i) {
+        service.observe_sync(synthetic_digest(1536, rng), "slow" + std::to_string(i));
+        const auto match = service.identify(known);
+        ASSERT_TRUE(match.has_value());
+        EXPECT_EQ(match->name, "anchor");
+    }
+    EXPECT_GT(siren::util::failpoint::fire_count("serve.publish.copy"), 0u);
+
+    // Phase 2 — aborted publishes (both failpoints, one-in-two cadence):
+    // the writer keeps its dirty state and retries, so observe_sync still
+    // completes and every visible snapshot passes the torn-state oracle.
+    siren::util::failpoint::activate("serve.publish.swap", "error(5)%2");
+    for (int i = 0; i < 6; ++i) {
+        service.observe_sync(synthetic_digest(1536, rng), "swap" + std::to_string(i));
+        std::string why;
+        EXPECT_TRUE(service.snapshot()->registry.self_check(&why)) << why;
+    }
+    siren::util::failpoint::deactivate("serve.publish.swap");
+    siren::util::failpoint::activate("serve.publish.copy", "error(5)%2");
+    for (int i = 0; i < 4; ++i) {
+        service.observe_sync(synthetic_digest(1536, rng), "copy" + std::to_string(i));
+    }
+    siren::util::failpoint::clear();
+    service.flush();
+
+    const auto counters = service.counters();
+    EXPECT_GT(counters.publish_errors, 0u) << "the error cadence never fired";
+    EXPECT_EQ(service.snapshot()->registry.family_count(), 1u + 3u + 6u + 4u)
+        << "aborted publishes must not lose applied observes";
+    std::string why;
+    EXPECT_TRUE(service.snapshot()->registry.self_check(&why)) << why;
+    const auto match = service.identify(known);
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->name, "anchor");
+}
+
+TEST(RecognitionService, IdentifyTailLatencyFlatUnderPublishStorm) {
+    // O(delta) acceptance: a writer publishing a stream of small batches
+    // against a registry-scale corpus must not move the reader's tail
+    // latency — the publish copies touched chunks only, and the swap stays
+    // one atomic store. Sizes shrink under sanitizers (the TSan leg runs
+    // this test; the property is the same, the constant is smaller).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+    constexpr std::size_t kFamilies = 8000;
+    constexpr int kBatches = 60;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+    constexpr std::size_t kFamilies = 8000;
+    constexpr int kBatches = 60;
+#else
+    constexpr std::size_t kFamilies = 100000;
+    constexpr int kBatches = 250;
+#endif
+#else
+    constexpr std::size_t kFamilies = 100000;
+    constexpr int kBatches = 250;
+#endif
+
+    ScratchDir dir("storm");
+    const auto ckpt = dir.sub("storm.ckpt");
+    {
+        std::ofstream out(ckpt);
+        out << synthetic_checkpoint(kFamilies, 47);
+    }
+    auto options = fast_options();
+    options.checkpoint_path = ckpt;
+    sv::RecognitionService service(std::move(options));
+    ASSERT_EQ(service.snapshot()->registry.family_count(), kFamilies);
+
+    // The probe is family 0's exemplar (the checkpoint generator's Rng
+    // stream replayed), so every identify must answer fam-0 at score 100.
+    siren::util::Rng probe_rng(47);
+    const auto probe = synthetic_digest(1536, probe_rng);
+
+    const auto sample_ns = [&] {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto match = service.identify(probe);
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        EXPECT_TRUE(match.has_value());
+        if (match) EXPECT_EQ(match->name, "fam-0");
+        return static_cast<std::uint64_t>(ns);
+    };
+    const auto p99_of = [](std::vector<std::uint64_t> ns) {
+        std::sort(ns.begin(), ns.end());
+        return ns[(ns.size() * 99) / 100];
+    };
+
+    std::vector<std::uint64_t> idle;
+    for (int i = 0; i < 100; ++i) idle.push_back(sample_ns());
+    const auto idle_p99 = p99_of(idle);
+
+    const auto publishes_before = service.counters().publishes;
+    std::atomic<bool> storm_done{false};
+    std::thread writer([&] {
+        siren::util::Rng wrng(53);
+        for (int batch = 0; batch < kBatches; ++batch) {
+            service.observe(synthetic_digest(768, wrng));
+            service.observe_sync(synthetic_digest(768, wrng));  // force a publish
+        }
+        storm_done.store(true, std::memory_order_release);
+    });
+
+    std::vector<std::uint64_t> stormy;
+    while (!storm_done.load(std::memory_order_acquire)) stormy.push_back(sample_ns());
+    writer.join();
+    ASSERT_FALSE(stormy.empty());
+    const auto storm_p99 = p99_of(stormy);
+
+    const auto publishes = service.counters().publishes - publishes_before;
+    EXPECT_GE(publishes, static_cast<std::uint64_t>(kBatches) / 2)
+        << "the storm must actually publish per small batch";
+
+    // Generous bound: an O(registry) publish holding anything readers need
+    // would push the tail by milliseconds-per-publish; scheduler noise
+    // does not reach 25x-plus-floor.
+    const auto bound = std::max<std::uint64_t>(25 * idle_p99, 20'000'000);
+    EXPECT_LE(storm_p99, bound) << "reader p99 " << storm_p99 << "ns vs idle p99 " << idle_p99
+                                << "ns across " << publishes << " publishes";
+
+    // And the post-storm snapshot still shares nearly everything with the
+    // boot corpus: the storm's families are the only divergence.
+    const auto counters = service.counters();
+    EXPECT_GT(counters.shared_chunks, 0u);
+    EXPECT_GT(counters.total_chunks, counters.shared_chunks);
 }

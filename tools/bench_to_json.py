@@ -62,7 +62,8 @@ def condense(raw: dict) -> dict:
         }
         for counter in ("items_per_second", "bytes_per_second", "allocs_per_op",
                         "content_top1_rate", "fused_top1_rate",
-                        "fused_identify_overhead"):
+                        "fused_identify_overhead", "publish_cost_per_record",
+                        "snapshot_shared_fraction"):
             if counter in bench:
                 entry[counter] = bench[counter]
         out["benchmarks"][name] = entry
@@ -111,6 +112,17 @@ def condense(raw: dict) -> dict:
     value = ratio("BM_ServeIdentifyTcp", "BM_ServeIdentify/10000")
     if value is not None:
         out["ratios"]["serve_tcp_overhead"] = value
+
+    # O(delta) publication: per-record cost of an apply-and-publish batch at
+    # 100k families over the same at 10k. Structural sharing makes the
+    # publish copy proportional to the touched delta, so this stays ~1x
+    # regardless of registry size (a full-copy publish scales with the
+    # registry and measured ~10x). CI gates this < 2.0.
+    value = ratio("BM_ServePublishDelta/100000/iterations:50",
+                  "BM_ServePublishDelta/10000/iterations:50",
+                  key="publish_cost_per_record")
+    if value is not None:
+        out["ratios"]["publish_delta_flatness"] = value
 
     # Coalescing: concurrent singleton IDENTIFY throughput with the
     # micro-batcher on, relative to the inline-execution baseline and to
