@@ -198,8 +198,8 @@ TcpFleet make_fleet(std::uint32_t batch_window_us, std::size_t batch_max) {
     options.writer_idle = std::chrono::milliseconds(1);
     options.publish_interval = std::chrono::milliseconds(10);
     options.batch_pool_threads = 2;
-    options.batch_window_us = batch_window_us;
-    options.batch_max = batch_max;
+    options.coalesce.batch_window_us = batch_window_us;
+    options.coalesce.batch_max = batch_max;
     TcpFleet fleet;
     fleet.service = std::make_unique<sv::RecognitionService>(options);
     for (const auto& digest : live.corpus) fleet.service->observe(digest);

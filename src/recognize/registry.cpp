@@ -466,6 +466,38 @@ std::uint64_t Registry::fingerprint() const {
     return hash::fnv1a64(combined);
 }
 
+std::string Registry::export_range(std::uint64_t lo, std::uint64_t hi) const {
+    std::vector<std::string> lines;
+    const auto collect = [&](const char kind, const auto& owners, const SimilarityIndex& index) {
+        for (std::size_t i = 0; i < owners.size(); ++i) {
+            const auto& digest = index.digest(static_cast<DigestId>(i));
+            if (digest.block_size < lo || digest.block_size > hi) continue;
+            const FamilyInfo& fam = families_[owners[i]];
+            // Anonymous families carry the auto-derived "family-<id>" name;
+            // the id is registry-local, so canonicalize to "-" or the same
+            // stream replayed on another shard would never converge.
+            const bool anonymous = fam.name == "family-" + std::to_string(fam.id);
+            std::string line(1, kind);
+            line.push_back(' ');
+            line += digest.to_string();
+            line.push_back(' ');
+            line += anonymous ? "-" : family_name_or_default(fam.name, fam.id);
+            line.push_back('\n');
+            lines.push_back(std::move(line));
+        }
+    };
+    collect('x', exemplar_owner_, index_);
+    collect('b', behavior_owner_, behavior_index_);
+    std::sort(lines.begin(), lines.end());
+    std::string out;
+    for (const auto& line : lines) out += line;
+    return out;
+}
+
+std::uint64_t Registry::fingerprint_range(std::uint64_t lo, std::uint64_t hi) const {
+    return hash::fnv1a64(export_range(lo, hi));
+}
+
 Registry::Sharing Registry::sharing_with(const Registry& prev) const {
     Sharing s;
     const auto add_index = [&s](const SimilarityIndex& mine, const SimilarityIndex& theirs) {

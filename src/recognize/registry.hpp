@@ -169,6 +169,27 @@ public:
     /// counts), hence identical fingerprints.
     std::uint64_t fingerprint() const;
 
+    /// Canonical text of the registry state restricted to exemplars whose
+    /// digest block size lies in [lo, hi] — the unit a partition rebalance
+    /// moves and audits (docs/sharding.md). One line per in-range exemplar,
+    ///   `x <digest> <label>`   (content channel)
+    ///   `b <digest> <label>`   (behavior channel)
+    /// where label is the owning family's name, or `-` when the family is
+    /// anonymous (its name is still the auto-derived "family-<id>" form:
+    /// ids are registry-local and would never survive a replay on another
+    /// shard). Lines are sorted, so two registries that saw the same
+    /// in-range sightings in different orders — or interleaved with
+    /// different out-of-range traffic — export identical text. Sighting
+    /// counts are deliberately excluded: they tally per family, not per
+    /// block size, so no per-range conservation holds for them.
+    std::string export_range(std::uint64_t lo, std::uint64_t hi) const;
+
+    /// fnv1a64 of export_range(lo, hi) — the one-integer convergence check
+    /// a rebalance polls (FPRANGE verb) before cutting a range over.
+    /// O(in-range exemplars) per call, not memoized: rebalances are rare
+    /// and polled at human cadence, unlike STATS' full fingerprint.
+    std::uint64_t fingerprint_range(std::uint64_t lo, std::uint64_t hi) const;
+
     /// Structural sharing between this registry and `prev` (typically the
     /// previously published snapshot): buckets and chunks — index bucket
     /// chunks, digest chunks, family and owner-column chunks — that are

@@ -45,8 +45,8 @@ struct LeaderNode {
     void start(const std::string& segments_dir, const std::string& checkpoint) {
         auto options = fleet_service_options();
         options.segments_dir = segments_dir;
-        options.observe_wal = true;
-        options.wal_fsync = false;
+        options.replication.observe_wal = true;
+        options.replication.wal_fsync = false;
         options.checkpoint_path = checkpoint;
         service = std::make_unique<RecognitionService>(std::move(options));
         server = std::make_unique<QueryServer>(*service);
@@ -74,7 +74,7 @@ struct FollowerNode {
         ship = std::make_unique<ReplicationFollower>(ship_options);
         auto options = fleet_service_options();
         options.segments_dir = replica_dir;
-        options.read_only = true;
+        options.replication.read_only = true;
         options.checkpoint_path = checkpoint;
         service = std::make_unique<RecognitionService>(std::move(options));
         server = std::make_unique<QueryServer>(*service);
@@ -312,7 +312,7 @@ ChaosReport run_chaos(const ChaosOptions& options) {
             auto verify_options = fleet_service_options();
             verify_options.segments_dir = leader_dir;
             verify_options.checkpoint_path = leader_ckpt;
-            verify_options.read_only = true;
+            verify_options.replication.read_only = true;
             RecognitionService reloaded(std::move(verify_options));
             report.checkpoint_reload_ok = eventually(
                 [&] { return reloaded.snapshot()->fingerprint() == leader_fp(); },

@@ -17,6 +17,7 @@
 #include "recognize/registry.hpp"  // sanitize_label
 #include "serve/query_protocol.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace siren::serve {
 
@@ -108,14 +109,70 @@ std::string QueryClient::request(std::string_view payload) {
     }
 }
 
-std::optional<Identified> QueryClient::identify(std::string_view digest) {
-    const std::string reply = request("IDENTIFY " + std::string(digest));
-    std::istringstream fields(reply);
+std::vector<FusedIdentified> QueryClient::identify(const Probe& probe) {
+    if (probe.content.empty() && probe.behavior.empty()) {
+        throw util::Error("identify: a probe needs at least one digest");
+    }
+    if (probe.k == 0) throw util::Error("identify: k must be positive");
+
+    // One-channel k=1 probes ride the historical singleton verbs — byte
+    // for byte what the pre-Probe wrappers sent, so old and new callers
+    // are indistinguishable on the wire (and in the server's verb stats).
+    if (probe.k == 1 && (probe.content.empty() || probe.behavior.empty())) {
+        const bool behavioral = probe.content.empty();
+        const std::string reply = request((behavioral ? "IDENTIFYTS " : "IDENTIFY ") +
+                                          (behavioral ? probe.behavior : probe.content));
+        std::istringstream fields(reply);
+        std::string status;
+        fields >> status;
+        if (status == "UNKNOWN") return {};
+        if (status != "OK") throw util::Error("identify: " + reply);
+        const Identified match = parse_identified(fields);
+        FusedIdentified fused;
+        fused.family = match.family;
+        fused.score = match.score;
+        (behavioral ? fused.behavior_score : fused.content_score) = match.score;
+        fused.name = match.name;
+        return {std::move(fused)};
+    }
+
+    std::string payload = "IDENTIFY2";
+    if (!probe.content.empty()) {
+        payload += " C ";
+        payload += probe.content;
+    }
+    if (!probe.behavior.empty()) {
+        payload += " B ";
+        payload += probe.behavior;
+    }
+    payload.push_back(' ');
+    payload += std::to_string(probe.k);
+    const std::string reply = request(payload);
+    std::istringstream lines(reply);
+    std::string header;
+    std::getline(lines, header);
+    std::istringstream head(header);
     std::string status;
-    fields >> status;
-    if (status == "UNKNOWN") return std::nullopt;
+    std::size_t count = 0;
+    head >> status >> count;
     if (status != "OK") throw util::Error("identify: " + reply);
-    return parse_identified(fields);
+    std::vector<FusedIdentified> out;
+    std::string line;
+    while (std::getline(lines, line) && out.size() < count) {
+        std::istringstream fields(line);
+        std::string kind;
+        std::string name;
+        FusedIdentified match;
+        if (!(fields >> kind >> match.family >> match.score >> match.content_score >>
+              match.behavior_score >> name) ||
+            kind != "match") {
+            throw util::Error("identify: bad line '" + line + "'");
+        }
+        match.name = std::move(name);
+        out.push_back(std::move(match));
+    }
+    if (out.size() != count) throw util::Error("identify: truncated reply");
+    return out;
 }
 
 std::vector<std::optional<Identified>> QueryClient::identify_many(
@@ -194,16 +251,6 @@ Identified QueryClient::observe(std::string_view digest, std::string_view hint) 
     return result;
 }
 
-std::optional<Identified> QueryClient::identify_behavior(std::string_view digest) {
-    const std::string reply = request("IDENTIFYTS " + std::string(digest));
-    std::istringstream fields(reply);
-    std::string status;
-    fields >> status;
-    if (status == "UNKNOWN") return std::nullopt;
-    if (status != "OK") throw util::Error("identify_behavior: " + reply);
-    return parse_identified(fields);
-}
-
 Identified QueryClient::observe_behavior(std::string_view digest, std::string_view hint) {
     const std::string reply = request(observe_payload("OBSERVETS", digest, hint));
     std::istringstream fields(reply);
@@ -219,51 +266,6 @@ Identified QueryClient::observe_behavior(std::string_view digest, std::string_vi
     result.new_family = novelty == "new";
     result.name = std::move(name);
     return result;
-}
-
-std::vector<FusedIdentified> QueryClient::identify_fused(std::string_view content_digest,
-                                                         std::string_view behavior_digest,
-                                                         std::size_t k) {
-    if (content_digest.empty() && behavior_digest.empty()) {
-        throw util::Error("identify_fused: at least one digest is required");
-    }
-    std::string payload = "IDENTIFY2";
-    if (!content_digest.empty()) {
-        payload += " C ";
-        payload += content_digest;
-    }
-    if (!behavior_digest.empty()) {
-        payload += " B ";
-        payload += behavior_digest;
-    }
-    payload.push_back(' ');
-    payload += std::to_string(k);
-    const std::string reply = request(payload);
-    std::istringstream lines(reply);
-    std::string header;
-    std::getline(lines, header);
-    std::istringstream head(header);
-    std::string status;
-    std::size_t count = 0;
-    head >> status >> count;
-    if (status != "OK") throw util::Error("identify_fused: " + reply);
-    std::vector<FusedIdentified> out;
-    std::string line;
-    while (std::getline(lines, line) && out.size() < count) {
-        std::istringstream fields(line);
-        std::string kind;
-        std::string name;
-        FusedIdentified match;
-        if (!(fields >> kind >> match.family >> match.score >> match.content_score >>
-              match.behavior_score >> name) ||
-            kind != "match") {
-            throw util::Error("identify_fused: bad line '" + line + "'");
-        }
-        match.name = std::move(name);
-        out.push_back(std::move(match));
-    }
-    if (out.size() != count) throw util::Error("identify_fused: truncated reply");
-    return out;
 }
 
 std::vector<Identified> QueryClient::top_n(std::string_view digest, std::size_t k) {
@@ -301,6 +303,23 @@ std::string QueryClient::checkpoint() {
     const std::string reply = request("CHECKPOINT");
     if (!reply.starts_with("OK ")) throw util::Error("checkpoint: " + reply);
     return reply.substr(3);
+}
+
+std::string QueryClient::partition_map_text() {
+    const std::string reply = request("PARTMAP");
+    if (!reply.starts_with("OK\n")) throw util::Error("partmap: " + reply);
+    return reply.substr(3);
+}
+
+std::uint64_t QueryClient::fingerprint_range(std::uint64_t lo, std::uint64_t hi) {
+    const std::string reply =
+        request("FPRANGE " + std::to_string(lo) + ' ' + std::to_string(hi));
+    if (!reply.starts_with("OK ")) throw util::Error("fprange: " + reply);
+    unsigned long long value = 0;
+    if (!util::parse_decimal(util::trim(reply).substr(3), value)) {
+        throw util::ParseError("malformed fprange reply: " + reply);
+    }
+    return value;
 }
 
 }  // namespace siren::serve

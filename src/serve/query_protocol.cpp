@@ -68,6 +68,8 @@ QueryVerb verb_of(std::string_view verb) {
     if (verb == "TOPN") return QueryVerb::kTopN;
     if (verb == "STATS") return QueryVerb::kStats;
     if (verb == "CHECKPOINT") return QueryVerb::kCheckpoint;
+    if (verb == "PARTMAP") return QueryVerb::kPartMap;
+    if (verb == "FPRANGE") return QueryVerb::kFpRange;
     return QueryVerb::kUnknown;
 }
 
@@ -156,12 +158,33 @@ std::string execute_query(RecognitionService& service, std::string_view request)
         }
 
         if (verb == "OBSERVE" || verb == "OBSERVETS") {
-            if (service.options().read_only) {
+            if (service.options().replication.read_only) {
                 return std::string("ERR ") + std::string(kReadOnlyError) + ": route " +
                        std::string(verb) + " to the leader";
             }
             if (words.size() < 2 || words.size() > 3) {
                 return "ERR usage: " + std::string(verb) + " digest [hint]";
+            }
+            const auto digest = fuzzy::FuzzyDigest::parse(words[1]);
+            // Partition enforcement: a sighting must land on the one shard
+            // owning its block size, or cross-shard identify would see the
+            // same family seeded independently on two shards. The typed
+            // reply names the owner and map version so a stale client can
+            // re-route without an extra PARTMAP round trip.
+            if (const auto map = service.partition_map();
+                map && !map->owns(service.shard_id(), digest.block_size)) {
+                service.count_wrong_shard();
+                std::string out = "ERR ";
+                out += kWrongShardError;
+                out += " owner=";
+                util::append_number(out, map->owner_of(digest.block_size));
+                out += " version=";
+                util::append_number(out, map->version());
+                out += ": shard ";
+                util::append_number(out, service.shard_id());
+                out += " does not own block size ";
+                util::append_number(out, digest.block_size);
+                return out;
             }
             // Admission control: a full writer queue means observe_sync
             // would block this event-loop thread (and every connection it
@@ -173,7 +196,6 @@ std::string execute_query(RecognitionService& service, std::string_view request)
                        ": observe queue is full, retry later";
             }
             const std::string hint = words.size() == 3 ? std::string(words[2]) : std::string();
-            const auto digest = fuzzy::FuzzyDigest::parse(words[1]);
             const auto result = verb == "OBSERVETS"
                                     ? service.observe_behavior_sync(digest, hint)
                                     : service.observe_sync(digest, hint);
@@ -215,7 +237,10 @@ std::string execute_query(RecognitionService& service, std::string_view request)
                 util::append_number(out, value);
                 out.push_back('\n');
             };
-            out += service.options().read_only ? "role follower\n" : "role leader\n";
+            // Schema header first (docs/recognition_service.md, "STATS
+            // schema"): parsers key on stats_version, ignore unknown keys.
+            line("stats_version", kStatsVersion);
+            out += service.options().replication.read_only ? "role follower\n" : "role leader\n";
             line("families", snap->registry.family_count());
             line("sightings", snap->registry.total_sightings());
             // Channel sizes: retained exemplars per recognition channel and
@@ -255,6 +280,14 @@ std::string execute_query(RecognitionService& service, std::string_view request)
             line("total_buckets", counters.total_buckets);
             line("shared_chunks", counters.shared_chunks);
             line("total_chunks", counters.total_chunks);
+            // Partition membership (partitioned fleets only): which shard
+            // this is, which map version it enforces, and how many observes
+            // it bounced as wrong_shard (docs/sharding.md).
+            if (const auto map = service.partition_map()) {
+                line("shard_id", service.shard_id());
+                line("partition_version", map->version());
+                line("wrong_shard_rejects", service.wrong_shard_rejects());
+            }
             // Armed failpoints (fault-injection builds only): one
             // "failpoint.<name> <fires>" line per armed point, so a chaos
             // driver can confirm over the wire that its faults landed.
@@ -284,10 +317,65 @@ std::string execute_query(RecognitionService& service, std::string_view request)
             return "OK " + service.options().checkpoint_path;
         }
 
+        if (verb == "PARTMAP") {
+            if (words.size() != 1) return "ERR PARTMAP takes no arguments";
+            const auto map = service.partition_map();
+            if (!map) return "ERR not partitioned: this service has no partition map";
+            return cap_response("OK\n" + map->serialize());
+        }
+
+        if (verb == "FPRANGE") {
+            // Range-scoped registry fingerprint: the rebalance convergence
+            // check ("has the new owner's copy of [lo, hi] caught up to
+            // mine?") without shipping either registry (docs/sharding.md).
+            if (words.size() != 3) return "ERR usage: FPRANGE lo hi";
+            unsigned long long lo = 0;
+            unsigned long long hi = 0;
+            if (!util::parse_decimal(words[1], lo) || !util::parse_decimal(words[2], hi) ||
+                lo > hi) {
+                return "ERR FPRANGE needs a non-inverted decimal block-size range";
+            }
+            std::string out = "OK ";
+            util::append_number(out, service.snapshot()->registry.fingerprint_range(lo, hi));
+            return out;
+        }
+
         return "ERR unknown verb '" + std::string(verb) + "'";
     } catch (const util::Error& e) {
         return std::string("ERR ") + e.what();
     }
+}
+
+std::optional<std::uint64_t> StatsSnapshot::get(std::string_view key) const {
+    for (const auto& [k, v] : values) {
+        if (k == key) return v;
+    }
+    return std::nullopt;
+}
+
+StatsSnapshot parse_stats(std::string_view text) {
+    if (!util::starts_with(text, "OK")) {
+        throw util::ParseError("not a STATS reply: " + std::string(text.substr(0, 40)));
+    }
+    StatsSnapshot stats;
+    for (const auto raw : util::split_view(text, '\n')) {
+        const auto line = util::trim(raw);
+        if (line.empty() || line == "OK") continue;
+        const auto space = line.find(' ');
+        if (space == std::string_view::npos) continue;
+        const auto key = line.substr(0, space);
+        const auto value = util::trim(line.substr(space + 1));
+        if (key == "role") {
+            stats.role = std::string(value);
+            continue;
+        }
+        // Unknown keys are fine (forward compat); non-numeric values are
+        // skipped rather than rejected for the same reason.
+        unsigned long long parsed = 0;
+        if (!util::parse_decimal(value, parsed)) continue;
+        stats.values.emplace_back(std::string(key), parsed);
+    }
+    return stats;
 }
 
 std::string format_identify_reply(const std::optional<Identified>& match) {

@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "serve/recognition_service.hpp"  // Identified
@@ -49,6 +50,36 @@ inline constexpr std::string_view kReadOnlyError = "read-only follower";
 /// rather than a request error every replica would repeat
 /// (docs/robustness.md).
 inline constexpr std::string_view kOverloadedError = "overloaded";
+
+/// The marker a partitioned shard embeds when an OBSERVE's block size
+/// falls outside its owned key ranges: "ERR wrong_shard owner=<id>
+/// version=<v>: ...". Protocol, not prose — ShardedClient matches on it to
+/// refresh its partition map (PARTMAP) and re-route to the owner
+/// (docs/sharding.md).
+inline constexpr std::string_view kWrongShardError = "wrong_shard";
+
+/// Version of the STATS key=value schema (the "stats_version" line).
+/// Bump rules (docs/recognition_service.md, "STATS schema"): adding keys
+/// keeps the version; renaming/removing keys or changing a key's meaning
+/// bumps it. Parsers must ignore unknown keys.
+inline constexpr std::uint64_t kStatsVersion = 1;
+
+/// One parsed STATS reply: the key -> value map of every numeric line,
+/// plus the non-numeric "role" line. Keys with non-numeric values other
+/// than role (none today) are skipped.
+struct StatsSnapshot {
+    std::string role;  ///< "leader" or "follower"
+    std::vector<std::pair<std::string, std::uint64_t>> values;  ///< reply order
+
+    /// Value for `key`, or nullopt. Linear — STATS has ~40 keys.
+    std::optional<std::uint64_t> get(std::string_view key) const;
+};
+
+/// Parse a STATS reply payload ("OK\n" + key=value lines). Tolerates (and
+/// skips) unknown or non-numeric lines per the schema's forward-compat
+/// rule. Throws util::ParseError when `text` is not a STATS reply at all
+/// (no leading OK).
+StatsSnapshot parse_stats(std::string_view text);
 
 /// Append one framed payload to `out`.
 void append_frame(std::string& out, std::string_view payload);

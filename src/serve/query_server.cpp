@@ -75,11 +75,11 @@ QueryServer::QueryServer(RecognitionService& service, QueryServerOptions options
     ev.data.fd = event_fd_;
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
 
-    batch_window_us_ = service_.options().batch_window_us;
-    batch_max_ = service_.options().batch_max;
+    batch_window_us_ = service_.options().coalesce.batch_window_us;
+    batch_max_ = service_.options().coalesce.batch_max;
     coalesce_on_ = batch_window_us_ > 0 && batch_max_ > 0;
-    shed_coalesce_depth_ = service_.options().shed_coalesce_depth != 0
-                               ? service_.options().shed_coalesce_depth
+    shed_coalesce_depth_ = service_.options().coalesce.shed_coalesce_depth != 0
+                               ? service_.options().coalesce.shed_coalesce_depth
                                : 8 * batch_max_;
     if (coalesce_on_) {
         // The coalescing window needs sub-millisecond expiry, which the

@@ -1,0 +1,47 @@
+#include "serve/rebalance.hpp"
+
+#include "fuzzy/ctph.hpp"
+#include "net/codec.hpp"
+#include "net/message.hpp"
+#include "util/error.hpp"
+
+namespace siren::serve {
+
+bool record_in_range(std::string_view record, std::uint64_t lo, std::uint64_t hi) {
+    try {
+        net::MessageView view;
+        net::decode_view(record, view);
+        if (view.type != net::MsgType::kFileHash &&
+            view.type != net::MsgType::kTimeSeriesHash) {
+            return false;
+        }
+        // FILE_H/TS_H content is "digest" or "digest hint"; the block size
+        // lives in the digest's leading field either way.
+        const std::string content = view.content_str();
+        const auto space = content.find(' ');
+        const auto digest =
+            fuzzy::FuzzyDigest::parse(std::string_view(content).substr(0, space));
+        return digest.block_size >= lo && digest.block_size <= hi;
+    } catch (const util::Error&) {
+        return false;  // not an observe; a rebalance never moves it
+    }
+}
+
+std::string transfer_prefix(std::uint64_t version) {
+    return "obs-xfer" + std::to_string(version) + "-";
+}
+
+storage::ReplayStats export_range(const std::string& segments_dir,
+                                  const std::string& export_dir, std::uint64_t lo,
+                                  std::uint64_t hi, std::uint64_t version) {
+    storage::SegmentOptions options;
+    options.fsync_enabled = false;  // the convergence check is the durability gate
+    storage::SegmentWriter writer(export_dir, transfer_prefix(version), options);
+    const auto stats = storage::replay_directory(
+        segments_dir, [&writer](std::string_view record) { writer.append(record); },
+        [lo, hi](std::string_view record) { return record_in_range(record, lo, hi); });
+    writer.close();
+    return stats;
+}
+
+}  // namespace siren::serve

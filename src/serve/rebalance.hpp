@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "storage/segment.hpp"
+
+namespace siren::serve {
+
+/// True when `record` is a recognition observe (FILE_H/TS_H datagram)
+/// whose digest's block size lies in [lo, hi] — the keep-predicate a range
+/// transfer filters segments with. Non-observe records, undecodable
+/// datagrams and unparseable digests are all out of range: a rebalance
+/// moves exactly the records the partition key covers, nothing else.
+bool record_in_range(std::string_view record, std::uint64_t lo, std::uint64_t hi);
+
+/// Export stream prefix of a range transfer for partition-map version
+/// `version`: "obs-xfer<version>-". It starts with the observe-WAL prefix
+/// on purpose — when the exported segments land in the new owner's
+/// followed directory, its feed treats them as trusted journal records
+/// (name hints honored), exactly as the old owner treated the originals.
+/// The version tag keeps successive transfers in distinct streams, and the
+/// non-numeric tail keeps the new owner's own "obs-" WAL resume scan from
+/// ever matching these files.
+std::string transfer_prefix(std::uint64_t version);
+
+/// One range transfer's export pass: replay every segment under
+/// `segments_dir`, keep only records in [lo, hi] (record_in_range), and
+/// journal them — raw bytes, order preserved — into a
+/// `transfer_prefix(version)` stream under `export_dir`. The export is a
+/// normal segment directory: ship it to the new owner over the replication
+/// machinery (ReplicationSource serving export_dir, the new owner's
+/// follower writing into its own followed directory) or copy it wholesale;
+/// the new owner's feed replays it like any other stream. Returns the
+/// replay accounting (ReplayStats::filtered = records left behind).
+/// Throws util::SystemError when export_dir cannot be created.
+///
+/// The old owner keeps serving the range while this runs (segments are
+/// append-only; the pass reads a consistent prefix). Records observed
+/// after the pass started are caught by running it again under a new
+/// version — a repeated sighting folds into its existing family without
+/// adding exemplars, and fingerprint_range deliberately excludes sighting
+/// tallies, so re-exports converge instead of diverging
+/// (docs/sharding.md walks the full cutover protocol).
+storage::ReplayStats export_range(const std::string& segments_dir,
+                                  const std::string& export_dir, std::uint64_t lo,
+                                  std::uint64_t hi, std::uint64_t version);
+
+}  // namespace siren::serve

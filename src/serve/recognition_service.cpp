@@ -87,29 +87,57 @@ std::string_view query_verb_name(QueryVerb verb) {
         case QueryVerb::kTopN: return "verb_topn";
         case QueryVerb::kStats: return "verb_stats";
         case QueryVerb::kCheckpoint: return "verb_checkpoint";
+        case QueryVerb::kPartMap: return "verb_partmap";
+        case QueryVerb::kFpRange: return "verb_fprange";
         case QueryVerb::kUnknown: return "verb_unknown";
         case QueryVerb::kCount: break;
     }
     return "verb_unknown";
 }
 
-RecognitionService::RecognitionService(ServeOptions options)
-    : options_(std::move(options)), master_(options_.registry) {
-    if (options_.observe_wal && options_.segments_dir.empty()) {
+void ServeOptions::validate() const {
+    if (queue_capacity == 0) throw util::Error("queue_capacity must be positive");
+    if (feed_batch_max == 0) throw util::Error("feed_batch_max must be positive");
+    if (coalesce.batch_window_us > 0 && coalesce.batch_max == 0) {
+        throw util::Error("coalescing window needs batch_max > 0");
+    }
+    if (replication.observe_wal && segments_dir.empty()) {
         throw util::Error("observe_wal needs segments_dir (the WAL lives there)");
     }
+    if (replication.observe_wal && replication.read_only) {
+        throw util::Error("a read-only follower cannot journal an observe WAL");
+    }
+    if (shed.shed_queue_depth > queue_capacity) {
+        throw util::Error("shed_queue_depth beyond queue_capacity never sheds "
+                          "(observe_sync blocks at capacity first)");
+    }
+    if (partition.map) {
+        if (replication.read_only) {
+            throw util::Error("a read-only follower cannot own shard key ranges "
+                              "(partition enforcement is a leader concern)");
+        }
+        if (partition.map->shard(partition.shard_id) == nullptr) {
+            throw util::Error("partition map has no shard " + std::to_string(partition.shard_id));
+        }
+    }
+}
+
+RecognitionService::RecognitionService(ServeOptions options)
+    : options_(std::move(options)), master_(options_.registry) {
+    options_.validate();
+    partition_map_.store(options_.partition.map, std::memory_order_release);
     load_checkpoint();  // fills master_ and tail_ (with the watermark) when present
 
     if (!options_.segments_dir.empty() && !tail_) {
         tail_ = std::make_unique<SegmentTail>(options_.segments_dir);
     }
-    if (options_.observe_wal) {
+    if (options_.replication.observe_wal) {
         // The WAL shares the followed directory: journaled observes come
         // back through the tail (one apply path, replicated for free). Its
         // sequence resumes after whatever an earlier run left, so catch-up
         // replay below recovers observes older checkpoints never saw.
         storage::SegmentOptions wal_options;
-        wal_options.fsync_enabled = options_.wal_fsync;
+        wal_options.fsync_enabled = options_.replication.wal_fsync;
         wal_ = std::make_unique<storage::SegmentWriter>(
             options_.segments_dir, std::string(kObserveWalPrefix), wal_options);
         // Observe seqs ride the WAL as job ids, and the fallback skip-set

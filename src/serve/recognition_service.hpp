@@ -18,11 +18,78 @@
 
 #include "fuzzy/ctph.hpp"
 #include "recognize/registry.hpp"
+#include "serve/partition_map.hpp"
 #include "serve/segment_tail.hpp"
 #include "storage/segment.hpp"
 #include "util/thread_pool.hpp"
 
 namespace siren::serve {
+
+/// Query-server micro-batching of singleton IDENTIFY frames
+/// (docs/recognition_service.md, "request coalescing").
+struct CoalesceOptions {
+    /// Probes arriving within this window (across all connections)
+    /// coalesce into one identify_many pass through batch_pool(), each
+    /// connection getting its own reply. The window bounds the extra
+    /// latency of the first coalesced probe; 0 disables coalescing (every
+    /// frame executes inline, the pre-coalescer behavior).
+    std::uint32_t batch_window_us = 0;
+    /// Probes per coalesced batch; a full batch flushes immediately
+    /// without waiting out the window, so under saturating traffic the
+    /// window cost disappears and this knob sizes the identify_many calls.
+    std::size_t batch_max = 64;
+    /// Admission control for coalesced IDENTIFY: when the query server's
+    /// coalescer already holds this many probes waiting for a batch slot,
+    /// further singleton IDENTIFYs are shed with "ERR overloaded" instead
+    /// of growing the in-flight set without bound. 0 = 8 * batch_max.
+    std::size_t shed_coalesce_depth = 0;
+};
+
+/// Overload shedding on the write path (docs/robustness.md).
+struct ShedOptions {
+    /// Admission control for network observes: when the writer queue holds
+    /// at least this many pending observes, the query protocol sheds
+    /// OBSERVE/OBSERVETS with an explicit "ERR overloaded" instead of
+    /// blocking the server's event loop behind observe_sync(). 0 = use
+    /// queue_capacity (shed exactly where observe_sync would have blocked).
+    /// In-process observe()/observe_sync() callers are never shed.
+    std::size_t shed_queue_depth = 0;
+};
+
+/// Leader/follower roles of the segment-shipping replication layer
+/// (docs/replication.md).
+struct ReplicationOptions {
+    /// Leader mode: journal client observes into segments_dir (stream
+    /// prefix "obs-", wire FILE_H datagrams carrying "digest [hint]") and
+    /// apply them *through the segment feed* instead of directly — one
+    /// apply path for everything, so followers shipping the directory
+    /// replay the exact same stream, and TCP observes become durable (a
+    /// restarted leader recovers them from its own WAL instead of only
+    /// from checkpoints). Requires segments_dir.
+    bool observe_wal = false;
+    /// fsync the WAL after each journaled batch (off for tests/benches on
+    /// tmpfs — visibility to the feed only needs the buffer flushed).
+    bool wal_fsync = true;
+    /// Follower mode: the registry is built purely from replicated
+    /// segments; the query protocol rejects OBSERVE (route it to the
+    /// leader) while IDENTIFY/TOPN/STATS/CHECKPOINT serve locally. The
+    /// in-process observe()/observe_sync() API stays usable — it is how
+    /// tests seed state — but nothing network-facing reaches it.
+    bool read_only = false;
+};
+
+/// Membership of a partitioned fleet (docs/sharding.md). Default: no map,
+/// the service is unpartitioned and accepts every key.
+struct PartitionOptions {
+    /// This service's shard id in `map` (meaningless without one).
+    std::uint32_t shard_id = 0;
+    /// The fleet's shard table. When set, OBSERVE/OBSERVETS for a block
+    /// size this shard does not own are rejected with the typed
+    /// `wrong_shard` marker, and the PARTMAP verb serves the map to
+    /// self-refreshing clients. The map is swappable at runtime
+    /// (set_partition_map) — that is how a rebalance version-bump lands.
+    std::shared_ptr<const PartitionMap> map;
+};
 
 /// Tuning for one RecognitionService.
 struct ServeOptions {
@@ -59,55 +126,30 @@ struct ServeOptions {
     /// observe() drops (counted) and observe_sync() blocks.
     std::size_t queue_capacity = 1 << 16;
 
-    /// Admission control for network observes: when the writer queue holds
-    /// at least this many pending observes, the query protocol sheds
-    /// OBSERVE/OBSERVETS with an explicit "ERR overloaded" instead of
-    /// blocking the server's event loop behind observe_sync(). 0 = use
-    /// queue_capacity (shed exactly where observe_sync would have blocked).
-    /// In-process observe()/observe_sync() callers are never shed.
-    std::size_t shed_queue_depth = 0;
-
-    /// Admission control for coalesced IDENTIFY: when the query server's
-    /// coalescer already holds this many probes waiting for a batch slot,
-    /// further singleton IDENTIFYs are shed with "ERR overloaded" instead
-    /// of growing the in-flight set without bound. 0 = 8 * batch_max.
-    std::size_t shed_coalesce_depth = 0;
-
     /// Worker threads for batch identify fan-out (multi-digest IDENTIFY
     /// requests route through ThreadPool::parallel_for). 0 = resolve
     /// batches serially on the calling thread.
     std::size_t batch_pool_threads = 0;
 
-    /// Query-server micro-batching of singleton IDENTIFY frames: probes
-    /// arriving within this window (across all connections) coalesce into
-    /// one identify_many pass through batch_pool(), each connection getting
-    /// its own reply. The window bounds the extra latency of the first
-    /// coalesced probe; 0 disables coalescing (every frame executes
-    /// inline, the pre-coalescer behavior).
-    std::uint32_t batch_window_us = 0;
-    /// Probes per coalesced batch; a full batch flushes immediately
-    /// without waiting out the window, so under saturating traffic the
-    /// window cost disappears and this knob sizes the identify_many calls.
-    std::size_t batch_max = 64;
+    // Grouped sub-options, one struct per subsystem. The flat field soup
+    // this replaces scattered its coherence checks across every daemon;
+    // validate() below is now the single gate.
+    CoalesceOptions coalesce;
+    ShedOptions shed;
+    ReplicationOptions replication;
+    PartitionOptions partition;
 
-    /// Leader mode for replication: journal client observes into
-    /// segments_dir (stream prefix "obs-", wire FILE_H datagrams carrying
-    /// "digest [hint]") and apply them *through the segment feed* instead
-    /// of directly — one apply path for everything, so followers shipping
-    /// the directory replay the exact same stream, and TCP observes become
-    /// durable (a restarted leader recovers them from its own WAL instead
-    /// of only from checkpoints). Requires segments_dir.
-    bool observe_wal = false;
-    /// fsync the WAL after each journaled batch (off for tests/benches on
-    /// tmpfs — visibility to the feed only needs the buffer flushed).
-    bool wal_fsync = true;
-
-    /// Follower mode: the registry is built purely from replicated
-    /// segments; the query protocol rejects OBSERVE (route it to the
-    /// leader) while IDENTIFY/TOPN/STATS/CHECKPOINT serve locally. The
-    /// in-process observe()/observe_sync() API stays usable — it is how
-    /// tests seed state — but nothing network-facing reaches it.
-    bool read_only = false;
+    /// Reject incoherent combinations with util::Error — the one
+    /// validation gate for every embedder (daemon, chaos harness, tests).
+    /// RecognitionService's constructor calls this; call it earlier (after
+    /// CLI parsing) for a cleaner error. Rejects: zero queue_capacity or
+    /// feed_batch_max, a coalescing window with batch_max 0, an observe
+    /// WAL without segments_dir or on a read-only follower, a shed
+    /// threshold beyond queue_capacity (observe_sync would block before it
+    /// ever shed), and a read-only follower claiming shard ownership
+    /// (partition enforcement is a leader concern; followers are listed in
+    /// the map, not configured with it).
+    void validate() const;
 };
 
 /// The immutable unit readers hold: one registry state, frozen. Queries
@@ -166,6 +208,8 @@ enum class QueryVerb : std::size_t {
     kTopN,
     kStats,
     kCheckpoint,
+    kPartMap,
+    kFpRange,
     kUnknown,
     kCount,  ///< sentinel, not a verb
 };
@@ -317,12 +361,35 @@ public:
     /// Observes the writer queue may still accept before the network shed
     /// threshold (options resolved: 0 means queue_capacity).
     std::size_t shed_threshold() const {
-        return options_.shed_queue_depth != 0 ? options_.shed_queue_depth
-                                              : options_.queue_capacity;
+        return options_.shed.shed_queue_depth != 0 ? options_.shed.shed_queue_depth
+                                                   : options_.queue_capacity;
     }
     /// Bump the shed counter (query protocol, on an "ERR overloaded" reply).
     void count_observe_shed() const {
         observes_shed_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // ---- partition membership (docs/sharding.md) -------------------------
+
+    /// The current shard table; null when unpartitioned. Lock-free load —
+    /// the query protocol checks ownership per OBSERVE.
+    std::shared_ptr<const PartitionMap> partition_map() const {
+        return partition_map_.load(std::memory_order_acquire);
+    }
+    /// Swap in a newer map (rebalance version bump). The swap is atomic;
+    /// requests racing it see either map, both of which were valid — a
+    /// client holding the older map just earns one wrong_shard redirect.
+    void set_partition_map(std::shared_ptr<const PartitionMap> map) {
+        partition_map_.store(std::move(map), std::memory_order_release);
+    }
+    std::uint32_t shard_id() const { return options_.partition.shard_id; }
+    /// Bump the wrong-shard counter (query protocol, on an
+    /// "ERR wrong_shard" reply).
+    void count_wrong_shard() const {
+        wrong_shard_rejects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::uint64_t wrong_shard_rejects() const {
+        return wrong_shard_rejects_.load(std::memory_order_relaxed);
     }
 
     /// Per-verb request accounting (bumped by execute_query, surfaced as
@@ -392,7 +459,7 @@ private:
     /// only, mirrored into each snapshot and the checkpoint.
     std::uint64_t applied_total_ = 0;
     std::unique_ptr<SegmentTail> tail_;
-    /// Leader observe WAL (options_.observe_wal); writer thread only.
+    /// Leader observe WAL (options_.replication.observe_wal); writer thread only.
     std::unique_ptr<storage::SegmentWriter> wal_;
     /// Journaled observes whose feed delivery is pending, keyed by the
     /// sequence number travelling as the datagram's job id; writer thread
@@ -404,6 +471,9 @@ private:
     std::set<std::uint64_t> wal_fallback_seqs_;
     std::unique_ptr<util::ThreadPool> batch_pool_;
     std::atomic<std::shared_ptr<const RegistrySnapshot>> snapshot_;
+    /// Current shard table (null = unpartitioned); swapped by rebalance.
+    std::atomic<std::shared_ptr<const PartitionMap>> partition_map_;
+    mutable std::atomic<std::uint64_t> wrong_shard_rejects_{0};
 
     mutable std::mutex queue_mutex_;
     std::condition_variable queue_cv_;    ///< wakes the writer

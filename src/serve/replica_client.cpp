@@ -18,30 +18,6 @@ bool reply_mentions(const util::Error& e, std::string_view marker) {
 
 }  // namespace
 
-std::vector<ReplicaEndpoint> parse_replica_list(std::string_view list) {
-    std::vector<ReplicaEndpoint> out;
-    std::vector<std::string_view> parts;
-    util::split_view_into(list, ',', parts);
-    for (const auto part : parts) {
-        const auto endpoint = util::trim(part);
-        if (endpoint.empty()) continue;  // tolerate "a:1,,b:2" and trailing commas
-        const auto colon = endpoint.rfind(':');
-        if (colon == std::string_view::npos || colon == 0) {
-            throw util::ParseError("bad replica endpoint '" + std::string(endpoint) +
-                                   "' (want HOST:PORT)");
-        }
-        long port = 0;
-        if (!util::parse_decimal(endpoint.substr(colon + 1), port) || port <= 0 ||
-            port > 65535) {
-            throw util::ParseError("bad replica port in '" + std::string(endpoint) + "'");
-        }
-        out.push_back({std::string(endpoint.substr(0, colon)),
-                       static_cast<std::uint16_t>(port)});
-    }
-    if (out.empty()) throw util::ParseError("empty replica list");
-    return out;
-}
-
 ReplicaClient::ReplicaClient(std::vector<ReplicaEndpoint> replicas,
                              std::chrono::milliseconds timeout)
     : ReplicaClient(std::move(replicas), ReplicaClientOptions{.timeout = timeout}) {}
@@ -149,6 +125,11 @@ auto ReplicaClient::with_failover(std::size_t start, Fn&& fn) {
     std::rethrow_exception(last_error);
 }
 
+std::vector<FusedIdentified> ReplicaClient::identify(const Probe& probe) {
+    return with_failover(next_read_++,
+                         [&](QueryClient& c, std::size_t) { return c.identify(probe); });
+}
+
 std::optional<Identified> ReplicaClient::identify(std::string_view digest) {
     return with_failover(next_read_++,
                          [&](QueryClient& c, std::size_t) { return c.identify(digest); });
@@ -186,6 +167,17 @@ std::string ReplicaClient::stats_text() {
 std::string ReplicaClient::checkpoint() {
     return with_failover(next_read_++,
                          [&](QueryClient& c, std::size_t) { return c.checkpoint(); });
+}
+
+std::string ReplicaClient::partition_map_text() {
+    return with_failover(next_read_++,
+                         [&](QueryClient& c, std::size_t) { return c.partition_map_text(); });
+}
+
+std::uint64_t ReplicaClient::fingerprint_range(std::uint64_t lo, std::uint64_t hi) {
+    return with_failover(next_read_++, [&](QueryClient& c, std::size_t) {
+        return c.fingerprint_range(lo, hi);
+    });
 }
 
 Identified ReplicaClient::observe(std::string_view digest, std::string_view hint) {

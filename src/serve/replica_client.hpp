@@ -8,20 +8,11 @@
 #include <string_view>
 #include <vector>
 
+#include "serve/partition_map.hpp"  // ReplicaEndpoint, parse_replica_list
 #include "serve/query_client.hpp"
 #include "util/rng.hpp"
 
 namespace siren::serve {
-
-/// One HOST:PORT of a recognition replica (leader or follower).
-struct ReplicaEndpoint {
-    std::string host;
-    std::uint16_t port = 0;
-};
-
-/// Parse "host:port[,host:port…]"; throws util::ParseError on anything
-/// malformed (empty host, non-numeric/zero port).
-std::vector<ReplicaEndpoint> parse_replica_list(std::string_view list);
 
 /// Retry/backoff tuning for one ReplicaClient.
 struct ReplicaClientOptions {
@@ -90,6 +81,10 @@ public:
                            std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
     ReplicaClient(std::vector<ReplicaEndpoint> replicas, ReplicaClientOptions options);
 
+    /// The unified probe shape (see QueryClient::identify(const Probe&)),
+    /// round-robin with failover like every read.
+    std::vector<FusedIdentified> identify(const Probe& probe);
+
     std::optional<Identified> identify(std::string_view digest);
     std::vector<std::optional<Identified>> identify_many(const std::vector<std::string>& digests);
     std::vector<Identified> top_n(std::string_view digest, std::size_t k);
@@ -100,6 +95,10 @@ public:
                                                 std::size_t k = 5);
     std::string stats_text();
     std::string checkpoint();
+    /// Serialized partition map (PARTMAP), round-robin with failover.
+    std::string partition_map_text();
+    /// Range fingerprint (FPRANGE), round-robin with failover.
+    std::uint64_t fingerprint_range(std::uint64_t lo, std::uint64_t hi);
 
     /// Leader-seeking write; throws util::Error carrying the last
     /// rejection when every replica is read-only or unreachable.

@@ -9,11 +9,17 @@
 ///  - query_client.hpp         synchronous client library
 ///  - replica_client.hpp       round-robin/failover client over replicas
 ///  - replication.hpp          segment-shipping leader/follower replication
+///  - partition_map.hpp        versioned shard table of a partitioned fleet
+///  - sharded_client.hpp       partition-routed client over M shards
+///  - rebalance.hpp            key-range export for shard rebalancing
 
-#include "serve/query_client.hpp"         // IWYU pragma: export
-#include "serve/query_protocol.hpp"       // IWYU pragma: export
-#include "serve/query_server.hpp"         // IWYU pragma: export
-#include "serve/recognition_service.hpp"  // IWYU pragma: export
-#include "serve/replica_client.hpp"       // IWYU pragma: export
-#include "serve/replication.hpp"          // IWYU pragma: export
-#include "serve/segment_tail.hpp"         // IWYU pragma: export
+#include "serve/partition_map.hpp"         // IWYU pragma: export
+#include "serve/query_client.hpp"          // IWYU pragma: export
+#include "serve/query_protocol.hpp"        // IWYU pragma: export
+#include "serve/query_server.hpp"          // IWYU pragma: export
+#include "serve/rebalance.hpp"             // IWYU pragma: export
+#include "serve/recognition_service.hpp"   // IWYU pragma: export
+#include "serve/replica_client.hpp"        // IWYU pragma: export
+#include "serve/replication.hpp"           // IWYU pragma: export
+#include "serve/segment_tail.hpp"          // IWYU pragma: export
+#include "serve/sharded_client.hpp"        // IWYU pragma: export

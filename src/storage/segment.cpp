@@ -391,6 +391,7 @@ void ReplayStats::merge(const ReplayStats& o) {
     crc_failures += o.crc_failures;
     bad_segments += o.bad_segments;
     unknown_kinds += o.unknown_kinds;
+    filtered += o.filtered;
 }
 
 std::size_t read_segment_range(const std::string& path, std::uint64_t offset,
@@ -524,10 +525,34 @@ std::vector<std::string> list_segments(const std::string& directory, std::error_
     return paths;
 }
 
+ReplayStats replay_segment(const std::string& path, const RecordFn& fn,
+                           const RecordPredicate& keep) {
+    if (!keep) return replay_segment(path, fn);
+    std::uint64_t filtered = 0;
+    ReplayStats stats = replay_segment(path, [&](std::string_view record) {
+        if (!keep(record)) {
+            ++filtered;
+            return;
+        }
+        if (fn) fn(record);
+    });
+    stats.filtered = filtered;
+    return stats;
+}
+
 ReplayStats replay_directory(const std::string& directory, const RecordFn& fn) {
     ReplayStats stats;
     for (const auto& path : list_segments(directory)) {
         stats.merge(replay_segment(path, fn));
+    }
+    return stats;
+}
+
+ReplayStats replay_directory(const std::string& directory, const RecordFn& fn,
+                             const RecordPredicate& keep) {
+    ReplayStats stats;
+    for (const auto& path : list_segments(directory)) {
+        stats.merge(replay_segment(path, fn, keep));
     }
     return stats;
 }

@@ -203,11 +203,17 @@ struct ReplayStats {
     std::uint64_t crc_failures = 0;   ///< records dropped on checksum mismatch
     std::uint64_t bad_segments = 0;   ///< files skipped: unreadable/bad magic/version
     std::uint64_t unknown_kinds = 0;  ///< valid records of a kind this version cannot parse
+    std::uint64_t filtered = 0;       ///< valid records a replay predicate excluded
 
     void merge(const ReplayStats& o);
 };
 
 using RecordFn = std::function<void(std::string_view record)>;
+
+/// Keep-predicate for filtered replay: return true to deliver the record.
+/// The partition rebalance uses this to export only the records whose
+/// digest block size falls in the moving key range (serve::record_in_range).
+using RecordPredicate = std::function<bool(std::string_view record)>;
 
 /// One directory pass computing, for each prefix, the sequence a restarted
 /// writer should resume at (highest existing `<prefix><seq>.seg` + 1, or 0
@@ -242,10 +248,21 @@ std::size_t read_segment_range(const std::string& path, std::uint64_t offset,
 /// torn tails and checksum mismatches are counted and skipped.
 ReplayStats replay_segment(const std::string& path, const RecordFn& fn);
 
+/// Filtered replay: records failing `keep` are counted (ReplayStats::
+/// filtered) and not delivered; everything else is replay_segment above.
+/// A null predicate keeps everything.
+ReplayStats replay_segment(const std::string& path, const RecordFn& fn,
+                           const RecordPredicate& keep);
+
 /// Replay every `*.seg` file under `directory`, ordered by (stream
 /// prefix, numeric sequence) — append order per shard stream, even when a
 /// sequence outgrows its zero padding. A missing directory is an empty
 /// replay, not an error.
 ReplayStats replay_directory(const std::string& directory, const RecordFn& fn);
+
+/// Filtered directory replay, same predicate contract as the single-file
+/// overload.
+ReplayStats replay_directory(const std::string& directory, const RecordFn& fn,
+                             const RecordPredicate& keep);
 
 }  // namespace siren::storage

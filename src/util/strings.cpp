@@ -171,6 +171,19 @@ bool parse_decimal(std::string_view s, long& out) {
     return true;
 }
 
+bool parse_decimal(std::string_view s, unsigned long long& out) {
+    if (s.empty() || s.size() > 20) return false;  // u64 max has 20 digits
+    unsigned long long value = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9') return false;
+        const auto digit = static_cast<unsigned long long>(c - '0');
+        if (value > (~0ull - digit) / 10) return false;  // would overflow
+        value = value * 10 + digit;
+    }
+    out = value;
+    return true;
+}
+
 std::string with_commas(std::uint64_t n) {
     std::string digits = std::to_string(n);
     std::string out;

@@ -77,6 +77,10 @@ void append_number(std::string& out, Int value) {
 /// count — shared by the operator daemons' argument parsing.
 bool parse_decimal(std::string_view s, long& out);
 
+/// Same contract over the full 64-bit unsigned range (rejects overflow) —
+/// partition-map key ranges span all of u64, which a long cannot hold.
+bool parse_decimal(std::string_view s, unsigned long long& out);
+
 /// Format `n` with thousands separators: 2317859 -> "2,317,859".
 std::string with_commas(std::uint64_t n);
 

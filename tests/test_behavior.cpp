@@ -356,8 +356,8 @@ TEST(ServeBehavior, WalJournalsBehavioralObservesForReplay) {
     {
         auto options = fast_options();
         options.segments_dir = segments;
-        options.observe_wal = true;
-        options.wal_fsync = false;
+        options.replication.observe_wal = true;
+        options.replication.wal_fsync = false;
         sv::RecognitionService leader(options);
         const auto applied =
             leader.observe_behavior_sync(sb::shapelet_digest(family_trace(19, 1)), "vasp");
@@ -439,7 +439,7 @@ TEST(ServeBehavior, ProtocolErrorsAndReadOnlyRejection) {
     // Followers serve behavioral queries but reject behavioral observes,
     // exactly like OBSERVE — route writes to the leader.
     auto follower_options = fast_options();
-    follower_options.read_only = true;
+    follower_options.replication.read_only = true;
     sv::RecognitionService follower(follower_options);
     const auto rejected =
         sv::execute_query(follower, "OBSERVETS " + shapelet_str + " label");

@@ -364,8 +364,8 @@ TEST(Replication, FollowersConvergeToLeaderAndOracle) {
 
     auto leader_options = fast_options();
     leader_options.segments_dir = leader_dir;
-    leader_options.observe_wal = true;
-    leader_options.wal_fsync = false;
+    leader_options.replication.observe_wal = true;
+    leader_options.replication.wal_fsync = false;
     sv::RecognitionService leader(leader_options);
     sv::ReplicationSource source(source_options(leader_dir));
 
@@ -405,7 +405,7 @@ TEST(Replication, FollowersConvergeToLeaderAndOracle) {
     auto follower_service_options = [&](const std::string& replica_dir) {
         auto o = fast_options();
         o.segments_dir = replica_dir;
-        o.read_only = true;
+        o.replication.read_only = true;
         return o;
     };
     sv::ReplicationFollower ship_a(follow_options(source.port(), dir.sub("replica_a")));
@@ -464,7 +464,7 @@ TEST(Replication, FollowerServiceResumesFromCheckpointAndReplicaFiles) {
     {
         auto options = fast_options();
         options.segments_dir = replica_dir;
-        options.read_only = true;
+        options.replication.read_only = true;
         options.checkpoint_path = ckpt;
         sv::RecognitionService service(options);
         ASSERT_TRUE(
@@ -477,7 +477,7 @@ TEST(Replication, FollowerServiceResumesFromCheckpointAndReplicaFiles) {
 
     auto options = fast_options();
     options.segments_dir = replica_dir;
-    options.read_only = true;
+    options.replication.read_only = true;
     options.checkpoint_path = ckpt;
     sv::RecognitionService restarted(options);
     EXPECT_TRUE(restarted.identify(first).has_value()) << "checkpointed state lost";
@@ -506,7 +506,7 @@ TEST(ReplicaClient, ParsesListsAndRejectsGarbage) {
 TEST(ReplicaClient, ReadOnlyFollowerBouncesObserveToLeader) {
     sv::RecognitionService leader(fast_options());
     auto follower_options = fast_options();
-    follower_options.read_only = true;
+    follower_options.replication.read_only = true;
     sv::RecognitionService follower(follower_options);
     sv::QueryServer leader_server(leader);
     sv::QueryServer follower_server(follower);
@@ -583,8 +583,8 @@ TEST(RecognitionService, ObserveWalJournalsAndRecoversClientObserves) {
     {
         auto options = fast_options();
         options.segments_dir = segments;
-        options.observe_wal = true;
-        options.wal_fsync = false;
+        options.replication.observe_wal = true;
+        options.replication.wal_fsync = false;
         sv::RecognitionService leader(options);
         const auto applied = leader.observe_sync(digest, "icon");
         EXPECT_TRUE(applied.new_family);
@@ -599,8 +599,8 @@ TEST(RecognitionService, ObserveWalJournalsAndRecoversClientObserves) {
     // from its own WAL — the durability hole the WAL closes.
     auto options = fast_options();
     options.segments_dir = segments;
-    options.observe_wal = true;
-    options.wal_fsync = false;
+    options.replication.observe_wal = true;
+    options.replication.wal_fsync = false;
     sv::RecognitionService restarted(options);
     const auto match = restarted.identify(digest);
     ASSERT_TRUE(match.has_value());
@@ -626,8 +626,8 @@ TEST(RecognitionService, SpoofedHintOnIngestStreamNeverNamesAFamily) {
 
     auto options = fast_options();
     options.segments_dir = dir.path();
-    options.observe_wal = true;
-    options.wal_fsync = false;
+    options.replication.observe_wal = true;
+    options.replication.wal_fsync = false;
     sv::RecognitionService service(options);
     service.flush();
     for (const auto& fam : service.snapshot()->registry.families()) {
@@ -645,7 +645,7 @@ TEST(RecognitionService, SpoofedHintOnIngestStreamNeverNamesAFamily) {
 
 TEST(RecognitionService, ObserveWalRequiresSegmentsDir) {
     auto options = fast_options();
-    options.observe_wal = true;
+    options.replication.observe_wal = true;
     EXPECT_THROW(sv::RecognitionService{options}, siren::util::Error);
 }
 
@@ -676,8 +676,8 @@ TEST(Replication, BehavioralRecordsShipAndFingerprintDetectsDivergence) {
 
     auto leader_options = fast_options();
     leader_options.segments_dir = leader_dir;
-    leader_options.observe_wal = true;
-    leader_options.wal_fsync = false;
+    leader_options.replication.observe_wal = true;
+    leader_options.replication.wal_fsync = false;
     sv::RecognitionService leader(leader_options);
 
     siren::util::Rng rng(113);
@@ -692,7 +692,7 @@ TEST(Replication, BehavioralRecordsShipAndFingerprintDetectsDivergence) {
     sv::ReplicationFollower ship(follow_options(source.port(), replica_dir));
     auto follower_options = fast_options();
     follower_options.segments_dir = replica_dir;
-    follower_options.read_only = true;
+    follower_options.replication.read_only = true;
     sv::RecognitionService follower(follower_options);
 
     ASSERT_TRUE(eventually(

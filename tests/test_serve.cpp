@@ -508,8 +508,12 @@ TEST(QueryProtocol, ExecuteQueryVerbsAndErrors) {
     EXPECT_NE(identified.find("icon"), std::string::npos);
 
     EXPECT_TRUE(sv::execute_query(service, "TOPN " + digest_str + " 3").starts_with("OK 1\n"));
-    EXPECT_TRUE(
-        sv::execute_query(service, "STATS").starts_with("OK\nrole leader\nfamilies 1\n"));
+    // STATS is a versioned key=value schema; assert through the parser,
+    // not byte offsets, so added keys never break this test.
+    const auto stats = sv::parse_stats(sv::execute_query(service, "STATS"));
+    EXPECT_EQ(stats.get("stats_version"), sv::kStatsVersion);
+    EXPECT_EQ(stats.role, "leader");
+    EXPECT_EQ(stats.get("families"), 1u);
 
     EXPECT_TRUE(sv::execute_query(service, "").starts_with("ERR"));
     EXPECT_TRUE(sv::execute_query(service, "FROBNICATE x").starts_with("ERR"));
@@ -716,8 +720,8 @@ TEST(QueryServer, CoalescingOffByDefault) {
 
 TEST(QueryServer, CoalescedConcurrentSingletonsMatchSequentialAnswers) {
     auto options = fast_options();
-    options.batch_window_us = 2000;
-    options.batch_max = 8;
+    options.coalesce.batch_window_us = 2000;
+    options.coalesce.batch_max = 8;
     options.batch_pool_threads = 2;
     sv::RecognitionService service(options);
 
@@ -778,8 +782,8 @@ TEST(QueryServer, CoalescedConcurrentSingletonsMatchSequentialAnswers) {
 
 TEST(QueryServer, PipelinedSingletonsRideOneBatchAndReplyInOrder) {
     auto options = fast_options();
-    options.batch_window_us = 5000;
-    options.batch_max = 8;
+    options.coalesce.batch_window_us = 5000;
+    options.coalesce.batch_max = 8;
     sv::RecognitionService service(options);
     siren::util::Rng rng(73);
     std::vector<std::string> digests;
@@ -810,7 +814,9 @@ TEST(QueryServer, PipelinedSingletonsRideOneBatchAndReplyInOrder) {
                   std::string::npos)
             << "reply " << i << " out of order: " << replies[i];
     }
-    EXPECT_TRUE(replies[5].starts_with("OK\nrole leader\n")) << replies[5];
+    const auto stats = sv::parse_stats(replies[5]);
+    EXPECT_EQ(stats.role, "leader") << replies[5];
+    EXPECT_EQ(stats.get("stats_version"), sv::kStatsVersion) << replies[5];
     EXPECT_NE(replies[5].find("\nsimd_level "), std::string::npos) << replies[5];
     EXPECT_NE(replies[5].find("\ncoalesced_batches "), std::string::npos) << replies[5];
     EXPECT_NE(replies[5].find("\ncoalesce_occupancy "), std::string::npos) << replies[5];
@@ -823,8 +829,8 @@ TEST(QueryServer, PipelinedSingletonsRideOneBatchAndReplyInOrder) {
 
 TEST(QueryServer, CoalescerAnswersMalformedDigestInOrder) {
     auto options = fast_options();
-    options.batch_window_us = 2000;
-    options.batch_max = 4;
+    options.coalesce.batch_window_us = 2000;
+    options.coalesce.batch_max = 4;
     sv::RecognitionService service(options);
     siren::util::Rng rng(79);
     const auto digest_str = sf::fuzzy_hash(rng.bytes(8192)).to_string();
@@ -1004,7 +1010,7 @@ TEST(QueryServer, FdExhaustionStallsAcceptThenRecovers) {
 
 TEST(QueryProtocol, ObserveShedsWhenWriterQueueSaturated) {
     auto options = fast_options();
-    options.shed_queue_depth = 1;  // any pending observe triggers the shed
+    options.shed.shed_queue_depth = 1;  // any pending observe triggers the shed
     sv::RecognitionService service(options);
 
     siren::util::Rng rng(101);
@@ -1035,9 +1041,9 @@ TEST(QueryProtocol, ObserveShedsWhenWriterQueueSaturated) {
 
 TEST(QueryServer, CoalescerShedsBeyondDepthButKeepsReplyOrder) {
     auto options = fast_options();
-    options.batch_window_us = 100000;  // 100ms: probes park long enough to pile up
-    options.batch_max = 64;
-    options.shed_coalesce_depth = 2;
+    options.coalesce.batch_window_us = 100000;  // 100ms: probes park long enough to pile up
+    options.coalesce.batch_max = 64;
+    options.coalesce.shed_coalesce_depth = 2;
     sv::RecognitionService service(options);
     sv::QueryServer server(service);
     ASSERT_NE(server.port(), 0);

@@ -63,7 +63,7 @@ def condense(raw: dict) -> dict:
         for counter in ("items_per_second", "bytes_per_second", "allocs_per_op",
                         "content_top1_rate", "fused_top1_rate",
                         "fused_identify_overhead", "publish_cost_per_record",
-                        "snapshot_shared_fraction"):
+                        "snapshot_shared_fraction", "sharded_topn_parity"):
             if counter in bench:
                 entry[counter] = bench[counter]
         out["benchmarks"][name] = entry
@@ -166,6 +166,17 @@ def condense(raw: dict) -> dict:
                   key="cpu_time_ns")
     if value is not None:
         out["ratios"]["behavior_identify_overhead"] = value
+
+    # Sharding: aggregate observe throughput of the 3-shard partitioned
+    # fleet over the single-shard baseline on an identical corpus (shards
+    # are measured serially; manual time is the worst shard, i.e. the
+    # one-box-per-shard wall clock). CI gates >= 2.2x — partitioning must
+    # buy real write scale-out — and sharded_topn_parity == 1, the
+    # cross-shard TOPN merge staying bit-identical to one registry.
+    value = items_ratio("BM_ShardedObserve/3/manual_time",
+                        "BM_ShardedObserve/1/manual_time")
+    if value is not None:
+        out["ratios"]["sharded_observe_scaling"] = value
     return out
 
 

@@ -31,11 +31,26 @@
 //                                     service counters
 //   siren_query --serve-checkpoint REPLICAS
 //                                     force a registry checkpoint
+//   siren_query --partmap REPLICAS
+//                                     fetch a partitioned shard's map
+//   siren_query --fprange REPLICAS LO HI
+//                                     registry fingerprint over the
+//                                     block-size range [LO, HI] (the
+//                                     rebalance convergence check)
+//   siren_query --sharded-observe MAPFILE DIGEST [LABEL]
+//                                     route a sighting to its owner shard
+//                                     through a serve::PartitionMap file
+//   siren_query --sharded-identify2 MAPFILE CONTENT BEHAVIOR [K]
+//                                     fused identify fanned across the
+//                                     probe ladder's owner shards with
+//                                     client-side TOPN merge ("-" skips)
 //
 // REPLICAS is "HOST:PORT" or a comma-separated list of them (a leader and
 // its followers): reads round-robin across the list and fail over on a
 // dead replica; --observe seeks the leader, skipping read-only followers
-// (see docs/replication.md).
+// (see docs/replication.md). MAPFILE is a serialized serve::PartitionMap
+// (docs/sharding.md); the sharded modes self-refresh it over the wire on
+// `wrong_shard` redirects.
 //
 // Exit codes: 0 success (including "unknown" identifications), 1 usage
 // errors (any unrecognized flag is rejected, not ignored), 2 runtime
@@ -53,6 +68,7 @@
 #include "consolidate/consolidator.hpp"
 #include "db/message_store.hpp"
 #include "serve/replica_client.hpp"
+#include "serve/sharded_client.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -69,6 +85,10 @@ int usage() {
                  "       siren_query --topn REPLICAS DIGEST K\n"
                  "       siren_query --serve-stats REPLICAS\n"
                  "       siren_query --serve-checkpoint REPLICAS\n"
+                 "       siren_query --partmap REPLICAS\n"
+                 "       siren_query --fprange REPLICAS LO HI\n"
+                 "       siren_query --sharded-observe MAPFILE DIGEST [LABEL]\n"
+                 "       siren_query --sharded-identify2 MAPFILE CONTENT BEHAVIOR [K]\n"
                  "       (REPLICAS = HOST:PORT[,HOST:PORT...])\n");
     return 1;
 }
@@ -207,6 +227,74 @@ int serve_mode(const std::string& mode, const std::vector<std::string>& args) {
             std::printf("checkpoint written: %s\n", client.checkpoint().c_str());
             return 0;
         }
+        if (mode == "--partmap") {
+            if (args.size() != 1) return usage();
+            std::printf("%s", client.partition_map_text().c_str());
+            return 0;
+        }
+        if (mode == "--fprange") {
+            if (args.size() != 3) return usage();
+            unsigned long long lo = 0, hi = 0;
+            if (!siren::util::parse_decimal(args[1], lo) ||
+                !siren::util::parse_decimal(args[2], hi) || lo > hi) {
+                return usage();
+            }
+            std::printf("fingerprint_range %llu %llu %llu\n", lo, hi,
+                        static_cast<unsigned long long>(client.fingerprint_range(lo, hi)));
+            return 0;
+        }
+        return usage();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "siren_query: %s\n", e.what());
+        return 2;
+    }
+}
+
+/// Modes routed through a PartitionMap file and a ShardedClient rather
+/// than a single replica list.
+int sharded_mode(const std::string& mode, const std::vector<std::string>& args) {
+    if (args.empty()) return usage();
+    try {
+        siren::serve::ShardedClient client(siren::serve::load_partition_map(args[0]));
+
+        if (mode == "--sharded-observe") {
+            if (args.size() < 2 || args.size() > 3) return usage();
+            const auto result =
+                client.observe(args[1], args.size() == 3 ? args[2] : std::string());
+            std::printf("%s -> family %u '%s' (score %d)%s\n", args[1].c_str(), result.family,
+                        result.name.c_str(), result.score,
+                        result.new_family ? " [new family]" : "");
+            if (client.redirects_followed() > 0) {
+                std::printf("(followed %llu wrong_shard redirect%s; map now v%llu)\n",
+                            static_cast<unsigned long long>(client.redirects_followed()),
+                            client.redirects_followed() == 1 ? "" : "s",
+                            static_cast<unsigned long long>(client.map().version()));
+            }
+            return 0;
+        }
+        if (mode == "--sharded-identify2") {
+            if (args.size() < 3 || args.size() > 4) return usage();
+            siren::serve::Probe probe;
+            probe.content = args[1] == "-" ? std::string() : args[1];
+            probe.behavior = args[2] == "-" ? std::string() : args[2];
+            if (probe.content.empty() && probe.behavior.empty()) return usage();
+            long k = 5;
+            if (args.size() == 4 && (!siren::util::parse_decimal(args[3], k) || k <= 0)) {
+                return usage();
+            }
+            probe.k = static_cast<std::size_t>(k);
+            const auto matches = client.identify(probe);
+            if (matches.empty()) {
+                std::printf("unknown (no family above threshold on either channel)\n");
+                return 0;
+            }
+            for (const auto& match : matches) {
+                std::printf("%-24s family %-6u fused %-3d content %-3d behavior %d\n",
+                            match.name.c_str(), match.family, match.score,
+                            match.content_score, match.behavior_score);
+            }
+            return 0;
+        }
         return usage();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "siren_query: %s\n", e.what());
@@ -227,11 +315,15 @@ int main(int argc, char** argv) {
                                             "--observe",     "--identify-ts",
                                             "--observe-ts",  "--identify2",
                                             "--topn",        "--serve-stats",
-                                            "--serve-checkpoint"};
+                                            "--serve-checkpoint", "--partmap",
+                                            "--fprange"};
         for (const char* mode : kServeModes) {
             if (first == mode) {
                 return serve_mode(first, std::vector<std::string>(argv + 2, argv + argc));
             }
+        }
+        if (first == "--sharded-observe" || first == "--sharded-identify2") {
+            return sharded_mode(first, std::vector<std::string>(argv + 2, argv + argc));
         }
         std::fprintf(stderr, "siren_query: unknown option '%s'\n", first.c_str());
         return usage();

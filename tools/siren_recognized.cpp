@@ -35,6 +35,12 @@
 //     --follow HOST:PORT   stream segments from this leader's --replicate
 //                          port and converge to its family assignments
 //
+//   Sharded fleet (docs/sharding.md): the daemon becomes one leader shard
+//   of a partitioned fleet; OBSERVEs whose block size it does not own are
+//   rejected with `ERR wrong_shard` and PARTMAP serves the map to clients.
+//     --partition-map FILE serialized serve::PartitionMap to load
+//     --shard-id N         this daemon's shard id in the map (default 0)
+//
 // Crash recovery = last checkpoint + replay of every segment record past
 // its watermark (see docs/recognition_service.md). Query with:
 //
@@ -68,7 +74,8 @@ int usage() {
                  "                        [--batch-window-us U] [--batch-max N]\n"
                  "                        [--seconds S] [--poll-ms MS] [--publish-ms MS]\n"
                  "                        [--replicate PORT] [--replicate-bind ADDR]\n"
-                 "                        [--no-wal-fsync] [--follow HOST:PORT]\n");
+                 "                        [--no-wal-fsync] [--follow HOST:PORT]\n"
+                 "                        [--partition-map FILE] [--shard-id N]\n");
     return 1;
 }
 
@@ -100,6 +107,8 @@ int main(int argc, char** argv) {
     long replicate_port = -1;  // -1 = replication off
     std::string replicate_bind;
     std::string follow_endpoint;
+    std::string partition_map_path;
+    long shard_id = 0;
     for (int i = 2; i < argc; ++i) {
         const auto needs_value = [&](const char* flag) {
             return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
@@ -137,9 +146,13 @@ int main(int argc, char** argv) {
         } else if (needs_value("--replicate-bind")) {
             replicate_bind = argv[++i];
         } else if (std::strcmp(argv[i], "--no-wal-fsync") == 0) {
-            options.wal_fsync = false;
+            options.replication.wal_fsync = false;
         } else if (needs_value("--follow")) {
             follow_endpoint = argv[++i];
+        } else if (needs_value("--partition-map")) {
+            partition_map_path = argv[++i];
+        } else if (needs_value("--shard-id")) {
+            if (!parse_number(argv[++i], shard_id) || shard_id < 0) return usage();
         } else {
             std::fprintf(stderr, "siren_recognized: unknown or incomplete option '%s'\n",
                          argv[i]);
@@ -163,10 +176,20 @@ int main(int argc, char** argv) {
     options.feed_poll = std::chrono::milliseconds(poll_ms);
     options.publish_interval = std::chrono::milliseconds(publish_ms);
     options.batch_pool_threads = static_cast<std::size_t>(batch_threads);
-    options.batch_window_us = static_cast<std::uint32_t>(batch_window_us);
-    options.batch_max = static_cast<std::size_t>(batch_max);
-    options.observe_wal = replicate_port >= 0;
-    options.read_only = !follow_endpoint.empty();
+    options.coalesce.batch_window_us = static_cast<std::uint32_t>(batch_window_us);
+    options.coalesce.batch_max = static_cast<std::size_t>(batch_max);
+    options.replication.observe_wal = replicate_port >= 0;
+    options.replication.read_only = !follow_endpoint.empty();
+    if (!partition_map_path.empty()) {
+        try {
+            options.partition.map = std::make_shared<const siren::serve::PartitionMap>(
+                siren::serve::load_partition_map(partition_map_path));
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "siren_recognized: --partition-map: %s\n", e.what());
+            return 2;
+        }
+        options.partition.shard_id = static_cast<std::uint32_t>(shard_id);
+    }
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
@@ -209,7 +232,7 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(boot->applied),
                     options.segments_dir.empty() ? "" : ", following segments",
                     options.checkpoint_path.empty() ? "" : ", checkpointing",
-                    options.read_only ? ", read-only follower" : "");
+                    options.replication.read_only ? ", read-only follower" : "");
         if (source) {
             std::printf("siren_recognized: replicating on tcp://%s:%u\n",
                         replicate_bind.empty() ? server_options.bind_address.c_str()
@@ -219,6 +242,11 @@ int main(int argc, char** argv) {
         if (follower) {
             std::printf("siren_recognized: following leader tcp://%s\n",
                         follow_endpoint.c_str());
+        }
+        if (const auto map = service.partition_map()) {
+            std::printf("siren_recognized: shard %lu of %zu, partition map v%llu\n",
+                        static_cast<unsigned long>(shard_id), map->shard_count(),
+                        static_cast<unsigned long long>(map->version()));
         }
         std::fflush(stdout);  // scripted callers parse the ports from these lines
 
